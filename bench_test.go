@@ -1,0 +1,273 @@
+package gcsim
+
+// The benchmark harness: one benchmark per table and figure of the paper
+// (run `go test -bench=. -benchmem`), plus component micro-benchmarks and
+// ablation benchmarks over the design choices (write-miss policy, nursery
+// size, semispace size). Paper-shape metrics are attached to each
+// benchmark with b.ReportMetric, so a bench run doubles as a regression
+// check on the reproduced results.
+//
+// The experiment benchmarks run at each workload's small test scale; the
+// full-scale reports in EXPERIMENTS.md come from cmd/gcbench.
+
+import (
+	"testing"
+
+	"gcsim/internal/cache"
+	"gcsim/internal/core"
+	"gcsim/internal/gc"
+	"gcsim/internal/vm"
+	"gcsim/internal/workloads"
+)
+
+// benchExperiment runs one registry experiment per iteration and reports
+// its paper-check metrics.
+func benchExperiment(b *testing.B, id string, report ...string) {
+	b.Helper()
+	e, err := core.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last *core.ExpResult
+	for i := 0; i < b.N; i++ {
+		last, err = e.Run(core.ExpConfig{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range report {
+		if v, ok := last.Metrics[m]; ok {
+			b.ReportMetric(v, m)
+		} else {
+			b.Fatalf("experiment %s has no metric %q", id, m)
+		}
+	}
+}
+
+// Section 3, program table.
+func BenchmarkTable1Programs(b *testing.B) {
+	benchExperiment(b, "T1", "tc.refsPerInsn", "tc.allocMB")
+}
+
+// Section 5, miss-penalty table.
+func BenchmarkTable2MissPenalty(b *testing.B) {
+	benchExperiment(b, "T2", "slow.64b", "fast.64b")
+}
+
+// Section 5, average cache overhead without collection.
+func BenchmarkFigure1CacheOverhead(b *testing.B) {
+	benchExperiment(b, "F1",
+		"slow.32k.16b", "fast.1m.16b", "paper.monotone.cacheSizeViolations")
+}
+
+// Section 5, write-validate vs fetch-on-write.
+func BenchmarkFigure1bFetchOnWrite(b *testing.B) {
+	benchExperiment(b, "F1b", "fast.1m.16b", "paper.fow.smallBlocksWorse")
+}
+
+// Section 5, write-back overheads.
+func BenchmarkFigure1cWriteOverhead(b *testing.B) {
+	benchExperiment(b, "F1c", "slow.1m.64b", "fast.1m.64b")
+}
+
+// Section 6, Cheney garbage-collection overheads.
+func BenchmarkFigure2GCOverhead(b *testing.B) {
+	benchExperiment(b, "F2",
+		"tc.slow.1m", "tc.fast.1m", "lambda.fast.1m", "paper.lambdaWorst")
+}
+
+// Section 6, generational collection fixes the lp problem.
+func BenchmarkFigure2bGenerational(b *testing.B) {
+	benchExperiment(b, "F2b",
+		"cheney.fast", "generational.fast", "paper.genBeatsCheney")
+}
+
+// Section 6, aggressive vs infrequent generational collection.
+func BenchmarkFigure2cAggressive(b *testing.B) {
+	benchExperiment(b, "F2c",
+		"generational.collections", "aggressive.collections",
+		"paper.aggressiveCopiesMore")
+}
+
+// Section 7, cache-miss sweep plot.
+func BenchmarkFigure3SweepPlot(b *testing.B) {
+	benchExperiment(b, "F3", "missEvents", "paper.allocDominates")
+}
+
+// Section 7, lifetime distributions.
+func BenchmarkFigure4Lifetimes(b *testing.B) {
+	benchExperiment(b, "F4", "tc.oneCycle", "prover.oneCycle", "lambda.oneCycle")
+}
+
+// Section 7, behaviour statistics table.
+func BenchmarkTable3Behaviour(b *testing.B) {
+	benchExperiment(b, "T3", "tc.busyShare", "tc.multiCycleFew", "tc.stackShare")
+}
+
+// Section 7, cache-activity graphs.
+func BenchmarkFigure5Activity(b *testing.B) {
+	benchExperiment(b, "F5", "tc.64k.globalMissRatio", "tc.128k.globalMissRatio")
+}
+
+// Section 8, Conjecture 3.
+func BenchmarkConjecture3AllocVsMutate(b *testing.B) {
+	benchExperiment(b, "E8",
+		"functional.fast.64k", "imperative.fast.64k", "paper.imperativeCrossover")
+}
+
+// ---------------------------------------------------------------------
+// Component micro-benchmarks.
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.New(cache.Config{SizeBytes: 64 << 10, BlockBytes: 64, Policy: cache.WriteValidate})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)&0xffff, i&3 == 0, false)
+	}
+}
+
+func BenchmarkCacheBank40(b *testing.B) {
+	bank := cache.NewBank(cache.SweepConfigs(cache.WriteValidate))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bank.Ref(uint64(i)&0xfffff, i&3 == 0, false)
+	}
+}
+
+func BenchmarkInterpreter(b *testing.B) {
+	m := vm.NewLoaded(nil, nil)
+	m.MustEval("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MustEval("(fib 15)")
+	}
+	b.ReportMetric(float64(m.Insns())/float64(b.N), "vm-insns/op")
+}
+
+func BenchmarkAllocationChurn(b *testing.B) {
+	m := vm.NewLoaded(nil, gc.NewGenerational(256<<10, 4<<20))
+	m.MustEval("(define (churn n) (if (= n 0) '() (begin (cons n n) (churn (- n 1)))))")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MustEval("(churn 10000)")
+	}
+}
+
+func BenchmarkCheneyCollection(b *testing.B) {
+	// Steady-state collection cost: live list of ~1000 pairs, churn to
+	// force a collection per iteration.
+	col := gc.NewCheney(256 << 10)
+	m := vm.NewLoaded(nil, col)
+	m.MustEval(`
+		(define live (iota 1000))
+		(define (churn n) (if (= n 0) 'done (begin (cons n n) (churn (- n 1)))))`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MustEval("(churn 11000)") // ~33k words > one semispace
+	}
+	b.ReportMetric(float64(col.Stats().Collections)/float64(b.N), "collections/op")
+}
+
+// ---------------------------------------------------------------------
+// Ablation benchmarks over the design choices.
+
+// Ablation: the write-miss policy. The paper's central cache-design claim
+// is that write-validate removes the allocation-write fetches.
+func BenchmarkAblationWritePolicy(b *testing.B) {
+	w, _ := workloads.ByName("tc")
+	for _, pol := range []cache.WritePolicy{cache.WriteValidate, cache.FetchOnWrite} {
+		b.Run(pol.String(), func(b *testing.B) {
+			var last *core.SweepResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				last, err = core.RunSweep(w, w.SmallScale, nil,
+					[]cache.Config{{SizeBytes: 64 << 10, BlockBytes: 64, Policy: pol}})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := last.Bank.Caches[0].S
+			b.ReportMetric(float64(st.Misses()), "penalized-misses")
+			b.ReportMetric(float64(st.WriteAllocs), "free-claims")
+		})
+	}
+}
+
+// Ablation: nursery size, from aggressive (cache-sized) to infrequent.
+// Larger nurseries give young objects time to die, so copied words drop.
+func BenchmarkAblationNurserySize(b *testing.B) {
+	w, _ := workloads.ByName("tc")
+	for _, nursery := range []int{16 << 10, 32 << 10, 128 << 10, 512 << 10} {
+		b.Run(cache.FormatSize(nursery), func(b *testing.B) {
+			var copied, collections float64
+			for i := 0; i < b.N; i++ {
+				col := gc.NewGenerational(nursery, 4<<20)
+				if _, err := core.Run(core.RunSpec{
+					Workload: w, Scale: w.SmallScale, Collector: col,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				copied = float64(col.Stats().CopiedWords)
+				collections = float64(col.Stats().Collections)
+			}
+			b.ReportMetric(copied, "copied-words")
+			b.ReportMetric(collections, "collections")
+		})
+	}
+}
+
+// Ablation: Cheney semispace size. Smaller semispaces collect more often
+// and recopy more long-lived data.
+func BenchmarkAblationSemispaceSize(b *testing.B) {
+	w, _ := workloads.ByName("lambda")
+	for _, ss := range []int{128 << 10, 512 << 10, 2 << 20} {
+		b.Run(cache.FormatSize(ss), func(b *testing.B) {
+			var copied float64
+			for i := 0; i < b.N; i++ {
+				col := gc.NewCheney(ss)
+				if _, err := core.Run(core.RunSpec{
+					Workload: w, Scale: w.SmallScale, Collector: col,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				copied = float64(col.Stats().CopiedWords)
+			}
+			b.ReportMetric(copied, "copied-words")
+		})
+	}
+}
+
+// Ablation: the per-opcode instruction-cost model. The overheads are
+// ratios of miss time to instruction time, so halving or doubling the
+// model rescales O_cache inversely; this bench pins the refs/insn ratio
+// the cost table produces.
+func BenchmarkAblationCostModel(b *testing.B) {
+	w, _ := workloads.ByName("tc")
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		run, err := core.Run(core.RunSpec{Workload: w, Scale: w.SmallScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(run.Refs()) / float64(run.Insns)
+	}
+	b.ReportMetric(ratio, "refs/insn")
+}
+
+// Extension experiments.
+
+func BenchmarkX1Associativity(b *testing.B) {
+	benchExperiment(b, "X1", "worstConflictFactor.64k")
+}
+
+func BenchmarkX2Hierarchy(b *testing.B) {
+	benchExperiment(b, "X2", "tc.hierarchy", "paper.hierarchyHelps")
+}
+
+func BenchmarkX3Thrash(b *testing.B) {
+	benchExperiment(b, "X3", "thrashFactor", "paper.remedyWorks")
+}
+
+func BenchmarkX4MarkSweep(b *testing.B) {
+	benchExperiment(b, "X4", "cheney.deltaIprog", "marksweep.deltaIprog")
+}

@@ -1,0 +1,77 @@
+// Command gcbench regenerates the paper's tables and figures. With no
+// arguments it runs every experiment at full scale and prints each report;
+// -exp selects a single experiment, -quick uses the small test scales, and
+// -metrics additionally dumps the structured metric values.
+//
+// Usage:
+//
+//	gcbench [-exp T1|T2|F1|F1b|F1c|F2|F2b|F2c|F3|F4|T3|F5|E8] [-quick]
+//	        [-scale percent] [-metrics]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gcsim/internal/core"
+)
+
+func main() {
+	expID := flag.String("exp", "", "experiment ID to run (default: all)")
+	quick := flag.Bool("quick", false, "use small test scales")
+	scale := flag.Int("scale", 100, "workload scale percent")
+	metrics := flag.Bool("metrics", false, "print structured metrics after each report")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := core.ExpConfig{Quick: *quick, ScalePercent: *scale}
+	exps := core.Experiments()
+	if *expID != "" {
+		e, err := core.ExperimentByID(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exps = []*core.Experiment{e}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		r, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Report)
+		if *metrics {
+			for _, k := range sortedKeys(r.Metrics) {
+				fmt.Printf("metric %s.%s = %g\n", e.ID, k, r.Metrics[k])
+			}
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && strings.Compare(keys[j], keys[j-1]) < 0; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

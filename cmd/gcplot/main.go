@@ -1,0 +1,89 @@
+// Command gcplot renders the paper's Section 7 plots for one workload and
+// cache geometry: the cache-miss sweep plot, the lifetime CDF, or the
+// cache-activity graph.
+//
+// Usage:
+//
+//	gcplot -kind sweep|lifetimes|activity [-workload tc] [-scale N]
+//	       [-cache 64k] [-block 64] [-width 100] [-height 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gcsim/internal/analysis"
+	"gcsim/internal/cache"
+	"gcsim/internal/cliutil"
+	"gcsim/internal/core"
+	"gcsim/internal/plot"
+	"gcsim/internal/workloads"
+)
+
+func main() {
+	kind := flag.String("kind", "sweep", "plot kind: sweep, lifetimes, activity")
+	workload := flag.String("workload", "tc", "workload name")
+	scale := flag.Int("scale", 0, "workload scale (0 = default)")
+	cacheSize := flag.String("cache", "64k", "cache size")
+	blockSize := flag.Int("block", 64, "block size in bytes")
+	width := flag.Int("width", 100, "plot width in characters")
+	height := flag.Int("height", 32, "plot height in rows")
+	flag.Parse()
+
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	size, err := cliutil.ParseSize(*cacheSize)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := cache.Config{SizeBytes: size, BlockBytes: *blockSize, Policy: cache.WriteValidate}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	switch *kind {
+	case "sweep":
+		// Pre-run to size the time axis (runs are deterministic).
+		pre, err := core.Run(core.RunSpec{Workload: w, Scale: *scale})
+		if err != nil {
+			fatal(err)
+		}
+		c := cache.New(cfg)
+		sw := plot.NewSweep(pre.Refs(), cfg.NumBlocks(), *width, *height)
+		c.OnMiss(sw.Add)
+		if _, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Tracer: c}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: miss sweep in %v\n\n%s", w.Name, cfg, sw.Render())
+	case "lifetimes":
+		b := analysis.New(size, *blockSize)
+		if _, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Behaviour: b}); err != nil {
+			fatal(err)
+		}
+		r := b.Summarize()
+		fmt.Printf("%s: dynamic-block lifetimes (%v)\n", w.Name, cfg)
+		fmt.Printf("one-cycle fraction: %.3f of %d dynamic blocks\n\n",
+			r.OneCycleFraction(), r.DynamicBlocks)
+		fmt.Print(plot.RenderCDF([]plot.CDFSeries{{Label: w.Name, Points: r.LifetimeCDF()}},
+			*width, *height))
+	case "activity":
+		c := cache.New(cfg)
+		c.EnableBlockStats()
+		if _, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Tracer: c}); err != nil {
+			fatal(err)
+		}
+		refs, misses := c.BlockStats()
+		fmt.Printf("%s: cache activity in %v\n\n", w.Name, cfg)
+		fmt.Print(plot.RenderActivity(analysis.NewActivity(refs, misses), *width, *height))
+	default:
+		fatal(fmt.Errorf("unknown plot kind %q", *kind))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcplot:", err)
+	os.Exit(1)
+}

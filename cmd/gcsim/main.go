@@ -1,0 +1,125 @@
+// Command gcsim runs one workload (or an arbitrary Scheme file) under the
+// cache simulator and prints the measured counts and overheads.
+//
+// Usage:
+//
+//	gcsim -workload tc [-scale N] [-gc none|cheney|generational|aggressive]
+//	      [-cache 64k] [-block 64] [-policy write-validate|fetch-on-write]
+//	      [-semispace bytes] [-nursery bytes] [-v]
+//	gcsim -file prog.scm [same options]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gcsim/internal/cache"
+	"gcsim/internal/cliutil"
+	"gcsim/internal/core"
+	"gcsim/internal/gc"
+	"gcsim/internal/scheme"
+	"gcsim/internal/vm"
+	"gcsim/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "", "workload name: "+strings.Join(workloads.Names(), ", ")+", styles-functional, styles-imperative")
+	file := flag.String("file", "", "run a Scheme source file instead of a workload")
+	scale := flag.Int("scale", 0, "workload scale (0 = default)")
+	gcName := flag.String("gc", "none", "collector: "+strings.Join(gc.Names, ", "))
+	cacheSize := flag.String("cache", "64k", "cache size (e.g. 32k, 1m)")
+	blockSize := flag.Int("block", 64, "cache block size in bytes")
+	policy := flag.String("policy", "write-validate", "write-miss policy")
+	semispace := flag.Int("semispace", 0, "Cheney semispace bytes (0 = default)")
+	nursery := flag.Int("nursery", 0, "generational nursery bytes (0 = default)")
+	verbose := flag.Bool("v", false, "print per-processor overhead detail")
+	flag.Parse()
+
+	size, err := cliutil.ParseSize(*cacheSize)
+	if err != nil {
+		fatal(err)
+	}
+	pol := cache.WriteValidate
+	if *policy == "fetch-on-write" {
+		pol = cache.FetchOnWrite
+	} else if *policy != "write-validate" {
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	cfg := cache.Config{SizeBytes: size, BlockBytes: *blockSize, Policy: pol}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	col, err := gc.New(*gcName, gc.Options{SemispaceBytes: *semispace, NurseryBytes: *nursery})
+	if err != nil {
+		fatal(err)
+	}
+
+	c := cache.New(cfg)
+	switch {
+	case *file != "":
+		runFile(*file, col, c, cfg, *verbose)
+	case *workload != "":
+		w, err := workloads.ByName(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		run, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Collector: col, Tracer: c})
+		if err != nil {
+			fatal(err)
+		}
+		report(run.Workload, run.Insns, run.GCInsns, run.Checksum, col, c, cfg, *verbose)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runFile(path string, col gc.Collector, c *cache.Cache, cfg cache.Config, verbose bool) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	m := vm.NewLoaded(c, col)
+	v, err := m.Eval(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if out := m.Output(); out != "" {
+		fmt.Print(out)
+	}
+	fmt.Printf("value: %s\n", m.DescribeValue(v))
+	checksum := int64(0)
+	if scheme.IsFixnum(v) {
+		checksum = scheme.FixnumValue(v)
+	}
+	report(path, m.Insns(), m.GCInsns(), checksum, col, c, cfg, verbose)
+}
+
+func report(name string, insns, gcInsns uint64, checksum int64, col gc.Collector, c *cache.Cache, cfg cache.Config, verbose bool) {
+	s := &c.S
+	fmt.Printf("workload:    %s\n", name)
+	fmt.Printf("collector:   %s (%d collections, %d words copied)\n",
+		col.Name(), col.Stats().Collections, col.Stats().CopiedWords)
+	fmt.Printf("cache:       %v\n", cfg)
+	fmt.Printf("checksum:    %d\n", checksum)
+	fmt.Printf("insns:       %d program + %d collector\n", insns, gcInsns)
+	fmt.Printf("refs:        %d program + %d collector\n", s.Refs(), s.GCReads+s.GCWrites)
+	fmt.Printf("misses:      %d penalized (%d read, %d write), %d allocation claims\n",
+		s.Misses(), s.ReadMisses, s.WriteMisses, s.WriteAllocs)
+	fmt.Printf("miss ratio:  %.5f\n", s.MissRatio())
+	fmt.Printf("writebacks:  %d\n", s.Writebacks)
+	for _, p := range cache.Processors {
+		o := p.CacheOverhead(s.Misses(), insns, cfg.BlockBytes)
+		fmt.Printf("O_cache(%s, penalty %d cycles): %.4f\n", p.Name, p.MissPenalty(cfg.BlockBytes), o)
+	}
+	if verbose {
+		fmt.Printf("collector misses: %d; collector writebacks: %d\n", s.GCMisses(), s.GCWritebacks)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Command gctrace captures a workload's data-reference trace to a file,
+// or replays a captured trace into a cache configuration — the paper's
+// trace-driven simulation methodology as standalone artifacts.
+//
+// Usage:
+//
+//	gctrace -capture trace.gz -workload tc [-scale N] [-gc cheney]
+//	gctrace -replay trace.gz -cache 64k -block 64 [-policy write-validate]
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"os"
+
+	"gcsim/internal/cache"
+	"gcsim/internal/cliutil"
+	"gcsim/internal/core"
+	"gcsim/internal/gc"
+	"gcsim/internal/traceio"
+	"gcsim/internal/workloads"
+)
+
+func main() {
+	capturePath := flag.String("capture", "", "write a gzip-compressed trace to this file")
+	replayPath := flag.String("replay", "", "replay a trace from this file into a cache")
+	workload := flag.String("workload", "tc", "workload to capture")
+	scale := flag.Int("scale", 0, "workload scale (0 = default)")
+	gcName := flag.String("gc", "none", "collector during capture")
+	cacheSize := flag.String("cache", "64k", "replay cache size")
+	blockSize := flag.Int("block", 64, "replay block size")
+	policy := flag.String("policy", "write-validate", "replay write-miss policy")
+	flag.Parse()
+
+	switch {
+	case *capturePath != "":
+		capture(*capturePath, *workload, *scale, *gcName)
+	case *replayPath != "":
+		replay(*replayPath, *cacheSize, *blockSize, *policy)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func capture(path, workloadName string, scale int, gcName string) {
+	w, err := workloads.ByName(workloadName)
+	if err != nil {
+		fatal(err)
+	}
+	col, err := gc.New(gcName, gc.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	tw, err := traceio.NewWriter(zw)
+	if err != nil {
+		fatal(err)
+	}
+	run, err := core.Run(core.RunSpec{Workload: w, Scale: scale, Collector: col, Tracer: tw})
+	if err != nil {
+		fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		fatal(err)
+	}
+	info, _ := f.Stat()
+	fmt.Printf("captured %d references from %s (checksum %d) to %s (%.1f MB, %.2f bytes/ref)\n",
+		tw.Count(), run.Workload, run.Checksum, path,
+		float64(info.Size())/1e6, float64(info.Size())/float64(tw.Count()))
+}
+
+func replay(path, cacheSize string, blockSize int, policy string) {
+	size, err := cliutil.ParseSize(cacheSize)
+	if err != nil {
+		fatal(err)
+	}
+	pol := cache.WriteValidate
+	if policy == "fetch-on-write" {
+		pol = cache.FetchOnWrite
+	}
+	cfg := cache.Config{SizeBytes: size, BlockBytes: blockSize, Policy: pol}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	c := cache.New(cfg)
+	n, err := traceio.Replay(zr, c)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replayed %d references into %v\n", n, cfg)
+	fmt.Printf("misses: %d penalized, %d allocation claims, miss ratio %.5f\n",
+		c.S.Misses(), c.S.WriteAllocs, c.S.MissRatio())
+	fmt.Printf("collector misses: %d\n", c.S.GCMisses())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gctrace:", err)
+	os.Exit(1)
+}

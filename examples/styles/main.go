@@ -1,0 +1,69 @@
+// styles: the Section 8 "allocation can be faster than mutation"
+// comparison, run at one cache size. The same record-stream computation is
+// executed in a mostly-functional style (fresh batch lists) and an
+// imperative style (in-place scattered aggregates), and the total
+// cycles-per-record are compared on both hypothetical processors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gcsim"
+)
+
+func main() {
+	records := flag.Int("records", 50000, "records to process")
+	cacheKB := flag.Int("cache-kb", 64, "cache size in KB")
+	flag.Parse()
+
+	pair := gcsim.StyleWorkloads()
+	cfg := gcsim.CacheConfig{SizeBytes: *cacheKB << 10, BlockBytes: 64, Policy: gcsim.WriteValidate}
+
+	type result struct {
+		name   string
+		run    *gcsim.RunResult
+		stats  gcsim.CacheStats
+		ogcGen float64
+	}
+	var results []result
+	for _, w := range pair {
+		s, err := gcsim.RunSweep(w, *records, nil, []gcsim.CacheConfig{cfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, result{name: w.Name, run: s.Run, stats: s.Stats[cfg]})
+	}
+	if results[0].run.Checksum != results[1].run.Checksum {
+		log.Fatalf("the two styles disagree: %d vs %d",
+			results[0].run.Checksum, results[1].run.Checksum)
+	}
+
+	fmt.Printf("records: %d, cache: %v, checksum: %d\n\n", *records, cfg, results[0].run.Checksum)
+	fmt.Printf("%-22s %12s %12s %14s %12s\n",
+		"style", "insns/rec", "misses/rec", "claims/rec", "allocated")
+	for _, r := range results {
+		fmt.Printf("%-22s %12.1f %12.3f %14.3f %9d KB\n",
+			r.name,
+			float64(r.run.Insns)/float64(*records),
+			float64(r.stats.Misses())/float64(*records),
+			float64(r.stats.WriteAllocs)/float64(*records),
+			r.run.Counters.AllocWords*8/1024)
+	}
+
+	fmt.Println()
+	for _, p := range []gcsim.Processor{gcsim.Slow, gcsim.Fast} {
+		fmt.Printf("%s processor (%d-cycle miss penalty):\n", p.Name, p.MissPenalty(64))
+		for _, r := range results {
+			o := p.CacheOverhead(r.stats.Misses(), r.run.Insns, 64)
+			cycles := (1 + o) * float64(r.run.Insns) / float64(*records)
+			fmt.Printf("  %-22s O_cache %.4f -> %.0f cycles/record\n", r.name, o, cycles)
+		}
+	}
+	fmt.Println("\nOn the fast processor the functional program rides the allocation wave:")
+	fmt.Println("its write misses are free write-validate claims, so mutation's scattered")
+	fmt.Println("fetches cost more than allocation's churn. On the slow processor the")
+	fmt.Println("penalty is too small for locality to decide the race — exactly the")
+	fmt.Println("machine-dependence Conjecture 3 predicts.")
+}

@@ -1,0 +1,134 @@
+package gcsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	cfg := CacheConfig{SizeBytes: 64 << 10, BlockBytes: 64, Policy: WriteValidate}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(cfg)
+	m := NewMachine(c, nil)
+	v, err := m.Eval("(fold-left + 0 (map (lambda (x) (* x x)) (iota 10)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsFixnum(v) || FixnumValue(v) != 285 {
+		t.Fatalf("result = %v", v)
+	}
+	if c.S.Refs() == 0 {
+		t.Error("cache saw no references")
+	}
+	if Slow.MissPenalty(64) != 11 || Fast.MissPenalty(64) != 165 {
+		t.Error("processors wrong")
+	}
+}
+
+func TestFacadeCollectors(t *testing.T) {
+	for _, name := range []string{"none", "cheney", "generational", "aggressive"} {
+		col, err := NewCollector(name, CollectorOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m := NewMachine(nil, col)
+		if _, err := m.Eval("(length (iota 100))"); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFacadeWorkloadsAndExperiments(t *testing.T) {
+	if len(Workloads()) != 5 || len(StyleWorkloads()) != 2 {
+		t.Fatal("workload registry wrong")
+	}
+	w, err := WorkloadByName("nbody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(RunSpec{Workload: w, Scale: w.SmallScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Checksum == 0 {
+		t.Error("no checksum")
+	}
+	if len(Experiments()) != 17 {
+		t.Error("experiment registry wrong")
+	}
+	e, err := ExperimentByID("T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(ExpConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Report, "penalt") {
+		t.Errorf("T2 report: %q", res.Report)
+	}
+}
+
+func TestFacadeSweepAndBank(t *testing.T) {
+	cfgs := SweepConfigs(WriteValidate)
+	if len(cfgs) != 40 {
+		t.Fatalf("sweep grid = %d, want 40", len(cfgs))
+	}
+	bank := NewCacheBank(cfgs[:2])
+	bank.Ref(123, false, false)
+	if bank.Caches[0].S.ReadMisses != 1 {
+		t.Error("bank miscounted")
+	}
+	w, _ := WorkloadByName("tc")
+	s, err := RunSweep(w, w.SmallScale, nil, cfgs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheOverhead(Fast, cfgs[0]) <= 0 {
+		t.Error("no overhead measured")
+	}
+}
+
+func TestFacadeBehaviourAndPlot(t *testing.T) {
+	b := NewBehaviour(64<<10, 64)
+	w, _ := WorkloadByName("tc")
+	if _, err := Run(RunSpec{Workload: w, Scale: w.SmallScale, Behaviour: b}); err != nil {
+		t.Fatal(err)
+	}
+	rep := b.Summarize()
+	if rep.DynamicBlocks == 0 || rep.OneCycleFraction() <= 0 {
+		t.Errorf("behaviour report empty: %+v", rep)
+	}
+	sw := NewSweepPlot(1000, 64, 20, 8)
+	sw.Add(MissEvent{RefIndex: 10, CacheBlock: 3})
+	if !strings.Contains(sw.Render(), "miss events") {
+		t.Error("sweep render wrong")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	sa := NewAssocCache(AssocConfig{SizeBytes: 32 << 10, BlockBytes: 64, Ways: 2, Policy: WriteValidate})
+	sa.Access(0, false, false)
+	if sa.S.ReadMisses != 1 {
+		t.Error("assoc cache miscounted")
+	}
+	h := NewHierarchy(HierarchyConfig{
+		L1:          CacheConfig{SizeBytes: 8 << 10, BlockBytes: 64, Policy: WriteValidate},
+		L2:          CacheConfig{SizeBytes: 256 << 10, BlockBytes: 64, Policy: WriteValidate},
+		L2HitCycles: 8,
+	})
+	h.Ref(0, false, false)
+	if h.L1.S.ReadMisses != 1 || h.L2.S.ReadMisses != 1 {
+		t.Error("hierarchy miscounted")
+	}
+	col, err := NewCollector("marksweep", CollectorOptions{OldBytes: 64 << 10})
+	if err != nil || col.Name() != "marksweep" {
+		t.Fatalf("marksweep: %v", err)
+	}
+	m := NewMachine(nil, col)
+	if _, err := m.Eval("(length (iota 50))"); err != nil {
+		t.Fatal(err)
+	}
+}

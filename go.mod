@@ -1,0 +1,3 @@
+module gcsim
+
+go 1.22

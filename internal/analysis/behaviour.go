@@ -1,0 +1,333 @@
+// Package analysis implements the paper's Section 7 memory-behaviour
+// study: per-memory-block lifetimes and reference counts, allocation
+// cycles, one-cycle-block classification, busy-block detection, and the
+// local-versus-global cache-block performance decomposition behind the
+// cache-activity graphs.
+package analysis
+
+import (
+	"math/bits"
+	"sort"
+
+	"gcsim/internal/mem"
+	"gcsim/internal/stats"
+)
+
+// Behaviour observes a reference stream (as a mem.Tracer) together with
+// the VM's allocation events, for one cache geometry. It is designed for
+// no-collection runs, where dynamic allocation is linear and memory blocks
+// are never reused — the regime of the paper's Section 7 analysis.
+type Behaviour struct {
+	blockBytes  int
+	cacheBlocks int
+	blockShift  uint
+	cacheMask   uint64
+
+	refTime uint64
+
+	// cycles[i] is the current allocation-cycle number of cache block i,
+	// incremented each time the allocation pointer claims a new memory
+	// block mapping to it (an allocation miss).
+	cycles []uint32
+
+	// AllocationMisses counts new-dynamic-block claims.
+	AllocationMisses uint64
+
+	dynamic regionBlocks
+	static  regionBlocks
+	stack   regionBlocks
+
+	dynFrontierBlock uint64 // first dynamic block number not yet allocated
+}
+
+// blockRec tracks one memory block.
+type blockRec struct {
+	firstRef, lastRef uint64
+	refs              uint64
+	birthCycle        uint32
+	lastActiveCycle   uint32
+	activeCycles      uint32
+	escaped           bool // referenced outside its birth allocation cycle
+	born              bool // dynamic block has been allocated
+}
+
+// regionBlocks stores block records for one contiguous region, indexed by
+// block number offset from the region's first block.
+type regionBlocks struct {
+	firstBlock uint64
+	recs       []blockRec
+}
+
+// maxBlocksPerRegion bounds record storage. The analyzer is meant for
+// no-collection runs, whose dynamic area is contiguous; a reference far
+// beyond it (e.g. a relocated semispace) indicates misuse.
+const maxBlocksPerRegion = 1 << 26
+
+func (r *regionBlocks) rec(blockNum uint64) *blockRec {
+	i := blockNum - r.firstBlock
+	if i >= maxBlocksPerRegion {
+		panic("analysis: block address beyond contiguous region; " +
+			"the behaviour analyzer requires a no-collection run")
+	}
+	if i >= uint64(len(r.recs)) {
+		grown := make([]blockRec, (i+1)*5/4+64)
+		copy(grown, r.recs)
+		r.recs = grown
+	}
+	return &r.recs[i]
+}
+
+// New creates a behaviour analyzer for the given cache geometry (the
+// paper's defaults: 64 KB cache, 64-byte blocks).
+func New(cacheBytes, blockBytes int) *Behaviour {
+	b := &Behaviour{
+		blockBytes:  blockBytes,
+		cacheBlocks: cacheBytes / blockBytes,
+		blockShift:  uint(bits.TrailingZeros(uint(blockBytes))),
+		cycles:      make([]uint32, cacheBytes/blockBytes),
+	}
+	b.cacheMask = uint64(b.cacheBlocks - 1)
+	b.dynamic.firstBlock = b.blockOf(mem.DynBase)
+	b.static.firstBlock = b.blockOf(mem.StaticBase)
+	b.stack.firstBlock = b.blockOf(mem.StackBase)
+	b.dynFrontierBlock = b.dynamic.firstBlock
+	return b
+}
+
+func (b *Behaviour) blockOf(wordAddr uint64) uint64 {
+	return wordAddr * mem.WordBytes >> b.blockShift
+}
+
+// OnAlloc observes one dynamic object allocation; wire it to
+// Machine.OnAlloc. Each new memory block the allocation pointer claims is
+// an allocation miss and starts a new allocation cycle in its cache block.
+func (b *Behaviour) OnAlloc(addr uint64, words int) {
+	last := b.blockOf(addr + uint64(words) - 1)
+	for blk := b.dynFrontierBlock; blk <= last; blk++ {
+		idx := blk & b.cacheMask
+		b.cycles[idx]++
+		b.AllocationMisses++
+		rec := b.dynamic.rec(blk)
+		rec.birthCycle = b.cycles[idx]
+		rec.born = true
+	}
+	if last >= b.dynFrontierBlock {
+		b.dynFrontierBlock = last + 1
+	}
+}
+
+// Ref implements mem.Tracer.
+func (b *Behaviour) Ref(addr uint64, write, collector bool) {
+	b.refTime++
+	blk := addr * mem.WordBytes >> b.blockShift
+	var rec *blockRec
+	dynamic := false
+	switch {
+	case addr >= mem.DynBase:
+		rec = b.dynamic.rec(blk)
+		dynamic = true
+	case addr >= mem.StaticBase:
+		rec = b.static.rec(blk)
+	default:
+		rec = b.stack.rec(blk)
+	}
+	if rec.refs == 0 {
+		rec.firstRef = b.refTime
+	}
+	rec.lastRef = b.refTime
+	rec.refs++
+	cyc := b.cycles[blk&b.cacheMask]
+	if dynamic && rec.born && cyc != rec.birthCycle {
+		rec.escaped = true
+	}
+	if rec.activeCycles == 0 || cyc != rec.lastActiveCycle {
+		rec.activeCycles++
+		rec.lastActiveCycle = cyc
+	}
+}
+
+// TotalRefs returns the number of references observed.
+func (b *Behaviour) TotalRefs() uint64 { return b.refTime }
+
+// RegionReport summarizes the blocks of one region.
+type RegionReport struct {
+	Blocks   uint64 // blocks referenced at least once
+	Refs     uint64
+	Busy     uint64 // blocks with >= 1/1000 of all references
+	BusyRefs uint64
+}
+
+// Report is the full Section 7 behaviour summary.
+type Report struct {
+	CacheBytes, BlockBytes int
+	TotalRefs              uint64
+	AllocationMisses       uint64
+
+	Dynamic, Static, Stack RegionReport
+
+	// Dynamic-block behaviour.
+	LifetimeHist     stats.Log2Histogram // lifetimes in references
+	RefCountHist     stats.Log2Histogram // references per dynamic block
+	OneCycleBlocks   uint64
+	DynamicBlocks    uint64
+	MultiCycleBlocks uint64
+	// MultiCycleFewActive counts multi-cycle blocks active in at most
+	// four distinct allocation cycles (the paper's >= 90% claim).
+	MultiCycleFewActive uint64
+
+	// BusyBlocks across all regions, with their share of references.
+	BusyBlocks    uint64
+	BusyBlockRefs uint64
+}
+
+// OneCycleFraction returns the fraction of dynamic blocks that live and
+// die within their initial allocation cycle.
+func (r *Report) OneCycleFraction() float64 {
+	return stats.WeightedFraction(r.OneCycleBlocks, r.DynamicBlocks)
+}
+
+// BusyRefShare returns the fraction of all references going to busy
+// blocks.
+func (r *Report) BusyRefShare() float64 {
+	return stats.WeightedFraction(r.BusyBlockRefs, r.TotalRefs)
+}
+
+// MultiCycleFewActiveFraction returns the fraction of multi-cycle dynamic
+// blocks active in no more than four allocation cycles.
+func (r *Report) MultiCycleFewActiveFraction() float64 {
+	return stats.WeightedFraction(r.MultiCycleFewActive, r.MultiCycleBlocks)
+}
+
+// Summarize produces the report. The busy threshold is the paper's: a
+// block is busy if it receives at least one thousandth of all references.
+func (b *Behaviour) Summarize() *Report {
+	r := &Report{
+		CacheBytes:       b.cacheBlocks * b.blockBytes,
+		BlockBytes:       b.blockBytes,
+		TotalRefs:        b.refTime,
+		AllocationMisses: b.AllocationMisses,
+	}
+	threshold := b.refTime / 1000
+	if threshold == 0 {
+		threshold = 1
+	}
+
+	summarizeRegion := func(reg *regionBlocks, out *RegionReport, dynamic bool) {
+		for i := range reg.recs {
+			rec := &reg.recs[i]
+			if rec.refs == 0 {
+				continue
+			}
+			out.Blocks++
+			out.Refs += rec.refs
+			if rec.refs >= threshold {
+				out.Busy++
+				out.BusyRefs += rec.refs
+				r.BusyBlocks++
+				r.BusyBlockRefs += rec.refs
+			}
+			if !dynamic {
+				continue
+			}
+			r.DynamicBlocks++
+			r.LifetimeHist.Add(rec.lastRef - rec.firstRef + 1)
+			r.RefCountHist.Add(rec.refs)
+			if rec.escaped {
+				r.MultiCycleBlocks++
+				if rec.activeCycles <= 4 {
+					r.MultiCycleFewActive++
+				}
+			} else {
+				r.OneCycleBlocks++
+			}
+		}
+	}
+	summarizeRegion(&b.dynamic, &r.Dynamic, true)
+	summarizeRegion(&b.static, &r.Static, false)
+	summarizeRegion(&b.stack, &r.Stack, false)
+	return r
+}
+
+// LifetimeCDFPoints returns (lifetime, cumulative-fraction) pairs for the
+// Section 7 lifetime-distribution graph.
+type CDFPoint struct {
+	Value    uint64
+	Fraction float64
+}
+
+// LifetimeCDF extracts the cumulative lifetime distribution.
+func (r *Report) LifetimeCDF() []CDFPoint {
+	cdf := r.LifetimeHist.CDF()
+	out := make([]CDFPoint, len(cdf))
+	for i, f := range cdf {
+		out[i] = CDFPoint{Value: stats.BucketLow(i + 1), Fraction: f}
+	}
+	return out
+}
+
+// Activity is the per-cache-block local/global performance decomposition
+// of the Section 7 cache-activity graphs, computed from a cache's
+// per-block counters.
+type Activity struct {
+	// Blocks are sorted by ascending reference count.
+	Refs, Misses []uint64
+	// LocalMissRatio[i] = Misses[i]/Refs[i].
+	LocalMissRatio []float64
+	// CumulativeMissRatio[i] is the miss ratio considering blocks 0..i.
+	CumulativeMissRatio []float64
+	// CumulativeRefFrac and CumulativeMissFrac accumulate the fractions
+	// of references and misses.
+	CumulativeRefFrac, CumulativeMissFrac []float64
+	// GlobalMissRatio is the endpoint of the cumulative curve.
+	GlobalMissRatio float64
+}
+
+// NewActivity builds the decomposition from per-cache-block counters (as
+// produced by cache.Cache.BlockStats).
+func NewActivity(refs, misses []uint64) *Activity {
+	n := len(refs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return refs[order[a]] < refs[order[b]] })
+
+	a := &Activity{
+		Refs:                make([]uint64, n),
+		Misses:              make([]uint64, n),
+		LocalMissRatio:      make([]float64, n),
+		CumulativeMissRatio: make([]float64, n),
+		CumulativeRefFrac:   make([]float64, n),
+		CumulativeMissFrac:  make([]float64, n),
+	}
+	var totalRefs, totalMisses uint64
+	for _, i := range order {
+		totalRefs += refs[i]
+		totalMisses += misses[i]
+	}
+	var cumRefs, cumMisses uint64
+	for oi, i := range order {
+		a.Refs[oi] = refs[i]
+		a.Misses[oi] = misses[i]
+		if refs[i] > 0 {
+			a.LocalMissRatio[oi] = float64(misses[i]) / float64(refs[i])
+		}
+		cumRefs += refs[i]
+		cumMisses += misses[i]
+		if cumRefs > 0 {
+			a.CumulativeMissRatio[oi] = float64(cumMisses) / float64(cumRefs)
+		}
+		if totalRefs > 0 {
+			a.CumulativeRefFrac[oi] = float64(cumRefs) / float64(totalRefs)
+		}
+		if totalMisses > 0 {
+			a.CumulativeMissFrac[oi] = float64(cumMisses) / float64(totalMisses)
+		}
+	}
+	if totalRefs > 0 {
+		a.GlobalMissRatio = float64(totalMisses) / float64(totalRefs)
+	}
+	return a
+}
+
+var _ mem.Tracer = (*Behaviour)(nil)

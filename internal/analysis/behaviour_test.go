@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"testing"
+
+	"gcsim/internal/gc"
+	"gcsim/internal/mem"
+	"gcsim/internal/vm"
+)
+
+func TestAllocationCycles(t *testing.T) {
+	// 4 KB cache with 64-byte blocks: 64 cache blocks, 8 words per block.
+	b := New(4<<10, 64)
+	// Allocating 8 words claims exactly one new memory block.
+	b.OnAlloc(mem.DynBase, 8)
+	if b.AllocationMisses != 1 {
+		t.Fatalf("AllocationMisses = %d, want 1", b.AllocationMisses)
+	}
+	// Allocating 16 more words claims two more blocks.
+	b.OnAlloc(mem.DynBase+8, 16)
+	if b.AllocationMisses != 3 {
+		t.Fatalf("AllocationMisses = %d, want 3", b.AllocationMisses)
+	}
+	// A small allocation within an already-claimed block claims nothing.
+	bb := New(4<<10, 64)
+	bb.OnAlloc(mem.DynBase, 3)
+	bb.OnAlloc(mem.DynBase+3, 3)
+	if bb.AllocationMisses != 1 {
+		t.Errorf("sub-block allocations claimed extra blocks: %d", bb.AllocationMisses)
+	}
+}
+
+func TestOneCycleVsEscaped(t *testing.T) {
+	b := New(4<<10, 64) // 64 cache blocks; the cache wraps every 512 words
+	cacheWords := uint64(4 << 10 / mem.WordBytes)
+
+	// Block A: allocated, referenced immediately, never again: one-cycle.
+	b.OnAlloc(mem.DynBase, 8)
+	b.Ref(mem.DynBase, true, false)
+	b.Ref(mem.DynBase+1, false, false)
+
+	// Fill an entire cache's worth of allocation so the pointer sweeps
+	// around and revisits A's cache block.
+	b.OnAlloc(mem.DynBase+8, int(cacheWords))
+
+	// Block A referenced again after the sweep: it escaped its cycle.
+	escapedProbe := New(4<<10, 64)
+	escapedProbe.OnAlloc(mem.DynBase, 8)
+	escapedProbe.Ref(mem.DynBase, true, false)
+	escapedProbe.OnAlloc(mem.DynBase+8, int(cacheWords))
+	escapedProbe.Ref(mem.DynBase, false, false) // late touch
+
+	r1 := b.Summarize()
+	if r1.OneCycleBlocks == 0 {
+		t.Errorf("expected one-cycle blocks, got %+v", r1)
+	}
+	r2 := escapedProbe.Summarize()
+	if r2.MultiCycleBlocks != 1 {
+		t.Errorf("escaped block not classified multi-cycle: %+v", r2)
+	}
+	if r2.MultiCycleFewActive != 1 {
+		t.Errorf("block active in 2 cycles should count as few-active: %+v", r2)
+	}
+}
+
+func TestRegionClassification(t *testing.T) {
+	b := New(64<<10, 64)
+	b.Ref(mem.StackBase+1, true, false)
+	b.Ref(mem.StaticBase+5, false, false)
+	b.OnAlloc(mem.DynBase, 8)
+	b.Ref(mem.DynBase+2, true, false)
+	r := b.Summarize()
+	if r.Stack.Blocks != 1 || r.Static.Blocks != 1 || r.Dynamic.Blocks != 1 {
+		t.Errorf("region blocks: stack=%d static=%d dynamic=%d, want 1 each",
+			r.Stack.Blocks, r.Static.Blocks, r.Dynamic.Blocks)
+	}
+	if r.TotalRefs != 3 {
+		t.Errorf("TotalRefs = %d, want 3", r.TotalRefs)
+	}
+}
+
+func TestBusyBlocks(t *testing.T) {
+	b := New(64<<10, 64)
+	// One very hot static block: 2000 of 2999 references.
+	for i := 0; i < 2000; i++ {
+		b.Ref(mem.StaticBase, false, false)
+	}
+	// 999 references spread over distinct stack blocks (8 words each,
+	// different blocks).
+	for i := 0; i < 999; i++ {
+		b.Ref(mem.StackBase+uint64(i*8), false, false)
+	}
+	r := b.Summarize()
+	if r.Static.Busy != 1 {
+		t.Errorf("busy static blocks = %d, want 1", r.Static.Busy)
+	}
+	if r.BusyBlocks != 1 {
+		t.Errorf("total busy blocks = %d, want 1", r.BusyBlocks)
+	}
+	if share := r.BusyRefShare(); share < 0.6 || share > 0.7 {
+		t.Errorf("busy ref share = %v, want ~2/3", share)
+	}
+}
+
+func TestLifetimeCDF(t *testing.T) {
+	b := New(4<<10, 64)
+	b.OnAlloc(mem.DynBase, 8)
+	b.Ref(mem.DynBase, true, false) // lifetime 1
+	b.OnAlloc(mem.DynBase+8, 8)
+	b.Ref(mem.DynBase+8, true, false)
+	for i := 0; i < 100; i++ {
+		b.Ref(mem.StackBase, false, false) // time passes
+	}
+	b.Ref(mem.DynBase+8, false, false) // lifetime ~102
+	r := b.Summarize()
+	cdf := r.LifetimeCDF()
+	if len(cdf) == 0 {
+		t.Fatal("empty CDF")
+	}
+	if cdf[0].Fraction != 0.5 {
+		t.Errorf("first bucket fraction = %v, want 0.5 (one short-lived of two)", cdf[0].Fraction)
+	}
+	last := cdf[len(cdf)-1]
+	if last.Fraction != 1.0 {
+		t.Errorf("CDF should end at 1, got %v", last.Fraction)
+	}
+}
+
+func TestActivityDecomposition(t *testing.T) {
+	refs := []uint64{10, 1000, 1, 100}
+	misses := []uint64{5, 10, 1, 100}
+	a := NewActivity(refs, misses)
+	// Sorted by refs ascending: 1, 10, 100, 1000.
+	if a.Refs[0] != 1 || a.Refs[3] != 1000 {
+		t.Fatalf("sort order wrong: %v", a.Refs)
+	}
+	if a.LocalMissRatio[0] != 1.0 {
+		t.Errorf("local ratio of 1/1 block = %v", a.LocalMissRatio[0])
+	}
+	want := float64(5+10+1+100) / float64(10+1000+1+100)
+	if a.GlobalMissRatio != want {
+		t.Errorf("global miss ratio = %v, want %v", a.GlobalMissRatio, want)
+	}
+	if a.CumulativeMissRatio[3] != want {
+		t.Error("cumulative curve endpoint should equal global ratio")
+	}
+	if a.CumulativeRefFrac[3] != 1.0 || a.CumulativeMissFrac[3] != 1.0 {
+		t.Error("cumulative fractions should end at 1")
+	}
+	// Monotone fractions.
+	for i := 1; i < 4; i++ {
+		if a.CumulativeRefFrac[i] < a.CumulativeRefFrac[i-1] {
+			t.Error("cumulative ref fraction not monotone")
+		}
+	}
+}
+
+func TestGuardAgainstRelocatedHeap(t *testing.T) {
+	b := New(4<<10, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for far-relocated address")
+		}
+	}()
+	b.Ref(mem.DynBase+(1<<40), false, false)
+}
+
+// Integration: run a real program under the analyzer and check the
+// paper's qualitative properties hold even at tiny scale.
+func TestBehaviourOnRealProgram(t *testing.T) {
+	b := New(64<<10, 64)
+	m := vm.NewLoaded(b, gc.NewNoGC())
+	m.OnAlloc = b.OnAlloc
+	m.MaxInsns = 200_000_000
+	m.MustEval(`
+		(define (build n) (if (= n 0) '() (cons n (build (- n 1)))))
+		(define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))
+		(let loop ((i 0) (acc 0))
+		  (if (= i 200)
+		      acc
+		      (loop (+ i 1) (+ acc (sum (build 500))))))`)
+	r := b.Summarize()
+	if r.DynamicBlocks == 0 || r.TotalRefs == 0 {
+		t.Fatal("analyzer saw nothing")
+	}
+	// Short-lived lists die before the allocation pointer sweeps back:
+	// most dynamic blocks must be one-cycle.
+	if f := r.OneCycleFraction(); f < 0.5 {
+		t.Errorf("one-cycle fraction = %v, want >= 0.5", f)
+	}
+	// The stack is busy: stack blocks should absorb a large share of
+	// references in few blocks.
+	if r.Stack.Blocks == 0 || r.Stack.Refs == 0 {
+		t.Error("no stack activity observed")
+	}
+	if r.AllocationMisses == 0 {
+		t.Error("no allocation misses observed")
+	}
+}

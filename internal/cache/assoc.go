@@ -1,0 +1,236 @@
+package cache
+
+// Set-associative caches. The paper restricts itself to direct-mapped
+// caches ("they are the simplest to implement [and] have faster access
+// times"), noting only that practical alternatives are "perhaps
+// set-associative, with a small set size". This extension implements
+// LRU set-associative caches so the cost of that restriction can be
+// measured (experiment X1): how much of the programs' miss traffic is
+// conflict misses that associativity would remove.
+
+import (
+	"fmt"
+
+	"gcsim/internal/mem"
+	"math/bits"
+)
+
+// AssocConfig describes a set-associative cache.
+type AssocConfig struct {
+	SizeBytes  int
+	BlockBytes int
+	Ways       int // 1 = direct-mapped
+	Policy     WritePolicy
+}
+
+func (c AssocConfig) String() string {
+	return fmt.Sprintf("%s/%db/%d-way/%s", FormatSize(c.SizeBytes), c.BlockBytes, c.Ways, c.Policy)
+}
+
+// Validate checks the geometry.
+func (c AssocConfig) Validate() error {
+	base := Config{SizeBytes: c.SizeBytes, BlockBytes: c.BlockBytes, Policy: c.Policy}
+	if err := base.Validate(); err != nil {
+		return err
+	}
+	if c.Ways < 1 || c.Ways&(c.Ways-1) != 0 {
+		return fmt.Errorf("cache: ways %d is not a positive power of two", c.Ways)
+	}
+	if c.Ways > c.SizeBytes/c.BlockBytes {
+		return fmt.Errorf("cache: %d ways exceed %d blocks", c.Ways, c.SizeBytes/c.BlockBytes)
+	}
+	return nil
+}
+
+// NumSets returns the number of sets.
+func (c AssocConfig) NumSets() int { return c.SizeBytes / c.BlockBytes / c.Ways }
+
+// AssocCache is an LRU set-associative cache with the same write-miss
+// policies as the direct-mapped Cache.
+type AssocCache struct {
+	cfg        AssocConfig
+	blockShift uint
+	setMask    uint64
+	blockWords uint
+	wordMask   uint64
+	fullMask   uint64
+	ways       int
+
+	// Per line, indexed set*ways+way.
+	tags  []uint64
+	valid []uint64
+	dirty []bool
+	// lru[set*ways+i] holds way indices, most recent first.
+	lru []uint8
+
+	S Stats
+}
+
+// NewAssoc builds a set-associative cache; it panics on an invalid
+// configuration.
+func NewAssoc(cfg AssocConfig) *AssocCache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.NumSets()
+	n := sets * cfg.Ways
+	c := &AssocCache{
+		cfg:        cfg,
+		blockShift: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
+		setMask:    uint64(sets - 1),
+		blockWords: uint(cfg.BlockBytes / mem.WordBytes),
+		ways:       cfg.Ways,
+		tags:       make([]uint64, n),
+		valid:      make([]uint64, n),
+		dirty:      make([]bool, n),
+		lru:        make([]uint8, n),
+	}
+	c.wordMask = uint64(c.blockWords - 1)
+	if c.blockWords == 64 {
+		c.fullMask = ^uint64(0)
+	} else {
+		c.fullMask = 1<<c.blockWords - 1
+	}
+	for i := range c.tags {
+		c.tags[i] = tagEmpty
+	}
+	for s := 0; s < sets; s++ {
+		for w := 0; w < cfg.Ways; w++ {
+			c.lru[s*cfg.Ways+w] = uint8(w)
+		}
+	}
+	return c
+}
+
+// Config returns the configuration.
+func (c *AssocCache) Config() AssocConfig { return c.cfg }
+
+// touch moves way to the front of the set's LRU order.
+func (c *AssocCache) touch(set, way int) {
+	order := c.lru[set*c.ways : set*c.ways+c.ways]
+	pos := 0
+	for i, w := range order {
+		if int(w) == way {
+			pos = i
+			break
+		}
+	}
+	copy(order[1:pos+1], order[:pos])
+	order[0] = uint8(way)
+}
+
+// victim returns the LRU way of a set.
+func (c *AssocCache) victim(set int) int {
+	return int(c.lru[set*c.ways+c.ways-1])
+}
+
+// Access simulates one word reference.
+func (c *AssocCache) Access(wordAddr uint64, write, collector bool) {
+	byteAddr := wordAddr * mem.WordBytes
+	blockNum := byteAddr >> c.blockShift
+	set := int(blockNum & c.setMask)
+	bit := uint64(1) << (wordAddr & c.wordMask)
+
+	if collector {
+		if write {
+			c.S.GCWrites++
+		} else {
+			c.S.GCReads++
+		}
+	} else if write {
+		c.S.Writes++
+	} else {
+		c.S.Reads++
+	}
+
+	// Probe the set.
+	for w := 0; w < c.ways; w++ {
+		li := set*c.ways + w
+		if c.tags[li] != blockNum {
+			continue
+		}
+		c.touch(set, w)
+		if write {
+			c.valid[li] |= bit
+			c.dirty[li] = true
+			return
+		}
+		if c.valid[li]&bit != 0 {
+			return
+		}
+		c.valid[li] = c.fullMask
+		c.countMiss(write, collector, false)
+		return
+	}
+
+	// Miss: evict the LRU way.
+	w := c.victim(set)
+	li := set*c.ways + w
+	if c.dirty[li] && c.tags[li] != tagEmpty {
+		if collector {
+			c.S.GCWritebacks++
+		} else {
+			c.S.Writebacks++
+		}
+	}
+	c.tags[li] = blockNum
+	c.dirty[li] = write
+	c.touch(set, w)
+
+	if !write {
+		c.valid[li] = c.fullMask
+		c.countMiss(false, collector, false)
+		return
+	}
+	if collector || c.cfg.Policy == FetchOnWrite {
+		c.valid[li] = c.fullMask
+		c.countMiss(true, collector, false)
+		return
+	}
+	c.valid[li] = bit
+	c.countMiss(true, collector, true)
+}
+
+func (c *AssocCache) countMiss(write, collector, alloc bool) {
+	switch {
+	case collector && write:
+		c.S.GCWriteMisses++
+	case collector:
+		c.S.GCReadMisses++
+	case alloc:
+		c.S.WriteAllocs++
+	case write:
+		c.S.WriteMisses++
+	default:
+		c.S.ReadMisses++
+	}
+}
+
+// Ref implements mem.Tracer.
+func (c *AssocCache) Ref(addr uint64, write, collector bool) { c.Access(addr, write, collector) }
+
+// AssocBank fans a reference stream to several associative caches.
+type AssocBank struct {
+	Caches []*AssocCache
+}
+
+// NewAssocBank builds one cache per configuration.
+func NewAssocBank(cfgs []AssocConfig) *AssocBank {
+	b := &AssocBank{}
+	for _, cfg := range cfgs {
+		b.Caches = append(b.Caches, NewAssoc(cfg))
+	}
+	return b
+}
+
+// Ref implements mem.Tracer.
+func (b *AssocBank) Ref(addr uint64, write, collector bool) {
+	for _, c := range b.Caches {
+		c.Access(addr, write, collector)
+	}
+}
+
+var (
+	_ mem.Tracer = (*AssocCache)(nil)
+	_ mem.Tracer = (*AssocBank)(nil)
+)

@@ -1,0 +1,231 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAssocConfigValidate(t *testing.T) {
+	good := []AssocConfig{
+		{32 << 10, 64, 1, WriteValidate},
+		{64 << 10, 64, 2, WriteValidate},
+		{64 << 10, 16, 8, FetchOnWrite},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v", c, err)
+		}
+	}
+	bad := []AssocConfig{
+		{64 << 10, 64, 0, WriteValidate},
+		{64 << 10, 64, 3, WriteValidate}, // not a power of two
+		{128, 64, 4, WriteValidate},      // more ways than blocks
+		{48 << 10, 64, 2, WriteValidate}, // size not a power of two
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%v) accepted", c)
+		}
+	}
+	c := AssocConfig{64 << 10, 64, 2, WriteValidate}
+	if c.NumSets() != 512 {
+		t.Errorf("NumSets = %d, want 512", c.NumSets())
+	}
+	if c.String() != "64k/64b/2-way/write-validate" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestAssocRemovesConflictMiss(t *testing.T) {
+	// Two blocks that conflict in a direct-mapped cache coexist in a
+	// 2-way set-associative cache of the same size.
+	dm := New(Config{SizeBytes: 32 << 10, BlockBytes: 64, Policy: WriteValidate})
+	sa := NewAssoc(AssocConfig{SizeBytes: 32 << 10, BlockBytes: 64, Ways: 2, Policy: WriteValidate})
+	wordsPerCache := uint64(32<<10) / 8
+	for i := 0; i < 10; i++ {
+		for _, a := range []uint64{0, wordsPerCache} {
+			dm.Access(a, false, false)
+			sa.Access(a, false, false)
+		}
+	}
+	if dm.S.ReadMisses != 20 {
+		t.Errorf("direct-mapped misses = %d, want 20 (thrash)", dm.S.ReadMisses)
+	}
+	if sa.S.ReadMisses != 2 {
+		t.Errorf("2-way misses = %d, want 2 (compulsory only)", sa.S.ReadMisses)
+	}
+}
+
+func TestAssocLRUOrder(t *testing.T) {
+	// In a 2-way set, accessing A, B, C (all one set) evicts A; a
+	// subsequent access to B must still hit.
+	sa := NewAssoc(AssocConfig{SizeBytes: 16 << 10, BlockBytes: 64, Ways: 2, Policy: WriteValidate})
+	setStride := uint64(16<<10) / 8 / 2 // words per way
+	a, b, c := uint64(0), setStride, 2*setStride
+	sa.Access(a, false, false)
+	sa.Access(b, false, false)
+	sa.Access(c, false, false) // evicts a (LRU)
+	misses := sa.S.ReadMisses
+	sa.Access(b, false, false)
+	if sa.S.ReadMisses != misses {
+		t.Error("LRU evicted the wrong way: b should still be resident")
+	}
+	sa.Access(a, false, false)
+	if sa.S.ReadMisses != misses+1 {
+		t.Error("a should have been evicted")
+	}
+}
+
+func TestAssocWritePolicies(t *testing.T) {
+	wv := NewAssoc(AssocConfig{SizeBytes: 16 << 10, BlockBytes: 64, Ways: 2, Policy: WriteValidate})
+	wv.Access(100, true, false)
+	if wv.S.WriteAllocs != 1 || wv.S.WriteMisses != 0 {
+		t.Errorf("write-validate stats: %+v", wv.S)
+	}
+	wv.Access(101, false, false) // invalid word in claimed line
+	if wv.S.ReadMisses != 1 {
+		t.Errorf("partial-valid read should miss: %+v", wv.S)
+	}
+	fow := NewAssoc(AssocConfig{SizeBytes: 16 << 10, BlockBytes: 64, Ways: 2, Policy: FetchOnWrite})
+	fow.Access(100, true, false)
+	if fow.S.WriteMisses != 1 {
+		t.Errorf("fetch-on-write stats: %+v", fow.S)
+	}
+	// Collector mode forces fetch.
+	wv2 := NewAssoc(AssocConfig{SizeBytes: 16 << 10, BlockBytes: 64, Ways: 2, Policy: WriteValidate})
+	wv2.Access(100, true, true)
+	if wv2.S.GCWriteMisses != 1 {
+		t.Errorf("collector write should fetch: %+v", wv2.S)
+	}
+}
+
+func TestAssocWriteback(t *testing.T) {
+	sa := NewAssoc(AssocConfig{SizeBytes: 16 << 10, BlockBytes: 64, Ways: 2, Policy: WriteValidate})
+	setStride := uint64(16<<10) / 8 / 2
+	sa.Access(0, true, false)            // dirty
+	sa.Access(setStride, false, false)   // fills way 2
+	sa.Access(2*setStride, false, false) // evicts dirty line 0
+	if sa.S.Writebacks != 1 {
+		t.Errorf("Writebacks = %d, want 1", sa.S.Writebacks)
+	}
+}
+
+// Property: a 1-way associative cache behaves exactly like the
+// direct-mapped implementation.
+func TestPropertyOneWayMatchesDirectMapped(t *testing.T) {
+	f := func(addrs []uint16, writes []bool) bool {
+		dm := New(Config{SizeBytes: 16 << 10, BlockBytes: 32, Policy: WriteValidate})
+		sa := NewAssoc(AssocConfig{SizeBytes: 16 << 10, BlockBytes: 32, Ways: 1, Policy: WriteValidate})
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			dm.Access(uint64(a), w, false)
+			sa.Access(uint64(a), w, false)
+		}
+		return dm.S == sa.S
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding associativity at fixed size never increases misses for
+// these streams... not true in general (Belady), but LRU vs direct-mapped
+// on short random streams rarely inverts; instead check conservation:
+// every access is counted exactly once.
+func TestPropertyAssocAccounting(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		sa := NewAssoc(AssocConfig{SizeBytes: 32 << 10, BlockBytes: 64, Ways: 4, Policy: WriteValidate})
+		for i, a := range addrs {
+			sa.Access(uint64(a%(1<<20)), i%2 == 0, false)
+		}
+		return sa.S.Reads+sa.S.Writes == uint64(len(addrs)) &&
+			sa.S.ReadMisses <= sa.S.Reads &&
+			sa.S.WriteAllocs+sa.S.WriteMisses <= sa.S.Writes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssocBank(t *testing.T) {
+	b := NewAssocBank([]AssocConfig{
+		{32 << 10, 64, 1, WriteValidate},
+		{32 << 10, 64, 2, WriteValidate},
+	})
+	b.Ref(0, false, false)
+	for _, c := range b.Caches {
+		if c.S.ReadMisses != 1 {
+			t.Errorf("%v: misses = %d", c.Config(), c.S.ReadMisses)
+		}
+	}
+}
+
+func TestHierarchyBasics(t *testing.T) {
+	cfg := HierarchyConfig{
+		L1:          Config{SizeBytes: 8 << 10, BlockBytes: 32, Policy: WriteValidate},
+		L2:          Config{SizeBytes: 256 << 10, BlockBytes: 64, Policy: WriteValidate},
+		L2HitCycles: 8,
+	}
+	h := NewHierarchy(cfg)
+	// First read: misses both levels.
+	h.Access(1000, false, false)
+	if h.L1.S.ReadMisses != 1 || h.L2.S.ReadMisses != 1 {
+		t.Fatalf("cold miss: L1=%d L2=%d", h.L1.S.ReadMisses, h.L2.S.ReadMisses)
+	}
+	// Evict from L1 by touching a conflicting block, then re-read: L1
+	// misses, L2 hits.
+	conflict := uint64(1000 + 8<<10/8)
+	h.Access(conflict, false, false)
+	h.Access(1000, false, false)
+	if h.L1.S.ReadMisses != 3 {
+		t.Errorf("L1 misses = %d, want 3", h.L1.S.ReadMisses)
+	}
+	if h.L2.S.ReadMisses != 2 {
+		t.Errorf("L2 misses = %d, want 2 (1000 should hit L2 on re-read)", h.L2.S.ReadMisses)
+	}
+	// Overhead combines both levels.
+	o := h.Overhead(Fast, 1000)
+	want := (3*8 + 2*float64(Fast.MissPenalty(64))) / 1000
+	if o != want {
+		t.Errorf("Overhead = %v, want %v", o, want)
+	}
+	if h.Overhead(Fast, 0) != 0 {
+		t.Error("zero-insn overhead should be 0")
+	}
+}
+
+func TestHierarchyConfigValidate(t *testing.T) {
+	ok := HierarchyConfig{
+		L1:          Config{8 << 10, 32, WriteValidate},
+		L2:          Config{1 << 20, 64, WriteValidate},
+		L2HitCycles: 6,
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []HierarchyConfig{
+		{L1: Config{8 << 10, 128, WriteValidate}, L2: Config{1 << 20, 64, WriteValidate}, L2HitCycles: 6},
+		{L1: Config{1 << 20, 64, WriteValidate}, L2: Config{8 << 10, 64, WriteValidate}, L2HitCycles: 6},
+		{L1: Config{8 << 10, 32, WriteValidate}, L2: Config{1 << 20, 64, WriteValidate}, L2HitCycles: 0},
+		{L1: Config{0, 32, WriteValidate}, L2: Config{1 << 20, 64, WriteValidate}, L2HitCycles: 6},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestHierarchyWritebackTraffic(t *testing.T) {
+	h := NewHierarchy(HierarchyConfig{
+		L1:          Config{8 << 10, 64, WriteValidate},
+		L2:          Config{256 << 10, 64, WriteValidate},
+		L2HitCycles: 8,
+	})
+	wordsPerL1 := uint64(8<<10) / 8
+	h.Access(0, true, false)           // dirty L1 line
+	h.Access(wordsPerL1, false, false) // evicts it: L2 write traffic
+	if h.L2.S.Writes != 1 {
+		t.Errorf("L2 writes = %d, want 1 (the write-back)", h.L2.S.Writes)
+	}
+}

@@ -1,0 +1,115 @@
+package cache
+
+// This file implements the paper's Section 5 timing model: the Przybylski
+// main-memory system (30 ns address setup, 180 ns access, 30 ns per 16
+// bytes transferred) and the two hypothetical processors — the "slow"
+// 33 MHz workstation-class machine (30 ns cycle) and the "fast" 500 MHz
+// near-future machine (2 ns cycle). A cache hit takes one cycle on both.
+
+// Memory-system timing constants, in nanoseconds.
+const (
+	MemSetupNs    = 30
+	MemAccessNs   = 180
+	MemTransferNs = 30 // per TransferUnit bytes
+	TransferUnit  = 16
+	HitTimeCycles = 1
+)
+
+// Processor describes one of the paper's hypothetical CPUs.
+type Processor struct {
+	Name    string
+	CycleNs int
+}
+
+// The paper's two processors.
+var (
+	Slow = Processor{Name: "slow", CycleNs: 30} // 33 MHz
+	Fast = Processor{Name: "fast", CycleNs: 2}  // 500 MHz
+)
+
+// Processors lists both processors in the order the paper presents them.
+var Processors = []Processor{Slow, Fast}
+
+// MissPenaltyNs returns the time to service a miss that fetches a block of
+// the given size, in nanoseconds.
+func MissPenaltyNs(blockBytes int) int {
+	transfers := (blockBytes + TransferUnit - 1) / TransferUnit
+	return MemSetupNs + MemAccessNs + MemTransferNs*transfers
+}
+
+// MissPenalty returns the miss penalty in processor cycles for the given
+// block size, rounded up to whole cycles.
+func (p Processor) MissPenalty(blockBytes int) int {
+	ns := MissPenaltyNs(blockBytes)
+	return (ns + p.CycleNs - 1) / p.CycleNs
+}
+
+// CacheOverhead computes the paper's O_cache: the time spent waiting for
+// misses as a fraction of the program's idealized running time of one
+// instruction per cycle (Section 5):
+//
+//	O_cache = (M_prog * P) / I_prog
+func (p Processor) CacheOverhead(misses, insns uint64, blockBytes int) float64 {
+	if insns == 0 {
+		return 0
+	}
+	return float64(misses) * float64(p.MissPenalty(blockBytes)) / float64(insns)
+}
+
+// GCOverhead computes the paper's O_gc (Section 6):
+//
+//	O_gc = ((M_gc + ΔM_prog)*P + I_gc + ΔI_prog) / I_prog
+//
+// deltaProgMisses and deltaProgInsns are the program's miss-count and
+// instruction-count changes relative to a run of the same program, in the
+// same cache, without garbage collection; both may be negative.
+func (p Processor) GCOverhead(gcMisses uint64, deltaProgMisses int64, gcInsns uint64, deltaProgInsns int64, progInsns uint64, blockBytes int) float64 {
+	if progInsns == 0 {
+		return 0
+	}
+	pen := float64(p.MissPenalty(blockBytes))
+	missTime := (float64(gcMisses) + float64(deltaProgMisses)) * pen
+	return (missTime + float64(gcInsns) + float64(deltaProgInsns)) / float64(progInsns)
+}
+
+// WritebackCycles returns the processor-visible cost of one write-back.
+// Practical write-back caches drain evicted lines through a write buffer:
+// the address setup and access overlap with the fetch that triggered the
+// eviction (or with computation), so the visible cost is only the bus
+// transfer time of the block. This is why the paper finds write overheads
+// "low" despite heavy allocation traffic.
+func (p Processor) WritebackCycles(blockBytes int) int {
+	transfers := (blockBytes + TransferUnit - 1) / TransferUnit
+	ns := MemTransferNs * transfers
+	return (ns + p.CycleNs - 1) / p.CycleNs
+}
+
+// WriteOverhead computes the write-back traffic cost as a fraction of
+// idealized running time, charging each write-back its buffered
+// (transfer-only) cost.
+func (p Processor) WriteOverhead(writebacks, insns uint64, blockBytes int) float64 {
+	if insns == 0 {
+		return 0
+	}
+	return float64(writebacks) * float64(p.WritebackCycles(blockBytes)) / float64(insns)
+}
+
+// Paper sweep axes.
+var (
+	// Sizes is the paper's cache-size range, 32 KiB through 4 MiB.
+	Sizes = []int{32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20}
+	// BlockSizes is the paper's block-size range, 16 through 256 bytes.
+	BlockSizes = []int{16, 32, 64, 128, 256}
+)
+
+// SweepConfigs returns the full size × block-size grid for one policy, the
+// configurations behind the paper's Figure in Section 5.
+func SweepConfigs(policy WritePolicy) []Config {
+	var cfgs []Config
+	for _, s := range Sizes {
+		for _, b := range BlockSizes {
+			cfgs = append(cfgs, Config{SizeBytes: s, BlockBytes: b, Policy: policy})
+		}
+	}
+	return cfgs
+}

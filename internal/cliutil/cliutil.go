@@ -1,0 +1,28 @@
+// Package cliutil holds the small helpers shared by the command-line
+// tools.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSize parses a byte size in the paper's notation: a plain number,
+// or a number suffixed with k (KiB) or m (MiB) — e.g. "64k", "1m".
+func ParseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult = 1 << 10
+		s = strings.TrimSuffix(s, "k")
+	case strings.HasSuffix(s, "m"):
+		mult = 1 << 20
+		s = strings.TrimSuffix(s, "m")
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 64k, 1m)", s)
+	}
+	return n * mult, nil
+}

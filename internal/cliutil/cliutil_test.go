@@ -1,0 +1,20 @@
+package cliutil
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	good := map[string]int{
+		"64k": 64 << 10, "1m": 1 << 20, "32768": 32768, "4m": 4 << 20, "1k": 1024,
+	}
+	for in, want := range good {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "k", "12q", "-4k", "0", "1.5m"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gcsim/internal/cache"
+	"gcsim/internal/gc"
+	"gcsim/internal/workloads"
+)
+
+func TestRunBasics(t *testing.T) {
+	w, err := workloads.ByName("tc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(RunSpec{Workload: w, Scale: w.SmallScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload != "tc" || r.Collector != "none" {
+		t.Errorf("labels wrong: %s/%s", r.Workload, r.Collector)
+	}
+	if r.Insns == 0 || r.Refs() == 0 || r.Checksum == 0 {
+		t.Errorf("empty result: %+v", r)
+	}
+}
+
+func TestMultiTracerFansOut(t *testing.T) {
+	var a, b countingTracer
+	mt := MultiTracer{&a, &b}
+	mt.Ref(100, true, false)
+	mt.Ref(101, false, true)
+	if a.n != 2 || b.n != 2 {
+		t.Errorf("fan-out failed: %d, %d", a.n, b.n)
+	}
+}
+
+type countingTracer struct{ n int }
+
+func (c *countingTracer) Ref(addr uint64, write, collector bool) { c.n++ }
+
+func TestRunSweepConsistency(t *testing.T) {
+	w, _ := workloads.ByName("prover")
+	cfgs := []cache.Config{
+		{SizeBytes: 32 << 10, BlockBytes: 64, Policy: cache.WriteValidate},
+		{SizeBytes: 1 << 20, BlockBytes: 64, Policy: cache.WriteValidate},
+	}
+	s, err := RunSweep(w, w.SmallScale, nil, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := s.Stats[cfgs[0]]
+	big := s.Stats[cfgs[1]]
+	// Same reference stream reaches every cache in the bank.
+	if small.Refs() != big.Refs() {
+		t.Errorf("banks saw different streams: %d vs %d", small.Refs(), big.Refs())
+	}
+	// A bigger cache can only help a direct-mapped LRU-free stream here.
+	if big.Misses() > small.Misses() {
+		t.Errorf("bigger cache missed more: %d vs %d", big.Misses(), small.Misses())
+	}
+	// Overheads are positive and ordered by processor speed.
+	oSlow := s.CacheOverhead(cache.Slow, cfgs[0])
+	oFast := s.CacheOverhead(cache.Fast, cfgs[0])
+	if oSlow <= 0 || oFast <= oSlow {
+		t.Errorf("overheads wrong: slow=%v fast=%v", oSlow, oFast)
+	}
+}
+
+func TestGCOverheadVsBaseline(t *testing.T) {
+	w, _ := workloads.ByName("tc")
+	cfgs := gcSweepConfigs()
+	base, err := RunSweep(w, w.SmallScale, nil, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := RunSweep(w, w.SmallScale, gc.NewCheney(64<<10), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Run.GCStats.Collections == 0 {
+		t.Fatal("no collections; shrink the semispace")
+	}
+	cfg := cache.Config{SizeBytes: 1 << 20, BlockBytes: 64, Policy: cache.WriteValidate}
+	ogc := GCOverheadVs(cache.Fast, cfg, col, base)
+	// The collector did real work, so overhead should be nonzero, and at
+	// this small scale it should stay well under 100%.
+	if ogc == 0 || ogc > 1 {
+		t.Errorf("O_gc = %v, want (0, 1]", ogc)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 17 {
+		t.Fatalf("expected 17 experiments (13 paper + 4 extensions), got %d: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		e, err := ExperimentByID(id)
+		if err != nil || e.ID != id {
+			t.Errorf("ExperimentByID(%s): %v", id, err)
+		}
+	}
+	if _, err := ExperimentByID("t2"); err != nil {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, err := ExperimentByID("nope"); err == nil {
+		t.Error("bogus ID accepted")
+	}
+}
+
+// Every experiment must run at quick scale and produce a report plus
+// metrics. Paper-shape assertions that need full scale are checked in the
+// benchmark harness; here we assert structural health.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep still takes ~20s")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r, err := e.Run(ExpConfig{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(r.Report) < 50 {
+				t.Errorf("%s: report too small: %q", e.ID, r.Report)
+			}
+			if len(r.Metrics) == 0 {
+				t.Errorf("%s: no metrics", e.ID)
+			}
+			for k, v := range r.Metrics {
+				if v != v { // NaN
+					t.Errorf("%s: metric %s is NaN", e.ID, k)
+				}
+			}
+		})
+	}
+}
+
+func TestT2MatchesTimingModel(t *testing.T) {
+	r, err := expT2(ExpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["slow.64b"] != 11 || r.Metrics["fast.64b"] != 165 {
+		t.Errorf("penalty table wrong: %v", r.Metrics)
+	}
+	if !strings.Contains(r.Report, "Slow penalty") {
+		t.Error("report malformed")
+	}
+}
+
+func TestScaleFor(t *testing.T) {
+	c := ExpConfig{}
+	if c.scaleFor(100, 10) != 100 {
+		t.Error("default scale wrong")
+	}
+	c.Quick = true
+	if c.scaleFor(100, 10) != 10 {
+		t.Error("quick scale wrong")
+	}
+	c.ScalePercent = 50
+	if c.scaleFor(100, 10) != 5 {
+		t.Error("scale percent wrong")
+	}
+	c.ScalePercent = 1
+	if c.scaleFor(100, 10) != 1 {
+		t.Error("minimum scale wrong")
+	}
+}
+
+func TestSortedMetricKeys(t *testing.T) {
+	m := map[string]float64{"b": 1, "a": 2, "c": 3}
+	keys := sortedMetricKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("keys = %v", keys)
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+
+	"gcsim/internal/cache"
+	"gcsim/internal/gc"
+	"gcsim/internal/workloads"
+)
+
+// The Section 6 experiment uses 64-byte blocks across the full cache-size
+// range ("this graph shows data for 64-byte blocks; overheads for other
+// block sizes are similar").
+func gcSweepConfigs() []cache.Config {
+	var cfgs []cache.Config
+	for _, s := range cache.Sizes {
+		cfgs = append(cfgs, cache.Config{SizeBytes: s, BlockBytes: 64, Policy: cache.WriteValidate})
+	}
+	return cfgs
+}
+
+// Semispace sizing: the paper ran 16 MB semispaces against runs that
+// allocate 69-645 MB; the default here keeps a comparable
+// allocation-to-semispace ratio for the scaled-down runs.
+const cheneySemispaceBytes = 2 << 20
+
+type gcRunPair struct {
+	baseline, collected *SweepResult
+}
+
+// runGCPair runs a workload without collection and with the given
+// collector over the Section 6 bank.
+func runGCPair(w *workloads.Workload, scale int, mk func() gc.Collector) (*gcRunPair, error) {
+	base, err := RunSweep(w, scale, nil, gcSweepConfigs())
+	if err != nil {
+		return nil, err
+	}
+	col, err := RunSweep(w, scale, mk(), gcSweepConfigs())
+	if err != nil {
+		return nil, err
+	}
+	if base.Run.Checksum != col.Run.Checksum {
+		return nil, fmt.Errorf("core: %s checksum changed under collection: %d vs %d",
+			w.Name, base.Run.Checksum, col.Run.Checksum)
+	}
+	return &gcRunPair{baseline: base, collected: col}, nil
+}
+
+func (pr *gcRunPair) overhead(p cache.Processor, sizeBytes int) float64 {
+	cfg := cache.Config{SizeBytes: sizeBytes, BlockBytes: 64, Policy: cache.WriteValidate}
+	return GCOverheadVs(p, cfg, pr.collected, pr.baseline)
+}
+
+// expF2 reproduces the Section 6 figure: garbage-collection overheads of
+// the programs under an infrequently-run Cheney semispace collector. The
+// paper plots tc (orbit), nbody, and match (gambit); prover (imps) is
+// noted as thrash-variable, and lambda (lp) as uniformly >= 40%.
+func expF2(cfg ExpConfig) (*ExpResult, error) {
+	res := newResult()
+	res.printf("Section 6 figure: O_gc with the Cheney semispace collector (64b blocks)\n")
+	res.printf("semispace size: %s\n\n", cache.FormatSize(cheneySemispaceBytes))
+	for _, w := range workloads.All() {
+		pair, err := runGCPair(w, cfg.scaleFor(w.DefaultScale, w.SmallScale),
+			func() gc.Collector { return gc.NewCheney(cheneySemispaceBytes) })
+		if err != nil {
+			return nil, err
+		}
+		res.printf("%s (paper: %s), %d collections, %.1f MB copied:\n",
+			w.Name, w.PaperProgram, pair.collected.Run.GCStats.Collections,
+			float64(pair.collected.Run.GCStats.CopiedWords*8)/1e6)
+		res.printf("  %-6s", "proc")
+		for _, s := range cache.Sizes {
+			res.printf("%9s", cache.FormatSize(s))
+		}
+		res.printf("\n")
+		for _, p := range cache.Processors {
+			res.printf("  %-6s", p.Name)
+			for _, s := range cache.Sizes {
+				o := pair.overhead(p, s)
+				res.printf("  %7.4f", o)
+				res.Metrics[fmt.Sprintf("%s.%s.%s", w.Name, p.Name, cache.FormatSize(s))] = o
+			}
+			res.printf("\n")
+		}
+		res.Metrics[w.Name+".collections"] = float64(pair.collected.Run.GCStats.Collections)
+	}
+	// Paper checks: the three plotted programs have low overheads
+	// (slow <= ~4%, fast <= ~8%), while lambda (lp) is much higher
+	// because the Cheney collector recopies its growing live structure.
+	for _, name := range []string{"tc", "nbody", "match"} {
+		res.Metrics["paper."+name+".slowLow"] =
+			boolMetric(res.Metrics[name+".slow.1m"] < 0.08)
+	}
+	res.printf("\npaper check: lambda(lp) fast-processor overhead %.3f vs tc %.3f (lambda should be much higher)\n",
+		res.Metrics["lambda.fast.1m"], res.Metrics["tc.fast.1m"])
+	res.Metrics["paper.lambdaWorst"] =
+		boolMetric(res.Metrics["lambda.fast.1m"] > 2*res.Metrics["tc.fast.1m"])
+	return res, nil
+}
+
+// expF2b reproduces the Section 6 argument that a simple generational
+// collector fixes lp's problem: the generational collector copies the
+// long-lived structure far less often than the Cheney collector.
+func expF2b(cfg ExpConfig) (*ExpResult, error) {
+	w, err := workloads.ByName("lambda")
+	if err != nil {
+		return nil, err
+	}
+	scale := cfg.scaleFor(w.DefaultScale, w.SmallScale)
+	res := newResult()
+	res.printf("Section 6: lambda (lp analog) under Cheney vs generational collection\n\n")
+	cheney, err := runGCPair(w, scale, func() gc.Collector { return gc.NewCheney(cheneySemispaceBytes) })
+	if err != nil {
+		return nil, err
+	}
+	gen, err := runGCPair(w, scale, func() gc.Collector {
+		return gc.NewGenerational(256<<10, 4<<20)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range cache.Processors {
+		oc := cheney.overhead(p, 1<<20)
+		og := gen.overhead(p, 1<<20)
+		res.printf("%-5s processor, 1m cache: O_gc cheney %.4f, generational %.4f\n", p.Name, oc, og)
+		res.Metrics["cheney."+p.Name] = oc
+		res.Metrics["generational."+p.Name] = og
+	}
+	res.Metrics["cheney.copiedWords"] = float64(cheney.collected.Run.GCStats.CopiedWords)
+	res.Metrics["generational.copiedWords"] = float64(gen.collected.Run.GCStats.CopiedWords)
+	res.printf("\nwords copied: cheney %d vs generational %d\n",
+		cheney.collected.Run.GCStats.CopiedWords, gen.collected.Run.GCStats.CopiedWords)
+	res.Metrics["paper.genBeatsCheney"] =
+		boolMetric(res.Metrics["generational.fast"] < res.Metrics["cheney.fast"])
+	return res, nil
+}
+
+// expF2c reproduces the Section 6 closing argument: an aggressive,
+// cache-sized-nursery collector costs more than an infrequently-run
+// generational collector — even though it may trim cache misses, the
+// extra copying dominates.
+func expF2c(cfg ExpConfig) (*ExpResult, error) {
+	w, err := workloads.ByName("tc")
+	if err != nil {
+		return nil, err
+	}
+	scale := cfg.scaleFor(w.DefaultScale, w.SmallScale)
+	res := newResult()
+	res.printf("Section 6: infrequent generational vs aggressive (cache-sized nursery)\n\n")
+	gen, err := runGCPair(w, scale, func() gc.Collector {
+		return gc.NewGenerational(256<<10, 4<<20)
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg, err := runGCPair(w, scale, func() gc.Collector {
+		return gc.NewAggressive(32<<10, 4<<20)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range cache.Processors {
+		for _, s := range []int{64 << 10, 1 << 20} {
+			og := gen.overhead(p, s)
+			oa := agg.overhead(p, s)
+			res.printf("%-5s processor, %4s cache: O_gc generational %.4f, aggressive %.4f\n",
+				p.Name, cache.FormatSize(s), og, oa)
+			res.Metrics[fmt.Sprintf("generational.%s.%s", p.Name, cache.FormatSize(s))] = og
+			res.Metrics[fmt.Sprintf("aggressive.%s.%s", p.Name, cache.FormatSize(s))] = oa
+		}
+	}
+	res.printf("\ncollections: generational %d (nursery 256k), aggressive %d (nursery 32k)\n",
+		gen.collected.Run.GCStats.Collections, agg.collected.Run.GCStats.Collections)
+	res.printf("words copied: generational %d, aggressive %d\n",
+		gen.collected.Run.GCStats.CopiedWords, agg.collected.Run.GCStats.CopiedWords)
+	res.Metrics["generational.collections"] = float64(gen.collected.Run.GCStats.Collections)
+	res.Metrics["aggressive.collections"] = float64(agg.collected.Run.GCStats.Collections)
+	res.Metrics["paper.aggressiveCopiesMore"] = boolMetric(
+		agg.collected.Run.GCStats.CopiedWords > gen.collected.Run.GCStats.CopiedWords)
+	res.Metrics["paper.aggressiveCostsMore"] = boolMetric(
+		res.Metrics["aggressive.fast.1m"] > res.Metrics["generational.fast.1m"])
+	return res, nil
+}

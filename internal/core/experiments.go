@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	// ID is the index used in DESIGN.md and by the CLIs (T1, F1, ...).
+	ID string
+	// Title names the paper artifact being reproduced.
+	Title string
+	// Run executes the experiment.
+	Run func(cfg ExpConfig) (*ExpResult, error)
+}
+
+// ExpConfig controls experiment size.
+type ExpConfig struct {
+	// Quick uses each workload's SmallScale instead of DefaultScale, for
+	// tests and -short benchmarks.
+	Quick bool
+	// ScalePercent scales the workload sizes (100 = configured scale).
+	ScalePercent int
+}
+
+func (c ExpConfig) scaleFor(defaultScale, smallScale int) int {
+	s := defaultScale
+	if c.Quick {
+		s = smallScale
+	}
+	if c.ScalePercent > 0 {
+		s = s * c.ScalePercent / 100
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ExpResult is an experiment's output: a human-readable report that
+// mirrors the paper's table or figure, plus named metrics for benchmarks
+// and regression checks.
+type ExpResult struct {
+	Report  string
+	Metrics map[string]float64
+}
+
+func newResult() *ExpResult {
+	return &ExpResult{Metrics: map[string]float64{}}
+}
+
+func (r *ExpResult) printf(format string, args ...any) {
+	r.Report += fmt.Sprintf(format, args...)
+}
+
+// Experiments returns the full registry in paper order.
+func Experiments() []*Experiment {
+	return []*Experiment{
+		{ID: "T1", Title: "Section 3: test program characteristics", Run: expT1},
+		{ID: "T2", Title: "Section 5: miss-penalty table", Run: expT2},
+		{ID: "F1", Title: "Section 5: average cache overhead without collection", Run: expF1},
+		{ID: "F1b", Title: "Section 5: write-validate vs fetch-on-write", Run: expF1b},
+		{ID: "F1c", Title: "Section 5: write-back overheads", Run: expF1c},
+		{ID: "F2", Title: "Section 6: garbage-collection overhead (Cheney)", Run: expF2},
+		{ID: "F2b", Title: "Section 6: lambda (lp) under a generational collector", Run: expF2b},
+		{ID: "F2c", Title: "Section 6: aggressive vs infrequent generational collection", Run: expF2c},
+		{ID: "F3", Title: "Section 7: cache-miss sweep plot", Run: expF3},
+		{ID: "F4", Title: "Section 7: dynamic-block lifetime distributions", Run: expF4},
+		{ID: "T3", Title: "Section 7: block-behaviour statistics", Run: expT3},
+		{ID: "F5", Title: "Section 7: cache-activity graphs", Run: expF5},
+		{ID: "E8", Title: "Section 8: allocation vs mutation (Conjecture 3)", Run: expE8},
+		{ID: "X1", Title: "Extension: set-associativity vs direct mapping", Run: expX1},
+		{ID: "X2", Title: "Extension: two-level cache hierarchy", Run: expX2},
+		{ID: "X3", Title: "Extension: busy-block thrashing and its static remedy", Run: expX3},
+		{ID: "X4", Title: "Extension: compacting vs non-moving mark-sweep collection", Run: expX4},
+	}
+}
+
+// ExperimentByID finds one experiment.
+func ExperimentByID(id string) (*Experiment, error) {
+	for _, e := range Experiments() {
+		if strings.EqualFold(e.ID, id) {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown experiment %q (want one of %s)",
+		id, strings.Join(ExperimentIDs(), ", "))
+}
+
+// ExperimentIDs lists the registry's IDs in order.
+func ExperimentIDs() []string {
+	var out []string
+	for _, e := range Experiments() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// sortedMetricKeys yields deterministic metric iteration for reports.
+func sortedMetricKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

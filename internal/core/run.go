@@ -1,0 +1,144 @@
+// Package core is the experiment engine: it wires a workload, a
+// collector, a cache bank, and the behaviour analyzer together, computes
+// the paper's O_cache and O_gc overheads, and defines one experiment per
+// table and figure of the paper's evaluation (see experiments.go).
+package core
+
+import (
+	"fmt"
+
+	"gcsim/internal/analysis"
+	"gcsim/internal/cache"
+	"gcsim/internal/gc"
+	"gcsim/internal/mem"
+	"gcsim/internal/scheme"
+	"gcsim/internal/vm"
+	"gcsim/internal/workloads"
+)
+
+// maxRunInsns bounds any single simulated run, as a guard against runaway
+// programs; the largest default-scale run uses well under this.
+const maxRunInsns = 50_000_000_000
+
+// MultiTracer fans references out to several tracers (e.g. a cache bank
+// and a behaviour analyzer).
+type MultiTracer []mem.Tracer
+
+// Ref implements mem.Tracer.
+func (ts MultiTracer) Ref(addr uint64, write, collector bool) {
+	for _, t := range ts {
+		t.Ref(addr, write, collector)
+	}
+}
+
+// RunSpec describes one simulated program run.
+type RunSpec struct {
+	Workload  *workloads.Workload
+	Scale     int // 0 means the workload's default
+	Collector gc.Collector
+	Tracer    mem.Tracer
+	// Behaviour, if non-nil, receives allocation events and references
+	// (it is appended to the tracer set automatically).
+	Behaviour *analysis.Behaviour
+}
+
+// RunResult captures everything a run produced.
+type RunResult struct {
+	Workload  string
+	Collector string
+	Checksum  int64
+	Insns     uint64 // I_prog (includes any ΔI_prog the collector induced)
+	GCInsns   uint64 // I_gc
+	Counters  mem.Counters
+	GCStats   gc.Stats
+	Machine   *vm.Machine // for post-run inspection
+}
+
+// Refs returns the program reference count.
+func (r *RunResult) Refs() uint64 { return r.Counters.Refs() }
+
+// Run executes one workload under the spec and returns its results.
+func Run(spec RunSpec) (*RunResult, error) {
+	col := spec.Collector
+	if col == nil {
+		col = gc.NewNoGC()
+	}
+	tracer := spec.Tracer
+	if spec.Behaviour != nil {
+		if tracer != nil {
+			tracer = MultiTracer{tracer, spec.Behaviour}
+		} else {
+			tracer = spec.Behaviour
+		}
+	}
+	m := vm.NewLoaded(tracer, col)
+	m.MaxInsns = maxRunInsns
+	if spec.Behaviour != nil {
+		m.OnAlloc = spec.Behaviour.OnAlloc
+	}
+	v, err := spec.Workload.Run(m, spec.Scale)
+	if err != nil {
+		return nil, err
+	}
+	if !scheme.IsFixnum(v) {
+		return nil, fmt.Errorf("core: %s checksum is not a fixnum", spec.Workload.Name)
+	}
+	return &RunResult{
+		Workload:  spec.Workload.Name,
+		Collector: col.Name(),
+		Checksum:  scheme.FixnumValue(v),
+		Insns:     m.Insns(),
+		GCInsns:   m.GCInsns(),
+		Counters:  m.Mem.C,
+		GCStats:   *col.Stats(),
+		Machine:   m,
+	}, nil
+}
+
+// SweepResult pairs a run with the cache statistics of every
+// configuration in its bank.
+type SweepResult struct {
+	Run   *RunResult
+	Bank  *cache.Bank
+	Stats map[cache.Config]cache.Stats
+}
+
+// RunSweep runs a workload once against a bank with every given
+// configuration.
+func RunSweep(w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config) (*SweepResult, error) {
+	bank := cache.NewBank(cfgs)
+	run, err := Run(RunSpec{Workload: w, Scale: scale, Collector: col, Tracer: bank})
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{Run: run, Bank: bank, Stats: map[cache.Config]cache.Stats{}}
+	for _, c := range bank.Caches {
+		out.Stats[c.Config()] = c.S
+	}
+	return out, nil
+}
+
+// CacheOverhead computes O_cache for one configuration of a sweep.
+func (s *SweepResult) CacheOverhead(p cache.Processor, cfg cache.Config) float64 {
+	st := s.Stats[cfg]
+	return p.CacheOverhead(st.Misses(), s.Run.Insns, cfg.BlockBytes)
+}
+
+// WriteOverhead computes the write-back overhead for one configuration.
+func (s *SweepResult) WriteOverhead(p cache.Processor, cfg cache.Config) float64 {
+	st := s.Stats[cfg]
+	return p.WriteOverhead(st.Writebacks, s.Run.Insns, cfg.BlockBytes)
+}
+
+// GCOverheadVs computes O_gc for a collected run relative to a no-GC
+// baseline of the same workload in the same cache configuration:
+//
+//	O_gc = ((M_gc + ΔM_prog)·P + I_gc + ΔI_prog) / I_prog
+func GCOverheadVs(p cache.Processor, cfg cache.Config, collected, baseline *SweepResult) float64 {
+	cst := collected.Stats[cfg]
+	bst := baseline.Stats[cfg]
+	deltaMisses := int64(cst.Misses()) - int64(bst.Misses())
+	deltaInsns := int64(collected.Run.Insns) - int64(baseline.Run.Insns)
+	return p.GCOverhead(cst.GCMisses(), deltaMisses, collected.Run.GCInsns,
+		deltaInsns, baseline.Run.Insns, cfg.BlockBytes)
+}

@@ -1,0 +1,121 @@
+package gc
+
+import (
+	"fmt"
+
+	"gcsim/internal/mem"
+	"gcsim/internal/scheme"
+)
+
+// copier implements the Cheney copying machinery shared by the semispace
+// and generational collectors: forwarding of individual words, root-set
+// enumeration, and the breadth-first scan of evacuated objects. All of its
+// memory traffic flows through the simulated memory in collector mode, so
+// it is traced and counted as M_gc.
+type copier struct {
+	env    Env
+	isFrom func(addr uint64) bool // is this address being evacuated?
+	to     *space
+	stats  *Stats
+}
+
+// forward returns the relocated equivalent of w, copying the target object
+// to to-space if this is the first visit.
+func (c *copier) forward(w scheme.Word) scheme.Word {
+	if !scheme.IsPtr(w) {
+		return w
+	}
+	addr := scheme.PtrAddr(w)
+	if !c.isFrom(addr) {
+		return w
+	}
+	m := c.env.Mem
+	h := m.Load(addr)
+	if scheme.IsPtr(h) {
+		return h // already forwarded; the header slot holds the new pointer
+	}
+	if !scheme.IsHeader(h) {
+		panic(fmt.Sprintf("gc: pointer %#x does not address an object header", addr))
+	}
+	size := objectSize(h)
+	dst := c.to.alloc(m, size)
+	for i := 0; i < size; i++ {
+		m.Store(dst+uint64(i), m.Load(addr+uint64(i)))
+	}
+	c.env.ChargeInsns(uint64(size) * costPerCopiedWord)
+	fw := scheme.FromPtr(dst)
+	m.Store(addr, fw)
+	c.stats.CopiedObjects++
+	c.stats.CopiedWords += uint64(size)
+	return fw
+}
+
+// forwardSlot rewrites one simulated-memory slot in place.
+func (c *copier) forwardSlot(addr uint64) {
+	m := c.env.Mem
+	w := m.Load(addr)
+	if fw := c.forward(w); fw != w {
+		m.Store(addr, fw)
+	}
+}
+
+// forwardRegisters relocates the VM's Go-side root registers. Registers
+// are not simulated memory, so this produces no data references beyond the
+// copies themselves.
+func (c *copier) forwardRegisters() {
+	c.env.RegisterRoots(func(slot *scheme.Word) {
+		*slot = c.forward(*slot)
+		c.env.ChargeInsns(costPerRoot)
+	})
+}
+
+// forwardStack relocates every live stack slot.
+func (c *copier) forwardStack() {
+	top := c.env.StackTop()
+	for a := mem.StackBase; a < top; a++ {
+		c.forwardSlot(a)
+	}
+	c.env.ChargeInsns((top - mem.StackBase) * costPerRoot)
+}
+
+// forwardStatic walks the static area object by object and relocates every
+// pointer-bearing slot (global cells, mutated quoted data, symbol plists).
+func (c *copier) forwardStatic() {
+	m := c.env.Mem
+	end := c.env.StaticEnd()
+	for p := mem.StaticBase; p < end; {
+		h := m.Load(p)
+		if !scheme.IsHeader(h) {
+			panic(fmt.Sprintf("gc: static area corrupt at %#x", p))
+		}
+		size := objectSize(h)
+		if scannableKind(scheme.HeaderKind(h)) {
+			for i := 1; i < size; i++ {
+				c.forwardSlot(p + uint64(i))
+			}
+			c.env.ChargeInsns(uint64(size-1) * costPerScannedSlot)
+		}
+		p += uint64(size)
+	}
+}
+
+// scan runs the Cheney breadth-first scan over to-space starting at
+// scanStart, relocating the slots of every evacuated object (which may
+// evacuate further objects, extending the scan).
+func (c *copier) scan(scanStart uint64) {
+	m := c.env.Mem
+	for p := scanStart; p < c.to.next; {
+		h := m.Load(p)
+		if !scheme.IsHeader(h) {
+			panic(fmt.Sprintf("gc: to-space corrupt at %#x", p))
+		}
+		size := objectSize(h)
+		if scannableKind(scheme.HeaderKind(h)) {
+			for i := 1; i < size; i++ {
+				c.forwardSlot(p + uint64(i))
+			}
+			c.env.ChargeInsns(uint64(size-1) * costPerScannedSlot)
+		}
+		p += uint64(size)
+	}
+}

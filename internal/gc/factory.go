@@ -1,0 +1,37 @@
+package gc
+
+import "fmt"
+
+// Options configures a collector built by New.
+type Options struct {
+	// SemispaceBytes sets the Cheney semispace size (0 for the default).
+	SemispaceBytes int
+	// NurseryBytes sets the generational/aggressive nursery size (0 for
+	// the collector's default).
+	NurseryBytes int
+	// OldBytes sets the generational old-space size, and the mark-sweep
+	// heap goal (0 for the defaults).
+	OldBytes int
+}
+
+// Names lists the collector names New accepts, in presentation order.
+var Names = []string{"none", "cheney", "generational", "aggressive", "marksweep"}
+
+// New builds a collector by name: "none", "cheney", "generational", or
+// "aggressive".
+func New(name string, opts Options) (Collector, error) {
+	switch name {
+	case "none", "nogc", "":
+		return NewNoGC(), nil
+	case "cheney", "semispace":
+		return NewCheney(opts.SemispaceBytes), nil
+	case "generational", "gen":
+		return NewGenerational(opts.NurseryBytes, opts.OldBytes), nil
+	case "aggressive":
+		return NewAggressive(opts.NurseryBytes, opts.OldBytes), nil
+	case "marksweep", "mark-sweep":
+		return NewMarkSweep(opts.OldBytes), nil
+	default:
+		return nil, fmt.Errorf("gc: unknown collector %q (want one of %v)", name, Names)
+	}
+}

@@ -1,0 +1,157 @@
+// Package gc implements the storage managers studied in the paper:
+//
+//   - NoGC: linear allocation in a single contiguous area with the collector
+//     disabled — the paper's Section 5 control experiment;
+//   - Cheney: a simple compacting semispace copying collector (Cheney 1970),
+//     the paper's Section 6 collector, with configurable semispace size;
+//   - Generational: a two-generation compacting collector with a write
+//     barrier and remembered set, promoting nursery survivors en masse —
+//     the collector the paper recommends;
+//   - Aggressive: the same generational collector configured with a
+//     cache-sized nursery and frequent collections — the strawman design
+//     the paper argues against.
+//
+// Collectors allocate and move objects in the simulated memory, so all of
+// their own loads and stores are traced as collector references (M_gc), and
+// they charge an instruction cost (I_gc) through the environment's
+// ChargeInsns hook. Collections happen only at VM safepoints, when the
+// machine's complete root set is the register roots, the stack, and the
+// static area.
+package gc
+
+import (
+	"fmt"
+
+	"gcsim/internal/mem"
+	"gcsim/internal/scheme"
+)
+
+// Env gives a collector access to the mutator: its memory, its root set,
+// and its instruction-cost accumulator.
+type Env struct {
+	Mem *mem.Memory
+
+	// RegisterRoots invokes visit once per Go-side root register (the
+	// accumulator, the current-closure register, ...). The collector may
+	// update the registers through the pointers.
+	RegisterRoots func(visit func(slot *scheme.Word))
+
+	// StackTop returns the current stack pointer; every word in
+	// [mem.StackBase, StackTop()) is a root slot.
+	StackTop func() uint64
+
+	// StaticEnd returns the static-area frontier; the static area is
+	// walked object by object when a full collection must relocate
+	// pointers held in static data (global cells, mutated constants).
+	StaticEnd func() uint64
+
+	// ChargeInsns attributes n collector instructions (the paper's I_gc).
+	ChargeInsns func(n uint64)
+}
+
+// Stats aggregates collector activity.
+type Stats struct {
+	Collections      uint64 // total collections (minor + major)
+	MajorCollections uint64
+	CopiedObjects    uint64
+	CopiedWords      uint64
+	BarrierChecks    uint64
+	BarrierHits      uint64
+	LiveAfterLast    uint64 // words live after the most recent collection
+}
+
+// Collector is the allocation and reclamation interface the VM runs
+// against.
+type Collector interface {
+	// Name identifies the collector in reports.
+	Name() string
+	// Attach wires the collector to the mutator. It must be called once,
+	// before the first Alloc.
+	Attach(env Env)
+	// Alloc returns the header address of a fresh object of the given
+	// total size (header + payload) in words. Alloc never collects; the
+	// VM collects at safepoints when NeedsCollect reports true.
+	Alloc(words int) uint64
+	// NeedsCollect reports whether a collection should run at the next
+	// safepoint.
+	NeedsCollect() bool
+	// Collect performs a collection. The mutator must be at a safepoint.
+	Collect()
+	// WriteBarrier observes a pointer store of val into the slot at the
+	// given address, after the store. Generational collectors use it to
+	// maintain the remembered set.
+	WriteBarrier(slot uint64, val scheme.Word)
+	// Epoch counts collections that moved objects; the runtime's
+	// address-hashed tables rehash when it advances.
+	Epoch() uint64
+	// Stats exposes the collector's counters.
+	Stats() *Stats
+	// HeapWords returns the number of dynamic words currently allocated
+	// (the allocation frontier minus the space base).
+	HeapWords() uint64
+}
+
+// Instruction-cost model for collector work, in "machine instructions" per
+// unit. The constants approximate a tight copying loop on a RISC machine:
+// a copied word is a load, a store, and loop overhead; a scanned slot is a
+// load, a tag test, and a possible forward; bookkeeping covers the flip,
+// root enumeration setup, and table resets.
+const (
+	costPerCopiedWord  = 3
+	costPerScannedSlot = 3
+	costPerRoot        = 2
+	costPerCollection  = 600
+	costPerBarrier     = 4 // the mutator-side check, charged on the program
+	costPerBarrierHit  = 8
+)
+
+// scannableKind reports whether an object kind has a tagged-word payload
+// that the collector must scan for pointers. Strings and flonums hold raw
+// (untagged) words; ports hold a fixnum buffer index but reference nothing.
+func scannableKind(k scheme.Kind) bool {
+	switch k {
+	case scheme.KindPair, scheme.KindVector, scheme.KindSymbol,
+		scheme.KindClosure, scheme.KindCell, scheme.KindTable:
+		return true
+	}
+	return false
+}
+
+// Layout of the dynamic area. The control allocator and the Cheney
+// from-space start at mem.DynBase; additional spaces sit at gapWords
+// intervals so that a space can overshoot its nominal size (a safepoint
+// design lets a single primitive allocate past the soft limit) without
+// colliding with its neighbour.
+const gapWords = 1 << 31 // 16 GiB of byte-address separation
+
+// space is a bump-allocated region of the dynamic area.
+type space struct {
+	base, next uint64
+	limit      uint64 // soft limit: base + nominal size
+}
+
+func (s *space) reset(base, sizeWords uint64) {
+	s.base, s.next, s.limit = base, base, base+sizeWords
+}
+
+func (s *space) used() uint64 { return s.next - s.base }
+
+func (s *space) contains(addr uint64) bool { return addr >= s.base && addr < s.next }
+
+func (s *space) alloc(m *mem.Memory, words int) uint64 {
+	addr := s.next
+	s.next += uint64(words)
+	m.EnsureDynamic(addr, s.next)
+	return addr
+}
+
+// objectSize returns the total size (header + payload) of the object whose
+// header word is h.
+func objectSize(h scheme.Word) int { return 1 + scheme.HeaderSize(h) }
+
+func checkAttached(name string, env Env) {
+	if env.Mem == nil || env.RegisterRoots == nil || env.StackTop == nil ||
+		env.StaticEnd == nil || env.ChargeInsns == nil {
+		panic(fmt.Sprintf("gc: %s collector attached with incomplete environment", name))
+	}
+}

@@ -1,0 +1,411 @@
+package gc
+
+import (
+	"testing"
+
+	"gcsim/internal/mem"
+	"gcsim/internal/scheme"
+)
+
+// testMutator is a minimal stand-in for the VM: a memory, a few registers,
+// a stack, and a static area, with helpers to build objects through a
+// collector.
+type testMutator struct {
+	m     *mem.Memory
+	regs  []scheme.Word
+	sp    uint64
+	insns uint64
+	col   Collector
+}
+
+func newMutator(col Collector) *testMutator {
+	t := &testMutator{m: mem.New(nil), sp: mem.StackBase, col: col, regs: make([]scheme.Word, 2)}
+	col.Attach(Env{
+		Mem: t.m,
+		RegisterRoots: func(visit func(*scheme.Word)) {
+			for i := range t.regs {
+				visit(&t.regs[i])
+			}
+		},
+		StackTop:    func() uint64 { return t.sp },
+		StaticEnd:   func() uint64 { return t.m.StaticNext() },
+		ChargeInsns: func(n uint64) { t.insns += n },
+	})
+	return t
+}
+
+// cons allocates a pair through the collector.
+func (t *testMutator) cons(car, cdr scheme.Word) scheme.Word {
+	addr := t.col.Alloc(3)
+	t.m.Store(addr, scheme.MakeHeader(scheme.KindPair, 2))
+	t.m.Store(addr+1, car)
+	t.m.Store(addr+2, cdr)
+	t.col.WriteBarrier(addr+1, car)
+	t.col.WriteBarrier(addr+2, cdr)
+	return scheme.FromPtr(addr)
+}
+
+// car/cdr read through the simulated memory.
+func (t *testMutator) car(p scheme.Word) scheme.Word { return t.m.Load(scheme.PtrAddr(p) + 1) }
+func (t *testMutator) cdr(p scheme.Word) scheme.Word { return t.m.Load(scheme.PtrAddr(p) + 2) }
+
+// push makes a value a stack root.
+func (t *testMutator) push(w scheme.Word) {
+	t.m.Store(t.sp, w)
+	t.sp++
+}
+
+// staticCell allocates a KindCell in the static area holding w.
+func (t *testMutator) staticCell(w scheme.Word) uint64 {
+	addr := t.m.AllocStatic(2)
+	t.m.Poke(addr, scheme.MakeHeader(scheme.KindCell, 1))
+	t.m.Poke(addr+1, w)
+	return addr
+}
+
+// list builds a list of fixnums and returns the head pointer.
+func (t *testMutator) list(vals ...int64) scheme.Word {
+	out := scheme.Nil
+	for i := len(vals) - 1; i >= 0; i-- {
+		out = t.cons(scheme.FromFixnum(vals[i]), out)
+	}
+	return out
+}
+
+// checkList verifies a fixnum list survived intact.
+func checkList(t *testing.T, mut *testMutator, p scheme.Word, want ...int64) {
+	t.Helper()
+	for i, v := range want {
+		if !scheme.IsPtr(p) {
+			t.Fatalf("element %d: not a pair: %v", i, p)
+		}
+		if got := scheme.FixnumValue(mut.car(p)); got != v {
+			t.Fatalf("element %d = %d, want %d", i, got, v)
+		}
+		p = mut.cdr(p)
+	}
+	if p != scheme.Nil {
+		t.Fatalf("list tail = %v, want nil", p)
+	}
+}
+
+func TestNoGCLinearAllocation(t *testing.T) {
+	mut := newMutator(NewNoGC())
+	a := mut.col.Alloc(3)
+	b := mut.col.Alloc(5)
+	if b != a+3 {
+		t.Errorf("allocation not linear: %#x then %#x", a, b)
+	}
+	if mut.col.NeedsCollect() {
+		t.Error("NoGC should never need collection")
+	}
+	mut.col.Collect() // must be a harmless no-op
+	if mut.col.Epoch() != 0 {
+		t.Error("NoGC epoch must stay 0")
+	}
+	if mut.col.HeapWords() != 8 {
+		t.Errorf("HeapWords = %d, want 8", mut.col.HeapWords())
+	}
+	if mut.col.Name() != "none" {
+		t.Errorf("name = %q", mut.col.Name())
+	}
+}
+
+func collectors(t *testing.T) map[string]func() Collector {
+	return map[string]func() Collector{
+		"cheney":       func() Collector { return NewCheney(64 << 10) },
+		"generational": func() Collector { return NewGenerational(16<<10, 64<<10) },
+		"aggressive":   func() Collector { return NewAggressive(8<<10, 64<<10) },
+		"marksweep":    func() Collector { return NewMarkSweep(64 << 10) },
+	}
+}
+
+func TestCollectorsPreserveRoots(t *testing.T) {
+	for name, mk := range collectors(t) {
+		t.Run(name, func(t *testing.T) {
+			mut := newMutator(mk())
+			// A register root, a stack root, and a static-cell root.
+			mut.regs[0] = mut.list(1, 2, 3)
+			stackList := mut.list(10, 20)
+			mut.push(stackList)
+			cellAddr := mut.staticCell(scheme.Nil)
+			held := mut.list(7)
+			mut.m.Store(cellAddr+1, held)
+			mut.col.WriteBarrier(cellAddr+1, held)
+			// Garbage that must be reclaimed.
+			for i := 0; i < 1000; i++ {
+				mut.cons(scheme.FromFixnum(int64(i)), scheme.Nil)
+			}
+			before := mut.col.Epoch()
+			mut.col.Collect()
+			_, isMarkSweep := mut.col.(*MarkSweep)
+			if !isMarkSweep && mut.col.Epoch() == before {
+				t.Fatal("epoch did not advance")
+			}
+			if isMarkSweep && mut.col.Epoch() != 0 {
+				t.Fatal("mark-sweep must never bump the epoch (nothing moves)")
+			}
+			checkList(t, mut, mut.regs[0], 1, 2, 3)
+			checkList(t, mut, mut.m.Load(mut.sp-1), 10, 20)
+			checkList(t, mut, mut.m.Load(cellAddr+1), 7)
+		})
+	}
+}
+
+func TestCollectorsReclaimGarbage(t *testing.T) {
+	for name, mk := range collectors(t) {
+		t.Run(name, func(t *testing.T) {
+			mut := newMutator(mk())
+			mut.regs[0] = mut.list(1)
+			for i := 0; i < 5000; i++ {
+				mut.cons(scheme.FromFixnum(int64(i)), scheme.Nil)
+				if mut.col.NeedsCollect() {
+					mut.col.Collect()
+				}
+			}
+			st := mut.col.Stats()
+			if st.Collections == 0 {
+				t.Fatal("no collections happened")
+			}
+			// The only live data is one pair (plus promoted copies);
+			// surviving words must be tiny compared with total allocation.
+			if st.LiveAfterLast > 100 {
+				t.Errorf("LiveAfterLast = %d words, want tiny", st.LiveAfterLast)
+			}
+			checkList(t, mut, mut.regs[0], 1)
+		})
+	}
+}
+
+func TestSharingPreservedAcrossCollection(t *testing.T) {
+	for name, mk := range collectors(t) {
+		t.Run(name, func(t *testing.T) {
+			mut := newMutator(mk())
+			shared := mut.list(42)
+			mut.regs[0] = mut.cons(shared, shared)
+			mut.col.Collect()
+			p := mut.regs[0]
+			if mut.car(p) != mut.cdr(p) {
+				t.Error("sharing lost: car and cdr should be the same pointer")
+			}
+			checkList(t, mut, mut.car(p), 42)
+		})
+	}
+}
+
+func TestCycleSurvivesCollection(t *testing.T) {
+	for name, mk := range collectors(t) {
+		t.Run(name, func(t *testing.T) {
+			mut := newMutator(mk())
+			p := mut.cons(scheme.FromFixnum(1), scheme.Nil)
+			// Make it circular: (cdr p) = p.
+			mut.m.Store(scheme.PtrAddr(p)+2, p)
+			mut.col.WriteBarrier(scheme.PtrAddr(p)+2, p)
+			mut.regs[0] = p
+			mut.col.Collect()
+			q := mut.regs[0]
+			if mut.cdr(q) != q {
+				t.Error("cycle broken by collection")
+			}
+			if scheme.FixnumValue(mut.car(q)) != 1 {
+				t.Error("cycle payload lost")
+			}
+		})
+	}
+}
+
+func TestCheneyFlipsAndGrows(t *testing.T) {
+	col := NewCheney(8 << 10) // 1Ki words per semispace
+	mut := newMutator(col)
+	// Keep an ever-growing live list so survivors eventually crowd the
+	// semispace and force growth.
+	mut.regs[0] = scheme.Nil
+	for i := 0; i < 3000; i++ {
+		mut.regs[0] = mut.cons(scheme.FromFixnum(int64(i)), mut.regs[0])
+		if col.NeedsCollect() {
+			col.Collect()
+		}
+	}
+	if col.SemispaceBytes() <= 8<<10 {
+		t.Errorf("semispace did not grow: %d", col.SemispaceBytes())
+	}
+	// Verify the whole list survived, newest first.
+	p := mut.regs[0]
+	for i := int64(2999); i >= 0; i-- {
+		if scheme.FixnumValue(mut.car(p)) != i {
+			t.Fatalf("list corrupted at %d", i)
+		}
+		p = mut.cdr(p)
+	}
+}
+
+func TestGenerationalPromotesAndMajors(t *testing.T) {
+	col := NewGenerational(4<<10, 16<<10)
+	mut := newMutator(col)
+	mut.regs[0] = scheme.Nil
+	for i := 0; i < 20000; i++ {
+		// Alternate live and dead allocation.
+		if i%8 == 0 {
+			mut.regs[0] = mut.cons(scheme.FromFixnum(int64(i)), mut.regs[0])
+		} else {
+			mut.cons(scheme.FromFixnum(int64(i)), scheme.Nil)
+		}
+		if col.NeedsCollect() {
+			col.Collect()
+		}
+	}
+	st := col.Stats()
+	if st.MajorCollections == 0 {
+		t.Error("expected at least one major collection")
+	}
+	if st.Collections <= st.MajorCollections {
+		t.Error("expected minor collections too")
+	}
+	// Check list intact.
+	p := mut.regs[0]
+	n := 0
+	for p != scheme.Nil {
+		n++
+		p = mut.cdr(p)
+	}
+	if n != 20000/8 {
+		t.Errorf("live list length = %d, want %d", n, 20000/8)
+	}
+}
+
+func TestWriteBarrierRemembersOldToYoung(t *testing.T) {
+	col := NewGenerational(4<<10, 64<<10)
+	mut := newMutator(col)
+	// Build an old object: allocate, then force a minor collection so it
+	// is promoted.
+	old := mut.cons(scheme.FromFixnum(0), scheme.Nil)
+	mut.regs[0] = old
+	col.Collect()
+	old = mut.regs[0]
+	// Now mutate the old object to point at a fresh nursery object, with
+	// no other reference to the young object.
+	young := mut.cons(scheme.FromFixnum(99), scheme.Nil)
+	mut.m.Store(scheme.PtrAddr(old)+1, young)
+	col.WriteBarrier(scheme.PtrAddr(old)+1, young)
+	if col.Stats().BarrierHits == 0 {
+		t.Fatal("barrier did not record the old-to-young store")
+	}
+	col.Collect()
+	checkList(t, mut, mut.car(mut.regs[0]), 99)
+}
+
+func TestWriteBarrierIgnoresIrrelevantStores(t *testing.T) {
+	col := NewGenerational(4<<10, 64<<10)
+	mut := newMutator(col)
+	young := mut.cons(scheme.FromFixnum(1), scheme.Nil)
+	// Nursery-to-nursery store: no hit.
+	young2 := mut.cons(young, scheme.Nil)
+	_ = young2
+	// Non-pointer store: no hit.
+	cell := mut.staticCell(scheme.Nil)
+	mut.m.Store(cell+1, scheme.FromFixnum(5))
+	col.WriteBarrier(cell+1, scheme.FromFixnum(5))
+	if col.Stats().BarrierHits != 0 {
+		t.Errorf("BarrierHits = %d, want 0", col.Stats().BarrierHits)
+	}
+	if col.Stats().BarrierChecks == 0 {
+		t.Error("BarrierChecks should count")
+	}
+	// Duplicate remembered slots are recorded once.
+	mut.m.Store(cell+1, young)
+	col.WriteBarrier(cell+1, young)
+	col.WriteBarrier(cell+1, young)
+	if col.Stats().BarrierHits != 1 {
+		t.Errorf("BarrierHits = %d, want 1 (dedup)", col.Stats().BarrierHits)
+	}
+}
+
+func TestCollectorRefsAreTracedAsGC(t *testing.T) {
+	col := NewCheney(32 << 10)
+	mut := newMutator(col)
+	mut.regs[0] = mut.list(1, 2, 3)
+	gcRefsBefore := mut.m.C.GCRefs()
+	col.Collect()
+	if mut.m.C.GCRefs() == gcRefsBefore {
+		t.Error("collection produced no collector-mode references")
+	}
+	if mut.m.CollectorMode() {
+		t.Error("collector mode left enabled")
+	}
+	if mut.insns == 0 {
+		t.Error("collection charged no instructions")
+	}
+}
+
+func TestStringsAndFlonumsNotScanned(t *testing.T) {
+	// A string payload can contain raw words that look like pointers;
+	// the collector must copy them verbatim without chasing them.
+	for name, mk := range collectors(t) {
+		t.Run(name, func(t *testing.T) {
+			mut := newMutator(mk())
+			addr := mut.col.Alloc(3)
+			mut.m.Store(addr, scheme.MakeHeader(scheme.KindString, 2))
+			mut.m.Store(addr+1, scheme.FromFixnum(8))
+			raw := scheme.Word(0xdeadbeef1) // tag bits 001: fake pointer
+			mut.m.Store(addr+2, raw)
+			mut.regs[0] = scheme.FromPtr(addr)
+			mut.col.Collect()
+			got := mut.m.Peek(scheme.PtrAddr(mut.regs[0]) + 2)
+			if got != raw {
+				t.Errorf("string payload altered: %#x -> %#x", uint64(raw), uint64(got))
+			}
+		})
+	}
+}
+
+func TestFactory(t *testing.T) {
+	for _, name := range Names {
+		col, err := New(name, Options{})
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if col.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, col.Name())
+		}
+	}
+	if _, err := New("mark-and-sweep", Options{}); err == nil {
+		t.Error("unknown collector accepted")
+	}
+	if c, err := New("", Options{}); err != nil || c.Name() != "none" {
+		t.Error("empty name should mean none")
+	}
+	if c, _ := New("aggressive", Options{}); c.(*Generational).NurseryBytes() != AggressiveNurseryBytes {
+		t.Error("aggressive default nursery wrong")
+	}
+}
+
+func TestDeterministicCollections(t *testing.T) {
+	// Two identical runs must produce identical reference counts — the
+	// experiments depend on reproducibility.
+	run := func() (uint64, uint64) {
+		col := NewGenerational(4<<10, 32<<10)
+		mut := newMutator(col)
+		mut.regs[0] = scheme.Nil
+		cell := mut.staticCell(scheme.Nil)
+		for i := 0; i < 10000; i++ {
+			p := mut.cons(scheme.FromFixnum(int64(i)), mut.regs[0])
+			if i%17 == 0 {
+				mut.regs[0] = p
+			}
+			if i%29 == 0 {
+				mut.m.Store(cell+1, p)
+				col.WriteBarrier(cell+1, p)
+			}
+			if col.NeedsCollect() {
+				col.Collect()
+			}
+		}
+		return mut.m.C.Refs(), mut.m.C.GCRefs()
+	}
+	r1, g1 := run()
+	r2, g2 := run()
+	if r1 != r2 || g1 != g2 {
+		t.Errorf("nondeterministic: run1=(%d,%d) run2=(%d,%d)", r1, g1, r2, g2)
+	}
+}

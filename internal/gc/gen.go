@@ -1,0 +1,204 @@
+package gc
+
+import (
+	"gcsim/internal/mem"
+	"gcsim/internal/scheme"
+)
+
+// Default generation sizes. The nursery is large relative to the cache, as
+// the paper recommends ("a generational collector should be run
+// infrequently"); the aggressive variant below shrinks it to cache size.
+const (
+	DefaultNurseryBytes    = 256 << 10
+	DefaultOldBytes        = 4 << 20
+	AggressiveNurseryBytes = 32 << 10
+)
+
+// Generational is a simple two-generation compacting collector: new
+// objects are allocated linearly in a nursery; a minor collection promotes
+// all nursery survivors en masse into the old generation; when the old
+// generation fills, a major collection copies it, semispace-style, into a
+// fresh space. A write barrier maintains the remembered set of old- and
+// static-area slots that point into the nursery, so minor collections need
+// not scan the older data.
+type Generational struct {
+	name                   string
+	env                    Env
+	nurseryWords, oldWords uint64
+	nursery                space
+	old                    [2]space
+	curOld                 int
+	rememberedSlots        []uint64 // insertion order, for determinism
+	rememberedSeen         map[uint64]struct{}
+	stats                  Stats
+	epoch                  uint64
+}
+
+// NewGenerational returns a two-generation collector with the given
+// nursery and old-generation sizes in bytes (defaults if zero).
+func NewGenerational(nurseryBytes, oldBytes int) *Generational {
+	return newGenerational("generational", nurseryBytes, oldBytes)
+}
+
+// NewAggressive returns the paper's strawman: the same generational
+// collector with a nursery sized to fit in the cache (32 KB by default),
+// which makes it run far more frequently and promote a larger fraction of
+// still-live young objects.
+func NewAggressive(nurseryBytes, oldBytes int) *Generational {
+	if nurseryBytes <= 0 {
+		nurseryBytes = AggressiveNurseryBytes
+	}
+	return newGenerational("aggressive", nurseryBytes, oldBytes)
+}
+
+func newGenerational(name string, nurseryBytes, oldBytes int) *Generational {
+	if nurseryBytes <= 0 {
+		nurseryBytes = DefaultNurseryBytes
+	}
+	if oldBytes <= 0 {
+		oldBytes = DefaultOldBytes
+	}
+	return &Generational{
+		name:           name,
+		nurseryWords:   uint64(nurseryBytes) / mem.WordBytes,
+		oldWords:       uint64(oldBytes) / mem.WordBytes,
+		rememberedSeen: make(map[uint64]struct{}),
+	}
+}
+
+// Name implements Collector.
+func (g *Generational) Name() string { return g.name }
+
+// Attach implements Collector.
+func (g *Generational) Attach(env Env) {
+	checkAttached(g.name, env)
+	g.env = env
+	g.nursery.reset(mem.DynBase, g.nurseryWords)
+	g.old[0].reset(mem.DynBase+gapWords, g.oldWords)
+	g.old[1].reset(mem.DynBase+2*gapWords, g.oldWords)
+}
+
+// Alloc implements Collector: bump allocation in the nursery.
+func (g *Generational) Alloc(words int) uint64 { return g.nursery.alloc(g.env.Mem, words) }
+
+// NeedsCollect implements Collector.
+func (g *Generational) NeedsCollect() bool { return g.nursery.next >= g.nursery.limit }
+
+// Collect implements Collector: always a minor collection, followed by a
+// major collection if the old generation has filled.
+func (g *Generational) Collect() {
+	g.minor()
+	if old := &g.old[g.curOld]; old.next >= old.limit {
+		g.major()
+	}
+}
+
+// minor evacuates all live nursery objects into the old generation.
+func (g *Generational) minor() {
+	m := g.env.Mem
+	to := &g.old[g.curOld]
+	scanStart := to.next
+
+	m.SetCollectorMode(true)
+	g.env.ChargeInsns(costPerCollection)
+	c := &copier{env: g.env, isFrom: g.nursery.contains, to: to, stats: &g.stats}
+	c.forwardRegisters()
+	c.forwardStack()
+	for _, slot := range g.rememberedSlots {
+		c.forwardSlot(slot)
+		g.env.ChargeInsns(costPerRoot)
+	}
+	c.scan(scanStart)
+	m.SetCollectorMode(false)
+
+	promoted := to.next - scanStart
+	g.nursery.reset(g.nursery.base, g.nurseryWords)
+	g.rememberedSlots = g.rememberedSlots[:0]
+	clear(g.rememberedSeen)
+	g.epoch++
+	g.stats.Collections++
+	g.stats.LiveAfterLast = promoted
+	m.C.Collections++
+	m.C.PromotedWords += promoted
+}
+
+// major evacuates the whole old generation (the nursery is empty, a minor
+// collection having just run) into the other old semispace.
+func (g *Generational) major() {
+	m := g.env.Mem
+	from := &g.old[g.curOld]
+	to := &g.old[1-g.curOld]
+	to.reset(to.base, g.oldWords)
+
+	m.SetCollectorMode(true)
+	g.env.ChargeInsns(costPerCollection)
+	c := &copier{env: g.env, isFrom: from.contains, to: to, stats: &g.stats}
+	c.forwardRegisters()
+	c.forwardStack()
+	c.forwardStatic()
+	c.scan(to.base)
+	m.SetCollectorMode(false)
+
+	g.curOld = 1 - g.curOld
+	g.epoch++
+	g.stats.Collections++
+	g.stats.MajorCollections++
+	g.stats.LiveAfterLast = to.used()
+	m.C.Collections++
+	m.C.PromotedWords += to.used()
+
+	if live := to.used(); live*4 >= g.oldWords*3 {
+		g.oldWords = live * 4
+		g.old[0].limit = g.old[0].base + g.oldWords
+		g.old[1].limit = g.old[1].base + g.oldWords
+	}
+}
+
+// WriteBarrier implements Collector: remember old- and static-area slots
+// that receive pointers into the nursery. Stack slots are roots of every
+// minor collection and need no remembering.
+func (g *Generational) WriteBarrier(slot uint64, val scheme.Word) {
+	g.stats.BarrierChecks++
+	if !scheme.IsPtr(val) {
+		return
+	}
+	if !g.nursery.contains(scheme.PtrAddr(val)) {
+		return
+	}
+	if g.nursery.contains(slot) || slot < mem.StaticBase {
+		return // nursery-internal or stack slot
+	}
+	if _, dup := g.rememberedSeen[slot]; dup {
+		return
+	}
+	g.rememberedSeen[slot] = struct{}{}
+	g.rememberedSlots = append(g.rememberedSlots, slot)
+	g.stats.BarrierHits++
+	g.env.Mem.C.BarrierHits++
+	g.env.ChargeInsns(costPerBarrierHit)
+}
+
+// Epoch implements Collector.
+func (g *Generational) Epoch() uint64 { return g.epoch }
+
+// Stats implements Collector.
+func (g *Generational) Stats() *Stats { return &g.stats }
+
+// HeapWords implements Collector.
+func (g *Generational) HeapWords() uint64 {
+	return g.nursery.used() + g.old[g.curOld].used()
+}
+
+// NurseryBytes returns the nursery size.
+func (g *Generational) NurseryBytes() int { return int(g.nurseryWords * mem.WordBytes) }
+
+// BarrierCost is the mutator-side instruction cost of one write-barrier
+// check, charged by the VM on every pointer store when a generational
+// collector is installed.
+const BarrierCost = costPerBarrier
+
+var (
+	_ Collector = (*NoGC)(nil)
+	_ Collector = (*Cheney)(nil)
+	_ Collector = (*Generational)(nil)
+)

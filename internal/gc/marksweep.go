@@ -1,0 +1,227 @@
+package gc
+
+import (
+	"gcsim/internal/mem"
+	"gcsim/internal/scheme"
+)
+
+// MarkSweep is a non-compacting, non-moving mark-and-sweep collector, the
+// style Zorn compared against copying collection in the work the paper's
+// Section 2 surveys. Objects are allocated first-fit from a free list
+// carved out of a contiguous heap; collection marks the reachable graph
+// in place (a bit in each object header) and sweeps the heap linearly,
+// coalescing dead neighbours into free holes.
+//
+// Because nothing ever moves, the collector needs no write barrier, never
+// forwards a pointer — and never invalidates the runtime's address-hashed
+// tables, so programs pay no post-collection rehash (ΔI_prog from
+// rehashing is zero, in contrast to every compacting collector here).
+// The price is external fragmentation and the loss of the allocation
+// wave: after the first collection, allocation revisits old holes instead
+// of sweeping linearly through the cache.
+type MarkSweep struct {
+	env      Env
+	heapEnd  uint64 // frontier of the carved heap region
+	sizeGoal uint64 // nominal heap words before a collection is wanted
+	free     *hole  // address-ordered free list
+	wantGC   bool
+	alloced  uint64 // words allocated since the last collection
+	stats    Stats
+}
+
+// hole is a free-list node (host-side bookkeeping; the hole itself also
+// carries a KindFree header in simulated memory so sweeps can walk it).
+type hole struct {
+	addr, size uint64
+	next       *hole
+}
+
+// DefaultMarkSweepBytes is the default heap size goal.
+const DefaultMarkSweepBytes = 4 << 20
+
+// NewMarkSweep returns a mark-sweep collector with the given heap size
+// goal in bytes (DefaultMarkSweepBytes if zero).
+func NewMarkSweep(heapBytes int) *MarkSweep {
+	if heapBytes <= 0 {
+		heapBytes = DefaultMarkSweepBytes
+	}
+	return &MarkSweep{sizeGoal: uint64(heapBytes) / mem.WordBytes}
+}
+
+// Name implements Collector.
+func (g *MarkSweep) Name() string { return "marksweep" }
+
+// Attach implements Collector.
+func (g *MarkSweep) Attach(env Env) {
+	checkAttached(g.Name(), env)
+	g.env = env
+	g.heapEnd = mem.DynBase
+}
+
+// Alloc implements Collector: first-fit from the free list, extending the
+// heap when no hole fits.
+func (g *MarkSweep) Alloc(words int) uint64 {
+	need := uint64(words)
+	g.alloced += need
+	if g.alloced >= g.sizeGoal {
+		g.wantGC = true
+	}
+	var prev *hole
+	for h := g.free; h != nil; prev, h = h, h.next {
+		if h.size < need {
+			continue
+		}
+		addr := h.addr
+		if h.size == need {
+			if prev == nil {
+				g.free = h.next
+			} else {
+				prev.next = h.next
+			}
+		} else {
+			h.addr += need
+			h.size -= need
+			// Rewrite the shrunk hole's header (mutator-time traffic).
+			g.env.Mem.Store(h.addr, scheme.MakeHeader(scheme.KindFree, int(h.size-1)))
+		}
+		g.env.ChargeInsns(costPerRoot) // free-list search is mutator work, but cheap
+		return addr
+	}
+	// No hole fits: extend the heap frontier.
+	addr := g.heapEnd
+	g.heapEnd += need
+	g.env.Mem.EnsureDynamic(addr, g.heapEnd)
+	return addr
+}
+
+// NeedsCollect implements Collector.
+func (g *MarkSweep) NeedsCollect() bool { return g.wantGC }
+
+// Collect implements Collector: mark from the roots, sweep the heap.
+func (g *MarkSweep) Collect() {
+	m := g.env.Mem
+	m.SetCollectorMode(true)
+	g.env.ChargeInsns(costPerCollection)
+
+	// Mark phase: trace the reachable graph with an explicit worklist.
+	var work []uint64
+	visit := func(w scheme.Word) {
+		if !scheme.IsPtr(w) {
+			return
+		}
+		addr := scheme.PtrAddr(w)
+		if addr < mem.DynBase || addr >= g.heapEnd {
+			return
+		}
+		h := m.Load(addr)
+		if scheme.IsMarked(h) {
+			return
+		}
+		m.Store(addr, scheme.WithMark(h))
+		g.env.ChargeInsns(costPerScannedSlot)
+		if scannableKind(scheme.HeaderKind(h)) {
+			work = append(work, addr)
+		}
+	}
+	g.env.RegisterRoots(func(slot *scheme.Word) {
+		visit(*slot)
+		g.env.ChargeInsns(costPerRoot)
+	})
+	top := g.env.StackTop()
+	for a := mem.StackBase; a < top; a++ {
+		visit(m.Load(a))
+	}
+	g.env.ChargeInsns((top - mem.StackBase) * costPerRoot)
+	staticEnd := g.env.StaticEnd()
+	for p := mem.StaticBase; p < staticEnd; {
+		h := m.Load(p)
+		size := objectSize(h)
+		if scannableKind(scheme.HeaderKind(h)) {
+			for i := 1; i < size; i++ {
+				visit(m.Load(p + uint64(i)))
+			}
+		}
+		p += uint64(size)
+	}
+	for len(work) > 0 {
+		addr := work[len(work)-1]
+		work = work[:len(work)-1]
+		h := m.Load(addr)
+		size := objectSize(h)
+		for i := 1; i < size; i++ {
+			visit(m.Load(addr + uint64(i)))
+		}
+		g.env.ChargeInsns(uint64(size-1) * costPerScannedSlot)
+	}
+
+	// Sweep phase: rebuild the free list in address order, coalescing.
+	g.free = nil
+	var tail *hole
+	var pendingHole *hole
+	live := uint64(0)
+	appendHole := func(addr, size uint64) {
+		if pendingHole != nil && pendingHole.addr+pendingHole.size == addr {
+			pendingHole.size += size
+			return
+		}
+		h := &hole{addr: addr, size: size}
+		if tail == nil {
+			g.free = h
+		} else {
+			tail.next = h
+		}
+		tail = h
+		pendingHole = h
+	}
+	for p := mem.DynBase; p < g.heapEnd; {
+		h := m.Load(p)
+		size := uint64(objectSize(h))
+		switch {
+		case scheme.IsMarked(h):
+			m.Store(p, scheme.WithoutMark(h))
+			live += size
+		default:
+			appendHole(p, size)
+		}
+		g.env.ChargeInsns(2)
+		p += size
+	}
+	// Write the coalesced hole headers so future sweeps can walk them.
+	for h := g.free; h != nil; h = h.next {
+		m.Store(h.addr, scheme.MakeHeader(scheme.KindFree, int(h.size-1)))
+	}
+	m.SetCollectorMode(false)
+
+	g.wantGC = false
+	g.alloced = 0
+	g.stats.Collections++
+	g.stats.MajorCollections++
+	g.stats.LiveAfterLast = live
+	m.C.Collections++
+	// Grow the goal if the heap is mostly live.
+	if live*4 >= g.sizeGoal*3 {
+		g.sizeGoal = live * 4
+	}
+}
+
+// WriteBarrier implements Collector: a non-moving whole-heap collector
+// needs none.
+func (g *MarkSweep) WriteBarrier(slot uint64, val scheme.Word) {}
+
+// Epoch implements Collector: objects never move, so address-hashed
+// tables never need rehashing.
+func (g *MarkSweep) Epoch() uint64 { return 0 }
+
+// Stats implements Collector.
+func (g *MarkSweep) Stats() *Stats { return &g.stats }
+
+// HeapWords implements Collector: the carved heap minus the free list.
+func (g *MarkSweep) HeapWords() uint64 {
+	freeWords := uint64(0)
+	for h := g.free; h != nil; h = h.next {
+		freeWords += h.size
+	}
+	return (g.heapEnd - mem.DynBase) - freeWords
+}
+
+var _ Collector = (*MarkSweep)(nil)

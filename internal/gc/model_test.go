@@ -1,0 +1,194 @@
+package gc
+
+import (
+	"math/rand"
+	"testing"
+
+	"gcsim/internal/scheme"
+)
+
+// Model-based randomized testing: a Go-side mirror of the object graph is
+// mutated in lockstep with the simulated heap through long random
+// sequences of allocations, mutations, root changes, and collections.
+// After every collection burst the two graphs must be isomorphic,
+// including sharing and cycles.
+
+type modelNode struct {
+	isPair   bool
+	val      int64
+	car, cdr *modelNode
+}
+
+type modelState struct {
+	mut *testMutator
+	rng *rand.Rand
+	// roots: model and simulated sides, kept in lockstep. Index 0 mirrors
+	// regs[0]; the rest mirror stack slots.
+	modelRoots []*modelNode
+}
+
+// encode returns the simulated word for a model leaf or the simulated
+// address found by walking from a root. Pair nodes are tracked implicitly:
+// the test only creates pairs through both sides simultaneously, so the
+// simulated value is passed alongside.
+func (s *modelState) randomLive() (int, *modelNode) {
+	// Pick a random root index that holds a pair, if any.
+	idxs := s.rng.Perm(len(s.modelRoots))
+	for _, i := range idxs {
+		if s.modelRoots[i] != nil && s.modelRoots[i].isPair {
+			return i, s.modelRoots[i]
+		}
+	}
+	return -1, nil
+}
+
+// simRoot reads the simulated word for root i.
+func (s *modelState) simRoot(i int) scheme.Word {
+	if i == 0 {
+		return s.mut.regs[0]
+	}
+	return s.mut.m.Peek(s.mut.sp - uint64(len(s.modelRoots)-i))
+}
+
+func (s *modelState) setSimRoot(i int, w scheme.Word) {
+	if i == 0 {
+		s.mut.regs[0] = w
+		return
+	}
+	addr := s.mut.sp - uint64(len(s.modelRoots)-i)
+	s.mut.m.Store(addr, w)
+}
+
+// walk returns the simulated word reached by following path (a series of
+// car/cdr hops) from root i, alongside the model node.
+func (s *modelState) step(w scheme.Word, node *modelNode, left bool) (scheme.Word, *modelNode) {
+	addr := scheme.PtrAddr(w)
+	if left {
+		return s.mut.m.Peek(addr + 1), node.car
+	}
+	return s.mut.m.Peek(addr + 2), node.cdr
+}
+
+// compare checks isomorphism between the model node and the simulated
+// word, with sharing verified through the correspondence map.
+func compareGraph(t *testing.T, s *modelState, w scheme.Word, n *modelNode, seen map[*modelNode]scheme.Word) bool {
+	t.Helper()
+	if n == nil {
+		return w == scheme.Nil
+	}
+	if !n.isPair {
+		return scheme.IsFixnum(w) && scheme.FixnumValue(w) == n.val
+	}
+	if prev, ok := seen[n]; ok {
+		return prev == w // sharing and cycles must map to the same address
+	}
+	if !scheme.IsPtr(w) {
+		return false
+	}
+	seen[n] = w
+	addr := scheme.PtrAddr(w)
+	return compareGraph(t, s, s.mut.m.Peek(addr+1), n.car, seen) &&
+		compareGraph(t, s, s.mut.m.Peek(addr+2), n.cdr, seen)
+}
+
+func runModel(t *testing.T, mk func() Collector, seed int64, steps int) {
+	t.Helper()
+	col := mk()
+	mut := newMutator(col)
+	rng := rand.New(rand.NewSource(seed))
+	s := &modelState{mut: mut, rng: rng, modelRoots: make([]*modelNode, 5)}
+	// Four stack-root slots mirror modelRoots[1..4].
+	for i := 1; i < len(s.modelRoots); i++ {
+		mut.push(scheme.Nil)
+	}
+	mut.regs[0] = scheme.Nil
+
+	leaf := func() (*modelNode, scheme.Word) {
+		v := rng.Int63n(1000)
+		return &modelNode{val: v}, scheme.FromFixnum(v)
+	}
+	// value picks a leaf or an existing root's graph.
+	value := func() (*modelNode, scheme.Word) {
+		if rng.Intn(3) == 0 {
+			if i, n := s.randomLive(); i >= 0 {
+				return n, s.simRoot(i)
+			}
+		}
+		if rng.Intn(4) == 0 {
+			return nil, scheme.Nil
+		}
+		return leaf()
+	}
+
+	for step := 0; step < steps; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // allocate a pair and store it in a root
+			carN, carW := value()
+			cdrN, cdrW := value()
+			w := mut.cons(carW, cdrW)
+			node := &modelNode{isPair: true, car: carN, cdr: cdrN}
+			ri := rng.Intn(len(s.modelRoots))
+			s.setSimRoot(ri, w)
+			s.modelRoots[ri] = node
+		case 4, 5: // mutate a random live pair
+			if i, n := s.randomLive(); i >= 0 {
+				vN, vW := value()
+				addr := scheme.PtrAddr(s.simRoot(i))
+				if rng.Intn(2) == 0 {
+					mut.m.Store(addr+1, vW)
+					col.WriteBarrier(addr+1, vW)
+					n.car = vN
+				} else {
+					mut.m.Store(addr+2, vW)
+					col.WriteBarrier(addr+2, vW)
+					n.cdr = vN
+				}
+			}
+		case 6: // drop a root
+			ri := rng.Intn(len(s.modelRoots))
+			s.setSimRoot(ri, scheme.Nil)
+			s.modelRoots[ri] = nil
+		case 7: // copy one root to another (creates sharing)
+			a, b := rng.Intn(len(s.modelRoots)), rng.Intn(len(s.modelRoots))
+			s.setSimRoot(b, s.simRoot(a))
+			s.modelRoots[b] = s.modelRoots[a]
+		case 8: // garbage churn
+			for i := 0; i < 50; i++ {
+				mut.cons(scheme.FromFixnum(int64(i)), scheme.Nil)
+			}
+		case 9: // collect
+			col.Collect()
+		}
+		if col.NeedsCollect() {
+			col.Collect()
+		}
+		if step%97 == 0 || step == steps-1 {
+			for i, n := range s.modelRoots {
+				if !compareGraph(t, s, s.simRoot(i), n, map[*modelNode]scheme.Word{}) {
+					t.Fatalf("seed %d step %d: root %d diverged under %s",
+						seed, step, i, col.Name())
+				}
+			}
+		}
+	}
+	if col.Stats().Collections == 0 && col.Name() != "none" {
+		t.Fatalf("seed %d: no collections under %s", seed, col.Name())
+	}
+}
+
+func TestModelRandomGraphs(t *testing.T) {
+	makers := map[string]func() Collector{
+		"cheney":       func() Collector { return NewCheney(8 << 10) },
+		"generational": func() Collector { return NewGenerational(4<<10, 32<<10) },
+		"aggressive":   func() Collector { return NewAggressive(2<<10, 32<<10) },
+		"marksweep":    func() Collector { return NewMarkSweep(8 << 10) },
+	}
+	for name, mk := range makers {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 8; seed++ {
+				runModel(t, mk, seed, 1500)
+			}
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package gc
+
+import (
+	"gcsim/internal/mem"
+	"gcsim/internal/scheme"
+)
+
+// NoGC is the paper's Section 5 control configuration: the collector is
+// disabled and data objects are allocated linearly in a single contiguous
+// area that grows without bound. The allocation pointer starts at the base
+// of the dynamic area and sweeps upward for the entire run.
+type NoGC struct {
+	env   Env
+	sp    space
+	stats Stats
+}
+
+// NewNoGC returns the disabled collector.
+func NewNoGC() *NoGC { return &NoGC{} }
+
+// Name implements Collector.
+func (n *NoGC) Name() string { return "none" }
+
+// Attach implements Collector.
+func (n *NoGC) Attach(env Env) {
+	checkAttached(n.Name(), env)
+	n.env = env
+	n.sp.reset(mem.DynBase, 1<<62) // effectively unbounded
+}
+
+// Alloc implements Collector: pure linear allocation.
+func (n *NoGC) Alloc(words int) uint64 { return n.sp.alloc(n.env.Mem, words) }
+
+// NeedsCollect implements Collector: never.
+func (n *NoGC) NeedsCollect() bool { return false }
+
+// Collect implements Collector: a no-op.
+func (n *NoGC) Collect() {}
+
+// WriteBarrier implements Collector: a no-op.
+func (n *NoGC) WriteBarrier(slot uint64, val scheme.Word) {}
+
+// Epoch implements Collector: always zero, since nothing ever moves.
+func (n *NoGC) Epoch() uint64 { return 0 }
+
+// Stats implements Collector.
+func (n *NoGC) Stats() *Stats { return &n.stats }
+
+// HeapWords implements Collector.
+func (n *NoGC) HeapWords() uint64 { return n.sp.used() }

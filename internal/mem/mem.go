@@ -1,0 +1,276 @@
+// Package mem implements the simulated word-addressed memory in which all
+// Scheme data lives: a static area (symbols, quoted constants, global cells),
+// a contiguous procedure-call/value stack, and a dynamic area managed by a
+// garbage collector (or by nothing at all, for the paper's control
+// experiment).
+//
+// Every Load and Store is a data reference in the sense of the paper: it is
+// counted, and optionally forwarded to a Tracer (typically a cache-simulator
+// bank and/or a behaviour analyzer). Addresses are *word* addresses; one
+// word is eight bytes. The three regions are placed at widely separated
+// bases so that an address identifies its region, exactly as a
+// virtually-indexed cache would see distinct parts of one address space.
+package mem
+
+import (
+	"fmt"
+
+	"gcsim/internal/scheme"
+)
+
+// Region bases and limits, in words. The stack sits low, the static area in
+// the middle, and the dynamic area on top with effectively unbounded room to
+// grow upward (the control experiment never reuses dynamic memory).
+//
+// The static and dynamic bases are staggered by odd block offsets so the
+// busiest blocks of each region — the stack bottom, the global cells, and
+// the long-lived closures created by top-level definitions at the start of
+// the dynamic area — do not all map to the same cache blocks in every
+// power-of-two direct-mapped cache. Real systems lay their areas out this
+// way (deliberately or by accident of linking); with perfectly congruent
+// bases every program would exhibit the paper's thrashing worst case by
+// construction rather than by chance.
+const (
+	StackBase  uint64 = 1 << 16        // byte address 512 KiB
+	StackLimit uint64 = 1 << 21        // 2 Mi words = 16 MiB of stack
+	StaticBase uint64 = 1<<24 + 0x2a00 // byte address 128 MiB + 84 KiB
+	DynBase    uint64 = 1<<28 + 0x1540 // byte address 2 GiB + 43.5 KiB
+)
+
+// WordBytes is the size of one simulated word in bytes.
+const WordBytes = 8
+
+// Region classifies an address.
+type Region uint8
+
+// The three address-space regions.
+const (
+	RegionStack Region = iota
+	RegionStatic
+	RegionDynamic
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionStack:
+		return "stack"
+	case RegionStatic:
+		return "static"
+	default:
+		return "dynamic"
+	}
+}
+
+// RegionOf classifies a word address.
+func RegionOf(addr uint64) Region {
+	switch {
+	case addr >= DynBase:
+		return RegionDynamic
+	case addr >= StaticBase:
+		return RegionStatic
+	default:
+		return RegionStack
+	}
+}
+
+// A Tracer observes every simulated data reference. Collector references
+// (made while the garbage collector runs) are flagged so that observers can
+// keep the paper's M_gc / M_prog split and apply the collector's
+// fetch-on-write policy.
+type Tracer interface {
+	// Ref observes one word-sized data reference at word address addr.
+	Ref(addr uint64, write, collector bool)
+}
+
+// Counters aggregates the raw reference and allocation counts for a run,
+// split between the program and the collector as in the paper's Section 6.
+type Counters struct {
+	Loads, Stores       uint64 // program data references
+	GCLoads, GCStores   uint64 // collector data references
+	AllocWords          uint64 // dynamic words allocated by the program
+	AllocObjects        uint64 // dynamic objects allocated by the program
+	StaticWords         uint64 // words allocated in the static area
+	Collections         uint64 // collector invocations
+	PromotedWords       uint64 // words copied/promoted by collectors
+	BarrierHits         uint64 // write-barrier remembered-set insertions
+	AllocBytesHighWater uint64 // peak dynamic bytes in use
+}
+
+// Refs returns the total number of program data references.
+func (c *Counters) Refs() uint64 { return c.Loads + c.Stores }
+
+// GCRefs returns the total number of collector data references.
+func (c *Counters) GCRefs() uint64 { return c.GCLoads + c.GCStores }
+
+// The dynamic area is paged: collectors place their spaces at widely
+// separated bases (so a space can overshoot its soft limit without
+// colliding with a neighbour), and a two-level table keeps the sparse span
+// cheap. One page is 64 Ki words (512 KiB).
+const (
+	pageShift = 16
+	pageWords = 1 << pageShift
+	pageMask  = pageWords - 1
+)
+
+// Memory is the simulated address space.
+type Memory struct {
+	stack  []scheme.Word   // indexed by addr-StackBase
+	static []scheme.Word   // indexed by addr-StaticBase, grows
+	dyn    [][]scheme.Word // page table indexed by (addr-DynBase)>>pageShift
+
+	staticNext uint64 // next free static word address
+	dynWords   uint64 // words of dynamic backing store allocated
+	tracer     Tracer
+	collector  bool // true while a garbage collector is running
+
+	C Counters
+}
+
+// New creates an empty memory with an optional tracer (nil for untraced
+// runs, e.g. unit tests of the VM's semantics).
+func New(tracer Tracer) *Memory {
+	return &Memory{
+		stack:      make([]scheme.Word, StackLimit-StackBase),
+		staticNext: StaticBase,
+		tracer:     tracer,
+	}
+}
+
+// SetTracer replaces the tracer; a nil tracer disables reference
+// observation but not counting.
+func (m *Memory) SetTracer(t Tracer) { m.tracer = t }
+
+// Tracer returns the current tracer.
+func (m *Memory) Tracer() Tracer { return m.tracer }
+
+// SetCollectorMode flags subsequent references as collector references.
+func (m *Memory) SetCollectorMode(on bool) { m.collector = on }
+
+// CollectorMode reports whether collector mode is active.
+func (m *Memory) CollectorMode() bool { return m.collector }
+
+// Load reads the word at addr, counting and tracing the reference.
+func (m *Memory) Load(addr uint64) scheme.Word {
+	if m.collector {
+		m.C.GCLoads++
+	} else {
+		m.C.Loads++
+	}
+	if m.tracer != nil {
+		m.tracer.Ref(addr, false, m.collector)
+	}
+	return m.load(addr)
+}
+
+// Store writes the word at addr, counting and tracing the reference.
+func (m *Memory) Store(addr uint64, w scheme.Word) {
+	if m.collector {
+		m.C.GCStores++
+	} else {
+		m.C.Stores++
+	}
+	if m.tracer != nil {
+		m.tracer.Ref(addr, true, m.collector)
+	}
+	m.store(addr, w)
+}
+
+// Peek reads a word without counting a reference. It is for inspection by
+// tests, printers, and analysis code — never for simulated execution.
+func (m *Memory) Peek(addr uint64) scheme.Word { return m.load(addr) }
+
+// Poke writes a word without counting a reference. It is for test setup
+// only.
+func (m *Memory) Poke(addr uint64, w scheme.Word) { m.store(addr, w) }
+
+func (m *Memory) load(addr uint64) scheme.Word {
+	switch {
+	case addr >= DynBase:
+		i := addr - DynBase
+		pi := i >> pageShift
+		if pi >= uint64(len(m.dyn)) || m.dyn[pi] == nil {
+			panic(fmt.Sprintf("mem: load beyond dynamic area: %#x", addr))
+		}
+		return m.dyn[pi][i&pageMask]
+	case addr >= StaticBase:
+		i := addr - StaticBase
+		if i >= uint64(len(m.static)) {
+			panic(fmt.Sprintf("mem: load beyond static area: %#x", addr))
+		}
+		return m.static[i]
+	default:
+		if addr < StackBase || addr >= StackLimit {
+			panic(fmt.Sprintf("mem: load outside stack: %#x", addr))
+		}
+		return m.stack[addr-StackBase]
+	}
+}
+
+func (m *Memory) store(addr uint64, w scheme.Word) {
+	switch {
+	case addr >= DynBase:
+		i := addr - DynBase
+		pi := i >> pageShift
+		if pi >= uint64(len(m.dyn)) || m.dyn[pi] == nil {
+			panic(fmt.Sprintf("mem: store beyond dynamic area: %#x", addr))
+		}
+		m.dyn[pi][i&pageMask] = w
+	case addr >= StaticBase:
+		i := addr - StaticBase
+		if i >= uint64(len(m.static)) {
+			panic(fmt.Sprintf("mem: store beyond static area: %#x", addr))
+		}
+		m.static[i] = w
+	default:
+		if addr < StackBase || addr >= StackLimit {
+			panic(fmt.Sprintf("mem: store outside stack: %#x", addr))
+		}
+		m.stack[addr-StackBase] = w
+	}
+}
+
+// EnsureDynamic guarantees backing store for the dynamic word addresses in
+// [base, limit). Collectors and allocators call it before handing out
+// addresses. Pages are materialized lazily, so widely separated semispaces
+// cost only the words they actually use.
+func (m *Memory) EnsureDynamic(base, limit uint64) {
+	if limit <= base {
+		return
+	}
+	lastPage := (limit - 1 - DynBase) >> pageShift
+	if lastPage >= uint64(len(m.dyn)) {
+		grown := make([][]scheme.Word, lastPage+1+1024)
+		copy(grown, m.dyn)
+		m.dyn = grown
+	}
+	for pi := (base - DynBase) >> pageShift; pi <= lastPage; pi++ {
+		if m.dyn[pi] == nil {
+			m.dyn[pi] = make([]scheme.Word, pageWords)
+			m.dynWords += pageWords
+		}
+	}
+}
+
+// DynamicSize returns the number of dynamic words currently backed.
+func (m *Memory) DynamicSize() uint64 { return m.dynWords }
+
+// AllocStatic allocates size words in the static area and returns the
+// address of the first. Static allocation happens during program loading
+// (symbols, quoted constants, global cells) and is never reclaimed.
+func (m *Memory) AllocStatic(size int) uint64 {
+	addr := m.staticNext
+	m.staticNext += uint64(size)
+	need := m.staticNext - StaticBase
+	if need > uint64(len(m.static)) {
+		grown := make([]scheme.Word, roundUp(need, 1<<16))
+		copy(grown, m.static)
+		m.static = grown
+	}
+	m.C.StaticWords += uint64(size)
+	return addr
+}
+
+// StaticNext returns the next free static address (the static frontier).
+func (m *Memory) StaticNext() uint64 { return m.staticNext }
+
+func roundUp(n, to uint64) uint64 { return (n + to - 1) / to * to }

@@ -1,0 +1,171 @@
+package mem
+
+import (
+	"testing"
+
+	"gcsim/internal/scheme"
+)
+
+type recordingTracer struct {
+	refs []struct {
+		addr             uint64
+		write, collector bool
+	}
+}
+
+func (r *recordingTracer) Ref(addr uint64, write, collector bool) {
+	r.refs = append(r.refs, struct {
+		addr             uint64
+		write, collector bool
+	}{addr, write, collector})
+}
+
+func TestRegionOf(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		want Region
+	}{
+		{StackBase, RegionStack},
+		{StackBase + 100, RegionStack},
+		{StaticBase, RegionStatic},
+		{StaticBase + 1<<20, RegionStatic},
+		{DynBase, RegionDynamic},
+		{DynBase + 1<<30, RegionDynamic},
+	}
+	for _, c := range cases {
+		if got := RegionOf(c.addr); got != c.want {
+			t.Errorf("RegionOf(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if RegionStack.String() != "stack" || RegionStatic.String() != "static" || RegionDynamic.String() != "dynamic" {
+		t.Errorf("unexpected region names: %v %v %v", RegionStack, RegionStatic, RegionDynamic)
+	}
+}
+
+func TestStackLoadStore(t *testing.T) {
+	m := New(nil)
+	addr := StackBase + 17
+	m.Store(addr, scheme.FromFixnum(42))
+	if got := m.Load(addr); scheme.FixnumValue(got) != 42 {
+		t.Errorf("stack load = %v, want fixnum 42", got)
+	}
+	if m.C.Loads != 1 || m.C.Stores != 1 {
+		t.Errorf("counters = %+v, want 1 load 1 store", m.C)
+	}
+}
+
+func TestStaticAllocation(t *testing.T) {
+	m := New(nil)
+	a1 := m.AllocStatic(4)
+	a2 := m.AllocStatic(2)
+	if a1 != StaticBase {
+		t.Errorf("first static alloc at %#x, want %#x", a1, StaticBase)
+	}
+	if a2 != a1+4 {
+		t.Errorf("second static alloc at %#x, want %#x", a2, a1+4)
+	}
+	m.Store(a2+1, scheme.True)
+	if m.Load(a2+1) != scheme.True {
+		t.Error("static store/load mismatch")
+	}
+	if m.C.StaticWords != 6 {
+		t.Errorf("StaticWords = %d, want 6", m.C.StaticWords)
+	}
+}
+
+func TestStaticGrowth(t *testing.T) {
+	m := New(nil)
+	// Force several growth steps.
+	for i := 0; i < 100; i++ {
+		a := m.AllocStatic(1 << 12)
+		m.Store(a, scheme.FromFixnum(int64(i)))
+		if scheme.FixnumValue(m.Load(a)) != int64(i) {
+			t.Fatalf("static growth lost data at round %d", i)
+		}
+	}
+}
+
+func TestDynamicEnsureAndAccess(t *testing.T) {
+	m := New(nil)
+	m.EnsureDynamic(DynBase, DynBase+1000)
+	if m.DynamicSize() < 1000 {
+		t.Fatalf("DynamicSize = %d, want >= 1000", m.DynamicSize())
+	}
+	m.Store(DynBase+999, scheme.FromChar('x'))
+	if scheme.CharValue(m.Load(DynBase+999)) != 'x' {
+		t.Error("dynamic store/load mismatch")
+	}
+	// Growing again must preserve contents.
+	m.EnsureDynamic(DynBase, DynBase+1<<20)
+	if scheme.CharValue(m.Peek(DynBase+999)) != 'x' {
+		t.Error("EnsureDynamic lost data")
+	}
+}
+
+func TestCollectorModeCounting(t *testing.T) {
+	m := New(nil)
+	m.EnsureDynamic(DynBase, DynBase+10)
+	m.Store(DynBase, scheme.Nil)
+	m.SetCollectorMode(true)
+	if !m.CollectorMode() {
+		t.Fatal("collector mode not set")
+	}
+	m.Load(DynBase)
+	m.Store(DynBase+1, scheme.Nil)
+	m.SetCollectorMode(false)
+	m.Load(DynBase)
+	if m.C.Loads != 1 || m.C.Stores != 1 || m.C.GCLoads != 1 || m.C.GCStores != 1 {
+		t.Errorf("counters = %+v, want 1/1/1/1", m.C)
+	}
+	if m.C.Refs() != 2 || m.C.GCRefs() != 2 {
+		t.Errorf("Refs=%d GCRefs=%d, want 2 and 2", m.C.Refs(), m.C.GCRefs())
+	}
+}
+
+func TestTracerSeesRefs(t *testing.T) {
+	tr := &recordingTracer{}
+	m := New(tr)
+	m.EnsureDynamic(DynBase, DynBase+4)
+	m.Store(DynBase+1, scheme.True)
+	m.SetCollectorMode(true)
+	m.Load(DynBase + 1)
+	if len(tr.refs) != 2 {
+		t.Fatalf("tracer saw %d refs, want 2", len(tr.refs))
+	}
+	if !tr.refs[0].write || tr.refs[0].collector || tr.refs[0].addr != DynBase+1 {
+		t.Errorf("first ref = %+v", tr.refs[0])
+	}
+	if tr.refs[1].write || !tr.refs[1].collector {
+		t.Errorf("second ref = %+v", tr.refs[1])
+	}
+}
+
+func TestPeekPokeUncounted(t *testing.T) {
+	tr := &recordingTracer{}
+	m := New(tr)
+	m.EnsureDynamic(DynBase, DynBase+4)
+	m.Poke(DynBase, scheme.True)
+	if m.Peek(DynBase) != scheme.True {
+		t.Error("peek/poke mismatch")
+	}
+	if len(tr.refs) != 0 || m.C.Refs() != 0 {
+		t.Error("Peek/Poke must not count or trace references")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(nil)
+	for _, addr := range []uint64{0, StackLimit, StaticBase + 1<<30, DynBase} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Load(%#x) did not panic", addr)
+				}
+			}()
+			m.Load(addr)
+		}()
+	}
+}

@@ -1,0 +1,214 @@
+// Package plot renders the paper's Section 7 figures as text: the
+// cache-miss sweep plot (time × cache block), cumulative lifetime
+// distributions, and the cache-activity graphs combining per-cache-block
+// local miss ratios with the cumulative miss-ratio curve.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gcsim/internal/analysis"
+	"gcsim/internal/cache"
+)
+
+// densityRamp maps cell density to characters, light to dark.
+const densityRamp = " .:*#@"
+
+// Sweep accumulates miss events into a time × cache-block grid, the
+// paper's cache-miss plot: allocation sweeps appear as broken diagonal
+// lines, thrashing blocks as horizontal stripes.
+type Sweep struct {
+	W, H        int
+	totalRefs   uint64
+	cacheBlocks int
+	grid        []uint32
+	events      uint64
+}
+
+// NewSweep sizes the plot: totalRefs is the expected length of the run in
+// references (the x axis), cacheBlocks the number of cache blocks (y).
+func NewSweep(totalRefs uint64, cacheBlocks, w, h int) *Sweep {
+	if totalRefs == 0 {
+		totalRefs = 1
+	}
+	return &Sweep{W: w, H: h, totalRefs: totalRefs, cacheBlocks: cacheBlocks,
+		grid: make([]uint32, w*h)}
+}
+
+// Add records one miss event; wire it to cache.Cache.OnMiss.
+func (s *Sweep) Add(e cache.MissEvent) {
+	x := int(e.RefIndex * uint64(s.W) / (s.totalRefs + 1))
+	if x >= s.W {
+		x = s.W - 1
+	}
+	y := int(e.CacheBlock) * s.H / s.cacheBlocks
+	if y >= s.H {
+		y = s.H - 1
+	}
+	s.grid[y*s.W+x]++
+	s.events++
+}
+
+// Events returns the number of recorded misses.
+func (s *Sweep) Events() uint64 { return s.events }
+
+// Render draws the plot; the y axis has cache block 0 at the top, and the
+// x axis is program time in references.
+func (s *Sweep) Render() string {
+	var max uint32
+	for _, v := range s.grid {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cache blocks (0..%d) vs time (%d refs); %d miss events\n",
+		s.cacheBlocks-1, s.totalRefs, s.events)
+	b.WriteString("+" + strings.Repeat("-", s.W) + "+\n")
+	for y := 0; y < s.H; y++ {
+		b.WriteByte('|')
+		for x := 0; x < s.W; x++ {
+			b.WriteByte(shade(s.grid[y*s.W+x], max))
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", s.W) + "+\n")
+	return b.String()
+}
+
+func shade(v, max uint32) byte {
+	if v == 0 || max == 0 {
+		return densityRamp[0]
+	}
+	// Log-scaled density so sparse diagonal sweeps remain visible.
+	f := math.Log1p(float64(v)) / math.Log1p(float64(max))
+	i := 1 + int(f*float64(len(densityRamp)-2)+0.5)
+	if i >= len(densityRamp) {
+		i = len(densityRamp) - 1
+	}
+	return densityRamp[i]
+}
+
+// CDFSeries is one labeled cumulative-distribution curve.
+type CDFSeries struct {
+	Label  string
+	Points []analysis.CDFPoint
+}
+
+// RenderCDF draws cumulative curves on a log-x grid (as in the paper's
+// lifetime figure). Each series is drawn with its own marker.
+func RenderCDF(series []CDFSeries, w, h int) string {
+	if len(series) == 0 {
+		return "(no data)\n"
+	}
+	markers := "ox+*%&"
+	var maxVal uint64 = 1
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Value > maxVal {
+				maxVal = p.Value
+			}
+		}
+	}
+	logMax := math.Log2(float64(maxVal))
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for _, p := range s.Points {
+			x := 0
+			if p.Value > 1 && logMax > 0 {
+				x = int(math.Log2(float64(p.Value)) / logMax * float64(w-1))
+			}
+			y := h - 1 - int(p.Fraction*float64(h-1)+0.5)
+			if x >= 0 && x < w && y >= 0 && y < h {
+				grid[y][x] = mk
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("cumulative fraction (y: 0..1) vs lifetime in references (x: log scale)\n")
+	for y := 0; y < h; y++ {
+		fmt.Fprintf(&b, "%4.2f |%s|\n", 1-float64(y)/float64(h-1), string(grid[y]))
+	}
+	fmt.Fprintf(&b, "      1%s%d\n", strings.Repeat(" ", w-len(fmt.Sprint(maxVal))), maxVal)
+	for si, s := range series {
+		fmt.Fprintf(&b, "   %c = %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}
+
+// RenderActivity draws the Section 7 cache-activity graph: one dot per
+// cache block (local miss ratio, log scale) over the cumulative miss-ratio
+// curve, with blocks ordered by ascending reference count.
+func RenderActivity(a *analysis.Activity, w, h int) string {
+	n := len(a.Refs)
+	if n == 0 {
+		return "(no data)\n"
+	}
+	const minRatio = 1e-5 // floor of the log scale
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	yOf := func(ratio float64) int {
+		if ratio <= minRatio {
+			return h - 1
+		}
+		if ratio > 1 {
+			ratio = 1
+		}
+		f := math.Log10(ratio/minRatio) / math.Log10(1/minRatio)
+		return h - 1 - int(f*float64(h-1)+0.5)
+	}
+	for i := 0; i < n; i++ {
+		x := i * w / n
+		if a.Refs[i] == 0 {
+			continue
+		}
+		y := yOf(a.LocalMissRatio[i])
+		if grid[y][x] == ' ' {
+			grid[y][x] = '.'
+		}
+	}
+	// Overlay the cumulative miss-ratio curve.
+	for i := 0; i < n; i++ {
+		x := i * w / n
+		y := yOf(a.CumulativeMissRatio[i])
+		grid[y][x] = '='
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "local miss ratio (log, %.0e..1) vs cache blocks in ascending ref order\n", minRatio)
+	fmt.Fprintf(&b, "global miss ratio: %.5f\n", a.GlobalMissRatio)
+	for y := 0; y < h; y++ {
+		b.WriteString("  |")
+		b.Write(grid[y])
+		b.WriteString("|\n")
+	}
+	b.WriteString("   '.' local ratio of one cache block, '=' cumulative miss ratio\n")
+	return b.String()
+}
+
+// RenderOverheadTable prints an overhead surface: rows are cache sizes,
+// columns block sizes, as the Section 5 figure tabulates.
+func RenderOverheadTable(title string, sizes, blocks []int, value func(size, block int) float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	b.WriteString("  size\\block")
+	for _, blk := range blocks {
+		fmt.Fprintf(&b, "%9db", blk)
+	}
+	b.WriteByte('\n')
+	for _, sz := range sizes {
+		fmt.Fprintf(&b, "  %9s", cache.FormatSize(sz))
+		for _, blk := range blocks {
+			fmt.Fprintf(&b, "  %7.4f", value(sz, blk))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

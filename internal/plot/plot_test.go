@@ -1,0 +1,89 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"gcsim/internal/analysis"
+	"gcsim/internal/cache"
+)
+
+func TestSweepDiagonal(t *testing.T) {
+	s := NewSweep(1000, 64, 40, 16)
+	// A linear allocation sweep: block index advances with time.
+	for i := uint64(0); i < 1000; i += 4 {
+		s.Add(cache.MissEvent{RefIndex: i, CacheBlock: uint32(i / 16 % 64), Alloc: true})
+	}
+	out := s.Render()
+	if s.Events() != 250 {
+		t.Errorf("Events = %d, want 250", s.Events())
+	}
+	if !strings.Contains(out, "miss events") {
+		t.Error("missing header")
+	}
+	lines := strings.Split(out, "\n")
+	// 16 rows plus borders and header.
+	if len(lines) < 18 {
+		t.Errorf("too few lines: %d", len(lines))
+	}
+	// The grid must contain marks.
+	if !strings.ContainsAny(out, ".:*#@") {
+		t.Error("no density marks rendered")
+	}
+}
+
+func TestSweepClampsEdges(t *testing.T) {
+	s := NewSweep(100, 8, 10, 4)
+	s.Add(cache.MissEvent{RefIndex: 10_000, CacheBlock: 7}) // beyond expected time
+	s.Add(cache.MissEvent{RefIndex: 0, CacheBlock: 0})
+	if s.Events() != 2 {
+		t.Error("events dropped")
+	}
+	_ = s.Render() // must not panic
+}
+
+func TestRenderCDF(t *testing.T) {
+	series := []CDFSeries{
+		{Label: "prog-a", Points: []analysis.CDFPoint{{Value: 2, Fraction: 0.5}, {Value: 1024, Fraction: 1.0}}},
+		{Label: "prog-b", Points: []analysis.CDFPoint{{Value: 64, Fraction: 0.9}, {Value: 1024, Fraction: 1.0}}},
+	}
+	out := RenderCDF(series, 50, 12)
+	if !strings.Contains(out, "prog-a") || !strings.Contains(out, "prog-b") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Error("series markers missing")
+	}
+	if RenderCDF(nil, 10, 5) != "(no data)\n" {
+		t.Error("empty render wrong")
+	}
+}
+
+func TestRenderActivity(t *testing.T) {
+	refs := make([]uint64, 128)
+	misses := make([]uint64, 128)
+	for i := range refs {
+		refs[i] = uint64(i + 1)
+		misses[i] = uint64(i / 10)
+	}
+	a := analysis.NewActivity(refs, misses)
+	out := RenderActivity(a, 60, 20)
+	if !strings.Contains(out, "global miss ratio") {
+		t.Error("missing global ratio")
+	}
+	if !strings.Contains(out, "=") {
+		t.Error("cumulative curve missing")
+	}
+	empty := analysis.NewActivity(nil, nil)
+	if RenderActivity(empty, 10, 5) != "(no data)\n" {
+		t.Error("empty render wrong")
+	}
+}
+
+func TestRenderOverheadTable(t *testing.T) {
+	out := RenderOverheadTable("test table", []int{32 << 10, 64 << 10}, []int{16, 64},
+		func(size, block int) float64 { return float64(size/block) / 1e6 })
+	if !strings.Contains(out, "test table") || !strings.Contains(out, "32k") || !strings.Contains(out, "64k") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}

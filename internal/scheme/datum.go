@@ -1,0 +1,232 @@
+package scheme
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Datum is a host-side (Go) S-expression, the representation produced by
+// the reader and consumed by the compiler. Runtime values live in simulated
+// memory as tagged Words; Datum exists only at program-loading time.
+//
+// A Datum is one of:
+//
+//	Sym        a symbol
+//	int64      an exact integer
+//	float64    an inexact real
+//	string     a string literal
+//	bool       #t or #f
+//	Char       a character
+//	*Pair      a pair (and hence a list)
+//	Vec        a vector literal
+//	Empty      the empty list
+type Datum any
+
+// Sym is a Scheme symbol.
+type Sym string
+
+// Char is a Scheme character.
+type Char rune
+
+// Pair is a cons cell.
+type Pair struct {
+	Car, Cdr Datum
+}
+
+// Vec is a vector literal.
+type Vec []Datum
+
+type emptyList struct{}
+
+// Empty is the empty list, ().
+var Empty Datum = emptyList{}
+
+type unspecType struct{}
+
+// Unspecified is the unspecified value as a host-side datum; it
+// materializes to the runtime Unspec word.
+var Unspecified Datum = unspecType{}
+
+// Cons builds a pair.
+func Cons(car, cdr Datum) *Pair { return &Pair{Car: car, Cdr: cdr} }
+
+// List builds a proper list from its arguments.
+func List(items ...Datum) Datum {
+	var out Datum = Empty
+	for i := len(items) - 1; i >= 0; i-- {
+		out = Cons(items[i], out)
+	}
+	return out
+}
+
+// ListToSlice flattens a proper list into a slice. It reports ok=false for
+// improper lists.
+func ListToSlice(d Datum) (items []Datum, ok bool) {
+	for {
+		switch x := d.(type) {
+		case emptyList:
+			return items, true
+		case *Pair:
+			items = append(items, x.Car)
+			d = x.Cdr
+		default:
+			return items, false
+		}
+	}
+}
+
+// ListLen returns the length of a proper list, or -1 for a non-list.
+func ListLen(d Datum) int {
+	n := 0
+	for {
+		switch x := d.(type) {
+		case emptyList:
+			return n
+		case *Pair:
+			n++
+			d = x.Cdr
+		default:
+			return -1
+		}
+	}
+}
+
+// IsEmpty reports whether d is the empty list.
+func IsEmpty(d Datum) bool { _, ok := d.(emptyList); return ok }
+
+// DatumEqual reports structural (equal?) equality of two host-side data.
+func DatumEqual(a, b Datum) bool {
+	switch x := a.(type) {
+	case *Pair:
+		y, ok := b.(*Pair)
+		return ok && DatumEqual(x.Car, y.Car) && DatumEqual(x.Cdr, y.Cdr)
+	case Vec:
+		y, ok := b.(Vec)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !DatumEqual(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}
+
+// QuoteString renders a string in external syntax using exactly the
+// escapes the reader accepts.
+func QuoteString(s string) string {
+	var b strings.Builder
+	quoteString(&b, s)
+	return b.String()
+}
+
+// quoteString writes a string literal using exactly the escapes the reader
+// accepts: \" \\ \n \t \r and \xNN for other non-printing bytes.
+func quoteString(b *strings.Builder, s string) {
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			b.WriteString(`\"`)
+		case c == '\\':
+			b.WriteString(`\\`)
+		case c == '\n':
+			b.WriteString(`\n`)
+		case c == '\t':
+			b.WriteString(`\t`)
+		case c == '\r':
+			b.WriteString(`\r`)
+		case c < 0x20 || c == 0x7f:
+			const hex = "0123456789abcdef"
+			b.WriteString(`\x`)
+			b.WriteByte(hex[c>>4])
+			b.WriteByte(hex[c&0xf])
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+}
+
+// WriteDatum renders d in Scheme external syntax (like write).
+func WriteDatum(d Datum) string {
+	var b strings.Builder
+	writeDatum(&b, d)
+	return b.String()
+}
+
+func writeDatum(b *strings.Builder, d Datum) {
+	switch x := d.(type) {
+	case emptyList:
+		b.WriteString("()")
+	case unspecType:
+		b.WriteString("#!unspecific")
+	case Sym:
+		b.WriteString(string(x))
+	case int64:
+		b.WriteString(strconv.FormatInt(x, 10))
+	case float64:
+		s := strconv.FormatFloat(x, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += "."
+		}
+		b.WriteString(s)
+	case string:
+		quoteString(b, x)
+	case bool:
+		if x {
+			b.WriteString("#t")
+		} else {
+			b.WriteString("#f")
+		}
+	case Char:
+		switch x {
+		case ' ':
+			b.WriteString(`#\space`)
+		case '\n':
+			b.WriteString(`#\newline`)
+		case '\t':
+			b.WriteString(`#\tab`)
+		default:
+			fmt.Fprintf(b, `#\%c`, rune(x))
+		}
+	case *Pair:
+		b.WriteByte('(')
+		writeDatum(b, x.Car)
+		rest := x.Cdr
+		for {
+			switch y := rest.(type) {
+			case *Pair:
+				b.WriteByte(' ')
+				writeDatum(b, y.Car)
+				rest = y.Cdr
+				continue
+			case emptyList:
+				b.WriteByte(')')
+				return
+			default:
+				b.WriteString(" . ")
+				writeDatum(b, rest)
+				b.WriteByte(')')
+				return
+			}
+		}
+	case Vec:
+		b.WriteString("#(")
+		for i, e := range x {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			writeDatum(b, e)
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "#<unknown %T>", d)
+	}
+}

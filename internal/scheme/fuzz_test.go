@@ -1,0 +1,42 @@
+package scheme
+
+import "testing"
+
+// FuzzReader checks the reader's total-function property: arbitrary input
+// either parses or errors, never panics, and whatever parses round-trips
+// through the writer. (Without -fuzz, go test runs the seed corpus.)
+func FuzzReader(f *testing.F) {
+	seeds := []string{
+		"(define (f x) (+ x 1))",
+		"'(1 2 . 3)",
+		"#(1 #\\a \"str\")",
+		"`(a ,b ,@c)",
+		";; comment\n#| block |# atom",
+		"(((((((((()))))))))",
+		"#xff -12 3.5e2 ...",
+		"\"unterminated",
+		"(a . b . c)",
+		"#\\space#\\newline",
+		"[mixed (brackets]",
+		"\x00\xff\x80 binary",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		data, err := ReadAll(src)
+		if err != nil {
+			return
+		}
+		for _, d := range data {
+			text := WriteDatum(d)
+			back, err := ReadOne(text)
+			if err != nil {
+				t.Fatalf("round trip failed to parse: %q -> %q: %v", src, text, err)
+			}
+			if !DatumEqual(d, back) {
+				t.Fatalf("round trip changed value: %q -> %q", src, text)
+			}
+		}
+	})
+}

@@ -1,0 +1,375 @@
+package scheme
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// SyntaxError reports a reader failure with position information.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("read: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// A reader tokenizes and parses Scheme external syntax.
+type reader struct {
+	src       string
+	pos       int
+	line, col int
+}
+
+// ReadAll parses every datum in src.
+func ReadAll(src string) ([]Datum, error) {
+	r := &reader{src: src, line: 1, col: 1}
+	var out []Datum
+	for {
+		r.skipAtmosphere()
+		if r.eof() {
+			return out, nil
+		}
+		d, err := r.readDatum()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+}
+
+// ReadOne parses a single datum from src; trailing text is an error.
+func ReadOne(src string) (Datum, error) {
+	all, err := ReadAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) != 1 {
+		return nil, fmt.Errorf("read: expected exactly one datum, got %d", len(all))
+	}
+	return all[0], nil
+}
+
+func (r *reader) eof() bool { return r.pos >= len(r.src) }
+
+func (r *reader) peek() byte { return r.src[r.pos] }
+
+func (r *reader) next() byte {
+	c := r.src[r.pos]
+	r.pos++
+	if c == '\n' {
+		r.line++
+		r.col = 1
+	} else {
+		r.col++
+	}
+	return c
+}
+
+func (r *reader) errf(format string, args ...any) error {
+	return &SyntaxError{Line: r.line, Col: r.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipAtmosphere consumes whitespace and comments (both ";" line comments
+// and nested "#| ... |#" block comments).
+func (r *reader) skipAtmosphere() {
+	for !r.eof() {
+		c := r.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f':
+			r.next()
+		case c == ';':
+			for !r.eof() && r.peek() != '\n' {
+				r.next()
+			}
+		case c == '#' && r.pos+1 < len(r.src) && r.src[r.pos+1] == '|':
+			r.next()
+			r.next()
+			depth := 1
+			for !r.eof() && depth > 0 {
+				c := r.next()
+				if c == '#' && !r.eof() && r.peek() == '|' {
+					r.next()
+					depth++
+				} else if c == '|' && !r.eof() && r.peek() == '#' {
+					r.next()
+					depth--
+				}
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDelimiter(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '\f', '(', ')', '[', ']', '"', ';':
+		return true
+	}
+	return false
+}
+
+func (r *reader) readDatum() (Datum, error) {
+	r.skipAtmosphere()
+	if r.eof() {
+		return nil, r.errf("unexpected end of input")
+	}
+	c := r.peek()
+	switch c {
+	case '(', '[':
+		r.next()
+		return r.readList(closer(c))
+	case ')', ']':
+		return nil, r.errf("unexpected %q", c)
+	case '\'':
+		r.next()
+		return r.readAbbrev("quote")
+	case '`':
+		r.next()
+		return r.readAbbrev("quasiquote")
+	case ',':
+		r.next()
+		if !r.eof() && r.peek() == '@' {
+			r.next()
+			return r.readAbbrev("unquote-splicing")
+		}
+		return r.readAbbrev("unquote")
+	case '"':
+		return r.readString()
+	case '#':
+		return r.readHash()
+	default:
+		return r.readAtom()
+	}
+}
+
+func closer(open byte) byte {
+	if open == '[' {
+		return ']'
+	}
+	return ')'
+}
+
+func (r *reader) readAbbrev(name string) (Datum, error) {
+	d, err := r.readDatum()
+	if err != nil {
+		return nil, err
+	}
+	return List(Sym(name), d), nil
+}
+
+func (r *reader) readList(close byte) (Datum, error) {
+	var items []Datum
+	var tail Datum = Empty
+	for {
+		r.skipAtmosphere()
+		if r.eof() {
+			return nil, r.errf("unterminated list")
+		}
+		c := r.peek()
+		if c == close {
+			r.next()
+			break
+		}
+		if c == ')' || c == ']' {
+			return nil, r.errf("mismatched %q", c)
+		}
+		// A lone "." introduces the tail of an improper list.
+		if c == '.' && r.pos+1 < len(r.src) && isDelimiter(r.src[r.pos+1]) {
+			if len(items) == 0 {
+				return nil, r.errf("dot at start of list")
+			}
+			r.next()
+			var err error
+			tail, err = r.readDatum()
+			if err != nil {
+				return nil, err
+			}
+			r.skipAtmosphere()
+			if r.eof() || r.peek() != close {
+				return nil, r.errf("expected %q after dotted tail", close)
+			}
+			r.next()
+			break
+		}
+		d, err := r.readDatum()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, d)
+	}
+	out := tail
+	for i := len(items) - 1; i >= 0; i-- {
+		out = Cons(items[i], out)
+	}
+	return out, nil
+}
+
+func (r *reader) readString() (Datum, error) {
+	r.next() // opening quote
+	var b strings.Builder
+	for {
+		if r.eof() {
+			return nil, r.errf("unterminated string")
+		}
+		c := r.next()
+		if c == '"' {
+			return b.String(), nil
+		}
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		if r.eof() {
+			return nil, r.errf("unterminated escape")
+		}
+		e := r.next()
+		switch e {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '\\', '"':
+			b.WriteByte(e)
+		case 'x':
+			// \xNN: a raw byte in hex, for non-printing characters.
+			if r.pos+2 > len(r.src) {
+				return nil, r.errf("truncated \\x escape")
+			}
+			hi, okH := unhex(r.next())
+			lo, okL := unhex(r.next())
+			if !okH || !okL {
+				return nil, r.errf("bad \\x escape")
+			}
+			b.WriteByte(hi<<4 | lo)
+		default:
+			return nil, r.errf("bad string escape \\%c", e)
+		}
+	}
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+var namedChars = map[string]rune{
+	"space": ' ', "newline": '\n', "tab": '\t', "return": '\r', "nul": 0,
+}
+
+func (r *reader) readHash() (Datum, error) {
+	r.next() // '#'
+	if r.eof() {
+		return nil, r.errf("unexpected end after #")
+	}
+	c := r.peek()
+	switch c {
+	case 't', 'f':
+		r.next()
+		if !r.eof() && !isDelimiter(r.peek()) {
+			return nil, r.errf("bad boolean syntax")
+		}
+		return c == 't', nil
+	case '(':
+		r.next()
+		lst, err := r.readList(')')
+		if err != nil {
+			return nil, err
+		}
+		items, _ := ListToSlice(lst)
+		return Vec(items), nil
+	case '\\':
+		r.next()
+		if r.eof() {
+			return nil, r.errf("unexpected end after #\\")
+		}
+		start := r.pos
+		ch, size := utf8.DecodeRuneInString(r.src[r.pos:])
+		r.pos += size
+		r.col += size
+		// Multi-letter named character?
+		if unicode.IsLetter(ch) {
+			for !r.eof() && !isDelimiter(r.peek()) {
+				r.next()
+			}
+			name := r.src[start:r.pos]
+			if utf8.RuneCountInString(name) > 1 {
+				if v, ok := namedChars[strings.ToLower(name)]; ok {
+					return Char(v), nil
+				}
+				return nil, r.errf("unknown character name %q", name)
+			}
+		}
+		return Char(ch), nil
+	case 'x', 'X':
+		r.next()
+		start := r.pos
+		for !r.eof() && !isDelimiter(r.peek()) {
+			r.next()
+		}
+		v, err := strconv.ParseInt(r.src[start:r.pos], 16, 64)
+		if err != nil {
+			return nil, r.errf("bad hex literal")
+		}
+		return v, nil
+	default:
+		return nil, r.errf("unsupported # syntax #%c", c)
+	}
+}
+
+func (r *reader) readAtom() (Datum, error) {
+	start := r.pos
+	for !r.eof() && !isDelimiter(r.peek()) {
+		r.next()
+	}
+	text := r.src[start:r.pos]
+	if text == "" {
+		return nil, r.errf("empty atom")
+	}
+	return parseAtom(text)
+}
+
+// parseAtom classifies a token as a number or a symbol. A lone "." is not
+// a valid atom (it only appears as dotted-pair punctuation, which readList
+// consumes before this point).
+func parseAtom(text string) (Datum, error) {
+	if text == "." {
+		return nil, &SyntaxError{Line: 0, Col: 0, Msg: "unexpected \".\""}
+	}
+	if d, ok := parseNumber(text); ok {
+		return d, nil
+	}
+	return Sym(text), nil
+}
+
+func parseNumber(text string) (Datum, bool) {
+	// Fast reject: symbols like "+", "-", "...", "1+".
+	c := text[0]
+	if c != '+' && c != '-' && c != '.' && (c < '0' || c > '9') {
+		return nil, false
+	}
+	if text == "+" || text == "-" || text == "..." || text == "." {
+		return nil, false
+	}
+	if v, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return v, true
+	}
+	if v, err := strconv.ParseFloat(text, 64); err == nil {
+		return v, true
+	}
+	return nil, false
+}

@@ -1,0 +1,228 @@
+package scheme
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustRead(t *testing.T, src string) Datum {
+	t.Helper()
+	d, err := ReadOne(src)
+	if err != nil {
+		t.Fatalf("ReadOne(%q): %v", src, err)
+	}
+	return d
+}
+
+func TestReadAtoms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Datum
+	}{
+		{"42", int64(42)},
+		{"-17", int64(-17)},
+		{"+5", int64(5)},
+		{"3.25", 3.25},
+		{"-1e3", -1000.0},
+		{".5", 0.5},
+		{"#xff", int64(255)},
+		{"foo", Sym("foo")},
+		{"set!", Sym("set!")},
+		{"+", Sym("+")},
+		{"-", Sym("-")},
+		{"...", Sym("...")},
+		{"1+", Sym("1+")},
+		{"list->vector", Sym("list->vector")},
+		{"#t", true},
+		{"#f", false},
+		{`"hello"`, "hello"},
+		{`"a\nb\t\"c\\"`, "a\nb\t\"c\\"},
+		{`#\a`, Char('a')},
+		{`#\space`, Char(' ')},
+		{`#\newline`, Char('\n')},
+		{`#\(`, Char('(')},
+	}
+	for _, c := range cases {
+		if got := mustRead(t, c.src); !DatumEqual(got, c.want) {
+			t.Errorf("ReadOne(%q) = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestReadLists(t *testing.T) {
+	d := mustRead(t, "(a b c)")
+	items, ok := ListToSlice(d)
+	if !ok || len(items) != 3 || items[0] != Sym("a") || items[2] != Sym("c") {
+		t.Fatalf("bad list: %v", WriteDatum(d))
+	}
+	d = mustRead(t, "(a . b)")
+	p, ok := d.(*Pair)
+	if !ok || p.Car != Sym("a") || p.Cdr != Sym("b") {
+		t.Fatalf("bad dotted pair: %v", WriteDatum(d))
+	}
+	d = mustRead(t, "(1 2 . 3)")
+	if WriteDatum(d) != "(1 2 . 3)" {
+		t.Errorf("improper list round trip: %v", WriteDatum(d))
+	}
+	d = mustRead(t, "()")
+	if !IsEmpty(d) {
+		t.Error("() should read as the empty list")
+	}
+	d = mustRead(t, "[a [b] c]")
+	if WriteDatum(d) != "(a (b) c)" {
+		t.Errorf("bracket list: %v", WriteDatum(d))
+	}
+}
+
+func TestReadNested(t *testing.T) {
+	d := mustRead(t, "(define (fact n) (if (< n 2) 1 (* n (fact (- n 1)))))")
+	if WriteDatum(d) != "(define (fact n) (if (< n 2) 1 (* n (fact (- n 1)))))" {
+		t.Errorf("round trip: %v", WriteDatum(d))
+	}
+}
+
+func TestReadQuoteSugar(t *testing.T) {
+	cases := map[string]string{
+		"'x":      "(quote x)",
+		"`x":      "(quasiquote x)",
+		",x":      "(unquote x)",
+		",@x":     "(unquote-splicing x)",
+		"'(1 2)":  "(quote (1 2))",
+		"`(a ,b)": "(quasiquote (a (unquote b)))",
+	}
+	for src, want := range cases {
+		if got := WriteDatum(mustRead(t, src)); got != want {
+			t.Errorf("read %q = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestReadVector(t *testing.T) {
+	d := mustRead(t, "#(1 2 three)")
+	v, ok := d.(Vec)
+	if !ok || len(v) != 3 || v[2] != Sym("three") {
+		t.Fatalf("bad vector: %#v", d)
+	}
+	if WriteDatum(d) != "#(1 2 three)" {
+		t.Errorf("vector round trip: %v", WriteDatum(d))
+	}
+}
+
+func TestReadComments(t *testing.T) {
+	src := `
+; a line comment
+(a ; inline
+ b)
+#| block #| nested |# still |#
+c`
+	all, err := ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || WriteDatum(all[0]) != "(a b)" || all[1] != Sym("c") {
+		t.Fatalf("got %d data: %v", len(all), all)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		"(a b", ")", "(a . )", "(. b)", "(a . b c)", `"unterminated`,
+		`"bad \q escape"`, "#\\", "#q", "'", "#xzz", "(]",
+	}
+	for _, src := range bad {
+		if _, err := ReadAll(src); err == nil {
+			t.Errorf("ReadAll(%q) succeeded, want error", src)
+		}
+	}
+	// Error messages carry positions.
+	_, err := ReadAll("(a\n  b")
+	var se *SyntaxError
+	if !asSyntaxError(err, &se) || se.Line < 1 {
+		t.Errorf("expected positioned SyntaxError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "read:") {
+		t.Errorf("error should be prefixed: %v", err)
+	}
+}
+
+func asSyntaxError(err error, out **SyntaxError) bool {
+	se, ok := err.(*SyntaxError)
+	if ok {
+		*out = se
+	}
+	return ok
+}
+
+func TestReadOneRejectsMultiple(t *testing.T) {
+	if _, err := ReadOne("a b"); err == nil {
+		t.Error("ReadOne of two data should fail")
+	}
+	if _, err := ReadOne(""); err == nil {
+		t.Error("ReadOne of empty input should fail")
+	}
+}
+
+func TestListHelpers(t *testing.T) {
+	l := List(int64(1), int64(2), int64(3))
+	if ListLen(l) != 3 {
+		t.Errorf("ListLen = %d, want 3", ListLen(l))
+	}
+	if ListLen(Cons(int64(1), int64(2))) != -1 {
+		t.Error("improper list should have length -1")
+	}
+	if ListLen(Empty) != 0 {
+		t.Error("empty list should have length 0")
+	}
+	if _, ok := ListToSlice(Cons(int64(1), int64(2))); ok {
+		t.Error("ListToSlice of improper list should report !ok")
+	}
+}
+
+func TestWriteDatumSpecials(t *testing.T) {
+	cases := map[string]Datum{
+		"#t":        true,
+		"#f":        false,
+		`#\space`:   Char(' '),
+		`#\newline`: Char('\n'),
+		`#\tab`:     Char('\t'),
+		`#\z`:       Char('z'),
+		"1.5":       1.5,
+		"2.":        2.0, // floats always show a decimal marker
+		`"hi"`:      "hi",
+	}
+	for want, d := range cases {
+		if got := WriteDatum(d); got != want {
+			t.Errorf("WriteDatum(%#v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+// Property: writing any reader output and re-reading it yields an equal
+// datum (read/write round trip on generated lists of atoms).
+func TestPropertyReadWriteRoundTrip(t *testing.T) {
+	f := func(ints []int64, useSyms []bool) bool {
+		var items []Datum
+		for i, v := range ints {
+			if i < len(useSyms) && useSyms[i] {
+				items = append(items, Sym("s"+WriteDatum(abs64(v%1000))))
+			} else {
+				items = append(items, v)
+			}
+		}
+		d := List(items...)
+		text := WriteDatum(d)
+		back, err := ReadOne(text)
+		return err == nil && DatumEqual(d, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,173 @@
+// Package scheme defines the tagged-word value representation and the
+// textual front end (lexer, reader, writer) for the Scheme dialect executed
+// by the simulator's virtual machine.
+//
+// Every Scheme value is a single 64-bit Word. The low three bits carry the
+// tag; fixnums, heap pointers, characters, and a small set of immediates
+// are encoded directly, while everything else (pairs, vectors, strings,
+// symbols, closures, flonums, ...) lives in the simulated memory and is
+// referenced through a pointer word. Object headers share the word type so
+// that the garbage collectors can overwrite a header with a forwarding
+// pointer and later distinguish the two by tag.
+package scheme
+
+import "fmt"
+
+// Word is a tagged 64-bit Scheme value or object header.
+type Word uint64
+
+// Value tags occupy the low three bits of a Word.
+const (
+	TagFixnum = 0 // signed 61-bit integer, value in the upper bits
+	TagPtr    = 1 // simulated-memory word address in the upper bits
+	TagImm    = 2 // small immediate constants (booleans, nil, ...)
+	TagChar   = 3 // Unicode code point in the upper bits
+	TagHeader = 7 // heap object header (never a first-class value)
+
+	tagBits = 3
+	tagMask = (1 << tagBits) - 1
+)
+
+// Immediate constant kinds (stored in the payload of a TagImm word).
+const (
+	immFalse = iota
+	immTrue
+	immNil    // the empty list
+	immUnspec // the unspecified value returned by side-effecting forms
+	immEOF
+	immUndef // the value of an unbound or uninitialized location
+)
+
+// The immediate constants.
+const (
+	False  Word = immFalse<<tagBits | TagImm
+	True   Word = immTrue<<tagBits | TagImm
+	Nil    Word = immNil<<tagBits | TagImm
+	Unspec Word = immUnspec<<tagBits | TagImm
+	EOF    Word = immEOF<<tagBits | TagImm
+	Undef  Word = immUndef<<tagBits | TagImm
+)
+
+// FixnumMax and FixnumMin bound the signed 61-bit fixnum range.
+const (
+	FixnumMax = 1<<60 - 1
+	FixnumMin = -(1 << 60)
+)
+
+// FromFixnum encodes a signed integer as a fixnum word. Values outside the
+// 61-bit range wrap silently; the VM's arithmetic checks ranges where
+// overflow matters.
+func FromFixnum(v int64) Word { return Word(uint64(v) << tagBits) }
+
+// FixnumValue decodes a fixnum word to its signed integer value.
+func FixnumValue(w Word) int64 { return int64(w) >> tagBits }
+
+// FromPtr encodes a simulated-memory word address as a pointer word.
+func FromPtr(addr uint64) Word { return Word(addr<<tagBits | TagPtr) }
+
+// PtrAddr decodes a pointer word to its word address.
+func PtrAddr(w Word) uint64 { return uint64(w) >> tagBits }
+
+// FromChar encodes a character as a char word.
+func FromChar(r rune) Word { return Word(uint64(r)<<tagBits | TagChar) }
+
+// CharValue decodes a char word.
+func CharValue(w Word) rune { return rune(uint64(w) >> tagBits) }
+
+// FromBool maps a Go bool to the Scheme booleans.
+func FromBool(b bool) Word {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Tag returns the tag bits of w.
+func Tag(w Word) int { return int(w & tagMask) }
+
+// IsFixnum reports whether w is a fixnum.
+func IsFixnum(w Word) bool { return w&tagMask == TagFixnum }
+
+// IsPtr reports whether w is a heap pointer.
+func IsPtr(w Word) bool { return w&tagMask == TagPtr }
+
+// IsChar reports whether w is a character.
+func IsChar(w Word) bool { return w&tagMask == TagChar }
+
+// IsImm reports whether w is an immediate constant.
+func IsImm(w Word) bool { return w&tagMask == TagImm }
+
+// IsHeader reports whether w is an object header.
+func IsHeader(w Word) bool { return w&tagMask == TagHeader }
+
+// Truthy reports Scheme truth: everything except #f is true.
+func Truthy(w Word) bool { return w != False }
+
+// Kind identifies the layout of a heap object. It is stored in the object's
+// header word.
+type Kind uint8
+
+// Heap object kinds.
+const (
+	KindPair    Kind = iota // [car, cdr]
+	KindVector              // [e0, e1, ...]
+	KindString              // [byteLen, packed bytes...]
+	KindSymbol              // [name string ptr, hash fixnum]
+	KindClosure             // [code index fixnum, free0, free1, ...]
+	KindFlonum              // [IEEE-754 bits as raw word]
+	KindCell                // [value]  (box for assigned variables & globals)
+	KindTable               // [data vector ptr, count fixnum, epoch fixnum]
+	KindPort                // [buffer index fixnum]  (output only)
+	KindFree                // a free hole in a non-moving heap (payload unused)
+	kindCount
+)
+
+var kindNames = [...]string{
+	KindPair: "pair", KindVector: "vector", KindString: "string",
+	KindSymbol: "symbol", KindClosure: "closure", KindFlonum: "flonum",
+	KindCell: "cell", KindTable: "table", KindPort: "port",
+	KindFree: "free",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Header layout: size<<11 | kind<<3 | TagHeader. The size is the number of
+// payload words following the header (not counting the header itself).
+const (
+	headerKindShift = tagBits
+	headerKindBits  = 8
+	headerSizeShift = headerKindShift + headerKindBits
+)
+
+// MakeHeader builds an object header for an object with the given kind and
+// payload size in words.
+func MakeHeader(k Kind, size int) Word {
+	return Word(uint64(size)<<headerSizeShift | uint64(k)<<headerKindShift | TagHeader)
+}
+
+// HeaderKind extracts the object kind from a header word.
+func HeaderKind(h Word) Kind {
+	return Kind(uint64(h) >> headerKindShift & (1<<headerKindBits - 1))
+}
+
+// HeaderSize extracts the payload size in words from a header word,
+// ignoring the mark bit.
+func HeaderSize(h Word) int { return int(uint64(h) &^ markBit >> headerSizeShift) }
+
+// The mark bit used by non-moving (mark-sweep) collectors lives in the
+// header's top bit, far above any realistic object size.
+const markBit = 1 << 63
+
+// WithMark returns h with the mark bit set.
+func WithMark(h Word) Word { return h | markBit }
+
+// WithoutMark returns h with the mark bit cleared.
+func WithoutMark(h Word) Word { return h &^ markBit }
+
+// IsMarked reports whether the header's mark bit is set.
+func IsMarked(h Word) bool { return h&markBit != 0 }

@@ -1,0 +1,128 @@
+package scheme
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFixnumRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 42, -42, FixnumMax, FixnumMin} {
+		w := FromFixnum(v)
+		if !IsFixnum(w) {
+			t.Errorf("FromFixnum(%d) not a fixnum", v)
+		}
+		if got := FixnumValue(w); got != v {
+			t.Errorf("FixnumValue(FromFixnum(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestPropertyFixnumRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		v = v % (FixnumMax + 1)
+		return FixnumValue(FromFixnum(v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPtrRoundTrip(t *testing.T) {
+	f := func(addr uint64) bool {
+		addr &= 1<<48 - 1 // word addresses fit far below 61 bits
+		w := FromPtr(addr)
+		return IsPtr(w) && PtrAddr(w) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCharRoundTrip(t *testing.T) {
+	for _, r := range []rune{'a', ' ', '\n', 'λ', 0} {
+		w := FromChar(r)
+		if !IsChar(w) || CharValue(w) != r {
+			t.Errorf("char round trip failed for %q", r)
+		}
+	}
+}
+
+func TestImmediatesDistinct(t *testing.T) {
+	imms := []Word{False, True, Nil, Unspec, EOF, Undef}
+	seen := map[Word]bool{}
+	for _, w := range imms {
+		if !IsImm(w) {
+			t.Errorf("%v not immediate", w)
+		}
+		if seen[w] {
+			t.Errorf("duplicate immediate %v", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if Truthy(False) {
+		t.Error("#f should be false")
+	}
+	for _, w := range []Word{True, Nil, FromFixnum(0), FromChar(0), Unspec} {
+		if !Truthy(w) {
+			t.Errorf("%v should be truthy", w)
+		}
+	}
+}
+
+func TestFromBool(t *testing.T) {
+	if FromBool(true) != True || FromBool(false) != False {
+		t.Error("FromBool mismatch")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	for k := KindPair; k < kindCount; k++ {
+		for _, size := range []int{0, 1, 2, 100, 1 << 20} {
+			h := MakeHeader(k, size)
+			if !IsHeader(h) {
+				t.Errorf("MakeHeader(%v, %d) not a header", k, size)
+			}
+			if IsPtr(h) || IsFixnum(h) {
+				t.Errorf("header %v confusable with value tags", h)
+			}
+			if HeaderKind(h) != k || HeaderSize(h) != size {
+				t.Errorf("header round trip: kind=%v size=%d", HeaderKind(h), HeaderSize(h))
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindPair.String() != "pair" || KindClosure.String() != "closure" {
+		t.Error("kind names wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Error("out-of-range kind should still print")
+	}
+}
+
+func TestTagDiscrimination(t *testing.T) {
+	words := map[string]Word{
+		"fixnum": FromFixnum(7),
+		"ptr":    FromPtr(0x1000),
+		"char":   FromChar('x'),
+		"imm":    True,
+		"header": MakeHeader(KindVector, 3),
+	}
+	preds := map[string]func(Word) bool{
+		"fixnum": IsFixnum, "ptr": IsPtr, "char": IsChar, "imm": IsImm, "header": IsHeader,
+	}
+	for wname, w := range words {
+		for pname, p := range preds {
+			if got := p(w); got != (wname == pname) {
+				t.Errorf("Is%s(%s word) = %v", pname, wname, got)
+			}
+		}
+	}
+	if Tag(FromPtr(1)) != TagPtr {
+		t.Error("Tag() mismatch")
+	}
+}

@@ -1,0 +1,141 @@
+// Package stats provides the small statistical tools the behaviour
+// analysis uses: power-of-two histograms (the paper plots lifetimes and
+// reference counts on log scales), cumulative distributions, and
+// percentiles.
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Log2Histogram counts values in power-of-two buckets: bucket i holds
+// values v with 2^i <= v < 2^(i+1); bucket 0 also holds v <= 1.
+type Log2Histogram struct {
+	Counts [64]uint64
+	N      uint64
+}
+
+// Add records one value.
+func (h *Log2Histogram) Add(v uint64) {
+	h.Counts[log2Bucket(v)]++
+	h.N++
+}
+
+// AddN records a value with multiplicity.
+func (h *Log2Histogram) AddN(v, n uint64) {
+	h.Counts[log2Bucket(v)] += n
+	h.N += n
+}
+
+func log2Bucket(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	return 63 - bits.LeadingZeros64(v)
+}
+
+// BucketLow returns the smallest value in bucket i.
+func BucketLow(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return 1 << uint(i)
+}
+
+// CDF returns cumulative fractions by bucket: out[i] is the fraction of
+// samples with value < 2^(i+1).
+func (h *Log2Histogram) CDF() []float64 {
+	if h.N == 0 {
+		return nil
+	}
+	top := h.maxBucket()
+	out := make([]float64, top+1)
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += h.Counts[i]
+		out[i] = float64(cum) / float64(h.N)
+	}
+	return out
+}
+
+func (h *Log2Histogram) maxBucket() int {
+	top := 0
+	for i, c := range h.Counts {
+		if c > 0 {
+			top = i
+		}
+	}
+	return top
+}
+
+// FractionAtOrBelow returns the fraction of samples with value <= v.
+func (h *Log2Histogram) FractionAtOrBelow(v uint64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	b := log2Bucket(v)
+	var cum uint64
+	for i := 0; i < b; i++ {
+		cum += h.Counts[i]
+	}
+	// Within bucket b we cannot resolve further; attribute the whole
+	// bucket when v is the bucket's top, half otherwise.
+	if v >= BucketLow(b+1)-1 {
+		cum += h.Counts[b]
+	} else {
+		cum += h.Counts[b] / 2
+	}
+	return float64(cum) / float64(h.N)
+}
+
+// ModeBucket returns the [low, high) value range of the fullest bucket.
+func (h *Log2Histogram) ModeBucket() (low, high uint64) {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return BucketLow(best), BucketLow(best + 1)
+}
+
+// String renders the histogram for reports.
+func (h *Log2Histogram) String() string {
+	var b strings.Builder
+	top := h.maxBucket()
+	for i := 0; i <= top; i++ {
+		if h.Counts[i] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "[%d,%d): %d\n", BucketLow(i), BucketLow(i+1), h.Counts[i])
+	}
+	return b.String()
+}
+
+// Percentile returns the p-th percentile (0..100) of a sample slice.
+// The input is not modified.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := p / 100 * float64(len(s)-1)
+	lo := int(idx)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := idx - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// WeightedFraction returns num/den, or 0 when den is zero.
+func WeightedFraction(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

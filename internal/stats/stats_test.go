@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLog2Buckets(t *testing.T) {
+	var h Log2Histogram
+	h.Add(0)
+	h.Add(1)
+	h.Add(2)
+	h.Add(3)
+	h.Add(4)
+	h.Add(1023)
+	h.Add(1024)
+	if h.Counts[0] != 2 { // 0 and 1
+		t.Errorf("bucket 0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 2 { // 2 and 3
+		t.Errorf("bucket 1 = %d, want 2", h.Counts[1])
+	}
+	if h.Counts[2] != 1 || h.Counts[9] != 1 || h.Counts[10] != 1 {
+		t.Errorf("buckets wrong: %v", h.Counts[:12])
+	}
+	if h.N != 7 {
+		t.Errorf("N = %d", h.N)
+	}
+}
+
+func TestBucketLow(t *testing.T) {
+	if BucketLow(0) != 0 || BucketLow(1) != 2 || BucketLow(10) != 1024 {
+		t.Error("BucketLow wrong")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var h Log2Histogram
+	for i := 0; i < 50; i++ {
+		h.Add(1) // bucket 0
+	}
+	for i := 0; i < 50; i++ {
+		h.Add(1000) // bucket 9
+	}
+	cdf := h.CDF()
+	if len(cdf) != 10 {
+		t.Fatalf("CDF length = %d, want 10", len(cdf))
+	}
+	if cdf[0] != 0.5 {
+		t.Errorf("cdf[0] = %v, want 0.5", cdf[0])
+	}
+	if cdf[9] != 1.0 {
+		t.Errorf("cdf[9] = %v, want 1", cdf[9])
+	}
+	var empty Log2Histogram
+	if empty.CDF() != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestFractionAtOrBelow(t *testing.T) {
+	var h Log2Histogram
+	h.AddN(1, 30)
+	h.AddN(100, 70)
+	if f := h.FractionAtOrBelow(1); f != 0.3 {
+		t.Errorf("FractionAtOrBelow(1) = %v, want 0.3", f)
+	}
+	if f := h.FractionAtOrBelow(1 << 20); f != 1.0 {
+		t.Errorf("FractionAtOrBelow(max) = %v, want 1", f)
+	}
+	var empty Log2Histogram
+	if empty.FractionAtOrBelow(5) != 0 {
+		t.Error("empty fraction should be 0")
+	}
+}
+
+func TestModeBucket(t *testing.T) {
+	var h Log2Histogram
+	h.AddN(40, 100) // bucket [32,64)
+	h.AddN(5, 3)
+	lo, hi := h.ModeBucket()
+	if lo != 32 || hi != 64 {
+		t.Errorf("ModeBucket = [%d,%d), want [32,64)", lo, hi)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Log2Histogram
+	h.Add(5)
+	if s := h.String(); !strings.Contains(s, "[4,8): 1") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(s, 50); p != 3 {
+		t.Errorf("P50 = %v, want 3", p)
+	}
+	if p := Percentile(s, 0); p != 1 {
+		t.Errorf("P0 = %v, want 1", p)
+	}
+	if p := Percentile(s, 100); p != 5 {
+		t.Errorf("P100 = %v, want 5", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Input must not be reordered.
+	s2 := []float64{5, 1, 3}
+	Percentile(s2, 50)
+	if s2[0] != 5 || s2[2] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestWeightedFraction(t *testing.T) {
+	if WeightedFraction(1, 4) != 0.25 || WeightedFraction(1, 0) != 0 {
+		t.Error("WeightedFraction wrong")
+	}
+}
+
+// Property: CDF is monotone nondecreasing and ends at 1.
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Log2Histogram
+		for _, v := range vals {
+			h.Add(uint64(v))
+		}
+		cdf := h.CDF()
+		prev := 0.0
+		for _, x := range cdf {
+			if x < prev {
+				return false
+			}
+			prev = x
+		}
+		return cdf[len(cdf)-1] > 0.999999
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

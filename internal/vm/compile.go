@@ -1,0 +1,687 @@
+package vm
+
+import (
+	"fmt"
+
+	"gcsim/internal/scheme"
+)
+
+// This file is the compiler: a macro expander that reduces the surface
+// language to a small core (quote, if, set!, lambda, begin, let, define,
+// application), and a code generator that performs lexical addressing,
+// flat-closure conversion, and assignment boxing (every set! variable
+// lives in a heap cell, so captured copies share state).
+
+// CompileError reports a compilation failure.
+type CompileError struct {
+	Msg  string
+	Form scheme.Datum
+}
+
+func (e *CompileError) Error() string {
+	if e.Form != nil {
+		return fmt.Sprintf("compile: %s: %s", e.Msg, truncateForm(scheme.WriteDatum(e.Form)))
+	}
+	return "compile: " + e.Msg
+}
+
+func truncateForm(s string) string {
+	if len(s) > 120 {
+		return s[:117] + "..."
+	}
+	return s
+}
+
+type compiler struct {
+	vm        *Machine
+	redefined map[string]bool // builtin names the program rebinds
+}
+
+func compileErrf(form scheme.Datum, format string, args ...any) {
+	panic(&CompileError{Msg: fmt.Sprintf(format, args...), Form: form})
+}
+
+// cbinding is one stack-resident variable in the frame being compiled.
+type cbinding struct {
+	name  string
+	pos   int // slot index relative to the frame base
+	boxed bool
+}
+
+// cfree is a variable captured from an enclosing frame. Exactly one of
+// parentLocal/parentFree is >= 0.
+type cfree struct {
+	name        string
+	boxed       bool
+	parentLocal int
+	parentFree  int
+}
+
+// cframe is the compile-time model of one procedure activation.
+type cframe struct {
+	parent   *cframe
+	code     *Code
+	bindings []cbinding // innermost last
+	depth    int        // current stack words above base (slots + temps)
+	free     []cfree
+}
+
+// ref is the result of name resolution.
+type ref struct {
+	kind  refKind
+	idx   int
+	boxed bool
+}
+
+type refKind uint8
+
+const (
+	refLocal refKind = iota
+	refFree
+	refGlobal
+)
+
+// resolve finds name in frame f, capturing it as a free variable across
+// lambda boundaries, or falls back to a global reference.
+func (c *compiler) resolve(f *cframe, name string) ref {
+	if f == nil {
+		return ref{kind: refGlobal}
+	}
+	for i := len(f.bindings) - 1; i >= 0; i-- {
+		if f.bindings[i].name == name {
+			return ref{kind: refLocal, idx: f.bindings[i].pos, boxed: f.bindings[i].boxed}
+		}
+	}
+	for i, fr := range f.free {
+		if fr.name == name {
+			return ref{kind: refFree, idx: i, boxed: fr.boxed}
+		}
+	}
+	// Not in this frame: resolve in the parent and capture.
+	pr := c.resolve(f.parent, name)
+	switch pr.kind {
+	case refGlobal:
+		return pr
+	case refLocal:
+		f.free = append(f.free, cfree{name: name, boxed: pr.boxed, parentLocal: pr.idx, parentFree: -1})
+	case refFree:
+		f.free = append(f.free, cfree{name: name, boxed: pr.boxed, parentLocal: -1, parentFree: pr.idx})
+	}
+	return ref{kind: refFree, idx: len(f.free) - 1, boxed: pr.boxed}
+}
+
+func (f *cframe) emit(in Instr) int {
+	f.code.Instrs = append(f.code.Instrs, in)
+	return len(f.code.Instrs) - 1
+}
+
+func (f *cframe) constIdx(w Word) int32 {
+	for i, c := range f.code.Consts {
+		if c == w {
+			return int32(i)
+		}
+	}
+	f.code.Consts = append(f.code.Consts, w)
+	return int32(len(f.code.Consts) - 1)
+}
+
+func (c *compiler) globalIdx(f *cframe, name string) int32 {
+	for i, g := range f.code.Globals {
+		if g == name {
+			return int32(i)
+		}
+	}
+	f.code.Globals = append(f.code.Globals, name)
+	f.code.Cells = append(f.code.Cells, c.vm.globalCell(name))
+	return int32(len(f.code.Globals) - 1)
+}
+
+// CompileToplevel compiles one top-level form into a zero-argument thunk
+// ending in OpHalt. The caller runs the thunks in order.
+func (vm *Machine) CompileToplevel(d scheme.Datum) (code *Code, err error) {
+	c := &compiler{vm: vm, redefined: map[string]bool{}}
+	c.noteRedefinitions(d)
+	return c.compileToplevel(d)
+}
+
+func (c *compiler) compileToplevel(d scheme.Datum) (code *Code, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ce, ok := r.(*CompileError); ok {
+				code, err = nil, ce
+				return
+			}
+			panic(r)
+		}
+	}()
+	f := &cframe{code: &Code{Name: "toplevel"}}
+	d = c.expand(d)
+	if form, ok := headIs(d, "define"); ok {
+		c.compileDefine(f, form)
+	} else {
+		c.compileExpr(f, d, false)
+	}
+	f.emit(Instr{Op: OpHalt})
+	c.vm.addCode(f.code)
+	return f.code, nil
+}
+
+// noteRedefinitions records program rebindings of builtin names so the
+// code generator stops inlining them.
+func (c *compiler) noteRedefinitions(d scheme.Datum) {
+	p, ok := d.(*scheme.Pair)
+	if !ok {
+		return
+	}
+	if head, ok := p.Car.(scheme.Sym); ok && (head == "define" || head == "set!") {
+		switch t := cadr(d).(type) {
+		case scheme.Sym:
+			c.redefined[string(t)] = true
+		case *scheme.Pair:
+			if n, ok := t.Car.(scheme.Sym); ok {
+				c.redefined[string(n)] = true
+			}
+		}
+	}
+	for cur := scheme.Datum(p); ; {
+		q, ok := cur.(*scheme.Pair)
+		if !ok {
+			return
+		}
+		c.noteRedefinitions(q.Car)
+		cur = q.Cdr
+	}
+}
+
+func (c *compiler) compileDefine(f *cframe, form scheme.Datum) {
+	// After expansion a define is always (define name expr).
+	items, _ := scheme.ListToSlice(form)
+	if len(items) != 3 {
+		compileErrf(form, "malformed define")
+	}
+	name, ok := items[1].(scheme.Sym)
+	if !ok {
+		compileErrf(form, "define of a non-symbol")
+	}
+	c.compileExprNamed(f, items[2], false, string(name))
+	f.emit(Instr{Op: OpSetGlobal, A: c.globalIdx(f, string(name))})
+}
+
+// compileExpr generates code leaving the value of d in the accumulator.
+func (c *compiler) compileExpr(f *cframe, d scheme.Datum, tail bool) {
+	c.compileExprNamed(f, d, tail, "")
+}
+
+func (c *compiler) compileExprNamed(f *cframe, d scheme.Datum, tail bool, nameHint string) {
+	switch x := d.(type) {
+	case scheme.Sym:
+		c.compileVarRef(f, string(x), d)
+		return
+	case int64:
+		if x >= scheme.FixnumMin && x <= scheme.FixnumMax {
+			f.emit(Instr{Op: OpConst, A: f.constIdx(scheme.FromFixnum(x))})
+			return
+		}
+		compileErrf(d, "integer literal out of fixnum range")
+	case float64, bool, scheme.Char, string, scheme.Vec:
+		f.emit(Instr{Op: OpConst, A: f.constIdx(c.vm.Materialize(d))})
+		return
+	case *scheme.Pair:
+		// handled below
+	default:
+		if scheme.IsEmpty(d) {
+			compileErrf(d, "empty application ()")
+		}
+		compileErrf(d, "cannot compile %T", d)
+	}
+
+	head, _ := d.(*scheme.Pair).Car.(scheme.Sym)
+	switch head {
+	case "quote":
+		f.emit(Instr{Op: OpConst, A: f.constIdx(c.vm.Materialize(cadr(d)))})
+	case "if":
+		c.compileIf(f, d, tail)
+	case "set!":
+		c.compileSet(f, d)
+	case "lambda":
+		c.compileLambda(f, d, nameHint)
+	case "begin":
+		items, ok := scheme.ListToSlice(d)
+		if !ok {
+			compileErrf(d, "malformed begin")
+		}
+		c.compileBody(f, items[1:], tail)
+	case "let":
+		c.compileLet(f, d, tail)
+	case "define":
+		compileErrf(d, "define is only allowed at top level or at the head of a body")
+	default:
+		c.compileApp(f, d, tail)
+	}
+}
+
+func (c *compiler) compileVarRef(f *cframe, name string, form scheme.Datum) {
+	r := c.resolve(f, name)
+	switch r.kind {
+	case refLocal:
+		f.emit(Instr{Op: OpLocal, A: int32(r.idx)})
+	case refFree:
+		f.emit(Instr{Op: OpFree, A: int32(r.idx)})
+	case refGlobal:
+		f.emit(Instr{Op: OpGlobal, A: c.globalIdx(f, name)})
+	}
+	if r.boxed {
+		f.emit(Instr{Op: OpBoxRef})
+	}
+}
+
+func (c *compiler) compileIf(f *cframe, d scheme.Datum, tail bool) {
+	items, ok := scheme.ListToSlice(d)
+	if !ok || len(items) < 3 || len(items) > 4 {
+		compileErrf(d, "malformed if")
+	}
+	c.compileExpr(f, items[1], false)
+	jf := f.emit(Instr{Op: OpJumpFalse})
+	c.compileExpr(f, items[2], tail)
+	jend := f.emit(Instr{Op: OpJump})
+	f.code.Instrs[jf].A = int32(len(f.code.Instrs))
+	if len(items) == 4 {
+		c.compileExpr(f, items[3], tail)
+	} else {
+		f.emit(Instr{Op: OpConst, A: f.constIdx(scheme.Unspec)})
+	}
+	f.code.Instrs[jend].A = int32(len(f.code.Instrs))
+}
+
+func (c *compiler) compileSet(f *cframe, d scheme.Datum) {
+	items, ok := scheme.ListToSlice(d)
+	if !ok || len(items) != 3 {
+		compileErrf(d, "malformed set!")
+	}
+	name, ok := items[1].(scheme.Sym)
+	if !ok {
+		compileErrf(d, "set! of a non-symbol")
+	}
+	r := c.resolve(f, string(name))
+	switch {
+	case r.kind == refGlobal:
+		c.compileExpr(f, items[2], false)
+		f.emit(Instr{Op: OpSetGlobal, A: c.globalIdx(f, string(name))})
+	case r.boxed:
+		// Push the cell, evaluate the value, store through the cell.
+		if r.kind == refLocal {
+			f.emit(Instr{Op: OpLocal, A: int32(r.idx)})
+		} else {
+			f.emit(Instr{Op: OpFree, A: int32(r.idx)})
+		}
+		f.emit(Instr{Op: OpPush})
+		f.depth++
+		c.compileExpr(f, items[2], false)
+		f.emit(Instr{Op: OpBoxSet})
+		f.depth--
+	case r.kind == refLocal:
+		c.compileExpr(f, items[2], false)
+		f.emit(Instr{Op: OpSetLocal, A: int32(r.idx)})
+	default:
+		// A captured-but-never-boxed variable cannot be assigned; boxing
+		// covers every assigned binding, so this indicates a compiler bug.
+		compileErrf(d, "internal error: set! of unboxed free variable %s", name)
+	}
+}
+
+func (c *compiler) compileLambda(f *cframe, d scheme.Datum, nameHint string) {
+	p := d.(*scheme.Pair)
+	rest, _ := p.Cdr.(*scheme.Pair)
+	if rest == nil {
+		compileErrf(d, "malformed lambda")
+	}
+	formals := rest.Car
+	body, ok := scheme.ListToSlice(rest.Cdr)
+	if !ok || len(body) == 0 {
+		compileErrf(d, "lambda with empty body")
+	}
+
+	names, hasRest := parseFormals(formals, d)
+	g := &cframe{
+		parent: f,
+		code:   &Code{Name: nameHint, NArgs: len(names), Rest: hasRest, Prim: -1},
+	}
+	nslots := len(names)
+	if hasRest {
+		nslots++
+	}
+	g.depth = nslots
+	allNames := names
+	if hasRest {
+		allNames = append(append([]string{}, names...), restName(formals))
+	}
+	for i, n := range allNames {
+		boxed := assignedIn(n, body)
+		g.bindings = append(g.bindings, cbinding{name: n, pos: i, boxed: boxed})
+		if boxed {
+			g.emit(Instr{Op: OpLocal, A: int32(i)})
+			g.emit(Instr{Op: OpBox})
+			g.emit(Instr{Op: OpSetLocal, A: int32(i)})
+		}
+	}
+	c.compileBody(g, body, true)
+	g.emit(Instr{Op: OpReturn})
+	ci := c.vm.addCode(g.code)
+	g.code.NFree = len(g.free)
+
+	// Emit capture loads in the enclosing frame, then build the closure.
+	for _, fr := range g.free {
+		if fr.parentLocal >= 0 {
+			f.emit(Instr{Op: OpLocal, A: int32(fr.parentLocal)})
+		} else {
+			f.emit(Instr{Op: OpFree, A: int32(fr.parentFree)})
+		}
+		f.emit(Instr{Op: OpPush})
+		f.depth++
+	}
+	f.emit(Instr{Op: OpClosure, A: int32(ci), B: int32(len(g.free))})
+	f.depth -= len(g.free)
+}
+
+func parseFormals(formals scheme.Datum, form scheme.Datum) (names []string, hasRest bool) {
+	for {
+		switch x := formals.(type) {
+		case scheme.Sym:
+			return names, true
+		case *scheme.Pair:
+			n, ok := x.Car.(scheme.Sym)
+			if !ok {
+				compileErrf(form, "bad formal parameter")
+			}
+			names = append(names, string(n))
+			formals = x.Cdr
+		default:
+			if !scheme.IsEmpty(formals) {
+				compileErrf(form, "bad formals list")
+			}
+			return names, false
+		}
+	}
+}
+
+func restName(formals scheme.Datum) string {
+	for {
+		switch x := formals.(type) {
+		case scheme.Sym:
+			return string(x)
+		case *scheme.Pair:
+			formals = x.Cdr
+		default:
+			panic("vm: restName on proper formals")
+		}
+	}
+}
+
+func (c *compiler) compileLet(f *cframe, d scheme.Datum, tail bool) {
+	items, ok := scheme.ListToSlice(d)
+	if !ok || len(items) < 3 {
+		compileErrf(d, "malformed let")
+	}
+	binds, ok := scheme.ListToSlice(items[1])
+	if !ok {
+		compileErrf(d, "malformed let bindings")
+	}
+	body := items[2:]
+	depth0 := f.depth
+	nbind0 := len(f.bindings)
+	type nb struct {
+		name  string
+		boxed bool
+	}
+	var news []nb
+	for _, b := range binds {
+		bi, ok := scheme.ListToSlice(b)
+		if !ok || len(bi) != 2 {
+			compileErrf(d, "malformed let binding")
+		}
+		name, ok := bi[0].(scheme.Sym)
+		if !ok {
+			compileErrf(d, "let binding of non-symbol")
+		}
+		boxed := assignedIn(string(name), body)
+		c.compileExprNamed(f, bi[1], false, string(name))
+		if boxed {
+			f.emit(Instr{Op: OpBox})
+		}
+		f.emit(Instr{Op: OpPush})
+		news = append(news, nb{string(name), boxed})
+		f.depth++
+	}
+	// Bindings become visible only after all inits are evaluated.
+	for i, n := range news {
+		f.bindings = append(f.bindings, cbinding{name: n.name, pos: depth0 + i, boxed: n.boxed})
+	}
+	c.compileBody(f, body, tail)
+	f.bindings = f.bindings[:nbind0]
+	if !tail && len(news) > 0 {
+		f.emit(Instr{Op: OpPopN, A: int32(len(news))})
+	}
+	f.depth = depth0
+}
+
+func (c *compiler) compileBody(f *cframe, forms []scheme.Datum, tail bool) {
+	if len(forms) == 0 {
+		f.emit(Instr{Op: OpConst, A: f.constIdx(scheme.Unspec)})
+		return
+	}
+	for i, form := range forms {
+		c.compileExpr(f, form, tail && i == len(forms)-1)
+	}
+}
+
+// inlineOp describes a primitive the code generator can open-code.
+type inlineOp struct {
+	op    Op
+	nargs int
+}
+
+var inlineOps = map[string]inlineOp{
+	"cons": {OpCons, 2}, "car": {OpCar, 1}, "cdr": {OpCdr, 1},
+	"set-car!": {OpSetCar, 2}, "set-cdr!": {OpSetCdr, 2},
+	"+": {OpAdd, 2}, "-": {OpSub, 2}, "*": {OpMul, 2},
+	"=": {OpNumEq, 2}, "<": {OpLess, 2}, "<=": {OpLessEq, 2},
+	">": {OpGreater, 2}, ">=": {OpGreaterEq, 2},
+	"eq?": {OpEq, 2}, "null?": {OpNullP, 1}, "pair?": {OpPairP, 1},
+	"not": {OpNot, 1}, "zero?": {OpZeroP, 1},
+	"vector-ref": {OpVecRef, 2}, "vector-set!": {OpVecSet, 3},
+}
+
+func (c *compiler) compileApp(f *cframe, d scheme.Datum, tail bool) {
+	items, ok := scheme.ListToSlice(d)
+	if !ok || len(items) == 0 {
+		compileErrf(d, "malformed application")
+	}
+	// Open-code hot primitives when the operator is an unshadowed,
+	// unredefined builtin name with a matching argument count.
+	if name, ok := items[0].(scheme.Sym); ok {
+		if in, ok := inlineOps[string(name)]; ok && in.nargs == len(items)-1 &&
+			!c.redefined[string(name)] && c.resolve(f, string(name)).kind == refGlobal {
+			for i := 1; i < len(items); i++ {
+				c.compileExpr(f, items[i], false)
+				if i < len(items)-1 {
+					f.emit(Instr{Op: OpPush})
+					f.depth++
+				}
+			}
+			f.emit(Instr{Op: in.op})
+			f.depth -= in.nargs - 1
+			return
+		}
+	}
+
+	n := len(items) - 1
+	if tail {
+		for _, it := range items {
+			c.compileExpr(f, it, false)
+			f.emit(Instr{Op: OpPush})
+			f.depth++
+		}
+		f.emit(Instr{Op: OpTailCall, A: int32(n)})
+		f.depth -= n + 1
+		return
+	}
+	depth0 := f.depth
+	frame := f.emit(Instr{Op: OpFrame})
+	f.depth += 4
+	for _, it := range items {
+		c.compileExpr(f, it, false)
+		f.emit(Instr{Op: OpPush})
+		f.depth++
+	}
+	f.emit(Instr{Op: OpCall, A: int32(n)})
+	f.code.Instrs[frame].A = int32(len(f.code.Instrs))
+	f.depth = depth0
+}
+
+// assignedIn reports whether any form in body assigns name with set!,
+// looking through nested binders unless they shadow name. It runs on
+// fully expanded (core-form) code.
+func assignedIn(name string, body []scheme.Datum) bool {
+	for _, d := range body {
+		if assignedInForm(name, d) {
+			return true
+		}
+	}
+	return false
+}
+
+func assignedInForm(name string, d scheme.Datum) bool {
+	p, ok := d.(*scheme.Pair)
+	if !ok {
+		return false
+	}
+	head, _ := p.Car.(scheme.Sym)
+	switch head {
+	case "quote":
+		return false
+	case "set!":
+		if t, ok := cadr(d).(scheme.Sym); ok && string(t) == name {
+			return true
+		}
+		return assignedInForm(name, caddr(d))
+	case "lambda":
+		rest, _ := p.Cdr.(*scheme.Pair)
+		if rest == nil {
+			return false
+		}
+		names, hasRest := parseFormalsLoose(rest.Car)
+		for _, n := range names {
+			if n == name {
+				return false // shadowed
+			}
+		}
+		if hasRest && restNameLoose(rest.Car) == name {
+			return false
+		}
+		return anyFormAssigns(name, rest.Cdr)
+	case "let":
+		rest, _ := p.Cdr.(*scheme.Pair)
+		if rest == nil {
+			return false
+		}
+		binds, _ := scheme.ListToSlice(rest.Car)
+		shadowed := false
+		for _, b := range binds {
+			bp, ok := b.(*scheme.Pair)
+			if !ok {
+				continue
+			}
+			if n, ok := bp.Car.(scheme.Sym); ok && string(n) == name {
+				shadowed = true
+			}
+			if assignedInForm(name, cadr(b)) {
+				return true
+			}
+		}
+		if shadowed {
+			return false
+		}
+		return anyFormAssigns(name, rest.Cdr)
+	default:
+		return anyFormAssigns(name, d)
+	}
+}
+
+func anyFormAssigns(name string, forms scheme.Datum) bool {
+	for {
+		p, ok := forms.(*scheme.Pair)
+		if !ok {
+			return false
+		}
+		if assignedInForm(name, p.Car) {
+			return true
+		}
+		forms = p.Cdr
+	}
+}
+
+func parseFormalsLoose(formals scheme.Datum) (names []string, hasRest bool) {
+	for {
+		switch x := formals.(type) {
+		case scheme.Sym:
+			return names, true
+		case *scheme.Pair:
+			if n, ok := x.Car.(scheme.Sym); ok {
+				names = append(names, string(n))
+			}
+			formals = x.Cdr
+		default:
+			return names, false
+		}
+	}
+}
+
+func restNameLoose(formals scheme.Datum) string {
+	for {
+		switch x := formals.(type) {
+		case scheme.Sym:
+			return string(x)
+		case *scheme.Pair:
+			formals = x.Cdr
+		default:
+			return ""
+		}
+	}
+}
+
+// Datum helpers.
+func cadr(d scheme.Datum) scheme.Datum  { return nthOrNil(d, 1) }
+func caddr(d scheme.Datum) scheme.Datum { return nthOrNil(d, 2) }
+
+func nthOrNil(d scheme.Datum, n int) scheme.Datum {
+	for i := 0; i <= n; i++ {
+		p, ok := d.(*scheme.Pair)
+		if !ok {
+			return nil
+		}
+		if i == n {
+			return p.Car
+		}
+		d = p.Cdr
+	}
+	return nil
+}
+
+func headIs(d scheme.Datum, name string) (scheme.Datum, bool) {
+	if p, ok := d.(*scheme.Pair); ok {
+		if s, ok := p.Car.(scheme.Sym); ok && string(s) == name {
+			return d, true
+		}
+	}
+	return d, false
+}
+
+// addCode registers a code object and returns its index.
+func (vm *Machine) addCode(code *Code) int {
+	code.idx = len(vm.codes)
+	vm.codes = append(vm.codes, code)
+	return code.idx
+}
+
+// CodeCount returns the number of compiled code objects.
+func (vm *Machine) CodeCount() int { return len(vm.codes) }

@@ -1,0 +1,315 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"gcsim/internal/scheme"
+)
+
+// Tests of the compiler's internal decisions: expansion shapes, lexical
+// resolution, closure conversion, boxing, and inlining.
+
+func compileBody(t *testing.T, m *Machine, src string) *Code {
+	t.Helper()
+	code, err := m.CompileToplevel(mustReadOne(t, src))
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return code
+}
+
+// lastLambda returns the most recently compiled non-toplevel code object.
+func lastLambda(m *Machine) *Code {
+	for i := m.CodeCount() - 1; i >= 0; i-- {
+		c := m.codes[i]
+		if c.Name != "toplevel" && c.Prim < 0 {
+			return c
+		}
+	}
+	return nil
+}
+
+func countOps(c *Code, op Op) int {
+	n := 0
+	for _, in := range c.Instrs {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestExpanderShapes(t *testing.T) {
+	c := &compiler{vm: bare(t), redefined: map[string]bool{}}
+	cases := map[string]string{
+		"(and)":                       "(quote #t)",
+		"(or)":                        "(quote #f)",
+		"(and 1 2)":                   "(if 1 2 #f)",
+		"(when 1 2)":                  "(if 1 (begin 2) ",
+		"(let* ((a 1)) a)":            "(let ((a 1)) a)",
+		"(case x ((1) 'a) (else 'b))": "memv",
+		"(cond (else 5))":             "(begin 5)",
+		"`(a ,b)":                     "(cons (quote a) (cons b (quote ())))",
+	}
+	for src, want := range cases {
+		d := c.expand(mustReadOne(t, src))
+		got := scheme.WriteDatum(d)
+		if !strings.Contains(got, strings.TrimSuffix(want, " ")) {
+			t.Errorf("expand(%s) = %s, want it to contain %s", src, got, want)
+		}
+	}
+}
+
+func TestTailCallsCompiledAsTailCalls(t *testing.T) {
+	m := bare(t)
+	compileBody(t, m, "(define (loop n) (if (= n 0) 'done (loop (- n 1))))")
+	code := lastLambda(m)
+	if code == nil {
+		t.Fatal("no lambda compiled")
+	}
+	if countOps(code, OpTailCall) != 1 {
+		t.Errorf("expected one tail call:\n%s", code.Disassemble())
+	}
+	if countOps(code, OpCall) != 0 {
+		t.Errorf("self-call should not use OpCall:\n%s", code.Disassemble())
+	}
+}
+
+func TestNonTailCallsGetFrames(t *testing.T) {
+	m := bare(t)
+	compileBody(t, m, "(define (f n) (+ 1 (f n)))")
+	code := lastLambda(m)
+	if countOps(code, OpFrame) != 1 || countOps(code, OpCall) != 1 {
+		t.Errorf("non-tail call shape wrong:\n%s", code.Disassemble())
+	}
+	// The frame operand must point just past the call.
+	for pc, in := range code.Instrs {
+		if in.Op == OpFrame {
+			target := int(in.A)
+			if target <= pc || code.Instrs[target-1].Op != OpCall {
+				t.Errorf("frame return pc %d not after its call:\n%s", target, code.Disassemble())
+			}
+		}
+	}
+}
+
+func TestInlinePrimitivesEmitted(t *testing.T) {
+	m := bare(t)
+	compileBody(t, m, "(define (f p) (cons (car p) (cdr p)))")
+	code := lastLambda(m)
+	if countOps(code, OpCons) != 1 || countOps(code, OpCar) != 1 || countOps(code, OpCdr) != 1 {
+		t.Errorf("primitives not inlined:\n%s", code.Disassemble())
+	}
+	if countOps(code, OpCall) != 0 {
+		t.Errorf("inlined body should make no calls:\n%s", code.Disassemble())
+	}
+}
+
+func TestInliningSuppressedByRedefinition(t *testing.T) {
+	m := bare(t)
+	// Program-level redefinition is detected by the prepass.
+	src := "(define (car x) 99) (define (use p) (car p))"
+	forms, err := scheme.ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &compiler{vm: m, redefined: map[string]bool{}}
+	for _, f := range forms {
+		c.noteRedefinitions(f)
+	}
+	if !c.redefined["car"] {
+		t.Fatal("prepass missed the car redefinition")
+	}
+	code, err := c.compileToplevel(forms[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = code
+	inner := lastLambda(m)
+	if countOps(inner, OpCar) != 0 {
+		t.Errorf("car inlined despite redefinition:\n%s", inner.Disassemble())
+	}
+	if countOps(inner, OpTailCall) != 1 {
+		t.Errorf("redefined car should be a general call:\n%s", inner.Disassemble())
+	}
+}
+
+func TestFreeVariableCapture(t *testing.T) {
+	m := bare(t)
+	compileBody(t, m, "(define (outer a b) (lambda (x) (+ a (+ b x))))")
+	// The inner, anonymous one-argument lambda is compiled before its
+	// parent; find it by shape.
+	var inner *Code
+	for i := 0; i < m.CodeCount(); i++ {
+		if c := m.codes[i]; c.Prim < 0 && c.Name == "" && c.NArgs == 1 {
+			inner = c
+		}
+	}
+	if inner == nil {
+		t.Fatal("inner lambda not found")
+	}
+	if inner.NFree != 2 {
+		t.Errorf("inner lambda captures %d free vars, want 2:\n%s",
+			inner.NFree, inner.Disassemble())
+	}
+	if countOps(inner, OpFree) != 2 {
+		t.Errorf("free refs wrong:\n%s", inner.Disassemble())
+	}
+	// The enclosing lambda loads both locals to build the closure.
+	outer := lastLambda(m)
+	if countOps(outer, OpClosure) != 1 || countOps(outer, OpPush) != 2 {
+		t.Errorf("capture loads wrong:\n%s", outer.Disassemble())
+	}
+}
+
+func TestTransitiveCapture(t *testing.T) {
+	m := bare(t)
+	// c is two lambda levels up: the middle lambda must capture it too,
+	// purely to pass it through to the innermost one.
+	compileBody(t, m, "(define (f c) (lambda (y) (lambda (z) c)))")
+	var innermost, middle *Code
+	for i := 0; i < m.CodeCount(); i++ {
+		code := m.codes[i]
+		if code.Prim >= 0 || code.Name != "" {
+			continue
+		}
+		if countOps(code, OpClosure) == 0 {
+			innermost = code
+		} else {
+			middle = code
+		}
+	}
+	if innermost == nil || middle == nil {
+		t.Fatal("lambda shapes not found")
+	}
+	if innermost.NFree != 1 {
+		t.Errorf("innermost captures %d, want 1:\n%s", innermost.NFree, innermost.Disassemble())
+	}
+	if middle.NFree != 1 {
+		t.Errorf("middle captures %d, want 1 (pass-through):\n%s", middle.NFree, middle.Disassemble())
+	}
+	// The middle lambda loads c from its own free list when building the
+	// inner closure.
+	if countOps(middle, OpFree) != 1 {
+		t.Errorf("middle should load its free var:\n%s", middle.Disassemble())
+	}
+}
+
+func TestBoxingOnlyWhenAssigned(t *testing.T) {
+	m := bare(t)
+	compileBody(t, m, "(define (clean a) (+ a 1))")
+	clean := lastLambda(m)
+	if countOps(clean, OpBox) != 0 {
+		t.Errorf("unassigned parameter boxed:\n%s", clean.Disassemble())
+	}
+	m2 := bare(t)
+	compileBody(t, m2, "(define (dirty a) (set! a 2) a)")
+	dirty := lastLambda(m2)
+	if countOps(dirty, OpBox) != 1 {
+		t.Errorf("assigned parameter not boxed:\n%s", dirty.Disassemble())
+	}
+	if countOps(dirty, OpBoxRef) == 0 || countOps(dirty, OpBoxSet) == 0 {
+		t.Errorf("boxed accesses missing:\n%s", dirty.Disassemble())
+	}
+}
+
+func TestShadowingSuppressesBoxing(t *testing.T) {
+	m := bare(t)
+	// The set! targets the inner x, so the outer x stays unboxed.
+	compileBody(t, m, "(define (f x) (let ((g (lambda (x) (set! x 1) x))) (+ x (g 2))))")
+	var outer *Code
+	for i := 0; i < m.CodeCount(); i++ {
+		if m.codes[i].Name == "f" {
+			outer = m.codes[i]
+		}
+	}
+	if outer == nil {
+		t.Fatal("f not found")
+	}
+	// f's parameter x should not be boxed (the inner lambda shadows it).
+	if outer.Instrs[0].Op == OpLocal && outer.Instrs[1].Op == OpBox {
+		t.Errorf("outer x boxed despite shadowing:\n%s", outer.Disassemble())
+	}
+}
+
+func TestConstantsDeduplicated(t *testing.T) {
+	m := bare(t)
+	code := compileBody(t, m, "(cons 7 (cons 7 7))")
+	sevens := 0
+	for _, c := range code.Consts {
+		if scheme.IsFixnum(c) && scheme.FixnumValue(c) == 7 {
+			sevens++
+		}
+	}
+	if sevens != 1 {
+		t.Errorf("constant 7 appears %d times in the pool", sevens)
+	}
+}
+
+func TestGlobalCellsShared(t *testing.T) {
+	m := bare(t)
+	code := compileBody(t, m, "(begin (display 1) (display 2))")
+	displays := 0
+	for _, g := range code.Globals {
+		if g == "display" {
+			displays++
+		}
+	}
+	if displays != 1 {
+		t.Errorf("display cell duplicated: %v", code.Globals)
+	}
+}
+
+func TestLetCompilesToStackSlots(t *testing.T) {
+	m := bare(t)
+	compileBody(t, m, "(define (f) (let ((a 1) (b 2)) (+ a b)))")
+	code := lastLambda(m)
+	// No closure allocation for a simple let.
+	if countOps(code, OpClosure) != 0 {
+		t.Errorf("let created a closure:\n%s", code.Disassemble())
+	}
+	if countOps(code, OpLocal) < 2 {
+		t.Errorf("let bindings not on the stack:\n%s", code.Disassemble())
+	}
+}
+
+func TestCompileErrorsCarryForms(t *testing.T) {
+	m := bare(t)
+	_, err := m.CompileToplevel(mustReadOne(t, "(if)"))
+	if err == nil {
+		t.Fatal("bad if accepted")
+	}
+	ce, ok := err.(*CompileError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if !strings.Contains(ce.Error(), "if") {
+		t.Errorf("error message lacks the form: %v", ce)
+	}
+}
+
+func TestAssignedInAnalysis(t *testing.T) {
+	read := func(s string) scheme.Datum { return mustReadOne(t, s) }
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"x", "(set! x 1)", true},
+		{"x", "(set! y 1)", false},
+		{"x", "(lambda (x) (set! x 1))", false}, // shadowed
+		{"x", "(lambda (y) (set! x 1))", true},
+		{"x", "(let ((x 1)) (set! x 2))", false}, // shadowed
+		{"x", "(let ((y (set! x 1))) y)", true},  // assigned in init
+		{"x", "(quote (set! x 1))", false},       // quoted
+		{"x", "(if a (set! x 1) b)", true},
+		{"x", "(set! y (set! x 1))", true}, // nested in another set!'s value
+	}
+	for _, cse := range cases {
+		got := assignedIn(cse.name, []scheme.Datum{read(cse.body)})
+		if got != cse.want {
+			t.Errorf("assignedIn(%s, %s) = %v, want %v", cse.name, cse.body, got, cse.want)
+		}
+	}
+}

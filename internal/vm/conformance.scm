@@ -1,0 +1,192 @@
+;;; Conformance suite: exercises the Scheme dialect from inside the
+;;; simulated machine. Each check compares an expression's value against
+;;; its expected value with equal?; failures are counted and named on the
+;;; output port. The suite's value is the failure count — zero on a
+;;; healthy system. It runs under every collector in the Go tests, so it
+;;; doubles as a GC torture test.
+
+(define conformance-failures 0)
+
+(define (check name actual expected)
+  (if (equal? actual expected)
+      (void)
+      (begin
+        (set! conformance-failures (+ conformance-failures 1))
+        (display "FAIL: ") (display name)
+        (display " got ") (write actual)
+        (display " want ") (write expected)
+        (newline))))
+
+;;; ---- numbers ----
+(check 'add (+ 1 2 3) 6)
+(check 'add-empty (+) 0)
+(check 'sub (- 10 1 2) 7)
+(check 'neg (- 5) -5)
+(check 'mul (* 2 3 4) 24)
+(check 'div-exact (/ 12 4) 3)
+(check 'div-inexact (/ 1 4) 0.25)
+(check 'quotient (quotient -7 2) -3)
+(check 'remainder (remainder -7 2) -1)
+(check 'modulo (modulo -7 2) 1)
+(check 'min-max (list (min 3 1 2) (max 3 1 2)) '(1 3))
+(check 'abs (list (abs -3) (abs 3) (abs -2.5)) '(3 3 2.5))
+(check 'expt (expt 3 4) 81)
+(check 'expt-flo (expt 2.0 3) 8.0)
+(check 'sqrt (sqrt 16.0) 4.0)
+(check 'floor-ceil (list (floor 2.7) (ceiling 2.3) (round 2.5) (truncate -2.7))
+       (list 2.0 3.0 2.0 -2.0))
+(check 'exactness (list (exact->inexact 2) (inexact->exact 2.0)) '(2.0 2))
+(check 'predicates (list (zero? 0) (positive? 2) (negative? -2) (even? 4) (odd? 3))
+       '(#t #t #t #t #t))
+(check 'compare (list (< 1 2 3) (<= 2 2) (> 3 1) (>= 2 3) (= 1 1 1))
+       '(#t #t #t #f #t))
+(check 'mixed-compare (< 1 1.5 2) #t)
+(check 'number-string (list (number->string 42) (string->number "17") (string->number "2.5"))
+       '("42" 17 2.5))
+(check 'bitwise (list (bitwise-and 12 10) (bitwise-or 12 10) (bitwise-xor 12 10)
+                      (arithmetic-shift 1 5) (arithmetic-shift 32 -5))
+       '(8 14 6 32 1))
+(check 'num-preds (list (number? 1) (number? 1.5) (number? 'a)
+                        (integer? 3) (integer? 3.0) (integer? 3.5))
+       '(#t #t #f #t #t #f))
+
+;;; ---- booleans and equivalence ----
+(check 'truth (list (if 0 'y 'n) (if "" 'y 'n) (if '() 'y 'n) (if #f 'y 'n))
+       '(y y y n))
+(check 'not (list (not #f) (not 0) (not '())) '(#t #f #f))
+(check 'eq-symbols (eq? 'a 'a) #t)
+(check 'eqv-numbers (list (eqv? 2 2) (eqv? 2.5 2.5) (eqv? 2 2.0)) '(#t #t #f))
+(check 'equal-deep (equal? '(1 (2 #(3 "four"))) (list 1 (list 2 (vector 3 "four")))) #t)
+
+;;; ---- pairs and lists ----
+(check 'cons-car-cdr (let ((p (cons 1 2))) (list (car p) (cdr p) (pair? p))) '(1 2 #t))
+(check 'list-basics (list (length '(a b c)) (list-ref '(a b c) 1) (list? '(1 2)))
+       '(3 b #t))
+(check 'append3 (append '(1) '(2 3) '() '(4)) '(1 2 3 4))
+(check 'reverse (reverse '(1 2 3)) '(3 2 1))
+(check 'list-tail (list-tail '(a b c d) 2) '(c d))
+(check 'assq (assq 'b '((a . 1) (b . 2))) '(b . 2))
+(check 'assoc (assoc "k" '(("j" . 1) ("k" . 2))) '("k" . 2))
+(check 'memq (memq 'c '(a b c d)) '(c d))
+(check 'member (member '(x) '((w) (x) (y))) '((x) (y)))
+(check 'set-car (let ((p (cons 1 2))) (set-car! p 9) p) '(9 . 2))
+(check 'set-cdr (let ((p (cons 1 2))) (set-cdr! p 9) p) '(1 . 9))
+(check 'improper '(1 2 . 3) (cons 1 (cons 2 3)))
+(check 'cxr (list (caar '((1) 2)) (cadr '(1 2)) (cddr '(1 2 3)) (caddr '(1 2 3)))
+       '(1 2 (3) 3))
+
+;;; ---- vectors ----
+(check 'vector-basics
+       (let ((v (make-vector 3 'x)))
+         (vector-set! v 1 'y)
+         (list (vector-length v) (vector-ref v 0) (vector-ref v 1) (vector? v)))
+       '(3 x y #t))
+(check 'vector-conv (list (vector->list #(1 2)) (list->vector '(3 4)))
+       (list '(1 2) #(3 4)))
+(check 'vector-fill (let ((v (make-vector 2 0))) (vector-fill! v 7) (vector->list v)) '(7 7))
+
+;;; ---- strings and chars ----
+(check 'string-basics (list (string-length "hello") (string-ref "abc" 2)
+                            (substring "hello" 1 4))
+       (list 5 #\c "ell"))
+(check 'string-append (string-append "a" "" "bc") "abc")
+(check 'string-compare (list (string=? "ab" "ab") (string<? "ab" "b")) '(#t #t))
+(check 'string-conv (list (string->list "hi") (list->string (list #\h #\i))
+                          (string->symbol "sym") (symbol->string 'sym))
+       (list (list #\h #\i) "hi" 'sym "sym"))
+(check 'char-ops (list (char->integer #\a) (integer->char 98)
+                       (char-upcase #\q) (char-downcase #\Q)
+                       (char-alphabetic? #\z) (char-numeric? #\5)
+                       (char-whitespace? #\space))
+       (list 97 #\b #\Q #\q #t #t #t))
+
+;;; ---- control and binding forms ----
+(check 'let-shadow (let ((x 1)) (let ((x 2) (y x)) (list x y))) '(2 1))
+(check 'let-star (let* ((x 1) (y (+ x 1)) (z (* y 2))) z) 4)
+(check 'letrec-mutual
+       (letrec ((e? (lambda (n) (if (= n 0) #t (o? (- n 1)))))
+                (o? (lambda (n) (if (= n 0) #f (e? (- n 1))))))
+         (list (e? 8) (o? 8)))
+       '(#t #f))
+(check 'named-let (let go ((i 0) (acc '())) (if (= i 3) acc (go (+ i 1) (cons i acc))))
+       '(2 1 0))
+(check 'do-loop (do ((i 0 (+ i 1)) (s 0 (+ s i))) ((= i 4) s)) 6)
+(check 'cond-arrow (cond ((assq 'b '((a 1) (b 2))) => cadr) (else 'no)) 2)
+(check 'cond-test-only (cond (#f 1) (42) (else 2)) 42)
+(check 'case-else (case 99 ((1) 'one) (else 'other)) 'other)
+(check 'case-list (case 2 ((1 2 3) 'small) (else 'big)) 'small)
+(check 'and-or (list (and 1 2) (and #f 2) (or #f 3) (or 4 (error "no"))) '(2 #f 3 4))
+(check 'when-unless (list (when #t 'a) (unless #f 'b)) '(a b))
+(check 'begin-order (let ((x 0)) (begin (set! x 1) (set! x (+ x 1)) x)) 2)
+
+;;; ---- closures and higher-order functions ----
+(check 'closure-capture ((let ((n 10)) (lambda (x) (+ x n))) 5) 15)
+(check 'closure-mutation
+       (let* ((counter (let ((n 0)) (lambda () (set! n (+ n 1)) n))))
+         (counter) (counter) (counter))
+       3)
+(check 'rest-args ((lambda (a . rest) (list a rest)) 1 2 3) '(1 (2 3)))
+(check 'all-rest ((lambda args args) 1 2) '(1 2))
+(check 'apply-spread (apply + 1 2 '(3 4)) 10)
+(check 'map2 (map + '(1 2 3) '(10 20 30)) '(11 22 33))
+(check 'map-closures (map (lambda (f) (f 10)) (list 1+ -1+ (lambda (x) (* x x))))
+       '(11 9 100))
+(check 'filter-fold (fold-left + 0 (filter even? (iota 10))) 20)
+(check 'fold-right-order (fold-right cons '() '(1 2 3)) '(1 2 3))
+(check 'sort-stable (sort '(3 1 2 1) <) '(1 1 2 3))
+(check 'compose
+       (let ((compose (lambda (f g) (lambda (x) (f (g x))))))
+         ((compose (lambda (x) (* 2 x)) 1+) 20))
+       42)
+(check 'deep-tail
+       (let loop ((i 0) (acc 0)) (if (= i 100000) acc (loop (+ i 1) (+ acc 1))))
+       100000)
+
+;;; ---- quasiquote ----
+(check 'qq-basic `(1 ,(+ 1 1) ,@(list 3 4)) '(1 2 3 4))
+(check 'qq-nested `(a `(b ,(c ,(+ 1 2)))) '(a (quasiquote (b (unquote (c 3))))))
+(check 'qq-vector `#(1 ,(+ 1 1)) #(1 2))
+
+;;; ---- tables ----
+(check 'table-ops
+       (let ((t (make-table)))
+         (table-set! t 'a 1)
+         (table-set! t 'b 2)
+         (table-set! t 'a 10)
+         (list (table-ref t 'a 0) (table-ref t 'b 0) (table-ref t 'zz 99)
+               (table-count t)))
+       '(10 2 99 2))
+(check 'table-growth
+       (let ((t (make-table)))
+         (for-each (lambda (i) (table-set! t i (* i i))) (iota 200))
+         (list (table-count t) (table-ref t 150 -1)))
+       '(200 22500))
+
+;;; ---- symbols and gensyms ----
+(check 'gensym-distinct (eq? (gensym) (gensym)) #f)
+(check 'gensym-symbolp (symbol? (gensym "pfx")) #t)
+(check 'intern-stable (eq? 'hello (string->symbol (string-append "he" "llo"))) #t)
+
+;;; ---- internal defines ----
+(check 'internal-defines
+       (let ((unused 0))
+         (define (f x) (g (+ x 1)))
+         (define (g x) (* x 2))
+         (f 4))
+       10)
+
+;;; ---- deep structural work (GC torture when run with collectors) ----
+(check 'tree-sum
+       (let ()
+         (define (build d) (if (= d 0) 1 (cons (build (- d 1)) (build (- d 1)))))
+         (define (total t) (if (pair? t) (+ (total (car t)) (total (cdr t))) t))
+         (total (build 12)))
+       4096)
+(check 'church-list
+       (length
+        (let loop ((i 0) (acc '()))
+          (if (= i 2000) acc (loop (+ i 1) (cons (make-vector 3 i) acc)))))
+       2000)
+
+;;; The suite's value: the number of failures (zero when healthy).
+conformance-failures

@@ -1,0 +1,48 @@
+package vm
+
+import (
+	_ "embed"
+	"testing"
+
+	"gcsim/internal/gc"
+	"gcsim/internal/scheme"
+)
+
+//go:embed conformance.scm
+var conformanceSource string
+
+// TestConformanceSuite runs the Scheme-level suite on a bare machine and
+// under every collector; any failure is reported with the suite's own
+// diagnostic output. Because the suite mixes deep recursion, churn, and
+// mutation, running it under the collectors doubles as a GC torture test.
+func TestConformanceSuite(t *testing.T) {
+	makers := map[string]func() gc.Collector{
+		"none":         func() gc.Collector { return gc.NewNoGC() },
+		"cheney":       func() gc.Collector { return gc.NewCheney(128 << 10) },
+		"generational": func() gc.Collector { return gc.NewGenerational(32<<10, 512<<10) },
+		"aggressive":   func() gc.Collector { return gc.NewAggressive(16<<10, 512<<10) },
+		"marksweep":    func() gc.Collector { return gc.NewMarkSweep(96 << 10) },
+	}
+	for name, mk := range makers {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			col := mk()
+			m := NewLoaded(nil, col)
+			m.MaxInsns = 2_000_000_000
+			v, err := m.Eval(conformanceSource)
+			if err != nil {
+				t.Fatalf("suite aborted: %v\noutput:\n%s", err, m.Output())
+			}
+			if !scheme.IsFixnum(v) {
+				t.Fatalf("suite value not a fixnum: %s", m.DescribeValue(v))
+			}
+			if failures := scheme.FixnumValue(v); failures != 0 {
+				t.Errorf("%d conformance failures under %s:\n%s",
+					failures, name, m.Output())
+			}
+			if name != "none" && col.Stats().Collections == 0 {
+				t.Errorf("suite did not trigger any collections under %s", name)
+			}
+		})
+	}
+}

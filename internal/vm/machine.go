@@ -1,0 +1,280 @@
+package vm
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"gcsim/internal/gc"
+	"gcsim/internal/mem"
+	"gcsim/internal/scheme"
+)
+
+// Word re-exports the tagged value type for brevity.
+type Word = scheme.Word
+
+// Machine is a complete Scheme system: memory, collector, compiled code,
+// interned symbols, global environment, and the interpreter registers.
+type Machine struct {
+	Mem *mem.Memory
+	Col gc.Collector
+
+	codes []*Code
+
+	// Interpreter registers. acc and clos are roots.
+	acc  Word
+	clos Word
+	sp   uint64 // next free stack slot
+	base uint64 // current frame base (address of argument 0)
+
+	insns   uint64 // program instructions (cost-weighted)
+	gcInsns uint64 // collector instructions
+
+	symbols     map[string]uint64 // name -> static symbol address
+	symbolNames map[uint64]string // reverse map for printing
+	globals     map[string]uint64 // name -> static cell address
+	globalOrder []string          // definition order, for reports
+
+	out bytes.Buffer // display/write output
+
+	gensymCount int64
+	rngState    uint64
+
+	barrierCost uint64 // mutator cost per pointer store (generational)
+
+	// MaxInsns aborts a run that exceeds this instruction count (0 means
+	// unlimited); it guards tests against runaway programs.
+	MaxInsns uint64
+
+	// OnAlloc, if set, observes every dynamic object allocation (header
+	// address and total words). The behaviour analyzer uses it to detect
+	// allocation misses and allocation cycles.
+	OnAlloc func(addr uint64, words int)
+
+	halted bool
+}
+
+// New creates a machine with the given tracer and collector. A nil
+// collector means linear allocation with the collector disabled (the
+// paper's control configuration).
+func New(tracer mem.Tracer, col gc.Collector) *Machine {
+	if col == nil {
+		col = gc.NewNoGC()
+	}
+	vm := &Machine{
+		Mem:         mem.New(tracer),
+		Col:         col,
+		sp:          mem.StackBase,
+		base:        mem.StackBase,
+		symbols:     make(map[string]uint64),
+		symbolNames: make(map[uint64]string),
+		globals:     make(map[string]uint64),
+		rngState:    0x9E3779B97F4A7C15,
+		clos:        scheme.Undef,
+		acc:         scheme.Unspec,
+	}
+	col.Attach(gc.Env{
+		Mem: vm.Mem,
+		RegisterRoots: func(visit func(*Word)) {
+			visit(&vm.acc)
+			visit(&vm.clos)
+		},
+		StackTop:    func() uint64 { return vm.sp },
+		StaticEnd:   func() uint64 { return vm.Mem.StaticNext() },
+		ChargeInsns: func(n uint64) { vm.gcInsns += n },
+	})
+	if _, ok := col.(*gc.Generational); ok {
+		vm.barrierCost = gc.BarrierCost
+	}
+	vm.installBuiltins()
+	return vm
+}
+
+// Insns returns the cost-weighted program instruction count (I_prog).
+func (vm *Machine) Insns() uint64 { return vm.insns }
+
+// GCInsns returns the collector instruction count (I_gc).
+func (vm *Machine) GCInsns() uint64 { return vm.gcInsns }
+
+// Output returns everything the program has displayed or written.
+func (vm *Machine) Output() string { return vm.out.String() }
+
+// ResetOutput clears the captured output.
+func (vm *Machine) ResetOutput() { vm.out.Reset() }
+
+// charge adds n program instructions.
+func (vm *Machine) charge(n uint64) { vm.insns += n }
+
+// alloc allocates a dynamic object (header plus payload), writes its
+// header, and returns the header address. It never collects; collections
+// happen at interpreter safepoints.
+func (vm *Machine) alloc(kind scheme.Kind, payloadWords int) uint64 {
+	total := payloadWords + 1
+	addr := vm.Col.Alloc(total)
+	vm.Mem.C.AllocWords += uint64(total)
+	vm.Mem.C.AllocObjects++
+	if hw := vm.Col.HeapWords(); hw > vm.Mem.C.AllocBytesHighWater/mem.WordBytes {
+		vm.Mem.C.AllocBytesHighWater = hw * mem.WordBytes
+	}
+	if vm.OnAlloc != nil {
+		vm.OnAlloc(addr, total)
+	}
+	vm.Mem.Store(addr, scheme.MakeHeader(kind, payloadWords))
+	return addr
+}
+
+// allocStaticObject lays out an object in the static area (program image:
+// symbols, quoted constants, global cells). Static stores are untraced —
+// they happen while the image is built, before the measured run.
+func (vm *Machine) allocStaticObject(kind scheme.Kind, payload []Word) uint64 {
+	addr := vm.Mem.AllocStatic(len(payload) + 1)
+	vm.Mem.Poke(addr, scheme.MakeHeader(kind, len(payload)))
+	for i, w := range payload {
+		vm.Mem.Poke(addr+1+uint64(i), w)
+	}
+	return addr
+}
+
+// storeSlot performs a program store into an object slot, applying the
+// generational write barrier.
+func (vm *Machine) storeSlot(addr uint64, w Word) {
+	vm.Mem.Store(addr, w)
+	if vm.barrierCost != 0 {
+		vm.charge(vm.barrierCost)
+		vm.Col.WriteBarrier(addr, w)
+	}
+}
+
+// push pushes a word on the stack.
+func (vm *Machine) push(w Word) {
+	if vm.sp >= mem.StackLimit {
+		panic(&Error{Msg: "stack overflow"})
+	}
+	vm.Mem.Store(vm.sp, w)
+	vm.sp++
+}
+
+// Intern returns the static symbol object for name, creating it on first
+// use. Symbol payloads are [name-string-pointer, hash]; both the symbol
+// and its name string are static, so symbols never move and eq? on symbols
+// is stable across collections.
+func (vm *Machine) Intern(name string) Word {
+	if addr, ok := vm.symbols[name]; ok {
+		return scheme.FromPtr(addr)
+	}
+	str := vm.staticString(name)
+	h := int64(hashString(name) & (1<<60 - 1))
+	addr := vm.allocStaticObject(scheme.KindSymbol, []Word{str, scheme.FromFixnum(h)})
+	vm.symbols[name] = addr
+	vm.symbolNames[addr] = name
+	return scheme.FromPtr(addr)
+}
+
+// SymbolName returns the name of an interned symbol, or "" if w is not one.
+func (vm *Machine) SymbolName(w Word) string {
+	if !scheme.IsPtr(w) {
+		return ""
+	}
+	return vm.symbolNames[scheme.PtrAddr(w)]
+}
+
+// staticString lays out a string object in static memory.
+func (vm *Machine) staticString(s string) Word {
+	return scheme.FromPtr(vm.allocStaticObject(scheme.KindString, stringPayload(s)))
+}
+
+// stringPayload packs a Go string into the string-object payload layout:
+// a byte-length fixnum followed by the bytes packed eight per word.
+func stringPayload(s string) []Word {
+	words := make([]Word, 1+(len(s)+7)/8)
+	words[0] = scheme.FromFixnum(int64(len(s)))
+	for i := 0; i < len(s); i++ {
+		words[1+i/8] |= Word(s[i]) << (8 * (i % 8))
+	}
+	return words
+}
+
+// globalCell returns the static cell address for a global variable,
+// creating an unbound cell on first reference.
+func (vm *Machine) globalCell(name string) uint64 {
+	if addr, ok := vm.globals[name]; ok {
+		return addr
+	}
+	addr := vm.allocStaticObject(scheme.KindCell, []Word{scheme.Undef})
+	vm.globals[name] = addr
+	vm.globalOrder = append(vm.globalOrder, name)
+	return addr
+}
+
+// DefineGlobal binds a global variable to a value, as top-level define
+// does.
+func (vm *Machine) DefineGlobal(name string, w Word) {
+	vm.Mem.Poke(vm.globalCell(name)+1, w)
+}
+
+// GlobalRef returns the value of a global variable for inspection by tests
+// and tools (untraced).
+func (vm *Machine) GlobalRef(name string) (Word, bool) {
+	addr, ok := vm.globals[name]
+	if !ok {
+		return scheme.Undef, false
+	}
+	w := vm.Mem.Peek(addr + 1)
+	return w, w != scheme.Undef
+}
+
+// hashString is FNV-1a, used for symbol hash codes.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Error is a Scheme runtime error.
+type Error struct {
+	Msg string
+}
+
+func (e *Error) Error() string { return "scheme: " + e.Msg }
+
+// errf raises a Scheme error by panicking; Run recovers it.
+func (vm *Machine) errf(format string, args ...any) {
+	panic(&Error{Msg: fmt.Sprintf(format, args...)})
+}
+
+// flonum boxes a float in the dynamic area.
+func (vm *Machine) flonum(f float64) Word {
+	addr := vm.alloc(scheme.KindFlonum, 1)
+	vm.Mem.Store(addr+1, Word(math.Float64bits(f)))
+	return scheme.FromPtr(addr)
+}
+
+// kindOf returns the object kind of a pointer word, checked host-side
+// (models tag-in-pointer type checks, which touch no memory).
+func (vm *Machine) kindOf(w Word) (scheme.Kind, bool) {
+	if !scheme.IsPtr(w) {
+		return 0, false
+	}
+	h := vm.Mem.Peek(scheme.PtrAddr(w))
+	if !scheme.IsHeader(h) {
+		return 0, false
+	}
+	return scheme.HeaderKind(h), true
+}
+
+// isKind reports whether w points to an object of kind k.
+func (vm *Machine) isKind(w Word, k scheme.Kind) bool {
+	got, ok := vm.kindOf(w)
+	return ok && got == k
+}
+
+// checkKind panics with a type error unless w is an object of kind k.
+func (vm *Machine) checkKind(w Word, k scheme.Kind, who string) uint64 {
+	if !vm.isKind(w, k) {
+		vm.errf("%s: expected %s, got %s", who, k, vm.DescribeValue(w))
+	}
+	return scheme.PtrAddr(w)
+}

@@ -1,0 +1,172 @@
+package vm
+
+import (
+	"math"
+
+	"gcsim/internal/scheme"
+)
+
+// Generic arithmetic over fixnums and boxed flonums. Fixnum overflow is an
+// error (the dialect has no bignums); mixed operations promote to flonum.
+
+func (vm *Machine) isNumber(w Word) bool {
+	return scheme.IsFixnum(w) || vm.isFlonum(w)
+}
+
+// toFloat converts any number to float64.
+func (vm *Machine) toFloat(w Word, who string) float64 {
+	if scheme.IsFixnum(w) {
+		return float64(scheme.FixnumValue(w))
+	}
+	if vm.isFlonum(w) {
+		return vm.flonumValue(w)
+	}
+	vm.errf("%s: expected a number, got %s", who, vm.DescribeValue(w))
+	return 0
+}
+
+func (vm *Machine) checkFixRange(v int64, who string) Word {
+	if v < scheme.FixnumMin || v > scheme.FixnumMax {
+		vm.errf("%s: fixnum overflow", who)
+	}
+	return scheme.FromFixnum(v)
+}
+
+func (vm *Machine) numAdd(a, b Word) Word {
+	if scheme.IsFixnum(a) && scheme.IsFixnum(b) {
+		return vm.checkFixRange(scheme.FixnumValue(a)+scheme.FixnumValue(b), "+")
+	}
+	return vm.flonum(vm.toFloat(a, "+") + vm.toFloat(b, "+"))
+}
+
+func (vm *Machine) numSub(a, b Word) Word {
+	if scheme.IsFixnum(a) && scheme.IsFixnum(b) {
+		return vm.checkFixRange(scheme.FixnumValue(a)-scheme.FixnumValue(b), "-")
+	}
+	return vm.flonum(vm.toFloat(a, "-") - vm.toFloat(b, "-"))
+}
+
+func (vm *Machine) numMul(a, b Word) Word {
+	if scheme.IsFixnum(a) && scheme.IsFixnum(b) {
+		x, y := scheme.FixnumValue(a), scheme.FixnumValue(b)
+		p := x * y
+		if x != 0 && (p/x != y || p < scheme.FixnumMin || p > scheme.FixnumMax) {
+			vm.errf("*: fixnum overflow")
+		}
+		return scheme.FromFixnum(p)
+	}
+	return vm.flonum(vm.toFloat(a, "*") * vm.toFloat(b, "*"))
+}
+
+func (vm *Machine) numDiv(a, b Word) Word {
+	if scheme.IsFixnum(a) && scheme.IsFixnum(b) {
+		x, y := scheme.FixnumValue(a), scheme.FixnumValue(b)
+		if y != 0 && x%y == 0 {
+			return scheme.FromFixnum(x / y)
+		}
+		if y == 0 {
+			vm.errf("/: division by zero")
+		}
+	}
+	fb := vm.toFloat(b, "/")
+	if fb == 0 {
+		vm.errf("/: division by zero")
+	}
+	return vm.flonum(vm.toFloat(a, "/") / fb)
+}
+
+// numCompare returns -1, 0, or 1.
+func (vm *Machine) numCompare(a, b Word, who string) int {
+	if scheme.IsFixnum(a) && scheme.IsFixnum(b) {
+		x, y := scheme.FixnumValue(a), scheme.FixnumValue(b)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return 0
+		}
+	}
+	x, y := vm.toFloat(a, who), vm.toFloat(b, who)
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (vm *Machine) fixnumArg(w Word, who string) int64 {
+	if !scheme.IsFixnum(w) {
+		vm.errf("%s: expected an integer, got %s", who, vm.DescribeValue(w))
+	}
+	return scheme.FixnumValue(w)
+}
+
+func (vm *Machine) quotient(a, b Word) Word {
+	x, y := vm.fixnumArg(a, "quotient"), vm.fixnumArg(b, "quotient")
+	if y == 0 {
+		vm.errf("quotient: division by zero")
+	}
+	return scheme.FromFixnum(x / y)
+}
+
+func (vm *Machine) remainder(a, b Word) Word {
+	x, y := vm.fixnumArg(a, "remainder"), vm.fixnumArg(b, "remainder")
+	if y == 0 {
+		vm.errf("remainder: division by zero")
+	}
+	return scheme.FromFixnum(x % y)
+}
+
+func (vm *Machine) modulo(a, b Word) Word {
+	x, y := vm.fixnumArg(a, "modulo"), vm.fixnumArg(b, "modulo")
+	if y == 0 {
+		vm.errf("modulo: division by zero")
+	}
+	m := x % y
+	if m != 0 && (m < 0) != (y < 0) {
+		m += y
+	}
+	return scheme.FromFixnum(m)
+}
+
+// float1 wraps a one-argument math function as a flonum builtin.
+func (vm *Machine) float1(f func(float64) float64, w Word, who string) Word {
+	return vm.flonum(f(vm.toFloat(w, who)))
+}
+
+// numToString renders a number as display would.
+func (vm *Machine) numToString(w Word) string {
+	if scheme.IsFixnum(w) {
+		return scheme.WriteDatum(scheme.FixnumValue(w))
+	}
+	return scheme.WriteDatum(vm.flonumValue(w))
+}
+
+// exactToInexact and inexactToExact implement the R4RS conversions the
+// workloads need.
+func (vm *Machine) exactToInexact(w Word) Word {
+	if scheme.IsFixnum(w) {
+		return vm.flonum(float64(scheme.FixnumValue(w)))
+	}
+	if vm.isFlonum(w) {
+		return w
+	}
+	vm.errf("exact->inexact: expected a number")
+	return scheme.Unspec
+}
+
+func (vm *Machine) inexactToExact(w Word) Word {
+	if scheme.IsFixnum(w) {
+		return w
+	}
+	f := vm.flonumValue(w)
+	if f != math.Trunc(f) || math.Abs(f) > float64(scheme.FixnumMax) {
+		vm.errf("inexact->exact: %v is not an exact integer", f)
+	}
+	return scheme.FromFixnum(int64(f))
+}

@@ -1,0 +1,375 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gcsim/internal/scheme"
+)
+
+// This file contains the runtime object layer: constructors and accessors
+// for every heap object kind, the materialization of host-side data into
+// simulated memory, and the value printer. Accessors perform their type
+// checks host-side (no simulated references) and their data accesses
+// through the traced memory.
+
+// cons allocates a pair.
+func (vm *Machine) cons(car, cdr Word) Word {
+	addr := vm.alloc(scheme.KindPair, 2)
+	vm.Mem.Store(addr+1, car)
+	vm.Mem.Store(addr+2, cdr)
+	return scheme.FromPtr(addr)
+}
+
+func (vm *Machine) car(p Word) Word { return vm.Mem.Load(vm.checkKind(p, scheme.KindPair, "car") + 1) }
+func (vm *Machine) cdr(p Word) Word { return vm.Mem.Load(vm.checkKind(p, scheme.KindPair, "cdr") + 2) }
+
+// list builds a list from values, last to first.
+func (vm *Machine) list(items ...Word) Word {
+	out := scheme.Nil
+	for i := len(items) - 1; i >= 0; i-- {
+		out = vm.cons(items[i], out)
+	}
+	return out
+}
+
+// makeVector allocates a vector of n elements, each initialized to fill.
+func (vm *Machine) makeVector(n int, fill Word) Word {
+	addr := vm.alloc(scheme.KindVector, n)
+	for i := 0; i < n; i++ {
+		vm.Mem.Store(addr+1+uint64(i), fill)
+	}
+	return scheme.FromPtr(addr)
+}
+
+// vectorLen returns the length of a vector without touching memory (the
+// length lives in the header, modeled as part of the pointer/tag word).
+func (vm *Machine) vectorLen(v Word) int {
+	addr := vm.checkKind(v, scheme.KindVector, "vector-length")
+	return scheme.HeaderSize(vm.Mem.Peek(addr))
+}
+
+func (vm *Machine) vectorRef(v Word, i int, who string) Word {
+	addr := vm.checkKind(v, scheme.KindVector, who)
+	n := scheme.HeaderSize(vm.Mem.Peek(addr))
+	if i < 0 || i >= n {
+		vm.errf("%s: index %d out of range [0,%d)", who, i, n)
+	}
+	return vm.Mem.Load(addr + 1 + uint64(i))
+}
+
+func (vm *Machine) vectorSet(v Word, i int, w Word, who string) {
+	addr := vm.checkKind(v, scheme.KindVector, who)
+	n := scheme.HeaderSize(vm.Mem.Peek(addr))
+	if i < 0 || i >= n {
+		vm.errf("%s: index %d out of range [0,%d)", who, i, n)
+	}
+	vm.storeSlot(addr+1+uint64(i), w)
+}
+
+// newString allocates a dynamic string object.
+func (vm *Machine) newString(s string) Word {
+	payload := stringPayload(s)
+	addr := vm.alloc(scheme.KindString, len(payload))
+	for i, w := range payload {
+		vm.Mem.Store(addr+1+uint64(i), w)
+	}
+	return scheme.FromPtr(addr)
+}
+
+// stringLen returns a string's byte length (one traced load of the length
+// word).
+func (vm *Machine) stringLen(s Word, who string) int {
+	addr := vm.checkKind(s, scheme.KindString, who)
+	return int(scheme.FixnumValue(vm.Mem.Load(addr + 1)))
+}
+
+// stringByte loads one byte of a string (one traced word load).
+func (vm *Machine) stringByte(s Word, i int, who string) byte {
+	addr := vm.checkKind(s, scheme.KindString, who)
+	n := int(scheme.FixnumValue(vm.Mem.Load(addr + 1)))
+	if i < 0 || i >= n {
+		vm.errf("%s: index %d out of range [0,%d)", who, i, n)
+	}
+	w := vm.Mem.Load(addr + 2 + uint64(i/8))
+	return byte(w >> (8 * (i % 8)))
+}
+
+// goString extracts a whole Scheme string, loading each payload word once.
+func (vm *Machine) goString(s Word, who string) string {
+	addr := vm.checkKind(s, scheme.KindString, who)
+	n := int(scheme.FixnumValue(vm.Mem.Load(addr + 1)))
+	var b strings.Builder
+	b.Grow(n)
+	for wi := 0; wi < (n+7)/8; wi++ {
+		w := vm.Mem.Load(addr + 2 + uint64(wi))
+		for bi := 0; bi < 8 && wi*8+bi < n; bi++ {
+			b.WriteByte(byte(w >> (8 * bi)))
+		}
+	}
+	return b.String()
+}
+
+// flonumValue unboxes a flonum.
+func (vm *Machine) flonumValue(w Word) float64 {
+	addr := vm.checkKind(w, scheme.KindFlonum, "flonum")
+	return math.Float64frombits(uint64(vm.Mem.Load(addr + 1)))
+}
+
+// isFlonum reports whether w is a boxed float.
+func (vm *Machine) isFlonum(w Word) bool { return vm.isKind(w, scheme.KindFlonum) }
+
+// newCell allocates a mutable box.
+func (vm *Machine) newCell(w Word) Word {
+	addr := vm.alloc(scheme.KindCell, 1)
+	vm.Mem.Store(addr+1, w)
+	return scheme.FromPtr(addr)
+}
+
+// makeClosure allocates a closure over code index ci capturing free.
+func (vm *Machine) makeClosure(ci int, free []Word) Word {
+	addr := vm.alloc(scheme.KindClosure, 1+len(free))
+	vm.Mem.Store(addr+1, scheme.FromFixnum(int64(ci)))
+	for i, w := range free {
+		vm.Mem.Store(addr+2+uint64(i), w)
+	}
+	return scheme.FromPtr(addr)
+}
+
+// closureCode returns the code object of a closure.
+func (vm *Machine) closureCode(w Word) *Code {
+	addr := vm.checkKind(w, scheme.KindClosure, "call")
+	ci := scheme.FixnumValue(vm.Mem.Load(addr + 1))
+	return vm.codes[ci]
+}
+
+// Materialize converts a host-side datum into a static simulated-memory
+// value; it is how quoted constants enter the program image. Interned
+// symbols are shared; everything else is fresh.
+func (vm *Machine) Materialize(d scheme.Datum) Word {
+	switch x := d.(type) {
+	case nil:
+		return scheme.Unspec
+	case int64:
+		return scheme.FromFixnum(x)
+	case float64:
+		addr := vm.allocStaticObject(scheme.KindFlonum, []Word{Word(math.Float64bits(x))})
+		return scheme.FromPtr(addr)
+	case bool:
+		return scheme.FromBool(x)
+	case scheme.Char:
+		return scheme.FromChar(rune(x))
+	case scheme.Sym:
+		return vm.Intern(string(x))
+	case string:
+		return vm.staticString(x)
+	case *scheme.Pair:
+		car := vm.Materialize(x.Car)
+		cdr := vm.Materialize(x.Cdr)
+		return scheme.FromPtr(vm.allocStaticObject(scheme.KindPair, []Word{car, cdr}))
+	case scheme.Vec:
+		elems := make([]Word, len(x))
+		for i, e := range x {
+			elems[i] = vm.Materialize(e)
+		}
+		return scheme.FromPtr(vm.allocStaticObject(scheme.KindVector, elems))
+	default:
+		if scheme.IsEmpty(d) {
+			return scheme.Nil
+		}
+		if d == scheme.Unspecified {
+			return scheme.Unspec
+		}
+		panic(fmt.Sprintf("vm: cannot materialize %T", d))
+	}
+}
+
+// eqv implements eqv?: identity, plus numeric equality for same-type
+// numbers and character equality.
+func (vm *Machine) eqv(a, b Word) bool {
+	if a == b {
+		return true
+	}
+	if vm.isFlonum(a) && vm.isFlonum(b) {
+		return vm.flonumValue(a) == vm.flonumValue(b)
+	}
+	return false
+}
+
+// equal implements equal?: structural equality with traced traversal.
+func (vm *Machine) equal(a, b Word) bool {
+	if vm.eqv(a, b) {
+		return true
+	}
+	ka, oka := vm.kindOf(a)
+	kb, okb := vm.kindOf(b)
+	if !oka || !okb || ka != kb {
+		return false
+	}
+	switch ka {
+	case scheme.KindPair:
+		return vm.equal(vm.car(a), vm.car(b)) && vm.equal(vm.cdr(a), vm.cdr(b))
+	case scheme.KindVector:
+		na, nb := vm.vectorLen(a), vm.vectorLen(b)
+		if na != nb {
+			return false
+		}
+		for i := 0; i < na; i++ {
+			if !vm.equal(vm.vectorRef(a, i, "equal?"), vm.vectorRef(b, i, "equal?")) {
+				return false
+			}
+		}
+		return true
+	case scheme.KindString:
+		return vm.goString(a, "equal?") == vm.goString(b, "equal?")
+	default:
+		return false
+	}
+}
+
+// WriteValue renders a runtime value in external syntax using traced loads
+// (printing is program activity). DescribeValue below is the untraced
+// variant for error messages.
+func (vm *Machine) WriteValue(w Word, display bool) string {
+	var b strings.Builder
+	vm.writeValue(&b, w, display, 0, vm.Mem.Load)
+	return b.String()
+}
+
+// DescribeValue renders a value without generating simulated references,
+// for diagnostics.
+func (vm *Machine) DescribeValue(w Word) string {
+	var b strings.Builder
+	vm.writeValue(&b, w, false, 0, vm.Mem.Peek)
+	return b.String()
+}
+
+const printDepthLimit = 64
+
+func (vm *Machine) writeValue(b *strings.Builder, w Word, display bool, depth int, load func(uint64) Word) {
+	if depth > printDepthLimit {
+		b.WriteString("...")
+		return
+	}
+	switch {
+	case scheme.IsFixnum(w):
+		fmt.Fprintf(b, "%d", scheme.FixnumValue(w))
+	case scheme.IsChar(w):
+		if display {
+			b.WriteRune(scheme.CharValue(w))
+		} else {
+			b.WriteString(scheme.WriteDatum(scheme.Char(scheme.CharValue(w))))
+		}
+	case w == scheme.True:
+		b.WriteString("#t")
+	case w == scheme.False:
+		b.WriteString("#f")
+	case w == scheme.Nil:
+		b.WriteString("()")
+	case w == scheme.Unspec:
+		b.WriteString("#!unspecific")
+	case w == scheme.EOF:
+		b.WriteString("#!eof")
+	case w == scheme.Undef:
+		b.WriteString("#!unbound")
+	case scheme.IsPtr(w):
+		vm.writeObject(b, w, display, depth, load)
+	default:
+		fmt.Fprintf(b, "#<word %#x>", uint64(w))
+	}
+}
+
+func (vm *Machine) writeObject(b *strings.Builder, w Word, display bool, depth int, load func(uint64) Word) {
+	addr := scheme.PtrAddr(w)
+	h := vm.Mem.Peek(addr)
+	if !scheme.IsHeader(h) {
+		fmt.Fprintf(b, "#<bad-pointer %#x>", addr)
+		return
+	}
+	switch scheme.HeaderKind(h) {
+	case scheme.KindPair:
+		b.WriteByte('(')
+		vm.writeValue(b, load(addr+1), display, depth+1, load)
+		rest := load(addr + 2)
+		for n := 0; ; n++ {
+			if n > 1<<16 {
+				b.WriteString(" ...")
+				break
+			}
+			if rest == scheme.Nil {
+				break
+			}
+			if k, ok := vm.kindOf(rest); !ok || k != scheme.KindPair {
+				b.WriteString(" . ")
+				vm.writeValue(b, rest, display, depth+1, load)
+				break
+			}
+			ra := scheme.PtrAddr(rest)
+			b.WriteByte(' ')
+			vm.writeValue(b, load(ra+1), display, depth+1, load)
+			rest = load(ra + 2)
+		}
+		b.WriteByte(')')
+	case scheme.KindVector:
+		b.WriteString("#(")
+		n := scheme.HeaderSize(h)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			vm.writeValue(b, load(addr+1+uint64(i)), display, depth+1, load)
+		}
+		b.WriteByte(')')
+	case scheme.KindString:
+		s := vm.peekString(addr)
+		if display {
+			b.WriteString(s)
+		} else {
+			b.WriteString(scheme.QuoteString(s))
+		}
+	case scheme.KindSymbol:
+		if name, ok := vm.symbolNames[addr]; ok {
+			b.WriteString(name)
+		} else if s := vm.Mem.Peek(addr + 1); scheme.IsPtr(s) {
+			// An uninterned (gensym) symbol: its name lives in its
+			// first payload slot.
+			b.WriteString(vm.peekString(scheme.PtrAddr(s)))
+		} else {
+			fmt.Fprintf(b, "#<symbol %#x>", addr)
+		}
+	case scheme.KindClosure:
+		ci := scheme.FixnumValue(vm.Mem.Peek(addr + 1))
+		name := vm.codes[ci].Name
+		if name == "" {
+			name = "anonymous"
+		}
+		fmt.Fprintf(b, "#<procedure %s>", name)
+	case scheme.KindFlonum:
+		f := math.Float64frombits(uint64(vm.Mem.Peek(addr + 1)))
+		b.WriteString(scheme.WriteDatum(f))
+	case scheme.KindCell:
+		b.WriteString("#<cell ")
+		vm.writeValue(b, vm.Mem.Peek(addr+1), display, depth+1, load)
+		b.WriteByte('>')
+	case scheme.KindTable:
+		fmt.Fprintf(b, "#<table %d>", scheme.FixnumValue(vm.Mem.Peek(addr+2)))
+	default:
+		fmt.Fprintf(b, "#<%s %#x>", scheme.HeaderKind(h), addr)
+	}
+}
+
+// peekString reads a string object without tracing (for the printer's
+// symbol/diagnostic paths).
+func (vm *Machine) peekString(addr uint64) string {
+	n := int(scheme.FixnumValue(vm.Mem.Peek(addr + 1)))
+	var b strings.Builder
+	b.Grow(n)
+	for wi := 0; wi < (n+7)/8; wi++ {
+		w := vm.Mem.Peek(addr + 2 + uint64(wi))
+		for bi := 0; bi < 8 && wi*8+bi < n; bi++ {
+			b.WriteByte(byte(w >> (8 * bi)))
+		}
+	}
+	return b.String()
+}

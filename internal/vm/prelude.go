@@ -1,0 +1,31 @@
+package vm
+
+import (
+	_ "embed"
+	"fmt"
+
+	"gcsim/internal/gc"
+	"gcsim/internal/mem"
+)
+
+//go:embed prelude.scm
+var preludeSource string
+
+// LoadPrelude compiles and runs the Scheme-level runtime library. Most
+// machines should call it right after New; it is separate so that low-level
+// tests can run on a bare machine.
+func (vm *Machine) LoadPrelude() error {
+	_, err := vm.Eval(preludeSource)
+	return err
+}
+
+// NewLoaded builds a machine and loads the prelude, panicking on failure
+// (the prelude is part of the system, so failure is a build error, not a
+// user error).
+func NewLoaded(tracer mem.Tracer, col gc.Collector) *Machine {
+	vm := New(tracer, col)
+	if err := vm.LoadPrelude(); err != nil {
+		panic(fmt.Sprintf("vm: prelude failed to load: %v", err))
+	}
+	return vm
+}

@@ -1,0 +1,143 @@
+;;; Prelude: the portion of the runtime library written in Scheme itself.
+;;; Loaded into every machine before the program; its procedures execute in
+;;; simulated memory exactly like program code.
+
+(define (map1 f lst)
+  (if (null? lst)
+      '()
+      (cons (f (car lst)) (map1 f (cdr lst)))))
+
+(define (map f lst . more)
+  (if (null? more)
+      (map1 f lst)
+      (let loop ((ls (cons lst more)))
+        (if (null? (car ls))
+            '()
+            (cons (apply f (map1 car ls))
+                  (loop (map1 cdr ls)))))))
+
+(define (for-each f lst . more)
+  (if (null? more)
+      (let loop ((l lst))
+        (if (null? l)
+            (void)
+            (begin (f (car l)) (loop (cdr l)))))
+      (let loop ((ls (cons lst more)))
+        (if (null? (car ls))
+            (void)
+            (begin (apply f (map1 car ls))
+                   (loop (map1 cdr ls)))))))
+
+(define (filter pred lst)
+  (cond ((null? lst) '())
+        ((pred (car lst)) (cons (car lst) (filter pred (cdr lst))))
+        (else (filter pred (cdr lst)))))
+
+(define (fold-left f acc lst)
+  (if (null? lst)
+      acc
+      (fold-left f (f acc (car lst)) (cdr lst))))
+
+(define (fold-right f acc lst)
+  (if (null? lst)
+      acc
+      (f (car lst) (fold-right f acc (cdr lst)))))
+
+(define (reduce f init lst)
+  (if (null? lst) init (fold-left f (car lst) (cdr lst))))
+
+(define (last-pair lst)
+  (if (null? (cdr lst)) lst (last-pair (cdr lst))))
+
+(define (list-copy lst)
+  (if (null? lst) '() (cons (car lst) (list-copy (cdr lst)))))
+
+(define (iota n)
+  (let loop ((i (- n 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons i acc)))))
+
+(define (append! a b)
+  (if (null? a)
+      b
+      (begin (set-cdr! (last-pair a) b) a)))
+
+(define (reverse! lst)
+  (let loop ((l lst) (acc '()))
+    (if (null? l)
+        acc
+        (let ((next (cdr l)))
+          (set-cdr! l acc)
+          (loop next l)))))
+
+(define (assq-ref alist key default)
+  (let ((hit (assq key alist)))
+    (if hit (cdr hit) default)))
+
+(define (remove pred lst)
+  (filter (lambda (x) (not (pred x))) lst))
+
+(define (any pred lst)
+  (cond ((null? lst) #f)
+        ((pred (car lst)) #t)
+        (else (any pred (cdr lst)))))
+
+(define (every pred lst)
+  (cond ((null? lst) #t)
+        ((pred (car lst)) (every pred (cdr lst)))
+        (else #f)))
+
+(define (count-if pred lst)
+  (fold-left (lambda (acc x) (if (pred x) (+ acc 1) acc)) 0 lst))
+
+;; Stable merge sort on lists; less? is a two-argument predicate.
+(define (sort lst less?)
+  (define (merge a b)
+    (cond ((null? a) b)
+          ((null? b) a)
+          ((less? (car b) (car a))
+           (cons (car b) (merge a (cdr b))))
+          (else
+           (cons (car a) (merge (cdr a) b)))))
+  (define (split l)
+    (if (or (null? l) (null? (cdr l)))
+        (cons l '())
+        (let ((rest (split (cddr l))))
+          (cons (cons (car l) (car rest))
+                (cons (cadr l) (cdr rest))))))
+  (if (or (null? lst) (null? (cdr lst)))
+      lst
+      (let ((halves (split lst)))
+        (merge (sort (car halves) less?)
+               (sort (cdr halves) less?)))))
+
+(define (vector-map f v)
+  (let* ((n (vector-length v))
+         (out (make-vector n 0)))
+    (let loop ((i 0))
+      (if (< i n)
+          (begin
+            (vector-set! out i (f (vector-ref v i)))
+            (loop (+ i 1)))
+          out))))
+
+(define (vector-for-each f v)
+  (let ((n (vector-length v)))
+    (let loop ((i 0))
+      (if (< i n)
+          (begin (f (vector-ref v i)) (loop (+ i 1)))
+          (void)))))
+
+(define (string-join parts sep)
+  (cond ((null? parts) "")
+        ((null? (cdr parts)) (car parts))
+        (else (string-append (car parts) sep (string-join (cdr parts) sep)))))
+
+(define (1+ n) (+ n 1))
+(define (-1+ n) (- n 1))
+
+(define (caaar x) (car (caar x)))
+(define (caadr x) (car (cadr x)))
+(define (cadar x) (car (cdar x)))
+(define (cdadr x) (cdr (cadr x)))
+(define (cddar x) (cdr (cdar x)))
+(define (cdaar x) (cdr (caar x)))

@@ -1,0 +1,359 @@
+package vm
+
+import (
+	"fmt"
+
+	"gcsim/internal/scheme"
+)
+
+// This file is the bytecode interpreter. Calling convention:
+//
+//	... [savedClos savedCode savedPC savedBase] fun arg0 ... argN-1 locals...
+//	     ^frame pushed by OpFrame                    ^base
+//
+// OpFrame pushes the four-word return frame; the operator and arguments are
+// then pushed; OpCall dispatches with base = address of arg0 (fun sits at
+// base-1, the frame at base-5..base-2). OpReturn pops everything above and
+// including the frame. Tail calls shift the new operator and arguments down
+// over the current frame's slots and reuse its return frame.
+//
+// Collections happen only at safepoints — OpCall and OpTailCall entry —
+// when the machine's complete root set is the accumulator, the
+// current-closure register, and the stack.
+
+// ErrFuelExhausted is returned when a run exceeds Machine.MaxInsns.
+var ErrFuelExhausted = &Error{Msg: "instruction budget exhausted"}
+
+// haltSentinel marks the bottom frame's saved-code slot.
+const haltSentinel = -1
+
+// RunCode executes a compiled top-level thunk and returns its value.
+func (vm *Machine) RunCode(code *Code) (result Word, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if se, ok := r.(*Error); ok {
+			result, err = scheme.Unspec, se
+			return
+		}
+		panic(r)
+	}()
+	sp0, base0 := vm.sp, vm.base
+	thunk := vm.makeClosure(code.idx, nil)
+	vm.push(thunk)
+	vm.base = vm.sp
+	vm.clos = thunk
+	result = vm.execute(code)
+	vm.sp, vm.base = sp0, base0
+	return result, nil
+}
+
+// arg reads builtin argument i from the stack (traced).
+func (vm *Machine) arg(i int) Word { return vm.Mem.Load(vm.base + uint64(i)) }
+
+// nargsIn is set when a primitive stub is entered.
+func (vm *Machine) execute(code *Code) Word {
+	ins := code.Instrs
+	pc := 0
+	m := vm.Mem
+
+	for {
+		in := ins[pc]
+		pc++
+		vm.insns += costs[in.Op]
+		if vm.MaxInsns != 0 && vm.insns > vm.MaxInsns {
+			panic(ErrFuelExhausted)
+		}
+
+		switch in.Op {
+		case OpConst:
+			vm.acc = code.Consts[in.A]
+		case OpLocal:
+			vm.acc = m.Load(vm.base + uint64(in.A))
+		case OpSetLocal:
+			m.Store(vm.base+uint64(in.A), vm.acc)
+		case OpFree:
+			vm.acc = m.Load(scheme.PtrAddr(vm.clos) + 2 + uint64(in.A))
+		case OpGlobal:
+			w := m.Load(code.Cells[in.A] + 1)
+			if w == scheme.Undef {
+				vm.errf("unbound variable: %s", code.Globals[in.A])
+			}
+			vm.acc = w
+		case OpSetGlobal:
+			vm.storeSlot(code.Cells[in.A]+1, vm.acc)
+		case OpPush:
+			vm.push(vm.acc)
+		case OpPopN:
+			vm.sp -= uint64(in.A)
+		case OpBox:
+			vm.acc = vm.newCell(vm.acc)
+		case OpBoxRef:
+			vm.acc = m.Load(scheme.PtrAddr(vm.acc) + 1)
+		case OpBoxSet:
+			vm.sp--
+			cell := m.Load(vm.sp)
+			vm.storeSlot(scheme.PtrAddr(cell)+1, vm.acc)
+			vm.acc = scheme.Unspec
+		case OpClosure:
+			n := int(in.B)
+			vm.charge(uint64(n)) // capture copies
+			free := make([]Word, n)
+			for i := 0; i < n; i++ {
+				free[i] = m.Load(vm.sp - uint64(n) + uint64(i))
+			}
+			vm.sp -= uint64(n)
+			vm.acc = vm.makeClosure(int(in.A), free)
+		case OpFrame:
+			vm.push(vm.clos)
+			vm.push(scheme.FromFixnum(int64(code.idx)))
+			vm.push(scheme.FromFixnum(int64(in.A)))
+			vm.push(scheme.FromFixnum(int64(vm.base)))
+		case OpCall:
+			if vm.Col.NeedsCollect() {
+				vm.Col.Collect()
+			}
+			n := int(in.A)
+			funSlot := vm.sp - uint64(n) - 1
+			fun := m.Load(funSlot)
+			code = vm.enter(fun, n, funSlot+1)
+			ins = code.Instrs
+			pc = 0
+		case OpTailCall:
+			if vm.Col.NeedsCollect() {
+				vm.Col.Collect()
+			}
+			n := int(in.A)
+			src := vm.sp - uint64(n) - 1
+			dst := vm.base - 1
+			var fun Word
+			if src == dst {
+				fun = m.Load(dst)
+			} else {
+				vm.charge(uint64(2 * (n + 1)))
+				for i := 0; i <= n; i++ {
+					w := m.Load(src + uint64(i))
+					if i == 0 {
+						fun = w
+					}
+					m.Store(dst+uint64(i), w)
+				}
+			}
+			vm.sp = vm.base + uint64(n)
+			code = vm.enter(fun, n, vm.base)
+			ins = code.Instrs
+			pc = 0
+		case OpReturn:
+			savedClos := m.Load(vm.base - 5)
+			savedCode := scheme.FixnumValue(m.Load(vm.base - 4))
+			savedPC := scheme.FixnumValue(m.Load(vm.base - 3))
+			savedBase := scheme.FixnumValue(m.Load(vm.base - 2))
+			vm.sp = vm.base - 5
+			if savedCode == haltSentinel {
+				return vm.acc
+			}
+			vm.clos = savedClos
+			vm.base = uint64(savedBase)
+			code = vm.codes[savedCode]
+			ins = code.Instrs
+			pc = int(savedPC)
+		case OpJump:
+			pc = int(in.A)
+		case OpJumpFalse:
+			if vm.acc == scheme.False {
+				pc = int(in.A)
+			}
+		case OpHalt:
+			return vm.acc
+		case OpPrim:
+			f := &builtins[in.A]
+			n := int(vm.sp - vm.base)
+			if n < f.MinArgs || (!f.Variadic && n != f.MinArgs) {
+				vm.errf("%s: expected %d arguments, got %d", f.Name, f.MinArgs, n)
+			}
+			vm.charge(f.Cost)
+			vm.acc = f.Fn(vm, n)
+		case OpApply:
+			code = vm.applySpecial()
+			ins = code.Instrs
+			pc = 0
+
+		case OpCons:
+			vm.sp--
+			vm.acc = vm.cons(m.Load(vm.sp), vm.acc)
+		case OpCar:
+			vm.acc = vm.car(vm.acc)
+		case OpCdr:
+			vm.acc = vm.cdr(vm.acc)
+		case OpSetCar:
+			vm.sp--
+			p := m.Load(vm.sp)
+			vm.storeSlot(vm.checkKind(p, scheme.KindPair, "set-car!")+1, vm.acc)
+			vm.acc = scheme.Unspec
+		case OpSetCdr:
+			vm.sp--
+			p := m.Load(vm.sp)
+			vm.storeSlot(vm.checkKind(p, scheme.KindPair, "set-cdr!")+2, vm.acc)
+			vm.acc = scheme.Unspec
+		case OpAdd:
+			vm.sp--
+			vm.acc = vm.numAdd(m.Load(vm.sp), vm.acc)
+		case OpSub:
+			vm.sp--
+			vm.acc = vm.numSub(m.Load(vm.sp), vm.acc)
+		case OpMul:
+			vm.sp--
+			vm.acc = vm.numMul(m.Load(vm.sp), vm.acc)
+		case OpNumEq:
+			vm.sp--
+			vm.acc = scheme.FromBool(vm.numCompare(m.Load(vm.sp), vm.acc, "=") == 0)
+		case OpLess:
+			vm.sp--
+			vm.acc = scheme.FromBool(vm.numCompare(m.Load(vm.sp), vm.acc, "<") < 0)
+		case OpLessEq:
+			vm.sp--
+			vm.acc = scheme.FromBool(vm.numCompare(m.Load(vm.sp), vm.acc, "<=") <= 0)
+		case OpGreater:
+			vm.sp--
+			vm.acc = scheme.FromBool(vm.numCompare(m.Load(vm.sp), vm.acc, ">") > 0)
+		case OpGreaterEq:
+			vm.sp--
+			vm.acc = scheme.FromBool(vm.numCompare(m.Load(vm.sp), vm.acc, ">=") >= 0)
+		case OpEq:
+			vm.sp--
+			vm.acc = scheme.FromBool(m.Load(vm.sp) == vm.acc)
+		case OpNullP:
+			vm.acc = scheme.FromBool(vm.acc == scheme.Nil)
+		case OpPairP:
+			vm.acc = scheme.FromBool(vm.isKind(vm.acc, scheme.KindPair))
+		case OpNot:
+			vm.acc = scheme.FromBool(vm.acc == scheme.False)
+		case OpZeroP:
+			vm.acc = scheme.FromBool(vm.numCompare(vm.acc, scheme.FromFixnum(0), "zero?") == 0)
+		case OpVecRef:
+			vm.sp--
+			v := m.Load(vm.sp)
+			vm.acc = vm.vectorRef(v, vm.fixArg(vm.acc, "vector-ref"), "vector-ref")
+		case OpVecSet:
+			vm.sp -= 2
+			v := m.Load(vm.sp)
+			i := vm.fixArg(m.Load(vm.sp+1), "vector-set!")
+			vm.vectorSet(v, i, vm.acc, "vector-set!")
+			vm.acc = scheme.Unspec
+		default:
+			vm.errf("internal error: bad opcode %v", in.Op)
+		}
+	}
+}
+
+// enter dispatches a call to fun with n arguments already placed at
+// [newBase, newBase+n); it returns the code to execute.
+func (vm *Machine) enter(fun Word, n int, newBase uint64) *Code {
+	code := vm.closureCode(fun)
+	if code.Prim < 0 {
+		switch {
+		case code.Rest:
+			if n < code.NArgs {
+				vm.errf("%s: expected at least %d arguments, got %d",
+					codeName(code), code.NArgs, n)
+			}
+			rest := scheme.Nil
+			for i := n - 1; i >= code.NArgs; i-- {
+				rest = vm.cons(vm.Mem.Load(newBase+uint64(i)), rest)
+			}
+			vm.sp = newBase + uint64(code.NArgs)
+			vm.push(rest)
+		case n != code.NArgs:
+			vm.errf("%s: expected %d arguments, got %d", codeName(code), code.NArgs, n)
+		}
+	}
+	vm.clos = fun
+	vm.base = newBase
+	return code
+}
+
+func codeName(c *Code) string {
+	if c.Name == "" {
+		return "#<procedure>"
+	}
+	return c.Name
+}
+
+// applySpecial implements (apply f a b ... lst): it reuses the apply
+// frame, shifting the middle arguments down and spreading the final list,
+// then tail-calls f.
+func (vm *Machine) applySpecial() *Code {
+	m := vm.Mem
+	k := int(vm.sp - vm.base)
+	if k < 2 {
+		vm.errf("apply: expected at least 2 arguments, got %d", k)
+	}
+	fun := m.Load(vm.base)
+	lstw := m.Load(vm.base + uint64(k) - 1)
+	m.Store(vm.base-1, fun)
+	n := 0
+	for i := 1; i < k-1; i++ {
+		m.Store(vm.base+uint64(n), m.Load(vm.base+uint64(i)))
+		n++
+	}
+	for lstw != scheme.Nil {
+		if !vm.isKind(lstw, scheme.KindPair) {
+			vm.errf("apply: final argument is not a proper list")
+		}
+		a := scheme.PtrAddr(lstw)
+		m.Store(vm.base+uint64(n), m.Load(a+1))
+		n++
+		lstw = m.Load(a + 2)
+		vm.charge(3)
+	}
+	vm.sp = vm.base + uint64(n)
+	return vm.enter(fun, n, vm.base)
+}
+
+// fixArg extracts a fixnum or raises a type error.
+func (vm *Machine) fixArg(w Word, who string) int {
+	if !scheme.IsFixnum(w) {
+		vm.errf("%s: expected an integer, got %s", who, vm.DescribeValue(w))
+	}
+	return int(scheme.FixnumValue(w))
+}
+
+// Eval compiles and runs every top-level form in src, returning the value
+// of the last one.
+func (vm *Machine) Eval(src string) (Word, error) {
+	forms, err := scheme.ReadAll(src)
+	if err != nil {
+		return scheme.Unspec, err
+	}
+	c := &compiler{vm: vm, redefined: map[string]bool{}}
+	for _, f := range forms {
+		c.noteRedefinitions(f)
+	}
+	result := Word(scheme.Unspec)
+	for _, f := range forms {
+		code, err := c.compileToplevel(c1Expand(c, f))
+		if err != nil {
+			return scheme.Unspec, err
+		}
+		result, err = vm.RunCode(code)
+		if err != nil {
+			return scheme.Unspec, err
+		}
+	}
+	return result, nil
+}
+
+// c1Expand is the identity: compileToplevel expands internally; this hook
+// exists so Eval reads naturally and tests can interpose.
+func c1Expand(c *compiler, d scheme.Datum) scheme.Datum { return d }
+
+// MustEval is Eval for tests and examples where failure is fatal.
+func (vm *Machine) MustEval(src string) Word {
+	w, err := vm.Eval(src)
+	if err != nil {
+		panic(fmt.Sprintf("MustEval: %v", err))
+	}
+	return w
+}

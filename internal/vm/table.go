@@ -1,0 +1,175 @@
+package vm
+
+import "gcsim/internal/scheme"
+
+// Address-hashed (eq?) tables, modeled on the T system's object hash
+// tables. Keys hash on their tagged-word value — for heap objects, their
+// address — so whenever a collection moves objects the table's layout is
+// stale. Each table records the collector epoch it was last built in; the
+// first access after a collection rehashes the whole table. This is
+// precisely the paper's Section 6 source of ΔI_prog: "Because the collector
+// can move objects, each table is automatically rehashed, upon its next
+// reference, after a collection."
+
+const (
+	tableInitialCap = 16
+	// rehash and growth instruction costs per entry, charged to the
+	// program (ΔI_prog), not the collector.
+	tableRehashCostPerEntry = 14
+)
+
+// tableSlots returns the table's payload fields.
+func (vm *Machine) tableFields(t Word, who string) (addr uint64, vec Word, count int64) {
+	addr = vm.checkKind(t, scheme.KindTable, who)
+	vec = vm.Mem.Load(addr + 1)
+	count = scheme.FixnumValue(vm.Mem.Load(addr + 2))
+	return
+}
+
+// hashWord mixes a tagged word into a bucket index seed.
+func hashWord(w Word) uint64 {
+	h := uint64(w)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func (vm *Machine) makeTable() Word {
+	vec := vm.makeVector(2*tableInitialCap, scheme.Undef)
+	addr := vm.alloc(scheme.KindTable, 3)
+	vm.Mem.Store(addr+1, vec)
+	vm.Mem.Store(addr+2, scheme.FromFixnum(0))
+	vm.Mem.Store(addr+3, scheme.FromFixnum(int64(vm.Col.Epoch())))
+	return scheme.FromPtr(addr)
+}
+
+// maybeRehash rebuilds the table if a collection has moved its keys since
+// the last access.
+func (vm *Machine) maybeRehash(tAddr uint64) {
+	epoch := scheme.FixnumValue(vm.Mem.Load(tAddr + 3))
+	if uint64(epoch) == vm.Col.Epoch() {
+		return
+	}
+	vm.rebuildTable(tAddr, 0)
+	vm.Mem.Store(tAddr+3, scheme.FromFixnum(int64(vm.Col.Epoch())))
+}
+
+// rebuildTable reinserts every entry into a fresh vector; extraCap > 0
+// grows the table.
+func (vm *Machine) rebuildTable(tAddr uint64, extraCap int) {
+	oldVec := vm.Mem.Load(tAddr + 1)
+	oldLen := vm.vectorLen(oldVec)
+	newLen := oldLen
+	if extraCap > 0 {
+		newLen = oldLen * 2
+	}
+	newVec := vm.makeVector(newLen, scheme.Undef)
+	newCap := newLen / 2
+	oldAddr := scheme.PtrAddr(oldVec)
+	newAddr := scheme.PtrAddr(newVec)
+	for i := 0; i < oldLen; i += 2 {
+		k := vm.Mem.Load(oldAddr + 1 + uint64(i))
+		if k == scheme.Undef {
+			continue
+		}
+		v := vm.Mem.Load(oldAddr + 2 + uint64(i))
+		slot := vm.probeInsert(newAddr, newCap, k)
+		vm.Mem.Store(newAddr+1+uint64(2*slot), k)
+		vm.Mem.Store(newAddr+2+uint64(2*slot), v)
+		vm.charge(tableRehashCostPerEntry)
+	}
+	vm.storeSlot(tAddr+1, newVec)
+}
+
+// probeInsert finds the slot for key k in an open-addressed (key,value)
+// vector at vecAddr with cap slots, returning the first empty or matching
+// slot index.
+func (vm *Machine) probeInsert(vecAddr uint64, cap int, k Word) int {
+	slot := int(hashWord(k) % uint64(cap))
+	for {
+		cur := vm.Mem.Load(vecAddr + 1 + uint64(2*slot))
+		if cur == scheme.Undef || cur == k {
+			return slot
+		}
+		slot = (slot + 1) % cap
+		vm.charge(4)
+	}
+}
+
+func (vm *Machine) tableRef(t, k, dflt Word) Word {
+	tAddr, _, _ := vm.tableFields(t, "table-ref")
+	vm.maybeRehash(tAddr)
+	vec := vm.Mem.Load(tAddr + 1)
+	cap := vm.vectorLen(vec) / 2
+	vecAddr := scheme.PtrAddr(vec)
+	slot := int(hashWord(k) % uint64(cap))
+	for {
+		cur := vm.Mem.Load(vecAddr + 1 + uint64(2*slot))
+		if cur == k {
+			return vm.Mem.Load(vecAddr + 2 + uint64(2*slot))
+		}
+		if cur == scheme.Undef {
+			return dflt
+		}
+		slot = (slot + 1) % cap
+		vm.charge(4)
+	}
+}
+
+func (vm *Machine) tableSet(t, k, v Word) {
+	tAddr, vec, count := vm.tableFields(t, "table-set!")
+	vm.maybeRehash(tAddr)
+	vec = vm.Mem.Load(tAddr + 1)
+	cap := vm.vectorLen(vec) / 2
+	if int(count)*10 >= cap*7 {
+		vm.rebuildTable(tAddr, cap)
+		vec = vm.Mem.Load(tAddr + 1)
+		cap = vm.vectorLen(vec) / 2
+	}
+	vecAddr := scheme.PtrAddr(vec)
+	slot := vm.probeInsert(vecAddr, cap, k)
+	cur := vm.Mem.Load(vecAddr + 1 + uint64(2*slot))
+	if cur == scheme.Undef {
+		vm.Mem.Store(tAddr+2, scheme.FromFixnum(count+1))
+	}
+	vm.storeSlot(vecAddr+1+uint64(2*slot), k)
+	vm.storeSlot(vecAddr+2+uint64(2*slot), v)
+}
+
+func defTables() {
+	def("make-table", 0, true, 20, func(vm *Machine, n int) Word { return vm.makeTable() })
+	def("table-ref", 2, true, 10, func(vm *Machine, n int) Word {
+		dflt := Word(scheme.False)
+		if n == 3 {
+			dflt = vm.arg(2)
+		}
+		return vm.tableRef(vm.arg(0), vm.arg(1), dflt)
+	})
+	def("table-set!", 3, false, 12, func(vm *Machine, n int) Word {
+		vm.tableSet(vm.arg(0), vm.arg(1), vm.arg(2))
+		return scheme.Unspec
+	})
+	def("table-count", 1, false, 4, func(vm *Machine, n int) Word {
+		_, _, count := vm.tableFields(vm.arg(0), "table-count")
+		return scheme.FromFixnum(count)
+	})
+	def("table->list", 1, false, 10, func(vm *Machine, n int) Word {
+		tAddr, _, _ := vm.tableFields(vm.arg(0), "table->list")
+		vm.maybeRehash(tAddr)
+		vec := vm.Mem.Load(tAddr + 1)
+		length := vm.vectorLen(vec)
+		vecAddr := scheme.PtrAddr(vec)
+		out := scheme.Nil
+		for i := length - 2; i >= 0; i -= 2 {
+			k := vm.Mem.Load(vecAddr + 1 + uint64(i))
+			if k == scheme.Undef {
+				continue
+			}
+			v := vm.Mem.Load(vecAddr + 2 + uint64(i))
+			out = vm.cons(vm.cons(k, v), out)
+			vm.charge(12)
+		}
+		return out
+	})
+}

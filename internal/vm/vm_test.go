@@ -1,0 +1,687 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"gcsim/internal/gc"
+	"gcsim/internal/scheme"
+)
+
+// evalFix evaluates src and expects a fixnum result.
+func evalFix(t *testing.T, m *Machine, src string, want int64) {
+	t.Helper()
+	w, err := m.Eval(src)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	if !scheme.IsFixnum(w) {
+		t.Fatalf("Eval(%q) = %s, want fixnum %d", src, m.DescribeValue(w), want)
+	}
+	if got := scheme.FixnumValue(w); got != want {
+		t.Fatalf("Eval(%q) = %d, want %d", src, got, want)
+	}
+}
+
+// evalStr evaluates src and compares the written form of the result.
+func evalStr(t *testing.T, m *Machine, src, want string) {
+	t.Helper()
+	w, err := m.Eval(src)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	if got := m.DescribeValue(w); got != want {
+		t.Fatalf("Eval(%q) = %s, want %s", src, got, want)
+	}
+}
+
+func bare(t *testing.T) *Machine {
+	t.Helper()
+	m := New(nil, nil)
+	m.MaxInsns = 500_000_000
+	return m
+}
+
+func loaded(t *testing.T) *Machine {
+	t.Helper()
+	m := NewLoaded(nil, nil)
+	m.MaxInsns = 500_000_000
+	return m
+}
+
+func TestSelfEvaluating(t *testing.T) {
+	m := bare(t)
+	evalFix(t, m, "42", 42)
+	evalStr(t, m, "#t", "#t")
+	evalStr(t, m, "#f", "#f")
+	evalStr(t, m, `#\a`, `#\a`)
+	evalStr(t, m, `"hello"`, `"hello"`)
+	evalStr(t, m, "3.5", "3.5")
+	evalStr(t, m, "'()", "()")
+	evalStr(t, m, "'(1 2 3)", "(1 2 3)")
+	evalStr(t, m, "'(a . b)", "(a . b)")
+	evalStr(t, m, "'#(1 x)", "#(1 x)")
+}
+
+func TestArithmetic(t *testing.T) {
+	m := bare(t)
+	evalFix(t, m, "(+ 1 2)", 3)
+	evalFix(t, m, "(+ 1 2 3 4)", 10)
+	evalFix(t, m, "(+)", 0)
+	evalFix(t, m, "(- 10 3)", 7)
+	evalFix(t, m, "(- 5)", -5)
+	evalFix(t, m, "(- 20 5 3)", 12)
+	evalFix(t, m, "(* 6 7)", 42)
+	evalFix(t, m, "(*)", 1)
+	evalFix(t, m, "(quotient 17 5)", 3)
+	evalFix(t, m, "(remainder 17 5)", 2)
+	evalFix(t, m, "(modulo -7 3)", 2)
+	evalFix(t, m, "(modulo 7 -3)", -2)
+	evalFix(t, m, "(abs -9)", 9)
+	evalFix(t, m, "(min 3 1 2)", 1)
+	evalFix(t, m, "(max 3 9 2)", 9)
+	evalFix(t, m, "(expt 2 10)", 1024)
+	evalStr(t, m, "(/ 1 2)", "0.5")
+	evalFix(t, m, "(/ 6 3)", 2)
+	evalStr(t, m, "(sqrt 4.0)", "2.")
+	evalStr(t, m, "(exact->inexact 3)", "3.")
+	evalFix(t, m, "(inexact->exact 3.0)", 3)
+	evalFix(t, m, "(bitwise-and 12 10)", 8)
+	evalFix(t, m, "(bitwise-or 12 10)", 14)
+	evalFix(t, m, "(bitwise-xor 12 10)", 6)
+	evalFix(t, m, "(arithmetic-shift 1 4)", 16)
+	evalFix(t, m, "(arithmetic-shift 16 -4)", 1)
+}
+
+func TestComparisons(t *testing.T) {
+	m := bare(t)
+	cases := map[string]string{
+		"(= 1 1)": "#t", "(= 1 2)": "#f", "(= 1 1 1)": "#t", "(= 1 1 2)": "#f",
+		"(< 1 2 3)": "#t", "(< 1 3 2)": "#f", "(<= 1 1 2)": "#t",
+		"(> 3 2 1)": "#t", "(>= 3 3 1)": "#t",
+		"(< 1.5 2)": "#t", "(= 2 2.0)": "#t",
+		"(zero? 0)": "#t", "(zero? 1)": "#f", "(zero? 0.0)": "#t",
+		"(positive? 3)": "#t", "(negative? -3)": "#t",
+		"(even? 4)": "#t", "(odd? 3)": "#t",
+	}
+	for src, want := range cases {
+		evalStr(t, m, src, want)
+	}
+}
+
+func TestIfAndBooleans(t *testing.T) {
+	m := bare(t)
+	evalFix(t, m, "(if #t 1 2)", 1)
+	evalFix(t, m, "(if #f 1 2)", 2)
+	evalFix(t, m, "(if 0 1 2)", 1) // only #f is false
+	evalFix(t, m, "(if '() 1 2)", 1)
+	evalStr(t, m, "(if #f 1)", "#!unspecific")
+	evalStr(t, m, "(not #f)", "#t")
+	evalStr(t, m, "(not 3)", "#f")
+}
+
+func TestDefineAndLambda(t *testing.T) {
+	m := bare(t)
+	evalFix(t, m, "(define x 10) x", 10)
+	evalFix(t, m, "(define (add2 n) (+ n 2)) (add2 40)", 42)
+	evalFix(t, m, "((lambda (a b) (* a b)) 6 7)", 42)
+	evalFix(t, m, "(define (const) 5) (const)", 5)
+	// Rest arguments.
+	evalStr(t, m, "(define (rest . xs) xs) (rest 1 2 3)", "(1 2 3)")
+	evalStr(t, m, "(define (rest2 a . xs) xs) (rest2 1 2 3)", "(2 3)")
+	evalFix(t, m, "(define (rest3 a . xs) a) (rest3 7)", 7)
+	// Redefinition takes effect.
+	evalFix(t, m, "(define y 1) (define y 2) y", 2)
+}
+
+func TestClosures(t *testing.T) {
+	m := bare(t)
+	evalFix(t, m, `
+		(define (make-adder n) (lambda (x) (+ x n)))
+		((make-adder 5) 37)`, 42)
+	evalFix(t, m, `
+		(define (compose f g) (lambda (x) (f (g x))))
+		(define (double x) (* 2 x))
+		(define (inc x) (+ x 1))
+		((compose double inc) 20)`, 42)
+	// Nested capture across two lambda boundaries.
+	evalFix(t, m, `
+		(define (outer a)
+		  (lambda (b)
+		    (lambda (c) (+ a (+ b c)))))
+		(((outer 1) 2) 3)`, 6)
+	// Shared mutable state through a boxed variable.
+	evalFix(t, m, `
+		(define (make-counter)
+		  (let ((n 0))
+		    (lambda () (set! n (+ n 1)) n)))
+		(define c (make-counter))
+		(c) (c) (c)`, 3)
+	// Two closures over the same box see each other's updates.
+	evalFix(t, m, `
+		(define pair
+		  (let ((n 100))
+		    (cons (lambda () (set! n (+ n 1)) n)
+		          (lambda () n))))
+		((car pair))
+		((cdr pair))`, 101)
+}
+
+func TestLetForms(t *testing.T) {
+	m := bare(t)
+	evalFix(t, m, "(let ((a 1) (b 2)) (+ a b))", 3)
+	evalFix(t, m, "(let ((a 1)) (let ((b 2)) (+ a b)))", 3)
+	evalFix(t, m, "(let* ((a 1) (b (+ a 1))) (* a b))", 2)
+	evalFix(t, m, "(letrec ((even? (lambda (n) (if (= n 0) #t (odd? (- n 1))))) (odd? (lambda (n) (if (= n 0) #f (even? (- n 1)))))) (if (even? 10) 1 0))", 1)
+	evalFix(t, m, "(let loop ((i 0) (acc 0)) (if (= i 5) acc (loop (+ i 1) (+ acc i))))", 10)
+	// let shadowing
+	evalFix(t, m, "(let ((x 1)) (let ((x 2)) x))", 2)
+	evalFix(t, m, "(let ((x 1)) (let ((x (+ x 1))) x))", 2)
+	// let body with internal defines
+	evalFix(t, m, `
+		(define (f)
+		  (define a 1)
+		  (define (g) (+ a 10))
+		  (g))
+		(f)`, 11)
+}
+
+func TestCondCaseAndOr(t *testing.T) {
+	m := bare(t)
+	evalFix(t, m, "(cond (#f 1) (#t 2) (else 3))", 2)
+	evalFix(t, m, "(cond (#f 1) (else 3))", 3)
+	evalFix(t, m, "(cond (42))", 42)
+	evalFix(t, m, "(cond ((assq 'b '((a 1) (b 2))) => cadr) (else 0))", 2)
+	evalFix(t, m, "(case 3 ((1 2) 10) ((3 4) 20) (else 30))", 20)
+	evalFix(t, m, "(case 9 ((1 2) 10) ((3 4) 20) (else 30))", 30)
+	evalFix(t, m, "(case 'b ((a) 1) ((b) 2))", 2)
+	evalStr(t, m, "(and)", "#t")
+	evalFix(t, m, "(and 1 2 3)", 3)
+	evalStr(t, m, "(and 1 #f 3)", "#f")
+	evalStr(t, m, "(or)", "#f")
+	evalFix(t, m, "(or #f 2)", 2)
+	evalFix(t, m, "(or 1 (error \"not reached\"))", 1)
+	evalFix(t, m, "(when #t 1 2)", 2)
+	evalStr(t, m, "(when #f 1)", "#!unspecific")
+	evalFix(t, m, "(unless #f 7)", 7)
+	evalFix(t, m, "(begin 1 2 3)", 3)
+}
+
+func TestDoLoop(t *testing.T) {
+	m := bare(t)
+	evalFix(t, m, "(do ((i 0 (+ i 1)) (acc 0 (+ acc i))) ((= i 5) acc))", 10)
+	evalFix(t, m, "(do ((i 0 (+ i 1))) ((= i 3) i))", 3)
+}
+
+func TestRecursion(t *testing.T) {
+	m := bare(t)
+	evalFix(t, m, `
+		(define (fact n) (if (< n 2) 1 (* n (fact (- n 1)))))
+		(fact 10)`, 3628800)
+	evalFix(t, m, `
+		(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+		(fib 15)`, 610)
+	// Deep tail recursion must run in constant stack.
+	evalFix(t, m, `
+		(define (count n acc) (if (= n 0) acc (count (- n 1) (+ acc 1))))
+		(count 100000 0)`, 100000)
+}
+
+func TestSetBang(t *testing.T) {
+	m := bare(t)
+	evalFix(t, m, "(define g 1) (set! g 5) g", 5)
+	evalFix(t, m, "(let ((x 1)) (set! x 9) x)", 9)
+	evalFix(t, m, `
+		(define (f a) (set! a (+ a 1)) a)
+		(f 41)`, 42)
+}
+
+func TestListPrimitives(t *testing.T) {
+	m := bare(t)
+	evalStr(t, m, "(cons 1 2)", "(1 . 2)")
+	evalFix(t, m, "(car '(1 2))", 1)
+	evalStr(t, m, "(cdr '(1 2))", "(2)")
+	evalFix(t, m, "(cadr '(1 2 3))", 2)
+	evalFix(t, m, "(caddr '(1 2 3))", 3)
+	evalFix(t, m, "(length '(a b c))", 3)
+	evalFix(t, m, "(length '())", 0)
+	evalStr(t, m, "(append '(1 2) '(3) '() '(4))", "(1 2 3 4)")
+	evalStr(t, m, "(append)", "()")
+	evalStr(t, m, "(reverse '(1 2 3))", "(3 2 1)")
+	evalFix(t, m, "(list-ref '(10 20 30) 1)", 20)
+	evalStr(t, m, "(list-tail '(1 2 3 4) 2)", "(3 4)")
+	evalStr(t, m, "(memq 'c '(a b c d))", "(c d)")
+	evalStr(t, m, "(memq 'z '(a b))", "#f")
+	evalStr(t, m, "(member '(1) '((0) (1) (2)))", "((1) (2))")
+	evalStr(t, m, "(assq 'b '((a . 1) (b . 2)))", "(b . 2)")
+	evalStr(t, m, "(assoc \"b\" '((\"a\" . 1) (\"b\" . 2)))", `("b" . 2)`)
+	evalStr(t, m, "(list? '(1 2))", "#t")
+	evalStr(t, m, "(list? '(1 . 2))", "#f")
+	evalFix(t, m, "(define p (cons 1 2)) (set-car! p 10) (car p)", 10)
+	evalFix(t, m, "(set-cdr! p 20) (cdr p)", 20)
+}
+
+func TestVectors(t *testing.T) {
+	m := bare(t)
+	evalFix(t, m, "(vector-length (make-vector 5 0))", 5)
+	evalFix(t, m, "(vector-ref (vector 1 2 3) 1)", 2)
+	evalFix(t, m, `
+		(define v (make-vector 3 0))
+		(vector-set! v 1 42)
+		(vector-ref v 1)`, 42)
+	evalStr(t, m, "(vector->list (vector 1 2))", "(1 2)")
+	evalStr(t, m, "(list->vector '(1 2 3))", "#(1 2 3)")
+	evalStr(t, m, "(define w (make-vector 2 0)) (vector-fill! w 7) (vector->list w)", "(7 7)")
+}
+
+func TestStrings(t *testing.T) {
+	m := bare(t)
+	evalFix(t, m, `(string-length "hello")`, 5)
+	evalStr(t, m, `(string-ref "abc" 1)`, `#\b`)
+	evalStr(t, m, `(string-append "foo" "bar")`, `"foobar"`)
+	evalStr(t, m, `(substring "hello" 1 3)`, `"el"`)
+	evalStr(t, m, `(string=? "ab" "ab")`, "#t")
+	evalStr(t, m, `(string=? "ab" "ac")`, "#f")
+	evalStr(t, m, `(string<? "ab" "ac")`, "#t")
+	evalStr(t, m, `(string->symbol "foo")`, "foo")
+	evalStr(t, m, `(symbol->string 'foo)`, `"foo"`)
+	evalStr(t, m, `(string->list "ab")`, `(#\a #\b)`)
+	evalStr(t, m, `(list->string '(#\a #\b))`, `"ab"`)
+	evalStr(t, m, `(number->string 42)`, `"42"`)
+	evalFix(t, m, `(string->number "42")`, 42)
+	evalStr(t, m, `(string->number "nope")`, "#f")
+	// Long strings span multiple payload words.
+	evalFix(t, m, `(string-length (string-append "0123456789" "0123456789"))`, 20)
+	evalStr(t, m, `(string-ref (string-append "0123456789" "abcdefghij") 15)`, `#\f`)
+}
+
+func TestCharacters(t *testing.T) {
+	m := bare(t)
+	evalFix(t, m, `(char->integer #\a)`, 97)
+	evalStr(t, m, "(integer->char 98)", `#\b`)
+	evalStr(t, m, `(char=? #\a #\a)`, "#t")
+	evalStr(t, m, `(char<? #\a #\b)`, "#t")
+	evalStr(t, m, `(char-alphabetic? #\a)`, "#t")
+	evalStr(t, m, `(char-numeric? #\7)`, "#t")
+	evalStr(t, m, `(char-whitespace? #\space)`, "#t")
+	evalStr(t, m, `(char-upcase #\a)`, `#\A`)
+	evalStr(t, m, `(char-downcase #\A)`, `#\a`)
+}
+
+func TestEquality(t *testing.T) {
+	m := bare(t)
+	evalStr(t, m, "(eq? 'a 'a)", "#t")
+	evalStr(t, m, "(eq? '() '())", "#t")
+	evalStr(t, m, "(eq? (cons 1 2) (cons 1 2))", "#f")
+	evalStr(t, m, "(eqv? 1.5 1.5)", "#t")
+	evalStr(t, m, "(equal? '(1 (2 3)) '(1 (2 3)))", "#t")
+	evalStr(t, m, "(equal? '(1 2) '(1 3))", "#f")
+	evalStr(t, m, `(equal? "abc" "abc")`, "#t")
+	evalStr(t, m, "(equal? (vector 1 2) (vector 1 2))", "#t")
+	evalStr(t, m, "(equal? (vector 1 2) (vector 1 3))", "#f")
+}
+
+func TestQuasiquote(t *testing.T) {
+	m := loaded(t)
+	evalStr(t, m, "`(1 2 3)", "(1 2 3)")
+	evalStr(t, m, "(define x 5) `(a ,x)", "(a 5)")
+	evalStr(t, m, "`(a ,@(list 1 2) b)", "(a 1 2 b)")
+	evalStr(t, m, "`(1 `(2 ,(3 ,x)))", "(1 (quasiquote (2 (unquote (3 5)))))")
+	evalStr(t, m, "`#(a ,x)", "#(a 5)")
+}
+
+func TestApply(t *testing.T) {
+	m := loaded(t)
+	evalFix(t, m, "(apply + '(1 2 3))", 6)
+	evalFix(t, m, "(apply + 1 2 '(3 4))", 10)
+	evalFix(t, m, "(apply max '(3 9 2))", 9)
+	evalStr(t, m, "(apply cons '(1 2))", "(1 . 2)")
+	// apply with a closure
+	evalFix(t, m, "(define (add3 a b c) (+ a (+ b c))) (apply add3 '(1 2 3))", 6)
+	// apply in non-tail position
+	evalFix(t, m, "(+ 1 (apply * '(2 3)))", 7)
+}
+
+func TestPreludeLibrary(t *testing.T) {
+	m := loaded(t)
+	evalStr(t, m, "(map (lambda (x) (* x x)) '(1 2 3))", "(1 4 9)")
+	evalStr(t, m, "(map + '(1 2) '(10 20))", "(11 22)")
+	evalFix(t, m, `
+		(define sum 0)
+		(for-each (lambda (x) (set! sum (+ sum x))) '(1 2 3 4))
+		sum`, 10)
+	evalStr(t, m, "(filter odd? '(1 2 3 4 5))", "(1 3 5)")
+	evalFix(t, m, "(fold-left + 0 '(1 2 3))", 6)
+	evalFix(t, m, "(fold-right - 0 '(1 2 3))", 2)
+	evalStr(t, m, "(iota 4)", "(0 1 2 3)")
+	evalStr(t, m, "(sort '(3 1 2) <)", "(1 2 3)")
+	evalStr(t, m, "(sort '() <)", "()")
+	evalStr(t, m, "(sort '(5 4 3 2 1) <)", "(1 2 3 4 5)")
+	evalStr(t, m, "(reverse! (list 1 2 3))", "(3 2 1)")
+	evalStr(t, m, "(append! (list 1 2) (list 3))", "(1 2 3)")
+	evalStr(t, m, "(any even? '(1 3 4))", "#t")
+	evalStr(t, m, "(every even? '(2 4))", "#t")
+	evalStr(t, m, "(every even? '(2 3))", "#f")
+	evalFix(t, m, "(count-if odd? '(1 2 3))", 2)
+	evalStr(t, m, "(vector-map 1+ (vector 1 2))", "#(2 3)")
+	evalStr(t, m, `(string-join '("a" "b" "c") ",")`, `"a,b,c"`)
+	evalFix(t, m, "(1+ 41)", 42)
+	evalStr(t, m, "(last-pair '(1 2 3))", "(3)")
+	evalStr(t, m, "(remove odd? '(1 2 3 4))", "(2 4)")
+}
+
+func TestTables(t *testing.T) {
+	m := loaded(t)
+	evalFix(t, m, `
+		(define tbl (make-table))
+		(table-set! tbl 'a 1)
+		(table-set! tbl 'b 2)
+		(table-ref tbl 'a 0)`, 1)
+	evalFix(t, m, "(table-ref tbl 'missing 99)", 99)
+	evalFix(t, m, "(table-count tbl)", 2)
+	evalFix(t, m, "(table-set! tbl 'a 10) (table-ref tbl 'a 0)", 10)
+	evalFix(t, m, "(table-count tbl)", 2)
+	// Growth beyond the initial capacity.
+	evalFix(t, m, `
+		(define big (make-table))
+		(for-each (lambda (i) (table-set! big i (* i i))) (iota 100))
+		(table-ref big 77 0)`, 5929)
+	evalFix(t, m, "(table-count big)", 100)
+	evalFix(t, m, "(length (table->list big))", 100)
+}
+
+func TestDisplayOutput(t *testing.T) {
+	m := bare(t)
+	m.MustEval(`(display "x = ") (display 42) (newline) (write "s")`)
+	if got, want := m.Output(), "x = 42\n\"s\""; got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+	m.ResetOutput()
+	if m.Output() != "" {
+		t.Error("ResetOutput failed")
+	}
+	m.MustEval(`(display '(1 #\a "s"))`)
+	if got, want := m.Output(), `(1 a s)`; got != want {
+		t.Errorf("display list = %q, want %q", got, want)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	m := loaded(t)
+	cases := []string{
+		"(car 1)",
+		"(cdr '())",
+		"(vector-ref (vector 1) 5)",
+		"(vector-ref (vector 1) -1)",
+		"(undefined-variable)",
+		"(+ 'a 1)",
+		"((lambda (x) x))",     // too few args
+		"((lambda (x) x) 1 2)", // too many args
+		"(quotient 1 0)",
+		"(modulo 1 0)",
+		"(error \"boom\" 1 2)",
+		"(apply + 1)", // apply needs a list
+		`(substring "abc" 2 9)`,
+		"(1 2 3)", // calling a non-procedure
+		"(string-ref \"ab\" 9)",
+	}
+	for _, src := range cases {
+		if _, err := m.Eval(src); err == nil {
+			t.Errorf("Eval(%q) succeeded, want error", src)
+		}
+	}
+	// Error messages mention what went wrong.
+	_, err := m.Eval(`(error "custom failure" 42)`)
+	if err == nil || !strings.Contains(err.Error(), "custom failure") {
+		t.Errorf("error message lost: %v", err)
+	}
+	_, err = m.Eval("(nonexistent-global 1)")
+	if err == nil || !strings.Contains(err.Error(), "unbound variable") {
+		t.Errorf("unbound error wrong: %v", err)
+	}
+	// The machine remains usable after an error.
+	evalFix(t, m, "(+ 1 1)", 2)
+}
+
+func TestCompileErrors(t *testing.T) {
+	m := bare(t)
+	cases := []string{
+		"(if)",
+		"(lambda (x))",
+		"(let ((x)) x)",
+		"(set! 3 4)",
+		"()",
+		"(define)",
+		"(let ((x 1) y) x)",
+		"(do ((i)) (#t))",
+		"(unquote x)",
+	}
+	for _, src := range cases {
+		if _, err := m.Eval(src); err == nil {
+			t.Errorf("Eval(%q) compiled, want error", src)
+		}
+	}
+}
+
+func TestGensymAndRandom(t *testing.T) {
+	m := bare(t)
+	evalStr(t, m, "(eq? (gensym) (gensym))", "#f")
+	evalStr(t, m, "(symbol? (gensym))", "#t")
+	evalStr(t, m, "(< (random 10) 10)", "#t")
+	evalStr(t, m, "(>= (random 10) 0)", "#t")
+	// Seeded sequences are reproducible.
+	v1, _ := m.Eval("(random-seed! 42) (list (random 100) (random 100) (random 100))")
+	s1 := m.DescribeValue(v1)
+	v2, _ := m.Eval("(random-seed! 42) (list (random 100) (random 100) (random 100))")
+	if s2 := m.DescribeValue(v2); s1 != s2 {
+		t.Errorf("random not reproducible: %s vs %s", s1, s2)
+	}
+}
+
+func TestHigherOrderBuiltins(t *testing.T) {
+	m := loaded(t)
+	// Builtins are first-class closures.
+	evalStr(t, m, "(map car '((1 2) (3 4)))", "(1 3)")
+	evalFix(t, m, "((if #t + *) 2 3)", 5)
+	evalStr(t, m, "(procedure? car)", "#t")
+	evalStr(t, m, "(procedure? (lambda (x) x))", "#t")
+	evalStr(t, m, "(procedure? 3)", "#f")
+}
+
+func TestShadowingBuiltins(t *testing.T) {
+	m := bare(t)
+	// A local binding shadows the builtin and disables inlining.
+	evalFix(t, m, "(let ((car (lambda (x) 99))) (car '(1 2)))", 99)
+	// Redefining a builtin globally works too.
+	m2 := bare(t)
+	evalFix(t, m2, "(define (car x) 7) (car '(1 2))", 7)
+}
+
+func TestInstructionAndRefCounting(t *testing.T) {
+	m := bare(t)
+	i0, r0 := m.Insns(), m.Mem.C.Refs()
+	m.MustEval("(define (loop n) (if (= n 0) 'done (loop (- n 1)))) (loop 1000)")
+	di, dr := m.Insns()-i0, m.Mem.C.Refs()-r0
+	if di == 0 || dr == 0 {
+		t.Fatal("no instructions or references counted")
+	}
+	ratio := float64(dr) / float64(di)
+	// The paper's programs have roughly 0.27 refs/instruction; our cost
+	// table should land in a broadly similar band.
+	if ratio < 0.1 || ratio > 0.8 {
+		t.Errorf("refs/insn ratio = %.3f, want within [0.1, 0.8]", ratio)
+	}
+}
+
+func TestFuelLimit(t *testing.T) {
+	m := bare(t)
+	m.MaxInsns = 10_000
+	_, err := m.Eval("(define (f n) (if (= n 0) 0 (f (- n 1)))) (f 1000000)")
+	if err != ErrFuelExhausted {
+		t.Errorf("err = %v, want ErrFuelExhausted", err)
+	}
+}
+
+func TestAllocationCounting(t *testing.T) {
+	m := bare(t)
+	a0 := m.Mem.C.AllocObjects
+	m.MustEval("(define (build n) (if (= n 0) '() (cons n (build (- n 1))))) (build 100)")
+	if d := m.Mem.C.AllocObjects - a0; d < 100 {
+		t.Errorf("allocated %d objects, want >= 100", d)
+	}
+	if m.Mem.C.AllocWords == 0 {
+		t.Error("no words allocated")
+	}
+}
+
+func TestOnAllocHook(t *testing.T) {
+	m := bare(t)
+	var count int
+	var lastWords int
+	m.OnAlloc = func(addr uint64, words int) { count++; lastWords = words }
+	m.MustEval("(cons 1 2)")
+	if count == 0 {
+		t.Fatal("OnAlloc never fired")
+	}
+	if lastWords != 3 {
+		t.Errorf("pair allocation = %d words, want 3 (header + car + cdr)", lastWords)
+	}
+}
+
+func TestRunWithCollectors(t *testing.T) {
+	// The same program must produce the same value under every collector.
+	prog := `
+		(define (build n) (if (= n 0) '() (cons n (build (- n 1)))))
+		(define (sum lst) (if (null? lst) 0 (+ (car lst) (sum (cdr lst)))))
+		(define total 0)
+		(let loop ((i 0))
+		  (if (< i 50)
+		      (begin
+		        (set! total (+ total (sum (build 100))))
+		        (loop (+ i 1)))
+		      total))`
+	want := int64(50 * 5050)
+	for _, mk := range []func() gc.Collector{
+		func() gc.Collector { return gc.NewNoGC() },
+		func() gc.Collector { return gc.NewCheney(64 << 10) },
+		func() gc.Collector { return gc.NewGenerational(16<<10, 128<<10) },
+		func() gc.Collector { return gc.NewAggressive(8<<10, 128<<10) },
+		func() gc.Collector { return gc.NewMarkSweep(96 << 10) },
+	} {
+		col := mk()
+		m := NewLoaded(nil, col)
+		m.MaxInsns = 500_000_000
+		w, err := m.Eval(prog)
+		if err != nil {
+			t.Fatalf("%s: %v", col.Name(), err)
+		}
+		if got := scheme.FixnumValue(w); got != want {
+			t.Errorf("%s: result = %d, want %d", col.Name(), got, want)
+		}
+		if col.Name() != "none" && col.Stats().Collections == 0 {
+			t.Errorf("%s: expected collections during this run", col.Name())
+		}
+	}
+}
+
+func TestTableRehashAfterGC(t *testing.T) {
+	// Dynamic keys move during collection; a table keyed by them must
+	// still find its entries afterwards, at rehash cost.
+	col := gc.NewCheney(32 << 10)
+	m := NewLoaded(nil, col)
+	m.MaxInsns = 500_000_000
+	w, err := m.Eval(`
+		(define tbl (make-table))
+		(define keys (map (lambda (i) (cons i i)) (iota 50)))
+		(for-each (lambda (k) (table-set! tbl k (car k))) keys)
+		;; Churn until the collector has run a few times.
+		(let loop ((i 0))
+		  (if (< i 20000) (begin (cons i i) (loop (+ i 1))) #t))
+		;; Every key must still be present.
+		(fold-left + 0 (map (lambda (k) (table-ref tbl k -1000)) keys))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Stats().Collections == 0 {
+		t.Fatal("test needs at least one collection")
+	}
+	if got, want := scheme.FixnumValue(w), int64(49*50/2); got != want {
+		t.Errorf("table lost entries across GC: sum = %d, want %d", got, want)
+	}
+}
+
+func TestDisassembleAndDescribe(t *testing.T) {
+	m := bare(t)
+	code, err := m.CompileToplevel(mustReadOne(t, "(define (f x) (+ x 1))"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := code.Disassemble()
+	if !strings.Contains(dis, "toplevel") {
+		t.Errorf("disassembly missing name: %s", dis)
+	}
+	m.MustEval("(define (g x) x)")
+	w, _ := m.GlobalRef("g")
+	if got := m.DescribeValue(w); got != "#<procedure g>" {
+		t.Errorf("procedure prints as %q", got)
+	}
+	if _, ok := m.GlobalRef("nonexistent"); ok {
+		t.Error("GlobalRef invented a binding")
+	}
+}
+
+func mustReadOne(t *testing.T, src string) scheme.Datum {
+	t.Helper()
+	d, err := scheme.ReadOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSymbolInterning(t *testing.T) {
+	m := bare(t)
+	a := m.Intern("hello")
+	b := m.Intern("hello")
+	if a != b {
+		t.Error("interning not idempotent")
+	}
+	if m.SymbolName(a) != "hello" {
+		t.Errorf("SymbolName = %q", m.SymbolName(a))
+	}
+	evalStr(t, m, "(eq? 'abc (string->symbol \"abc\"))", "#t")
+}
+
+func TestStackDiscipline(t *testing.T) {
+	// After any evaluation the stack pointer must return to its resting
+	// position; leaks would eventually overflow.
+	m := loaded(t)
+	sp0 := m.sp
+	m.MustEval("(+ 1 2)")
+	m.MustEval("(let ((a 1) (b 2)) (if (< a b) (list a b) 'no))")
+	m.MustEval("(map (lambda (x) (let ((y (* x x))) y)) '(1 2 3))")
+	if m.sp != sp0 {
+		t.Errorf("stack leaked: sp = %d, started at %d", m.sp, sp0)
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	run := func() (uint64, uint64, string) {
+		m := NewLoaded(nil, gc.NewGenerational(8<<10, 64<<10))
+		m.MaxInsns = 500_000_000
+		m.MustEval(`
+			(define tbl (make-table))
+			(let loop ((i 0) (acc '()))
+			  (if (< i 2000)
+			      (begin
+			        (table-set! tbl (cons i i) i)
+			        (loop (+ i 1) (cons i acc)))
+			      (display (length acc))))`)
+		return m.Insns(), m.Mem.C.Refs(), m.Output()
+	}
+	i1, r1, o1 := run()
+	i2, r2, o2 := run()
+	if i1 != i2 || r1 != r2 || o1 != o2 {
+		t.Errorf("nondeterministic run: (%d,%d,%q) vs (%d,%d,%q)", i1, r1, o1, i2, r2, o2)
+	}
+}

@@ -1,0 +1,131 @@
+;;; lambda: a λ-calculus reduction engine — the analog of the paper's `lp`.
+;;;
+;;; Terms use de Bruijn indices: (var n), (lam body), (app fun arg). The
+;;; engine first typechecks a simply-typed term, then applies normal-order
+;;; β-reduction steps to a non-normalizing term. Like lp, it accumulates a
+;;; monotonically growing live structure (a trail of snapshots of the
+;;; reduced term), which is what defeats a non-generational semispace
+;;; collector: every collection must copy the whole growing trail.
+
+(define (mk-var n)   (list 'var n))
+(define (mk-lam b)   (list 'lam b))
+(define (mk-app f a) (list 'app f a))
+
+(define (term-kind t) (car t))
+
+;; shift: add d to all free variables >= cutoff c.
+(define (shift t d c)
+  (case (term-kind t)
+    ((var) (let ((n (cadr t)))
+             (if (>= n c) (mk-var (+ n d)) t)))
+    ((lam) (mk-lam (shift (cadr t) d (+ c 1))))
+    (else  (mk-app (shift (cadr t) d c) (shift (caddr t) d c)))))
+
+;; subst-term: replace variable j with s in t.
+(define (subst-term t j s)
+  (case (term-kind t)
+    ((var) (let ((n (cadr t)))
+             (cond ((= n j) s)
+                   (else t))))
+    ((lam) (mk-lam (subst-term (cadr t) (+ j 1) (shift s 1 0))))
+    (else  (mk-app (subst-term (cadr t) j s)
+                   (subst-term (caddr t) j s)))))
+
+;; beta: ((lam b) a) => shift(-1) of b[0 := shift(1) a].
+(define (beta body arg)
+  (shift (subst-term body 0 (shift arg 1 0)) -1 0))
+
+;; One normal-order reduction step; returns #f at normal form.
+(define (step t)
+  (case (term-kind t)
+    ((var) #f)
+    ((lam) (let ((b (step (cadr t))))
+             (if b (mk-lam b) #f)))
+    (else
+     (let ((f (cadr t)) (a (caddr t)))
+       (if (eq? (term-kind f) 'lam)
+           (beta (cadr f) a)
+           (let ((f2 (step f)))
+             (if f2
+                 (mk-app f2 a)
+                 (let ((a2 (step a)))
+                   (if a2 (mk-app f a2) #f)))))))))
+
+(define (term-size t)
+  (case (term-kind t)
+    ((var) 1)
+    ((lam) (+ 1 (term-size (cadr t))))
+    (else  (+ 1 (term-size (cadr t)) (term-size (caddr t))))))
+
+;;; Simply-typed fragment: types are 'o or (arrow t1 t2); terms carry
+;;; explicit domain annotations: (tvar n), (tlam type body), (tapp f a).
+(define (type-equal? a b)
+  (cond ((and (symbol? a) (symbol? b)) (eq? a b))
+        ((and (pair? a) (pair? b))
+         (and (type-equal? (cadr a) (cadr b))
+              (type-equal? (caddr a) (caddr b))))
+        (else #f)))
+
+(define (typecheck t env)
+  (case (term-kind t)
+    ((tvar) (list-ref env (cadr t)))
+    ((tlam) (let ((dom (cadr t)))
+              (list 'arrow dom (typecheck (caddr t) (cons dom env)))))
+    (else
+     (let ((ft (typecheck (cadr t) env))
+           (at (typecheck (caddr t) env)))
+       (if (and (pair? ft) (type-equal? (cadr ft) at))
+           (caddr ft)
+           (error "lambda: ill-typed application"))))))
+
+;; Build a well-typed tower: ((λx:o→o. λy:o. x (x y)) applied k times.
+(define (typed-tower k)
+  (if (= k 0)
+      '(tlam o (tvar 0))
+      '(tlam (arrow o o) (tlam o (tapp (tvar 1) (tapp (tvar 1) (tvar 0)))))))
+
+;;; The non-normalizing growth term: (λx. x x z) (λx. x x z) grows without
+;;; bound under normal-order reduction.
+(define (growth-term)
+  (let ((dup (mk-lam (mk-app (mk-app (mk-var 0) (mk-var 0)) (mk-var 1)))))
+    (mk-lam (mk-app dup dup))))
+
+;; Church-numeral workout: normalize (n m) for small Church numerals,
+;; exercising full normalization on terms that do terminate.
+(define (church-num n)
+  (define (body k) (if (= k 0) (mk-var 0) (mk-app (mk-var 1) (body (- k 1)))))
+  (mk-lam (mk-lam (body n))))
+
+(define (normalize t limit)
+  (let loop ((t t) (n 0))
+    (if (= n limit)
+        t
+        (let ((t2 (step t)))
+          (if t2 (loop t2 (+ n 1)) t)))))
+
+;; Main entry: typecheck, normalize Church arithmetic, then run `scale`
+;; β-reductions of the growth term, keeping every 16th snapshot live in a
+;; trail — the monotonically growing structure that forces the Cheney
+;; collector to recopy ever more data, as lp's did. Returns a size
+;; checksum.
+(define (lambda-main scale)
+  ;; 1. Typecheck the typed fragment.
+  (let ((ty (typecheck (typed-tower 1) '())))
+    (if (not (pair? ty)) (error "lambda: typecheck failed")))
+  ;; 2. Terminating normalizations: 3^2 as Church numerals.
+  (let* ((three (church-num 3))
+         (two (church-num 2))
+         (nine (normalize (mk-app two three) 10000)))
+    (if (not (eq? (term-kind nine) 'lam))
+        (error "lambda: Church normalization failed"))
+    ;; 3. The monotonically growing reduction with a live trail.
+    (let loop ((t (growth-term)) (i 0) (trail '()) (trail-size 0))
+      (if (= i scale)
+          (+ (term-size t) trail-size (term-size nine))
+          (let ((t2 (step t)))
+            (if (not t2)
+                (error "lambda: growth term normalized?!")
+                (if (= (modulo i 16) 0)
+                    (loop t2 (+ i 1) (cons t trail)
+                          (+ trail-size 1))
+                    (loop t2 (+ i 1) trail trail-size))))))))

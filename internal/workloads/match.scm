@@ -1,0 +1,200 @@
+;;; match: a second, deliberately different compiler — the analog of the
+;;; paper's `gambit` ("another Scheme compiler, quite different from
+;;; orbit"). Where tc works on raw s-expressions with association lists,
+;;; match parses into tagged-vector records, drives its transformations
+;;; with an explicit pattern matcher, converts to continuation-passing
+;;; style (allocating continuation closures as records), and finally
+;;; linearizes the CPS tree into basic blocks held in vectors. Its heap
+;;; profile leans on vectors and longer-lived nodes.
+
+;;; AST records: #(tag field ...)
+(define (ast-tag n) (vector-ref n 0))
+
+(define (mk-const v)      (vector 'const v))
+(define (mk-ref v)        (vector 'ref v))
+(define (mk-if c t e)     (vector 'if c t e))
+(define (mk-abs vars b)   (vector 'abs vars b))
+(define (mk-call f args)  (vector 'call f args))
+(define (mk-prim op args) (vector 'prim op args))
+
+(define match-prims '(+ - * car cdr cons null? eq? < =))
+
+;;; Parse s-expressions into records.
+(define (parse e)
+  (cond ((symbol? e) (mk-ref e))
+        ((not (pair? e)) (mk-const e))
+        ((eq? (car e) 'quote) (mk-const (cadr e)))
+        ((eq? (car e) 'if)
+         (mk-if (parse (cadr e)) (parse (caddr e)) (parse (cadddr e))))
+        ((eq? (car e) 'lambda)
+         (mk-abs (cadr e) (parse (caddr e))))
+        ((eq? (car e) 'let)
+         ;; (let ((v e)...) body) => ((lambda (v...) body) e...)
+         (mk-call (mk-abs (map car (cadr e)) (parse (caddr e)))
+                  (map (lambda (b) (parse (cadr b))) (cadr e))))
+        ((memq (car e) match-prims)
+         (mk-prim (car e) (map parse (cdr e))))
+        (else
+         (mk-call (parse (car e)) (map parse (cdr e))))))
+
+;;; A small structural pattern matcher over records, used by the
+;;; simplifier: patterns are (tag p1 p2 ...) trees with '? wildcards
+;;; binding positionally.
+(define (rmatch pat node acc)
+  (cond ((eq? pat '?) (cons node acc))
+        ((symbol? pat) (if (eq? pat node) acc #f))
+        ((pair? pat)
+         (if (and (vector? node) (eq? (ast-tag node) (car pat)))
+             (let loop ((ps (cdr pat)) (i 1) (acc acc))
+               (cond ((null? ps) acc)
+                     ((not acc) #f)
+                     (else (loop (cdr ps) (+ i 1)
+                                 (rmatch (car ps) (vector-ref node i) acc)))))
+             #f))
+        (else (if (equal? pat node) acc #f))))
+
+;;; Simplification: constant-fold if over constants; collapse
+;;; ((lambda () b)) and (if c x x).
+(define (simplify n)
+  (case (ast-tag n)
+    ((const ref) n)
+    ((if)
+     (let ((c (simplify (vector-ref n 1)))
+           (t (simplify (vector-ref n 2)))
+           (e (simplify (vector-ref n 3))))
+       (let ((hit (rmatch '(const ?) c '())))
+         (cond (hit (if (eq? (car hit) #f) e t))
+               ((equal? t e) t)
+               (else (mk-if c t e))))))
+    ((abs) (mk-abs (vector-ref n 1) (simplify (vector-ref n 2))))
+    ((call)
+     (let ((f (simplify (vector-ref n 1)))
+           (args (map simplify (vector-ref n 2))))
+       (if (and (null? args)
+                (vector? f) (eq? (ast-tag f) 'abs)
+                (null? (vector-ref f 1)))
+           (vector-ref f 2)
+           (mk-call f args))))
+    ((prim) (mk-prim (vector-ref n 1) (map simplify (vector-ref n 2))))
+    (else (error "simplify: unknown node" (ast-tag n)))))
+
+;;; CPS conversion. Continuations are records too: either a variable
+;;; reference or an abstraction of one variable.
+;; Continuation variables are uninterned heap symbols, reclaimed with
+;; the CPS terms that mention them.
+(define (cps-var prefix) (gensym prefix))
+
+;; cps: node x (value-record -> node) -> node
+(define (cps n k)
+  (case (ast-tag n)
+    ((const ref) (k n))
+    ((abs)
+     (let ((kv (cps-var "k")))
+       (k (mk-abs (cons kv (vector-ref n 1))
+                  (cps (vector-ref n 2)
+                       (lambda (v) (mk-call (mk-ref kv) (list v))))))))
+    ((if)
+     (cps (vector-ref n 1)
+          (lambda (c)
+            (let ((jv (cps-var "j")) (xv (cps-var "x")))
+              ;; Bind a join continuation to avoid duplicating k.
+              (mk-call
+               (mk-abs (list jv)
+                       (mk-if c
+                              (cps (vector-ref n 2)
+                                   (lambda (v) (mk-call (mk-ref jv) (list v))))
+                              (cps (vector-ref n 3)
+                                   (lambda (v) (mk-call (mk-ref jv) (list v))))))
+               (list (mk-abs (list xv) (k (mk-ref xv)))))))))
+    ((prim)
+     (cps-args (vector-ref n 2) '()
+               (lambda (vals)
+                 (k (mk-prim (vector-ref n 1) vals)))))
+    ((call)
+     (cps (vector-ref n 1)
+          (lambda (f)
+            (cps-args (vector-ref n 2) '()
+                      (lambda (vals)
+                        (let ((rv (cps-var "r")))
+                          (mk-call f (cons (mk-abs (list rv) (k (mk-ref rv)))
+                                           vals))))))))
+    (else (error "cps: unknown node" (ast-tag n)))))
+
+(define (cps-args args acc k)
+  (if (null? args)
+      (k (reverse acc))
+      (cps (car args)
+           (lambda (v) (cps-args (cdr args) (cons v acc) k)))))
+
+;;; Linearize: walk the CPS tree and emit one basic-block vector per
+;;; abstraction; returns the list of blocks.
+(define (linearize n)
+  (let ((blocks '()))
+    (define (walk n)
+      (case (ast-tag n)
+        ((const) 1)
+        ((ref) 1)
+        ((abs)
+         (let ((size (walk (vector-ref n 2))))
+           (set! blocks (cons (vector 'block (vector-ref n 1) size) blocks))
+           1))
+        ((if) (+ 1 (walk (vector-ref n 1))
+                 (walk (vector-ref n 2))
+                 (walk (vector-ref n 3))))
+        ((prim) (fold-left (lambda (a x) (+ a (walk x))) 1 (vector-ref n 2)))
+        ((call) (fold-left (lambda (a x) (+ a (walk x)))
+                           (+ 1 (walk (vector-ref n 1)))
+                           (vector-ref n 2)))
+        (else (error "linearize: unknown node"))))
+    (walk n)
+    blocks))
+
+;;; Full pipeline; returns the number of basic blocks emitted.
+(define (match-compile program)
+  (let* ((ast (parse program))
+         (simplified (simplify ast))
+         (cpsed (cps simplified (lambda (v) v)))
+         (blocks (linearize cpsed)))
+    (length blocks)))
+
+;;; Corpus generation, biased differently from tc's: deeper call chains
+;;; and more if-trees.
+(define (match-gen depth vars)
+  (let ((choice (random (if (> depth 5) 2 8))))
+    (cond ((= choice 0) (random 1000))
+          ((= choice 1)
+           (if (null? vars) #t (list-ref vars (random (length vars)))))
+          ((= choice 2)
+           (list 'if (match-gen (+ depth 1) vars)
+                 (match-gen (+ depth 1) vars)
+                 (match-gen (+ depth 1) vars)))
+          ((= choice 3)
+           (let ((v (string->symbol (string-append "m" (number->string (random 40))))))
+             (list 'let (list (list v (match-gen (+ depth 1) vars)))
+                   (match-gen (+ depth 1) (cons v vars)))))
+          ((= choice 4)
+           (let ((v (string->symbol (string-append "f" (number->string (random 40))))))
+             (list (list 'lambda (list v) (match-gen (+ depth 1) (cons v vars)))
+                   (match-gen (+ depth 1) vars))))
+          ((= choice 5)
+           (list '+ (match-gen (+ depth 1) vars) (match-gen (+ depth 1) vars)))
+          ((= choice 6)
+           (list 'cons (match-gen (+ depth 1) vars) (match-gen (+ depth 1) vars)))
+          (else
+           (list 'if (list 'null? (match-gen (+ depth 1) vars))
+                 (match-gen (+ depth 1) vars)
+                 (match-gen (+ depth 1) vars))))))
+
+;; Main entry: compile `scale` generated programs plus fixed ones; the
+;; checksum totals emitted basic blocks.
+(define (match-main scale)
+  (random-seed! 141421356)
+  (let ((fixed '((lambda (x) (if (null? x) 0 (+ 1 (car x))))
+                 (let ((f (lambda (a b) (cons a b))))
+                   (f 1 (f 2 '())))
+                 (lambda (p) (if (eq? p 0) (quote zero) (quote nonzero))))))
+    (let loop ((i 0) (blocks 0))
+      (if (= i scale)
+          (fold-left (lambda (acc p) (+ acc (match-compile p))) blocks fixed)
+          (loop (+ i 1)
+                (+ blocks (match-compile (match-gen 0 '()))))))))

@@ -1,0 +1,202 @@
+;;; nbody: three-dimensional N-body accelerations — the analog of the
+;;; paper's `nbody` (Zhao's linear-time algorithm computing the
+;;; accelerations of 256 point masses distributed uniformly in a cube,
+;;; starting at rest). This reproduction uses a Barnes–Hut octree, which
+;;; exercises the same behaviour the paper relies on: heavy floating-point
+;;; allocation (flonums are boxed, as in T), a tree rebuilt every
+;;; iteration, and a handful of extremely busy global vectors that can
+;;; collide in a small direct-mapped cache.
+
+(define nbody-n 256)
+
+;; Hot global state: structure-of-arrays body storage.
+(define pos-x (make-vector nbody-n 0.0))
+(define pos-y (make-vector nbody-n 0.0))
+(define pos-z (make-vector nbody-n 0.0))
+(define acc-x (make-vector nbody-n 0.0))
+(define acc-y (make-vector nbody-n 0.0))
+(define acc-z (make-vector nbody-n 0.0))
+(define mass  (make-vector nbody-n 0.0))
+
+(define (frand)
+  (/ (exact->inexact (random 100000)) 100000.0))
+
+(define (init-bodies!)
+  (random-seed! 19940601)
+  (let loop ((i 0))
+    (if (< i nbody-n)
+        (begin
+          (vector-set! pos-x i (frand))
+          (vector-set! pos-y i (frand))
+          (vector-set! pos-z i (frand))
+          (vector-set! mass i (+ 0.5 (frand)))
+          (loop (+ i 1)))
+        (void))))
+
+;;; Octree nodes are 10-slot vectors:
+;;;   0: total mass            1-3: center of mass (x y z)
+;;;   4-6: cell center (x y z) 7: half-width
+;;;   8: body index or -1      9: children (8-vector or #f)
+(define (make-node cx cy cz half)
+  (let ((n (make-vector 10 0.0)))
+    (vector-set! n 4 cx) (vector-set! n 5 cy) (vector-set! n 6 cz)
+    (vector-set! n 7 half)
+    (vector-set! n 8 -1)
+    (vector-set! n 9 #f)
+    n))
+
+(define (node-empty? n) (and (= (vector-ref n 8) -1) (not (vector-ref n 9))))
+(define (node-leaf? n)  (and (>= (vector-ref n 8) 0) (not (vector-ref n 9))))
+
+(define (octant-index n x y z)
+  (+ (if (> x (vector-ref n 4)) 1 0)
+     (if (> y (vector-ref n 5)) 2 0)
+     (if (> z (vector-ref n 6)) 4 0)))
+
+(define (make-child n oct)
+  (let* ((h (/ (vector-ref n 7) 2.0))
+         (cx (+ (vector-ref n 4) (if (= (modulo oct 2) 1) h (- 0.0 h))))
+         (cy (+ (vector-ref n 5) (if (= (modulo (quotient oct 2) 2) 1) h (- 0.0 h))))
+         (cz (+ (vector-ref n 6) (if (= (quotient oct 4) 1) h (- 0.0 h)))))
+    (make-node cx cy cz h)))
+
+(define (child-of n oct)
+  (let ((kids (vector-ref n 9)))
+    (let ((c (vector-ref kids oct)))
+      (if c
+          c
+          (let ((fresh (make-child n oct)))
+            (vector-set! kids oct fresh)
+            fresh)))))
+
+(define (insert-body! n i)
+  (let ((x (vector-ref pos-x i)) (y (vector-ref pos-y i)) (z (vector-ref pos-z i)))
+    (cond ((node-empty? n)
+           (vector-set! n 8 i))
+          ((node-leaf? n)
+           (if (< (vector-ref n 7) 0.000000001)
+               (void) ; coincident bodies: cap the tree depth
+               ;; Split: push the resident body down, then insert i.
+               (let ((j (vector-ref n 8)))
+                 (vector-set! n 8 -1)
+                 (vector-set! n 9 (make-vector 8 #f))
+                 (insert-body! (child-of n (octant-index n (vector-ref pos-x j)
+                                                          (vector-ref pos-y j)
+                                                          (vector-ref pos-z j)))
+                               j)
+                 (insert-body! (child-of n (octant-index n x y z)) i))))
+          (else
+           (insert-body! (child-of n (octant-index n x y z)) i)))))
+
+;; Bottom-up mass and center-of-mass summary.
+(define (summarize! n)
+  (cond ((node-leaf? n)
+         (let ((i (vector-ref n 8)))
+           (vector-set! n 0 (vector-ref mass i))
+           (vector-set! n 1 (vector-ref pos-x i))
+           (vector-set! n 2 (vector-ref pos-y i))
+           (vector-set! n 3 (vector-ref pos-z i))))
+        ((vector-ref n 9)
+         (let ((kids (vector-ref n 9)))
+           (let loop ((o 0) (m 0.0) (mx 0.0) (my 0.0) (mz 0.0))
+             (if (= o 8)
+                 (begin
+                   (vector-set! n 0 m)
+                   (if (> m 0.0)
+                       (begin
+                         (vector-set! n 1 (/ mx m))
+                         (vector-set! n 2 (/ my m))
+                         (vector-set! n 3 (/ mz m)))
+                       (void)))
+                 (let ((c (vector-ref kids o)))
+                   (if c
+                       (begin
+                         (summarize! c)
+                         (loop (+ o 1)
+                               (+ m (vector-ref c 0))
+                               (+ mx (* (vector-ref c 0) (vector-ref c 1)))
+                               (+ my (* (vector-ref c 0) (vector-ref c 2)))
+                               (+ mz (* (vector-ref c 0) (vector-ref c 3)))))
+                       (loop (+ o 1) m mx my mz)))))))
+        (else (void))))
+
+(define (build-tree)
+  (let ((root (make-node 0.5 0.5 0.5 0.5)))
+    (let loop ((i 0))
+      (if (< i nbody-n)
+          (begin (insert-body! root i) (loop (+ i 1)))
+          (void)))
+    (summarize! root)
+    root))
+
+(define theta 0.5)
+(define softening 0.0001)
+
+;; Accumulate the acceleration on body i from cell n.
+(define (accel-from n i)
+  (if (or (not n) (node-empty? n) (= (vector-ref n 8) i))
+      (void)
+      (let* ((dx (- (vector-ref n 1) (vector-ref pos-x i)))
+             (dy (- (vector-ref n 2) (vector-ref pos-y i)))
+             (dz (- (vector-ref n 3) (vector-ref pos-z i)))
+             (d2 (+ (+ (* dx dx) (* dy dy)) (+ (* dz dz) softening)))
+             (d  (sqrt d2)))
+        (if (or (node-leaf? n)
+                (< (/ (* 2.0 (vector-ref n 7)) d) theta))
+            ;; Far enough: treat as a point mass.
+            (let ((s (/ (vector-ref n 0) (* d2 d))))
+              (vector-set! acc-x i (+ (vector-ref acc-x i) (* s dx)))
+              (vector-set! acc-y i (+ (vector-ref acc-y i) (* s dy)))
+              (vector-set! acc-z i (+ (vector-ref acc-z i) (* s dz))))
+            ;; Recurse into children.
+            (let ((kids (vector-ref n 9)))
+              (let loop ((o 0))
+                (if (= o 8)
+                    (void)
+                    (begin (accel-from (vector-ref kids o) i)
+                           (loop (+ o 1))))))))))
+
+(define (compute-accels! root)
+  (let loop ((i 0))
+    (if (< i nbody-n)
+        (begin
+          (vector-set! acc-x i 0.0)
+          (vector-set! acc-y i 0.0)
+          (vector-set! acc-z i 0.0)
+          (accel-from root i)
+          (loop (+ i 1)))
+        (void))))
+
+(define dt 0.0001)
+
+(define (drift!)
+  ;; Starting at rest, a pure position update from accelerations.
+  (let loop ((i 0))
+    (if (< i nbody-n)
+        (begin
+          (vector-set! pos-x i (+ (vector-ref pos-x i) (* dt (vector-ref acc-x i))))
+          (vector-set! pos-y i (+ (vector-ref pos-y i) (* dt (vector-ref acc-y i))))
+          (vector-set! pos-z i (+ (vector-ref pos-z i) (* dt (vector-ref acc-z i))))
+          (loop (+ i 1)))
+        (void))))
+
+;; Checksum: the magnitude-sum of accelerations, scaled to a fixnum.
+(define (accel-checksum)
+  (let loop ((i 0) (acc 0.0))
+    (if (= i nbody-n)
+        (inexact->exact (floor (* 1000.0 (log (+ 1.0 acc)))))
+        (loop (+ i 1)
+              (+ acc (abs (vector-ref acc-x i))
+                     (abs (vector-ref acc-y i))
+                     (abs (vector-ref acc-z i)))))))
+
+;; Main entry: `scale` tree-build/force/drift iterations over 256 bodies.
+(define (nbody-main scale)
+  (init-bodies!)
+  (let loop ((it 0))
+    (if (= it scale)
+        (accel-checksum)
+        (let ((root (build-tree)))
+          (compute-accels! root)
+          (drift!)
+          (loop (+ it 1))))))

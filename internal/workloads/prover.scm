@@ -1,0 +1,178 @@
+;;; prover: a rewriting tautology prover in the style of the Boyer
+;;; benchmark family — the analog of the paper's `imps` theorem prover.
+;;;
+;;; Terms are symbols, numbers, or (op . args). Rewrite rules are stored in
+;;; a table keyed by operator symbol; patterns use (? . name) variables.
+;;; Rewriting is bottom-up to a fixpoint, with a memo table keyed by term
+;;; identity (dynamic heap objects, so the table must rehash after every
+;;; collection, as the T system's address-hashed tables did).
+
+(define prover-rules (make-table))
+
+(define (add-rule! pat rep)
+  (let* ((op (car pat))
+         (existing (table-ref prover-rules op '())))
+    (table-set! prover-rules op (cons (cons pat rep) existing))))
+
+(define (pattern-var? x) (and (pair? x) (eq? (car x) '?)))
+
+(define (pmatch pattern term bindings)
+  (cond ((pattern-var? pattern)
+         (let ((hit (assq (cadr pattern) bindings)))
+           (if hit
+               (if (equal? (cdr hit) term) bindings #f)
+               (cons (cons (cadr pattern) term) bindings))))
+        ((pair? pattern)
+         (if (and (pair? term) (eq? (car pattern) (car term)))
+             (pmatch-args (cdr pattern) (cdr term) bindings)
+             #f))
+        (else (if (eq? pattern term) bindings #f))))
+
+(define (pmatch-args pats terms bindings)
+  (cond ((null? pats) (if (null? terms) bindings #f))
+        ((null? terms) #f)
+        (else
+         (let ((b (pmatch (car pats) (car terms) bindings)))
+           (if b (pmatch-args (cdr pats) (cdr terms) b) #f)))))
+
+(define (subst rep bindings)
+  (cond ((pattern-var? rep)
+         (let ((hit (assq (cadr rep) bindings)))
+           (if hit (cdr hit) (error "unbound pattern variable"))))
+        ((pair? rep)
+         (cons (subst (car rep) bindings) (subst (cdr rep) bindings)))
+        (else rep)))
+
+;; Memoized bottom-up rewriting. The memo table is keyed by the identity
+;; of interior term nodes.
+(define prover-memo (make-table))
+
+(define (rewrite term)
+  (if (pair? term)
+      (let ((hit (table-ref prover-memo term #f)))
+        (if hit
+            hit
+            (let ((result (rewrite-root
+                           (cons (car term) (map rewrite (cdr term))))))
+              (table-set! prover-memo term result)
+              result)))
+      term))
+
+(define (rewrite-root term)
+  (if (pair? term)
+      (let loop ((candidates (table-ref prover-rules (car term) '())))
+        (cond ((null? candidates) term)
+              ((pmatch (caar candidates) term '())
+               => (lambda (b) (rewrite (subst (cdar candidates) b))))
+              (else (loop (cdr candidates)))))
+      term))
+
+;; Tautology checking on rewritten if-normal terms, tracking assumed-true
+;; and assumed-false atoms.
+(define (truep x true-list)  (or (eq? x 'true)  (member x true-list)))
+(define (falsep x false-list) (or (eq? x 'false) (member x false-list)))
+
+(define (tautologyp x true-list false-list)
+  (cond ((truep x true-list) #t)
+        ((falsep x false-list) #f)
+        ((and (pair? x) (eq? (car x) 'if))
+         (let ((test (cadr x)) (then (caddr x)) (alt (cadddr x)))
+           (cond ((truep test true-list) (tautologyp then true-list false-list))
+                 ((falsep test false-list) (tautologyp alt true-list false-list))
+                 (else (and (tautologyp then (cons test true-list) false-list)
+                            (tautologyp alt true-list (cons test false-list)))))))
+        (else #f)))
+
+(define (tautp term)
+  ;; A fresh memo table per theorem: shared subterms within one proof are
+  ;; memoized, but no live structure accumulates across proofs.
+  (set! prover-memo (make-table))
+  (tautologyp (rewrite term) '() '()))
+
+;; The rule base: boolean connectives reduce to `if`, plus arithmetic and
+;; list lemmas in the Boyer style.
+(define (install-rules!)
+  (add-rule! '(and (? p) (? q))      '(if (? p) (if (? q) true false) false))
+  (add-rule! '(or (? p) (? q))       '(if (? p) true (if (? q) true false)))
+  (add-rule! '(not (? p))            '(if (? p) false true))
+  (add-rule! '(implies (? p) (? q))  '(if (? p) (if (? q) true false) true))
+  (add-rule! '(iff (? p) (? q))      '(and (implies (? p) (? q)) (implies (? q) (? p))))
+  (add-rule! '(if (if (? a) (? b) (? c)) (? d) (? e))
+             '(if (? a) (if (? b) (? d) (? e)) (if (? c) (? d) (? e))))
+  (add-rule! '(eqp (? x) (? x))      'true)
+  (add-rule! '(lessp (? x) (? x))    'false)
+  (add-rule! '(lessp (zero) (succ (? x))) 'true)
+  (add-rule! '(lessp (succ (? x)) (succ (? y))) '(lessp (? x) (? y)))
+  (add-rule! '(plus (zero) (? x))    '(? x))
+  (add-rule! '(plus (succ (? x)) (? y)) '(succ (plus (? x) (? y))))
+  (add-rule! '(times (zero) (? x))   '(zero))
+  (add-rule! '(times (succ (? x)) (? y)) '(plus (? y) (times (? x) (? y))))
+  (add-rule! '(difference (? x) (? x)) '(zero))
+  (add-rule! '(numberp (zero))       'true)
+  (add-rule! '(numberp (succ (? x))) '(numberp (? x)))
+  (add-rule! '(append (nil) (? y))   '(? y))
+  (add-rule! '(append (cons (? a) (? x)) (? y))
+             '(cons (? a) (append (? x) (? y))))
+  (add-rule! '(reverse (nil))        '(nil))
+  (add-rule! '(reverse (cons (? a) (? x)))
+             '(append (reverse (? x)) (cons (? a) (nil))))
+  (add-rule! '(length (nil))         '(zero))
+  (add-rule! '(length (cons (? a) (? x))) '(succ (length (? x))))
+  (add-rule! '(memberp (? a) (nil))  'false)
+  (add-rule! '(memberp (? a) (cons (? b) (? x)))
+             '(or (eqp (? a) (? b)) (memberp (? a) (? x))))
+  (add-rule! '(nth (zero) (? x))     '(? x))
+  (add-rule! '(equal (? x) (? x))    'true)
+  (add-rule! '(zerop (zero))         'true)
+  (add-rule! '(zerop (succ (? x)))   'false))
+
+;; Theorem generation: a deterministic pseudo-random mix of provable
+;; tautologies and non-theorems over the rule vocabulary.
+(define (church n) (if (= n 0) '(zero) (list 'succ (church (- n 1)))))
+
+(define (gen-list n)
+  (if (= n 0) '(nil) (list 'cons (list 'atom n) (gen-list (- n 1)))))
+
+(define (gen-atom i) (list 'p i))
+
+(define (gen-theorem i)
+  (let ((v (modulo i 7)))
+    (cond ((= v 0) ; (p or not p)
+           (let ((a (gen-atom i)))
+             (list 'or a (list 'not a))))
+          ((= v 1) ; ((p and q) implies p)
+           (let ((a (gen-atom i)) (b (gen-atom (+ i 1))))
+             (list 'implies (list 'and a b) a)))
+          ((= v 2) ; (p implies (p or q))
+           (let ((a (gen-atom i)) (b (gen-atom (+ i 1))))
+             (list 'implies a (list 'or a b))))
+          ((= v 3) ; lessp 0 (succ n)
+           (list 'lessp '(zero) (church (+ 1 (modulo i 5)))))
+          ((= v 4) ; x + 0 = x via eqp/plus
+           (list 'eqp (list 'plus '(zero) (church (modulo i 4)))
+                 (church (modulo i 4))))
+          ((= v 5) ; non-theorem: p
+           (gen-atom i))
+          (else   ; member of constructed list
+           (list 'memberp (list 'atom 1) (gen-list (+ 1 (modulo i 4))))))))
+
+;; Main entry: prove `scale` generated theorems, plus a few heavyweight
+;; arithmetic normalizations to exercise deep rewriting. Returns the count
+;; of proved theorems as a checksum.
+(define (prover-main scale)
+  (install-rules!)
+  (let loop ((i 0) (proved 0))
+    (if (= i scale)
+        (begin
+          ;; Deep rewrites: normalize (times n m) Church numerals.
+          (let deep ((k 2) (acc proved))
+            (if (> k 5)
+                acc
+                (deep (+ k 1)
+                      (if (tautp (list 'eqp
+                                       (list 'times (church k) (church 3))
+                                       (list 'times (church k) (church 3))))
+                          (+ acc 1)
+                          acc)))))
+        (loop (+ i 1)
+              (if (tautp (gen-theorem i)) (+ proved 1) proved)))))

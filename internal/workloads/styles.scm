@@ -1,0 +1,69 @@
+;;; styles: the Section 8 / Conjecture 3 experiment ("allocation can be
+;;; faster than mutation"). The same record-stream computation is written
+;;; twice:
+;;;
+;;;   functional: records are processed in batches of freshly allocated
+;;;   lists (build, map, filter, fold). Every cons lands just behind the
+;;;   allocation wave's crest and is consumed while still in the cache;
+;;;   under write-validate, the program's write misses are all unpenalized
+;;;   allocation claims.
+;;;
+;;;   imperative: records update per-bucket aggregates (sum, count, max)
+;;;   held in large arrays, in place, at pseudo-random slots — the
+;;;   canonical analytics loop in an imperative language. Each kept record
+;;;   performs three read-modify-writes whose locality is a matter of
+;;;   chance; once the arrays exceed the cache, most of those reads fetch.
+;;;
+;;; Both variants consume the same record stream and produce the same
+;;; checksum (total kept sum plus kept count). Conjecture 3 is a
+;;; conjecture, not a measurement, in the paper; this pair isolates the
+;;; mechanism the paper's intuitive argument rests on.
+
+(define styles-batch 64)
+(define styles-buckets 65536) ; 3 aggregate arrays x 512 KB
+
+(define (record-value i) (modulo (* i 40503) 997))
+(define (transform v) (modulo (* v 31) 1009))
+(define (keep? v) (odd? v))
+(define (bucket-of i) (modulo (* i 2654435761) styles-buckets))
+
+;;; -------- Functional variant: fresh batch lists, map/filter/fold. -----
+(define (build-batch start len)
+  (let loop ((k (- len 1)) (acc '()))
+    (if (< k 0)
+        acc
+        (loop (- k 1) (cons (record-value (+ start k)) acc)))))
+
+(define (styles-functional n)
+  (let loop ((i 0) (total 0) (count 0))
+    (if (>= i n)
+        (+ total count)
+        (let* ((len (min styles-batch (- n i)))
+               (batch (build-batch i len))
+               (mapped (map1 transform batch))
+               (kept (filter keep? mapped))
+               (s (fold-left + 0 kept)))
+          (loop (+ i styles-batch) (+ total s) (+ count (length kept)))))))
+
+;;; -------- Imperative variant: in-place per-bucket aggregates. ----------
+(define (styles-imperative n)
+  (let ((sums   (make-vector styles-buckets 0))
+        (counts (make-vector styles-buckets 0))
+        (maxs   (make-vector styles-buckets 0)))
+    (let loop ((i 0) (total 0) (count 0))
+      (if (>= i n)
+          (+ total count)
+          (let ((v (transform (record-value i))))
+            (if (keep? v)
+                (let ((b (bucket-of i)))
+                  (vector-set! sums b (+ (vector-ref sums b) v))
+                  (vector-set! counts b (+ (vector-ref counts b) 1))
+                  (if (> v (vector-ref maxs b))
+                      (vector-set! maxs b v)
+                      (void))
+                  (loop (+ i 1) (+ total v) (+ count 1)))
+                (loop (+ i 1) total count)))))))
+
+;; Main entries; both return the same total.
+(define (styles-main-functional scale) (styles-functional scale))
+(define (styles-main-imperative scale) (styles-imperative scale))

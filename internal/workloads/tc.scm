@@ -1,0 +1,261 @@
+;;; tc: a Scheme-subset compiler written in Scheme — the analog of the
+;;; paper's `orbit` (the T system's native compiler compiling itself).
+;;;
+;;; The compiler runs five passes over each input program: macro
+;;; expansion, alpha-renaming with association-list environments,
+;;; free-variable analysis, flat-closure conversion, and code generation
+;;; to instruction lists with a peephole cleanup. Its data are short-lived
+;;; lists and small association lists — the mostly-functional churn the
+;;; paper's analysis attributes orbit's cache behaviour to.
+
+;; Fresh identifiers are uninterned heap symbols (as orbit's were), so
+;; they are reclaimed by the collector instead of accumulating in the
+;; static area's intern table.
+(define (tc-gensym prefix) (gensym prefix))
+
+(define tc-primitives '(+ - * car cdr cons null? pair? eq? < =))
+
+(define (tc-primitive? s) (memq s tc-primitives))
+
+;;; Pass 1: expansion of derived forms (cond, and, or, let*) to the core
+;;; (quote, if, lambda, let, application).
+(define (tc-expand e)
+  (cond ((not (pair? e)) e)
+        ((eq? (car e) 'quote) e)
+        ((eq? (car e) 'cond)
+         (tc-expand-cond (cdr e)))
+        ((eq? (car e) 'and)
+         (cond ((null? (cdr e)) #t)
+               ((null? (cddr e)) (tc-expand (cadr e)))
+               (else (list 'if (tc-expand (cadr e))
+                           (tc-expand (cons 'and (cddr e))) #f))))
+        ((eq? (car e) 'or)
+         (cond ((null? (cdr e)) #f)
+               ((null? (cddr e)) (tc-expand (cadr e)))
+               (else
+                (let ((t (tc-gensym "t")))
+                  (list 'let (list (list t (tc-expand (cadr e))))
+                        (list 'if t t (tc-expand (cons 'or (cddr e)))))))))
+        ((eq? (car e) 'let*)
+         (let ((binds (cadr e)) (body (caddr e)))
+           (if (or (null? binds) (null? (cdr binds)))
+               (list 'let (map (lambda (b) (list (car b) (tc-expand (cadr b)))) binds)
+                     (tc-expand body))
+               (list 'let (list (list (caar binds) (tc-expand (cadar binds))))
+                     (tc-expand (list 'let* (cdr binds) body))))))
+        ((eq? (car e) 'lambda)
+         (list 'lambda (cadr e) (tc-expand (caddr e))))
+        ((eq? (car e) 'let)
+         (list 'let (map (lambda (b) (list (car b) (tc-expand (cadr b)))) (cadr e))
+               (tc-expand (caddr e))))
+        ((eq? (car e) 'if)
+         (cons 'if (map tc-expand (cdr e))))
+        (else (map tc-expand e))))
+
+(define (tc-expand-cond clauses)
+  (cond ((null? clauses) '(quote unspecified))
+        ((eq? (caar clauses) 'else) (tc-expand (cadar clauses)))
+        (else (list 'if (tc-expand (caar clauses))
+                    (tc-expand (cadar clauses))
+                    (tc-expand-cond (cdr clauses))))))
+
+;;; Pass 2: alpha-renaming. Environments are assq lists old-name -> new.
+(define (tc-rename e env)
+  (cond ((symbol? e)
+         (let ((hit (assq e env)))
+           (if hit (cdr hit) e)))
+        ((not (pair? e)) e)
+        ((eq? (car e) 'quote) e)
+        ((eq? (car e) 'lambda)
+         (let* ((fresh (map (lambda (v) (cons v (tc-gensym "v"))) (cadr e)))
+                (env2 (append fresh env)))
+           (list 'lambda (map cdr fresh) (tc-rename (caddr e) env2))))
+        ((eq? (car e) 'let)
+         (let* ((binds (cadr e))
+                (fresh (map (lambda (b) (cons (car b) (tc-gensym "v"))) binds))
+                (env2 (append fresh env)))
+           (list 'let
+                 (map (lambda (f b) (list (cdr f) (tc-rename (cadr b) env)))
+                      fresh binds)
+                 (tc-rename (caddr e) env2))))
+        ((eq? (car e) 'if)
+         (cons 'if (map (lambda (x) (tc-rename x env)) (cdr e))))
+        (else (map (lambda (x) (tc-rename x env)) e))))
+
+;;; Pass 3: free variables (the program is alpha-renamed, so no shadowing).
+(define (tc-set-union a b)
+  (cond ((null? a) b)
+        ((memq (car a) b) (tc-set-union (cdr a) b))
+        (else (cons (car a) (tc-set-union (cdr a) b)))))
+
+(define (tc-set-minus a b)
+  (filter (lambda (x) (not (memq x b))) a))
+
+(define (tc-free e)
+  (cond ((symbol? e)
+         (if (tc-primitive? e) '() (list e)))
+        ((not (pair? e)) '())
+        ((eq? (car e) 'quote) '())
+        ((eq? (car e) 'lambda)
+         (tc-set-minus (tc-free (caddr e)) (cadr e)))
+        ((eq? (car e) 'let)
+         (tc-set-union
+          (fold-left (lambda (acc b) (tc-set-union (tc-free (cadr b)) acc))
+                     '() (cadr e))
+          (tc-set-minus (tc-free (caddr e)) (map car (cadr e)))))
+        ((eq? (car e) 'if)
+         (fold-left (lambda (acc x) (tc-set-union (tc-free x) acc)) '() (cdr e)))
+        (else
+         (fold-left (lambda (acc x) (tc-set-union (tc-free x) acc)) '() e))))
+
+;;; Pass 4: closure conversion — lambdas become
+;;; (%closure (lambda (env . args) body') free...) with free variables
+;;; rewritten to (%env-ref i).
+(define (tc-close e)
+  (cond ((not (pair? e)) e)
+        ((eq? (car e) 'quote) e)
+        ((eq? (car e) 'lambda)
+         (let* ((free (tc-free e))
+                (body (tc-close (caddr e)))
+                (rewritten (tc-subst-free body free 0)))
+           (cons '%closure
+                 (cons (list 'lambda (cons '%env (cadr e)) rewritten)
+                       free))))
+        ((eq? (car e) 'let)
+         (list 'let (map (lambda (b) (list (car b) (tc-close (cadr b)))) (cadr e))
+               (tc-close (caddr e))))
+        ((eq? (car e) 'if)
+         (cons 'if (map tc-close (cdr e))))
+        (else (map tc-close e))))
+
+(define (tc-subst-free e free i)
+  (if (null? free)
+      e
+      (tc-subst-free (tc-subst1 e (car free) i) (cdr free) (+ i 1))))
+
+(define (tc-subst1 e v i)
+  (cond ((eq? e v) (list '%env-ref i))
+        ((not (pair? e)) e)
+        ((eq? (car e) 'quote) e)
+        (else (map (lambda (x) (tc-subst1 x v i)) e))))
+
+;;; Pass 5: code generation to a list of instructions.
+(define (tc-codegen e)
+  (cond ((symbol? e) (list (list 'ref e)))
+        ((not (pair? e)) (list (list 'const e)))
+        ((eq? (car e) 'quote) (list (list 'const (cadr e))))
+        ((eq? (car e) '%env-ref) (list (list 'env-ref (cadr e))))
+        ((eq? (car e) '%closure)
+         (let ((body-code (tc-codegen (caddr (cadr e)))))
+           (append
+            (apply append (map tc-codegen (cddr e)))
+            (list (list 'make-closure (length (cddr e)) body-code)))))
+        ((eq? (car e) 'if)
+         (let ((lt (tc-gensym "L")) (le (tc-gensym "L")))
+           (append (tc-codegen (cadr e))
+                   (list (list 'branch-false lt))
+                   (tc-codegen (caddr e))
+                   (list (list 'jump le) (list 'label lt))
+                   (tc-codegen (cadddr e))
+                   (list (list 'label le)))))
+        ((eq? (car e) 'let)
+         (append
+          (apply append
+                 (map (lambda (b) (append (tc-codegen (cadr b))
+                                          (list (list 'bind (car b)))))
+                      (cadr e)))
+          (tc-codegen (caddr e))
+          (list (list 'unbind (length (cadr e))))))
+        ((tc-primitive? (car e))
+         (append (apply append (map tc-codegen (cdr e)))
+                 (list (list 'prim (car e) (length (cdr e))))))
+        (else
+         (append (apply append (map tc-codegen e))
+                 (list (list 'call (- (length e) 1)))))))
+
+;;; Peephole: drop (jump L) immediately followed by (label L), and fold
+;;; (const c) (branch-false L) when c is a known constant.
+(define (tc-peephole code)
+  (cond ((null? code) '())
+        ((and (pair? (cdr code))
+              (eq? (caar code) 'jump)
+              (eq? (car (cadr code)) 'label)
+              (eq? (cadr (car code)) (cadr (cadr code))))
+         (cons (cadr code) (tc-peephole (cddr code))))
+        ((and (pair? (cdr code))
+              (eq? (caar code) 'const)
+              (eq? (car (cadr code)) 'branch-false)
+              (not (eq? (cadr (car code)) #f)))
+         (tc-peephole (cddr code)))
+        (else (cons (car code) (tc-peephole (cdr code))))))
+
+;;; Full pipeline.
+(define (tc-compile program)
+  (tc-peephole
+   (tc-codegen
+    (tc-close
+     (tc-rename
+      (tc-expand program)
+      '())))))
+
+;;; Corpus: a deterministic generator of valid mini-language programs plus
+;;; a fixed corpus of realistic procedures.
+(define (gen-expr depth vars)
+  (let ((choice (random (if (> depth 4) 3 10))))
+    (cond ((< choice 2) (random 100))
+          ((and (= choice 2) (not (null? vars)))
+           (list-ref vars (random (length vars))))
+          ((= choice 2) (random 100))
+          ((= choice 3)
+           (list 'if (gen-expr (+ depth 1) vars)
+                 (gen-expr (+ depth 1) vars)
+                 (gen-expr (+ depth 1) vars)))
+          ((= choice 4)
+           (let ((v (string->symbol (string-append "x" (number->string (random 50))))))
+             (list 'let (list (list v (gen-expr (+ depth 1) vars)))
+                   (gen-expr (+ depth 1) (cons v vars)))))
+          ((= choice 5)
+           (let ((v (string->symbol (string-append "a" (number->string (random 50))))))
+             (list (list 'lambda (list v) (gen-expr (+ depth 1) (cons v vars)))
+                   (gen-expr (+ depth 1) vars))))
+          ((= choice 6)
+           (list 'cond (list (gen-expr (+ depth 1) vars)
+                             (gen-expr (+ depth 1) vars))
+                 (list 'else (gen-expr (+ depth 1) vars))))
+          ((= choice 7)
+           (list 'and (gen-expr (+ depth 1) vars) (gen-expr (+ depth 1) vars)))
+          ((= choice 8)
+           (list 'or (gen-expr (+ depth 1) vars) (gen-expr (+ depth 1) vars)))
+          (else
+           (list (if (= (random 2) 0) '+ 'cons)
+                 (gen-expr (+ depth 1) vars)
+                 (gen-expr (+ depth 1) vars))))))
+
+(define tc-fixed-corpus
+  '((lambda (lst)
+      (let ((go (lambda (l acc)
+                  (if (null? l) acc (cons (car l) acc)))))
+        (go lst '())))
+    (lambda (n)
+      (let* ((a (+ n 1)) (b (* a a)))
+        (cond ((< b 10) (- b))
+              ((= b 100) 0)
+              (else (+ a b)))))
+    (lambda (x y)
+      (and (pair? x) (or (eq? (car x) y) (null? y))))
+    (lambda (t)
+      (if (pair? t)
+          (cons ((lambda (l) (car l)) t)
+                ((lambda (r) (cdr r)) t))
+          (quote leaf)))))
+
+;; Main entry: compile the fixed corpus plus `scale` generated programs;
+;; the checksum is the total number of instructions emitted.
+(define (tc-main scale)
+  (random-seed! 577215664)
+  (let loop ((i 0) (insns 0))
+    (if (= i scale)
+        (fold-left (lambda (acc p) (+ acc (length (tc-compile p))))
+                   insns tc-fixed-corpus)
+        (loop (+ i 1)
+              (+ insns (length (tc-compile (gen-expr 0 '()))))))))

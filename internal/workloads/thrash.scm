@@ -1,0 +1,30 @@
+;;; thrash: a controlled reproduction of the paper's thrashing worst case
+;;; and of its remedy. Two frequently-referenced vectors are placed by
+;;; linear allocation either exactly one cache-size apart (so their blocks
+;;; collide and "they are referenced in such a way that they frequently
+;;; displace each other") or with a small extra offset (the paper's
+;;; "straightforward static method": move frequently-accessed objects so
+;;; that they do not collide).
+;;;
+;;; The entry takes the padding in words between the two vectors, so the
+;;; harness chooses colliding and non-colliding placements, and an
+;;; iteration count. Both placements compute the same checksum.
+
+(define thrash-vec-len 64)
+
+(define (thrash-main pad-words iters)
+  (let* ((a (make-vector thrash-vec-len 1))
+         (pad (make-vector pad-words 0))
+         (b (make-vector thrash-vec-len 2)))
+    ;; Keep pad live so no collector reclassifies the layout.
+    (vector-set! pad 0 99)
+    (let loop ((it 0) (sum 0))
+      (if (= it iters)
+          (+ sum (vector-ref pad 0))
+          (let inner ((i 0) (s sum))
+            (if (= i thrash-vec-len)
+                (loop (+ it 1) s)
+                ;; Alternate references into the two vectors: if they
+                ;; collide, every pair of accesses displaces the other.
+                (inner (+ i 1)
+                       (+ s (+ (vector-ref a i) (vector-ref b i))))))))))

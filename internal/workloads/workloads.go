@@ -1,0 +1,161 @@
+// Package workloads embeds the five Scheme test programs — analogs of the
+// paper's orbit, imps, lp, nbody, and gambit — plus the Section 8
+// functional-versus-imperative style pair, and provides a registry for
+// running them on a Machine at a configurable scale.
+package workloads
+
+import (
+	"embed"
+	"fmt"
+	"strings"
+
+	"gcsim/internal/scheme"
+	"gcsim/internal/vm"
+)
+
+//go:embed *.scm
+var sources embed.FS
+
+// Workload describes one test program.
+type Workload struct {
+	// Name is the short name used by CLIs and reports.
+	Name string
+	// PaperProgram is the program of the paper this one substitutes for.
+	PaperProgram string
+	// File is the embedded source file.
+	File string
+	// Entry is the name of the (entry scale) procedure.
+	Entry string
+	// DefaultScale drives the full experiment runs; SmallScale keeps unit
+	// tests and -short benchmarks quick.
+	DefaultScale, SmallScale int
+	// Description summarizes the program for reports.
+	Description string
+}
+
+// All returns the five paper workloads in the paper's presentation order.
+func All() []*Workload {
+	return []*Workload{
+		{
+			Name: "tc", PaperProgram: "orbit", File: "tc.scm", Entry: "tc-main",
+			DefaultScale: 1200, SmallScale: 40,
+			Description: "five-pass Scheme-subset compiler compiling a generated corpus",
+		},
+		{
+			Name: "prover", PaperProgram: "imps", File: "prover.scm", Entry: "prover-main",
+			DefaultScale: 2500, SmallScale: 60,
+			Description: "rewriting tautology prover with memoized bottom-up rewriting",
+		},
+		{
+			Name: "lambda", PaperProgram: "lp", File: "lambda.scm", Entry: "lambda-main",
+			DefaultScale: 1000, SmallScale: 150,
+			Description: "lambda-calculus reducer with a monotonically growing live trail",
+		},
+		{
+			Name: "nbody", PaperProgram: "nbody", File: "nbody.scm", Entry: "nbody-main",
+			DefaultScale: 3, SmallScale: 1,
+			Description: "Barnes-Hut 3-D N-body accelerations of 256 point masses",
+		},
+		{
+			Name: "match", PaperProgram: "gambit", File: "match.scm", Entry: "match-main",
+			DefaultScale: 1000, SmallScale: 40,
+			Description: "pattern-matching CPS compiler with record (vector) nodes",
+		},
+	}
+}
+
+// Styles returns the Conjecture 3 pair: the same stream computation in a
+// mostly-functional and an imperative style.
+func Styles() []*Workload {
+	return []*Workload{
+		{
+			Name: "styles-functional", PaperProgram: "conjecture-3", File: "styles.scm",
+			Entry: "styles-main-functional", DefaultScale: 50000, SmallScale: 4000,
+			Description: "stream processing with fresh batch lists (build/map/filter/fold)",
+		},
+		{
+			Name: "styles-imperative", PaperProgram: "conjecture-3", File: "styles.scm",
+			Entry: "styles-main-imperative", DefaultScale: 50000, SmallScale: 4000,
+			Description: "in-place accumulation into a large scattered bucket array",
+		},
+	}
+}
+
+// Thrash returns the controlled thrashing micro-workload used by the X3
+// extension experiment. Its entry takes two arguments (padding words and
+// iterations), so experiments drive it through Load and a direct Eval
+// rather than Run.
+func Thrash() *Workload {
+	return &Workload{
+		Name: "thrash", PaperProgram: "sections 6-7 thrash case", File: "thrash.scm",
+		Entry: "thrash-main", DefaultScale: 20000, SmallScale: 1000,
+		Description: "two busy vectors placed to collide (or not) in a 64k cache",
+	}
+}
+
+// ByName finds a workload in All() plus Styles().
+func ByName(name string) (*Workload, error) {
+	for _, w := range append(All(), Styles()...) {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Names lists the primary workload names.
+func Names() []string {
+	var out []string
+	for _, w := range All() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// Source returns the workload's Scheme text.
+func (w *Workload) Source() string {
+	data, err := sources.ReadFile(w.File)
+	if err != nil {
+		panic(fmt.Sprintf("workloads: %s missing: %v", w.File, err))
+	}
+	return string(data)
+}
+
+// SourceLines counts non-blank, non-comment source lines, for the
+// Section 3 program table.
+func (w *Workload) SourceLines() int {
+	n := 0
+	for _, line := range strings.Split(w.Source(), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, ";") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Load compiles and runs the workload's definitions on the machine
+// (without invoking the entry point).
+func (w *Workload) Load(m *vm.Machine) error {
+	if _, err := m.Eval(w.Source()); err != nil {
+		return fmt.Errorf("workloads: loading %s: %w", w.Name, err)
+	}
+	return nil
+}
+
+// Run loads the workload and invokes its entry at the given scale
+// (DefaultScale if scale is 0), returning the checksum value.
+func (w *Workload) Run(m *vm.Machine, scale int) (scheme.Word, error) {
+	if scale == 0 {
+		scale = w.DefaultScale
+	}
+	if err := w.Load(m); err != nil {
+		return scheme.Unspec, err
+	}
+	v, err := m.Eval(fmt.Sprintf("(%s %d)", w.Entry, scale))
+	if err != nil {
+		return scheme.Unspec, fmt.Errorf("workloads: running %s: %w", w.Name, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,160 @@
+package workloads
+
+import (
+	"testing"
+
+	"gcsim/internal/gc"
+	"gcsim/internal/scheme"
+	"gcsim/internal/vm"
+)
+
+func newMachine(t *testing.T, col gc.Collector) *vm.Machine {
+	t.Helper()
+	m := vm.NewLoaded(nil, col)
+	m.MaxInsns = 3_000_000_000
+	return m
+}
+
+func TestRegistry(t *testing.T) {
+	if len(All()) != 5 {
+		t.Fatalf("expected 5 paper workloads, got %d", len(All()))
+	}
+	for _, w := range append(All(), Styles()...) {
+		if w.Source() == "" {
+			t.Errorf("%s: empty source", w.Name)
+		}
+		if w.SourceLines() < 30 {
+			t.Errorf("%s: implausibly small source (%d lines)", w.Name, w.SourceLines())
+		}
+		got, err := ByName(w.Name)
+		if err != nil || got != w && got.Name != w.Name {
+			t.Errorf("ByName(%s) failed: %v", w.Name, err)
+		}
+	}
+	if _, err := ByName("no-such"); err == nil {
+		t.Error("ByName accepted garbage")
+	}
+	if len(Names()) != 5 {
+		t.Error("Names() wrong")
+	}
+}
+
+// Each workload must run at small scale under no collection and produce a
+// stable fixnum checksum.
+func TestWorkloadsRunAndAreDeterministic(t *testing.T) {
+	for _, w := range append(All(), Styles()...) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			run := func() (int64, uint64) {
+				m := newMachine(t, gc.NewNoGC())
+				v, err := w.Run(m, w.SmallScale)
+				if err != nil {
+					t.Fatalf("%s: %v", w.Name, err)
+				}
+				if !scheme.IsFixnum(v) {
+					t.Fatalf("%s: checksum is not a fixnum: %s", w.Name, m.DescribeValue(v))
+				}
+				return scheme.FixnumValue(v), m.Mem.C.Refs()
+			}
+			c1, r1 := run()
+			c2, r2 := run()
+			if c1 != c2 || r1 != r2 {
+				t.Errorf("%s: nondeterministic: (%d,%d) vs (%d,%d)", w.Name, c1, r1, c2, r2)
+			}
+			if r1 == 0 {
+				t.Errorf("%s: no references recorded", w.Name)
+			}
+		})
+	}
+}
+
+// The checksum must be identical under every collector: collection must
+// not change program semantics.
+func TestWorkloadsAgreeAcrossCollectors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collector sweep is slow")
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			var want int64
+			for i, mk := range []func() gc.Collector{
+				func() gc.Collector { return gc.NewNoGC() },
+				func() gc.Collector { return gc.NewCheney(256 << 10) },
+				func() gc.Collector { return gc.NewGenerational(64<<10, 1<<20) },
+				func() gc.Collector { return gc.NewAggressive(32<<10, 1<<20) },
+				func() gc.Collector { return gc.NewMarkSweep(512 << 10) },
+			} {
+				col := mk()
+				m := newMachine(t, col)
+				v, err := w.Run(m, w.SmallScale)
+				if err != nil {
+					t.Fatalf("%s under %s: %v", w.Name, col.Name(), err)
+				}
+				got := scheme.FixnumValue(v)
+				if i == 0 {
+					want = got
+				} else if got != want {
+					t.Errorf("%s under %s: checksum %d, want %d", w.Name, col.Name(), got, want)
+				}
+			}
+		})
+	}
+}
+
+// The style pair must compute the same total.
+func TestStylesAgree(t *testing.T) {
+	pair := Styles()
+	m1 := newMachine(t, gc.NewNoGC())
+	v1, err := pair[0].Run(m1, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newMachine(t, gc.NewNoGC())
+	v2, err := pair[1].Run(m2, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheme.FixnumValue(v1) != scheme.FixnumValue(v2) {
+		t.Errorf("functional=%d imperative=%d, want equal",
+			scheme.FixnumValue(v1), scheme.FixnumValue(v2))
+	}
+	// The functional variant must allocate far more objects than the
+	// imperative one, whose allocation is a few one-time arrays.
+	if m1.Mem.C.AllocObjects < 100*m2.Mem.C.AllocObjects {
+		t.Errorf("functional alloc %d objects vs imperative %d: expected heavy allocation skew",
+			m1.Mem.C.AllocObjects, m2.Mem.C.AllocObjects)
+	}
+}
+
+// The lambda workload must grow live data monotonically (the property
+// that defeats the Cheney collector, as lp did in the paper).
+func TestLambdaGrowsLiveData(t *testing.T) {
+	col := gc.NewCheney(512 << 10)
+	m := newMachine(t, col)
+	w, _ := ByName("lambda")
+	if _, err := w.Run(m, 1200); err != nil {
+		t.Fatal(err)
+	}
+	st := col.Stats()
+	if st.Collections < 2 {
+		t.Skipf("only %d collections at this scale", st.Collections)
+	}
+	if st.LiveAfterLast < 1000 {
+		t.Errorf("live data after last collection = %d words; expected a growing structure", st.LiveAfterLast)
+	}
+}
+
+// Workload allocation volume should dwarf its live set, as in Section 3's
+// table (megabytes allocated by list churn).
+func TestWorkloadsAllocateHeavily(t *testing.T) {
+	for _, w := range All() {
+		m := newMachine(t, gc.NewNoGC())
+		if _, err := w.Run(m, w.SmallScale); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if m.Mem.C.AllocObjects < 1000 {
+			t.Errorf("%s: only %d objects allocated", w.Name, m.Mem.C.AllocObjects)
+		}
+	}
+}
