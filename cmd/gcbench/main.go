@@ -6,13 +6,14 @@
 // Usage:
 //
 //	gcbench [-exp T1|T2|F1|F1b|F1c|F2|F2b|F2c|F3|F4|T3|F5|E8] [-quick]
-//	        [-scale percent] [-metrics]
+//	        [-scale percent] [-parallel N] [-metrics]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,9 +24,12 @@ func main() {
 	expID := flag.String("exp", "", "experiment ID to run (default: all)")
 	quick := flag.Bool("quick", false, "use small test scales")
 	scale := flag.Int("scale", 100, "workload scale percent")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent workload runs within an experiment (1 = serial)")
 	metrics := flag.Bool("metrics", false, "print structured metrics after each report")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
+
+	core.SetParallelism(*parallel)
 
 	if *list {
 		for _, e := range core.Experiments() {

@@ -1,11 +1,16 @@
 // Command gcsim runs one workload (or an arbitrary Scheme file) under the
 // cache simulator and prints the measured counts and overheads.
 //
+// The -cache, -block, and -policy flags accept comma-separated lists; with
+// more than one resulting configuration, the program's single reference
+// stream is swept through every configuration in one run (a parallel bank
+// with one worker goroutine per cache) and a per-config table is printed.
+//
 // Usage:
 //
 //	gcsim -workload tc [-scale N] [-gc none|cheney|generational|aggressive]
-//	      [-cache 64k] [-block 64] [-policy write-validate|fetch-on-write]
-//	      [-semispace bytes] [-nursery bytes] [-v]
+//	      [-cache 64k,1m] [-block 16,64] [-policy write-validate,fetch-on-write]
+//	      [-semispace bytes] [-nursery bytes] [-parallel N] [-v]
 //	gcsim -file prog.scm [same options]
 package main
 
@@ -13,12 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"gcsim/internal/cache"
 	"gcsim/internal/cliutil"
 	"gcsim/internal/core"
 	"gcsim/internal/gc"
+	"gcsim/internal/mem"
 	"gcsim/internal/scheme"
 	"gcsim/internal/vm"
 	"gcsim/internal/workloads"
@@ -29,26 +36,19 @@ func main() {
 	file := flag.String("file", "", "run a Scheme source file instead of a workload")
 	scale := flag.Int("scale", 0, "workload scale (0 = default)")
 	gcName := flag.String("gc", "none", "collector: "+strings.Join(gc.Names, ", "))
-	cacheSize := flag.String("cache", "64k", "cache size (e.g. 32k, 1m)")
-	blockSize := flag.Int("block", 64, "cache block size in bytes")
-	policy := flag.String("policy", "write-validate", "write-miss policy")
+	cacheSize := flag.String("cache", "64k", "cache size(s), comma-separated (e.g. 32k,64k,1m)")
+	blockSize := flag.String("block", "64", "cache block size(s) in bytes, comma-separated")
+	policy := flag.String("policy", "write-validate", "write-miss policy list: write-validate, fetch-on-write, or both")
 	semispace := flag.Int("semispace", 0, "Cheney semispace bytes (0 = default)")
 	nursery := flag.Int("nursery", 0, "generational nursery bytes (0 = default)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = fully serial pipeline)")
 	verbose := flag.Bool("v", false, "print per-processor overhead detail")
 	flag.Parse()
 
-	size, err := cliutil.ParseSize(*cacheSize)
+	core.SetParallelism(*parallel)
+
+	cfgs, err := parseConfigs(*cacheSize, *blockSize, *policy)
 	if err != nil {
-		fatal(err)
-	}
-	pol := cache.WriteValidate
-	if *policy == "fetch-on-write" {
-		pol = cache.FetchOnWrite
-	} else if *policy != "write-validate" {
-		fatal(fmt.Errorf("unknown policy %q", *policy))
-	}
-	cfg := cache.Config{SizeBytes: size, BlockBytes: *blockSize, Policy: pol}
-	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
 	col, err := gc.New(*gcName, gc.Options{SemispaceBytes: *semispace, NurseryBytes: *nursery})
@@ -56,33 +56,104 @@ func main() {
 		fatal(err)
 	}
 
-	c := cache.New(cfg)
 	switch {
 	case *file != "":
-		runFile(*file, col, c, cfg, *verbose)
+		runFile(*file, col, cfgs, *verbose)
 	case *workload != "":
-		w, err := workloads.ByName(*workload)
-		if err != nil {
-			fatal(err)
-		}
-		run, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Collector: col, Tracer: c})
-		if err != nil {
-			fatal(err)
-		}
-		report(run.Workload, run.Insns, run.GCInsns, run.Checksum, col, c, cfg, *verbose)
+		runWorkload(*workload, *scale, col, cfgs, *verbose)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runFile(path string, col gc.Collector, c *cache.Cache, cfg cache.Config, verbose bool) {
+// parseConfigs expands the comma-separated size/block/policy lists into
+// the cross product of cache configurations, in list order.
+func parseConfigs(sizes, blocks, policies string) ([]cache.Config, error) {
+	sizeList, err := cliutil.ParseSizeList(sizes)
+	if err != nil {
+		return nil, err
+	}
+	blockList, err := cliutil.ParseIntList(blocks)
+	if err != nil {
+		return nil, err
+	}
+	var polList []cache.WritePolicy
+	if policies == "both" {
+		polList = []cache.WritePolicy{cache.WriteValidate, cache.FetchOnWrite}
+	} else {
+		for _, p := range strings.Split(policies, ",") {
+			switch strings.TrimSpace(p) {
+			case "write-validate":
+				polList = append(polList, cache.WriteValidate)
+			case "fetch-on-write":
+				polList = append(polList, cache.FetchOnWrite)
+			default:
+				return nil, fmt.Errorf("unknown policy %q", p)
+			}
+		}
+	}
+	var cfgs []cache.Config
+	for _, pol := range polList {
+		for _, size := range sizeList {
+			for _, block := range blockList {
+				cfg := cache.Config{SizeBytes: size, BlockBytes: block, Policy: pol}
+				if err := cfg.Validate(); err != nil {
+					return nil, err
+				}
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	return cfgs, nil
+}
+
+func runWorkload(name string, scale int, col gc.Collector, cfgs []cache.Config, verbose bool) {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		fatal(err)
+	}
+	sweep, err := core.RunSweep(w, scale, col, cfgs)
+	if err != nil {
+		fatal(err)
+	}
+	run := sweep.Run
+	if len(cfgs) == 1 {
+		report(run.Workload, run.Insns, run.GCInsns, run.Checksum, col,
+			sweep.Bank.Caches[0], cfgs[0], verbose)
+		return
+	}
+	fmt.Printf("workload:    %s\n", run.Workload)
+	fmt.Printf("collector:   %s (%d collections, %d words copied)\n",
+		col.Name(), col.Stats().Collections, col.Stats().CopiedWords)
+	fmt.Printf("checksum:    %d\n", run.Checksum)
+	fmt.Printf("insns:       %d program + %d collector\n", run.Insns, run.GCInsns)
+	reportTable(sweep.Bank.Caches, run.Insns, verbose)
+}
+
+func runFile(path string, col gc.Collector, cfgs []cache.Config, verbose bool) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
 	}
-	m := vm.NewLoaded(c, col)
+	var (
+		tracer mem.Tracer
+		bank   *cache.Bank
+		par    *cache.ParallelBank
+	)
+	if core.Parallelism() > 1 && len(cfgs) > 1 {
+		par = cache.NewParallelBank(cfgs)
+		tracer = par
+	} else {
+		bank = cache.NewBank(cfgs)
+		tracer = bank
+	}
+	m := vm.NewLoaded(tracer, col)
 	v, err := m.Eval(string(src))
+	if par != nil {
+		par.Drain()
+		bank = par.Bank()
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -94,7 +165,33 @@ func runFile(path string, col gc.Collector, c *cache.Cache, cfg cache.Config, ve
 	if scheme.IsFixnum(v) {
 		checksum = scheme.FixnumValue(v)
 	}
-	report(path, m.Insns(), m.GCInsns(), checksum, col, c, cfg, verbose)
+	if len(cfgs) == 1 {
+		report(path, m.Insns(), m.GCInsns(), checksum, col, bank.Caches[0], cfgs[0], verbose)
+		return
+	}
+	fmt.Printf("program:     %s\n", path)
+	fmt.Printf("collector:   %s (%d collections, %d words copied)\n",
+		col.Name(), col.Stats().Collections, col.Stats().CopiedWords)
+	fmt.Printf("insns:       %d program + %d collector\n", m.Insns(), m.GCInsns())
+	reportTable(bank.Caches, m.Insns(), verbose)
+}
+
+// reportTable prints one row per swept configuration.
+func reportTable(caches []*cache.Cache, insns uint64, verbose bool) {
+	fmt.Printf("\n%-22s %12s %10s %12s %10s %10s\n",
+		"config", "misses", "ratio", "writebacks", "O(slow)", "O(fast)")
+	for _, c := range caches {
+		cfg := c.Config()
+		s := &c.S
+		fmt.Printf("%-22s %12d %10.5f %12d %10.4f %10.4f\n",
+			cfg.String(), s.Misses(), s.MissRatio(), s.Writebacks,
+			cache.Slow.CacheOverhead(s.Misses(), insns, cfg.BlockBytes),
+			cache.Fast.CacheOverhead(s.Misses(), insns, cfg.BlockBytes))
+		if verbose {
+			fmt.Printf("%-22s %12s reads %d, writes %d, allocs %d, GC misses %d\n",
+				"", "", s.Reads, s.Writes, s.WriteAllocs, s.GCMisses())
+		}
+	}
 }
 
 func report(name string, insns, gcInsns uint64, checksum int64, col gc.Collector, c *cache.Cache, cfg cache.Config, verbose bool) {

@@ -52,6 +52,13 @@ type (
 	CacheConfig = cache.Config
 	// CacheBank simulates many configurations in one pass.
 	CacheBank = cache.Bank
+	// ParallelCacheBank simulates many configurations in one pass with
+	// one worker goroutine per cache; call Drain before reading stats.
+	ParallelCacheBank = cache.ParallelBank
+	// Ref is one packed data reference of the batch pipeline.
+	Ref = mem.Ref
+	// BatchTracer observes references a sealed chunk at a time.
+	BatchTracer = mem.BatchTracer
 	// CacheStats holds one cache's event counts.
 	CacheStats = cache.Stats
 	// Processor is one of the paper's hypothetical CPUs.
@@ -120,6 +127,20 @@ func NewCache(cfg CacheConfig) *Cache { return cache.New(cfg) }
 
 // NewCacheBank builds one cache per configuration, fed in lockstep.
 func NewCacheBank(cfgs []CacheConfig) *CacheBank { return cache.NewBank(cfgs) }
+
+// NewParallelCacheBank builds one cache per configuration, each simulated
+// on its own goroutine over the same chunked reference stream. Statistics
+// are bitwise identical to NewCacheBank's; call Drain before reading them.
+func NewParallelCacheBank(cfgs []CacheConfig) *ParallelCacheBank {
+	return cache.NewParallelBank(cfgs)
+}
+
+// SetParallelism bounds concurrent experiment runs and toggles the
+// parallel cache bank inside sweeps (default GOMAXPROCS; 1 = serial).
+func SetParallelism(n int) { core.SetParallelism(n) }
+
+// Parallelism returns the current experiment-parallelism bound.
+func Parallelism() int { return core.Parallelism() }
 
 // SweepConfigs returns the paper's full cache-size × block-size grid for
 // one write policy.

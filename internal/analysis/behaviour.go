@@ -146,6 +146,16 @@ func (b *Behaviour) Ref(addr uint64, write, collector bool) {
 	}
 }
 
+// RefBatch implements mem.BatchTracer: the analyzer consumes whole chunks
+// of the reference pipeline with one concrete-type loop instead of one
+// interface call per word. Allocation-cycle bookkeeping stays exact
+// because core.Run flushes the pipeline before every OnAlloc event.
+func (b *Behaviour) RefBatch(refs []mem.Ref) {
+	for _, r := range refs {
+		b.Ref(r.Addr(), r.Write(), r.Collector())
+	}
+}
+
 // TotalRefs returns the number of references observed.
 func (b *Behaviour) TotalRefs() uint64 { return b.refTime }
 
@@ -331,3 +341,4 @@ func NewActivity(refs, misses []uint64) *Activity {
 }
 
 var _ mem.Tracer = (*Behaviour)(nil)
+var _ mem.BatchTracer = (*Behaviour)(nil)

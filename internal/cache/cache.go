@@ -137,9 +137,14 @@ type Cache struct {
 
 	tags  []uint64 // block number currently cached; tagEmpty when invalid
 	valid []uint64 // per-word valid bits
-	dirty []bool
+	dirty []uint64 // per-block dirty bits, packed 64 blocks per word
 
 	S Stats
+
+	// instrumented is true when block stats or a miss hook are enabled;
+	// accesses then take the slower path that feeds them. The plain path
+	// carries no hook checks at all.
+	instrumented bool
 
 	// Optional per-cache-block accounting for the Section 7 activity
 	// graphs. Enabled by EnableBlockStats.
@@ -167,7 +172,7 @@ func New(cfg Config) *Cache {
 		blockWords: uint(cfg.BlockBytes / mem.WordBytes),
 		tags:       make([]uint64, n),
 		valid:      make([]uint64, n),
-		dirty:      make([]bool, n),
+		dirty:      make([]uint64, (n+63)/64),
 	}
 	c.wordMask = uint64(c.blockWords - 1)
 	if c.blockWords == 64 {
@@ -188,6 +193,7 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) EnableBlockStats() {
 	c.blockRefs = make([]uint64, len(c.tags))
 	c.blockMisses = make([]uint64, len(c.tags))
+	c.syncInstrumented()
 }
 
 // BlockStats returns per-cache-block (refs, misses) slices, or nils if
@@ -197,16 +203,106 @@ func (c *Cache) EnableBlockStats() {
 func (c *Cache) BlockStats() (refs, misses []uint64) { return c.blockRefs, c.blockMisses }
 
 // OnMiss registers a hook invoked for every miss event (including
-// write-validate allocation claims, flagged Alloc).
-func (c *Cache) OnMiss(f func(MissEvent)) { c.onMiss = f }
+// write-validate allocation claims, flagged Alloc). A nil f removes it.
+func (c *Cache) OnMiss(f func(MissEvent)) {
+	c.onMiss = f
+	c.syncInstrumented()
+}
+
+// syncInstrumented routes future accesses through the instrumented path
+// when any hook is live. The plain path does not maintain refIdx (it is
+// always Reads+Writes), so re-derive it at the switch-over.
+func (c *Cache) syncInstrumented() {
+	c.instrumented = c.blockRefs != nil || c.onMiss != nil
+	c.refIdx = c.S.Reads + c.S.Writes
+}
 
 // Access simulates one word-sized reference at the given word address.
 // collector selects collector-mode accounting and forces fetch-on-write.
 func (c *Cache) Access(wordAddr uint64, write, collector bool) {
-	byteAddr := wordAddr * mem.WordBytes
-	blockNum := byteAddr >> c.blockShift
+	if c.instrumented {
+		c.accessInstrumented(wordAddr, write, collector)
+	} else {
+		c.accessPlain(wordAddr, write, collector)
+	}
+}
+
+// accessPlain is the hot path: no block counters, no miss hook, and no
+// checks for either — Bank sweeps run entirely through it.
+func (c *Cache) accessPlain(wordAddr uint64, write, collector bool) {
+	blockNum := wordAddr * mem.WordBytes >> c.blockShift
 	idx := blockNum & c.indexMask
 	bit := uint64(1) << (wordAddr & c.wordMask)
+	dw, db := idx>>6, uint64(1)<<(idx&63)
+
+	if collector {
+		if write {
+			c.S.GCWrites++
+		} else {
+			c.S.GCReads++
+		}
+	} else {
+		if write {
+			c.S.Writes++
+		} else {
+			c.S.Reads++
+		}
+	}
+
+	if c.tags[idx] == blockNum {
+		if write {
+			c.valid[idx] |= bit
+			c.dirty[dw] |= db
+			return
+		}
+		if c.valid[idx]&bit != 0 {
+			return // hit
+		}
+		// Read of a word not yet validated in a claimed line: fetch.
+		c.valid[idx] = c.fullMask
+		c.countMiss(write, collector, false)
+		return
+	}
+
+	// Tag mismatch: evict.
+	if c.dirty[dw]&db != 0 && c.tags[idx] != tagEmpty {
+		if collector {
+			c.S.GCWritebacks++
+		} else {
+			c.S.Writebacks++
+		}
+	}
+	c.tags[idx] = blockNum
+	if write {
+		c.dirty[dw] |= db
+	} else {
+		c.dirty[dw] &^= db
+	}
+
+	if !write {
+		c.valid[idx] = c.fullMask
+		c.countMiss(false, collector, false)
+		return
+	}
+	// Write miss. The collector always fetches on write (paper, Section 6
+	// footnote); the program fetches only under FetchOnWrite.
+	if collector || c.cfg.Policy == FetchOnWrite {
+		c.valid[idx] = c.fullMask
+		c.countMiss(true, collector, false)
+		return
+	}
+	// Write-validate: claim the line, validate only the written word.
+	c.valid[idx] = bit
+	c.countMiss(true, collector, true)
+}
+
+// accessInstrumented mirrors accessPlain but additionally feeds the
+// per-block counters, the refIdx clock, and the miss-event hook.
+func (c *Cache) accessInstrumented(wordAddr uint64, write, collector bool) {
+	blockNum := wordAddr * mem.WordBytes >> c.blockShift
+	idx := blockNum & c.indexMask
+	bit := uint64(1) << (wordAddr & c.wordMask)
+	dw, db := idx>>6, uint64(1)<<(idx&63)
 
 	if c.blockRefs != nil && !collector {
 		c.blockRefs[idx]++
@@ -229,20 +325,18 @@ func (c *Cache) Access(wordAddr uint64, write, collector bool) {
 	if c.tags[idx] == blockNum {
 		if write {
 			c.valid[idx] |= bit
-			c.dirty[idx] = true
+			c.dirty[dw] |= db
 			return
 		}
 		if c.valid[idx]&bit != 0 {
 			return // hit
 		}
-		// Read of a word not yet validated in a claimed line: fetch.
 		c.valid[idx] = c.fullMask
 		c.recordMiss(idx, write, collector, false)
 		return
 	}
 
-	// Tag mismatch: evict.
-	if c.dirty[idx] && c.tags[idx] != tagEmpty {
+	if c.dirty[dw]&db != 0 && c.tags[idx] != tagEmpty {
 		if collector {
 			c.S.GCWritebacks++
 		} else {
@@ -250,29 +344,28 @@ func (c *Cache) Access(wordAddr uint64, write, collector bool) {
 		}
 	}
 	c.tags[idx] = blockNum
-	c.dirty[idx] = write
+	if write {
+		c.dirty[dw] |= db
+	} else {
+		c.dirty[dw] &^= db
+	}
 
 	if !write {
 		c.valid[idx] = c.fullMask
 		c.recordMiss(idx, false, collector, false)
 		return
 	}
-	// Write miss. The collector always fetches on write (paper, Section 6
-	// footnote); the program fetches only under FetchOnWrite.
 	if collector || c.cfg.Policy == FetchOnWrite {
 		c.valid[idx] = c.fullMask
 		c.recordMiss(idx, true, collector, false)
 		return
 	}
-	// Write-validate: claim the line, validate only the written word.
 	c.valid[idx] = bit
 	c.recordMiss(idx, true, collector, true)
 }
 
-func (c *Cache) recordMiss(idx uint64, write, collector, alloc bool) {
-	if c.blockMisses != nil && !collector {
-		c.blockMisses[idx]++
-	}
+// countMiss updates the miss statistics on the plain path.
+func (c *Cache) countMiss(write, collector, alloc bool) {
 	switch {
 	case collector && write:
 		c.S.GCWriteMisses++
@@ -285,8 +378,32 @@ func (c *Cache) recordMiss(idx uint64, write, collector, alloc bool) {
 	default:
 		c.S.ReadMisses++
 	}
+}
+
+// recordMiss is countMiss plus the instrumentation feeds.
+func (c *Cache) recordMiss(idx uint64, write, collector, alloc bool) {
+	if c.blockMisses != nil && !collector {
+		c.blockMisses[idx]++
+	}
+	c.countMiss(write, collector, alloc)
 	if c.onMiss != nil && !collector {
 		c.onMiss(MissEvent{RefIndex: c.refIdx, CacheBlock: uint32(idx), Alloc: alloc})
+	}
+}
+
+// AccessBatch simulates a chunk of packed references in stream order. It
+// is the bulk entry point of the reference pipeline: one call replays a
+// whole chunk through a single specialized loop, with the hook checks
+// hoisted out of the per-reference work.
+func (c *Cache) AccessBatch(refs []mem.Ref) {
+	if c.instrumented {
+		for _, r := range refs {
+			c.accessInstrumented(r.Addr(), r.Write(), r.Collector())
+		}
+		return
+	}
+	for _, r := range refs {
+		c.accessPlain(r.Addr(), r.Write(), r.Collector())
 	}
 }
 
@@ -295,8 +412,8 @@ func (c *Cache) Reset() {
 	for i := range c.tags {
 		c.tags[i] = tagEmpty
 		c.valid[i] = 0
-		c.dirty[i] = false
 	}
+	clear(c.dirty)
 	c.S = Stats{}
 	c.refIdx = 0
 	if c.blockRefs != nil {
@@ -308,6 +425,9 @@ func (c *Cache) Reset() {
 // Ref implements mem.Tracer, so a single Cache can observe a Memory
 // directly.
 func (c *Cache) Ref(addr uint64, write, collector bool) { c.Access(addr, write, collector) }
+
+// RefBatch implements mem.BatchTracer.
+func (c *Cache) RefBatch(refs []mem.Ref) { c.AccessBatch(refs) }
 
 // Bank fans one reference stream out to many caches, so a whole
 // size × block-size × policy sweep is simulated in a single program run.
@@ -331,6 +451,15 @@ func (b *Bank) Ref(addr uint64, write, collector bool) {
 	}
 }
 
+// RefBatch implements mem.BatchTracer: each cache replays the whole chunk
+// in a tight per-cache loop, so the chunk (not the bank's combined state)
+// is what cycles through the host cache.
+func (b *Bank) RefBatch(refs []mem.Ref) {
+	for _, c := range b.Caches {
+		c.AccessBatch(refs)
+	}
+}
+
 // Find returns the bank's cache with the given configuration, or nil.
 func (b *Bank) Find(cfg Config) *Cache {
 	for _, c := range b.Caches {
@@ -343,3 +472,5 @@ func (b *Bank) Find(cfg Config) *Cache {
 
 var _ mem.Tracer = (*Cache)(nil)
 var _ mem.Tracer = (*Bank)(nil)
+var _ mem.BatchTracer = (*Cache)(nil)
+var _ mem.BatchTracer = (*Bank)(nil)

@@ -1,0 +1,151 @@
+// The parallel cache bank: the same single-pass multi-configuration sweep
+// as Bank, but with each cache simulated on its own goroutine. The
+// producer (the VM's reference pipeline) publishes sealed chunks of packed
+// refs; every worker replays every chunk, in publication order, against
+// its one cache. Because each cache still consumes the stream
+// sequentially, the per-cache simulation is exactly the serial one and the
+// resulting Stats are bitwise identical to Bank's — parallelism changes
+// only which host core runs which cache, never what any cache observes.
+//
+// Chunks live in a small fixed ring and are recycled: the producer blocks
+// when all chunks are in flight (bounding memory and applying back
+// pressure to the VM), and the last worker to finish a chunk returns it to
+// the ring.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gcsim/internal/mem"
+)
+
+// parallelRing is the number of in-flight chunks. Deep enough to absorb
+// skew between fast (small-cache) and slow (large-cache) workers, shallow
+// enough that the working set of chunks stays cache-resident.
+const parallelRing = 8
+
+// parChunk is one sealed, shared chunk of the reference stream.
+type parChunk struct {
+	refs    []mem.Ref
+	pending atomic.Int32 // workers that have not finished this chunk yet
+}
+
+// ParallelBank fans one reference stream out to per-cache worker
+// goroutines. Use it exactly like Bank — install as the Memory's tracer,
+// run, then call Drain before reading any cache's Stats. A ParallelBank
+// is single-producer and single-shot: one goroutine feeds it, and after
+// Drain it cannot be reused.
+type ParallelBank struct {
+	Caches []*Cache
+
+	workers []chan *parChunk
+	free    chan *parChunk
+	wg      sync.WaitGroup
+	staged  []mem.Ref // buffer for the per-ref Tracer interface
+	drained bool
+}
+
+// NewParallelBank builds the bank and starts one worker per
+// configuration. The goroutines idle on empty channels until references
+// arrive and exit at Drain.
+func NewParallelBank(cfgs []Config) *ParallelBank {
+	b := &ParallelBank{
+		Caches: make([]*Cache, len(cfgs)),
+		free:   make(chan *parChunk, parallelRing),
+	}
+	for i := 0; i < parallelRing; i++ {
+		b.free <- &parChunk{refs: make([]mem.Ref, 0, mem.ChunkRefs)}
+	}
+	for i, cfg := range cfgs {
+		b.Caches[i] = New(cfg)
+		ch := make(chan *parChunk, parallelRing)
+		b.workers = append(b.workers, ch)
+		b.wg.Add(1)
+		go b.work(b.Caches[i], ch)
+	}
+	return b
+}
+
+// work replays every published chunk against one cache, recycling each
+// chunk once every worker has finished with it.
+func (b *ParallelBank) work(c *Cache, ch chan *parChunk) {
+	defer b.wg.Done()
+	for ck := range ch {
+		c.AccessBatch(ck.refs)
+		if ck.pending.Add(-1) == 0 {
+			b.free <- ck
+		}
+	}
+}
+
+// RefBatch implements mem.BatchTracer. The chunk is copied into an owned
+// ring buffer (the caller reuses its buffer immediately), sealed, and
+// published to every worker. Blocks when the ring is exhausted.
+func (b *ParallelBank) RefBatch(refs []mem.Ref) {
+	if len(b.workers) == 0 {
+		return
+	}
+	for len(refs) > 0 {
+		n := len(refs)
+		if n > mem.ChunkRefs {
+			n = mem.ChunkRefs
+		}
+		ck := <-b.free
+		ck.refs = append(ck.refs[:0], refs[:n]...)
+		ck.pending.Store(int32(len(b.workers)))
+		for _, ch := range b.workers {
+			ch <- ck
+		}
+		refs = refs[n:]
+	}
+}
+
+// Ref implements mem.Tracer for callers that feed references one at a
+// time; they are staged into chunks internally. Memory prefers RefBatch.
+func (b *ParallelBank) Ref(addr uint64, write, collector bool) {
+	if b.staged == nil {
+		b.staged = make([]mem.Ref, 0, mem.ChunkRefs)
+	}
+	b.staged = append(b.staged, mem.MakeRef(addr, write, collector))
+	if len(b.staged) == cap(b.staged) {
+		b.RefBatch(b.staged)
+		b.staged = b.staged[:0]
+	}
+}
+
+// Drain is the final barrier: it publishes any staged refs, waits for
+// every worker to finish every chunk, and stops the workers. After Drain
+// returns, the caches' Stats are complete and safe to read from any
+// goroutine. Drain is idempotent; publishing after Drain panics.
+func (b *ParallelBank) Drain() {
+	if b.drained {
+		return
+	}
+	b.drained = true
+	if len(b.staged) > 0 {
+		b.RefBatch(b.staged)
+		b.staged = b.staged[:0]
+	}
+	for _, ch := range b.workers {
+		close(ch)
+	}
+	b.wg.Wait()
+}
+
+// Bank returns a serial-bank view sharing this bank's caches, for code
+// that consumes *Bank results. Valid only after Drain.
+func (b *ParallelBank) Bank() *Bank { return &Bank{Caches: b.Caches} }
+
+// Find returns the bank's cache with the given configuration, or nil.
+func (b *ParallelBank) Find(cfg Config) *Cache {
+	for _, c := range b.Caches {
+		if c.cfg == cfg {
+			return c
+		}
+	}
+	return nil
+}
+
+var _ mem.Tracer = (*ParallelBank)(nil)
+var _ mem.BatchTracer = (*ParallelBank)(nil)

@@ -26,3 +26,30 @@ func ParseSize(s string) (int, error) {
 	}
 	return n * mult, nil
 }
+
+// ParseSizeList parses a comma-separated list of sizes ("32k,64k,1m").
+func ParseSizeList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := ParseSize(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// ParseIntList parses a comma-separated list of positive integers
+// ("16,64,256").
+func ParseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad number %q in list %q", part, s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

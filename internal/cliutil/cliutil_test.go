@@ -1,6 +1,9 @@
 package cliutil
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestParseSize(t *testing.T) {
 	good := map[string]int{
@@ -15,6 +18,36 @@ func TestParseSize(t *testing.T) {
 	for _, bad := range []string{"", "k", "12q", "-4k", "0", "1.5m"} {
 		if _, err := ParseSize(bad); err == nil {
 			t.Errorf("ParseSize(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSizeList(t *testing.T) {
+	got, err := ParseSizeList("32k, 64k,1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{32 << 10, 64 << 10, 1 << 20}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseSizeList = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", "64k,", "64k,,1m", "64k,huge"} {
+		if _, err := ParseSizeList(bad); err == nil {
+			t.Errorf("ParseSizeList(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := ParseIntList("16, 64,256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{16, 64, 256}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseIntList = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", "16,", "16,0,64", "16,-4", "a,b"} {
+		if _, err := ParseIntList(bad); err == nil {
+			t.Errorf("ParseIntList(%q) accepted", bad)
 		}
 	}
 }

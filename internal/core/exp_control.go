@@ -16,11 +16,18 @@ func expT1(cfg ExpConfig) (*ExpResult, error) {
 	res.printf("Section 3 program table (no collection)\n")
 	res.printf("%-8s %-8s %6s %10s %14s %14s\n",
 		"program", "paper", "lines", "alloc", "insns", "refs")
-	for _, w := range workloads.All() {
+	ws := workloads.All()
+	runs := make([]*RunResult, len(ws))
+	if err := forEachPar(len(ws), func(i int) error {
+		w := ws[i]
 		run, err := Run(RunSpec{Workload: w, Scale: cfg.scaleFor(w.DefaultScale, w.SmallScale)})
-		if err != nil {
-			return nil, err
-		}
+		runs[i] = run
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		run := runs[i]
 		allocMB := float64(run.Counters.AllocWords*8) / 1e6
 		res.printf("%-8s %-8s %6d %8.1fmb %14d %14d\n",
 			w.Name, w.PaperProgram, w.SourceLines(), allocMB, run.Insns, run.Refs())
@@ -68,13 +75,14 @@ func controlSweeps(cfg ExpConfig) ([]*SweepResult, error) {
 	}
 	cfgs := append(cache.SweepConfigs(cache.WriteValidate),
 		cache.SweepConfigs(cache.FetchOnWrite)...)
-	var out []*SweepResult
-	for _, w := range workloads.All() {
-		s, err := RunSweep(w, cfg.scaleFor(w.DefaultScale, w.SmallScale), nil, cfgs)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
+	ws := workloads.All()
+	out := make([]*SweepResult, len(ws))
+	if err := forEachPar(len(ws), func(i int) error {
+		s, err := RunSweep(ws[i], cfg.scaleFor(ws[i].DefaultScale, ws[i].SmallScale), nil, cfgs)
+		out[i] = s
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	sweepCache[cfg] = out
 	return out, nil

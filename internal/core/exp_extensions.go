@@ -39,15 +39,20 @@ func expX1(cfg ExpConfig) (*ExpResult, error) {
 		res.printf("%14s", fmt.Sprintf("%d-way ratio", ways))
 	}
 	res.printf("\n")
-	for _, w := range workloads.All() {
-		bank := cache.NewAssocBank(cfgs)
-		run, err := Run(RunSpec{
-			Workload: w, Scale: cfg.scaleFor(w.DefaultScale, w.SmallScale), Tracer: bank,
+	ws := workloads.All()
+	banks := make([]*cache.AssocBank, len(ws))
+	if err := forEachPar(len(ws), func(i int) error {
+		banks[i] = cache.NewAssocBank(cfgs)
+		_, err := Run(RunSpec{
+			Workload: ws[i], Scale: cfg.scaleFor(ws[i].DefaultScale, ws[i].SmallScale),
+			Tracer: banks[i],
 		})
-		if err != nil {
-			return nil, err
-		}
-		_ = run
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		bank := banks[wi]
 		for _, size := range []int{32 << 10, 64 << 10, 256 << 10, 1 << 20} {
 			res.printf("%-8s %-6s", w.Name, cache.FormatSize(size))
 			for _, ways := range []int{1, 2, 4} {
@@ -91,16 +96,24 @@ func expX2(cfg ExpConfig) (*ExpResult, error) {
 	res.printf("X2: two-level hierarchy (%v)\n\n", hcfg)
 	res.printf("%-8s %12s %12s %14s %14s %14s\n",
 		"program", "L1 misses", "L2 misses", "O_mem(fast)", "O_32k(fast)", "O_1m(fast)")
-	for _, w := range workloads.All() {
-		h := cache.NewHierarchy(hcfg)
-		bank := cache.NewBank([]cache.Config{hcfg.L1, hcfg.L2})
+	ws := workloads.All()
+	hs := make([]*cache.Hierarchy, len(ws))
+	hbanks := make([]*cache.Bank, len(ws))
+	hruns := make([]*RunResult, len(ws))
+	if err := forEachPar(len(ws), func(i int) error {
+		hs[i] = cache.NewHierarchy(hcfg)
+		hbanks[i] = cache.NewBank([]cache.Config{hcfg.L1, hcfg.L2})
 		run, err := Run(RunSpec{
-			Workload: w, Scale: cfg.scaleFor(w.DefaultScale, w.SmallScale),
-			Tracer: MultiTracer{h, bank},
+			Workload: ws[i], Scale: cfg.scaleFor(ws[i].DefaultScale, ws[i].SmallScale),
+			Tracer: MultiTracer{hs[i], hbanks[i]},
 		})
-		if err != nil {
-			return nil, err
-		}
+		hruns[i] = run
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		h, bank, run := hs[i], hbanks[i], hruns[i]
 		oMem := h.Overhead(cache.Fast, run.Insns)
 		o32 := cache.Fast.CacheOverhead(bank.Caches[0].S.Misses(), run.Insns, 64)
 		o1m := cache.Fast.CacheOverhead(bank.Caches[1].S.Misses(), run.Insns, 64)

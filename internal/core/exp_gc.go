@@ -29,14 +29,19 @@ type gcRunPair struct {
 }
 
 // runGCPair runs a workload without collection and with the given
-// collector over the Section 6 bank.
+// collector over the Section 6 bank. The two runs are independent
+// simulations and execute concurrently under the experiment worker pool.
 func runGCPair(w *workloads.Workload, scale int, mk func() gc.Collector) (*gcRunPair, error) {
-	base, err := RunSweep(w, scale, nil, gcSweepConfigs())
-	if err != nil {
-		return nil, err
-	}
-	col, err := RunSweep(w, scale, mk(), gcSweepConfigs())
-	if err != nil {
+	var base, col *SweepResult
+	if err := forEachPar(2, func(i int) error {
+		var err error
+		if i == 0 {
+			base, err = RunSweep(w, scale, nil, gcSweepConfigs())
+		} else {
+			col, err = RunSweep(w, scale, mk(), gcSweepConfigs())
+		}
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	if base.Run.Checksum != col.Run.Checksum {
@@ -59,12 +64,18 @@ func expF2(cfg ExpConfig) (*ExpResult, error) {
 	res := newResult()
 	res.printf("Section 6 figure: O_gc with the Cheney semispace collector (64b blocks)\n")
 	res.printf("semispace size: %s\n\n", cache.FormatSize(cheneySemispaceBytes))
-	for _, w := range workloads.All() {
-		pair, err := runGCPair(w, cfg.scaleFor(w.DefaultScale, w.SmallScale),
+	ws := workloads.All()
+	pairs := make([]*gcRunPair, len(ws))
+	if err := forEachPar(len(ws), func(i int) error {
+		pair, err := runGCPair(ws[i], cfg.scaleFor(ws[i].DefaultScale, ws[i].SmallScale),
 			func() gc.Collector { return gc.NewCheney(cheneySemispaceBytes) })
-		if err != nil {
-			return nil, err
-		}
+		pairs[i] = pair
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		pair := pairs[i]
 		res.printf("%s (paper: %s), %d collections, %.1f MB copied:\n",
 			w.Name, w.PaperProgram, pair.collected.Run.GCStats.Collections,
 			float64(pair.collected.Run.GCStats.CopiedWords*8)/1e6)

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment-level worker pool. Experiments that perform several
+// independent runs (one per workload, or baseline + collected) execute
+// them concurrently, bounded by the configured parallelism. Each run owns
+// its machine, memory, collector, and bank, so runs share nothing; the
+// parallel results are byte-identical to serial ones and only the
+// wall-clock changes.
+
+var parallelism atomic.Int32
+
+func init() { parallelism.Store(int32(runtime.GOMAXPROCS(0))) }
+
+// SetParallelism bounds the number of concurrently executing runs and
+// enables (n > 1) or disables (n <= 1) the parallel cache bank inside
+// multi-configuration sweeps. CLIs plumb their -parallel flag here.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the current bound (default GOMAXPROCS).
+func Parallelism() int { return int(parallelism.Load()) }
+
+// forEachPar runs f(0..n-1), at most Parallelism() at a time, and returns
+// the first error by index. With parallelism 1 it degenerates to a plain
+// loop on the calling goroutine.
+func forEachPar(n int, f func(i int) error) error {
+	limit := Parallelism()
+	if limit <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, limit)
+		errs = make([]error, n)
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -21,7 +21,11 @@ import (
 const maxRunInsns = 50_000_000_000
 
 // MultiTracer fans references out to several tracers (e.g. a cache bank
-// and a behaviour analyzer).
+// and a behaviour analyzer). It is batch-aware: it implements
+// mem.BatchTracer, so the Memory stages references once and MultiTracer
+// hands each sealed chunk to every member — batch-capable members consume
+// the chunk directly, plain Tracers get a compatibility loop. There is a
+// single chunk pipeline no matter how many observers are attached.
 type MultiTracer []mem.Tracer
 
 // Ref implements mem.Tracer.
@@ -30,6 +34,21 @@ func (ts MultiTracer) Ref(addr uint64, write, collector bool) {
 		t.Ref(addr, write, collector)
 	}
 }
+
+// RefBatch implements mem.BatchTracer.
+func (ts MultiTracer) RefBatch(refs []mem.Ref) {
+	for _, t := range ts {
+		if bt, ok := t.(mem.BatchTracer); ok {
+			bt.RefBatch(refs)
+			continue
+		}
+		for _, r := range refs {
+			t.Ref(r.Addr(), r.Write(), r.Collector())
+		}
+	}
+}
+
+var _ mem.BatchTracer = (MultiTracer)(nil)
 
 // RunSpec describes one simulated program run.
 type RunSpec struct {
@@ -74,7 +93,17 @@ func Run(spec RunSpec) (*RunResult, error) {
 	m := vm.NewLoaded(tracer, col)
 	m.MaxInsns = maxRunInsns
 	if spec.Behaviour != nil {
-		m.OnAlloc = spec.Behaviour.OnAlloc
+		// The analyzer orders allocation events against its reference
+		// stream (OnAlloc advances allocation cycles that Ref reads), so
+		// flush the staged chunk before each event. Behaviour runs use a
+		// single observer geometry, where the shorter chunks cost nothing
+		// measurable; the big multi-configuration sweeps never attach a
+		// Behaviour and keep full-sized chunks.
+		bh, mm := spec.Behaviour, m.Mem
+		m.OnAlloc = func(addr uint64, words int) {
+			mm.FlushTrace()
+			bh.OnAlloc(addr, words)
+		}
 	}
 	v, err := spec.Workload.Run(m, spec.Scale)
 	if err != nil {
@@ -104,10 +133,29 @@ type SweepResult struct {
 }
 
 // RunSweep runs a workload once against a bank with every given
-// configuration.
+// configuration. With parallelism > 1 and more than one configuration,
+// the sweep uses the parallel cache bank — one worker goroutine per
+// configuration consuming the same chunked reference stream — which
+// produces bitwise-identical statistics to the serial bank (each cache
+// still consumes the stream sequentially and in order).
 func RunSweep(w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config) (*SweepResult, error) {
-	bank := cache.NewBank(cfgs)
-	run, err := Run(RunSpec{Workload: w, Scale: scale, Collector: col, Tracer: bank})
+	var (
+		bank   *cache.Bank
+		tracer mem.Tracer
+		par    *cache.ParallelBank
+	)
+	if Parallelism() > 1 && len(cfgs) > 1 {
+		par = cache.NewParallelBank(cfgs)
+		tracer = par
+	} else {
+		bank = cache.NewBank(cfgs)
+		tracer = bank
+	}
+	run, err := Run(RunSpec{Workload: w, Scale: scale, Collector: col, Tracer: tracer})
+	if par != nil {
+		par.Drain() // final barrier, also on error paths
+		bank = par.Bank()
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,134 @@
+package mem
+
+import (
+	"testing"
+
+	"gcsim/internal/scheme"
+)
+
+func TestRefPacking(t *testing.T) {
+	cases := []struct {
+		addr             uint64
+		write, collector bool
+	}{
+		{0, false, false},
+		{StackBase, true, false},
+		{StaticBase + 12345, false, true},
+		{DynBase + (1 << 35), true, true},
+		{uint64(refAddrMask), true, false},
+	}
+	for _, c := range cases {
+		r := MakeRef(c.addr, c.write, c.collector)
+		if r.Addr() != c.addr || r.Write() != c.write || r.Collector() != c.collector {
+			t.Errorf("MakeRef(%#x,%v,%v) round-trips to (%#x,%v,%v)",
+				c.addr, c.write, c.collector, r.Addr(), r.Write(), r.Collector())
+		}
+	}
+}
+
+// chunkRecorder records every delivered chunk boundary and ref.
+type chunkRecorder struct {
+	refs   []Ref
+	chunks []int // length of each delivered chunk
+}
+
+func (c *chunkRecorder) RefBatch(refs []Ref) {
+	c.refs = append(c.refs, refs...)
+	c.chunks = append(c.chunks, len(refs))
+}
+
+func (c *chunkRecorder) Ref(addr uint64, write, collector bool) {
+	c.RefBatch([]Ref{MakeRef(addr, write, collector)})
+}
+
+func TestBatchTracerSeesChunkedStream(t *testing.T) {
+	rec := &chunkRecorder{}
+	m := New(rec)
+	m.EnsureDynamic(DynBase, DynBase+8)
+
+	const n = ChunkRefs + ChunkRefs/2
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			m.Store(DynBase+uint64(i%8), scheme.FromFixnum(int64(i)))
+		} else {
+			m.Load(DynBase + uint64(i%8))
+		}
+	}
+	if len(rec.refs) != ChunkRefs {
+		t.Fatalf("before flush, delivered %d refs, want exactly one full chunk (%d)",
+			len(rec.refs), ChunkRefs)
+	}
+	m.FlushTrace()
+	if len(rec.refs) != n {
+		t.Fatalf("after flush, delivered %d refs, want %d", len(rec.refs), n)
+	}
+	if len(rec.chunks) != 2 || rec.chunks[0] != ChunkRefs || rec.chunks[1] != n-ChunkRefs {
+		t.Fatalf("chunk sizes = %v, want [%d %d]", rec.chunks, ChunkRefs, n-ChunkRefs)
+	}
+	// Replay the same accesses against a synchronous tracer and compare
+	// the streams ref for ref.
+	sync := &recordingTracer{}
+	m2 := New(sync)
+	m2.EnsureDynamic(DynBase, DynBase+8)
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			m2.Store(DynBase+uint64(i%8), scheme.FromFixnum(int64(i)))
+		} else {
+			m2.Load(DynBase + uint64(i%8))
+		}
+	}
+	if len(sync.refs) != len(rec.refs) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(sync.refs), len(rec.refs))
+	}
+	for i, want := range sync.refs {
+		got := rec.refs[i]
+		if got.Addr() != want.addr || got.Write() != want.write || got.Collector() != want.collector {
+			t.Fatalf("ref %d: batch (%#x,%v,%v) vs sync (%#x,%v,%v)",
+				i, got.Addr(), got.Write(), got.Collector(), want.addr, want.write, want.collector)
+		}
+	}
+}
+
+func TestBatchCollectorModeFlags(t *testing.T) {
+	rec := &chunkRecorder{}
+	m := New(rec)
+	m.EnsureDynamic(DynBase, DynBase+4)
+	m.Store(DynBase, scheme.True)
+	m.SetCollectorMode(true)
+	m.Load(DynBase)
+	m.SetCollectorMode(false)
+	m.FlushTrace()
+	if len(rec.refs) != 2 {
+		t.Fatalf("saw %d refs, want 2", len(rec.refs))
+	}
+	if !rec.refs[0].Write() || rec.refs[0].Collector() {
+		t.Errorf("first ref = %v/%v, want write, non-collector", rec.refs[0].Write(), rec.refs[0].Collector())
+	}
+	if rec.refs[1].Write() || !rec.refs[1].Collector() {
+		t.Errorf("second ref = %v/%v, want read, collector", rec.refs[1].Write(), rec.refs[1].Collector())
+	}
+}
+
+func TestSetTracerFlushesStagedRefs(t *testing.T) {
+	rec := &chunkRecorder{}
+	m := New(rec)
+	m.EnsureDynamic(DynBase, DynBase+4)
+	m.Store(DynBase, scheme.True)
+	m.SetTracer(nil) // must deliver the staged store to rec first
+	if len(rec.refs) != 1 {
+		t.Fatalf("SetTracer dropped %d staged refs", 1-len(rec.refs))
+	}
+	m.Load(DynBase) // untraced now
+	if len(rec.refs) != 1 {
+		t.Fatal("refs leaked to a removed tracer")
+	}
+}
+
+func TestTracerFunc(t *testing.T) {
+	var got uint64
+	tr := TracerFunc(func(addr uint64, write, collector bool) { got = addr })
+	tr.Ref(42, false, false)
+	if got != 42 {
+		t.Fatalf("TracerFunc delivered %d, want 42", got)
+	}
+}

@@ -82,6 +82,62 @@ type Tracer interface {
 	Ref(addr uint64, write, collector bool)
 }
 
+// A Ref packs one data reference — word address plus write and collector
+// flags — into a single machine word, so a reference stream can be staged
+// in a flat buffer and handed to observers a chunk at a time instead of
+// one interface call per word.
+type Ref uint64
+
+// Flag bits of a packed Ref. Word addresses occupy the low 62 bits, far
+// beyond any address the simulated regions can reach.
+const (
+	RefWrite     Ref = 1 << 63
+	RefCollector Ref = 1 << 62
+	refAddrMask  Ref = RefCollector - 1
+)
+
+// MakeRef packs a reference.
+func MakeRef(addr uint64, write, collector bool) Ref {
+	r := Ref(addr)
+	if write {
+		r |= RefWrite
+	}
+	if collector {
+		r |= RefCollector
+	}
+	return r
+}
+
+// Addr unpacks the word address.
+func (r Ref) Addr() uint64 { return uint64(r & refAddrMask) }
+
+// Write reports whether the reference is a store.
+func (r Ref) Write() bool { return r&RefWrite != 0 }
+
+// Collector reports whether the reference was made in collector mode.
+func (r Ref) Collector() bool { return r&RefCollector != 0 }
+
+// A BatchTracer observes references a chunk at a time. The chunk is owned
+// by the caller and may be reused as soon as RefBatch returns; a tracer
+// that needs the refs later must copy them. Within one chunk, refs are in
+// program order, and successive chunks are contiguous pieces of one
+// stream, so a BatchTracer sees exactly the stream a Tracer would.
+type BatchTracer interface {
+	RefBatch(refs []Ref)
+}
+
+// ChunkRefs is the size of the Memory's staging buffer, in references.
+// 4096 refs is 32 KiB — large enough to amortize the per-chunk dispatch
+// and channel traffic down to noise, small enough that a chunk stays
+// resident in L1/L2 while each cache of a bank replays it.
+const ChunkRefs = 4096
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(addr uint64, write, collector bool)
+
+// Ref implements Tracer.
+func (f TracerFunc) Ref(addr uint64, write, collector bool) { f(addr, write, collector) }
+
 // Counters aggregates the raw reference and allocation counts for a run,
 // split between the program and the collector as in the paper's Section 6.
 type Counters struct {
@@ -121,7 +177,9 @@ type Memory struct {
 	staticNext uint64 // next free static word address
 	dynWords   uint64 // words of dynamic backing store allocated
 	tracer     Tracer
-	collector  bool // true while a garbage collector is running
+	batch      BatchTracer // non-nil when the tracer is batch-capable
+	chunk      []Ref       // staged refs awaiting delivery to batch
+	collector  bool        // true while a garbage collector is running
 
 	C Counters
 }
@@ -129,16 +187,44 @@ type Memory struct {
 // New creates an empty memory with an optional tracer (nil for untraced
 // runs, e.g. unit tests of the VM's semantics).
 func New(tracer Tracer) *Memory {
-	return &Memory{
+	m := &Memory{
 		stack:      make([]scheme.Word, StackLimit-StackBase),
 		staticNext: StaticBase,
-		tracer:     tracer,
 	}
+	m.SetTracer(tracer)
+	return m
 }
 
 // SetTracer replaces the tracer; a nil tracer disables reference
-// observation but not counting.
-func (m *Memory) SetTracer(t Tracer) { m.tracer = t }
+// observation but not counting. Any staged references are flushed to the
+// old tracer first. A tracer that implements BatchTracer receives the
+// stream in chunks of up to ChunkRefs references (see FlushTrace); a
+// plain Tracer receives one synchronous Ref call per reference, exactly
+// as before the batch pipeline existed.
+func (m *Memory) SetTracer(t Tracer) {
+	m.FlushTrace()
+	m.tracer = t
+	if bt, ok := t.(BatchTracer); ok && t != nil {
+		m.batch = bt
+		if m.chunk == nil {
+			m.chunk = make([]Ref, 0, ChunkRefs)
+		}
+	} else {
+		m.batch = nil
+	}
+}
+
+// FlushTrace delivers any staged references to the batch tracer. The VM
+// calls it at the end of every top-level run and before allocation
+// events; observers that read tracer state mid-run (rather than at a run
+// boundary) must flush first.
+func (m *Memory) FlushTrace() {
+	if len(m.chunk) > 0 {
+		refs := m.chunk
+		m.chunk = m.chunk[:0]
+		m.batch.RefBatch(refs)
+	}
+}
 
 // Tracer returns the current tracer.
 func (m *Memory) Tracer() Tracer { return m.tracer }
@@ -156,7 +242,9 @@ func (m *Memory) Load(addr uint64) scheme.Word {
 	} else {
 		m.C.Loads++
 	}
-	if m.tracer != nil {
+	if m.batch != nil {
+		m.stage(MakeRef(addr, false, m.collector))
+	} else if m.tracer != nil {
 		m.tracer.Ref(addr, false, m.collector)
 	}
 	return m.load(addr)
@@ -169,10 +257,21 @@ func (m *Memory) Store(addr uint64, w scheme.Word) {
 	} else {
 		m.C.Stores++
 	}
-	if m.tracer != nil {
+	if m.batch != nil {
+		m.stage(MakeRef(addr, true, m.collector))
+	} else if m.tracer != nil {
 		m.tracer.Ref(addr, true, m.collector)
 	}
 	m.store(addr, w)
+}
+
+// stage appends one packed ref to the chunk buffer, sealing and
+// delivering the chunk when it fills.
+func (m *Memory) stage(r Ref) {
+	m.chunk = append(m.chunk, r)
+	if len(m.chunk) == cap(m.chunk) {
+		m.FlushTrace()
+	}
 }
 
 // Peek reads a word without counting a reference. It is for inspection by

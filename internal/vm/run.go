@@ -30,6 +30,10 @@ const haltSentinel = -1
 // RunCode executes a compiled top-level thunk and returns its value.
 func (vm *Machine) RunCode(code *Code) (result Word, err error) {
 	defer func() {
+		// Deliver any references staged in the batch pipeline, so tracer
+		// state is complete whenever control returns to the caller (on
+		// error paths too).
+		vm.Mem.FlushTrace()
 		r := recover()
 		if r == nil {
 			return

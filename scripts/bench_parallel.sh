@@ -1,0 +1,32 @@
+#!/bin/sh
+# Benchmarks the serial cache bank against the parallel bank on the same
+# 8-configuration sweep and records the refs/s throughput of each in
+# BENCH_parallel.json (written at the repository root).
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_parallel.json}"
+
+raw=$(go test -run '^$' -bench 'Bank$|BankPerRef$' -benchtime "${BENCHTIME:-2s}" ./internal/cache/)
+echo "$raw"
+
+echo "$raw" | awk -v cores="$(go env GOMAXPROCS 2>/dev/null || nproc)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) if ($(i + 1) == "refs/s") refs[name] = $i
+}
+END {
+    "nproc" | getline n
+    printf "{\n"
+    printf "  \"cores\": %d,\n", n
+    printf "  \"configs\": 8,\n"
+    printf "  \"serial_refs_per_sec\": %s,\n", refs["BenchmarkSerialBank"]
+    printf "  \"parallel_refs_per_sec\": %s,\n", refs["BenchmarkParallelBank"]
+    printf "  \"per_ref_refs_per_sec\": %s,\n", refs["BenchmarkSerialBankPerRef"]
+    printf "  \"speedup\": %.3f,\n", refs["BenchmarkParallelBank"] / refs["BenchmarkSerialBank"]
+    printf "  \"note\": \"speedup scales with cores: each of the 8 caches simulates on its own goroutine\"\n"
+    printf "}\n"
+}' > "$out"
+
+cat "$out"
