@@ -3,10 +3,17 @@
 // -exp selects a single experiment, -quick uses the small test scales, and
 // -metrics additionally dumps the structured metric values.
 //
+// Telemetry mirrors gcsim: -json emits one run record per underlying
+// simulated run (JSONL when there are several), -events streams GC
+// collections live, and -progress reports per-run progress on stderr while
+// the printed reports stay byte-identical.
+//
 // Usage:
 //
 //	gcbench [-exp T1|T2|F1|F1b|F1c|F2|F2b|F2c|F3|F4|T3|F5|E8] [-quick]
 //	        [-scale percent] [-parallel N] [-metrics]
+//	        [-json path|-] [-events path|-] [-progress]
+//	        [-pprof addr] [-cpuprofile file]
 package main
 
 import (
@@ -17,8 +24,12 @@ import (
 	"strings"
 	"time"
 
+	"gcsim/internal/cliutil"
 	"gcsim/internal/core"
+	"gcsim/internal/telemetry"
 )
+
+const tool = "gcbench"
 
 func main() {
 	expID := flag.String("exp", "", "experiment ID to run (default: all)")
@@ -27,9 +38,20 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent workload runs within an experiment (1 = serial)")
 	metrics := flag.Bool("metrics", false, "print structured metrics after each report")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.String("json", "", `write run records as JSON to this path ("-" = stdout)`)
+	eventsOut := flag.String("events", "", `stream per-collection GC events as JSONL to this path ("-" = stdout)`)
+	snapInsns := flag.Uint64("snapshot-insns", telemetry.DefaultSnapshotInsns, "cache snapshot interval in simulated instructions (0 = none; used with -json)")
+	progressFlag := flag.Bool("progress", false, "report live per-run progress on stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
 	core.SetParallelism(*parallel)
+	stopProf, err := cliutil.StartProfiling(tool, *pprofAddr, *cpuProfile)
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, e := range core.Experiments() {
@@ -38,13 +60,29 @@ func main() {
 		return
 	}
 
+	var sess *telemetry.Session
+	if *jsonOut != "" || *eventsOut != "" {
+		sess = telemetry.NewSession(tool, core.Parallelism())
+		sess.SnapshotInsns = *snapInsns
+		if *eventsOut != "" {
+			w, err := telemetry.OpenOutput(*eventsOut)
+			if err != nil {
+				cliutil.Fatal(tool, err)
+			}
+			defer w.Close()
+			sess.SetEventWriter(w)
+		}
+		core.EnableTelemetry(sess)
+		defer core.EnableTelemetry(nil)
+	}
+	core.SetProgress(telemetry.NewProgress(os.Stderr, tool, *progressFlag))
+
 	cfg := core.ExpConfig{Quick: *quick, ScalePercent: *scale}
 	exps := core.Experiments()
 	if *expID != "" {
 		e, err := core.ExperimentByID(*expID)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cliutil.Fatal(tool, err)
 		}
 		exps = []*core.Experiment{e}
 	}
@@ -54,8 +92,7 @@ func main() {
 		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
 		r, err := e.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-			os.Exit(1)
+			cliutil.Fatalf(tool, "%s failed: %v", e.ID, err)
 		}
 		fmt.Println(r.Report)
 		if *metrics {
@@ -64,6 +101,19 @@ func main() {
 			}
 		}
 		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+
+	if sess != nil && *jsonOut != "" {
+		w, err := telemetry.OpenOutput(*jsonOut)
+		if err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		if err := sess.WriteRecords(w); err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		if err := w.Close(); err != nil {
+			cliutil.Fatal(tool, err)
+		}
 	}
 }
 

@@ -1,32 +1,40 @@
 // Command gcplot renders the paper's Section 7 plots for one workload and
-// cache geometry: the cache-miss sweep plot, the lifetime CDF, or the
-// cache-activity graph.
+// cache geometry: the cache-miss sweep plot, the lifetime CDF, the
+// cache-activity graph, or the telemetry timeline (running miss ratio and
+// mutator/collector mix over the run, with collection marks).
 //
 // Usage:
 //
-//	gcplot -kind sweep|lifetimes|activity [-workload tc] [-scale N]
-//	       [-cache 64k] [-block 64] [-width 100] [-height 32]
+//	gcplot -kind sweep|lifetimes|activity|timeline [-workload tc] [-scale N]
+//	       [-gc none|cheney|generational|aggressive] [-cache 64k] [-block 64]
+//	       [-interval insns] [-width 100] [-height 32]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
+	"strings"
 
 	"gcsim/internal/analysis"
 	"gcsim/internal/cache"
 	"gcsim/internal/cliutil"
 	"gcsim/internal/core"
+	"gcsim/internal/gc"
 	"gcsim/internal/plot"
+	"gcsim/internal/telemetry"
 	"gcsim/internal/workloads"
 )
 
+const tool = "gcplot"
+
 func main() {
-	kind := flag.String("kind", "sweep", "plot kind: sweep, lifetimes, activity")
+	kind := flag.String("kind", "sweep", "plot kind: sweep, lifetimes, activity, timeline")
 	workload := flag.String("workload", "tc", "workload name")
 	scale := flag.Int("scale", 0, "workload scale (0 = default)")
+	gcName := flag.String("gc", "none", "collector: "+strings.Join(gc.Names, ", "))
 	cacheSize := flag.String("cache", "64k", "cache size")
 	blockSize := flag.Int("block", 64, "block size in bytes")
+	interval := flag.Uint64("interval", telemetry.DefaultSnapshotInsns, "timeline sample interval in simulated instructions")
 	width := flag.Int("width", 100, "plot width in characters")
 	height := flag.Int("height", 32, "plot height in rows")
 	flag.Parse()
@@ -43,24 +51,29 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
+	col, err := gc.New(*gcName, gc.Options{})
+	if err != nil {
+		fatal(err)
+	}
 
 	switch *kind {
 	case "sweep":
 		// Pre-run to size the time axis (runs are deterministic).
-		pre, err := core.Run(core.RunSpec{Workload: w, Scale: *scale})
+		pre, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Collector: col})
 		if err != nil {
 			fatal(err)
 		}
+		col2, _ := gc.New(*gcName, gc.Options{})
 		c := cache.New(cfg)
 		sw := plot.NewSweep(pre.Refs(), cfg.NumBlocks(), *width, *height)
 		c.OnMiss(sw.Add)
-		if _, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Tracer: c}); err != nil {
+		if _, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Collector: col2, Tracer: c}); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%s: miss sweep in %v\n\n%s", w.Name, cfg, sw.Render())
 	case "lifetimes":
 		b := analysis.New(size, *blockSize)
-		if _, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Behaviour: b}); err != nil {
+		if _, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Collector: col, Behaviour: b}); err != nil {
 			fatal(err)
 		}
 		r := b.Summarize()
@@ -72,18 +85,45 @@ func main() {
 	case "activity":
 		c := cache.New(cfg)
 		c.EnableBlockStats()
-		if _, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Tracer: c}); err != nil {
+		if _, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Collector: col, Tracer: c}); err != nil {
 			fatal(err)
 		}
 		refs, misses := c.BlockStats()
 		fmt.Printf("%s: cache activity in %v\n\n", w.Name, cfg)
 		fmt.Print(plot.RenderActivity(analysis.NewActivity(refs, misses), *width, *height))
+	case "timeline":
+		// The timeline is the telemetry record's time series: enable a
+		// local session so the sweep records snapshots and GC events.
+		sess := telemetry.NewSession(tool, core.Parallelism())
+		sess.SnapshotInsns = *interval
+		core.EnableTelemetry(sess)
+		sweep, err := core.RunSweep(w, *scale, col, []cache.Config{cfg})
+		core.EnableTelemetry(nil)
+		if err != nil {
+			fatal(err)
+		}
+		rec := sweep.Run.Record
+		if rec == nil || len(rec.Caches) == 0 {
+			fatal(fmt.Errorf("run produced no telemetry record"))
+		}
+		var points []plot.TimelinePoint
+		for _, sn := range rec.Caches[0].Snapshots {
+			points = append(points, plot.TimelinePoint{
+				InsnsAt:   sn.InsnsAt,
+				MissRatio: sn.MissRatio,
+				GCShare:   sn.GCShare,
+			})
+		}
+		var gcAt []uint64
+		for _, e := range rec.GC.Events {
+			gcAt = append(gcAt, e.InsnsAt)
+		}
+		fmt.Printf("%s: telemetry timeline in %v, gc=%s (%d samples every %d insns)\n\n",
+			w.Name, cfg, col.Name(), len(points), *interval)
+		fmt.Print(plot.RenderTimeline(points, gcAt, *width, *height))
 	default:
 		fatal(fmt.Errorf("unknown plot kind %q", *kind))
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gcplot:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliutil.Fatal(tool, err) }

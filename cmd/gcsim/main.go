@@ -6,17 +6,27 @@
 // stream is swept through every configuration in one run (a parallel bank
 // with one worker goroutine per cache) and a per-config table is printed.
 //
+// Telemetry is opt-in and leaves the stdout report byte-identical: -json
+// emits a canonical run record (with per-collection GC events and periodic
+// cache snapshots), -events streams collections live as JSONL, -progress
+// reports run progress on stderr, and -check-record validates a previously
+// emitted record file against the embedded schema.
+//
 // Usage:
 //
 //	gcsim -workload tc [-scale N] [-gc none|cheney|generational|aggressive]
 //	      [-cache 64k,1m] [-block 16,64] [-policy write-validate,fetch-on-write]
 //	      [-semispace bytes] [-nursery bytes] [-parallel N] [-v]
+//	      [-json path|-] [-events path|-] [-progress]
+//	      [-pprof addr] [-cpuprofile file]
 //	gcsim -file prog.scm [same options]
+//	gcsim -check-record records.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -27,9 +37,12 @@ import (
 	"gcsim/internal/gc"
 	"gcsim/internal/mem"
 	"gcsim/internal/scheme"
+	"gcsim/internal/telemetry"
 	"gcsim/internal/vm"
 	"gcsim/internal/workloads"
 )
+
+const tool = "gcsim"
 
 func main() {
 	workload := flag.String("workload", "", "workload name: "+strings.Join(workloads.Names(), ", ")+", styles-functional, styles-imperative")
@@ -43,28 +56,101 @@ func main() {
 	nursery := flag.Int("nursery", 0, "generational nursery bytes (0 = default)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = fully serial pipeline)")
 	verbose := flag.Bool("v", false, "print per-processor overhead detail")
+	jsonOut := flag.String("json", "", `write the run record as JSON to this path ("-" = stdout)`)
+	eventsOut := flag.String("events", "", `stream per-collection GC events as JSONL to this path ("-" = stdout)`)
+	snapInsns := flag.Uint64("snapshot-insns", telemetry.DefaultSnapshotInsns, "cache snapshot interval in simulated instructions (0 = none; used with -json)")
+	progressFlag := flag.Bool("progress", false, "report live run progress on stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	checkRecord := flag.String("check-record", "", `validate a run-record JSON file ("-" = stdin) against the schema and exit`)
 	flag.Parse()
 
+	if *checkRecord != "" {
+		if err := checkRecordFile(*checkRecord); err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		return
+	}
+
 	core.SetParallelism(*parallel)
+	stopProf, err := cliutil.StartProfiling(tool, *pprofAddr, *cpuProfile)
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
+	defer stopProf()
 
 	cfgs, err := parseConfigs(*cacheSize, *blockSize, *policy)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(tool, err)
 	}
 	col, err := gc.New(*gcName, gc.Options{SemispaceBytes: *semispace, NurseryBytes: *nursery})
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(tool, err)
 	}
+
+	var sess *telemetry.Session
+	if *jsonOut != "" || *eventsOut != "" {
+		if *file != "" {
+			cliutil.Fatalf(tool, "-json/-events require -workload (file runs bypass the experiment engine)")
+		}
+		sess = telemetry.NewSession(tool, core.Parallelism())
+		sess.SnapshotInsns = *snapInsns
+		if *eventsOut != "" {
+			w, err := telemetry.OpenOutput(*eventsOut)
+			if err != nil {
+				cliutil.Fatal(tool, err)
+			}
+			defer w.Close()
+			sess.SetEventWriter(w)
+		}
+		core.EnableTelemetry(sess)
+		defer core.EnableTelemetry(nil)
+	}
+	core.SetProgress(telemetry.NewProgress(os.Stderr, tool, *progressFlag))
 
 	switch {
 	case *file != "":
-		runFile(*file, col, cfgs, *verbose)
+		err = runFile(os.Stdout, *file, col, cfgs, *verbose)
 	case *workload != "":
-		runWorkload(*workload, *scale, col, cfgs, *verbose)
+		err = runWorkload(os.Stdout, *workload, *scale, col, cfgs, *verbose)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
+
+	if sess != nil && *jsonOut != "" {
+		w, err := telemetry.OpenOutput(*jsonOut)
+		if err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		if err := sess.WriteRecords(w); err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		if err := w.Close(); err != nil {
+			cliutil.Fatal(tool, err)
+		}
+	}
+}
+
+// checkRecordFile validates serialized run records against the embedded
+// schema; silence means valid (scripts branch on the exit status).
+func checkRecordFile(path string) error {
+	var (
+		data []byte
+		err  error
+	)
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	return telemetry.ValidateRecordJSON(data)
 }
 
 // parseConfigs expands the comma-separated size/block/policy lists into
@@ -108,33 +194,34 @@ func parseConfigs(sizes, blocks, policies string) ([]cache.Config, error) {
 	return cfgs, nil
 }
 
-func runWorkload(name string, scale int, col gc.Collector, cfgs []cache.Config, verbose bool) {
+func runWorkload(out io.Writer, name string, scale int, col gc.Collector, cfgs []cache.Config, verbose bool) error {
 	w, err := workloads.ByName(name)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sweep, err := core.RunSweep(w, scale, col, cfgs)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	run := sweep.Run
 	if len(cfgs) == 1 {
-		report(run.Workload, run.Insns, run.GCInsns, run.Checksum, col,
+		report(out, run.Workload, run.Insns, run.GCInsns, run.Checksum, col,
 			sweep.Bank.Caches[0], cfgs[0], verbose)
-		return
+		return nil
 	}
-	fmt.Printf("workload:    %s\n", run.Workload)
-	fmt.Printf("collector:   %s (%d collections, %d words copied)\n",
+	fmt.Fprintf(out, "workload:    %s\n", run.Workload)
+	fmt.Fprintf(out, "collector:   %s (%d collections, %d words copied)\n",
 		col.Name(), col.Stats().Collections, col.Stats().CopiedWords)
-	fmt.Printf("checksum:    %d\n", run.Checksum)
-	fmt.Printf("insns:       %d program + %d collector\n", run.Insns, run.GCInsns)
-	reportTable(sweep.Bank.Caches, run.Insns, verbose)
+	fmt.Fprintf(out, "checksum:    %d\n", run.Checksum)
+	fmt.Fprintf(out, "insns:       %d program + %d collector\n", run.Insns, run.GCInsns)
+	reportTable(out, sweep.Bank.Caches, run.Insns, verbose)
+	return nil
 }
 
-func runFile(path string, col gc.Collector, cfgs []cache.Config, verbose bool) {
+func runFile(out io.Writer, path string, col gc.Collector, cfgs []cache.Config, verbose bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var (
 		tracer mem.Tracer
@@ -155,68 +242,64 @@ func runFile(path string, col gc.Collector, cfgs []cache.Config, verbose bool) {
 		bank = par.Bank()
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if out := m.Output(); out != "" {
-		fmt.Print(out)
+	if o := m.Output(); o != "" {
+		fmt.Fprint(out, o)
 	}
-	fmt.Printf("value: %s\n", m.DescribeValue(v))
+	fmt.Fprintf(out, "value: %s\n", m.DescribeValue(v))
 	checksum := int64(0)
 	if scheme.IsFixnum(v) {
 		checksum = scheme.FixnumValue(v)
 	}
 	if len(cfgs) == 1 {
-		report(path, m.Insns(), m.GCInsns(), checksum, col, bank.Caches[0], cfgs[0], verbose)
-		return
+		report(out, path, m.Insns(), m.GCInsns(), checksum, col, bank.Caches[0], cfgs[0], verbose)
+		return nil
 	}
-	fmt.Printf("program:     %s\n", path)
-	fmt.Printf("collector:   %s (%d collections, %d words copied)\n",
+	fmt.Fprintf(out, "program:     %s\n", path)
+	fmt.Fprintf(out, "collector:   %s (%d collections, %d words copied)\n",
 		col.Name(), col.Stats().Collections, col.Stats().CopiedWords)
-	fmt.Printf("insns:       %d program + %d collector\n", m.Insns(), m.GCInsns())
-	reportTable(bank.Caches, m.Insns(), verbose)
+	fmt.Fprintf(out, "insns:       %d program + %d collector\n", m.Insns(), m.GCInsns())
+	reportTable(out, bank.Caches, m.Insns(), verbose)
+	return nil
 }
 
 // reportTable prints one row per swept configuration.
-func reportTable(caches []*cache.Cache, insns uint64, verbose bool) {
-	fmt.Printf("\n%-22s %12s %10s %12s %10s %10s\n",
+func reportTable(out io.Writer, caches []*cache.Cache, insns uint64, verbose bool) {
+	fmt.Fprintf(out, "\n%-22s %12s %10s %12s %10s %10s\n",
 		"config", "misses", "ratio", "writebacks", "O(slow)", "O(fast)")
 	for _, c := range caches {
 		cfg := c.Config()
 		s := &c.S
-		fmt.Printf("%-22s %12d %10.5f %12d %10.4f %10.4f\n",
+		fmt.Fprintf(out, "%-22s %12d %10.5f %12d %10.4f %10.4f\n",
 			cfg.String(), s.Misses(), s.MissRatio(), s.Writebacks,
 			cache.Slow.CacheOverhead(s.Misses(), insns, cfg.BlockBytes),
 			cache.Fast.CacheOverhead(s.Misses(), insns, cfg.BlockBytes))
 		if verbose {
-			fmt.Printf("%-22s %12s reads %d, writes %d, allocs %d, GC misses %d\n",
+			fmt.Fprintf(out, "%-22s %12s reads %d, writes %d, allocs %d, GC misses %d\n",
 				"", "", s.Reads, s.Writes, s.WriteAllocs, s.GCMisses())
 		}
 	}
 }
 
-func report(name string, insns, gcInsns uint64, checksum int64, col gc.Collector, c *cache.Cache, cfg cache.Config, verbose bool) {
+func report(out io.Writer, name string, insns, gcInsns uint64, checksum int64, col gc.Collector, c *cache.Cache, cfg cache.Config, verbose bool) {
 	s := &c.S
-	fmt.Printf("workload:    %s\n", name)
-	fmt.Printf("collector:   %s (%d collections, %d words copied)\n",
+	fmt.Fprintf(out, "workload:    %s\n", name)
+	fmt.Fprintf(out, "collector:   %s (%d collections, %d words copied)\n",
 		col.Name(), col.Stats().Collections, col.Stats().CopiedWords)
-	fmt.Printf("cache:       %v\n", cfg)
-	fmt.Printf("checksum:    %d\n", checksum)
-	fmt.Printf("insns:       %d program + %d collector\n", insns, gcInsns)
-	fmt.Printf("refs:        %d program + %d collector\n", s.Refs(), s.GCReads+s.GCWrites)
-	fmt.Printf("misses:      %d penalized (%d read, %d write), %d allocation claims\n",
+	fmt.Fprintf(out, "cache:       %v\n", cfg)
+	fmt.Fprintf(out, "checksum:    %d\n", checksum)
+	fmt.Fprintf(out, "insns:       %d program + %d collector\n", insns, gcInsns)
+	fmt.Fprintf(out, "refs:        %d program + %d collector\n", s.Refs(), s.GCReads+s.GCWrites)
+	fmt.Fprintf(out, "misses:      %d penalized (%d read, %d write), %d allocation claims\n",
 		s.Misses(), s.ReadMisses, s.WriteMisses, s.WriteAllocs)
-	fmt.Printf("miss ratio:  %.5f\n", s.MissRatio())
-	fmt.Printf("writebacks:  %d\n", s.Writebacks)
+	fmt.Fprintf(out, "miss ratio:  %.5f\n", s.MissRatio())
+	fmt.Fprintf(out, "writebacks:  %d\n", s.Writebacks)
 	for _, p := range cache.Processors {
 		o := p.CacheOverhead(s.Misses(), insns, cfg.BlockBytes)
-		fmt.Printf("O_cache(%s, penalty %d cycles): %.4f\n", p.Name, p.MissPenalty(cfg.BlockBytes), o)
+		fmt.Fprintf(out, "O_cache(%s, penalty %d cycles): %.4f\n", p.Name, p.MissPenalty(cfg.BlockBytes), o)
 	}
 	if verbose {
-		fmt.Printf("collector misses: %d; collector writebacks: %d\n", s.GCMisses(), s.GCWritebacks)
+		fmt.Fprintf(out, "collector misses: %d; collector writebacks: %d\n", s.GCMisses(), s.GCWritebacks)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gcsim:", err)
-	os.Exit(1)
 }

@@ -112,7 +112,4 @@ func replay(path, cacheSize string, blockSize int, policy string) {
 	fmt.Printf("collector misses: %d\n", c.S.GCMisses())
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gctrace:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliutil.Fatal("gctrace", err) }

@@ -154,6 +154,14 @@ type Cache struct {
 	// Optional miss-event hook for sweep plots.
 	onMiss func(MissEvent)
 	refIdx uint64
+
+	// Optional periodic snapshots (see snapshot.go). Checked once per
+	// chunk, never per reference.
+	snapInterval uint64
+	snapNext     uint64
+	snapClock    func() uint64
+	snaps        []Snapshot
+	snapNs       int64
 }
 
 const tagEmpty = ^uint64(0)
@@ -400,10 +408,15 @@ func (c *Cache) AccessBatch(refs []mem.Ref) {
 		for _, r := range refs {
 			c.accessInstrumented(r.Addr(), r.Write(), r.Collector())
 		}
-		return
+	} else {
+		for _, r := range refs {
+			c.accessPlain(r.Addr(), r.Write(), r.Collector())
+		}
 	}
-	for _, r := range refs {
-		c.accessPlain(r.Addr(), r.Write(), r.Collector())
+	// Batch-boundary sampling: one branch per chunk, nothing per ref. A
+	// cache driven by the parallel bank has no clock; its worker stamps.
+	if c.snapInterval != 0 && c.snapClock != nil {
+		c.MaybeSnapshot(c.snapClock())
 	}
 }
 
@@ -420,6 +433,8 @@ func (c *Cache) Reset() {
 		clear(c.blockRefs)
 		clear(c.blockMisses)
 	}
+	c.snaps = nil
+	c.snapNext = c.snapInterval
 }
 
 // Ref implements mem.Tracer, so a single Cache can observe a Memory

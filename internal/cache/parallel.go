@@ -28,6 +28,7 @@ const parallelRing = 8
 // parChunk is one sealed, shared chunk of the reference stream.
 type parChunk struct {
 	refs    []mem.Ref
+	insnsAt uint64       // instruction clock at publication (0 if no clock)
 	pending atomic.Int32 // workers that have not finished this chunk yet
 }
 
@@ -44,6 +45,14 @@ type ParallelBank struct {
 	wg      sync.WaitGroup
 	staged  []mem.Ref // buffer for the per-ref Tracer interface
 	drained bool
+
+	// clock, when set (SetSnapshotClock), stamps every published chunk
+	// with the VM's instruction count so workers can drive their cache's
+	// periodic snapshots. The stamp is taken on the producer goroutine
+	// while the VM is blocked in RefBatch, so it equals exactly what the
+	// serial bank's post-replay clock read would return — snapshots are
+	// identical in both modes.
+	clock func() uint64
 }
 
 // NewParallelBank builds the bank and starts one worker per
@@ -73,6 +82,9 @@ func (b *ParallelBank) work(c *Cache, ch chan *parChunk) {
 	defer b.wg.Done()
 	for ck := range ch {
 		c.AccessBatch(ck.refs)
+		if ck.insnsAt != 0 {
+			c.MaybeSnapshot(ck.insnsAt)
+		}
 		if ck.pending.Add(-1) == 0 {
 			b.free <- ck
 		}
@@ -93,6 +105,10 @@ func (b *ParallelBank) RefBatch(refs []mem.Ref) {
 		}
 		ck := <-b.free
 		ck.refs = append(ck.refs[:0], refs[:n]...)
+		ck.insnsAt = 0
+		if b.clock != nil {
+			ck.insnsAt = b.clock()
+		}
 		ck.pending.Store(int32(len(b.workers)))
 		for _, ch := range b.workers {
 			ch <- ck
@@ -132,6 +148,11 @@ func (b *ParallelBank) Drain() {
 	}
 	b.wg.Wait()
 }
+
+// SetSnapshotClock installs the instruction clock used to stamp published
+// chunks for the caches' periodic snapshots. Must be set before the first
+// reference is published.
+func (b *ParallelBank) SetSnapshotClock(clock func() uint64) { b.clock = clock }
 
 // Bank returns a serial-bank view sharing this bank's caches, for code
 // that consumes *Bank results. Valid only after Drain.

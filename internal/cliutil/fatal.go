@@ -1,0 +1,54 @@
+package cliutil
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	"os"
+	"runtime/pprof"
+)
+
+// Fatal prints "tool: message" to standard error and exits 1. Every tool
+// routes its errors through here so failure output is uniform across the
+// suite.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}
+
+// Fatalf is Fatal with a formatted message.
+func Fatalf(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+// StartProfiling enables the optional profiling facilities shared by the
+// tools: pprofAddr starts a net/http/pprof server on that address, and
+// cpuProfile starts a CPU profile written to that file. It returns a stop
+// function for the caller to defer (flushes and closes the CPU profile;
+// the HTTP server dies with the process).
+func StartProfiling(tool, pprofAddr, cpuProfile string) (stop func(), err error) {
+	stop = func() {}
+	if pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: pprof server: %v\n", tool, err)
+			}
+		}()
+	}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return stop, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	return stop, nil
+}

@@ -6,12 +6,14 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"gcsim/internal/analysis"
 	"gcsim/internal/cache"
 	"gcsim/internal/gc"
 	"gcsim/internal/mem"
 	"gcsim/internal/scheme"
+	"gcsim/internal/telemetry"
 	"gcsim/internal/vm"
 	"gcsim/internal/workloads"
 )
@@ -59,6 +61,12 @@ type RunSpec struct {
 	// Behaviour, if non-nil, receives allocation events and references
 	// (it is appended to the tracer set automatically).
 	Behaviour *analysis.Behaviour
+	// Label tags the run's telemetry record (e.g. an experiment ID).
+	Label string
+	// OnMachine, if non-nil, sees the freshly built machine before the
+	// workload runs; RunSweep uses it to wire cache-snapshot clocks to the
+	// instruction counter.
+	OnMachine func(*vm.Machine)
 }
 
 // RunResult captures everything a run produced.
@@ -71,6 +79,9 @@ type RunResult struct {
 	Counters  mem.Counters
 	GCStats   gc.Stats
 	Machine   *vm.Machine // for post-run inspection
+	// Record is the run's telemetry record, nil unless a session is
+	// enabled (see EnableTelemetry).
+	Record *telemetry.RunRecord
 }
 
 // Refs returns the program reference count.
@@ -92,6 +103,26 @@ func Run(spec RunSpec) (*RunResult, error) {
 	}
 	m := vm.NewLoaded(tracer, col)
 	m.MaxInsns = maxRunInsns
+	if spec.OnMachine != nil {
+		spec.OnMachine(m)
+	}
+	sess := TelemetrySession()
+	var (
+		ring        *telemetry.GCRing
+		telemetryNs int64
+	)
+	if sess != nil {
+		ring = telemetry.NewGCRing(sess.RingCap)
+		workload := spec.Workload.Name
+		// The hook runs at collection granularity (never per reference) and
+		// times itself, so the record reports telemetry's own cost.
+		m.OnGC = func(e gc.Event) {
+			t0 := time.Now()
+			ring.Push(e)
+			sess.StreamEvent(workload, e)
+			telemetryNs += int64(time.Since(t0))
+		}
+	}
 	if spec.Behaviour != nil {
 		// The analyzer orders allocation events against its reference
 		// stream (OnAlloc advances allocation cycles that Ref reads), so
@@ -105,14 +136,19 @@ func Run(spec RunSpec) (*RunResult, error) {
 			bh.OnAlloc(addr, words)
 		}
 	}
+	prog := progress()
+	prog.Printf("run %s gc=%s started", spec.Workload.Name, col.Name())
+	start := time.Now()
 	v, err := spec.Workload.Run(m, spec.Scale)
+	dur := time.Since(start)
 	if err != nil {
+		prog.Printf("run %s gc=%s failed: %v", spec.Workload.Name, col.Name(), err)
 		return nil, err
 	}
 	if !scheme.IsFixnum(v) {
 		return nil, fmt.Errorf("core: %s checksum is not a fixnum", spec.Workload.Name)
 	}
-	return &RunResult{
+	res := &RunResult{
 		Workload:  spec.Workload.Name,
 		Collector: col.Name(),
 		Checksum:  scheme.FixnumValue(v),
@@ -121,7 +157,16 @@ func Run(spec RunSpec) (*RunResult, error) {
 		Counters:  m.Mem.C,
 		GCStats:   *col.Stats(),
 		Machine:   m,
-	}, nil
+	}
+	prog.Printf("run %s gc=%s done in %.2fs: %d insns, %d collections",
+		res.Workload, res.Collector, dur.Seconds(), res.Insns, res.GCStats.Collections)
+	if sess != nil {
+		rec := newRunRecord(spec, res, ring, dur, telemetryNs)
+		rec.Label = spec.Label
+		res.Record = rec
+		sess.Add(rec)
+	}
+	return res, nil
 }
 
 // SweepResult pairs a run with the cache statistics of every
@@ -151,7 +196,33 @@ func RunSweep(w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.C
 		bank = cache.NewBank(cfgs)
 		tracer = bank
 	}
-	run, err := Run(RunSpec{Workload: w, Scale: scale, Collector: col, Tracer: tracer})
+	spec := RunSpec{Workload: w, Scale: scale, Collector: col, Tracer: tracer}
+	sess := TelemetrySession()
+	if sess != nil && sess.SnapshotInsns > 0 {
+		var caches []*cache.Cache
+		if par != nil {
+			caches = par.Caches
+		} else {
+			caches = bank.Caches
+		}
+		for _, c := range caches {
+			c.EnableSnapshots(sess.SnapshotInsns)
+		}
+		// Snapshots are clocked by the machine's instruction counter. The
+		// serial bank reads it at chunk boundaries; the parallel bank stamps
+		// each chunk as the (paused) machine publishes it, so both see the
+		// same per-chunk values and record identical snapshots.
+		spec.OnMachine = func(m *vm.Machine) {
+			if par != nil {
+				par.SetSnapshotClock(m.Insns)
+				return
+			}
+			for _, c := range bank.Caches {
+				c.SetSnapshotClock(m.Insns)
+			}
+		}
+	}
+	run, err := Run(spec)
 	if par != nil {
 		par.Drain() // final barrier, also on error paths
 		bank = par.Bank()
@@ -162,6 +233,26 @@ func RunSweep(w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.C
 	out := &SweepResult{Run: run, Bank: bank, Stats: map[cache.Config]cache.Stats{}}
 	for _, c := range bank.Caches {
 		out.Stats[c.Config()] = c.S
+	}
+	if rec := run.Record; rec != nil {
+		var snapCount uint64
+		var snapNs int64
+		for _, c := range bank.Caches {
+			if sess != nil && sess.SnapshotInsns > 0 {
+				c.TakeSnapshot(run.Insns) // closing sample at end of run
+			}
+			rec.Caches = append(rec.Caches, telemetry.CacheRecordOf(c, run.Insns))
+			snapCount += uint64(len(c.Snapshots()))
+			snapNs += int64(c.SnapshotOverhead())
+		}
+		if sess != nil {
+			rec.SnapshotIntervalInsns = sess.SnapshotInsns
+		}
+		rec.Telemetry.Snapshots = snapCount
+		rec.Telemetry.OverheadSeconds += float64(snapNs) / 1e9
+		if rec.DurationSeconds > 0 {
+			rec.Telemetry.OverheadFraction = rec.Telemetry.OverheadSeconds / rec.DurationSeconds
+		}
 	}
 	return out, nil
 }

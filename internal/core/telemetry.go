@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"gcsim/internal/telemetry"
+)
+
+// Telemetry wiring for the experiment engine. When a session is enabled,
+// every Run produces a telemetry.RunRecord — GC events from the machine's
+// safepoint hook, counters the simulator already maintains, and (for
+// sweeps) per-cache results with periodic snapshots — and registers it
+// with the session. When no session is enabled (the default), Run takes
+// the exact pre-telemetry path: no hooks are installed and no per-run
+// allocation happens, so instrumentation cost is strictly opt-in.
+
+var (
+	telMu       sync.RWMutex
+	telSession  *telemetry.Session
+	telProgress *telemetry.Progress
+)
+
+// EnableTelemetry installs the session every subsequent Run reports to.
+// Pass nil to disable.
+func EnableTelemetry(s *telemetry.Session) {
+	telMu.Lock()
+	defer telMu.Unlock()
+	telSession = s
+}
+
+// TelemetrySession returns the active session, or nil.
+func TelemetrySession() *telemetry.Session {
+	telMu.RLock()
+	defer telMu.RUnlock()
+	return telSession
+}
+
+// SetProgress installs the live progress reporter Run announces run
+// starts and completions to. Pass nil to disable.
+func SetProgress(p *telemetry.Progress) {
+	telMu.Lock()
+	defer telMu.Unlock()
+	telProgress = p
+}
+
+func progress() *telemetry.Progress {
+	telMu.RLock()
+	defer telMu.RUnlock()
+	return telProgress
+}
+
+// newRunRecord condenses a completed run. Cache results are attached
+// afterwards by RunSweep, which also folds in snapshot overhead.
+func newRunRecord(spec RunSpec, res *RunResult, ring *telemetry.GCRing,
+	dur time.Duration, telemetryNs int64) *telemetry.RunRecord {
+	scale := spec.Scale
+	if scale == 0 {
+		scale = spec.Workload.DefaultScale
+	}
+	rec := &telemetry.RunRecord{
+		Workload:           res.Workload,
+		Scale:              scale,
+		Collector:          res.Collector,
+		Checksum:           res.Checksum,
+		Insns:              res.Insns,
+		GCInsns:            res.GCInsns,
+		Refs:               res.Counters.Refs(),
+		GCRefs:             res.Counters.GCRefs(),
+		AllocWords:         res.Counters.AllocWords,
+		AllocObjects:       res.Counters.AllocObjects,
+		HeapHighWaterBytes: res.Counters.AllocBytesHighWater,
+		DurationSeconds:    dur.Seconds(),
+		GC:                 telemetry.GCRecordOf(res.GCStats, res.Counters, ring),
+		Caches:             []telemetry.CacheRecord{},
+	}
+	if res.Insns > 0 {
+		rec.RefsPerInsn = float64(rec.Refs) / float64(res.Insns)
+	}
+	rec.Telemetry.GCEvents = ring.Total()
+	rec.Telemetry.OverheadSeconds = float64(telemetryNs) / 1e9
+	if rec.DurationSeconds > 0 {
+		rec.Telemetry.OverheadFraction = rec.Telemetry.OverheadSeconds / rec.DurationSeconds
+	}
+	return rec
+}

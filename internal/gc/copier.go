@@ -93,6 +93,7 @@ func (c *copier) forwardStatic() {
 			for i := 1; i < size; i++ {
 				c.forwardSlot(p + uint64(i))
 			}
+			c.stats.ScannedSlots += uint64(size - 1)
 			c.env.ChargeInsns(uint64(size-1) * costPerScannedSlot)
 		}
 		p += uint64(size)
@@ -114,6 +115,7 @@ func (c *copier) scan(scanStart uint64) {
 			for i := 1; i < size; i++ {
 				c.forwardSlot(p + uint64(i))
 			}
+			c.stats.ScannedSlots += uint64(size - 1)
 			c.env.ChargeInsns(uint64(size-1) * costPerScannedSlot)
 		}
 		p += uint64(size)

@@ -1,0 +1,53 @@
+package gc
+
+// Event describes one completed collection, in the units the telemetry
+// layer records: words of heap occupied when the collection was triggered,
+// words scanned and copied, and the simulated pause charged as collector
+// instructions. Events are assembled by the VM at its collection
+// safepoints from the deltas of the collector's Stats, so every collector
+// produces them without carrying its own event plumbing.
+//
+// A generational Collect that runs a minor collection and then a major one
+// (because the minor filled the old generation) produces a single event
+// with Major set and the work of both phases summed.
+type Event struct {
+	// Seq is the 1-based collection sequence number within the run.
+	Seq uint64
+	// Major reports whether a full (major) collection ran.
+	Major bool
+	// TriggerHeapWords is the dynamic-heap occupancy (live + dead words)
+	// when the collection began.
+	TriggerHeapWords uint64
+	// LiveWords is the collector's live estimate after the collection
+	// (Stats.LiveAfterLast).
+	LiveWords uint64
+	// CopiedWords and CopiedObjects count evacuation work. Both are zero
+	// for the non-moving mark-sweep collector.
+	CopiedWords   uint64
+	CopiedObjects uint64
+	// ScannedSlots counts payload slots examined for pointers.
+	ScannedSlots uint64
+	// PauseInsns is the I_gc this collection charged — the simulated pause.
+	PauseInsns uint64
+	// InsnsAt is the program instruction count (I_prog) when the
+	// collection began, placing the event on the run's timeline.
+	InsnsAt uint64
+}
+
+// Kind names the event for reports and JSON streams.
+func (e Event) Kind() string {
+	if e.Major {
+		return "major"
+	}
+	return "minor"
+}
+
+// SurvivalRatio returns the copied words as a fraction of the heap words
+// occupied at the trigger — the per-collection survival the paper's
+// Section 7 lifetime argument predicts to be small.
+func (e Event) SurvivalRatio() float64 {
+	if e.TriggerHeapWords == 0 {
+		return 0
+	}
+	return float64(e.CopiedWords) / float64(e.TriggerHeapWords)
+}

@@ -55,6 +55,7 @@ type Stats struct {
 	MajorCollections uint64
 	CopiedObjects    uint64
 	CopiedWords      uint64
+	ScannedSlots     uint64 // payload slots examined for pointers
 	BarrierChecks    uint64
 	BarrierHits      uint64
 	LiveAfterLast    uint64 // words live after the most recent collection

@@ -151,6 +151,7 @@ func (g *MarkSweep) Collect() {
 		for i := 1; i < size; i++ {
 			visit(m.Load(addr + uint64(i)))
 		}
+		g.stats.ScannedSlots += uint64(size - 1)
 		g.env.ChargeInsns(uint64(size-1) * costPerScannedSlot)
 	}
 

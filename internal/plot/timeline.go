@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TimelinePoint is one periodic sample on a run's instruction timeline,
+// as recorded by the telemetry layer's cache snapshots.
+type TimelinePoint struct {
+	InsnsAt   uint64
+	MissRatio float64 // running cumulative miss ratio
+	GCShare   float64 // collector fraction of all references so far
+}
+
+// RenderTimeline draws the telemetry time series for one cache: the
+// running miss ratio ('*', scaled to its maximum) and the collector's
+// share of references ('o', scaled 0..1) against the program instruction
+// clock, with a tick row marking when each collection ran. This is the
+// live counterpart of the paper's observation that collections perturb
+// the mutator's cache working set: miss-ratio steps line up with the
+// collection ticks.
+func RenderTimeline(points []TimelinePoint, gcAtInsns []uint64, w, h int) string {
+	if len(points) == 0 {
+		return "(no data)\n"
+	}
+	maxInsns := points[len(points)-1].InsnsAt
+	for _, at := range gcAtInsns {
+		if at > maxInsns {
+			maxInsns = at
+		}
+	}
+	if maxInsns == 0 {
+		return "(no data)\n"
+	}
+	maxRatio := 0.0
+	for _, p := range points {
+		if p.MissRatio > maxRatio {
+			maxRatio = p.MissRatio
+		}
+	}
+	if maxRatio == 0 {
+		maxRatio = 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	xOf := func(insns uint64) int {
+		x := int(float64(insns) / float64(maxInsns) * float64(w-1))
+		if x < 0 {
+			x = 0
+		}
+		if x >= w {
+			x = w - 1
+		}
+		return x
+	}
+	yOf := func(f float64) int {
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		y := h - 1 - int(f*float64(h-1)+0.5)
+		if y < 0 {
+			y = 0
+		}
+		return y
+	}
+	for _, p := range points {
+		x := xOf(p.InsnsAt)
+		grid[yOf(p.GCShare)][x] = 'o'
+		grid[yOf(p.MissRatio/maxRatio)][x] = '*' // drawn last: wins shared cells
+	}
+	ticks := []byte(strings.Repeat(" ", w))
+	for _, at := range gcAtInsns {
+		ticks[xOf(at)] = '|'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "running miss ratio (*, y: 0..%.5f) and GC ref share (o, y: 0..1) vs insns\n", maxRatio)
+	for y := 0; y < h; y++ {
+		fmt.Fprintf(&b, "%5.2f |%s|\n", 1-float64(y)/float64(h-1), string(grid[y]))
+	}
+	fmt.Fprintf(&b, "   gc  %s\n", string(ticks))
+	fmt.Fprintf(&b, "       0%s%d\n", strings.Repeat(" ", w-1-len(fmt.Sprint(maxInsns))), maxInsns)
+	fmt.Fprintf(&b, "   %d collections marked '|'; '*' scaled to peak miss ratio %.5f\n",
+		len(gcAtInsns), maxRatio)
+	return b.String()
+}

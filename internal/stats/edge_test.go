@@ -1,0 +1,89 @@
+package stats
+
+import "testing"
+
+// Edge cases of the histogram and percentile helpers: empty inputs,
+// single-bucket data, and the v <= 1 boundary that bucket 0 absorbs.
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Log2Histogram
+	if got := h.CDF(); got != nil {
+		t.Errorf("empty CDF = %v, want nil", got)
+	}
+	if got := h.FractionAtOrBelow(0); got != 0 {
+		t.Errorf("empty FractionAtOrBelow(0) = %v, want 0", got)
+	}
+	if got := h.FractionAtOrBelow(1 << 40); got != 0 {
+		t.Errorf("empty FractionAtOrBelow(big) = %v, want 0", got)
+	}
+	if s := h.String(); s != "" {
+		t.Errorf("empty String = %q, want empty", s)
+	}
+}
+
+func TestSingleBucketHistogram(t *testing.T) {
+	var h Log2Histogram
+	h.AddN(5, 10) // all ten samples in bucket 2: [4, 8)
+	cdf := h.CDF()
+	if len(cdf) != 3 {
+		t.Fatalf("CDF length = %d, want 3 (buckets 0..2)", len(cdf))
+	}
+	if cdf[0] != 0 || cdf[1] != 0 {
+		t.Errorf("lower buckets not empty: %v", cdf)
+	}
+	if cdf[2] != 1 {
+		t.Errorf("CDF top = %v, want 1", cdf[2])
+	}
+	if lo, hi := h.ModeBucket(); lo != 4 || hi != 8 {
+		t.Errorf("ModeBucket = [%d,%d), want [4,8)", lo, hi)
+	}
+	if got := h.FractionAtOrBelow(7); got != 1 { // 7 is bucket 2's top value
+		t.Errorf("FractionAtOrBelow(7) = %v, want 1", got)
+	}
+	if got := h.FractionAtOrBelow(3); got != 0 {
+		t.Errorf("FractionAtOrBelow(3) = %v, want 0", got)
+	}
+}
+
+func TestZeroOneBoundary(t *testing.T) {
+	var h Log2Histogram
+	h.Add(0)
+	h.Add(1)
+	if h.Counts[0] != 2 {
+		t.Fatalf("bucket 0 count = %d, want 2 (0 and 1 share it)", h.Counts[0])
+	}
+	// Bucket 0 spans [0,2); v=1 is its top value, so the whole bucket is
+	// attributed, while v=0 cannot be resolved within the bucket.
+	if got := h.FractionAtOrBelow(1); got != 1 {
+		t.Errorf("FractionAtOrBelow(1) = %v, want 1", got)
+	}
+	if got := h.FractionAtOrBelow(0); got != 0.5 {
+		t.Errorf("FractionAtOrBelow(0) = %v, want 0.5 (half-bucket rule)", got)
+	}
+	cdf := h.CDF()
+	if len(cdf) != 1 || cdf[0] != 1 {
+		t.Errorf("CDF = %v, want [1]", cdf)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	one := []float64{42}
+	for _, p := range []float64{0, 50, 100} {
+		if got := Percentile(one, p); got != 42 {
+			t.Errorf("Percentile([42], %v) = %v, want 42", p, got)
+		}
+	}
+	two := []float64{10, 20}
+	if got := Percentile(two, 100); got != 20 {
+		t.Errorf("Percentile p100 = %v, want 20", got)
+	}
+	if got := Percentile(two, 0); got != 10 {
+		t.Errorf("Percentile p0 = %v, want 10", got)
+	}
+	if got := Percentile(two, 50); got != 15 {
+		t.Errorf("Percentile p50 = %v, want 15 (interpolated)", got)
+	}
+}

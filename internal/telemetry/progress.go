@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Progress reports live run progress on a side channel (stderr by
+// convention), so long sweeps show signs of life while stdout reports
+// stay byte-identical to uninstrumented runs. A disabled Progress is a
+// no-op with one predictable branch per message, and a nil *Progress is
+// safe to call, so call sites never need guards.
+type Progress struct {
+	mu      sync.Mutex
+	w       io.Writer
+	prefix  string
+	enabled bool
+}
+
+// NewProgress builds a progress reporter writing "prefix: message" lines
+// to w when enabled.
+func NewProgress(w io.Writer, prefix string, enabled bool) *Progress {
+	return &Progress{w: w, prefix: prefix, enabled: enabled}
+}
+
+// Enabled reports whether messages will be written.
+func (p *Progress) Enabled() bool { return p != nil && p.enabled }
+
+// Printf writes one progress line. Concurrent runs interleave whole
+// lines, never fragments.
+func (p *Progress) Printf(format string, args ...any) {
+	if !p.Enabled() {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "%s: %s\n", p.prefix, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"sync"
+
+	"gcsim/internal/gc"
+)
+
+// DefaultRingCap bounds the per-run GC event ring. A full-scale lambda run
+// under the aggressive collector performs a few thousand collections; 4096
+// events keep the whole history for every paper workload while bounding a
+// pathological run to ~400 KB of host memory.
+const DefaultRingCap = 4096
+
+// GCRing is a bounded ring buffer of collection events. When the ring is
+// full the oldest event is dropped and the drop is counted, so the run
+// record always reports how much history it retained. All methods are safe
+// for concurrent use; in practice the VM goroutine pushes and the record
+// builder reads after the run, but tools may poll mid-run.
+type GCRing struct {
+	mu    sync.Mutex
+	buf   []gc.Event
+	start int    // index of the oldest event
+	n     int    // events currently buffered
+	total uint64 // events ever pushed
+}
+
+// NewGCRing returns a ring holding at most capacity events
+// (DefaultRingCap if capacity <= 0).
+func NewGCRing(capacity int) *GCRing {
+	if capacity <= 0 {
+		capacity = DefaultRingCap
+	}
+	return &GCRing{buf: make([]gc.Event, capacity)}
+}
+
+// Push appends one event, evicting the oldest if the ring is full.
+func (r *GCRing) Push(e gc.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = e
+		r.n++
+		return
+	}
+	r.buf[r.start] = e
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// Len returns the number of buffered events.
+func (r *GCRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Total returns the number of events ever pushed.
+func (r *GCRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many events were evicted to keep the ring bounded.
+func (r *GCRing) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - uint64(r.n)
+}
+
+// Events returns a copy of the buffered events, oldest first.
+func (r *GCRing) Events() []gc.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]gc.Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+)
+
+// The checked-in schema is the source of truth for the run-record shape:
+// CI validates every emitted record against it, and external consumers can
+// use the same document with a full JSON Schema implementation. The
+// validator below implements the subset the schema uses — type, required,
+// properties, items — with no third-party dependency.
+
+//go:embed schemas/runrecord.schema.json
+var runRecordSchemaJSON []byte
+
+// RunRecordSchemaJSON returns the embedded schema document.
+func RunRecordSchemaJSON() []byte {
+	return append([]byte(nil), runRecordSchemaJSON...)
+}
+
+var (
+	schemaOnce sync.Once
+	schemaDoc  map[string]any
+	schemaErr  error
+)
+
+func loadSchema() (map[string]any, error) {
+	schemaOnce.Do(func() {
+		schemaErr = json.Unmarshal(runRecordSchemaJSON, &schemaDoc)
+	})
+	return schemaDoc, schemaErr
+}
+
+// ValidateRecord checks one decoded record value against the schema.
+func ValidateRecord(v any) error {
+	schema, err := loadSchema()
+	if err != nil {
+		return fmt.Errorf("telemetry: bad embedded schema: %w", err)
+	}
+	return validateValue(schema, v, "$")
+}
+
+// ValidateRecordJSON validates serialized run records: a single JSON
+// object, a JSON array of records, or JSONL (one record per line) — the
+// three forms the emitters produce.
+func ValidateRecordJSON(data []byte) error {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return fmt.Errorf("telemetry: empty record input")
+	}
+	if trimmed[0] == '[' {
+		var arr []any
+		if err := json.Unmarshal(trimmed, &arr); err != nil {
+			return fmt.Errorf("telemetry: bad record array: %w", err)
+		}
+		if len(arr) == 0 {
+			return fmt.Errorf("telemetry: empty record array")
+		}
+		for i, v := range arr {
+			if err := ValidateRecord(v); err != nil {
+				return fmt.Errorf("record %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	var one any
+	if err := json.Unmarshal(trimmed, &one); err == nil {
+		return ValidateRecord(one)
+	}
+	// Multiple concatenated objects: treat as JSONL.
+	sc := bufio.NewScanner(bytes.NewReader(trimmed))
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var v any
+		if err := json.Unmarshal([]byte(text), &v); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := ValidateRecord(v); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	return sc.Err()
+}
+
+// validateValue checks v against one schema node. Unknown keywords are
+// ignored, as a JSON Schema validator must.
+func validateValue(schema map[string]any, v any, path string) error {
+	if t, ok := schema["type"].(string); ok {
+		if err := checkType(t, v, path); err != nil {
+			return err
+		}
+	}
+	switch node := v.(type) {
+	case map[string]any:
+		if req, ok := schema["required"].([]any); ok {
+			for _, r := range req {
+				name, _ := r.(string)
+				if _, present := node[name]; !present {
+					return fmt.Errorf("%s: missing required field %q", path, name)
+				}
+			}
+		}
+		if props, ok := schema["properties"].(map[string]any); ok {
+			for name, sub := range props {
+				subSchema, ok := sub.(map[string]any)
+				if !ok {
+					continue
+				}
+				if val, present := node[name]; present {
+					if err := validateValue(subSchema, val, path+"."+name); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	case []any:
+		if items, ok := schema["items"].(map[string]any); ok {
+			for i, elem := range node {
+				if err := validateValue(items, elem, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkType(want string, v any, path string) error {
+	ok := false
+	switch want {
+	case "object":
+		_, ok = v.(map[string]any)
+	case "array":
+		_, ok = v.([]any)
+	case "string":
+		_, ok = v.(string)
+	case "boolean":
+		_, ok = v.(bool)
+	case "number":
+		_, ok = v.(float64)
+	case "integer":
+		// encoding/json decodes every number to float64; an integer is a
+		// number with integral value (large uint64 counters lose low bits
+		// to the float mantissa but remain integral).
+		if f, isNum := v.(float64); isNum {
+			ok = f == math.Trunc(f) && !math.IsInf(f, 0)
+		}
+	case "null":
+		ok = v == nil
+	default:
+		return fmt.Errorf("%s: schema uses unsupported type %q", path, want)
+	}
+	if !ok {
+		return fmt.Errorf("%s: expected %s, got %T", path, want, v)
+	}
+	return nil
+}

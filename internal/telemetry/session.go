@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"gcsim/internal/gc"
+)
+
+// DefaultSnapshotInsns is the default cache-snapshot interval: every
+// million simulated program instructions, roughly 100 samples on a
+// default-scale workload run.
+const DefaultSnapshotInsns = 1_000_000
+
+// Session collects the run records produced during one CLI invocation.
+// Runs may execute concurrently (the experiment worker pool), so Add and
+// StreamEvent are safe for concurrent use. Records are emitted in
+// completion order; each carries its own workload identity.
+type Session struct {
+	Tool     string
+	Manifest Manifest
+
+	// SnapshotInsns is the cache-snapshot interval in simulated program
+	// instructions; 0 disables periodic snapshots.
+	SnapshotInsns uint64
+	// RingCap bounds each run's GC event ring (DefaultRingCap if 0).
+	RingCap int
+
+	mu      sync.Mutex
+	records []*RunRecord
+	events  io.Writer
+	enc     *json.Encoder
+}
+
+// NewSession builds a session for the named tool with periodic snapshots
+// at the default interval.
+func NewSession(tool string, parallelism int) *Session {
+	return &Session{
+		Tool:          tool,
+		Manifest:      NewManifest(parallelism),
+		SnapshotInsns: DefaultSnapshotInsns,
+	}
+}
+
+// SetEventWriter installs a live JSONL sink for GC events: one JSON
+// object per line, written as each collection completes.
+func (s *Session) SetEventWriter(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = w
+	s.enc = json.NewEncoder(w)
+}
+
+// streamedEvent is the JSONL form of one live GC event.
+type streamedEvent struct {
+	Type     string `json:"type"` // always "gc"
+	Workload string `json:"workload"`
+	GCEventRecord
+}
+
+// StreamEvent writes one event line if a live sink is installed.
+func (s *Session) StreamEvent(workload string, e gc.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.enc == nil {
+		return
+	}
+	// Encode errors (e.g. a closed pipe) are deliberately ignored: event
+	// streaming is advisory and must never abort a simulation.
+	_ = s.enc.Encode(streamedEvent{Type: "gc", Workload: workload, GCEventRecord: EventRecord(e)})
+}
+
+// Add registers a completed run's record, stamping the session identity.
+func (s *Session) Add(r *RunRecord) {
+	r.Schema = SchemaName
+	r.Tool = s.Tool
+	r.Host = s.Manifest
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, r)
+}
+
+// Records returns the records collected so far, in completion order.
+func (s *Session) Records() []*RunRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*RunRecord, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// WriteRecords writes every collected record to w (see WriteJSON).
+func (s *Session) WriteRecords(w io.Writer) error {
+	return WriteJSON(w, s.Records())
+}

@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"gcsim/internal/gc"
+)
+
+func TestGCRingOrderAndEviction(t *testing.T) {
+	r := NewGCRing(4)
+	for i := 1; i <= 6; i++ {
+		r.Push(gc.Event{Seq: uint64(i)})
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 6 {
+		t.Errorf("Total = %d, want 6", r.Total())
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", r.Dropped())
+	}
+	events := r.Events()
+	for i, e := range events {
+		if want := uint64(i + 3); e.Seq != want { // oldest surviving is seq 3
+			t.Errorf("events[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestGCRingDefaultCap(t *testing.T) {
+	r := NewGCRing(0)
+	for i := 0; i < DefaultRingCap+10; i++ {
+		r.Push(gc.Event{Seq: uint64(i)})
+	}
+	if r.Len() != DefaultRingCap {
+		t.Errorf("Len = %d, want %d", r.Len(), DefaultRingCap)
+	}
+	if r.Dropped() != 10 {
+		t.Errorf("Dropped = %d, want 10", r.Dropped())
+	}
+}
+
+// TestGCRingConcurrent exercises the ring from many goroutines; run under
+// -race (CI does) to check the locking.
+func TestGCRingConcurrent(t *testing.T) {
+	r := NewGCRing(64)
+	const goroutines, each = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Push(gc.Event{Seq: uint64(g*each + i)})
+				if i%100 == 0 {
+					r.Events()
+					r.Dropped()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != goroutines*each {
+		t.Errorf("Total = %d, want %d", r.Total(), goroutines*each)
+	}
+	if r.Len() != 64 {
+		t.Errorf("Len = %d, want 64", r.Len())
+	}
+}
+
+func TestEventRecordKinds(t *testing.T) {
+	minor := EventRecord(gc.Event{Seq: 1, TriggerHeapWords: 100, CopiedWords: 25})
+	if minor.Kind != "minor" {
+		t.Errorf("Kind = %q, want minor", minor.Kind)
+	}
+	if minor.SurvivalRatio != 0.25 {
+		t.Errorf("SurvivalRatio = %v, want 0.25", minor.SurvivalRatio)
+	}
+	major := EventRecord(gc.Event{Seq: 2, Major: true})
+	if major.Kind != "major" {
+		t.Errorf("Kind = %q, want major", major.Kind)
+	}
+	if major.SurvivalRatio != 0 {
+		t.Errorf("zero-heap SurvivalRatio = %v, want 0", major.SurvivalRatio)
+	}
+}
+
+// sampleRecord builds a minimal record the way the engine does, so the
+// schema tests exercise the real field set.
+func sampleRecord(t *testing.T) *RunRecord {
+	t.Helper()
+	ring := NewGCRing(8)
+	ring.Push(gc.Event{Seq: 1, TriggerHeapWords: 1000, CopiedWords: 100, PauseInsns: 50, InsnsAt: 12345})
+	sess := NewSession("test", 1)
+	rec := &RunRecord{
+		Workload:        "tc",
+		Scale:           40,
+		Collector:       "cheney",
+		Insns:           1000,
+		GCInsns:         50,
+		DurationSeconds: 0.1,
+		Caches:          []CacheRecord{},
+	}
+	rec.GC = GCRecord{Collections: 1, Events: []GCEventRecord{EventRecord(gc.Event{Seq: 1})}}
+	sess.Add(rec)
+	return rec
+}
+
+func TestValidateRecordForms(t *testing.T) {
+	rec := sampleRecord(t)
+	one, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRecordJSON(one); err != nil {
+		t.Errorf("single object: %v", err)
+	}
+	arr, _ := json.Marshal([]*RunRecord{rec, rec})
+	if err := ValidateRecordJSON(arr); err != nil {
+		t.Errorf("array: %v", err)
+	}
+	jsonl := append(append(append([]byte{}, one...), '\n'), one...)
+	if err := ValidateRecordJSON(jsonl); err != nil {
+		t.Errorf("JSONL: %v", err)
+	}
+}
+
+func TestValidateRejectsMissingFields(t *testing.T) {
+	rec := sampleRecord(t)
+	data, _ := json.Marshal(rec)
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "gc")
+	bad, _ := json.Marshal(m)
+	err := ValidateRecordJSON(bad)
+	if err == nil || !strings.Contains(err.Error(), "gc") {
+		t.Errorf("missing gc not rejected: %v", err)
+	}
+	if err := ValidateRecordJSON([]byte("{}")); err == nil {
+		t.Error("empty object accepted")
+	}
+	if err := ValidateRecordJSON([]byte("  ")); err == nil {
+		t.Error("blank input accepted")
+	}
+	if err := ValidateRecordJSON([]byte(`{"schema": 7}`)); err == nil {
+		t.Error("wrong-typed field accepted")
+	}
+}
+
+func TestWriteJSONForms(t *testing.T) {
+	rec := sampleRecord(t)
+	var one bytes.Buffer
+	if err := WriteJSON(&one, []*RunRecord{rec}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(one.String(), "\n  \"schema\"") {
+		t.Error("single record not pretty-printed")
+	}
+	var many bytes.Buffer
+	if err := WriteJSON(&many, []*RunRecord{rec, rec}); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(many.String()), "\n") + 1; lines != 2 {
+		t.Errorf("two records produced %d JSONL lines", lines)
+	}
+	if err := ValidateRecordJSON(one.Bytes()); err != nil {
+		t.Errorf("pretty form invalid: %v", err)
+	}
+	if err := ValidateRecordJSON(many.Bytes()); err != nil {
+		t.Errorf("JSONL form invalid: %v", err)
+	}
+}
+
+func TestSessionStreamsEvents(t *testing.T) {
+	sess := NewSession("test", 1)
+	var buf bytes.Buffer
+	sess.SetEventWriter(&buf)
+	sess.StreamEvent("tc", gc.Event{Seq: 1, Major: true, InsnsAt: 99})
+	sess.StreamEvent("tc", gc.Event{Seq: 2})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d event lines, want 2", len(lines))
+	}
+	var ev struct {
+		Type     string `json:"type"`
+		Workload string `json:"workload"`
+		Kind     string `json:"kind"`
+		InsnsAt  uint64 `json:"insns_at"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != "gc" || ev.Workload != "tc" || ev.Kind != "major" || ev.InsnsAt != 99 {
+		t.Errorf("bad streamed event: %+v", ev)
+	}
+}
+
+func TestSchemaDocumentParses(t *testing.T) {
+	var doc map[string]any
+	if err := json.Unmarshal(RunRecordSchemaJSON(), &doc); err != nil {
+		t.Fatalf("embedded schema is not valid JSON: %v", err)
+	}
+	if doc["type"] != "object" {
+		t.Error("schema root is not an object type")
+	}
+}

@@ -51,6 +51,12 @@ type Machine struct {
 	// allocation misses and allocation cycles.
 	OnAlloc func(addr uint64, words int)
 
+	// OnGC, if set, observes every collection performed at a safepoint.
+	// The event is assembled from the collector's Stats deltas, so it
+	// costs nothing when unset and only a struct copy per collection when
+	// set — telemetry never touches the per-reference path.
+	OnGC func(gc.Event)
+
 	halted bool
 }
 
@@ -104,6 +110,34 @@ func (vm *Machine) ResetOutput() { vm.out.Reset() }
 
 // charge adds n program instructions.
 func (vm *Machine) charge(n uint64) { vm.insns += n }
+
+// collect runs one collection at a safepoint, emitting a gc.Event to the
+// OnGC hook when one is installed. The event's work figures are the deltas
+// of the collector's Stats across the Collect call; the pause is the I_gc
+// it charged.
+func (vm *Machine) collect() {
+	if vm.OnGC == nil {
+		vm.Col.Collect()
+		return
+	}
+	st := vm.Col.Stats()
+	before := *st
+	trigger := vm.Col.HeapWords()
+	insnsAt := vm.insns
+	gcInsns0 := vm.gcInsns
+	vm.Col.Collect()
+	vm.OnGC(gc.Event{
+		Seq:              st.Collections,
+		Major:            st.MajorCollections > before.MajorCollections,
+		TriggerHeapWords: trigger,
+		LiveWords:        st.LiveAfterLast,
+		CopiedWords:      st.CopiedWords - before.CopiedWords,
+		CopiedObjects:    st.CopiedObjects - before.CopiedObjects,
+		ScannedSlots:     st.ScannedSlots - before.ScannedSlots,
+		PauseInsns:       vm.gcInsns - gcInsns0,
+		InsnsAt:          insnsAt,
+	})
+}
 
 // alloc allocates a dynamic object (header plus payload), writes its
 // header, and returns the header address. It never collects; collections

@@ -117,7 +117,7 @@ func (vm *Machine) execute(code *Code) Word {
 			vm.push(scheme.FromFixnum(int64(vm.base)))
 		case OpCall:
 			if vm.Col.NeedsCollect() {
-				vm.Col.Collect()
+				vm.collect()
 			}
 			n := int(in.A)
 			funSlot := vm.sp - uint64(n) - 1
@@ -127,7 +127,7 @@ func (vm *Machine) execute(code *Code) Word {
 			pc = 0
 		case OpTailCall:
 			if vm.Col.NeedsCollect() {
-				vm.Col.Collect()
+				vm.collect()
 			}
 			n := int(in.A)
 			src := vm.sp - uint64(n) - 1

@@ -1,31 +1,78 @@
 #!/bin/sh
 # Benchmarks the serial cache bank against the parallel bank on the same
-# 8-configuration sweep and records the refs/s throughput of each in
-# BENCH_parallel.json (written at the repository root).
+# 8-configuration sweep, using the telemetry run records gcsim emits with
+# -json as the single source of truth: refs/s throughput, the speedup, and
+# telemetry's self-measured overhead all come out of the records instead of
+# being hand-assembled here. The records are schema-validated (gcsim
+# -check-record) and the run fails if telemetry overhead exceeds 2% of the
+# run or if the two stdout reports differ (the determinism guarantee).
+#
+# Outputs (repository root):
+#   BENCH_parallel.json         summary consumed by CI trend tracking
+#   BENCH_serial_record.json    full run record of the -parallel 1 sweep
+#   BENCH_parallel_record.json  full run record of the -parallel N sweep
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_parallel.json}"
+workload="${WORKLOAD:-nbody}"
+scale="${SCALE:-1}"
+collector="${COLLECTOR:-cheney}"
+caches="32k,64k,128k,256k"
+blocks="32,64" # 4 sizes x 2 blocks = 8 configurations
+cores=$(nproc 2>/dev/null || echo 1)
 
-raw=$(go test -run '^$' -bench 'Bank$|BankPerRef$' -benchtime "${BENCHTIME:-2s}" ./internal/cache/)
-echo "$raw"
+gcsim="go run ./cmd/gcsim"
 
-echo "$raw" | awk -v cores="$(go env GOMAXPROCS 2>/dev/null || nproc)" '
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)
-    for (i = 2; i < NF; i++) if ($(i + 1) == "refs/s") refs[name] = $i
+echo "sweep: -workload $workload -scale $scale -gc $collector -cache $caches -block $blocks"
+
+$gcsim -workload "$workload" -scale "$scale" -gc "$collector" \
+    -cache "$caches" -block "$blocks" -parallel 1 \
+    -json BENCH_serial_record.json > /tmp/bench_serial_stdout.txt
+$gcsim -workload "$workload" -scale "$scale" -gc "$collector" \
+    -cache "$caches" -block "$blocks" -parallel "$cores" \
+    -json BENCH_parallel_record.json > /tmp/bench_parallel_stdout.txt
+
+# Determinism: the stdout report must be byte-identical at any parallelism.
+if ! cmp -s /tmp/bench_serial_stdout.txt /tmp/bench_parallel_stdout.txt; then
+    echo "FAIL: stdout differs between -parallel 1 and -parallel $cores" >&2
+    diff /tmp/bench_serial_stdout.txt /tmp/bench_parallel_stdout.txt >&2 || true
+    exit 1
+fi
+
+# Schema validation: fails if a record misses any required field.
+$gcsim -check-record BENCH_serial_record.json
+$gcsim -check-record BENCH_parallel_record.json
+echo "records: schema-valid"
+
+# field FILE KEY: extract the first numeric value of "key": N from a record.
+field() {
+    sed -n "s/^ *\"$2\": \([0-9.e+-]*\),*$/\1/p" "$1" | head -1
 }
-END {
-    "nproc" | getline n
+
+serial_refs=$(field BENCH_serial_record.json refs)
+serial_gc_refs=$(field BENCH_serial_record.json gc_refs)
+serial_dur=$(field BENCH_serial_record.json duration_seconds)
+parallel_dur=$(field BENCH_parallel_record.json duration_seconds)
+overhead=$(field BENCH_parallel_record.json overhead_fraction)
+
+awk -v refs="$serial_refs" -v gcrefs="$serial_gc_refs" -v cores="$cores" \
+    -v sdur="$serial_dur" -v pdur="$parallel_dur" -v ovh="$overhead" '
+BEGIN {
+    total = (refs + gcrefs) * 8 # every config replays the whole stream
+    if (ovh > 0.02) {
+        printf "FAIL: telemetry overhead %.4f exceeds 2%% budget\n", ovh > "/dev/stderr"
+        exit 1
+    }
     printf "{\n"
-    printf "  \"cores\": %d,\n", n
+    printf "  \"cores\": %d,\n", cores
     printf "  \"configs\": 8,\n"
-    printf "  \"serial_refs_per_sec\": %s,\n", refs["BenchmarkSerialBank"]
-    printf "  \"parallel_refs_per_sec\": %s,\n", refs["BenchmarkParallelBank"]
-    printf "  \"per_ref_refs_per_sec\": %s,\n", refs["BenchmarkSerialBankPerRef"]
-    printf "  \"speedup\": %.3f,\n", refs["BenchmarkParallelBank"] / refs["BenchmarkSerialBank"]
-    printf "  \"note\": \"speedup scales with cores: each of the 8 caches simulates on its own goroutine\"\n"
+    printf "  \"serial_refs_per_sec\": %.0f,\n", total / sdur
+    printf "  \"parallel_refs_per_sec\": %.0f,\n", total / pdur
+    printf "  \"speedup\": %.3f,\n", sdur / pdur
+    printf "  \"telemetry_overhead_fraction\": %s,\n", ovh
+    printf "  \"records\": [\"BENCH_serial_record.json\", \"BENCH_parallel_record.json\"],\n"
+    printf "  \"note\": \"derived from gcsim -json run records; each of the 8 caches simulates the full reference stream\"\n"
     printf "}\n"
 }' > "$out"
 
