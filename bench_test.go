@@ -11,6 +11,7 @@ package gcsim
 // full-scale reports in EXPERIMENTS.md come from cmd/gcbench.
 
 import (
+	"context"
 	"testing"
 
 	"gcsim/internal/cache"
@@ -30,7 +31,7 @@ func benchExperiment(b *testing.B, id string, report ...string) {
 	}
 	var last *core.ExpResult
 	for i := 0; i < b.N; i++ {
-		last, err = e.Run(core.ExpConfig{Quick: true})
+		last, err = e.Run(context.Background(), core.ExpConfig{Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +181,7 @@ func BenchmarkAblationWritePolicy(b *testing.B) {
 			var last *core.SweepResult
 			for i := 0; i < b.N; i++ {
 				var err error
-				last, err = core.RunSweep(w, w.SmallScale, nil,
+				last, err = core.RunSweep(context.Background(), w, w.SmallScale, nil,
 					[]cache.Config{{SizeBytes: 64 << 10, BlockBytes: 64, Policy: pol}})
 				if err != nil {
 					b.Fatal(err)
@@ -202,7 +203,7 @@ func BenchmarkAblationNurserySize(b *testing.B) {
 			var copied, collections float64
 			for i := 0; i < b.N; i++ {
 				col := gc.NewGenerational(nursery, 4<<20)
-				if _, err := core.Run(core.RunSpec{
+				if _, err := core.Run(context.Background(), core.RunSpec{
 					Workload: w, Scale: w.SmallScale, Collector: col,
 				}); err != nil {
 					b.Fatal(err)
@@ -225,7 +226,7 @@ func BenchmarkAblationSemispaceSize(b *testing.B) {
 			var copied float64
 			for i := 0; i < b.N; i++ {
 				col := gc.NewCheney(ss)
-				if _, err := core.Run(core.RunSpec{
+				if _, err := core.Run(context.Background(), core.RunSpec{
 					Workload: w, Scale: w.SmallScale, Collector: col,
 				}); err != nil {
 					b.Fatal(err)
@@ -245,7 +246,7 @@ func BenchmarkAblationCostModel(b *testing.B) {
 	w, _ := workloads.ByName("tc")
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		run, err := core.Run(core.RunSpec{Workload: w, Scale: w.SmallScale})
+		run, err := core.Run(context.Background(), core.RunSpec{Workload: w, Scale: w.SmallScale})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -8,20 +8,29 @@
 // collections live, and -progress reports per-run progress on stderr while
 // the printed reports stay byte-identical.
 //
+// An interrupted invocation (SIGINT/SIGTERM or -timeout) stops the running
+// experiment at its machines' next safepoint, then still writes whatever
+// -json records the completed and partial runs produced before exiting
+// with an error.
+//
 // Usage:
 //
 //	gcbench [-exp T1|T2|F1|F1b|F1c|F2|F2b|F2c|F3|F4|T3|F5|E8] [-quick]
 //	        [-scale percent] [-parallel N] [-metrics]
+//	        [-timeout 30m] [-verify-heap]
 //	        [-json path|-] [-events path|-] [-progress]
 //	        [-pprof addr] [-cpuprofile file]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"gcsim/internal/cliutil"
@@ -37,6 +46,8 @@ func main() {
 	scale := flag.Int("scale", 100, "workload scale percent")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent workload runs within an experiment (1 = serial)")
 	metrics := flag.Bool("metrics", false, "print structured metrics after each report")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	verifyHeap := flag.Bool("verify-heap", false, "verify heap invariants after every collection")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.String("json", "", `write run records as JSON to this path ("-" = stdout)`)
 	eventsOut := flag.String("events", "", `stream per-collection GC events as JSONL to this path ("-" = stdout)`)
@@ -47,6 +58,14 @@ func main() {
 	flag.Parse()
 
 	core.SetParallelism(*parallel)
+	core.SetVerifyHeap(*verifyHeap)
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	stopProf, err := cliutil.StartProfiling(tool, *pprofAddr, *cpuProfile)
 	if err != nil {
 		cliutil.Fatal(tool, err)
@@ -87,12 +106,14 @@ func main() {
 		exps = []*core.Experiment{e}
 	}
 
+	var runErr error
 	for _, e := range exps {
 		start := time.Now()
 		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
-		r, err := e.Run(cfg)
+		r, err := e.Run(ctx, cfg)
 		if err != nil {
-			cliutil.Fatalf(tool, "%s failed: %v", e.ID, err)
+			runErr = fmt.Errorf("%s failed: %w", e.ID, err)
+			break
 		}
 		fmt.Println(r.Report)
 		if *metrics {
@@ -103,6 +124,8 @@ func main() {
 		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	}
 
+	// Write records before reporting a run error: an interrupted experiment
+	// still leaves schema-valid records for its completed and partial runs.
 	if sess != nil && *jsonOut != "" {
 		w, err := telemetry.OpenOutput(*jsonOut)
 		if err != nil {
@@ -114,6 +137,9 @@ func main() {
 		if err := w.Close(); err != nil {
 			cliutil.Fatal(tool, err)
 		}
+	}
+	if runErr != nil {
+		cliutil.Fatal(tool, runErr)
 	}
 }
 

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"strings"
@@ -59,7 +60,7 @@ func main() {
 	switch *kind {
 	case "sweep":
 		// Pre-run to size the time axis (runs are deterministic).
-		pre, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Collector: col})
+		pre, err := core.Run(context.Background(), core.RunSpec{Workload: w, Scale: *scale, Collector: col})
 		if err != nil {
 			fatal(err)
 		}
@@ -67,13 +68,13 @@ func main() {
 		c := cache.New(cfg)
 		sw := plot.NewSweep(pre.Refs(), cfg.NumBlocks(), *width, *height)
 		c.OnMiss(sw.Add)
-		if _, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Collector: col2, Tracer: c}); err != nil {
+		if _, err := core.Run(context.Background(), core.RunSpec{Workload: w, Scale: *scale, Collector: col2, Tracer: c}); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%s: miss sweep in %v\n\n%s", w.Name, cfg, sw.Render())
 	case "lifetimes":
 		b := analysis.New(size, *blockSize)
-		if _, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Collector: col, Behaviour: b}); err != nil {
+		if _, err := core.Run(context.Background(), core.RunSpec{Workload: w, Scale: *scale, Collector: col, Behaviour: b}); err != nil {
 			fatal(err)
 		}
 		r := b.Summarize()
@@ -85,7 +86,7 @@ func main() {
 	case "activity":
 		c := cache.New(cfg)
 		c.EnableBlockStats()
-		if _, err := core.Run(core.RunSpec{Workload: w, Scale: *scale, Collector: col, Tracer: c}); err != nil {
+		if _, err := core.Run(context.Background(), core.RunSpec{Workload: w, Scale: *scale, Collector: col, Tracer: c}); err != nil {
 			fatal(err)
 		}
 		refs, misses := c.BlockStats()
@@ -97,7 +98,7 @@ func main() {
 		sess := telemetry.NewSession(tool, core.Parallelism())
 		sess.SnapshotInsns = *interval
 		core.EnableTelemetry(sess)
-		sweep, err := core.RunSweep(w, *scale, col, []cache.Config{cfg})
+		sweep, err := core.RunSweep(context.Background(), w, *scale, col, []cache.Config{cfg})
 		core.EnableTelemetry(nil)
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gcsim/internal/cache"
+	"gcsim/internal/core"
+	"gcsim/internal/gc"
+	"gcsim/internal/telemetry"
+)
+
+// TestMain lets the test binary re-exec itself as the gcsim CLI, so the
+// exit-code and signal tests exercise the real main() including
+// cliutil.Fatal's os.Exit paths.
+func TestMain(m *testing.M) {
+	if os.Getenv("GCSIM_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runGcsim re-execs this test binary as gcsim with the given arguments.
+func runGcsim(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "GCSIM_RUN_MAIN=1")
+	var so, se bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &so, &se
+	err := cmd.Run()
+	code = 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("gcsim %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, so.String(), se.String()
+}
+
+// TestCLIErrorExitCodes covers the tool's error paths: invalid sweep
+// values, inconsistent flags, and unknown workloads must exit 1 with a
+// "gcsim:"-prefixed diagnostic; missing input exits 2 with usage.
+func TestCLIErrorExitCodes(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		inStderr string
+	}{
+		{"invalid cache size", []string{"-workload", "nbody", "-cache", "bogus"}, 1, "gcsim:"},
+		{"invalid block size", []string{"-workload", "nbody", "-block", "sixty-four"}, 1, "gcsim:"},
+		{"invalid policy", []string{"-workload", "nbody", "-policy", "write-sometimes"}, 1, "unknown policy"},
+		{"unknown collector", []string{"-workload", "nbody", "-gc", "epsilon"}, 1, "gcsim:"},
+		{"unknown workload", []string{"-workload", "quux"}, 1, "unknown workload"},
+		{"resume without checkpoint", []string{"-resume", "-workload", "nbody"}, 1, "-resume requires -checkpoint"},
+		{"checkpoint without workload", []string{"-checkpoint", "ckdir"}, 1, "-checkpoint requires -workload"},
+		{"negative retries", []string{"-workload", "nbody", "-retries", "-2", "-checkpoint", "ckdir"}, 1, "-retries"},
+		{"no input", nil, 2, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runGcsim(t, tc.args...)
+			if code != tc.wantCode {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, stderr)
+			}
+			if tc.inStderr != "" && !strings.Contains(stderr, tc.inStderr) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.inStderr)
+			}
+		})
+	}
+}
+
+func TestCLIUnwritableJSONPathExitsNonzero(t *testing.T) {
+	code, _, stderr := runGcsim(t,
+		"-workload", "nbody", "-scale", "1", "-cache", "4k", "-block", "16",
+		"-json", filepath.Join(t.TempDir(), "no-such-dir", "out.json"))
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "gcsim:") {
+		t.Errorf("stderr %q carries no gcsim diagnostic", stderr)
+	}
+}
+
+// interruptedRecord reads and validates the partial record an aborted
+// subprocess left behind, returning its decoded fields.
+func interruptedRecord(t *testing.T, path string) map[string]any {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no run record was written: %v", err)
+	}
+	if err := telemetry.ValidateRecordJSON(data); err != nil {
+		t.Fatalf("partial record is not schema-valid: %v\n%s", err, data)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(data), &rec); err != nil {
+		t.Fatalf("record is not a single JSON object: %v", err)
+	}
+	return rec
+}
+
+// TestCLITimeoutEmitsPartialRecord aborts a run via -timeout and checks
+// the exit status and the schema-valid partial record.
+func TestCLITimeoutEmitsPartialRecord(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "record.json")
+	code, _, stderr := runGcsim(t,
+		"-workload", "tc", "-scale", "2000", "-gc", "cheney",
+		"-timeout", "300ms", "-json", out)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	rec := interruptedRecord(t, out)
+	if rec["status"] != "interrupted" {
+		t.Errorf("record status = %v, want interrupted", rec["status"])
+	}
+	if !strings.Contains(stderr, "deadline") {
+		t.Errorf("stderr %q does not mention the deadline", stderr)
+	}
+}
+
+// TestCLISigintEmitsPartialRecord sends a real SIGINT to a mid-sweep
+// subprocess and checks it drains cleanly: nonzero exit, a cancellation
+// diagnostic, and a schema-valid partial record on disk.
+func TestCLISigintEmitsPartialRecord(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "record.json")
+	cmd := exec.Command(os.Args[0],
+		"-workload", "tc", "-scale", "2000", "-gc", "cheney",
+		"-cache", "32k,64k", "-json", out)
+	cmd.Env = append(os.Environ(), "GCSIM_RUN_MAIN=1")
+	var se bytes.Buffer
+	cmd.Stderr = &se
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("interrupted run exited 0")
+		}
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+			t.Fatalf("interrupted run: %v (stderr: %s)", err, se.String())
+		}
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("interrupted run did not drain within 60s")
+	}
+	rec := interruptedRecord(t, out)
+	if rec["status"] != "interrupted" {
+		t.Errorf("record status = %v, want interrupted", rec["status"])
+	}
+	if !strings.Contains(se.String(), "interrupt") {
+		t.Errorf("stderr %q does not mention the interrupt", se.String())
+	}
+}
+
+// TestCheckpointSweepReportMatchesSinglePass checks the CLI-level
+// equivalence promise: the checkpointed per-config sweep and a subsequent
+// full -resume print byte-identical reports to the single-pass sweep.
+func TestCheckpointSweepReportMatchesSinglePass(t *testing.T) {
+	cfgs := []cache.Config{
+		{SizeBytes: 32 << 10, BlockBytes: 32, Policy: cache.WriteValidate},
+		{SizeBytes: 64 << 10, BlockBytes: 64, Policy: cache.WriteValidate},
+	}
+	core.SetParallelism(1)
+
+	for _, n := range []int{1, 2} {
+		sub := cfgs[:n]
+		// Collectors hold per-run state, so each run needs a fresh one.
+		col, err := gc.New("cheney", gc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var single bytes.Buffer
+		if err := runWorkload(context.Background(), &single, "nbody", 1, col, sub, sweepOpts{}); err != nil {
+			t.Fatal(err)
+		}
+
+		dir := t.TempDir()
+		opts := sweepOpts{checkpointDir: dir, retries: 1, gcName: "cheney"}
+		var checkpointed bytes.Buffer
+		if err := runWorkload(context.Background(), &checkpointed, "nbody", 1, col, sub, opts); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(checkpointed.Bytes(), single.Bytes()) {
+			t.Errorf("%d-config checkpointed report differs from single-pass:\n%s\nvs\n%s",
+				n, checkpointed.Bytes(), single.Bytes())
+		}
+
+		// Resuming from the fully populated directory recomputes nothing and
+		// must still print the same report.
+		opts.resume = true
+		var resumed bytes.Buffer
+		if err := runWorkload(context.Background(), &resumed, "nbody", 1, col, sub, opts); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(resumed.Bytes(), single.Bytes()) {
+			t.Errorf("%d-config resumed report differs from single-pass:\n%s\nvs\n%s",
+				n, resumed.Bytes(), single.Bytes())
+		}
+	}
+}

@@ -6,6 +6,16 @@
 // stream is swept through every configuration in one run (a parallel bank
 // with one worker goroutine per cache) and a per-config table is printed.
 //
+// The harness is fault-tolerant: -timeout bounds the whole invocation, and
+// SIGINT/SIGTERM interrupt the machines at their next safepoint, so an
+// aborted run still drains its workers and (with -json) emits a
+// schema-valid partial run record. With -checkpoint the sweep switches to
+// one independent simulation per configuration — results are persisted as
+// they complete, a panicking configuration is retried (-retries) and then
+// recorded as a failure instead of killing the sweep, and -resume skips
+// configurations a previous interrupted invocation already finished.
+// Determinism makes the two sweep modes print identical tables.
+//
 // Telemetry is opt-in and leaves the stdout report byte-identical: -json
 // emits a canonical run record (with per-collection GC events and periodic
 // cache snapshots), -events streams collections live as JSONL, -progress
@@ -17,6 +27,8 @@
 //	gcsim -workload tc [-scale N] [-gc none|cheney|generational|aggressive]
 //	      [-cache 64k,1m] [-block 16,64] [-policy write-validate,fetch-on-write]
 //	      [-semispace bytes] [-nursery bytes] [-parallel N] [-v]
+//	      [-timeout 10m] [-verify-heap]
+//	      [-checkpoint dir [-resume] [-retries N]]
 //	      [-json path|-] [-events path|-] [-progress]
 //	      [-pprof addr] [-cpuprofile file]
 //	gcsim -file prog.scm [same options]
@@ -24,12 +36,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"gcsim/internal/cache"
 	"gcsim/internal/cliutil"
@@ -44,6 +60,16 @@ import (
 
 const tool = "gcsim"
 
+// sweepOpts carries the fault-tolerance knobs into runWorkload.
+type sweepOpts struct {
+	verbose       bool
+	checkpointDir string
+	resume        bool
+	retries       int
+	gcName        string
+	gcOpts        gc.Options
+}
+
 func main() {
 	workload := flag.String("workload", "", "workload name: "+strings.Join(workloads.Names(), ", ")+", styles-functional, styles-imperative")
 	file := flag.String("file", "", "run a Scheme source file instead of a workload")
@@ -56,6 +82,11 @@ func main() {
 	nursery := flag.Int("nursery", 0, "generational nursery bytes (0 = default)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = fully serial pipeline)")
 	verbose := flag.Bool("v", false, "print per-processor overhead detail")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	verifyHeap := flag.Bool("verify-heap", false, "verify heap invariants after every collection")
+	checkpointDir := flag.String("checkpoint", "", "persist per-configuration sweep results to this directory (requires -workload)")
+	resume := flag.Bool("resume", false, "skip configurations already completed in the -checkpoint directory")
+	retries := flag.Int("retries", 1, "re-attempts per failed configuration in -checkpoint mode")
 	jsonOut := flag.String("json", "", `write the run record as JSON to this path ("-" = stdout)`)
 	eventsOut := flag.String("events", "", `stream per-collection GC events as JSONL to this path ("-" = stdout)`)
 	snapInsns := flag.Uint64("snapshot-insns", telemetry.DefaultSnapshotInsns, "cache snapshot interval in simulated instructions (0 = none; used with -json)")
@@ -72,18 +103,40 @@ func main() {
 		return
 	}
 
+	if *resume && *checkpointDir == "" {
+		cliutil.Fatalf(tool, "-resume requires -checkpoint")
+	}
+	if *checkpointDir != "" && *workload == "" {
+		cliutil.Fatalf(tool, "-checkpoint requires -workload")
+	}
+	if *retries < 0 {
+		cliutil.Fatalf(tool, "-retries must be >= 0")
+	}
+
 	core.SetParallelism(*parallel)
+	core.SetVerifyHeap(*verifyHeap)
 	stopProf, err := cliutil.StartProfiling(tool, *pprofAddr, *cpuProfile)
 	if err != nil {
 		cliutil.Fatal(tool, err)
 	}
 	defer stopProf()
 
+	// SIGINT/SIGTERM and -timeout cancel the same context; the machines are
+	// interrupted at their next safepoint and drain cleanly.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	cfgs, err := parseConfigs(*cacheSize, *blockSize, *policy)
 	if err != nil {
 		cliutil.Fatal(tool, err)
 	}
-	col, err := gc.New(*gcName, gc.Options{SemispaceBytes: *semispace, NurseryBytes: *nursery})
+	gcOpts := gc.Options{SemispaceBytes: *semispace, NurseryBytes: *nursery}
+	col, err := gc.New(*gcName, gcOpts)
 	if err != nil {
 		cliutil.Fatal(tool, err)
 	}
@@ -108,31 +161,47 @@ func main() {
 	}
 	core.SetProgress(telemetry.NewProgress(os.Stderr, tool, *progressFlag))
 
+	opts := sweepOpts{
+		verbose:       *verbose,
+		checkpointDir: *checkpointDir,
+		resume:        *resume,
+		retries:       *retries,
+		gcName:        *gcName,
+		gcOpts:        gcOpts,
+	}
 	switch {
 	case *file != "":
-		err = runFile(os.Stdout, *file, col, cfgs, *verbose)
+		err = runFile(ctx, os.Stdout, *file, col, cfgs, *verbose)
 	case *workload != "":
-		err = runWorkload(os.Stdout, *workload, *scale, col, cfgs, *verbose)
+		err = runWorkload(ctx, os.Stdout, *workload, *scale, col, cfgs, opts)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Write the telemetry records before reporting any run error: an
+	// interrupted or failed run leaves a schema-valid partial record, and
+	// persisting that evidence is the whole point of emitting it.
+	if sess != nil && *jsonOut != "" {
+		if werr := writeRecords(sess, *jsonOut); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	if err != nil {
 		cliutil.Fatal(tool, err)
 	}
+}
 
-	if sess != nil && *jsonOut != "" {
-		w, err := telemetry.OpenOutput(*jsonOut)
-		if err != nil {
-			cliutil.Fatal(tool, err)
-		}
-		if err := sess.WriteRecords(w); err != nil {
-			cliutil.Fatal(tool, err)
-		}
-		if err := w.Close(); err != nil {
-			cliutil.Fatal(tool, err)
-		}
+func writeRecords(sess *telemetry.Session, path string) error {
+	w, err := telemetry.OpenOutput(path)
+	if err != nil {
+		return err
 	}
+	if err := sess.WriteRecords(w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
 }
 
 // checkRecordFile validates serialized run records against the embedded
@@ -194,31 +263,85 @@ func parseConfigs(sizes, blocks, policies string) ([]cache.Config, error) {
 	return cfgs, nil
 }
 
-func runWorkload(out io.Writer, name string, scale int, col gc.Collector, cfgs []cache.Config, verbose bool) error {
+func runWorkload(ctx context.Context, out io.Writer, name string, scale int, col gc.Collector, cfgs []cache.Config, opts sweepOpts) error {
 	w, err := workloads.ByName(name)
 	if err != nil {
 		return err
 	}
-	sweep, err := core.RunSweep(w, scale, col, cfgs)
+	if opts.checkpointDir != "" {
+		return runWorkloadCheckpointed(ctx, out, w, scale, cfgs, opts)
+	}
+	sweep, err := core.RunSweep(ctx, w, scale, col, cfgs)
 	if err != nil {
 		return err
 	}
 	run := sweep.Run
 	if len(cfgs) == 1 {
-		report(out, run.Workload, run.Insns, run.GCInsns, run.Checksum, col,
-			sweep.Bank.Caches[0], cfgs[0], verbose)
+		report(out, run.Workload, run.Insns, run.GCInsns, run.Checksum,
+			col.Name(), *col.Stats(), sweep.Bank.Caches[0], cfgs[0], opts.verbose)
 		return nil
 	}
-	fmt.Fprintf(out, "workload:    %s\n", run.Workload)
-	fmt.Fprintf(out, "collector:   %s (%d collections, %d words copied)\n",
-		col.Name(), col.Stats().Collections, col.Stats().CopiedWords)
-	fmt.Fprintf(out, "checksum:    %d\n", run.Checksum)
-	fmt.Fprintf(out, "insns:       %d program + %d collector\n", run.Insns, run.GCInsns)
-	reportTable(out, sweep.Bank.Caches, run.Insns, verbose)
+	sweepHeader(out, run.Workload, col.Name(), *col.Stats(), run.Checksum, run.Insns, run.GCInsns)
+	reportTable(out, sweep.Bank.Caches, run.Insns, opts.verbose)
 	return nil
 }
 
-func runFile(out io.Writer, path string, col gc.Collector, cfgs []cache.Config, verbose bool) error {
+// runWorkloadCheckpointed is the resilient sweep: one independent
+// simulation per configuration, each result persisted as it completes.
+// The printed report is identical to runWorkload's single-pass table
+// because the deterministic VM issues the same reference stream every run.
+func runWorkloadCheckpointed(ctx context.Context, out io.Writer, w *workloads.Workload, scale int, cfgs []cache.Config, opts sweepOpts) error {
+	ck, err := core.NewCheckpoint(opts.checkpointDir)
+	if err != nil {
+		return err
+	}
+	mkCol := func() gc.Collector {
+		col, err := gc.New(opts.gcName, opts.gcOpts)
+		if err != nil {
+			panic(err) // flags were validated in main
+		}
+		return col
+	}
+	sweep, err := core.RunSweepPerConfig(ctx, w, scale, cfgs, core.PerConfigSweepOpts{
+		MakeCollector: mkCol,
+		Retries:       opts.retries,
+		Checkpoint:    ck,
+		Resume:        opts.resume,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: sweep interrupted: %d/%d configurations complete (checkpointed in %s; rerun with -resume)\n",
+			tool, len(sweep.Results), len(cfgs), opts.checkpointDir)
+		return err
+	}
+	for _, f := range sweep.Failures {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, f)
+	}
+	if len(sweep.Results) == 0 {
+		return fmt.Errorf("no configuration completed")
+	}
+	// Rebuild report caches from the (possibly checkpoint-loaded) stats so
+	// the table matches the single-pass sweep byte for byte.
+	first := sweep.Results[0]
+	caches := make([]*cache.Cache, 0, len(sweep.Results))
+	for _, r := range sweep.Results {
+		c := cache.New(r.Config)
+		c.S = r.CacheStats
+		caches = append(caches, c)
+	}
+	if len(cfgs) == 1 {
+		report(out, w.Name, first.Insns, first.GCInsns, first.Checksum,
+			sweep.Collector, first.GCStats, caches[0], first.Config, opts.verbose)
+	} else {
+		sweepHeader(out, w.Name, sweep.Collector, first.GCStats, first.Checksum, first.Insns, first.GCInsns)
+		reportTable(out, caches, first.Insns, opts.verbose)
+	}
+	if n := len(sweep.Failures); n > 0 {
+		return fmt.Errorf("%d of %d configurations failed", n, len(cfgs))
+	}
+	return nil
+}
+
+func runFile(ctx context.Context, out io.Writer, path string, col gc.Collector, cfgs []cache.Config, verbose bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -236,12 +359,18 @@ func runFile(out io.Writer, path string, col gc.Collector, cfgs []cache.Config, 
 		tracer = bank
 	}
 	m := vm.NewLoaded(tracer, col)
+	m.VerifyHeap = core.VerifyHeapEnabled()
+	stop := context.AfterFunc(ctx, m.Interrupt)
+	defer stop()
 	v, err := m.Eval(string(src))
 	if par != nil {
 		par.Drain()
 		bank = par.Bank()
 	}
 	if err != nil {
+		if errors.Is(err, vm.ErrInterrupted) && ctx.Err() != nil {
+			err = fmt.Errorf("%w: %w", ctx.Err(), err)
+		}
 		return err
 	}
 	if o := m.Output(); o != "" {
@@ -253,7 +382,7 @@ func runFile(out io.Writer, path string, col gc.Collector, cfgs []cache.Config, 
 		checksum = scheme.FixnumValue(v)
 	}
 	if len(cfgs) == 1 {
-		report(out, path, m.Insns(), m.GCInsns(), checksum, col, bank.Caches[0], cfgs[0], verbose)
+		report(out, path, m.Insns(), m.GCInsns(), checksum, col.Name(), *col.Stats(), bank.Caches[0], cfgs[0], verbose)
 		return nil
 	}
 	fmt.Fprintf(out, "program:     %s\n", path)
@@ -262,6 +391,15 @@ func runFile(out io.Writer, path string, col gc.Collector, cfgs []cache.Config, 
 	fmt.Fprintf(out, "insns:       %d program + %d collector\n", m.Insns(), m.GCInsns())
 	reportTable(out, bank.Caches, m.Insns(), verbose)
 	return nil
+}
+
+// sweepHeader prints the per-run lines above a multi-configuration table.
+func sweepHeader(out io.Writer, workload, colName string, gcs gc.Stats, checksum int64, insns, gcInsns uint64) {
+	fmt.Fprintf(out, "workload:    %s\n", workload)
+	fmt.Fprintf(out, "collector:   %s (%d collections, %d words copied)\n",
+		colName, gcs.Collections, gcs.CopiedWords)
+	fmt.Fprintf(out, "checksum:    %d\n", checksum)
+	fmt.Fprintf(out, "insns:       %d program + %d collector\n", insns, gcInsns)
 }
 
 // reportTable prints one row per swept configuration.
@@ -282,11 +420,11 @@ func reportTable(out io.Writer, caches []*cache.Cache, insns uint64, verbose boo
 	}
 }
 
-func report(out io.Writer, name string, insns, gcInsns uint64, checksum int64, col gc.Collector, c *cache.Cache, cfg cache.Config, verbose bool) {
+func report(out io.Writer, name string, insns, gcInsns uint64, checksum int64, colName string, gcs gc.Stats, c *cache.Cache, cfg cache.Config, verbose bool) {
 	s := &c.S
 	fmt.Fprintf(out, "workload:    %s\n", name)
 	fmt.Fprintf(out, "collector:   %s (%d collections, %d words copied)\n",
-		col.Name(), col.Stats().Collections, col.Stats().CopiedWords)
+		colName, gcs.Collections, gcs.CopiedWords)
 	fmt.Fprintf(out, "cache:       %v\n", cfg)
 	fmt.Fprintf(out, "checksum:    %d\n", checksum)
 	fmt.Fprintf(out, "insns:       %d program + %d collector\n", insns, gcInsns)

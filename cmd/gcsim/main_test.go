@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -30,7 +31,7 @@ func goldenRun(t *testing.T, parallel int, withTelemetry bool, cfgs []cache.Conf
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := runWorkload(&out, "nbody", 1, col, cfgs, false); err != nil {
+	if err := runWorkload(context.Background(), &out, "nbody", 1, col, cfgs, sweepOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	return out.Bytes(), sess

@@ -10,6 +10,7 @@ package main
 
 import (
 	"compress/gzip"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -63,7 +64,7 @@ func capture(path, workloadName string, scale int, gcName string) {
 	if err != nil {
 		fatal(err)
 	}
-	run, err := core.Run(core.RunSpec{Workload: w, Scale: scale, Collector: col, Tracer: tw})
+	run, err := core.Run(context.Background(), core.RunSpec{Workload: w, Scale: scale, Collector: col, Tracer: tw})
 	if err != nil {
 		fatal(err)
 	}

@@ -27,6 +27,8 @@
 package gcsim
 
 import (
+	"context"
+
 	"gcsim/internal/analysis"
 	"gcsim/internal/cache"
 	"gcsim/internal/core"
@@ -174,12 +176,29 @@ func StyleWorkloads() []*Workload { return workloads.Styles() }
 func WorkloadByName(name string) (*Workload, error) { return workloads.ByName(name) }
 
 // Run executes one simulated program run.
-func Run(spec RunSpec) (*RunResult, error) { return core.Run(spec) }
+func Run(spec RunSpec) (*RunResult, error) { return core.Run(context.Background(), spec) }
+
+// RunContext executes one simulated program run under a context: when ctx
+// is cancelled or its deadline passes, the machine is interrupted at its
+// next call safepoint and the run returns an error matching both ctx.Err()
+// and vm.ErrInterrupted.
+func RunContext(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	return core.Run(ctx, spec)
+}
 
 // RunSweep runs a workload once against a bank of cache configurations.
 func RunSweep(w *Workload, scale int, col Collector, cfgs []CacheConfig) (*SweepResult, error) {
-	return core.RunSweep(w, scale, col, cfgs)
+	return core.RunSweep(context.Background(), w, scale, col, cfgs)
 }
+
+// RunSweepContext is RunSweep under a cancellable context.
+func RunSweepContext(ctx context.Context, w *Workload, scale int, col Collector, cfgs []CacheConfig) (*SweepResult, error) {
+	return core.RunSweep(ctx, w, scale, col, cfgs)
+}
+
+// SetVerifyHeap enables post-collection heap-invariant verification (see
+// gc.Verify) on every subsequent run.
+func SetVerifyHeap(on bool) { core.SetVerifyHeap(on) }
 
 // Experiments returns the registry of paper tables and figures, in paper
 // order.

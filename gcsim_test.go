@@ -1,6 +1,7 @@
 package gcsim
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -62,7 +63,7 @@ func TestFacadeWorkloadsAndExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(ExpConfig{Quick: true})
+	res, err := e.Run(context.Background(), ExpConfig{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestRunBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Run(RunSpec{Workload: w, Scale: w.SmallScale})
+	r, err := Run(context.Background(), RunSpec{Workload: w, Scale: w.SmallScale})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestRunSweepConsistency(t *testing.T) {
 		{SizeBytes: 32 << 10, BlockBytes: 64, Policy: cache.WriteValidate},
 		{SizeBytes: 1 << 20, BlockBytes: 64, Policy: cache.WriteValidate},
 	}
-	s, err := RunSweep(w, w.SmallScale, nil, cfgs)
+	s, err := RunSweep(context.Background(), w, w.SmallScale, nil, cfgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +72,11 @@ func TestRunSweepConsistency(t *testing.T) {
 func TestGCOverheadVsBaseline(t *testing.T) {
 	w, _ := workloads.ByName("tc")
 	cfgs := gcSweepConfigs()
-	base, err := RunSweep(w, w.SmallScale, nil, cfgs)
+	base, err := RunSweep(context.Background(), w, w.SmallScale, nil, cfgs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	col, err := RunSweep(w, w.SmallScale, gc.NewCheney(64<<10), cfgs)
+	col, err := RunSweep(context.Background(), w, w.SmallScale, gc.NewCheney(64<<10), cfgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			r, err := e.Run(ExpConfig{Quick: true})
+			r, err := e.Run(context.Background(), ExpConfig{Quick: true})
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
@@ -140,7 +141,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 }
 
 func TestT2MatchesTimingModel(t *testing.T) {
-	r, err := expT2(ExpConfig{})
+	r, err := expT2(context.Background(), ExpConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gcsim/internal/analysis"
@@ -20,14 +21,14 @@ const (
 // expF3 reproduces the Section 7 cache-miss sweep plot for tc (orbit):
 // miss events as a function of time and cache block, where linear
 // allocation appears as broken diagonal lines.
-func expF3(cfg ExpConfig) (*ExpResult, error) {
+func expF3(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
 	w, err := workloads.ByName("tc")
 	if err != nil {
 		return nil, err
 	}
 	scale := cfg.scaleFor(w.DefaultScale/4, w.SmallScale) // a short run, as in the paper's plot
 	// First pass: count references so the plot's time axis can be sized.
-	pre, err := Run(RunSpec{Workload: w, Scale: scale})
+	pre, err := Run(ctx, RunSpec{Workload: w, Scale: scale})
 	if err != nil {
 		return nil, err
 	}
@@ -35,7 +36,7 @@ func expF3(cfg ExpConfig) (*ExpResult, error) {
 		Policy: cache.WriteValidate})
 	sweep := plot.NewSweep(pre.Refs(), c.Config().NumBlocks(), 100, 32)
 	c.OnMiss(sweep.Add)
-	if _, err := Run(RunSpec{Workload: w, Scale: scale, Tracer: c}); err != nil {
+	if _, err := Run(ctx, RunSpec{Workload: w, Scale: scale, Tracer: c}); err != nil {
 		return nil, err
 	}
 	res := newResult()
@@ -54,14 +55,14 @@ func expF3(cfg ExpConfig) (*ExpResult, error) {
 
 // behaviourReports runs every workload under the Section 7 analyzer,
 // memoized per configuration.
-func behaviourReports(cfg ExpConfig) (map[string]*analysis.Report, error) {
+func behaviourReports(ctx context.Context, cfg ExpConfig) (map[string]*analysis.Report, error) {
 	if cached, ok := behaviourCache[cfg]; ok {
 		return cached, nil
 	}
 	out := map[string]*analysis.Report{}
 	for _, w := range workloads.All() {
 		b := analysis.New(behaviourCacheBytes, behaviourBlockBytes)
-		if _, err := Run(RunSpec{
+		if _, err := Run(ctx, RunSpec{
 			Workload: w, Scale: cfg.scaleFor(w.DefaultScale, w.SmallScale), Behaviour: b,
 		}); err != nil {
 			return nil, err
@@ -77,8 +78,8 @@ var behaviourCache = map[ExpConfig]map[string]*analysis.Report{}
 // expF4 reproduces the Section 7 lifetime figure: the cumulative
 // distribution of dynamic-block lifetimes per program, with the
 // one-cycle-block fraction marked for a 64 KB cache.
-func expF4(cfg ExpConfig) (*ExpResult, error) {
-	reports, err := behaviourReports(cfg)
+func expF4(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
+	reports, err := behaviourReports(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -106,8 +107,8 @@ func expF4(cfg ExpConfig) (*ExpResult, error) {
 // expT3 reproduces the Section 7 behaviour statistics: references per
 // dynamic block (the paper's mode is 32-63), busy-block counts and their
 // share of references, and the activity of multi-cycle blocks.
-func expT3(cfg ExpConfig) (*ExpResult, error) {
-	reports, err := behaviourReports(cfg)
+func expT3(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
+	reports, err := behaviourReports(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +155,7 @@ func expT3(cfg ExpConfig) (*ExpResult, error) {
 // expF5 reproduces the Section 7 cache-activity graphs: per-cache-block
 // local miss ratios with the cumulative miss-ratio curve, for tc at 64 KB
 // and 128 KB, prover at 64 KB (the thrash candidate), and match at 64 KB.
-func expF5(cfg ExpConfig) (*ExpResult, error) {
+func expF5(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
 	res := newResult()
 	cases := []struct {
 		workload string
@@ -173,7 +174,7 @@ func expF5(cfg ExpConfig) (*ExpResult, error) {
 		c := cache.New(cache.Config{SizeBytes: cse.bytes, BlockBytes: behaviourBlockBytes,
 			Policy: cache.WriteValidate})
 		c.EnableBlockStats()
-		if _, err := Run(RunSpec{
+		if _, err := Run(ctx, RunSpec{
 			Workload: w, Scale: cfg.scaleFor(w.DefaultScale, w.SmallScale), Tracer: c,
 		}); err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gcsim/internal/cache"
@@ -11,16 +12,16 @@ import (
 // expT1 reproduces the Section 3 table: program size, bytes allocated,
 // instructions executed, and data references, for each test program run
 // without garbage collection.
-func expT1(cfg ExpConfig) (*ExpResult, error) {
+func expT1(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
 	res := newResult()
 	res.printf("Section 3 program table (no collection)\n")
 	res.printf("%-8s %-8s %6s %10s %14s %14s\n",
 		"program", "paper", "lines", "alloc", "insns", "refs")
 	ws := workloads.All()
 	runs := make([]*RunResult, len(ws))
-	if err := forEachPar(len(ws), func(i int) error {
+	if err := forEachPar(ctx, len(ws), func(i int) error {
 		w := ws[i]
-		run, err := Run(RunSpec{Workload: w, Scale: cfg.scaleFor(w.DefaultScale, w.SmallScale)})
+		run, err := Run(ctx, RunSpec{Workload: w, Scale: cfg.scaleFor(w.DefaultScale, w.SmallScale)})
 		runs[i] = run
 		return err
 	}); err != nil {
@@ -41,7 +42,7 @@ func expT1(cfg ExpConfig) (*ExpResult, error) {
 
 // expT2 reproduces the Section 5 miss-penalty table, computed from the
 // Przybylski memory model for both hypothetical processors.
-func expT2(ExpConfig) (*ExpResult, error) {
+func expT2(ctx context.Context, _ ExpConfig) (*ExpResult, error) {
 	res := newResult()
 	res.printf("Section 5 miss penalties (Przybylski memory: %d+%dns, %dns/%db)\n",
 		cache.MemSetupNs, cache.MemAccessNs, cache.MemTransferNs, cache.TransferUnit)
@@ -69,7 +70,7 @@ func expT2(ExpConfig) (*ExpResult, error) {
 // size × block grid under BOTH write policies, so F1, F1b, and F1c share
 // one pass. Results are memoized per config so a gcbench run does the
 // expensive sweep only once.
-func controlSweeps(cfg ExpConfig) ([]*SweepResult, error) {
+func controlSweeps(ctx context.Context, cfg ExpConfig) ([]*SweepResult, error) {
 	if cached, ok := sweepCache[cfg]; ok {
 		return cached, nil
 	}
@@ -77,8 +78,8 @@ func controlSweeps(cfg ExpConfig) ([]*SweepResult, error) {
 		cache.SweepConfigs(cache.FetchOnWrite)...)
 	ws := workloads.All()
 	out := make([]*SweepResult, len(ws))
-	if err := forEachPar(len(ws), func(i int) error {
-		s, err := RunSweep(ws[i], cfg.scaleFor(ws[i].DefaultScale, ws[i].SmallScale), nil, cfgs)
+	if err := forEachPar(ctx, len(ws), func(i int) error {
+		s, err := RunSweep(ctx, ws[i], cfg.scaleFor(ws[i].DefaultScale, ws[i].SmallScale), nil, cfgs)
 		out[i] = s
 		return err
 	}); err != nil {
@@ -102,8 +103,8 @@ func avgOverhead(sweeps []*SweepResult, p cache.Processor, cfg cache.Config) flo
 // expF1 reproduces the Section 5 figure: average cache overhead across
 // the programs, for every cache size, block size, and processor, with no
 // collection and a write-validate policy.
-func expF1(cfg ExpConfig) (*ExpResult, error) {
-	sweeps, err := controlSweeps(cfg)
+func expF1(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
+	sweeps, err := controlSweeps(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -176,8 +177,8 @@ func monotonicity(metrics map[string]float64) (sizeViolations, blockViolations i
 
 // expF1b reproduces the Section 5 write-policy comparison: the extra
 // overhead fetch-on-write adds over write-validate.
-func expF1b(cfg ExpConfig) (*ExpResult, error) {
-	sweeps, err := controlSweeps(cfg)
+func expF1b(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
+	sweeps, err := controlSweeps(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -208,8 +209,8 @@ func expF1b(cfg ExpConfig) (*ExpResult, error) {
 
 // expF1c reproduces the Section 5 remark on write overheads: the cost of
 // write-back traffic is small.
-func expF1c(cfg ExpConfig) (*ExpResult, error) {
-	sweeps, err := controlSweeps(cfg)
+func expF1c(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
+	sweeps, err := controlSweeps(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gcsim/internal/cache"
@@ -23,7 +24,7 @@ import (
 
 // expX1 compares direct-mapped against 2- and 4-way set-associative
 // caches of the same size.
-func expX1(cfg ExpConfig) (*ExpResult, error) {
+func expX1(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
 	res := newResult()
 	res.printf("X1: associativity vs the paper's direct-mapped caches (64b blocks, write-validate)\n\n")
 	var cfgs []cache.AssocConfig
@@ -41,9 +42,9 @@ func expX1(cfg ExpConfig) (*ExpResult, error) {
 	res.printf("\n")
 	ws := workloads.All()
 	banks := make([]*cache.AssocBank, len(ws))
-	if err := forEachPar(len(ws), func(i int) error {
+	if err := forEachPar(ctx, len(ws), func(i int) error {
 		banks[i] = cache.NewAssocBank(cfgs)
-		_, err := Run(RunSpec{
+		_, err := Run(ctx, RunSpec{
 			Workload: ws[i], Scale: cfg.scaleFor(ws[i].DefaultScale, ws[i].SmallScale),
 			Tracer: banks[i],
 		})
@@ -86,7 +87,7 @@ func expX1(cfg ExpConfig) (*ExpResult, error) {
 
 // expX2 runs each program against a 32 KB L1 + 1 MB L2 hierarchy and
 // compares the combined overhead against the single-level alternatives.
-func expX2(cfg ExpConfig) (*ExpResult, error) {
+func expX2(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
 	res := newResult()
 	hcfg := cache.HierarchyConfig{
 		L1:          cache.Config{SizeBytes: 32 << 10, BlockBytes: 64, Policy: cache.WriteValidate},
@@ -100,10 +101,10 @@ func expX2(cfg ExpConfig) (*ExpResult, error) {
 	hs := make([]*cache.Hierarchy, len(ws))
 	hbanks := make([]*cache.Bank, len(ws))
 	hruns := make([]*RunResult, len(ws))
-	if err := forEachPar(len(ws), func(i int) error {
+	if err := forEachPar(ctx, len(ws), func(i int) error {
 		hs[i] = cache.NewHierarchy(hcfg)
 		hbanks[i] = cache.NewBank([]cache.Config{hcfg.L1, hcfg.L2})
-		run, err := Run(RunSpec{
+		run, err := Run(ctx, RunSpec{
 			Workload: ws[i], Scale: cfg.scaleFor(ws[i].DefaultScale, ws[i].SmallScale),
 			Tracer: MultiTracer{hs[i], hbanks[i]},
 		})
@@ -149,12 +150,14 @@ const (
 	remediedPadWords = collidePadWords + 64
 )
 
-func runThrash(padWords, iters int) (*vm.Machine, *cache.Cache, int64, error) {
+func runThrash(ctx context.Context, padWords, iters int) (*vm.Machine, *cache.Cache, int64, error) {
 	w := workloads.Thrash()
 	c := cache.New(cache.Config{SizeBytes: 64 << 10, BlockBytes: 64, Policy: cache.WriteValidate})
 	c.EnableBlockStats()
 	m := vm.NewLoaded(c, nil)
 	m.MaxInsns = maxRunInsns
+	stop := context.AfterFunc(ctx, m.Interrupt)
+	defer stop()
 	if err := w.Load(m); err != nil {
 		return nil, nil, 0, err
 	}
@@ -169,15 +172,15 @@ func runThrash(padWords, iters int) (*vm.Machine, *cache.Cache, int64, error) {
 }
 
 // expX3 reproduces the thrash worst case and its static remedy.
-func expX3(cfg ExpConfig) (*ExpResult, error) {
+func expX3(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
 	iters := cfg.scaleFor(20000, 1000)
 	res := newResult()
 	res.printf("X3: busy-block thrashing and the paper's static remedy (64k cache, 64b blocks)\n\n")
-	_, colC, colSum, err := runThrash(collidePadWords, iters)
+	_, colC, colSum, err := runThrash(ctx, collidePadWords, iters)
 	if err != nil {
 		return nil, err
 	}
-	_, remC, remSum, err := runThrash(remediedPadWords, iters)
+	_, remC, remSum, err := runThrash(ctx, remediedPadWords, iters)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +213,7 @@ func expX3(cfg ExpConfig) (*ExpResult, error) {
 // (the paper's ΔI_prog); mark-sweep never moves objects, so its ΔI_prog
 // from rehashing is zero — at the price of fragmentation and the loss of
 // the linear allocation wave.
-func expX4(cfg ExpConfig) (*ExpResult, error) {
+func expX4(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
 	w, err := workloads.ByName("prover")
 	if err != nil {
 		return nil, err
@@ -219,7 +222,7 @@ func expX4(cfg ExpConfig) (*ExpResult, error) {
 	res := newResult()
 	res.printf("X4: compacting (Cheney) vs non-moving (mark-sweep) collection on prover\n\n")
 
-	base, err := RunSweep(w, scale, nil, gcSweepConfigs())
+	base, err := RunSweep(ctx, w, scale, nil, gcSweepConfigs())
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +237,7 @@ func expX4(cfg ExpConfig) (*ExpResult, error) {
 		func() gc.Collector { return gc.NewMarkSweep(2 * heapBytes) },
 	} {
 		col := mk()
-		run, err := RunSweep(w, scale, col, gcSweepConfigs())
+		run, err := RunSweep(ctx, w, scale, col, gcSweepConfigs())
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gcsim/internal/cache"
@@ -31,14 +32,14 @@ type gcRunPair struct {
 // runGCPair runs a workload without collection and with the given
 // collector over the Section 6 bank. The two runs are independent
 // simulations and execute concurrently under the experiment worker pool.
-func runGCPair(w *workloads.Workload, scale int, mk func() gc.Collector) (*gcRunPair, error) {
+func runGCPair(ctx context.Context, w *workloads.Workload, scale int, mk func() gc.Collector) (*gcRunPair, error) {
 	var base, col *SweepResult
-	if err := forEachPar(2, func(i int) error {
+	if err := forEachPar(ctx, 2, func(i int) error {
 		var err error
 		if i == 0 {
-			base, err = RunSweep(w, scale, nil, gcSweepConfigs())
+			base, err = RunSweep(ctx, w, scale, nil, gcSweepConfigs())
 		} else {
-			col, err = RunSweep(w, scale, mk(), gcSweepConfigs())
+			col, err = RunSweep(ctx, w, scale, mk(), gcSweepConfigs())
 		}
 		return err
 	}); err != nil {
@@ -60,14 +61,14 @@ func (pr *gcRunPair) overhead(p cache.Processor, sizeBytes int) float64 {
 // the programs under an infrequently-run Cheney semispace collector. The
 // paper plots tc (orbit), nbody, and match (gambit); prover (imps) is
 // noted as thrash-variable, and lambda (lp) as uniformly >= 40%.
-func expF2(cfg ExpConfig) (*ExpResult, error) {
+func expF2(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
 	res := newResult()
 	res.printf("Section 6 figure: O_gc with the Cheney semispace collector (64b blocks)\n")
 	res.printf("semispace size: %s\n\n", cache.FormatSize(cheneySemispaceBytes))
 	ws := workloads.All()
 	pairs := make([]*gcRunPair, len(ws))
-	if err := forEachPar(len(ws), func(i int) error {
-		pair, err := runGCPair(ws[i], cfg.scaleFor(ws[i].DefaultScale, ws[i].SmallScale),
+	if err := forEachPar(ctx, len(ws), func(i int) error {
+		pair, err := runGCPair(ctx, ws[i], cfg.scaleFor(ws[i].DefaultScale, ws[i].SmallScale),
 			func() gc.Collector { return gc.NewCheney(cheneySemispaceBytes) })
 		pairs[i] = pair
 		return err
@@ -112,7 +113,7 @@ func expF2(cfg ExpConfig) (*ExpResult, error) {
 // expF2b reproduces the Section 6 argument that a simple generational
 // collector fixes lp's problem: the generational collector copies the
 // long-lived structure far less often than the Cheney collector.
-func expF2b(cfg ExpConfig) (*ExpResult, error) {
+func expF2b(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
 	w, err := workloads.ByName("lambda")
 	if err != nil {
 		return nil, err
@@ -120,11 +121,11 @@ func expF2b(cfg ExpConfig) (*ExpResult, error) {
 	scale := cfg.scaleFor(w.DefaultScale, w.SmallScale)
 	res := newResult()
 	res.printf("Section 6: lambda (lp analog) under Cheney vs generational collection\n\n")
-	cheney, err := runGCPair(w, scale, func() gc.Collector { return gc.NewCheney(cheneySemispaceBytes) })
+	cheney, err := runGCPair(ctx, w, scale, func() gc.Collector { return gc.NewCheney(cheneySemispaceBytes) })
 	if err != nil {
 		return nil, err
 	}
-	gen, err := runGCPair(w, scale, func() gc.Collector {
+	gen, err := runGCPair(ctx, w, scale, func() gc.Collector {
 		return gc.NewGenerational(256<<10, 4<<20)
 	})
 	if err != nil {
@@ -150,7 +151,7 @@ func expF2b(cfg ExpConfig) (*ExpResult, error) {
 // cache-sized-nursery collector costs more than an infrequently-run
 // generational collector — even though it may trim cache misses, the
 // extra copying dominates.
-func expF2c(cfg ExpConfig) (*ExpResult, error) {
+func expF2c(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
 	w, err := workloads.ByName("tc")
 	if err != nil {
 		return nil, err
@@ -158,13 +159,13 @@ func expF2c(cfg ExpConfig) (*ExpResult, error) {
 	scale := cfg.scaleFor(w.DefaultScale, w.SmallScale)
 	res := newResult()
 	res.printf("Section 6: infrequent generational vs aggressive (cache-sized nursery)\n\n")
-	gen, err := runGCPair(w, scale, func() gc.Collector {
+	gen, err := runGCPair(ctx, w, scale, func() gc.Collector {
 		return gc.NewGenerational(256<<10, 4<<20)
 	})
 	if err != nil {
 		return nil, err
 	}
-	agg, err := runGCPair(w, scale, func() gc.Collector {
+	agg, err := runGCPair(ctx, w, scale, func() gc.Collector {
 		return gc.NewAggressive(32<<10, 4<<20)
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gcsim/internal/cache"
@@ -23,17 +24,17 @@ import (
 //   - whether allocation beats mutation in total time then depends on the
 //     processor's miss penalty, as the conjecture says ("on machines where
 //     cache performance can have a significant impact").
-func expE8(cfg ExpConfig) (*ExpResult, error) {
+func expE8(ctx context.Context, cfg ExpConfig) (*ExpResult, error) {
 	pair := workloads.Styles()
 	functional, imperative := pair[0], pair[1]
 	scale := cfg.scaleFor(functional.DefaultScale, functional.SmallScale)
 
 	cfgs := gcSweepConfigs() // sizes x 64b, write-validate
-	fn, err := RunSweep(functional, scale, nil, cfgs)
+	fn, err := RunSweep(ctx, functional, scale, nil, cfgs)
 	if err != nil {
 		return nil, err
 	}
-	imp, err := RunSweep(imperative, scale, nil, cfgs)
+	imp, err := RunSweep(ctx, imperative, scale, nil, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +44,7 @@ func expE8(cfg ExpConfig) (*ExpResult, error) {
 	}
 	// The functional program needs a collector in practice; include its
 	// O_gc under the recommended infrequent generational collector.
-	fnGC, err := runGCPair(functional, scale, func() gc.Collector {
+	fnGC, err := runGCPair(ctx, functional, scale, func() gc.Collector {
 		return gc.NewGenerational(256<<10, 4<<20)
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,8 +13,9 @@ type Experiment struct {
 	ID string
 	// Title names the paper artifact being reproduced.
 	Title string
-	// Run executes the experiment.
-	Run func(cfg ExpConfig) (*ExpResult, error)
+	// Run executes the experiment. Cancelling the context interrupts the
+	// running machines at their next safepoint and aborts the experiment.
+	Run func(ctx context.Context, cfg ExpConfig) (*ExpResult, error)
 }
 
 // ExpConfig controls experiment size.

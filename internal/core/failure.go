@@ -1,0 +1,24 @@
+package core
+
+import "fmt"
+
+// RunFailure records one cache configuration that could not be completed
+// during a per-config sweep: which combination failed, how many attempts
+// were made, the final error, and (for panics) the goroutine stack. A
+// sweep with failures degrades — the surviving configurations' results are
+// still delivered — instead of dying.
+type RunFailure struct {
+	Workload  string
+	Collector string
+	Config    string // cache.Config.String()
+	Attempts  int
+	Err       error
+	Stack     string // non-empty when the final attempt panicked
+}
+
+func (f *RunFailure) Error() string {
+	return fmt.Sprintf("core: %s/%s/%s failed after %d attempts: %v",
+		f.Workload, f.Collector, f.Config, f.Attempts, f.Err)
+}
+
+func (f *RunFailure) Unwrap() error { return f.Err }

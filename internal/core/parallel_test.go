@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -39,7 +40,7 @@ func TestParallelBankGoldenEquivalence(t *testing.T) {
 		i := i
 		c.OnMiss(func(e cache.MissEvent) { serialEvents[i] = append(serialEvents[i], e) })
 	}
-	sRun, err := Run(RunSpec{Workload: w, Scale: w.SmallScale,
+	sRun, err := Run(context.Background(), RunSpec{Workload: w, Scale: w.SmallScale,
 		Collector: gc.NewCheney(256 << 10), Tracer: serial})
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +53,7 @@ func TestParallelBankGoldenEquivalence(t *testing.T) {
 		// Runs on cache i's worker goroutine; read only after Drain.
 		c.OnMiss(func(e cache.MissEvent) { parEvents[i] = append(parEvents[i], e) })
 	}
-	pRun, err := Run(RunSpec{Workload: w, Scale: w.SmallScale,
+	pRun, err := Run(context.Background(), RunSpec{Workload: w, Scale: w.SmallScale,
 		Collector: gc.NewCheney(256 << 10), Tracer: par})
 	par.Drain()
 	if err != nil {
@@ -98,12 +99,12 @@ func TestRunSweepParallelMatchesSerial(t *testing.T) {
 	defer SetParallelism(old)
 
 	SetParallelism(1)
-	serial, err := RunSweep(w, w.SmallScale, nil, goldenConfigs())
+	serial, err := RunSweep(context.Background(), w, w.SmallScale, nil, goldenConfigs())
 	if err != nil {
 		t.Fatal(err)
 	}
 	SetParallelism(4)
-	par, err := RunSweep(w, w.SmallScale, nil, goldenConfigs())
+	par, err := RunSweep(context.Background(), w, w.SmallScale, nil, goldenConfigs())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestBehaviourBatchMatchesPerRef(t *testing.T) {
 		t.Fatal(err)
 	}
 	batched := analysis.New(64<<10, 64)
-	if _, err := Run(RunSpec{Workload: w, Scale: w.SmallScale, Behaviour: batched}); err != nil {
+	if _, err := Run(context.Background(), RunSpec{Workload: w, Scale: w.SmallScale, Behaviour: batched}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -157,7 +158,7 @@ func TestForEachParBoundsAndErrors(t *testing.T) {
 
 	SetParallelism(3)
 	wantErr := errors.New("boom")
-	got := forEachPar(8, func(i int) error {
+	got := forEachPar(context.Background(), 8, func(i int) error {
 		if i == 5 {
 			return wantErr
 		}
@@ -169,7 +170,7 @@ func TestForEachParBoundsAndErrors(t *testing.T) {
 
 	SetParallelism(1)
 	order := []int{}
-	if err := forEachPar(4, func(i int) error {
+	if err := forEachPar(context.Background(), 4, func(i int) error {
 		order = append(order, i)
 		return nil
 	}); err != nil {

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"gcsim/internal/cache"
+	"gcsim/internal/gc"
+	"gcsim/internal/workloads"
+)
+
+// The resilient per-config sweep. The fast path (RunSweep) simulates every
+// cache configuration against one shared reference stream in a single
+// pass: maximally efficient, but all-or-nothing — an interrupt or a panic
+// loses the whole sweep. This file trades that single pass for fault
+// tolerance: each configuration becomes an independent run (same workload,
+// fresh collector), so results land one at a time, can be checkpointed as
+// they finish, and a failure burns one configuration instead of the sweep.
+// Determinism makes the two modes equivalent: the VM issues the identical
+// reference stream every run, and per-cache statistics depend only on that
+// stream, so a per-config sweep's statistics are bitwise-identical to the
+// single-pass bank's.
+
+// PerConfigSweepOpts configures RunSweepPerConfig.
+type PerConfigSweepOpts struct {
+	// MakeCollector builds a fresh collector for each attempt. Collectors
+	// hold per-run state, so they cannot be shared across runs.
+	MakeCollector func() gc.Collector
+	// Retries is how many times a failed configuration is re-attempted
+	// before it is recorded as a RunFailure (0 = one attempt only).
+	// Cancellation is never retried.
+	Retries int
+	// Checkpoint, if non-nil, persists each configuration's result as it
+	// completes.
+	Checkpoint *Checkpoint
+	// Resume skips configurations already present in Checkpoint.
+	Resume bool
+	// OnResult, if non-nil, observes each result as it is committed
+	// (freshly computed results only, not ones loaded from checkpoints).
+	OnResult func(ConfigResult)
+}
+
+// PerConfigSweep is the outcome of a resilient sweep: one result per
+// completed configuration (in input order) plus the failures.
+type PerConfigSweep struct {
+	Workload  string
+	Scale     int
+	Collector string
+	Results   []ConfigResult
+	Failures  []*RunFailure
+}
+
+// Result returns the completed result for cfg, if any.
+func (s *PerConfigSweep) Result(cfg cache.Config) (ConfigResult, bool) {
+	for _, r := range s.Results {
+		if r.Config == cfg {
+			return r, true
+		}
+	}
+	return ConfigResult{}, false
+}
+
+// RunSweepPerConfig runs one workload/collector pair against each cache
+// configuration as an independent simulation, bounded by Parallelism().
+// Failed configurations (after the retry budget) are collected in
+// Failures rather than aborting the sweep; cancellation aborts promptly
+// and returns the context error alongside whatever completed. When every
+// attempted configuration completed, the error is nil even if earlier
+// sweeps left failures — callers decide how to present partial coverage.
+func RunSweepPerConfig(ctx context.Context, w *workloads.Workload, scale int, cfgs []cache.Config, opts PerConfigSweepOpts) (*PerConfigSweep, error) {
+	if opts.MakeCollector == nil {
+		opts.MakeCollector = func() gc.Collector { return nil } // Run substitutes NoGC
+	}
+	if scale == 0 {
+		scale = w.DefaultScale
+	}
+	colName := "none"
+	if col := opts.MakeCollector(); col != nil {
+		colName = col.Name()
+	}
+	sweep := &PerConfigSweep{Workload: w.Name, Scale: scale, Collector: colName}
+
+	results := make([]*ConfigResult, len(cfgs))
+	failures := make([]*RunFailure, len(cfgs))
+	var todo []int
+	for i, cfg := range cfgs {
+		if opts.Resume && opts.Checkpoint != nil {
+			res, ok, err := opts.Checkpoint.Load(w.Name, scale, colName, cfg)
+			if err != nil {
+				return sweep, err
+			}
+			if ok {
+				results[i] = &res
+				continue
+			}
+		}
+		todo = append(todo, i)
+	}
+
+	err := forEachPar(ctx, len(todo), func(ti int) error {
+		i := todo[ti]
+		cfg := cfgs[i]
+		var lastErr error
+		for attempt := 1; attempt <= 1+opts.Retries; attempt++ {
+			res, err := runOneConfig(ctx, w, scale, opts.MakeCollector(), cfg)
+			if err == nil {
+				if opts.Checkpoint != nil {
+					if cerr := opts.Checkpoint.Save(w.Name, scale, colName, res); cerr != nil {
+						return cerr
+					}
+				}
+				results[i] = &res
+				if opts.OnResult != nil {
+					opts.OnResult(res)
+				}
+				return nil
+			}
+			lastErr = err
+			// Cancellation is not a per-config failure: abort the sweep.
+			if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+			progress().Printf("config %s attempt %d/%d failed: %v", cfg, attempt, 1+opts.Retries, err)
+		}
+		f := &RunFailure{
+			Workload:  w.Name,
+			Collector: colName,
+			Config:    cfg.String(),
+			Attempts:  1 + opts.Retries,
+			Err:       lastErr,
+		}
+		var pe *PanicError
+		if errors.As(lastErr, &pe) {
+			f.Stack = pe.Stack
+		}
+		failures[i] = f
+		return nil // a failed config degrades the sweep, it does not kill it
+	})
+
+	for _, r := range results {
+		if r != nil {
+			sweep.Results = append(sweep.Results, *r)
+		}
+	}
+	for _, f := range failures {
+		if f != nil {
+			sweep.Failures = append(sweep.Failures, f)
+		}
+	}
+	if err != nil {
+		return sweep, err
+	}
+	if err := sweep.checkConsistency(); err != nil {
+		return sweep, err
+	}
+	return sweep, nil
+}
+
+// runOneConfig performs one attempt, isolating panics so a crash in the
+// simulator (or a collector bug tripping the heap verifier's hard
+// assertions) burns only this attempt.
+func runOneConfig(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, cfg cache.Config) (res ConfigResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	sw, err := RunSweep(ctx, w, scale, col, []cache.Config{cfg})
+	if err != nil {
+		return ConfigResult{}, err
+	}
+	return ConfigResult{
+		Config:     cfg,
+		CacheStats: sw.Stats[cfg],
+		Checksum:   sw.Run.Checksum,
+		Insns:      sw.Run.Insns,
+		GCInsns:    sw.Run.GCInsns,
+		GCStats:    sw.Run.GCStats,
+	}, nil
+}
+
+// checkConsistency cross-checks the per-config runs: the VM is
+// deterministic, so every run of the same workload/scale/collector must
+// produce the same checksum and instruction counts. A mismatch means a
+// checkpoint from a different build or workload version leaked in.
+func (s *PerConfigSweep) checkConsistency() error {
+	if len(s.Results) < 2 {
+		return nil
+	}
+	first := s.Results[0]
+	for _, r := range s.Results[1:] {
+		if r.Checksum != first.Checksum || r.Insns != first.Insns || r.GCInsns != first.GCInsns {
+			return fmt.Errorf("core: inconsistent per-config results for %s/%s: config %s ran (checksum %d, insns %d) but %s ran (checksum %d, insns %d) — stale checkpoint?",
+				s.Workload, s.Collector, first.Config, first.Checksum, first.Insns,
+				r.Config, r.Checksum, r.Insns)
+		}
+	}
+	return nil
+}

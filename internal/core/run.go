@@ -5,7 +5,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"gcsim/internal/analysis"
@@ -21,6 +24,17 @@ import (
 // maxRunInsns bounds any single simulated run, as a guard against runaway
 // programs; the largest default-scale run uses well under this.
 const maxRunInsns = 50_000_000_000
+
+// verifyHeap, when set, makes every Run check the heap invariants after
+// each collection (see gc.Verify). CLIs plumb their -verify-heap flag here.
+var verifyHeap atomic.Bool
+
+// SetVerifyHeap enables or disables post-collection heap verification for
+// subsequent runs.
+func SetVerifyHeap(on bool) { verifyHeap.Store(on) }
+
+// VerifyHeapEnabled reports the current setting.
+func VerifyHeapEnabled() bool { return verifyHeap.Load() }
 
 // MultiTracer fans references out to several tracers (e.g. a cache bank
 // and a behaviour analyzer). It is batch-aware: it implements
@@ -87,8 +101,20 @@ type RunResult struct {
 // Refs returns the program reference count.
 func (r *RunResult) Refs() uint64 { return r.Counters.Refs() }
 
-// Run executes one workload under the spec and returns its results.
-func Run(spec RunSpec) (*RunResult, error) {
+// Run executes one workload under the spec and returns its results. The
+// context cancels the run: when ctx is done, the machine is interrupted at
+// its next call safepoint, workers drain cleanly, and the returned error
+// matches both ctx.Err() and vm.ErrInterrupted under errors.Is.
+//
+// On failure the *RunResult is usually nil, but when a telemetry session
+// is enabled an interrupted or failed run still produces a partial result
+// carrying a schema-valid record (Status "interrupted" or "failed") with
+// whatever the machine had done by then, so callers can persist evidence
+// of partial progress.
+func Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	col := spec.Collector
 	if col == nil {
 		col = gc.NewNoGC()
@@ -103,6 +129,9 @@ func Run(spec RunSpec) (*RunResult, error) {
 	}
 	m := vm.NewLoaded(tracer, col)
 	m.MaxInsns = maxRunInsns
+	m.VerifyHeap = verifyHeap.Load()
+	stop := context.AfterFunc(ctx, m.Interrupt)
+	defer stop()
 	if spec.OnMachine != nil {
 		spec.OnMachine(m)
 	}
@@ -141,12 +170,40 @@ func Run(spec RunSpec) (*RunResult, error) {
 	start := time.Now()
 	v, err := spec.Workload.Run(m, spec.Scale)
 	dur := time.Since(start)
-	if err != nil {
-		prog.Printf("run %s gc=%s failed: %v", spec.Workload.Name, col.Name(), err)
-		return nil, err
+	if err == nil && !scheme.IsFixnum(v) {
+		err = fmt.Errorf("core: %s checksum is not a fixnum", spec.Workload.Name)
 	}
-	if !scheme.IsFixnum(v) {
-		return nil, fmt.Errorf("core: %s checksum is not a fixnum", spec.Workload.Name)
+	if err != nil {
+		if errors.Is(err, vm.ErrInterrupted) && ctx.Err() != nil {
+			// Surface the cancellation cause: the error matches both
+			// context.Canceled/DeadlineExceeded and vm.ErrInterrupted.
+			err = fmt.Errorf("%w: %w", ctx.Err(), err)
+		}
+		prog.Printf("run %s gc=%s failed: %v", spec.Workload.Name, col.Name(), err)
+		if sess == nil {
+			return nil, err
+		}
+		// Emit a partial record: everything the machine did up to the
+		// failure point is real, measured work worth persisting.
+		res := &RunResult{
+			Workload:  spec.Workload.Name,
+			Collector: col.Name(),
+			Insns:     m.Insns(),
+			GCInsns:   m.GCInsns(),
+			Counters:  m.Mem.C,
+			GCStats:   *col.Stats(),
+			Machine:   m,
+		}
+		rec := newRunRecord(spec, res, ring, dur, telemetryNs)
+		rec.Label = spec.Label
+		rec.Status = telemetry.StatusFailed
+		if errors.Is(err, vm.ErrInterrupted) {
+			rec.Status = telemetry.StatusInterrupted
+		}
+		rec.Error = err.Error()
+		res.Record = rec
+		sess.Add(rec)
+		return res, err
 	}
 	res := &RunResult{
 		Workload:  spec.Workload.Name,
@@ -183,7 +240,7 @@ type SweepResult struct {
 // configuration consuming the same chunked reference stream — which
 // produces bitwise-identical statistics to the serial bank (each cache
 // still consumes the stream sequentially and in order).
-func RunSweep(w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config) (*SweepResult, error) {
+func RunSweep(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config) (*SweepResult, error) {
 	var (
 		bank   *cache.Bank
 		tracer mem.Tracer
@@ -222,12 +279,20 @@ func RunSweep(w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.C
 			}
 		}
 	}
-	run, err := Run(spec)
+	run, err := Run(ctx, spec)
 	if par != nil {
 		par.Drain() // final barrier, also on error paths
 		bank = par.Bank()
 	}
 	if err != nil {
+		// An interrupted run's partial record still gets its cache results:
+		// the bank has consumed every reference the machine issued, so the
+		// statistics are exact for the truncated reference stream.
+		if run != nil && run.Record != nil {
+			for _, c := range bank.Caches {
+				run.Record.Caches = append(run.Record.Caches, telemetry.CacheRecordOf(c, run.Insns))
+			}
+		}
 		return nil, err
 	}
 	out := &SweepResult{Run: run, Bank: bank, Stats: map[cache.Config]cache.Stats{}}
@@ -235,6 +300,9 @@ func RunSweep(w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.C
 		out.Stats[c.Config()] = c.S
 	}
 	if rec := run.Record; rec != nil {
+		for _, cfg := range cfgs {
+			rec.CompletedConfigs = append(rec.CompletedConfigs, cfg.String())
+		}
 		var snapCount uint64
 		var snapNs int64
 		for _, c := range bank.Caches {

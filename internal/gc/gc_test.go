@@ -16,11 +16,12 @@ type testMutator struct {
 	sp    uint64
 	insns uint64
 	col   Collector
+	env   Env // retained so tests can run the heap verifier
 }
 
 func newMutator(col Collector) *testMutator {
 	t := &testMutator{m: mem.New(nil), sp: mem.StackBase, col: col, regs: make([]scheme.Word, 2)}
-	col.Attach(Env{
+	t.env = Env{
 		Mem: t.m,
 		RegisterRoots: func(visit func(*scheme.Word)) {
 			for i := range t.regs {
@@ -30,7 +31,8 @@ func newMutator(col Collector) *testMutator {
 		StackTop:    func() uint64 { return t.sp },
 		StaticEnd:   func() uint64 { return t.m.StaticNext() },
 		ChargeInsns: func(n uint64) { t.insns += n },
-	})
+	}
+	col.Attach(t.env)
 	return t
 }
 

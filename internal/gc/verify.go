@@ -1,0 +1,283 @@
+package gc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"gcsim/internal/mem"
+	"gcsim/internal/scheme"
+)
+
+// This file implements the post-collection heap-invariant verifier. After a
+// collection the heap must be a well-formed object graph: every allocated
+// extent parses as a sequence of valid headers, no header carries a stale
+// mark bit, and every pointer reachable from the roots, the stack, the
+// static area, or a live object lands on the header of a live object —
+// never in reclaimed space (a fromspace or a free hole), which is exactly
+// the state a collector bug (missed root, bad forward, premature sweep)
+// leaves behind. For mark-sweep the free list must additionally tile the
+// holes it claims to own. Verification reads through Peek so it perturbs
+// neither the reference counters nor the trace stream: a verified run
+// produces bit-identical measurements to an unverified one.
+
+// ErrHeapCorrupt is the sentinel wrapped by every verification failure, so
+// callers can errors.Is-match a corrupt heap however deeply the error is
+// wrapped.
+var ErrHeapCorrupt = errors.New("heap invariant violated")
+
+// VerifyError reports the invariant violations found by one Verify pass.
+type VerifyError struct {
+	Collector  string
+	Violations []string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("gc: %s: %s (%d violations)",
+		e.Collector, strings.Join(e.Violations, "; "), len(e.Violations))
+}
+
+func (e *VerifyError) Unwrap() error { return ErrHeapCorrupt }
+
+// Extent is a half-open span [Base, End) of allocated dynamic words.
+type Extent struct {
+	Base, End uint64
+}
+
+// HeapExtents is implemented by collectors that can report which dynamic
+// spans currently hold allocated objects. Verify walks exactly these spans;
+// a collector that does not implement it cannot be verified.
+type HeapExtents interface {
+	Extents() []Extent
+}
+
+// maxViolations bounds the report: a corrupt heap usually cascades, and the
+// first few violations identify the bug.
+const maxViolations = 8
+
+// Verify checks the heap invariants of an attached collector at a
+// safepoint (typically right after a collection). It returns nil when the
+// heap is sound or when the collector does not expose its extents, and a
+// *VerifyError wrapping ErrHeapCorrupt otherwise.
+func Verify(col Collector, env Env) error {
+	he, ok := col.(HeapExtents)
+	if !ok {
+		return nil
+	}
+	v := &verifier{
+		col:     col,
+		env:     env,
+		extents: he.Extents(),
+		objects: make(map[uint64]scheme.Word),
+	}
+	ms, isMS := col.(*MarkSweep)
+	v.walkExtents(isMS)
+	// Free-list soundness is checked right after the walk so its report is
+	// not crowded out of the bounded violation list by the pointer sweeps
+	// that follow (a broken list usually drags many pointers with it).
+	if isMS {
+		v.checkFreeList(ms)
+	}
+	v.checkRoots()
+	v.checkStack()
+	v.checkStatic()
+	v.checkHeapSlots()
+	if len(v.violations) == 0 {
+		return nil
+	}
+	return &VerifyError{Collector: col.Name(), Violations: v.violations}
+}
+
+type verifier struct {
+	col        Collector
+	env        Env
+	extents    []Extent
+	objects    map[uint64]scheme.Word // header address -> header word
+	freeHoles  int                    // KindFree objects seen during the walk
+	violations []string
+}
+
+func (v *verifier) fail(format string, args ...any) {
+	if len(v.violations) < maxViolations {
+		v.violations = append(v.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// walkExtents parses every extent as a sequence of objects, recording each
+// header so pointer checks can test membership.
+func (v *verifier) walkExtents(allowFree bool) {
+	m := v.env.Mem
+	for _, e := range v.extents {
+		for p := e.Base; p < e.End; {
+			h := m.Peek(p)
+			if !scheme.IsHeader(h) {
+				v.fail("bad header: word %#x at %#x is not a header", uint64(h), p)
+				return // cannot resynchronize the walk
+			}
+			if scheme.IsMarked(h) {
+				v.fail("bad header: stale mark bit at %#x", p)
+			}
+			kind := scheme.HeaderKind(h)
+			if !scheme.KindValid(kind) {
+				v.fail("bad header: invalid kind %d at %#x", uint8(kind), p)
+				return
+			}
+			if kind == scheme.KindFree && !allowFree {
+				v.fail("bad header: free hole at %#x in a compacted heap", p)
+			}
+			size := uint64(objectSize(scheme.WithoutMark(h)))
+			if p+size > e.End {
+				v.fail("bad header: object at %#x (size %d) overruns extent end %#x", p, size, e.End)
+				return
+			}
+			v.objects[p] = scheme.WithoutMark(h)
+			if kind == scheme.KindFree {
+				v.freeHoles++
+			}
+			p += size
+		}
+	}
+}
+
+// checkPtr validates one pointer-bearing slot.
+func (v *verifier) checkPtr(w scheme.Word, where string) {
+	if !scheme.IsPtr(w) {
+		return
+	}
+	addr := scheme.PtrAddr(w)
+	switch mem.RegionOf(addr) {
+	case mem.RegionDynamic:
+		h, live := v.objects[addr]
+		if !live {
+			v.fail("dangling pointer: %s points to %#x, outside every live extent", where, addr)
+			return
+		}
+		if scheme.HeaderKind(h) == scheme.KindFree {
+			v.fail("dangling pointer: %s points to free hole at %#x", where, addr)
+		}
+	case mem.RegionStatic:
+		if addr >= v.env.StaticEnd() {
+			v.fail("dangling pointer: %s points past the static frontier (%#x)", where, addr)
+			return
+		}
+		if !scheme.IsHeader(v.env.Mem.Peek(addr)) {
+			v.fail("dangling pointer: %s points into a static object body (%#x)", where, addr)
+		}
+	default:
+		v.fail("dangling pointer: %s holds a stack address (%#x)", where, addr)
+	}
+}
+
+func (v *verifier) checkRoots() {
+	i := 0
+	v.env.RegisterRoots(func(slot *scheme.Word) {
+		v.checkPtr(*slot, fmt.Sprintf("register root %d", i))
+		i++
+	})
+}
+
+func (v *verifier) checkStack() {
+	m := v.env.Mem
+	top := v.env.StackTop()
+	for a := mem.StackBase; a < top; a++ {
+		v.checkPtr(m.Peek(a), fmt.Sprintf("stack slot %#x", a))
+	}
+}
+
+func (v *verifier) checkStatic() {
+	m := v.env.Mem
+	end := v.env.StaticEnd()
+	for p := mem.StaticBase; p < end; {
+		h := m.Peek(p)
+		if !scheme.IsHeader(h) {
+			v.fail("bad header: static word at %#x is not a header", p)
+			return
+		}
+		size := uint64(objectSize(h))
+		if scannableKind(scheme.HeaderKind(h)) {
+			for i := uint64(1); i < size; i++ {
+				v.checkPtr(m.Peek(p+i), fmt.Sprintf("static slot %#x", p+i))
+			}
+		}
+		p += size
+	}
+}
+
+func (v *verifier) checkHeapSlots() {
+	m := v.env.Mem
+	for _, e := range v.extents {
+		for p := e.Base; p < e.End; {
+			h, ok := v.objects[p]
+			if !ok {
+				return // walk already failed here; avoid cascading
+			}
+			size := uint64(objectSize(h))
+			if scannableKind(scheme.HeaderKind(h)) {
+				for i := uint64(1); i < size; i++ {
+					v.checkPtr(m.Peek(p+i), fmt.Sprintf("heap slot %#x", p+i))
+				}
+			}
+			p += size
+		}
+	}
+}
+
+// checkFreeList validates mark-sweep's host-side free list against the
+// simulated heap: holes must be in ascending address order, disjoint,
+// inside the carved heap, carry a matching KindFree header, and account
+// for every free hole the object walk found.
+func (v *verifier) checkFreeList(g *MarkSweep) {
+	m := v.env.Mem
+	prevEnd := uint64(0)
+	n := 0
+	for h := g.free; h != nil; h = h.next {
+		n++
+		if h.addr < mem.DynBase || h.addr+h.size > g.heapEnd {
+			v.fail("free list: hole %#x+%d outside heap [%#x,%#x)", h.addr, h.size, mem.DynBase, g.heapEnd)
+			continue
+		}
+		if h.addr < prevEnd {
+			v.fail("free list: hole %#x out of order or overlapping previous hole", h.addr)
+		}
+		prevEnd = h.addr + h.size
+		hw := m.Peek(h.addr)
+		if !scheme.IsHeader(hw) || scheme.HeaderKind(hw) != scheme.KindFree {
+			v.fail("free list: hole %#x lacks a free header (found %#x)", h.addr, uint64(hw))
+			continue
+		}
+		if got := uint64(objectSize(hw)); got != h.size {
+			v.fail("free list: hole %#x header size %d != list size %d", h.addr, got, h.size)
+		}
+	}
+	if n != v.freeHoles {
+		v.fail("free list: %d holes on the list but %d free headers in the heap", n, v.freeHoles)
+	}
+}
+
+// Extents implements HeapExtents: the single linearly-allocated area.
+func (n *NoGC) Extents() []Extent {
+	return []Extent{{Base: n.sp.base, End: n.sp.next}}
+}
+
+// Extents implements HeapExtents: only the current semispace holds live
+// objects; the other is reclaimed space, where no pointer may land.
+func (g *Cheney) Extents() []Extent {
+	s := &g.spaces[g.cur]
+	return []Extent{{Base: s.base, End: s.next}}
+}
+
+// Extents implements HeapExtents: the nursery plus the current old
+// semispace.
+func (g *Generational) Extents() []Extent {
+	old := &g.old[g.curOld]
+	return []Extent{
+		{Base: g.nursery.base, End: g.nursery.next},
+		{Base: old.base, End: old.next},
+	}
+}
+
+// Extents implements HeapExtents: the whole carved heap; free holes appear
+// as KindFree objects within it.
+func (g *MarkSweep) Extents() []Extent {
+	return []Extent{{Base: mem.DynBase, End: g.heapEnd}}
+}

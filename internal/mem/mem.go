@@ -282,6 +282,17 @@ func (m *Memory) Peek(addr uint64) scheme.Word { return m.load(addr) }
 // only.
 func (m *Memory) Poke(addr uint64, w scheme.Word) { m.store(addr, w) }
 
+// CorruptWord XORs the word at addr with the given bit pattern and returns
+// the original value, without counting a reference. It is a fault-injection
+// knob for tests of the heap verifier — it lets a test flip header or
+// pointer bits exactly as a wild store or hardware fault would, then prove
+// the corruption is detected. Never call it from simulation code.
+func (m *Memory) CorruptWord(addr uint64, xor uint64) scheme.Word {
+	old := m.load(addr)
+	m.store(addr, old^scheme.Word(xor))
+	return old
+}
+
 func (m *Memory) load(addr uint64) scheme.Word {
 	switch {
 	case addr >= DynBase:

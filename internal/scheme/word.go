@@ -122,6 +122,10 @@ const (
 	kindCount
 )
 
+// KindValid reports whether k is a defined object kind. Heap verifiers use
+// it to reject headers whose kind bits were corrupted.
+func KindValid(k Kind) bool { return k < kindCount }
+
 var kindNames = [...]string{
 	KindPair: "pair", KindVector: "vector", KindString: "string",
 	KindSymbol: "symbol", KindClosure: "closure", KindFlonum: "flonum",

@@ -32,6 +32,17 @@ import (
 // record shape changes incompatibly.
 const SchemaName = "gcsim-run-record/v1"
 
+// Run statuses. A record always carries one: "complete" for a run that
+// finished, "interrupted" for one stopped by cancellation, a deadline, or
+// a signal, and "failed" for a run that died on an error. Interrupted and
+// failed records are partial — their counters cover the truncated run —
+// but remain schema-valid, so an aborted sweep still leaves evidence.
+const (
+	StatusComplete    = "complete"
+	StatusInterrupted = "interrupted"
+	StatusFailed      = "failed"
+)
+
 // RunRecord is the canonical result of one simulated program run.
 type RunRecord struct {
 	Schema    string `json:"schema"`
@@ -41,6 +52,15 @@ type RunRecord struct {
 	Scale     int    `json:"scale"`
 	Collector string `json:"collector"`
 	Checksum  int64  `json:"checksum"`
+
+	// Status is one of StatusComplete, StatusInterrupted, StatusFailed.
+	Status string `json:"status"`
+	// Error holds the failure message for non-complete runs.
+	Error string `json:"error,omitempty"`
+	// CompletedConfigs names the cache configurations whose statistics in
+	// Caches cover the full run (for partial records, caches reflect only
+	// the truncated reference stream and are not listed here).
+	CompletedConfigs []string `json:"completed_configs,omitempty"`
 
 	Insns       uint64  `json:"insns"`    // I_prog
 	GCInsns     uint64  `json:"gc_insns"` // I_gc

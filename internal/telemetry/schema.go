@@ -15,7 +15,7 @@ import (
 // CI validates every emitted record against it, and external consumers can
 // use the same document with a full JSON Schema implementation. The
 // validator below implements the subset the schema uses — type, required,
-// properties, items — with no third-party dependency.
+// properties, items, enum — with no third-party dependency.
 
 //go:embed schemas/runrecord.schema.json
 var runRecordSchemaJSON []byte
@@ -101,6 +101,18 @@ func validateValue(schema map[string]any, v any, path string) error {
 	if t, ok := schema["type"].(string); ok {
 		if err := checkType(t, v, path); err != nil {
 			return err
+		}
+	}
+	if allowed, ok := schema["enum"].([]any); ok {
+		found := false
+		for _, a := range allowed {
+			if a == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: value %v not in enum %v", path, v, allowed)
 		}
 	}
 	switch node := v.(type) {

@@ -72,10 +72,14 @@ func (s *Session) StreamEvent(workload string, e gc.Event) {
 }
 
 // Add registers a completed run's record, stamping the session identity.
+// A record with no explicit status is a normal, complete run.
 func (s *Session) Add(r *RunRecord) {
 	r.Schema = SchemaName
 	r.Tool = s.Tool
 	r.Host = s.Manifest
+	if r.Status == "" {
+		r.Status = StatusComplete
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.records = append(s.records, r)

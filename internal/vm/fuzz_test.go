@@ -1,0 +1,61 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+
+	"gcsim/internal/scheme"
+)
+
+// fuzzMachine is shared across fuzz iterations (and guarded against the
+// fuzzer's parallel workers): compiling accumulates global cells exactly
+// as a long-lived REPL would, which is itself part of the surface under
+// test. Nothing compiled here is ever executed.
+var fuzzMachine struct {
+	once sync.Once
+	mu   sync.Mutex
+	m    *Machine
+}
+
+// FuzzCompile checks the compiler's total-function property: any datum
+// sequence the reader accepts either compiles or reports a CompileError —
+// it never panics and never runs the program. (Without -fuzz, go test
+// runs the seed corpus.)
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"(define (f x) (+ x 1))",
+		"(lambda (a . rest) (apply + a rest))",
+		"(let loop ((i 0)) (if (= i 10) i (loop (+ i 1))))",
+		"(letrec ((even? (lambda (n) (if (= n 0) #t (odd? (- n 1))))) (odd? (lambda (n) (if (= n 0) #f (even? (- n 1)))))) (even? 4))",
+		"(define-syntax swap! (syntax-rules () ((_ a b) (let ((tmp a)) (set! a b) (set! b tmp)))))",
+		"(quasiquote (1 (unquote (+ 1 1)) (unquote-splicing (list 3 4))))",
+		"(case 3 ((1 2) 'low) ((3 4) 'mid) (else 'high))",
+		"(do ((i 0 (+ i 1)) (acc '() (cons i acc))) ((= i 5) acc))",
+		"(set! undefined-global 42)",
+		"(if)",
+		"(lambda)",
+		"(let ((x)) x)",
+		"((((()))))",
+		"(quote)",
+		"(define 3 4)",
+		"(begin)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		data, err := scheme.ReadAll(src)
+		if err != nil {
+			return
+		}
+		fuzzMachine.once.Do(func() { fuzzMachine.m = NewLoaded(nil, nil) })
+		fuzzMachine.mu.Lock()
+		defer fuzzMachine.mu.Unlock()
+		for _, d := range data {
+			code, err := fuzzMachine.m.CompileToplevel(d)
+			if err == nil && code == nil {
+				t.Fatalf("nil code with nil error for %q", src)
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"gcsim/internal/gc"
 	"gcsim/internal/mem"
@@ -46,6 +47,20 @@ type Machine struct {
 	// unlimited); it guards tests against runaway programs.
 	MaxInsns uint64
 
+	// VerifyHeap runs the gc.Verify invariant checker after every
+	// collection; a violation aborts the run with an error wrapping
+	// gc.ErrHeapCorrupt.
+	VerifyHeap bool
+
+	// interrupt, when set, stops the run at the next call safepoint with
+	// ErrInterrupted. It is the only Machine field safe to touch from
+	// another goroutine.
+	interrupt atomic.Bool
+
+	// gcEnv is the environment handed to the collector at Attach time,
+	// retained so the heap verifier can reuse the same root callbacks.
+	gcEnv gc.Env
+
 	// OnAlloc, if set, observes every dynamic object allocation (header
 	// address and total words). The behaviour analyzer uses it to detect
 	// allocation misses and allocation cycles.
@@ -79,7 +94,7 @@ func New(tracer mem.Tracer, col gc.Collector) *Machine {
 		clos:        scheme.Undef,
 		acc:         scheme.Unspec,
 	}
-	col.Attach(gc.Env{
+	vm.gcEnv = gc.Env{
 		Mem: vm.Mem,
 		RegisterRoots: func(visit func(*Word)) {
 			visit(&vm.acc)
@@ -88,7 +103,8 @@ func New(tracer mem.Tracer, col gc.Collector) *Machine {
 		StackTop:    func() uint64 { return vm.sp },
 		StaticEnd:   func() uint64 { return vm.Mem.StaticNext() },
 		ChargeInsns: func(n uint64) { vm.gcInsns += n },
-	})
+	}
+	col.Attach(vm.gcEnv)
 	if _, ok := col.(*gc.Generational); ok {
 		vm.barrierCost = gc.BarrierCost
 	}
@@ -111,11 +127,26 @@ func (vm *Machine) ResetOutput() { vm.out.Reset() }
 // charge adds n program instructions.
 func (vm *Machine) charge(n uint64) { vm.insns += n }
 
+// Interrupt requests that the run stop at the next call safepoint with
+// ErrInterrupted. It is safe to call from any goroutine (e.g. a
+// context.AfterFunc or signal handler) while the machine is running.
+func (vm *Machine) Interrupt() { vm.interrupt.Store(true) }
+
+// ClearInterrupt resets a pending interrupt so the machine can run again.
+func (vm *Machine) ClearInterrupt() { vm.interrupt.Store(false) }
+
 // collect runs one collection at a safepoint, emitting a gc.Event to the
 // OnGC hook when one is installed. The event's work figures are the deltas
 // of the collector's Stats across the Collect call; the pause is the I_gc
 // it charged.
 func (vm *Machine) collect() {
+	if vm.VerifyHeap {
+		defer func() {
+			if err := gc.Verify(vm.Col, vm.gcEnv); err != nil {
+				panic(&Error{Msg: "post-collection heap verification failed", Cause: err})
+			}
+		}()
+	}
 	if vm.OnGC == nil {
 		vm.Col.Collect()
 		return
@@ -182,7 +213,7 @@ func (vm *Machine) storeSlot(addr uint64, w Word) {
 // push pushes a word on the stack.
 func (vm *Machine) push(w Word) {
 	if vm.sp >= mem.StackLimit {
-		panic(&Error{Msg: "stack overflow"})
+		panic(ErrStackOverflow)
 	}
 	vm.Mem.Store(vm.sp, w)
 	vm.sp++
@@ -267,12 +298,21 @@ func hashString(s string) uint64 {
 	return h
 }
 
-// Error is a Scheme runtime error.
+// Error is a Scheme runtime error. Cause, when set, carries an underlying
+// error (e.g. a gc.VerifyError) reachable through errors.Is/As.
 type Error struct {
-	Msg string
+	Msg   string
+	Cause error
 }
 
-func (e *Error) Error() string { return "scheme: " + e.Msg }
+func (e *Error) Error() string {
+	if e.Cause != nil {
+		return "scheme: " + e.Msg + ": " + e.Cause.Error()
+	}
+	return "scheme: " + e.Msg
+}
+
+func (e *Error) Unwrap() error { return e.Cause }
 
 // errf raises a Scheme error by panicking; Run recovers it.
 func (vm *Machine) errf(format string, args ...any) {

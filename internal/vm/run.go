@@ -21,8 +21,18 @@ import (
 // when the machine's complete root set is the accumulator, the
 // current-closure register, and the stack.
 
-// ErrFuelExhausted is returned when a run exceeds Machine.MaxInsns.
-var ErrFuelExhausted = &Error{Msg: "instruction budget exhausted"}
+// Sentinel run-termination errors. They surface unchanged (pointer
+// identity preserved) through RunCode and Eval, and remain matchable with
+// errors.Is even after callers wrap them with %w.
+var (
+	// ErrFuelExhausted is returned when a run exceeds Machine.MaxInsns.
+	ErrFuelExhausted = &Error{Msg: "instruction budget exhausted"}
+	// ErrStackOverflow is returned when a push exceeds the stack region.
+	ErrStackOverflow = &Error{Msg: "stack overflow"}
+	// ErrInterrupted is returned when Machine.Interrupt stops a run at a
+	// call safepoint (cancellation, deadline, or signal).
+	ErrInterrupted = &Error{Msg: "run interrupted"}
+)
 
 // haltSentinel marks the bottom frame's saved-code slot.
 const haltSentinel = -1
@@ -116,6 +126,9 @@ func (vm *Machine) execute(code *Code) Word {
 			vm.push(scheme.FromFixnum(int64(in.A)))
 			vm.push(scheme.FromFixnum(int64(vm.base)))
 		case OpCall:
+			if vm.interrupt.Load() {
+				panic(ErrInterrupted)
+			}
 			if vm.Col.NeedsCollect() {
 				vm.collect()
 			}
@@ -126,6 +139,9 @@ func (vm *Machine) execute(code *Code) Word {
 			ins = code.Instrs
 			pc = 0
 		case OpTailCall:
+			if vm.interrupt.Load() {
+				panic(ErrInterrupted)
+			}
 			if vm.Col.NeedsCollect() {
 				vm.collect()
 			}

@@ -31,6 +31,10 @@ type Workload struct {
 	DefaultScale, SmallScale int
 	// Description summarizes the program for reports.
 	Description string
+	// Inline, when non-empty, is the workload's Scheme text itself; File is
+	// ignored. Tests use it to run purpose-built programs (e.g. ones that
+	// exhaust the stack) through the standard harness.
+	Inline string
 }
 
 // All returns the five paper workloads in the paper's presentation order.
@@ -114,6 +118,9 @@ func Names() []string {
 
 // Source returns the workload's Scheme text.
 func (w *Workload) Source() string {
+	if w.Inline != "" {
+		return w.Inline
+	}
 	data, err := sources.ReadFile(w.File)
 	if err != nil {
 		panic(fmt.Sprintf("workloads: %s missing: %v", w.File, err))
