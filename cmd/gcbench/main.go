@@ -17,7 +17,7 @@
 //
 //	gcbench [-exp T1|T2|F1|F1b|F1c|F2|F2b|F2c|F3|F4|T3|F5|E8] [-quick]
 //	        [-scale percent] [-parallel N] [-metrics]
-//	        [-timeout 30m] [-verify-heap]
+//	        [-timeout 30m] [-verify-heap] [-trace-cache dir]
 //	        [-json path|-] [-events path|-] [-progress]
 //	        [-pprof addr] [-cpuprofile file]
 package main
@@ -48,6 +48,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print structured metrics after each report")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	verifyHeap := flag.Bool("verify-heap", false, "verify heap invariants after every collection")
+	traceCacheDir := flag.String("trace-cache", "", "record-once/replay-many: cache reference traces in this directory and replay them for repeated sweeps")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.String("json", "", `write run records as JSON to this path ("-" = stdout)`)
 	eventsOut := flag.String("events", "", `stream per-collection GC events as JSONL to this path ("-" = stdout)`)
@@ -59,6 +60,14 @@ func main() {
 
 	core.SetParallelism(*parallel)
 	core.SetVerifyHeap(*verifyHeap)
+	if *traceCacheDir != "" {
+		tc, err := core.NewTraceCache(*traceCacheDir)
+		if err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		core.SetTraceCache(tc)
+		defer core.SetTraceCache(nil)
+	}
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	if *timeout > 0 {

@@ -28,7 +28,7 @@
 //	      [-cache 64k,1m] [-block 16,64] [-policy write-validate,fetch-on-write]
 //	      [-semispace bytes] [-nursery bytes] [-parallel N] [-v]
 //	      [-timeout 10m] [-verify-heap]
-//	      [-checkpoint dir [-resume] [-retries N]]
+//	      [-checkpoint dir [-resume] [-retries N]] [-trace-cache dir]
 //	      [-json path|-] [-events path|-] [-progress]
 //	      [-pprof addr] [-cpuprofile file]
 //	gcsim -file prog.scm [same options]
@@ -85,6 +85,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	verifyHeap := flag.Bool("verify-heap", false, "verify heap invariants after every collection")
 	checkpointDir := flag.String("checkpoint", "", "persist per-configuration sweep results to this directory (requires -workload)")
+	traceCacheDir := flag.String("trace-cache", "", "record-once/replay-many: cache the VM's reference trace in this directory and replay it for every sweep (requires -workload)")
 	resume := flag.Bool("resume", false, "skip configurations already completed in the -checkpoint directory")
 	retries := flag.Int("retries", 1, "re-attempts per failed configuration in -checkpoint mode")
 	jsonOut := flag.String("json", "", `write the run record as JSON to this path ("-" = stdout)`)
@@ -112,9 +113,20 @@ func main() {
 	if *retries < 0 {
 		cliutil.Fatalf(tool, "-retries must be >= 0")
 	}
+	if *traceCacheDir != "" && *workload == "" {
+		cliutil.Fatalf(tool, "-trace-cache requires -workload")
+	}
 
 	core.SetParallelism(*parallel)
 	core.SetVerifyHeap(*verifyHeap)
+	if *traceCacheDir != "" {
+		tc, err := core.NewTraceCache(*traceCacheDir)
+		if err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		core.SetTraceCache(tc)
+		defer core.SetTraceCache(nil)
+	}
 	stopProf, err := cliutil.StartProfiling(tool, *pprofAddr, *cpuProfile)
 	if err != nil {
 		cliutil.Fatal(tool, err)
@@ -276,12 +288,16 @@ func runWorkload(ctx context.Context, out io.Writer, name string, scale int, col
 		return err
 	}
 	run := sweep.Run
+	// GC identity and stats come from the run result, not the collector
+	// object: a trace-cached sweep replays a recorded reference stream and
+	// never attaches col to a machine, but the result carries the recorded
+	// run's collector statistics (identical to a live run's, byte for byte).
 	if len(cfgs) == 1 {
 		report(out, run.Workload, run.Insns, run.GCInsns, run.Checksum,
-			col.Name(), *col.Stats(), sweep.Bank.Caches[0], cfgs[0], opts.verbose)
+			run.Collector, run.GCStats, sweep.Bank.Caches[0], cfgs[0], opts.verbose)
 		return nil
 	}
-	sweepHeader(out, run.Workload, col.Name(), *col.Stats(), run.Checksum, run.Insns, run.GCInsns)
+	sweepHeader(out, run.Workload, run.Collector, run.GCStats, run.Checksum, run.Insns, run.GCInsns)
 	reportTable(out, sweep.Bank.Caches, run.Insns, opts.verbose)
 	return nil
 }

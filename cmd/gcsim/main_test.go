@@ -10,6 +10,7 @@ import (
 	"gcsim/internal/core"
 	"gcsim/internal/gc"
 	"gcsim/internal/telemetry"
+	"gcsim/internal/workloads"
 )
 
 // goldenRun executes the gcsim workload path into a buffer, with or
@@ -72,6 +73,61 @@ func TestStdoutByteIdenticalWithTelemetry(t *testing.T) {
 			t.Errorf("-parallel %d record invalid: %v", parallel, err)
 		}
 	}
+}
+
+// TestStdoutByteIdenticalWithTraceCache is the golden guarantee of the
+// record-once/replay-many engine at the CLI level: a sweep driven by a
+// trace cache — both the pass that records the trace and a later pass
+// that replays it from disk — prints a byte-identical report to a live
+// sweep, serially and with the parallel bank, and also when the sweep is
+// routed through the checkpointed per-config path.
+func TestStdoutByteIdenticalWithTraceCache(t *testing.T) {
+	cfgs := []cache.Config{
+		{SizeBytes: 32 << 10, BlockBytes: 32, Policy: cache.WriteValidate},
+		{SizeBytes: 64 << 10, BlockBytes: 64, Policy: cache.WriteValidate},
+	}
+	baseline, _ := goldenRun(t, 1, false, cfgs)
+	if len(baseline) == 0 {
+		t.Fatal("baseline report is empty")
+	}
+	tc, err := core.NewTraceCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.SetTraceCache(tc)
+	defer core.SetTraceCache(nil)
+	for _, parallel := range []int{1, 8} {
+		for _, pass := range []string{"record+replay", "pure replay"} {
+			got, _ := goldenRun(t, parallel, false, cfgs)
+			if !bytes.Equal(got, baseline) {
+				t.Errorf("-parallel %d %s report differs from live baseline:\n%s\nvs\n%s",
+					parallel, pass, got, baseline)
+			}
+		}
+	}
+	// The checkpointed per-config path replays from the same cache and
+	// must print the same bytes too.
+	core.SetParallelism(2)
+	defer core.SetParallelism(1)
+	var out bytes.Buffer
+	err = runWorkloadCheckpointed(context.Background(), &out, mustWorkload(t, "nbody"), 1, cfgs,
+		sweepOpts{checkpointDir: t.TempDir(), gcName: "cheney"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), baseline) {
+		t.Errorf("checkpointed trace-cache report differs from live baseline:\n%s\nvs\n%s",
+			out.Bytes(), baseline)
+	}
+}
+
+func mustWorkload(t *testing.T, name string) *workloads.Workload {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
 }
 
 // TestRecordsIdenticalAcrossParallelism checks that the telemetry record

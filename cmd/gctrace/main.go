@@ -2,115 +2,216 @@
 // or replays a captured trace into a cache configuration — the paper's
 // trace-driven simulation methodology as standalone artifacts.
 //
+// Captures are written in trace format v2 (framed chunks, optionally
+// flate-compressed with -compress; see internal/traceio). Replay accepts
+// v2 files, legacy v1 files, and gzip-compressed legacy captures (the
+// pre-v2 gctrace wrote gzip-wrapped v1), and decodes v2 frames on a
+// goroutine pool (-parallel). Both modes report reference counts and
+// host throughput; -timeout and SIGINT/SIGTERM cancel cleanly.
+//
 // Usage:
 //
-//	gctrace -capture trace.gz -workload tc [-scale N] [-gc cheney]
-//	gctrace -replay trace.gz -cache 64k -block 64 [-policy write-validate]
+//	gctrace -capture trace.v2 -workload tc [-scale N] [-gc cheney] [-compress]
+//	gctrace -replay trace.v2 -cache 64k -block 64 [-policy write-validate]
+//	        [-parallel N] [-timeout 10m]
+//	gctrace -replay trace.v2 -cache none   # null consumer: delivery rate only
 package main
 
 import (
+	"bufio"
 	"compress/gzip"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
 
 	"gcsim/internal/cache"
 	"gcsim/internal/cliutil"
 	"gcsim/internal/core"
 	"gcsim/internal/gc"
+	"gcsim/internal/mem"
 	"gcsim/internal/traceio"
+	"gcsim/internal/vm"
 	"gcsim/internal/workloads"
 )
 
+const tool = "gctrace"
+
 func main() {
-	capturePath := flag.String("capture", "", "write a gzip-compressed trace to this file")
+	capturePath := flag.String("capture", "", "write a format-v2 trace to this file")
 	replayPath := flag.String("replay", "", "replay a trace from this file into a cache")
 	workload := flag.String("workload", "tc", "workload to capture")
 	scale := flag.Int("scale", 0, "workload scale (0 = default)")
 	gcName := flag.String("gc", "none", "collector during capture")
-	cacheSize := flag.String("cache", "64k", "replay cache size")
+	compress := flag.Bool("compress", false, "flate-compress trace frames during capture")
+	cacheSize := flag.String("cache", "64k", "replay cache size (none = null consumer, measures delivery rate)")
 	blockSize := flag.Int("block", 64, "replay block size")
-	policy := flag.String("policy", "write-validate", "replay write-miss policy")
+	policy := flag.String("policy", "write-validate", "replay write-miss policy: write-validate or fetch-on-write")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "replay frame-decoder goroutines (1 = inline)")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
 	flag.Parse()
 
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var err error
 	switch {
 	case *capturePath != "":
-		capture(*capturePath, *workload, *scale, *gcName)
+		err = capture(ctx, *capturePath, *workload, *scale, *gcName, *compress)
 	case *replayPath != "":
-		replay(*replayPath, *cacheSize, *blockSize, *policy)
+		err = replay(ctx, *replayPath, *cacheSize, *blockSize, *policy, *parallel)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
 }
 
-func capture(path, workloadName string, scale int, gcName string) {
+func capture(ctx context.Context, path, workloadName string, scale int, gcName string, compress bool) error {
 	w, err := workloads.ByName(workloadName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	col, err := gc.New(gcName, gc.Options{})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
-	zw := gzip.NewWriter(f)
-	tw, err := traceio.NewWriter(zw)
+	bw, err := traceio.NewBatchWriter(f, traceio.WriterOpts{Compress: compress})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	run, err := core.Run(context.Background(), core.RunSpec{Workload: w, Scale: scale, Collector: col, Tracer: tw})
+	start := time.Now()
+	run, err := core.Run(ctx, core.RunSpec{
+		Workload:  w,
+		Scale:     scale,
+		Collector: col,
+		Tracer:    bw,
+		OnMachine: func(m *vm.Machine) { bw.SetClock(m.Insns) },
+	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if err := tw.Flush(); err != nil {
-		fatal(err)
+	dur := time.Since(start)
+	if err := bw.Close(); err != nil {
+		return err
 	}
-	if err := zw.Close(); err != nil {
-		fatal(err)
+	if err := f.Close(); err != nil {
+		return err
 	}
-	info, _ := f.Stat()
-	fmt.Printf("captured %d references from %s (checksum %d) to %s (%.1f MB, %.2f bytes/ref)\n",
-		tw.Count(), run.Workload, run.Checksum, path,
-		float64(info.Size())/1e6, float64(info.Size())/float64(tw.Count()))
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("captured %d references from %s (checksum %d) to %s\n",
+		bw.Count(), run.Workload, run.Checksum, path)
+	fmt.Printf("trace:      format v%d, %.1f MB, %.2f bytes/ref\n",
+		traceio.FormatVersion, float64(info.Size())/1e6,
+		float64(info.Size())/float64(max(bw.Count(), 1)))
+	fmt.Printf("throughput: %.1fM refs/s (%.2fs host time)\n",
+		refsPerSec(bw.Count(), dur)/1e6, dur.Seconds())
+	return nil
 }
 
-func replay(path, cacheSize string, blockSize int, policy string) {
-	size, err := cliutil.ParseSize(cacheSize)
-	if err != nil {
-		fatal(err)
-	}
-	pol := cache.WriteValidate
-	if policy == "fetch-on-write" {
-		pol = cache.FetchOnWrite
-	}
-	cfg := cache.Config{SizeBytes: size, BlockBytes: blockSize, Policy: pol}
-	if err := cfg.Validate(); err != nil {
-		fatal(err)
+func replay(ctx context.Context, path, cacheSize string, blockSize int, policy string, parallel int) error {
+	var c *cache.Cache
+	if cacheSize != "none" {
+		size, err := cliutil.ParseSize(cacheSize)
+		if err != nil {
+			return err
+		}
+		var pol cache.WritePolicy
+		switch policy {
+		case "write-validate":
+			pol = cache.WriteValidate
+		case "fetch-on-write":
+			pol = cache.FetchOnWrite
+		default:
+			return fmt.Errorf("unknown policy %q", policy)
+		}
+		cfg := cache.Config{SizeBytes: size, BlockBytes: blockSize, Policy: pol}
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		c = cache.New(cfg)
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
-	zr, err := gzip.NewReader(f)
+	r, err := sniffGzip(f)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	c := cache.New(cfg)
-	n, err := traceio.Replay(zr, c)
+	rp, err := traceio.NewReplayer(r)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("replayed %d references into %v\n", n, cfg)
+	rp.SetDecoders(parallel)
+	var sink mem.Tracer = c
+	if c == nil {
+		sink = &nullSink{}
+	}
+	start := time.Now()
+	n, err := rp.Run(ctx, sink)
+	if err != nil {
+		return err
+	}
+	dur := time.Since(start)
+	if c == nil {
+		fmt.Printf("replayed %d references into a null consumer (trace format v%d)\n", n, rp.Version())
+		fmt.Printf("throughput: %.1fM refs/s (%.2fs host time)\n",
+			refsPerSec(n, dur)/1e6, dur.Seconds())
+		return nil
+	}
+	fmt.Printf("replayed %d references into %v (trace format v%d)\n", n, c.Config(), rp.Version())
+	fmt.Printf("throughput: %.1fM refs/s (%.2fs host time)\n",
+		refsPerSec(n, dur)/1e6, dur.Seconds())
 	fmt.Printf("misses: %d penalized, %d allocation claims, miss ratio %.5f\n",
 		c.S.Misses(), c.S.WriteAllocs, c.S.MissRatio())
 	fmt.Printf("collector misses: %d\n", c.S.GCMisses())
+	return nil
 }
 
-func fatal(err error) { cliutil.Fatal("gctrace", err) }
+// nullSink consumes a replayed reference stream without simulating
+// anything: `-cache none` measures pure trace-delivery throughput.
+type nullSink struct{}
+
+func (*nullSink) Ref(addr uint64, write, collector bool) {}
+func (*nullSink) RefBatch(refs []mem.Ref)                {}
+
+// sniffGzip transparently unwraps gzip-compressed captures (the pre-v2
+// gctrace wrote gzip-wrapped v1 traces) by peeking at the two-byte magic.
+func sniffGzip(f *os.File) (io.Reader, error) {
+	br := bufio.NewReaderSize(f, 1<<20)
+	head, err := br.Peek(2)
+	if err == nil && head[0] == 0x1f && head[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		return zr, nil
+	}
+	return br, nil
+}
+
+func refsPerSec(n uint64, dur time.Duration) float64 {
+	return float64(n) / max(dur.Seconds(), 1e-9)
+}

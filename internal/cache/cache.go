@@ -475,6 +475,15 @@ func (b *Bank) RefBatch(refs []mem.Ref) {
 	}
 }
 
+// SetSnapshotClock installs the same instruction clock on every cache in
+// the bank (see Cache.SetSnapshotClock). During replay this is the
+// replayer's frame-stamp clock rather than a live machine's counter.
+func (b *Bank) SetSnapshotClock(clock func() uint64) {
+	for _, c := range b.Caches {
+		c.SetSnapshotClock(clock)
+	}
+}
+
 // Find returns the bank's cache with the given configuration, or nil.
 func (b *Bank) Find(cfg Config) *Cache {
 	for _, c := range b.Caches {

@@ -36,6 +36,14 @@ func SetVerifyHeap(on bool) { verifyHeap.Store(on) }
 // VerifyHeapEnabled reports the current setting.
 func VerifyHeapEnabled() bool { return verifyHeap.Load() }
 
+// vmRunsStarted counts VM executions begun by Run, process-wide. Replayed
+// sweeps never increment it, which is what lets tests assert that a
+// trace-cached per-config sweep runs the VM exactly once.
+var vmRunsStarted atomic.Uint64
+
+// VMRunsStarted returns the number of VM executions Run has begun.
+func VMRunsStarted() uint64 { return vmRunsStarted.Load() }
+
 // MultiTracer fans references out to several tracers (e.g. a cache bank
 // and a behaviour analyzer). It is batch-aware: it implements
 // mem.BatchTracer, so the Memory stages references once and MultiTracer
@@ -127,6 +135,7 @@ func Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 			tracer = spec.Behaviour
 		}
 	}
+	vmRunsStarted.Add(1)
 	m := vm.NewLoaded(tracer, col)
 	m.MaxInsns = maxRunInsns
 	m.VerifyHeap = verifyHeap.Load()
@@ -241,6 +250,9 @@ type SweepResult struct {
 // produces bitwise-identical statistics to the serial bank (each cache
 // still consumes the stream sequentially and in order).
 func RunSweep(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config) (*SweepResult, error) {
+	if tc := ActiveTraceCache(); tc != nil {
+		return tc.runSweep(ctx, w, scale, col, cfgs)
+	}
 	var (
 		bank   *cache.Bank
 		tracer mem.Tracer
@@ -295,6 +307,14 @@ func RunSweep(ctx context.Context, w *workloads.Workload, scale int, col gc.Coll
 		}
 		return nil, err
 	}
+	return finishSweep(run, bank, cfgs, sess), nil
+}
+
+// finishSweep assembles a SweepResult from a completed run and its bank,
+// attaching per-cache records (with a closing snapshot sample) and folding
+// snapshot overhead into the run's telemetry record. Shared by the live
+// path above and the trace-replay path (tracecache.go).
+func finishSweep(run *RunResult, bank *cache.Bank, cfgs []cache.Config, sess *telemetry.Session) *SweepResult {
 	out := &SweepResult{Run: run, Bank: bank, Stats: map[cache.Config]cache.Stats{}}
 	for _, c := range bank.Caches {
 		out.Stats[c.Config()] = c.S
@@ -322,7 +342,7 @@ func RunSweep(ctx context.Context, w *workloads.Workload, scale int, col gc.Coll
 			rec.Telemetry.OverheadFraction = rec.Telemetry.OverheadSeconds / rec.DurationSeconds
 		}
 	}
-	return out, nil
+	return out
 }
 
 // CacheOverhead computes O_cache for one configuration of a sweep.

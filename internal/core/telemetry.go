@@ -77,7 +77,9 @@ func newRunRecord(spec RunSpec, res *RunResult, ring *telemetry.GCRing,
 	if res.Insns > 0 {
 		rec.RefsPerInsn = float64(rec.Refs) / float64(res.Insns)
 	}
-	rec.Telemetry.GCEvents = ring.Total()
+	if ring != nil {
+		rec.Telemetry.GCEvents = ring.Total()
+	}
 	rec.Telemetry.OverheadSeconds = float64(telemetryNs) / 1e9
 	if rec.DurationSeconds > 0 {
 		rec.Telemetry.OverheadFraction = rec.Telemetry.OverheadSeconds / rec.DurationSeconds

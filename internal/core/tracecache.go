@@ -1,0 +1,411 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"gcsim/internal/cache"
+	"gcsim/internal/gc"
+	"gcsim/internal/mem"
+	"gcsim/internal/telemetry"
+	"gcsim/internal/traceio"
+	"gcsim/internal/vm"
+	"gcsim/internal/workloads"
+)
+
+// The content-addressed trace cache: the record-once / replay-many side of
+// the experiment engine. The paper's methodology evaluates every cache
+// configuration against one reference stream; a TraceCache makes the
+// harness do the same. The first sweep over a (workload, scale, collector)
+// triple runs the VM once with a traceio.BatchWriter attached and files
+// the trace under a content key; every subsequent sweep — including every
+// per-config run of the resilient path — replays the trace instead of
+// re-interpreting the program. Replayed statistics are bitwise-identical
+// to live ones (the replayer reproduces the exact chunked reference
+// stream, including the per-chunk clock stamps telemetry snapshots use).
+
+// TraceMetaSchema identifies the trace sidecar format.
+const TraceMetaSchema = "gcsim-trace-meta/v1"
+
+// TraceMeta is the sidecar written next to each cached trace: the cache
+// key's preimage (so lookups can reject collisions and stale entries) plus
+// everything a RunResult needs that the reference stream itself does not
+// carry — checksum, instruction counts, memory counters, collector stats.
+type TraceMeta struct {
+	Schema        string       `json:"schema"`
+	Workload      string       `json:"workload"`
+	Scale         int          `json:"scale"`
+	Collector     string       `json:"collector"`
+	Identity      string       `json:"collector_identity"`
+	FormatVersion int          `json:"format_version"`
+	SHA256        string       `json:"sha256"`
+	Refs          uint64       `json:"refs"`
+	TraceBytes    int64        `json:"trace_bytes"`
+	Checksum      int64        `json:"checksum"`
+	Insns         uint64       `json:"insns"`
+	GCInsns       uint64       `json:"gc_insns"`
+	Counters      mem.Counters `json:"counters"`
+	GCStats       gc.Stats     `json:"gc_stats"`
+	RecordedAt    string       `json:"recorded_at"` // RFC 3339
+}
+
+// TraceCache stores recorded traces in a directory, content-addressed by
+// (format version, workload, scale, collector identity). It is safe for
+// concurrent use: simultaneous sweeps over the same key record once (the
+// first caller records while the rest wait, then replay).
+type TraceCache struct {
+	dir  string
+	mu   sync.Mutex
+	keys map[string]*sync.Mutex
+}
+
+// NewTraceCache opens (creating if needed) a trace-cache directory.
+func NewTraceCache(dir string) (*TraceCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: trace cache: %w", err)
+	}
+	return &TraceCache{dir: dir, keys: make(map[string]*sync.Mutex)}, nil
+}
+
+// Dir returns the cache directory.
+func (tc *TraceCache) Dir() string { return tc.dir }
+
+// Process-wide active trace cache, installed by the CLIs' -trace-cache
+// flag (the SetVerifyHeap pattern). When set, RunSweep — and therefore
+// RunSweepPerConfig — goes through the record/replay path.
+var (
+	traceCacheMu sync.RWMutex
+	traceCache   *TraceCache
+)
+
+// SetTraceCache installs the trace cache subsequent sweeps record to and
+// replay from. Pass nil to disable.
+func SetTraceCache(tc *TraceCache) {
+	traceCacheMu.Lock()
+	defer traceCacheMu.Unlock()
+	traceCache = tc
+}
+
+// ActiveTraceCache returns the installed trace cache, or nil.
+func ActiveTraceCache() *TraceCache {
+	traceCacheMu.RLock()
+	defer traceCacheMu.RUnlock()
+	return traceCache
+}
+
+// traceKey derives the content address. Everything that determines the
+// reference stream is in the preimage: the trace format version, the
+// workload and scale (which fix the program), and the collector identity
+// (which fixes every construction-time parameter that changes collection
+// behaviour — see gc.Identity).
+func traceKey(workload string, scale int, identity string) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("gcsim-trace|v%d|%s|s%d|%s",
+		traceio.FormatVersion, workload, scale, identity)))
+	return hex.EncodeToString(h[:])[:24]
+}
+
+func (tc *TraceCache) keyLock(key string) *sync.Mutex {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	l := tc.keys[key]
+	if l == nil {
+		l = &sync.Mutex{}
+		tc.keys[key] = l
+	}
+	return l
+}
+
+func collectorIdentity(col gc.Collector) string {
+	if col == nil {
+		return "none" // Run substitutes NoGC
+	}
+	return gc.Identity(col)
+}
+
+// ensure returns the trace for (w, scale, col), recording it with a
+// single VM run if the cache does not hold it yet. scale must already be
+// normalized (non-zero).
+func (tc *TraceCache) ensure(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector) (*TraceMeta, string, error) {
+	identity := collectorIdentity(col)
+	key := traceKey(w.Name, scale, identity)
+	tracePath := filepath.Join(tc.dir, key+".trace")
+	metaPath := filepath.Join(tc.dir, key+".json")
+
+	l := tc.keyLock(key)
+	l.Lock()
+	defer l.Unlock()
+
+	meta, err := loadTraceMeta(metaPath, tracePath, w.Name, scale, identity)
+	if err != nil {
+		return nil, "", err
+	}
+	if meta != nil {
+		return meta, tracePath, nil
+	}
+	meta, err = tc.record(ctx, w, scale, col, identity, tracePath, metaPath)
+	if err != nil {
+		return nil, "", err
+	}
+	return meta, tracePath, nil
+}
+
+// loadTraceMeta reads and validates a cached entry; (nil, nil) means a
+// clean miss. A sidecar whose identity fields disagree with the request is
+// an error, not a miss: silently re-recording over it would hide either a
+// key collision or a tampered cache.
+func loadTraceMeta(metaPath, tracePath, workload string, scale int, identity string) (*TraceMeta, error) {
+	data, err := os.ReadFile(metaPath)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: trace cache: %w", err)
+	}
+	var meta TraceMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, fmt.Errorf("core: trace cache: %s: %w", metaPath, err)
+	}
+	if meta.Schema != TraceMetaSchema {
+		return nil, fmt.Errorf("core: trace cache: %s: schema %q, want %q", metaPath, meta.Schema, TraceMetaSchema)
+	}
+	if meta.Workload != workload || meta.Scale != scale || meta.Identity != identity ||
+		meta.FormatVersion != traceio.FormatVersion {
+		return nil, fmt.Errorf("core: trace cache: %s describes %s/s%d/%s (format v%d), want %s/s%d/%s (format v%d)",
+			metaPath, meta.Workload, meta.Scale, meta.Identity, meta.FormatVersion,
+			workload, scale, identity, traceio.FormatVersion)
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		return nil, fmt.Errorf("core: trace cache: sidecar %s present but trace missing: %w", metaPath, err)
+	}
+	return &meta, nil
+}
+
+// record runs the VM once with a trace writer attached and files the
+// result under the key, atomically (temp files + rename) so an interrupt
+// never leaves a torn entry.
+func (tc *TraceCache) record(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, identity, tracePath, metaPath string) (_ *TraceMeta, err error) {
+	progress().Printf("trace cache: recording %s gc=%s", w.Name, identity)
+	tmp := tracePath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("core: trace cache: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	hash := sha256.New()
+	bw, err := traceio.NewBatchWriter(io.MultiWriter(f, hash), traceio.WriterOpts{})
+	if err != nil {
+		return nil, fmt.Errorf("core: trace cache: %w", err)
+	}
+	spec := RunSpec{
+		Workload:  w,
+		Scale:     scale,
+		Collector: col,
+		Tracer:    bw,
+		Label:     "trace-record",
+		// The writer stamps each frame with the machine's instruction
+		// count as the (paused) machine publishes the chunk — the same
+		// value a live bank's snapshot clock would read — so replayed
+		// telemetry snapshots land on identical instruction counts.
+		OnMachine: func(m *vm.Machine) { bw.SetClock(m.Insns) },
+	}
+	res, err := Run(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if err = bw.Close(); err != nil {
+		return nil, fmt.Errorf("core: trace cache: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return nil, fmt.Errorf("core: trace cache: %w", err)
+	}
+	st, err := os.Stat(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("core: trace cache: %w", err)
+	}
+
+	meta := &TraceMeta{
+		Schema:        TraceMetaSchema,
+		Workload:      w.Name,
+		Scale:         scale,
+		Collector:     res.Collector,
+		Identity:      identity,
+		FormatVersion: traceio.FormatVersion,
+		SHA256:        hex.EncodeToString(hash.Sum(nil)),
+		Refs:          bw.Count(),
+		TraceBytes:    st.Size(),
+		Checksum:      res.Checksum,
+		Insns:         res.Insns,
+		GCInsns:       res.GCInsns,
+		Counters:      res.Counters,
+		GCStats:       res.GCStats,
+		RecordedAt:    time.Now().UTC().Format(time.RFC3339),
+	}
+	if res.Record != nil {
+		res.Record.Trace = &telemetry.TraceRecord{
+			Source:        "record",
+			SHA256:        meta.SHA256,
+			Refs:          meta.Refs,
+			FormatVersion: meta.FormatVersion,
+		}
+	}
+
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("core: trace cache: %w", err)
+	}
+	metaTmp := metaPath + ".tmp"
+	if err = os.WriteFile(metaTmp, append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("core: trace cache: %w", err)
+	}
+	// Trace first, sidecar second: a crash between the renames leaves a
+	// trace without a sidecar (a miss, re-recorded next time), never a
+	// sidecar pointing at a missing or torn trace.
+	if err = os.Rename(tmp, tracePath); err != nil {
+		os.Remove(metaTmp)
+		return nil, fmt.Errorf("core: trace cache: %w", err)
+	}
+	if err = os.Rename(metaTmp, metaPath); err != nil {
+		return nil, fmt.Errorf("core: trace cache: %w", err)
+	}
+	progress().Printf("trace cache: recorded %s gc=%s: %d refs, %d bytes (%.2f bytes/ref)",
+		w.Name, identity, meta.Refs, meta.TraceBytes, float64(meta.TraceBytes)/float64(max(meta.Refs, 1)))
+	return meta, nil
+}
+
+// runSweep is RunSweep's record/replay path: ensure the trace exists (one
+// VM run at most, ever), then drive the bank from the trace.
+func (tc *TraceCache) runSweep(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config) (*SweepResult, error) {
+	if scale == 0 {
+		scale = w.DefaultScale
+	}
+	meta, tracePath, err := tc.ensure(ctx, w, scale, col)
+	if err != nil {
+		return nil, err
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return nil, fmt.Errorf("core: trace cache: %w", err)
+	}
+	defer f.Close()
+	rp, err := traceio.NewReplayer(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: trace cache: %s: %w", tracePath, err)
+	}
+	rp.SetDecoders(Parallelism())
+
+	var (
+		bank   *cache.Bank
+		tracer mem.Tracer
+		par    *cache.ParallelBank
+	)
+	if Parallelism() > 1 && len(cfgs) > 1 {
+		par = cache.NewParallelBank(cfgs)
+		tracer = par
+	} else {
+		bank = cache.NewBank(cfgs)
+		tracer = bank
+	}
+	sess := TelemetrySession()
+	if sess != nil && sess.SnapshotInsns > 0 {
+		var caches []*cache.Cache
+		if par != nil {
+			caches = par.Caches
+		} else {
+			caches = bank.Caches
+		}
+		for _, c := range caches {
+			c.EnableSnapshots(sess.SnapshotInsns)
+		}
+		// The replayer's clock publishes each frame's recorded instruction
+		// stamp exactly where a live run's machine would publish its
+		// counter, so snapshots land on identical insns_at values.
+		if par != nil {
+			par.SetSnapshotClock(rp.Clock)
+		} else {
+			bank.SetSnapshotClock(rp.Clock)
+		}
+	}
+
+	prog := progress()
+	prog.Printf("replay %s gc=%s started (%d refs cached)", w.Name, meta.Collector, meta.Refs)
+	start := time.Now()
+	n, rerr := rp.Run(ctx, tracer)
+	if par != nil {
+		par.Drain() // final barrier, also on error paths
+		bank = par.Bank()
+	}
+	dur := time.Since(start)
+
+	run := &RunResult{
+		Workload:  meta.Workload,
+		Collector: meta.Collector,
+		Checksum:  meta.Checksum,
+		Insns:     meta.Insns,
+		GCInsns:   meta.GCInsns,
+		Counters:  meta.Counters,
+		GCStats:   meta.GCStats,
+	}
+	spec := RunSpec{Workload: w, Scale: scale, Collector: col}
+
+	if rerr != nil {
+		if ctx.Err() != nil {
+			// Match the live path's contract: the error satisfies both
+			// ctx.Err() and vm.ErrInterrupted under errors.Is.
+			rerr = fmt.Errorf("%w: %w", vm.ErrInterrupted, rerr)
+		}
+		prog.Printf("replay %s gc=%s failed: %v", w.Name, meta.Collector, rerr)
+		if sess != nil {
+			rec := newRunRecord(spec, run, nil, dur, 0)
+			rec.Status = telemetry.StatusFailed
+			if ctx.Err() != nil {
+				rec.Status = telemetry.StatusInterrupted
+			}
+			rec.Error = rerr.Error()
+			rec.Trace = traceProvenance("replay", meta)
+			for _, c := range bank.Caches {
+				rec.Caches = append(rec.Caches, telemetry.CacheRecordOf(c, run.Insns))
+			}
+			run.Record = rec
+			sess.Add(rec)
+		}
+		return nil, rerr
+	}
+	if n != meta.Refs {
+		return nil, fmt.Errorf("core: trace cache: %s replayed %d refs, sidecar says %d — corrupt entry?",
+			tracePath, n, meta.Refs)
+	}
+	prog.Printf("replay %s gc=%s done in %.2fs: %d refs (%.1fM refs/s)",
+		w.Name, meta.Collector, dur.Seconds(), n, float64(n)/1e6/max(dur.Seconds(), 1e-9))
+
+	if sess != nil {
+		rec := newRunRecord(spec, run, nil, dur, 0)
+		rec.Trace = traceProvenance("replay", meta)
+		run.Record = rec
+		sess.Add(rec)
+	}
+	return finishSweep(run, bank, cfgs, sess), nil
+}
+
+func traceProvenance(source string, meta *TraceMeta) *telemetry.TraceRecord {
+	return &telemetry.TraceRecord{
+		Source:        source,
+		SHA256:        meta.SHA256,
+		Refs:          meta.Refs,
+		FormatVersion: meta.FormatVersion,
+	}
+}

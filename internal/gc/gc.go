@@ -92,6 +92,37 @@ type Collector interface {
 	HeapWords() uint64
 }
 
+// Identity returns a string that pins down a collector's behaviour for
+// content-addressing: the name plus every construction-time parameter that
+// changes the reference stream the collector produces. Two collectors with
+// equal identities, driven by the same program, emit identical traces.
+// Collectors that take no parameters fall back to Name.
+func Identity(c Collector) string {
+	if id, ok := c.(interface{ Identity() string }); ok {
+		return id.Identity()
+	}
+	return c.Name()
+}
+
+// Identity implements the identity hook for content-addressed trace
+// caching; the semispace size determines when collections happen.
+func (g *Cheney) Identity() string {
+	return fmt.Sprintf("cheney/ss=%dw", g.ss)
+}
+
+// Identity covers both the "generational" and "aggressive" variants; the
+// generation sizes determine collection frequency and promotion.
+func (g *Generational) Identity() string {
+	return fmt.Sprintf("%s/n=%dw/old=%dw", g.name, g.nurseryWords, g.oldWords)
+}
+
+// Identity uses the construction-time size goal: the live goal adapts as
+// the heap grows, but the whole trajectory is a function of the initial
+// value and the program.
+func (g *MarkSweep) Identity() string {
+	return fmt.Sprintf("marksweep/goal=%dw", g.initGoal)
+}
+
 // Instruction-cost model for collector work, in "machine instructions" per
 // unit. The constants approximate a tight copying loop on a RISC machine:
 // a copied word is a load, a store, and loop overhead; a scanned slot is a

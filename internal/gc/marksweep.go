@@ -23,6 +23,7 @@ type MarkSweep struct {
 	env      Env
 	heapEnd  uint64 // frontier of the carved heap region
 	sizeGoal uint64 // nominal heap words before a collection is wanted
+	initGoal uint64 // sizeGoal at construction (sizeGoal itself adapts)
 	free     *hole  // address-ordered free list
 	wantGC   bool
 	alloced  uint64 // words allocated since the last collection
@@ -45,7 +46,8 @@ func NewMarkSweep(heapBytes int) *MarkSweep {
 	if heapBytes <= 0 {
 		heapBytes = DefaultMarkSweepBytes
 	}
-	return &MarkSweep{sizeGoal: uint64(heapBytes) / mem.WordBytes}
+	goal := uint64(heapBytes) / mem.WordBytes
+	return &MarkSweep{sizeGoal: goal, initGoal: goal}
 }
 
 // Name implements Collector.

@@ -111,6 +111,19 @@ func MakeRef(addr uint64, write, collector bool) Ref {
 // Addr unpacks the word address.
 func (r Ref) Addr() uint64 { return uint64(r & refAddrMask) }
 
+// Flags returns the reference's flags in the compact byte layout trace
+// codecs serialize: bit 0 = write, bit 1 = collector.
+func (r Ref) Flags() uint8 {
+	return uint8(r>>63) | uint8(r>>61)&2
+}
+
+// MakeRefFlags packs a reference from an address and the compact flag
+// byte layout of Flags. It is the codec-side counterpart of MakeRef,
+// avoiding two flag branches per decoded reference.
+func MakeRefFlags(addr uint64, flags uint8) Ref {
+	return Ref(addr)&refAddrMask | Ref(flags&1)<<63 | Ref(flags&2)<<61
+}
+
 // Write reports whether the reference is a store.
 func (r Ref) Write() bool { return r&RefWrite != 0 }
 

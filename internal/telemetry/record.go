@@ -77,10 +77,25 @@ type RunRecord struct {
 	GC     GCRecord      `json:"gc"`
 	Caches []CacheRecord `json:"caches"`
 
+	// Trace records reference-stream provenance when the run recorded a
+	// trace or was driven by replaying one (nil for ordinary live runs).
+	Trace *TraceRecord `json:"trace,omitempty"`
+
 	SnapshotIntervalInsns uint64 `json:"snapshot_interval_insns,omitempty"`
 
 	Telemetry Overhead `json:"telemetry"`
 	Host      Manifest `json:"host"`
+}
+
+// TraceRecord is the provenance of a run's reference stream: where it
+// came from ("record": this run produced the trace; "replay": the run's
+// cache statistics were computed by replaying it), the content hash that
+// names it in a trace cache, and its size.
+type TraceRecord struct {
+	Source        string `json:"source"` // "record" or "replay"
+	SHA256        string `json:"sha256"`
+	Refs          uint64 `json:"refs"`
+	FormatVersion int    `json:"format_version"`
 }
 
 // GCRecord aggregates collector activity plus the bounded event stream.

@@ -1,26 +1,28 @@
 // Package traceio captures and replays reference traces, supporting the
 // paper's methodology — trace-driven cache simulation — without re-running
-// the virtual machine. A Writer records every reference a Memory emits; a
-// trace file can later be replayed into any tracer (a cache, a bank, a
-// behaviour analyzer) with Replay.
+// the virtual machine. A BatchWriter records every reference a Memory
+// emits (format v2, framed — see format2.go); a trace file can later be
+// replayed into any tracer (a cache, a bank, a behaviour analyzer) with
+// Replay or a Replayer.
 //
-// The format is compact and streaming: a magic header, then one record per
-// reference — a flag byte (write/collector bits) followed by the
+// This file is the legacy v1 format: a magic header, then one flat record
+// per reference — a flag byte (write/collector bits) followed by the
 // zigzag-varint delta of the word address from the previous record.
-// Sequential allocation sweeps compress to ~2 bytes per reference.
+// Sequential allocation sweeps compress to ~2 bytes per reference. v1 is
+// kept writable for compatibility tests and readable forever; new traces
+// are written in format v2.
 package traceio
 
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 
 	"gcsim/internal/mem"
 )
 
-// Magic identifies trace files, with a format version.
+// Magic identifies format v1 trace files.
 const Magic = "GCSIMTRACE1\n"
 
 const (
@@ -80,37 +82,6 @@ func (t *Writer) Flush() error {
 		return fmt.Errorf("traceio: %w", t.err)
 	}
 	return t.w.Flush()
-}
-
-// Replay streams a trace from r into tracer, returning the number of
-// references replayed.
-func Replay(r io.Reader, tracer mem.Tracer) (uint64, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	head := make([]byte, len(Magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return 0, fmt.Errorf("traceio: reading header: %w", err)
-	}
-	if string(head) != Magic {
-		return 0, errors.New("traceio: not a gcsim trace file")
-	}
-	var addr uint64
-	var count uint64
-	for {
-		flags, err := br.ReadByte()
-		if err == io.EOF {
-			return count, nil
-		}
-		if err != nil {
-			return count, fmt.Errorf("traceio: %w", err)
-		}
-		delta, err := binary.ReadVarint(br)
-		if err != nil {
-			return count, fmt.Errorf("traceio: truncated record %d: %w", count, err)
-		}
-		addr = uint64(int64(addr) + delta)
-		tracer.Ref(addr, flags&flagWrite != 0, flags&flagCollector != 0)
-		count++
-	}
 }
 
 var _ mem.Tracer = (*Writer)(nil)

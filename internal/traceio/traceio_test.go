@@ -2,6 +2,7 @@ package traceio
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -46,7 +47,7 @@ func TestRoundTrip(t *testing.T) {
 		t.Errorf("Count = %d, want %d", w.Count(), len(in))
 	}
 	var out recorder
-	n, err := Replay(&buf, &out)
+	n, err := Replay(context.Background(), &buf, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,14 +78,14 @@ func TestSequentialSweepCompresses(t *testing.T) {
 
 func TestRejectsGarbage(t *testing.T) {
 	var out recorder
-	if _, err := Replay(strings.NewReader("not a trace"), &out); err == nil {
+	if _, err := Replay(context.Background(), strings.NewReader("not a trace"), &out); err == nil {
 		t.Error("garbage accepted")
 	}
-	if _, err := Replay(strings.NewReader(""), &out); err == nil {
+	if _, err := Replay(context.Background(), strings.NewReader(""), &out); err == nil {
 		t.Error("empty input accepted")
 	}
 	// Truncated record after a valid header.
-	if _, err := Replay(strings.NewReader(Magic+"\x01"), &out); err == nil {
+	if _, err := Replay(context.Background(), strings.NewReader(Magic+"\x01"), &out); err == nil {
 		t.Error("truncated record accepted")
 	}
 }
@@ -104,7 +105,7 @@ func TestPropertyRoundTrip(t *testing.T) {
 			return false
 		}
 		var out recorder
-		n, err := Replay(&buf, &out)
+		n, err := Replay(context.Background(), &buf, &out)
 		if err != nil || n != uint64(len(in)) {
 			return false
 		}
@@ -147,7 +148,7 @@ func TestCaptureAndReplayMatchesLive(t *testing.T) {
 
 	// Replay into a fresh cache.
 	replayed := cache.New(cfg)
-	n, err := Replay(&buf, replayed)
+	n, err := Replay(context.Background(), &buf, replayed)
 	if err != nil {
 		t.Fatal(err)
 	}

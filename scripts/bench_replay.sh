@@ -1,0 +1,134 @@
+#!/bin/sh
+# Benchmarks the record-once/replay-many trace engine on the tc workload:
+# how fast a recorded reference stream replays compared to producing it
+# live, and what the replay costs on disk. Three measurements feed the
+# summary:
+#
+#   capture   one VM run recording a format-v2 trace (gctrace -capture):
+#             the one-time cost of priming a trace cache.
+#   replay    trace -> consumer delivery rate (gctrace -replay -cache
+#             none, best of $REPEATS): the rate every extra cache
+#             configuration pays once a trace exists.
+#   sweep     the same 8-configuration gcsim sweep run live and from a
+#             -trace-cache directory, with byte-identical stdout enforced
+#             (the replay determinism guarantee) and run records
+#             schema-validated.
+#
+# The headline speedup compares replay delivery against
+# live_refs_per_sec, the live engine's end-to-end reference throughput
+# from BENCH_parallel.json (serial_refs_per_sec — the "~11M refs/s live"
+# pipeline the trace engine bypasses; the seed value is used if the file
+# is absent). vm_capture_refs_per_sec gives the same-host, same-workload
+# production rate of the recording run for comparison.
+#
+# Outputs (repository root):
+#   BENCH_replay.json                summary consumed by CI trend tracking
+#   BENCH_replay_live_record.json    run record of the live sweep
+#   BENCH_replay_cached_record.json  run record of the replayed sweep
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_replay.json}"
+workload="${WORKLOAD:-tc}"
+collector="${COLLECTOR:-cheney}"
+caches="32k,64k,128k,256k"
+blocks="32,64" # 4 sizes x 2 blocks = 8 configurations
+repeats="${REPEATS:-3}"
+min_speedup="${MIN_SPEEDUP:-5}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "building gcsim and gctrace"
+go build -o "$tmp/gcsim" ./cmd/gcsim
+go build -o "$tmp/gctrace" ./cmd/gctrace
+
+# --- capture: one-time trace recording cost -------------------------------
+"$tmp/gctrace" -capture "$tmp/trace.v2" -workload "$workload" -gc "$collector" \
+    > "$tmp/capture.txt"
+cat "$tmp/capture.txt"
+refs=$(sed -n 's/^captured \([0-9]*\) references.*/\1/p' "$tmp/capture.txt")
+capture_mrefs=$(sed -n 's/^throughput: \([0-9.]*\)M refs\/s.*/\1/p' "$tmp/capture.txt")
+trace_bytes=$(wc -c < "$tmp/trace.v2" | tr -d ' ')
+
+# --- replay: trace -> consumer delivery rate (best of $repeats) -----------
+replay_mrefs=0
+i=0
+while [ "$i" -lt "$repeats" ]; do
+    "$tmp/gctrace" -replay "$tmp/trace.v2" -cache none > "$tmp/replay.txt"
+    m=$(sed -n 's/^throughput: \([0-9.]*\)M refs\/s.*/\1/p' "$tmp/replay.txt")
+    replay_mrefs=$(awk -v a="$replay_mrefs" -v b="$m" 'BEGIN { print (b > a) ? b : a }')
+    i=$((i + 1))
+done
+echo "replay delivery: ${replay_mrefs}M refs/s (best of $repeats)"
+
+# --- sweep: live vs -trace-cache, byte-identical stdout -------------------
+sweep="-workload $workload -gc $collector -cache $caches -block $blocks -parallel 1"
+"$tmp/gcsim" $sweep -json BENCH_replay_live_record.json > "$tmp/live_stdout.txt"
+"$tmp/gcsim" $sweep -trace-cache "$tmp/tcache" > "$tmp/prime_stdout.txt"
+"$tmp/gcsim" $sweep -trace-cache "$tmp/tcache" \
+    -json BENCH_replay_cached_record.json > "$tmp/cached_stdout.txt"
+
+for pass in prime cached; do
+    if ! cmp -s "$tmp/live_stdout.txt" "$tmp/${pass}_stdout.txt"; then
+        echo "FAIL: $pass trace-cache stdout differs from the live sweep" >&2
+        diff "$tmp/live_stdout.txt" "$tmp/${pass}_stdout.txt" >&2 || true
+        exit 1
+    fi
+done
+echo "stdout: live, priming, and replayed sweeps byte-identical"
+
+"$tmp/gcsim" -check-record BENCH_replay_live_record.json
+"$tmp/gcsim" -check-record BENCH_replay_cached_record.json
+echo "records: schema-valid"
+
+# field FILE KEY: extract the first numeric value of "key": N from a record.
+field() {
+    sed -n "s/^ *\"$2\": \([0-9.e+-]*\),*$/\1/p" "$1" | head -1
+}
+
+live_dur=$(field BENCH_replay_live_record.json duration_seconds)
+cached_dur=$(field BENCH_replay_cached_record.json duration_seconds)
+
+baseline=11071524 # seed BENCH_parallel.json serial_refs_per_sec
+if [ -f BENCH_parallel.json ]; then
+    baseline=$(field BENCH_parallel.json serial_refs_per_sec)
+fi
+
+awk -v refs="$refs" -v bytes="$trace_bytes" -v cap="$capture_mrefs" \
+    -v rep="$replay_mrefs" -v base="$baseline" -v ldur="$live_dur" \
+    -v cdur="$cached_dur" -v minsp="$min_speedup" -v wl="$workload" \
+    -v col="$collector" '
+BEGIN {
+    repps = rep * 1e6
+    speedup = repps / base
+    printf "{\n"
+    printf "  \"workload\": \"%s\",\n", wl
+    printf "  \"collector\": \"%s\",\n", col
+    printf "  \"refs\": %d,\n", refs
+    printf "  \"trace_bytes\": %d,\n", bytes
+    printf "  \"trace_bytes_per_ref\": %.2f,\n", bytes / refs
+    printf "  \"vm_capture_refs_per_sec\": %.0f,\n", cap * 1e6
+    printf "  \"replay_refs_per_sec\": %.0f,\n", repps
+    printf "  \"live_refs_per_sec\": %.0f,\n", base
+    printf "  \"speedup\": %.2f,\n", speedup
+    printf "  \"sweep_configs\": 8,\n"
+    printf "  \"sweep_live_seconds\": %.3f,\n", ldur
+    printf "  \"sweep_replay_seconds\": %.3f,\n", cdur
+    printf "  \"sweep_speedup\": %.3f,\n", ldur / cdur
+    printf "  \"stdout_identical\": true,\n"
+    printf "  \"records\": [\"BENCH_replay_live_record.json\", \"BENCH_replay_cached_record.json\"],\n"
+    printf "  \"note\": \"replay_refs_per_sec: trace->consumer delivery rate (gctrace -replay -cache none). live_refs_per_sec: the live engine end-to-end throughput from BENCH_parallel.json serial_refs_per_sec. vm_capture_refs_per_sec: the recording run (VM + v2 encode) on the same workload. sweep_*: the same 8-config sweep live vs replayed from a -trace-cache directory, stdout byte-identical.\"\n"
+    printf "}\n"
+    if (speedup < minsp) {
+        printf "FAIL: replay speedup %.2fx below minimum %sx\n", speedup, minsp > "/dev/stderr"
+        exit 1
+    }
+    if (repps <= cap * 1e6) {
+        printf "FAIL: replay (%.0f refs/s) no faster than re-recording (%.0f refs/s)\n", \
+            repps, cap * 1e6 > "/dev/stderr"
+        exit 1
+    }
+}' > "$out"
+
+cat "$out"
