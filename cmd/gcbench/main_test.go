@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"gcsim/internal/telemetry"
+)
+
+// TestMain lets the test binary re-exec itself as the gcbench CLI, so the
+// exit-code tests exercise the real main() including cliutil.Fatal's
+// os.Exit paths.
+func TestMain(m *testing.M) {
+	if os.Getenv("GCSIM_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runGcbench re-execs this test binary as gcbench with the given arguments.
+func runGcbench(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "GCSIM_RUN_MAIN=1")
+	var so, se bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &so, &se
+	err := cmd.Run()
+	code = 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("gcbench %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, so.String(), se.String()
+}
+
+// TestListExperiments pins the -list contract: every paper experiment is
+// one "ID  Title" line, and the set includes the tables and figures the
+// reproduction is built around.
+func TestListExperiments(t *testing.T) {
+	code, stdout, stderr := runGcbench(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d: %s", code, stderr)
+	}
+	for _, id := range []string{"T1", "T2", "F1", "F2", "F3", "F4", "T3", "F5", "E8"} {
+		if !regexp.MustCompile(`(?m)^` + id + `\s`).MatchString(stdout) {
+			t.Errorf("-list output is missing experiment %s:\n%s", id, stdout)
+		}
+	}
+}
+
+func TestCLIErrorExitCodes(t *testing.T) {
+	badTraceCache := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(badTraceCache, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		args     []string
+		inStderr string
+	}{
+		{"unknown experiment", []string{"-exp", "ZZ"}, "gcbench:"},
+		{"trace cache path is a file", []string{"-exp", "T1", "-quick", "-trace-cache", badTraceCache}, "gcbench:"},
+		{"unwritable json path", []string{"-exp", "T1", "-quick", "-json", filepath.Join(t.TempDir(), "no-such-dir", "out.json")}, "gcbench:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runGcbench(t, tc.args...)
+			if code != 1 {
+				t.Errorf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.inStderr) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.inStderr)
+			}
+		})
+	}
+}
+
+// stripTimings drops the wall-clock line, the only nondeterministic part
+// of a report.
+func stripTimings(out string) string {
+	var kept []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "completed in") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestQuickExperimentDeterministic runs the characteristics table twice:
+// identical reports (the simulator is deterministic), and -metrics adds
+// structured values without changing them.
+func TestQuickExperimentDeterministic(t *testing.T) {
+	code, first, stderr := runGcbench(t, "-exp", "T1", "-quick")
+	if code != 0 {
+		t.Fatalf("T1 exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(first, "==== T1:") {
+		t.Fatalf("no experiment banner in output:\n%s", first)
+	}
+	code, second, stderr := runGcbench(t, "-exp", "T1", "-quick")
+	if code != 0 {
+		t.Fatalf("second T1 exited %d: %s", code, stderr)
+	}
+	if stripTimings(first) != stripTimings(second) {
+		t.Errorf("two identical runs diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+
+	code, withMetrics, stderr := runGcbench(t, "-exp", "T1", "-quick", "-metrics")
+	if code != 0 {
+		t.Fatalf("T1 -metrics exited %d: %s", code, stderr)
+	}
+	var metricLines int
+	for _, line := range strings.Split(withMetrics, "\n") {
+		if strings.HasPrefix(line, "metric T1.") {
+			metricLines++
+		}
+	}
+	if metricLines == 0 {
+		t.Errorf("-metrics printed no metric lines:\n%s", withMetrics)
+	}
+}
+
+// TestJSONRecordsSchemaValid checks the telemetry side: -json writes one
+// schema-valid run record per simulated run.
+func TestJSONRecordsSchemaValid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "records.jsonl")
+	code, _, stderr := runGcbench(t, "-exp", "T1", "-quick", "-json", path)
+	if code != 0 {
+		t.Fatalf("T1 -json exited %d: %s", code, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no records were written: %v", err)
+	}
+	lines := 0
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		lines++
+		if err := telemetry.ValidateRecordJSON(line); err != nil {
+			t.Errorf("record line %d invalid: %v", lines, err)
+		}
+	}
+	if lines == 0 {
+		t.Error("records file is empty")
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary re-exec itself as the gcplot CLI, so the
+// exit-code tests exercise the real main() including cliutil.Fatal's
+// os.Exit paths.
+func TestMain(m *testing.M) {
+	if os.Getenv("GCSIM_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runGcplot re-execs this test binary as gcplot with the given arguments.
+func runGcplot(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "GCSIM_RUN_MAIN=1")
+	var so, se bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &so, &se
+	err := cmd.Run()
+	code = 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("gcplot %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, so.String(), se.String()
+}
+
+func TestCLIErrorExitCodes(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		inStderr string
+	}{
+		{"unknown kind", []string{"-kind", "heatmap"}, "unknown plot kind"},
+		{"unknown workload", []string{"-workload", "quux"}, "unknown workload"},
+		{"bad cache size", []string{"-cache", "bogus"}, "gcplot:"},
+		{"bad block size", []string{"-cache", "4k", "-block", "3"}, "gcplot:"},
+		{"unknown collector", []string{"-gc", "epsilon"}, "gcplot:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runGcplot(t, tc.args...)
+			if code != 1 {
+				t.Errorf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.inStderr) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.inStderr)
+			}
+		})
+	}
+}
+
+// small is a fast deterministic base configuration for plot runs.
+var small = []string{"-workload", "nbody", "-scale", "1", "-cache", "4k", "-block", "16", "-width", "40", "-height", "10"}
+
+// TestSweepPlotDeterministic renders the miss-sweep plot twice and
+// requires identical bytes: the plot is a pure function of the simulated
+// reference stream.
+func TestSweepPlotDeterministic(t *testing.T) {
+	args := append([]string{"-kind", "sweep"}, small...)
+	code, first, stderr := runGcplot(t, args...)
+	if code != 0 {
+		t.Fatalf("sweep exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(first, "miss sweep") {
+		t.Fatalf("sweep output has no header:\n%s", first)
+	}
+	code, second, stderr := runGcplot(t, args...)
+	if code != 0 {
+		t.Fatalf("second sweep exited %d: %s", code, stderr)
+	}
+	if first != second {
+		t.Errorf("two identical sweep plots diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// TestPlotKindsRender smoke-tests every other plot kind on the same small
+// run: exit 0 and the kind's banner in the output.
+func TestPlotKindsRender(t *testing.T) {
+	cases := []struct {
+		kind   string
+		extra  []string
+		banner string
+	}{
+		{"lifetimes", nil, "dynamic-block lifetimes"},
+		{"activity", nil, "cache activity"},
+		{"timeline", []string{"-gc", "cheney", "-interval", "100000"}, "telemetry timeline"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind, func(t *testing.T) {
+			args := append([]string{"-kind", tc.kind}, small...)
+			args = append(args, tc.extra...)
+			code, stdout, stderr := runGcplot(t, args...)
+			if code != 0 {
+				t.Fatalf("%s exited %d: %s", tc.kind, code, stderr)
+			}
+			if !strings.Contains(stdout, tc.banner) {
+				t.Errorf("%s output missing %q:\n%s", tc.kind, tc.banner, stdout)
+			}
+			if len(strings.Split(stdout, "\n")) < 5 {
+				t.Errorf("%s output is suspiciously short:\n%s", tc.kind, stdout)
+			}
+		})
+	}
+}

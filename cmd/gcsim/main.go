@@ -33,6 +33,12 @@
 //	      [-pprof addr] [-cpuprofile file]
 //	gcsim -file prog.scm [same options]
 //	gcsim -check-record records.json
+//	gcsim -remote http://host:port -workload tc [sweep options]
+//
+// With -remote the sweep runs on a gcsimd server: the job is submitted,
+// its progress streamed (-progress), and the results rendered locally —
+// byte-identical to the same sweep run in-process, because both sides
+// format through internal/report and the engine is deterministic.
 package main
 
 import (
@@ -52,6 +58,7 @@ import (
 	"gcsim/internal/core"
 	"gcsim/internal/gc"
 	"gcsim/internal/mem"
+	"gcsim/internal/report"
 	"gcsim/internal/scheme"
 	"gcsim/internal/telemetry"
 	"gcsim/internal/vm"
@@ -95,6 +102,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	checkRecord := flag.String("check-record", "", `validate a run-record JSON file ("-" = stdin) against the schema and exit`)
+	remote := flag.String("remote", "", "submit the sweep to a gcsimd server at this base URL (e.g. http://127.0.0.1:8089) and render its results locally")
 	flag.Parse()
 
 	if *checkRecord != "" {
@@ -115,6 +123,19 @@ func main() {
 	}
 	if *traceCacheDir != "" && *workload == "" {
 		cliutil.Fatalf(tool, "-trace-cache requires -workload")
+	}
+	if *remote != "" {
+		if *workload == "" {
+			cliutil.Fatalf(tool, "-remote requires -workload")
+		}
+		for flagName, set := range map[string]bool{
+			"-file": *file != "", "-checkpoint": *checkpointDir != "", "-resume": *resume,
+			"-trace-cache": *traceCacheDir != "", "-json": *jsonOut != "", "-events": *eventsOut != "",
+		} {
+			if set {
+				cliutil.Fatalf(tool, "%s cannot be combined with -remote (the server owns execution)", flagName)
+			}
+		}
 	}
 
 	core.SetParallelism(*parallel)
@@ -182,6 +203,8 @@ func main() {
 		gcOpts:        gcOpts,
 	}
 	switch {
+	case *remote != "":
+		err = runRemote(ctx, os.Stdout, *remote, *workload, *scale, *gcName, gcOpts, cfgs, opts)
 	case *file != "":
 		err = runFile(ctx, os.Stdout, *file, col, cfgs, *verbose)
 	case *workload != "":
@@ -292,13 +315,14 @@ func runWorkload(ctx context.Context, out io.Writer, name string, scale int, col
 	// object: a trace-cached sweep replays a recorded reference stream and
 	// never attaches col to a machine, but the result carries the recorded
 	// run's collector statistics (identical to a live run's, byte for byte).
-	if len(cfgs) == 1 {
-		report(out, run.Workload, run.Insns, run.GCInsns, run.Checksum,
-			run.Collector, run.GCStats, sweep.Bank.Caches[0], cfgs[0], opts.verbose)
-		return nil
-	}
-	sweepHeader(out, run.Workload, run.Collector, run.GCStats, run.Checksum, run.Insns, run.GCInsns)
-	reportTable(out, sweep.Bank.Caches, run.Insns, opts.verbose)
+	report.Render(out, report.Run{
+		Name:      run.Workload,
+		Collector: run.Collector,
+		GCStats:   run.GCStats,
+		Checksum:  run.Checksum,
+		Insns:     run.Insns,
+		GCInsns:   run.GCInsns,
+	}, sweep.Bank.Caches, opts.verbose)
 	return nil
 }
 
@@ -340,17 +364,16 @@ func runWorkloadCheckpointed(ctx context.Context, out io.Writer, w *workloads.Wo
 	first := sweep.Results[0]
 	caches := make([]*cache.Cache, 0, len(sweep.Results))
 	for _, r := range sweep.Results {
-		c := cache.New(r.Config)
-		c.S = r.CacheStats
-		caches = append(caches, c)
+		caches = append(caches, report.CacheFor(r.Config, r.CacheStats))
 	}
-	if len(cfgs) == 1 {
-		report(out, w.Name, first.Insns, first.GCInsns, first.Checksum,
-			sweep.Collector, first.GCStats, caches[0], first.Config, opts.verbose)
-	} else {
-		sweepHeader(out, w.Name, sweep.Collector, first.GCStats, first.Checksum, first.Insns, first.GCInsns)
-		reportTable(out, caches, first.Insns, opts.verbose)
-	}
+	report.Render(out, report.Run{
+		Name:      w.Name,
+		Collector: sweep.Collector,
+		GCStats:   first.GCStats,
+		Checksum:  first.Checksum,
+		Insns:     first.Insns,
+		GCInsns:   first.GCInsns,
+	}, caches, opts.verbose)
 	if n := len(sweep.Failures); n > 0 {
 		return fmt.Errorf("%d of %d configurations failed", n, len(cfgs))
 	}
@@ -398,62 +421,20 @@ func runFile(ctx context.Context, out io.Writer, path string, col gc.Collector, 
 		checksum = scheme.FixnumValue(v)
 	}
 	if len(cfgs) == 1 {
-		report(out, path, m.Insns(), m.GCInsns(), checksum, col.Name(), *col.Stats(), bank.Caches[0], cfgs[0], verbose)
+		report.Single(out, report.Run{
+			Name:      path,
+			Collector: col.Name(),
+			GCStats:   *col.Stats(),
+			Checksum:  checksum,
+			Insns:     m.Insns(),
+			GCInsns:   m.GCInsns(),
+		}, bank.Caches[0], verbose)
 		return nil
 	}
 	fmt.Fprintf(out, "program:     %s\n", path)
 	fmt.Fprintf(out, "collector:   %s (%d collections, %d words copied)\n",
 		col.Name(), col.Stats().Collections, col.Stats().CopiedWords)
 	fmt.Fprintf(out, "insns:       %d program + %d collector\n", m.Insns(), m.GCInsns())
-	reportTable(out, bank.Caches, m.Insns(), verbose)
+	report.Table(out, bank.Caches, m.Insns(), verbose)
 	return nil
-}
-
-// sweepHeader prints the per-run lines above a multi-configuration table.
-func sweepHeader(out io.Writer, workload, colName string, gcs gc.Stats, checksum int64, insns, gcInsns uint64) {
-	fmt.Fprintf(out, "workload:    %s\n", workload)
-	fmt.Fprintf(out, "collector:   %s (%d collections, %d words copied)\n",
-		colName, gcs.Collections, gcs.CopiedWords)
-	fmt.Fprintf(out, "checksum:    %d\n", checksum)
-	fmt.Fprintf(out, "insns:       %d program + %d collector\n", insns, gcInsns)
-}
-
-// reportTable prints one row per swept configuration.
-func reportTable(out io.Writer, caches []*cache.Cache, insns uint64, verbose bool) {
-	fmt.Fprintf(out, "\n%-22s %12s %10s %12s %10s %10s\n",
-		"config", "misses", "ratio", "writebacks", "O(slow)", "O(fast)")
-	for _, c := range caches {
-		cfg := c.Config()
-		s := &c.S
-		fmt.Fprintf(out, "%-22s %12d %10.5f %12d %10.4f %10.4f\n",
-			cfg.String(), s.Misses(), s.MissRatio(), s.Writebacks,
-			cache.Slow.CacheOverhead(s.Misses(), insns, cfg.BlockBytes),
-			cache.Fast.CacheOverhead(s.Misses(), insns, cfg.BlockBytes))
-		if verbose {
-			fmt.Fprintf(out, "%-22s %12s reads %d, writes %d, allocs %d, GC misses %d\n",
-				"", "", s.Reads, s.Writes, s.WriteAllocs, s.GCMisses())
-		}
-	}
-}
-
-func report(out io.Writer, name string, insns, gcInsns uint64, checksum int64, colName string, gcs gc.Stats, c *cache.Cache, cfg cache.Config, verbose bool) {
-	s := &c.S
-	fmt.Fprintf(out, "workload:    %s\n", name)
-	fmt.Fprintf(out, "collector:   %s (%d collections, %d words copied)\n",
-		colName, gcs.Collections, gcs.CopiedWords)
-	fmt.Fprintf(out, "cache:       %v\n", cfg)
-	fmt.Fprintf(out, "checksum:    %d\n", checksum)
-	fmt.Fprintf(out, "insns:       %d program + %d collector\n", insns, gcInsns)
-	fmt.Fprintf(out, "refs:        %d program + %d collector\n", s.Refs(), s.GCReads+s.GCWrites)
-	fmt.Fprintf(out, "misses:      %d penalized (%d read, %d write), %d allocation claims\n",
-		s.Misses(), s.ReadMisses, s.WriteMisses, s.WriteAllocs)
-	fmt.Fprintf(out, "miss ratio:  %.5f\n", s.MissRatio())
-	fmt.Fprintf(out, "writebacks:  %d\n", s.Writebacks)
-	for _, p := range cache.Processors {
-		o := p.CacheOverhead(s.Misses(), insns, cfg.BlockBytes)
-		fmt.Fprintf(out, "O_cache(%s, penalty %d cycles): %.4f\n", p.Name, p.MissPenalty(cfg.BlockBytes), o)
-	}
-	if verbose {
-		fmt.Fprintf(out, "collector misses: %d; collector writebacks: %d\n", s.GCMisses(), s.GCWritebacks)
-	}
 }

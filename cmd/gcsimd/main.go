@@ -1,0 +1,139 @@
+// Command gcsimd serves the experiment harness over HTTP: a long-lived
+// daemon that accepts cache-sweep jobs, executes them on a bounded worker
+// pool through the resilient per-config engine, and shares one
+// content-addressed trace cache across every job — a reference stream is
+// recorded by the first job that needs it and replayed by all the rest.
+//
+// API (JSON unless noted):
+//
+//	POST   /v1/jobs             submit a job spec, returns the queued job
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        one job's state and (when done) results
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events live progress, one JSON event per line
+//	GET    /v1/jobs/{id}/report the rendered text report
+//	GET    /metrics             Prometheus text exposition
+//	GET    /healthz             liveness probe
+//
+// Jobs persist under the state directory and survive restarts: completed
+// configurations land in per-job checkpoint files as they finish, so a
+// SIGTERM drains in-flight jobs into resumable checkpoints and the next
+// gcsimd picks them up where they stopped. gcsim -remote <url> is the
+// matching client; it renders reports byte-identical to local runs.
+//
+// Usage:
+//
+//	gcsimd [-addr host:port] [-state dir] [-workers N] [-parallel N]
+//	       [-trace-cache dir|none] [-verify-heap] [-drain-timeout d] [-v]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"gcsim/internal/cliutil"
+	"gcsim/internal/core"
+	"gcsim/internal/server"
+	"gcsim/internal/telemetry"
+)
+
+const tool = "gcsimd"
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8089", "listen address (host:port; port 0 picks a free port)")
+	stateDir := flag.String("state", "gcsimd-state", "state directory for jobs, checkpoints, and the trace cache")
+	workers := flag.Int("workers", 2, "concurrently executing jobs")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "per-job parallelism (worker goroutines per sweep)")
+	traceCacheDir := flag.String("trace-cache", "", `trace cache directory shared by all jobs (default <state>/trace-cache; "none" disables record-once/replay-many)`)
+	verifyHeap := flag.Bool("verify-heap", false, "verify heap invariants after every collection")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long to wait for open HTTP connections on shutdown")
+	verbose := flag.Bool("v", false, "log job lifecycle and engine progress on stderr")
+	flag.Parse()
+
+	if *workers < 1 {
+		cliutil.Fatalf(tool, "-workers must be >= 1")
+	}
+	core.SetParallelism(*parallel)
+	core.SetVerifyHeap(*verifyHeap)
+	prog := telemetry.NewProgress(os.Stderr, tool, *verbose)
+	core.SetProgress(prog)
+
+	var tc *core.TraceCache
+	if *traceCacheDir != "none" {
+		dir := *traceCacheDir
+		if dir == "" {
+			dir = filepath.Join(*stateDir, "trace-cache")
+		}
+		var err error
+		tc, err = core.NewTraceCache(dir)
+		if err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		core.SetTraceCache(tc)
+		defer core.SetTraceCache(nil)
+	}
+
+	srv, err := server.New(server.Config{
+		StateDir:   *stateDir,
+		Workers:    *workers,
+		TraceCache: tc,
+		Progress:   prog,
+	})
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
+	// The listen line is a protocol: scripts parse it to learn the port
+	// when -addr ends in :0. Keep it first and keep its shape.
+	fmt.Printf("%s: listening on http://%s\n", tool, ln.Addr())
+
+	// SIGINT/SIGTERM trigger the drain: stop accepting HTTP, interrupt
+	// in-flight jobs at their next safepoint, persist them as resumable,
+	// then exit 0.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	srv.Start(context.Background())
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		srv.Drain()
+		cliutil.Fatal(tool, err)
+	case <-ctx.Done():
+	}
+	stopSignals()
+	fmt.Printf("%s: draining\n", tool)
+
+	// Drain the pool first: in-flight jobs are interrupted at their next
+	// safepoint and persisted as resumable before the HTTP side goes away,
+	// so a kill arriving during shutdown cannot lose the checkpoints. Then
+	// close HTTP; event streams of interrupted jobs never end on their own,
+	// so fall back to a hard close at the drain timeout.
+	srv.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			prog.Printf("http shutdown: %v", err)
+		}
+		hs.Close()
+	}
+	fmt.Printf("%s: drained\n", tool)
+}

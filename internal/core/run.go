@@ -179,6 +179,13 @@ func Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	start := time.Now()
 	v, err := spec.Workload.Run(m, spec.Scale)
 	dur := time.Since(start)
+	if err == nil && ctx.Err() != nil {
+		// The program can end before the context watcher delivers the
+		// interrupt (there is no safepoint left to observe it, e.g. on a
+		// single-CPU scheduler). A run under a cancelled context never
+		// reports success.
+		err = vm.ErrInterrupted
+	}
 	if err == nil && !scheme.IsFixnum(v) {
 		err = fmt.Errorf("core: %s checksum is not a fixnum", spec.Workload.Name)
 	}

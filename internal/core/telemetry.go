@@ -50,6 +50,11 @@ func progress() *telemetry.Progress {
 	return telProgress
 }
 
+// Progress returns the installed reporter (possibly nil; a nil *Progress
+// is safe to call), so other layers — e.g. gcsim's remote client — can
+// log through the same channel the engine does.
+func Progress() *telemetry.Progress { return progress() }
+
 // newRunRecord condenses a completed run. Cache results are attached
 // afterwards by RunSweep, which also folds in snapshot overhead.
 func newRunRecord(spec RunSpec, res *RunResult, ring *telemetry.GCRing,

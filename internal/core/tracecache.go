@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gcsim/internal/cache"
@@ -65,6 +66,22 @@ type TraceCache struct {
 	dir  string
 	mu   sync.Mutex
 	keys map[string]*sync.Mutex
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// TraceCacheStats counts this process's lookups against the cache: a hit
+// replays an existing trace, a miss records one first. Servers export
+// these (the hit rate is what record-once/replay-many buys across jobs).
+type TraceCacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// Stats returns the lookup counters accumulated so far.
+func (tc *TraceCache) Stats() TraceCacheStats {
+	return TraceCacheStats{Hits: tc.hits.Load(), Misses: tc.misses.Load()}
 }
 
 // NewTraceCache opens (creating if needed) a trace-cache directory.
@@ -148,8 +165,10 @@ func (tc *TraceCache) ensure(ctx context.Context, w *workloads.Workload, scale i
 		return nil, "", err
 	}
 	if meta != nil {
+		tc.hits.Add(1)
 		return meta, tracePath, nil
 	}
+	tc.misses.Add(1)
 	meta, err = tc.record(ctx, w, scale, col, identity, tracePath, metaPath)
 	if err != nil {
 		return nil, "", err

@@ -1,0 +1,99 @@
+// Package report renders the human-readable run reports the CLIs print.
+// It exists so every consumer of sweep results — gcsim's local paths, the
+// gcsimd server's /report endpoint, and gcsim's -remote client — formats
+// the same data through the same code and therefore produces byte-identical
+// text. The functions take plain stats (a run header plus rebuilt caches),
+// never live simulator objects, so a report can be rendered from a
+// checkpoint, a telemetry record, or a server response as easily as from a
+// just-finished run.
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"gcsim/internal/cache"
+	"gcsim/internal/gc"
+)
+
+// Run is the per-run header every report shares: the identity and global
+// counts that do not vary across cache configurations.
+type Run struct {
+	Name      string // workload name or program path
+	Collector string
+	GCStats   gc.Stats
+	Checksum  int64
+	Insns     uint64 // I_prog
+	GCInsns   uint64 // I_gc
+}
+
+// CacheFor rebuilds a report-ready cache from a configuration and its
+// measured statistics (e.g. loaded from a checkpoint or a server result).
+func CacheFor(cfg cache.Config, s cache.Stats) *cache.Cache {
+	c := cache.New(cfg)
+	c.S = s
+	return c
+}
+
+// Render prints the standard report for a completed sweep: the full
+// single-configuration report when one cache was swept, otherwise the
+// sweep header followed by the per-configuration table.
+func Render(out io.Writer, run Run, caches []*cache.Cache, verbose bool) {
+	if len(caches) == 1 {
+		Single(out, run, caches[0], verbose)
+		return
+	}
+	Header(out, run)
+	Table(out, caches, run.Insns, verbose)
+}
+
+// Single prints the one-configuration report.
+func Single(out io.Writer, run Run, c *cache.Cache, verbose bool) {
+	cfg := c.Config()
+	s := &c.S
+	fmt.Fprintf(out, "workload:    %s\n", run.Name)
+	fmt.Fprintf(out, "collector:   %s (%d collections, %d words copied)\n",
+		run.Collector, run.GCStats.Collections, run.GCStats.CopiedWords)
+	fmt.Fprintf(out, "cache:       %v\n", cfg)
+	fmt.Fprintf(out, "checksum:    %d\n", run.Checksum)
+	fmt.Fprintf(out, "insns:       %d program + %d collector\n", run.Insns, run.GCInsns)
+	fmt.Fprintf(out, "refs:        %d program + %d collector\n", s.Refs(), s.GCReads+s.GCWrites)
+	fmt.Fprintf(out, "misses:      %d penalized (%d read, %d write), %d allocation claims\n",
+		s.Misses(), s.ReadMisses, s.WriteMisses, s.WriteAllocs)
+	fmt.Fprintf(out, "miss ratio:  %.5f\n", s.MissRatio())
+	fmt.Fprintf(out, "writebacks:  %d\n", s.Writebacks)
+	for _, p := range cache.Processors {
+		o := p.CacheOverhead(s.Misses(), run.Insns, cfg.BlockBytes)
+		fmt.Fprintf(out, "O_cache(%s, penalty %d cycles): %.4f\n", p.Name, p.MissPenalty(cfg.BlockBytes), o)
+	}
+	if verbose {
+		fmt.Fprintf(out, "collector misses: %d; collector writebacks: %d\n", s.GCMisses(), s.GCWritebacks)
+	}
+}
+
+// Header prints the per-run lines above a multi-configuration table.
+func Header(out io.Writer, run Run) {
+	fmt.Fprintf(out, "workload:    %s\n", run.Name)
+	fmt.Fprintf(out, "collector:   %s (%d collections, %d words copied)\n",
+		run.Collector, run.GCStats.Collections, run.GCStats.CopiedWords)
+	fmt.Fprintf(out, "checksum:    %d\n", run.Checksum)
+	fmt.Fprintf(out, "insns:       %d program + %d collector\n", run.Insns, run.GCInsns)
+}
+
+// Table prints one row per swept configuration.
+func Table(out io.Writer, caches []*cache.Cache, insns uint64, verbose bool) {
+	fmt.Fprintf(out, "\n%-22s %12s %10s %12s %10s %10s\n",
+		"config", "misses", "ratio", "writebacks", "O(slow)", "O(fast)")
+	for _, c := range caches {
+		cfg := c.Config()
+		s := &c.S
+		fmt.Fprintf(out, "%-22s %12d %10.5f %12d %10.4f %10.4f\n",
+			cfg.String(), s.Misses(), s.MissRatio(), s.Writebacks,
+			cache.Slow.CacheOverhead(s.Misses(), insns, cfg.BlockBytes),
+			cache.Fast.CacheOverhead(s.Misses(), insns, cfg.BlockBytes))
+		if verbose {
+			fmt.Fprintf(out, "%-22s %12s reads %d, writes %d, allocs %d, GC misses %d\n",
+				"", "", s.Reads, s.Writes, s.WriteAllocs, s.GCMisses())
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package server turns the experiment harness into a long-lived service:
+// an HTTP/JSON API over the engine in internal/core. Clients submit sweep
+// jobs (a workload/collector pair against a list of cache configurations);
+// a bounded worker pool executes them through the resilient per-config
+// sweep, sharing one content-addressed trace cache across every job so a
+// reference stream is recorded once and replayed for each configuration of
+// each job that needs it. Jobs persist across restarts on the checkpoint
+// format, progress streams live as JSONL, and /metrics exposes the
+// service's counters in Prometheus text format.
+//
+// This file defines the wire types shared by the server and the client
+// (gcsim -remote). Everything a report needs travels in the job view, so
+// the client renders the result locally through internal/report and
+// produces output byte-identical to the same sweep run in-process.
+package server
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gcsim/internal/cache"
+	"gcsim/internal/core"
+	"gcsim/internal/gc"
+	"gcsim/internal/report"
+	"gcsim/internal/workloads"
+)
+
+// JobSchema identifies the persisted job format and the v1 API shapes.
+const JobSchema = "gcsimd-job/v1"
+
+// Job states. Queued, running, and interrupted jobs are resumable: a
+// restarted server re-enqueues them and the per-config checkpoint replays
+// whatever already completed. Done, failed, and cancelled are terminal.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateInterrupted = "interrupted"
+	StateCancelled   = "cancelled"
+)
+
+// TerminalState reports whether a job in this state will never run again.
+func TerminalState(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// CacheConfig is the wire form of one cache geometry. The policy travels
+// as its canonical name so job specs are readable and stable across
+// versions.
+type CacheConfig struct {
+	SizeBytes  int    `json:"size_bytes"`
+	BlockBytes int    `json:"block_bytes"`
+	Policy     string `json:"policy"` // "write-validate" or "fetch-on-write"
+}
+
+// ParsePolicy resolves a write-miss policy name.
+func ParsePolicy(name string) (cache.WritePolicy, error) {
+	switch strings.TrimSpace(name) {
+	case "write-validate":
+		return cache.WriteValidate, nil
+	case "fetch-on-write":
+		return cache.FetchOnWrite, nil
+	}
+	return 0, fmt.Errorf("server: unknown write policy %q", name)
+}
+
+// ToCache converts to the simulator's configuration, validating geometry.
+func (c CacheConfig) ToCache() (cache.Config, error) {
+	pol, err := ParsePolicy(c.Policy)
+	if err != nil {
+		return cache.Config{}, err
+	}
+	cfg := cache.Config{SizeBytes: c.SizeBytes, BlockBytes: c.BlockBytes, Policy: pol}
+	if err := cfg.Validate(); err != nil {
+		return cache.Config{}, err
+	}
+	return cfg, nil
+}
+
+// ConfigFromCache converts a simulator configuration to its wire form.
+func ConfigFromCache(cfg cache.Config) CacheConfig {
+	return CacheConfig{SizeBytes: cfg.SizeBytes, BlockBytes: cfg.BlockBytes, Policy: cfg.Policy.String()}
+}
+
+// GCOptions is the wire form of gc.Options.
+type GCOptions struct {
+	SemispaceBytes int `json:"semispace_bytes,omitempty"`
+	NurseryBytes   int `json:"nursery_bytes,omitempty"`
+	OldBytes       int `json:"old_bytes,omitempty"`
+}
+
+// ToGC converts to the collector factory's options.
+func (o GCOptions) ToGC() gc.Options {
+	return gc.Options{SemispaceBytes: o.SemispaceBytes, NurseryBytes: o.NurseryBytes, OldBytes: o.OldBytes}
+}
+
+// JobSpec describes one sweep job: a workload/collector pair evaluated
+// against every listed cache configuration. The configuration order is
+// preserved end to end, so the remote report's rows match a local sweep's.
+type JobSpec struct {
+	Workload  string        `json:"workload"`
+	Scale     int           `json:"scale,omitempty"` // 0 = the workload's default
+	GC        string        `json:"gc"`              // collector name ("none", "cheney", ...)
+	GCOptions GCOptions     `json:"gc_options"`
+	Configs   []CacheConfig `json:"configs"`
+	// Retries re-attempts a failed configuration before recording it as a
+	// failure (0 = one attempt only).
+	Retries int `json:"retries,omitempty"`
+	// Label tags the job (free-form, e.g. a CI run ID).
+	Label string `json:"label,omitempty"`
+}
+
+// Validate checks the spec without running anything: the workload and
+// collector must exist and every configuration must be a legal geometry.
+func (s *JobSpec) Validate() error {
+	if s.Workload == "" {
+		return fmt.Errorf("server: job spec has no workload")
+	}
+	if _, err := workloads.ByName(s.Workload); err != nil {
+		return err
+	}
+	gcName := s.GC
+	if gcName == "" {
+		gcName = "none"
+	}
+	if _, err := gc.New(gcName, s.GCOptions.ToGC()); err != nil {
+		return err
+	}
+	if len(s.Configs) == 0 {
+		return fmt.Errorf("server: job spec has no cache configurations")
+	}
+	if s.Retries < 0 {
+		return fmt.Errorf("server: retries must be >= 0")
+	}
+	for _, c := range s.Configs {
+		if _, err := c.ToCache(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CacheConfigs expands the wire configurations, preserving order.
+func (s *JobSpec) CacheConfigs() ([]cache.Config, error) {
+	out := make([]cache.Config, 0, len(s.Configs))
+	for _, c := range s.Configs {
+		cfg, err := c.ToCache()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+// ConfigResult is the wire form of one completed configuration: exactly
+// what core.ConfigResult carries, which is exactly what the report needs.
+type ConfigResult struct {
+	Config         CacheConfig `json:"config"`
+	ConfigName     string      `json:"config_name"`
+	CacheStats     cache.Stats `json:"cache_stats"`
+	Checksum       int64       `json:"checksum"`
+	Insns          uint64      `json:"insns"`
+	GCInsns        uint64      `json:"gc_insns"`
+	GCStats        gc.Stats    `json:"gc_stats"`
+	FromCheckpoint bool        `json:"from_checkpoint,omitempty"`
+}
+
+// resultFromCore converts an engine result to its wire form.
+func resultFromCore(r core.ConfigResult) ConfigResult {
+	return ConfigResult{
+		Config:         ConfigFromCache(r.Config),
+		ConfigName:     r.Config.String(),
+		CacheStats:     r.CacheStats,
+		Checksum:       r.Checksum,
+		Insns:          r.Insns,
+		GCInsns:        r.GCInsns,
+		GCStats:        r.GCStats,
+		FromCheckpoint: r.FromCheckpoint,
+	}
+}
+
+// JobFailure is the wire form of one configuration that exhausted its
+// retry budget.
+type JobFailure struct {
+	Config   string `json:"config"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error"`
+}
+
+// Job is the full view of one submitted job: the spec, its lifecycle
+// state, and — once configurations complete — the results. It is also the
+// on-disk persistence format (schema gcsimd-job/v1).
+type Job struct {
+	Schema string  `json:"schema"`
+	ID     string  `json:"id"`
+	Spec   JobSpec `json:"spec"`
+	State  string  `json:"state"`
+	Error  string  `json:"error,omitempty"`
+	// Collector is the resolved collector name (e.g. "cheney"), filled in
+	// when the job first runs.
+	Collector    string         `json:"collector,omitempty"`
+	SubmittedAt  string         `json:"submitted_at,omitempty"` // RFC 3339
+	FinishedAt   string         `json:"finished_at,omitempty"`  // RFC 3339
+	ConfigsDone  int            `json:"configs_done"`
+	ConfigsTotal int            `json:"configs_total"`
+	Results      []ConfigResult `json:"results,omitempty"`
+	Failures     []JobFailure   `json:"failures,omitempty"`
+}
+
+// Terminal reports whether the job will never run again.
+func (j *Job) Terminal() bool { return TerminalState(j.State) }
+
+// RenderReport writes the job's report — byte-identical to the same sweep
+// run locally by gcsim — to out. It fails if the job has no results yet.
+func (j *Job) RenderReport(out io.Writer, verbose bool) error {
+	if len(j.Results) == 0 {
+		return fmt.Errorf("server: job %s has no results to report (state %s)", j.ID, j.State)
+	}
+	caches := make([]*cache.Cache, 0, len(j.Results))
+	for _, r := range j.Results {
+		cfg, err := r.Config.ToCache()
+		if err != nil {
+			return err
+		}
+		caches = append(caches, report.CacheFor(cfg, r.CacheStats))
+	}
+	first := j.Results[0]
+	report.Render(out, report.Run{
+		Name:      j.Spec.Workload,
+		Collector: j.Collector,
+		GCStats:   first.GCStats,
+		Checksum:  first.Checksum,
+		Insns:     first.Insns,
+		GCInsns:   first.GCInsns,
+	}, caches, verbose)
+	return nil
+}
+
+// Event is one line of a job's progress stream (JSONL over
+// /v1/jobs/{id}/events). A "state" event carries the lifecycle state; a
+// "config" event reports one configuration completing. A state event with
+// a terminal state is always the last line of a stream.
+type Event struct {
+	Type   string `json:"type"` // "state" or "config"
+	Job    string `json:"job"`
+	State  string `json:"state,omitempty"`
+	Config string `json:"config,omitempty"`
+	Done   int    `json:"done,omitempty"`
+	Total  int    `json:"total,omitempty"`
+	Error  string `json:"error,omitempty"`
+}

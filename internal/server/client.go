@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a gcsimd server. The zero HTTPClient is usable: event
+// streams are long-lived, so no overall request timeout is set — pass a
+// context to bound a call instead.
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for the server at base (e.g.
+// "http://127.0.0.1:8089").
+func NewClient(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/"), HTTPClient: &http.Client{}}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes the server's {"error": ...} body into a Go error.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("server: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("server: %s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job spec and returns the accepted (queued) job.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
+	var j Job
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/jobs", &spec, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Job fetches one job's current view.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Cancel asks the server to cancel a job.
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Metrics fetches the raw Prometheus exposition page.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// Stream follows a job's JSONL event stream, invoking onEvent (which may
+// be nil) per line, until the stream reports a terminal state or ctx is
+// cancelled. It returns the terminal state event.
+func (c *Client) Stream(ctx context.Context, id string, onEvent func(Event)) (Event, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return Event{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return Event{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Event{}, apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return Event{}, fmt.Errorf("server: bad event line %q: %w", line, err)
+		}
+		if onEvent != nil {
+			onEvent(e)
+		}
+		if e.Type == "state" && TerminalState(e.State) {
+			return e, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Event{}, err
+	}
+	return Event{}, fmt.Errorf("server: event stream for job %s ended without a terminal state", id)
+}
+
+// Run submits a spec and follows it to completion: the job is streamed
+// until terminal, then its final view is fetched. If ctx is cancelled
+// while the job runs, Run asks the server to cancel it (on a fresh
+// short-lived context) before returning ctx's error — a client hitting
+// Ctrl-C should not leave a job burning server cycles.
+func (c *Client) Run(ctx context.Context, spec JobSpec, onEvent func(Event)) (*Job, error) {
+	j, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Stream(ctx, j.ID, onEvent); err != nil {
+		if ctx.Err() != nil {
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_, _ = c.Cancel(cctx, j.ID)
+			return nil, fmt.Errorf("%w: job %s cancelled", ctx.Err(), j.ID)
+		}
+		return nil, err
+	}
+	return c.Job(ctx, j.ID)
+}

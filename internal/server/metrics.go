@@ -1,0 +1,62 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"gcsim/internal/core"
+)
+
+// Metrics is the service's counter set, exported at /metrics in
+// Prometheus text exposition format. Counters are monotonically
+// increasing totals since process start; gauges report instantaneous
+// state. The trace-cache hit counters come straight from the shared
+// core.TraceCache, so a repeated job shows up as hits — the signal that
+// record-once/replay-many is actually being shared across jobs.
+type Metrics struct {
+	JobsSubmitted    atomic.Uint64
+	JobsCompleted    atomic.Uint64
+	JobsFailed       atomic.Uint64
+	JobsInterrupted  atomic.Uint64
+	JobsCancelled    atomic.Uint64
+	JobsRunning      atomic.Int64
+	ConfigsCompleted atomic.Uint64
+	RefsReplayed     atomic.Uint64
+	WorkersBusy      atomic.Int64
+	Workers          int
+}
+
+// metricRow is one exposition line with its metadata.
+type metricRow struct {
+	name, help, kind string
+	value            float64
+}
+
+// WriteText writes the exposition page. tc may be nil (trace cache
+// disabled); queued is the current queue depth.
+func (m *Metrics) WriteText(w io.Writer, tc *core.TraceCache, queued int) {
+	var hits, misses uint64
+	if tc != nil {
+		st := tc.Stats()
+		hits, misses = st.Hits, st.Misses
+	}
+	rows := []metricRow{
+		{"gcsimd_jobs_submitted_total", "Jobs accepted by POST /v1/jobs.", "counter", float64(m.JobsSubmitted.Load())},
+		{"gcsimd_jobs_completed_total", "Jobs that finished with every configuration done.", "counter", float64(m.JobsCompleted.Load())},
+		{"gcsimd_jobs_failed_total", "Jobs that finished with an error or failed configurations.", "counter", float64(m.JobsFailed.Load())},
+		{"gcsimd_jobs_interrupted_total", "Jobs drained into resumable checkpoints by shutdown or cancellation.", "counter", float64(m.JobsInterrupted.Load())},
+		{"gcsimd_jobs_cancelled_total", "Jobs cancelled by DELETE /v1/jobs/{id}.", "counter", float64(m.JobsCancelled.Load())},
+		{"gcsimd_jobs_running", "Jobs executing right now.", "gauge", float64(m.JobsRunning.Load())},
+		{"gcsimd_jobs_queued", "Jobs waiting for a worker.", "gauge", float64(queued)},
+		{"gcsimd_configs_completed_total", "Cache configurations simulated to completion.", "counter", float64(m.ConfigsCompleted.Load())},
+		{"gcsimd_refs_replayed_total", "Memory references delivered to caches by completed configurations.", "counter", float64(m.RefsReplayed.Load())},
+		{"gcsimd_workers", "Size of the worker pool.", "gauge", float64(m.Workers)},
+		{"gcsimd_workers_busy", "Workers currently executing a job.", "gauge", float64(m.WorkersBusy.Load())},
+		{"gcsimd_trace_cache_hits_total", "Sweep lookups served by replaying a cached trace.", "counter", float64(hits)},
+		{"gcsimd_trace_cache_misses_total", "Sweep lookups that had to record a trace first.", "counter", float64(misses)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", r.name, r.help, r.name, r.kind, r.name, r.value)
+	}
+}

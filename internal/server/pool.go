@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// pool is the bounded worker set that executes jobs. Submissions enqueue
+// a job ID; each worker loops pulling IDs and handing them to the run
+// callback with the pool's run context. Draining cancels that context —
+// the PR-3 cancellation plumbing interrupts the machines at their next
+// safepoint, the resilient sweep checkpoints what completed — and then
+// waits for every worker to return. IDs still queued at drain time simply
+// stay queued on disk and are re-enqueued by the next server.
+type pool struct {
+	queue  chan string
+	run    func(ctx context.Context, id string)
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	started bool
+	drained bool
+}
+
+// queueCap bounds the backlog; submissions beyond it are rejected with
+// 503 rather than growing without bound.
+const queueCap = 1024
+
+func newPool(run func(ctx context.Context, id string)) *pool {
+	return &pool{queue: make(chan string, queueCap), run: run}
+}
+
+// start launches n workers under a context derived from ctx.
+func (p *pool) start(ctx context.Context, n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return
+	}
+	p.started = true
+	p.ctx, p.cancel = context.WithCancel(ctx)
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case id := <-p.queue:
+			p.run(p.ctx, id)
+		}
+	}
+}
+
+// submit enqueues a job ID without blocking.
+func (p *pool) submit(id string) error {
+	p.mu.Lock()
+	drained := p.drained
+	p.mu.Unlock()
+	if drained {
+		return fmt.Errorf("server: draining, not accepting jobs")
+	}
+	select {
+	case p.queue <- id:
+		return nil
+	default:
+		return fmt.Errorf("server: job queue full (%d pending)", queueCap)
+	}
+}
+
+// depth reports the current backlog.
+func (p *pool) depth() int { return len(p.queue) }
+
+// drain cancels the run context and waits for the workers to finish
+// checkpointing their in-flight jobs. Safe to call more than once.
+func (p *pool) drain() {
+	p.mu.Lock()
+	if !p.drained {
+		p.drained = true
+		if p.cancel != nil {
+			p.cancel()
+		}
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

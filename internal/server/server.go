@@ -1,0 +1,481 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"gcsim/internal/core"
+	"gcsim/internal/gc"
+	"gcsim/internal/telemetry"
+	"gcsim/internal/workloads"
+)
+
+// Config configures a Server.
+type Config struct {
+	// StateDir is where jobs (and their checkpoints) persist. Required.
+	StateDir string
+	// Workers bounds concurrently executing jobs (default 1). Each job's
+	// own per-config parallelism is the engine-wide core.Parallelism().
+	Workers int
+	// TraceCache, if non-nil, is shared by every job: the first sweep over
+	// a (workload, scale, collector) triple records the reference trace,
+	// every later one — in the same job or any other — replays it. The
+	// caller is responsible for having installed it with
+	// core.SetTraceCache; the server only reads its hit-rate counters.
+	TraceCache *core.TraceCache
+	// Progress, if non-nil, receives job lifecycle log lines.
+	Progress *telemetry.Progress
+}
+
+// Server is the gcsimd service: a job store, a worker pool, an event hub,
+// and the HTTP API tying them together.
+type Server struct {
+	cfg     Config
+	store   *Store
+	hub     *eventHub
+	pool    *pool
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	mu        sync.Mutex
+	cancels   map[string]context.CancelFunc
+	cancelled map[string]bool // jobs cancelled via the API (vs drained)
+}
+
+// New opens the state directory and builds the server. Call Start to
+// launch the workers (and re-enqueue unfinished jobs), then serve
+// Handler(); call Drain to stop.
+func New(cfg Config) (*Server, error) {
+	if cfg.StateDir == "" {
+		return nil, fmt.Errorf("server: no state directory configured")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	store, err := OpenStore(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		store:     store,
+		hub:       newEventHub(),
+		metrics:   &Metrics{Workers: cfg.Workers},
+		cancels:   make(map[string]context.CancelFunc),
+		cancelled: make(map[string]bool),
+	}
+	s.pool = newPool(s.runJob)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the worker pool under ctx and re-enqueues every
+// resumable job a previous process left behind (their completed
+// configurations replay from the per-job checkpoints, not recompute).
+func (s *Server) Start(ctx context.Context) {
+	for _, id := range s.store.Resumable() {
+		j, err := s.store.Update(id, func(j *Job) {
+			if j.State != StateQueued {
+				s.logf("resuming job %s (%s, %d/%d configs checkpointed)", j.ID, j.State, j.ConfigsDone, j.ConfigsTotal)
+				j.State = StateQueued
+			}
+		})
+		if err != nil {
+			s.logf("resume %s: %v", id, err)
+			continue
+		}
+		s.hub.seed(j)
+		if err := s.pool.submit(id); err != nil {
+			s.logf("resume %s: %v", id, err)
+		}
+	}
+	s.pool.start(ctx, s.cfg.Workers)
+}
+
+// Drain stops the service: the pool's run context is cancelled, in-flight
+// jobs are interrupted at their machines' next safepoint and land in
+// resumable checkpoints, and Drain returns once every worker has
+// persisted its job. Queued jobs stay queued for the next process.
+func (s *Server) Drain() {
+	s.pool.drain()
+}
+
+// logf writes one server log line via the configured progress reporter.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Progress != nil {
+		s.cfg.Progress.Printf(format, args...)
+	}
+}
+
+func nowRFC3339() string { return time.Now().UTC().Format(time.RFC3339) }
+
+// ---- job execution -------------------------------------------------------
+
+// runJob executes one job on a pool worker. Interruption semantics: a
+// drain (pool context cancelled) marks the job interrupted — resumable,
+// its finished configurations checkpointed; an API cancellation marks it
+// cancelled — terminal. Failed configurations (after the retry budget)
+// fail the job but keep every completed result.
+func (s *Server) runJob(ctx context.Context, id string) {
+	j, ok := s.store.Get(id)
+	if !ok || j.Terminal() {
+		return // cancelled while queued, or stale queue entry
+	}
+	spec := j.Spec
+
+	jctx, cancel := context.WithCancel(ctx)
+	s.mu.Lock()
+	s.cancels[id] = cancel
+	s.mu.Unlock()
+	defer func() {
+		cancel()
+		s.mu.Lock()
+		delete(s.cancels, id)
+		delete(s.cancelled, id) // a cancel that raced with completion
+		s.mu.Unlock()
+	}()
+
+	w, err := workloads.ByName(spec.Workload)
+	if err != nil {
+		s.finishJob(id, nil, err)
+		return
+	}
+	cfgs, err := spec.CacheConfigs()
+	if err != nil {
+		s.finishJob(id, nil, err)
+		return
+	}
+	gcName := spec.GC
+	if gcName == "" {
+		gcName = "none"
+	}
+	mkCol := func() gc.Collector {
+		col, err := gc.New(gcName, spec.GCOptions.ToGC())
+		if err != nil {
+			panic(err) // spec was validated at submission
+		}
+		return col
+	}
+	colName := "none"
+	if col := mkCol(); col != nil {
+		colName = col.Name()
+	}
+
+	s.metrics.JobsRunning.Add(1)
+	s.metrics.WorkersBusy.Add(1)
+	defer s.metrics.JobsRunning.Add(-1)
+	defer s.metrics.WorkersBusy.Add(-1)
+
+	if _, err := s.store.Update(id, func(j *Job) {
+		j.State = StateRunning
+		j.Collector = colName
+	}); err != nil {
+		s.logf("job %s: %v", id, err)
+		return
+	}
+	s.hub.publish(Event{Type: "state", Job: id, State: StateRunning, Total: len(cfgs)})
+	s.logf("job %s started: %s/s%d gc=%s, %d configs", id, spec.Workload, spec.Scale, colName, len(cfgs))
+
+	ck, err := core.NewCheckpoint(s.store.CheckpointDir(id))
+	if err != nil {
+		s.finishJob(id, nil, err)
+		return
+	}
+
+	var done int
+	var doneMu sync.Mutex
+	total := len(cfgs)
+	sweep, err := core.RunSweepPerConfig(jctx, w, spec.Scale, cfgs, core.PerConfigSweepOpts{
+		MakeCollector: mkCol,
+		Retries:       spec.Retries,
+		Checkpoint:    ck,
+		Resume:        true, // a fresh job has an empty checkpoint dir; a resumed one replays it
+		OnResult: func(r core.ConfigResult) {
+			doneMu.Lock()
+			done++
+			d := done
+			doneMu.Unlock()
+			s.metrics.ConfigsCompleted.Add(1)
+			s.metrics.RefsReplayed.Add(r.CacheStats.Refs() + r.CacheStats.GCReads + r.CacheStats.GCWrites)
+			s.hub.publish(Event{Type: "config", Job: id, Config: r.Config.String(), Done: d, Total: total})
+		},
+	})
+	s.finishJob(id, sweep, err)
+}
+
+// finishJob persists a job's terminal (or interrupted) state and
+// announces it. sweep may be nil when the job never started a sweep.
+func (s *Server) finishJob(id string, sweep *core.PerConfigSweep, err error) {
+	s.mu.Lock()
+	apiCancelled := s.cancelled[id]
+	delete(s.cancelled, id)
+	s.mu.Unlock()
+
+	state := StateDone
+	var errText string
+	switch {
+	case err != nil && apiCancelled:
+		state = StateCancelled
+		errText = "cancelled"
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		state = StateInterrupted // drained; resumable from its checkpoints
+		errText = err.Error()
+	case err != nil:
+		state = StateFailed
+		errText = err.Error()
+	case sweep != nil && len(sweep.Failures) > 0:
+		state = StateFailed
+		errText = fmt.Sprintf("%d of %d configurations failed", len(sweep.Failures), len(sweep.Results)+len(sweep.Failures))
+	}
+
+	switch state {
+	case StateDone:
+		s.metrics.JobsCompleted.Add(1)
+	case StateFailed:
+		s.metrics.JobsFailed.Add(1)
+	case StateInterrupted:
+		s.metrics.JobsInterrupted.Add(1)
+	case StateCancelled:
+		s.metrics.JobsCancelled.Add(1)
+	}
+
+	j, uerr := s.store.Update(id, func(j *Job) {
+		j.State = state
+		j.Error = errText
+		if state != StateInterrupted {
+			j.FinishedAt = nowRFC3339()
+		}
+		if sweep != nil {
+			j.Collector = sweep.Collector
+			j.Results = j.Results[:0]
+			for _, r := range sweep.Results {
+				j.Results = append(j.Results, resultFromCore(r))
+			}
+			j.Failures = j.Failures[:0]
+			for _, f := range sweep.Failures {
+				j.Failures = append(j.Failures, JobFailure{Config: f.Config, Attempts: f.Attempts, Error: f.Err.Error()})
+			}
+			j.ConfigsDone = len(j.Results)
+		}
+	})
+	if uerr != nil {
+		s.logf("job %s: %v", id, uerr)
+		return
+	}
+	s.hub.publish(Event{Type: "state", Job: id, State: state, Done: j.ConfigsDone, Total: j.ConfigsTotal, Error: errText})
+	s.logf("job %s %s: %d/%d configs%s", id, state, j.ConfigsDone, j.ConfigsTotal, suffixIf(errText))
+}
+
+func suffixIf(errText string) string {
+	if errText == "" {
+		return ""
+	}
+	return ": " + errText
+}
+
+// ---- HTTP handlers -------------------------------------------------------
+
+// maxSpecBytes bounds a job submission body.
+const maxSpecBytes = 1 << 20
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.store.Create(spec, nowRFC3339())
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.metrics.JobsSubmitted.Add(1)
+	s.hub.publish(Event{Type: "state", Job: j.ID, State: StateQueued, Total: j.ConfigsTotal})
+	if err := s.pool.submit(j.ID); err != nil {
+		j, _ = s.store.Update(j.ID, func(j *Job) {
+			j.State = StateFailed
+			j.Error = err.Error()
+			j.FinishedAt = nowRFC3339()
+		})
+		s.metrics.JobsFailed.Add(1)
+		s.hub.publish(Event{Type: "state", Job: j.ID, State: StateFailed, Error: j.Error})
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.logf("job %s submitted: %s gc=%s, %d configs", j.ID, spec.Workload, spec.GC, len(spec.Configs))
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.store.List()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %s", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.store.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %s", id)
+		return
+	}
+	if j.Terminal() {
+		writeJSON(w, http.StatusOK, j) // already finished; cancelling is a no-op
+		return
+	}
+	s.mu.Lock()
+	cancel := s.cancels[id]
+	if cancel != nil {
+		s.cancelled[id] = true
+	}
+	s.mu.Unlock()
+	if cancel != nil {
+		// Running: interrupt the machines; the worker persists the
+		// cancelled state once the sweep drains.
+		cancel()
+		j, _ = s.store.Get(id)
+		writeJSON(w, http.StatusOK, j)
+		return
+	}
+	// Queued: flip it to cancelled directly; the worker skips terminal
+	// jobs when it eventually pops the stale queue entry.
+	j, err := s.store.Update(id, func(j *Job) {
+		if !j.Terminal() {
+			j.State = StateCancelled
+			j.Error = "cancelled"
+			j.FinishedAt = nowRFC3339()
+		}
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.metrics.JobsCancelled.Add(1)
+	s.hub.publish(Event{Type: "state", Job: id, State: StateCancelled, Error: "cancelled"})
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.store.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %s", id)
+		return
+	}
+	s.hub.seed(j) // restarted server: make the stream coherent again
+	replay, ch, cancel := s.hub.subscribe(id)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	sawTerminal := false
+	emit := func(e Event) bool {
+		if err := enc.Encode(e); err != nil {
+			return false
+		}
+		_ = rc.Flush()
+		if e.Type == "state" && TerminalState(e.State) {
+			sawTerminal = true
+		}
+		return true
+	}
+	for _, e := range replay {
+		if !emit(e) {
+			return
+		}
+	}
+	if ch != nil {
+		for !sawTerminal {
+			select {
+			case <-r.Context().Done():
+				return
+			case e, chOpen := <-ch:
+				if !chOpen {
+					// Stream closed; the terminal event may have been dropped
+					// on a full buffer, so synthesize it from the store below.
+					goto drained
+				}
+				if !emit(e) {
+					return
+				}
+			}
+		}
+	}
+drained:
+	if !sawTerminal {
+		if j, ok := s.store.Get(id); ok && j.Terminal() {
+			emit(Event{Type: "state", Job: id, State: j.State, Done: j.ConfigsDone, Total: j.ConfigsTotal, Error: j.Error})
+		}
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.store.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %s", id)
+		return
+	}
+	var buf bytes.Buffer
+	if err := j.RenderReport(&buf, r.URL.Query().Get("verbose") == "1"); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteText(w, s.cfg.TraceCache, s.pool.depth())
+}

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"gcsim/internal/core"
+)
+
+func validSpec() JobSpec {
+	return JobSpec{
+		Workload: "nbody",
+		Scale:    1,
+		GC:       "cheney",
+		Configs: []CacheConfig{
+			{SizeBytes: 32 << 10, BlockBytes: 32, Policy: "write-validate"},
+		},
+	}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*JobSpec)
+		wantErr string
+	}{
+		{"valid", func(s *JobSpec) {}, ""},
+		{"empty gc means none", func(s *JobSpec) { s.GC = "" }, ""},
+		{"no workload", func(s *JobSpec) { s.Workload = "" }, "no workload"},
+		{"unknown workload", func(s *JobSpec) { s.Workload = "quux" }, "unknown workload"},
+		{"unknown collector", func(s *JobSpec) { s.GC = "epsilon" }, "unknown collector"},
+		{"no configs", func(s *JobSpec) { s.Configs = nil }, "no cache configurations"},
+		{"bad policy", func(s *JobSpec) { s.Configs[0].Policy = "write-sometimes" }, "unknown write policy"},
+		{"bad geometry", func(s *JobSpec) { s.Configs[0].SizeBytes = 3000 }, "not a positive power of two"},
+		{"negative retries", func(s *JobSpec) { s.Retries = -1 }, "retries"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := validSpec()
+			tc.mutate(&spec)
+			err := spec.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error mentioning %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCacheConfigRoundTrip(t *testing.T) {
+	for _, wire := range []CacheConfig{
+		{SizeBytes: 64 << 10, BlockBytes: 64, Policy: "write-validate"},
+		{SizeBytes: 1 << 20, BlockBytes: 16, Policy: "fetch-on-write"},
+	} {
+		cfg, err := wire.ToCache()
+		if err != nil {
+			t.Fatalf("ToCache(%+v): %v", wire, err)
+		}
+		if got := ConfigFromCache(cfg); got != wire {
+			t.Errorf("round trip: %+v -> %+v", wire, got)
+		}
+	}
+}
+
+func TestStorePersistReload(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := st.Create(validSpec(), "2026-01-01T00:00:01Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := st.Create(validSpec(), "2026-01-01T00:00:02Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Update(j2.ID, func(j *Job) {
+		j.State = StateDone
+		j.Collector = "cheney"
+		j.ConfigsDone = 1
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Update(j1.ID, func(j *Job) { j.State = StateInterrupted }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload from disk: the same jobs come back, and only the
+	// non-terminal one is resumable.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st2.Get(j2.ID)
+	if !ok {
+		t.Fatalf("job %s lost on reload", j2.ID)
+	}
+	if got.State != StateDone || got.Collector != "cheney" || got.ConfigsDone != 1 {
+		t.Errorf("reloaded job = %+v", got)
+	}
+	if got.Spec.Workload != "nbody" || len(got.Spec.Configs) != 1 {
+		t.Errorf("reloaded spec = %+v", got.Spec)
+	}
+	res := st2.Resumable()
+	if len(res) != 1 || res[0] != j1.ID {
+		t.Errorf("Resumable() = %v, want [%s]", res, j1.ID)
+	}
+	if n := len(st2.List()); n != 2 {
+		t.Errorf("List() returned %d jobs, want 2", n)
+	}
+
+	// Mutating a returned copy must not leak into the store.
+	got.Spec.Configs[0].SizeBytes = 12345
+	fresh, _ := st2.Get(j2.ID)
+	if fresh.Spec.Configs[0].SizeBytes == 12345 {
+		t.Error("Get returned a shallow copy: caller mutation reached the store")
+	}
+}
+
+func TestEventHubReplayAndTerminal(t *testing.T) {
+	h := newEventHub()
+	h.publish(Event{Type: "state", Job: "j1", State: StateQueued})
+	h.publish(Event{Type: "config", Job: "j1", Config: "64k/64b/write-validate", Done: 1, Total: 2})
+
+	replay, ch, cancel := h.subscribe("j1")
+	defer cancel()
+	if len(replay) != 2 || ch == nil {
+		t.Fatalf("subscribe: %d replayed events, ch=%v", len(replay), ch)
+	}
+
+	h.publish(Event{Type: "config", Job: "j1", Config: "32k/32b/write-validate", Done: 2, Total: 2})
+	h.publish(Event{Type: "state", Job: "j1", State: StateDone})
+	var live []Event
+	for e := range ch { // closed by the terminal event
+		live = append(live, e)
+	}
+	if len(live) != 2 || live[1].State != StateDone {
+		t.Fatalf("live events = %+v", live)
+	}
+
+	// A late subscriber gets history only, and nothing may follow the
+	// terminal event.
+	h.publish(Event{Type: "config", Job: "j1", Config: "late"})
+	replay, ch, cancel = h.subscribe("j1")
+	defer cancel()
+	if ch != nil {
+		t.Error("subscribe after terminal returned a live channel")
+	}
+	if len(replay) != 4 || replay[3].State != StateDone {
+		t.Fatalf("replay after terminal = %+v", replay)
+	}
+}
+
+func TestEventHubSeed(t *testing.T) {
+	h := newEventHub()
+	h.seed(&Job{ID: "j9", State: StateDone, ConfigsDone: 3, ConfigsTotal: 3})
+	replay, ch, cancel := h.subscribe("j9")
+	defer cancel()
+	if ch != nil || len(replay) != 1 || replay[0].State != StateDone {
+		t.Fatalf("seeded stream: ch=%v replay=%+v", ch, replay)
+	}
+	// Seeding an already-populated job is a no-op.
+	h.seed(&Job{ID: "j9", State: StateQueued})
+	replay, _, cancel2 := h.subscribe("j9")
+	defer cancel2()
+	if len(replay) != 1 {
+		t.Fatalf("re-seed added events: %+v", replay)
+	}
+}
+
+func TestMetricsText(t *testing.T) {
+	m := &Metrics{Workers: 3}
+	m.JobsSubmitted.Add(5)
+	m.JobsCompleted.Add(4)
+	m.RefsReplayed.Add(1_000_000)
+	tc, err := core.NewTraceCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	m.WriteText(&sb, tc, 2)
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE gcsimd_jobs_submitted_total counter",
+		"gcsimd_jobs_submitted_total 5",
+		"gcsimd_jobs_completed_total 4",
+		"gcsimd_refs_replayed_total 1e+06",
+		"gcsimd_jobs_queued 2",
+		"gcsimd_workers 3",
+		"gcsimd_trace_cache_hits_total 0",
+		"gcsimd_trace_cache_misses_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics page missing %q:\n%s", want, text)
+		}
+	}
+	// A nil trace cache must not panic and still reports zero counters.
+	sb.Reset()
+	m.WriteText(&sb, nil, 0)
+	if !strings.Contains(sb.String(), "gcsimd_trace_cache_hits_total 0") {
+		t.Error("nil trace cache dropped the hit counter")
+	}
+}

@@ -7,14 +7,20 @@
 # -check-record) and the run fails if telemetry overhead exceeds 2% of the
 # run or if the two stdout reports differ (the determinism guarantee).
 #
-# Outputs (repository root):
+# Outputs (under $BENCH_DIR, default bench-out/, which is gitignored;
+# the committed BENCH_parallel.json at the repository root is the seed
+# baseline, refreshed deliberately, not on every run):
 #   BENCH_parallel.json         summary consumed by CI trend tracking
 #   BENCH_serial_record.json    full run record of the -parallel 1 sweep
 #   BENCH_parallel_record.json  full run record of the -parallel N sweep
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_parallel.json}"
+bench_dir="${BENCH_DIR:-bench-out}"
+mkdir -p "$bench_dir"
+out="${1:-$bench_dir/BENCH_parallel.json}"
+serial_record="$bench_dir/BENCH_serial_record.json"
+parallel_record="$bench_dir/BENCH_parallel_record.json"
 workload="${WORKLOAD:-nbody}"
 scale="${SCALE:-1}"
 collector="${COLLECTOR:-cheney}"
@@ -28,10 +34,10 @@ echo "sweep: -workload $workload -scale $scale -gc $collector -cache $caches -bl
 
 $gcsim -workload "$workload" -scale "$scale" -gc "$collector" \
     -cache "$caches" -block "$blocks" -parallel 1 \
-    -json BENCH_serial_record.json > /tmp/bench_serial_stdout.txt
+    -json "$serial_record" > /tmp/bench_serial_stdout.txt
 $gcsim -workload "$workload" -scale "$scale" -gc "$collector" \
     -cache "$caches" -block "$blocks" -parallel "$cores" \
-    -json BENCH_parallel_record.json > /tmp/bench_parallel_stdout.txt
+    -json "$parallel_record" > /tmp/bench_parallel_stdout.txt
 
 # Determinism: the stdout report must be byte-identical at any parallelism.
 if ! cmp -s /tmp/bench_serial_stdout.txt /tmp/bench_parallel_stdout.txt; then
@@ -41,8 +47,8 @@ if ! cmp -s /tmp/bench_serial_stdout.txt /tmp/bench_parallel_stdout.txt; then
 fi
 
 # Schema validation: fails if a record misses any required field.
-$gcsim -check-record BENCH_serial_record.json
-$gcsim -check-record BENCH_parallel_record.json
+$gcsim -check-record "$serial_record"
+$gcsim -check-record "$parallel_record"
 echo "records: schema-valid"
 
 # field FILE KEY: extract the first numeric value of "key": N from a record.
@@ -50,14 +56,15 @@ field() {
     sed -n "s/^ *\"$2\": \([0-9.e+-]*\),*$/\1/p" "$1" | head -1
 }
 
-serial_refs=$(field BENCH_serial_record.json refs)
-serial_gc_refs=$(field BENCH_serial_record.json gc_refs)
-serial_dur=$(field BENCH_serial_record.json duration_seconds)
-parallel_dur=$(field BENCH_parallel_record.json duration_seconds)
-overhead=$(field BENCH_parallel_record.json overhead_fraction)
+serial_refs=$(field "$serial_record" refs)
+serial_gc_refs=$(field "$serial_record" gc_refs)
+serial_dur=$(field "$serial_record" duration_seconds)
+parallel_dur=$(field "$parallel_record" duration_seconds)
+overhead=$(field "$parallel_record" overhead_fraction)
 
 awk -v refs="$serial_refs" -v gcrefs="$serial_gc_refs" -v cores="$cores" \
-    -v sdur="$serial_dur" -v pdur="$parallel_dur" -v ovh="$overhead" '
+    -v sdur="$serial_dur" -v pdur="$parallel_dur" -v ovh="$overhead" \
+    -v srec="$serial_record" -v prec="$parallel_record" '
 BEGIN {
     total = (refs + gcrefs) * 8 # every config replays the whole stream
     if (ovh > 0.02) {
@@ -71,7 +78,7 @@ BEGIN {
     printf "  \"parallel_refs_per_sec\": %.0f,\n", total / pdur
     printf "  \"speedup\": %.3f,\n", sdur / pdur
     printf "  \"telemetry_overhead_fraction\": %s,\n", ovh
-    printf "  \"records\": [\"BENCH_serial_record.json\", \"BENCH_parallel_record.json\"],\n"
+    printf "  \"records\": [\"%s\", \"%s\"],\n", srec, prec
     printf "  \"note\": \"derived from gcsim -json run records; each of the 8 caches simulates the full reference stream\"\n"
     printf "}\n"
 }' > "$out"

@@ -21,14 +21,20 @@
 # is absent). vm_capture_refs_per_sec gives the same-host, same-workload
 # production rate of the recording run for comparison.
 #
-# Outputs (repository root):
+# Outputs (under $BENCH_DIR, default bench-out/, which is gitignored;
+# the committed BENCH_replay.json at the repository root is the seed
+# baseline, refreshed deliberately, not on every run):
 #   BENCH_replay.json                summary consumed by CI trend tracking
 #   BENCH_replay_live_record.json    run record of the live sweep
 #   BENCH_replay_cached_record.json  run record of the replayed sweep
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_replay.json}"
+bench_dir="${BENCH_DIR:-bench-out}"
+mkdir -p "$bench_dir"
+out="${1:-$bench_dir/BENCH_replay.json}"
+live_record="$bench_dir/BENCH_replay_live_record.json"
+cached_record="$bench_dir/BENCH_replay_cached_record.json"
 workload="${WORKLOAD:-tc}"
 collector="${COLLECTOR:-cheney}"
 caches="32k,64k,128k,256k"
@@ -64,10 +70,10 @@ echo "replay delivery: ${replay_mrefs}M refs/s (best of $repeats)"
 
 # --- sweep: live vs -trace-cache, byte-identical stdout -------------------
 sweep="-workload $workload -gc $collector -cache $caches -block $blocks -parallel 1"
-"$tmp/gcsim" $sweep -json BENCH_replay_live_record.json > "$tmp/live_stdout.txt"
+"$tmp/gcsim" $sweep -json "$live_record" > "$tmp/live_stdout.txt"
 "$tmp/gcsim" $sweep -trace-cache "$tmp/tcache" > "$tmp/prime_stdout.txt"
 "$tmp/gcsim" $sweep -trace-cache "$tmp/tcache" \
-    -json BENCH_replay_cached_record.json > "$tmp/cached_stdout.txt"
+    -json "$cached_record" > "$tmp/cached_stdout.txt"
 
 for pass in prime cached; do
     if ! cmp -s "$tmp/live_stdout.txt" "$tmp/${pass}_stdout.txt"; then
@@ -78,8 +84,8 @@ for pass in prime cached; do
 done
 echo "stdout: live, priming, and replayed sweeps byte-identical"
 
-"$tmp/gcsim" -check-record BENCH_replay_live_record.json
-"$tmp/gcsim" -check-record BENCH_replay_cached_record.json
+"$tmp/gcsim" -check-record "$live_record"
+"$tmp/gcsim" -check-record "$cached_record"
 echo "records: schema-valid"
 
 # field FILE KEY: extract the first numeric value of "key": N from a record.
@@ -87,18 +93,23 @@ field() {
     sed -n "s/^ *\"$2\": \([0-9.e+-]*\),*$/\1/p" "$1" | head -1
 }
 
-live_dur=$(field BENCH_replay_live_record.json duration_seconds)
-cached_dur=$(field BENCH_replay_cached_record.json duration_seconds)
+live_dur=$(field "$live_record" duration_seconds)
+cached_dur=$(field "$cached_record" duration_seconds)
 
+# Baseline: a fresh same-host measurement from this run's bench dir if one
+# exists, else the committed repository-root summary, else the seed value.
 baseline=11071524 # seed BENCH_parallel.json serial_refs_per_sec
-if [ -f BENCH_parallel.json ]; then
-    baseline=$(field BENCH_parallel.json serial_refs_per_sec)
-fi
+for summary in "$bench_dir/BENCH_parallel.json" BENCH_parallel.json; do
+    if [ -f "$summary" ]; then
+        baseline=$(field "$summary" serial_refs_per_sec)
+        break
+    fi
+done
 
 awk -v refs="$refs" -v bytes="$trace_bytes" -v cap="$capture_mrefs" \
     -v rep="$replay_mrefs" -v base="$baseline" -v ldur="$live_dur" \
     -v cdur="$cached_dur" -v minsp="$min_speedup" -v wl="$workload" \
-    -v col="$collector" '
+    -v col="$collector" -v lrec="$live_record" -v crec="$cached_record" '
 BEGIN {
     repps = rep * 1e6
     speedup = repps / base
@@ -117,7 +128,7 @@ BEGIN {
     printf "  \"sweep_replay_seconds\": %.3f,\n", cdur
     printf "  \"sweep_speedup\": %.3f,\n", ldur / cdur
     printf "  \"stdout_identical\": true,\n"
-    printf "  \"records\": [\"BENCH_replay_live_record.json\", \"BENCH_replay_cached_record.json\"],\n"
+    printf "  \"records\": [\"%s\", \"%s\"],\n", lrec, crec
     printf "  \"note\": \"replay_refs_per_sec: trace->consumer delivery rate (gctrace -replay -cache none). live_refs_per_sec: the live engine end-to-end throughput from BENCH_parallel.json serial_refs_per_sec. vm_capture_refs_per_sec: the recording run (VM + v2 encode) on the same workload. sweep_*: the same 8-config sweep live vs replayed from a -trace-cache directory, stdout byte-identical.\"\n"
     printf "}\n"
     if (speedup < minsp) {

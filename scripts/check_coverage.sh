@@ -1,0 +1,20 @@
+#!/bin/sh
+# Measures total statement coverage across every package and fails if it
+# drops below the recorded floor (scripts/coverage_floor.txt). The floor
+# is a ratchet: raise it when coverage durably improves, never lower it
+# to absorb a regression. The profile lands in $COVER_PROFILE (default
+# coverage.out, gitignored) for upload as a CI artifact.
+set -eu
+
+cd "$(dirname "$0")/.."
+profile="${COVER_PROFILE:-coverage.out}"
+floor="$(cat scripts/coverage_floor.txt)"
+
+go test -count=1 -coverprofile="$profile" -coverpkg=./... ./...
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
+echo "total coverage: ${total}% (floor: ${floor}%)"
+if ! awk -v t="$total" -v f="$floor" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }'; then
+    echo "FAIL: coverage ${total}% fell below the ${floor}% floor" >&2
+    exit 1
+fi

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Nightly scaled-down reproduction of the full paper: every experiment at
+# the small test scales, driven through the record-once/replay-many trace
+# cache. The suite runs twice against the same cache directory — the first
+# pass records each (workload, scale, collector) reference trace and the
+# second replays them — and the two reports must match byte for byte
+# (ignoring wall-clock lines), which is the replay-determinism guarantee
+# checked against the entire reproduction rather than a single sweep. Run
+# records from the recording pass are schema-validated and left in
+# $NIGHTLY_DIR for upload.
+set -eu
+
+cd "$(dirname "$0")/.."
+outdir="${NIGHTLY_DIR:-bench-out/nightly}"
+mkdir -p "$outdir"
+
+run_suite() {
+    go run ./cmd/gcbench -quick -trace-cache "$outdir/trace-cache" "$@"
+}
+
+echo "nightly reproduction pass 1: recording traces"
+run_suite -json "$outdir/records.jsonl" > "$outdir/report_record.txt"
+echo "nightly reproduction pass 2: replaying traces"
+run_suite > "$outdir/report_replay.txt"
+
+# Wall-clock lines are the only legitimate difference between the passes.
+strip_timings() { grep -v "completed in" "$1" > "$2"; }
+strip_timings "$outdir/report_record.txt" "$outdir/record_stripped.txt"
+strip_timings "$outdir/report_replay.txt" "$outdir/replay_stripped.txt"
+if ! cmp -s "$outdir/record_stripped.txt" "$outdir/replay_stripped.txt"; then
+    echo "FAIL: replayed reproduction differs from the recording pass" >&2
+    diff "$outdir/record_stripped.txt" "$outdir/replay_stripped.txt" >&2 || true
+    exit 1
+fi
+rm -f "$outdir/record_stripped.txt" "$outdir/replay_stripped.txt"
+echo "reports: recording and replaying passes byte-identical"
+
+go run ./cmd/gcsim -check-record "$outdir/records.jsonl"
+echo "records: schema-valid ($(grep -c . "$outdir/records.jsonl") runs)"
+
+# The trace cache itself is scratch, not an artifact worth uploading.
+rm -rf "$outdir/trace-cache"

@@ -1,0 +1,89 @@
+#!/bin/sh
+# End-to-end smoke of the networked experiment service: start gcsimd on an
+# ephemeral port, run the same sweep locally and through gcsim -remote,
+# and require byte-identical reports. A second remote submission must
+# replay the daemon's trace cache (nonzero hit counter on /metrics), and a
+# SIGTERM must drain the daemon cleanly (exit 0 after "drained").
+set -eu
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+daemon=""
+cleanup() {
+    [ -n "$daemon" ] && kill "$daemon" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "building gcsim and gcsimd"
+go build -o "$workdir/gcsim" ./cmd/gcsim
+go build -o "$workdir/gcsimd" ./cmd/gcsimd
+
+"$workdir/gcsimd" -addr 127.0.0.1:0 -state "$workdir/state" -workers 1 \
+    > "$workdir/gcsimd.log" 2>&1 &
+daemon=$!
+
+# The first stdout line is a protocol: "gcsimd: listening on http://HOST:PORT".
+base=""
+i=0
+while [ "$i" -lt 50 ]; do
+    base=$(sed -n 's|^gcsimd: listening on \(http://.*\)$|\1|p' "$workdir/gcsimd.log" | head -1)
+    [ -n "$base" ] && break
+    kill -0 "$daemon" 2>/dev/null || break
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ -z "$base" ]; then
+    echo "FAIL: gcsimd did not announce a listen address" >&2
+    cat "$workdir/gcsimd.log" >&2
+    exit 1
+fi
+echo "gcsimd is at $base"
+
+sweep="-workload tc -scale 400 -gc cheney -cache 32k,64k -block 32,64"
+"$workdir/gcsim" $sweep > "$workdir/local.txt"
+"$workdir/gcsim" -remote "$base" $sweep > "$workdir/remote1.txt"
+if ! cmp -s "$workdir/local.txt" "$workdir/remote1.txt"; then
+    echo "FAIL: remote report differs from the local run" >&2
+    diff "$workdir/local.txt" "$workdir/remote1.txt" >&2 || true
+    exit 1
+fi
+echo "reports: local and remote byte-identical"
+
+# A repeated job replays the trace the first one recorded.
+"$workdir/gcsim" -remote "$base" $sweep > "$workdir/remote2.txt"
+cmp -s "$workdir/local.txt" "$workdir/remote2.txt" || {
+    echo "FAIL: repeated remote report differs" >&2
+    exit 1
+}
+
+metrics=$(curl -fsS "$base/metrics")
+metric() { echo "$metrics" | awk -v name="$1" '$1 == name { print $2 }'; }
+hits=$(metric gcsimd_trace_cache_hits_total)
+completed=$(metric gcsimd_jobs_completed_total)
+echo "/metrics: trace_cache_hits=$hits jobs_completed=$completed"
+awk -v h="$hits" 'BEGIN { exit (h + 0 > 0) ? 0 : 1 }' || {
+    echo "FAIL: no trace-cache hits after a repeated job" >&2
+    exit 1
+}
+awk -v c="$completed" 'BEGIN { exit (c + 0 == 2) ? 0 : 1 }' || {
+    echo "FAIL: gcsimd_jobs_completed_total = $completed, want 2" >&2
+    exit 1
+}
+
+# SIGTERM must drain: in-flight work checkpointed, clean exit 0.
+kill -TERM "$daemon"
+status=0
+wait "$daemon" || status=$?
+daemon=""
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: gcsimd exited $status on SIGTERM" >&2
+    cat "$workdir/gcsimd.log" >&2
+    exit 1
+fi
+grep -q "gcsimd: drained" "$workdir/gcsimd.log" || {
+    echo "FAIL: gcsimd never reported a completed drain" >&2
+    cat "$workdir/gcsimd.log" >&2
+    exit 1
+}
+echo "gcsimd: SIGTERM drained cleanly"
