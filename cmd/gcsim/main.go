@@ -3,8 +3,9 @@
 //
 // The -cache, -block, and -policy flags accept comma-separated lists; with
 // more than one resulting configuration, the program's single reference
-// stream is swept through every configuration in one run (a parallel bank
-// with one worker goroutine per cache) and a per-config table is printed.
+// stream is swept through every configuration in one run (a fused bank
+// simulating all tag state in a single pass, sharded across core-scaled
+// workers with -parallel > 1) and a per-config table is printed.
 //
 // The harness is fault-tolerant: -timeout bounds the whole invocation, and
 // SIGINT/SIGTERM interrupt the machines at their next safepoint, so an
@@ -394,8 +395,9 @@ func runFile(ctx context.Context, out io.Writer, path string, col gc.Collector, 
 		par = cache.NewParallelBank(cfgs)
 		tracer = par
 	} else {
-		bank = cache.NewBank(cfgs)
-		tracer = bank
+		fused := cache.NewFusedBank(cfgs)
+		tracer = fused
+		bank = fused.Bank()
 	}
 	m := vm.NewLoaded(tracer, col)
 	m.VerifyHeap = core.VerifyHeapEnabled()

@@ -9,11 +9,18 @@
 // goroutine pool (-parallel). Both modes report reference counts and
 // host throughput; -timeout and SIGINT/SIGTERM cancel cleanly.
 //
+// Replay accepts comma-separated -cache and -block lists; the cross
+// product is simulated in one pass. Multi-configuration replays of v2
+// traces take the fused path — each frame is decoded exactly once and
+// fanned out to every configuration — and report the per-stage
+// decode/simulate/merge breakdown.
+//
 // Usage:
 //
 //	gctrace -capture trace.v2 -workload tc [-scale N] [-gc cheney] [-compress]
 //	gctrace -replay trace.v2 -cache 64k -block 64 [-policy write-validate]
 //	        [-parallel N] [-timeout 10m]
+//	gctrace -replay trace.v2 -cache 32k,64k,128k,256k -block 32,64  # fused sweep
 //	gctrace -replay trace.v2 -cache none   # null consumer: delivery rate only
 package main
 
@@ -49,8 +56,8 @@ func main() {
 	scale := flag.Int("scale", 0, "workload scale (0 = default)")
 	gcName := flag.String("gc", "none", "collector during capture")
 	compress := flag.Bool("compress", false, "flate-compress trace frames during capture")
-	cacheSize := flag.String("cache", "64k", "replay cache size (none = null consumer, measures delivery rate)")
-	blockSize := flag.Int("block", 64, "replay block size")
+	cacheSize := flag.String("cache", "64k", "replay cache sizes, comma-separated (none = null consumer, measures delivery rate)")
+	blockSize := flag.String("block", "64", "replay block sizes, comma-separated")
 	policy := flag.String("policy", "write-validate", "replay write-miss policy: write-validate or fetch-on-write")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "replay frame-decoder goroutines (1 = inline)")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
@@ -129,10 +136,14 @@ func capture(ctx context.Context, path, workloadName string, scale int, gcName s
 	return nil
 }
 
-func replay(ctx context.Context, path, cacheSize string, blockSize int, policy string, parallel int) error {
-	var c *cache.Cache
+func replay(ctx context.Context, path, cacheSize, blockSize, policy string, parallel int) error {
+	var cfgs []cache.Config
 	if cacheSize != "none" {
-		size, err := cliutil.ParseSize(cacheSize)
+		sizes, err := cliutil.ParseSizeList(cacheSize)
+		if err != nil {
+			return err
+		}
+		blocks, err := cliutil.ParseIntList(blockSize)
 		if err != nil {
 			return err
 		}
@@ -145,11 +156,18 @@ func replay(ctx context.Context, path, cacheSize string, blockSize int, policy s
 		default:
 			return fmt.Errorf("unknown policy %q", policy)
 		}
-		cfg := cache.Config{SizeBytes: size, BlockBytes: blockSize, Policy: pol}
-		if err := cfg.Validate(); err != nil {
-			return err
+		for _, size := range sizes {
+			for _, block := range blocks {
+				cfg := cache.Config{SizeBytes: size, BlockBytes: block, Policy: pol}
+				if err := cfg.Validate(); err != nil {
+					return err
+				}
+				cfgs = append(cfgs, cfg)
+			}
 		}
-		c = cache.New(cfg)
+	}
+	if len(cfgs) > 1 {
+		return replaySweep(ctx, path, cfgs, parallel)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -165,9 +183,11 @@ func replay(ctx context.Context, path, cacheSize string, blockSize int, policy s
 		return err
 	}
 	rp.SetDecoders(parallel)
-	var sink mem.Tracer = c
-	if c == nil {
-		sink = &nullSink{}
+	var c *cache.Cache
+	var sink mem.Tracer = &nullSink{}
+	if len(cfgs) == 1 {
+		c = cache.New(cfgs[0])
+		sink = c
 	}
 	start := time.Now()
 	n, err := rp.Run(ctx, sink)
@@ -187,6 +207,80 @@ func replay(ctx context.Context, path, cacheSize string, blockSize int, policy s
 	fmt.Printf("misses: %d penalized, %d allocation claims, miss ratio %.5f\n",
 		c.S.Misses(), c.S.WriteAllocs, c.S.MissRatio())
 	fmt.Printf("collector misses: %d\n", c.S.GCMisses())
+	return nil
+}
+
+// replaySweep replays one trace into several cache configurations in a
+// single pass. v2 traces take the fused path: each frame is decoded
+// exactly once and fanned out to every configuration's tag state. Legacy
+// v1 traces (no frame stamps) fall back to a serial bank replay.
+func replaySweep(ctx context.Context, path string, cfgs []cache.Config, parallel int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := sniffGzip(f)
+	if err != nil {
+		return err
+	}
+
+	fused := cache.NewFusedBank(cfgs)
+	sr, serr := traceio.NewSharedReplayer(r)
+	var (
+		n       uint64
+		version int
+		dur     time.Duration
+	)
+	if serr == nil {
+		sr.SetDecoders(parallel)
+		start := time.Now()
+		n, err = sr.Run(ctx, fused)
+		if err != nil {
+			return err
+		}
+		dur = time.Since(start)
+		version = 2
+	} else {
+		// The shared replayer consumed the header probing the version;
+		// reopen and feed the bank view serially.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		r, err = sniffGzip(f)
+		if err != nil {
+			return err
+		}
+		rp, err := traceio.NewReplayer(r)
+		if err != nil {
+			return err
+		}
+		rp.SetDecoders(parallel)
+		start := time.Now()
+		n, err = rp.Run(ctx, fused.Bank())
+		if err != nil {
+			return err
+		}
+		dur = time.Since(start)
+		version = rp.Version()
+	}
+
+	pathName := "fused single pass"
+	if serr != nil {
+		pathName = "serial bank fallback"
+	}
+	fmt.Printf("replayed %d references into %d configurations (trace format v%d, %s)\n",
+		n, len(cfgs), version, pathName)
+	fmt.Printf("throughput: %.1fM refs/s delivered, %.1fM cache accesses/s (%.2fs host time)\n",
+		refsPerSec(n, dur)/1e6, refsPerSec(n*uint64(len(cfgs)), dur)/1e6, dur.Seconds())
+	if serr == nil {
+		fmt.Printf("stages: decode=%.3fs simulate=%.3fs merge=%.3fs frames=%d\n",
+			sr.DecodeSeconds(), fused.SimulateSeconds(), fused.MergeSeconds(), sr.Frames())
+	}
+	for _, c := range fused.Caches {
+		fmt.Printf("%-24v misses: %d penalized, %d allocation claims, miss ratio %.5f, collector misses %d\n",
+			c.Config(), c.S.Misses(), c.S.WriteAllocs, c.S.MissRatio(), c.S.GCMisses())
+	}
 	return nil
 }
 

@@ -126,11 +126,6 @@ func (c *AssocCache) victim(set int) int {
 
 // Access simulates one word reference.
 func (c *AssocCache) Access(wordAddr uint64, write, collector bool) {
-	byteAddr := wordAddr * mem.WordBytes
-	blockNum := byteAddr >> c.blockShift
-	set := int(blockNum & c.setMask)
-	bit := uint64(1) << (wordAddr & c.wordMask)
-
 	if collector {
 		if write {
 			c.S.GCWrites++
@@ -142,6 +137,17 @@ func (c *AssocCache) Access(wordAddr uint64, write, collector bool) {
 	} else {
 		c.S.Reads++
 	}
+	c.probe(wordAddr, write, collector)
+}
+
+// probe is the reference-count-free body of Access: the set probe, LRU
+// update, and miss/write-back accounting. AccessBatch counts the
+// reference kinds once per chunk and calls probe per reference.
+func (c *AssocCache) probe(wordAddr uint64, write, collector bool) {
+	byteAddr := wordAddr * mem.WordBytes
+	blockNum := byteAddr >> c.blockShift
+	set := int(blockNum & c.setMask)
+	bit := uint64(1) << (wordAddr & c.wordMask)
 
 	// Probe the set.
 	for w := 0; w < c.ways; w++ {
@@ -209,6 +215,24 @@ func (c *AssocCache) countMiss(write, collector, alloc bool) {
 // Ref implements mem.Tracer.
 func (c *AssocCache) Ref(addr uint64, write, collector bool) { c.Access(addr, write, collector) }
 
+// AccessBatch simulates a chunk of packed references. The reference-kind
+// counters are accumulated once for the whole chunk (one histogram pass
+// instead of a branch tree per reference); the probes are identical to
+// per-reference Access, so the statistics are bitwise the same.
+func (c *AssocCache) AccessBatch(refs []mem.Ref) {
+	k := refKinds(refs)
+	c.S.Reads += k[0]
+	c.S.GCReads += k[1]
+	c.S.Writes += k[2]
+	c.S.GCWrites += k[3]
+	for _, r := range refs {
+		c.probe(r.Addr(), r&mem.RefWrite != 0, r&mem.RefCollector != 0)
+	}
+}
+
+// RefBatch implements mem.BatchTracer.
+func (c *AssocCache) RefBatch(refs []mem.Ref) { c.AccessBatch(refs) }
+
 // AssocBank fans a reference stream to several associative caches.
 type AssocBank struct {
 	Caches []*AssocCache
@@ -230,7 +254,18 @@ func (b *AssocBank) Ref(addr uint64, write, collector bool) {
 	}
 }
 
+// RefBatch implements mem.BatchTracer: each cache consumes the chunk in
+// turn, so the per-chunk kind histogram is shared per cache rather than
+// re-branched per reference.
+func (b *AssocBank) RefBatch(refs []mem.Ref) {
+	for _, c := range b.Caches {
+		c.AccessBatch(refs)
+	}
+}
+
 var (
-	_ mem.Tracer = (*AssocCache)(nil)
-	_ mem.Tracer = (*AssocBank)(nil)
+	_ mem.Tracer      = (*AssocCache)(nil)
+	_ mem.Tracer      = (*AssocBank)(nil)
+	_ mem.BatchTracer = (*AssocCache)(nil)
+	_ mem.BatchTracer = (*AssocBank)(nil)
 )

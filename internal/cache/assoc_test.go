@@ -3,6 +3,8 @@ package cache
 import (
 	"testing"
 	"testing/quick"
+
+	"gcsim/internal/mem"
 )
 
 func TestAssocConfigValidate(t *testing.T) {
@@ -227,5 +229,69 @@ func TestHierarchyWritebackTraffic(t *testing.T) {
 	h.Access(wordsPerL1, false, false) // evicts it: L2 write traffic
 	if h.L2.S.Writes != 1 {
 		t.Errorf("L2 writes = %d, want 1 (the write-back)", h.L2.S.Writes)
+	}
+}
+
+// The chunk paths must be invisible in the statistics: a stream fed
+// through RefBatch in pipeline-sized chunks produces bitwise-identical
+// counters to the same stream fed one reference at a time.
+
+func TestAssocBatchMatchesAccess(t *testing.T) {
+	stream := synthStream(200_000)
+	for _, cfg := range []AssocConfig{
+		{SizeBytes: 16 << 10, BlockBytes: 32, Ways: 1, Policy: WriteValidate},
+		{SizeBytes: 16 << 10, BlockBytes: 32, Ways: 2, Policy: WriteValidate},
+		{SizeBytes: 64 << 10, BlockBytes: 64, Ways: 4, Policy: FetchOnWrite},
+		{SizeBytes: 128 << 10, BlockBytes: 128, Ways: 8, Policy: WriteValidate},
+	} {
+		serial := NewAssoc(cfg)
+		for _, r := range stream {
+			serial.Access(r.Addr(), r&mem.RefWrite != 0, r&mem.RefCollector != 0)
+		}
+		batched := NewAssoc(cfg)
+		feedChunks(batched, stream)
+		if serial.S != batched.S {
+			t.Errorf("%v: batch stats %+v != serial %+v", cfg, batched.S, serial.S)
+		}
+	}
+}
+
+func TestAssocBankBatchMatchesSerial(t *testing.T) {
+	stream := synthStream(120_000)
+	cfgs := []AssocConfig{
+		{SizeBytes: 16 << 10, BlockBytes: 32, Ways: 2, Policy: WriteValidate},
+		{SizeBytes: 64 << 10, BlockBytes: 64, Ways: 4, Policy: FetchOnWrite},
+	}
+	serial := NewAssocBank(cfgs)
+	for _, r := range stream {
+		serial.Ref(r.Addr(), r&mem.RefWrite != 0, r&mem.RefCollector != 0)
+	}
+	batched := NewAssocBank(cfgs)
+	feedChunks(batched, stream)
+	for i := range serial.Caches {
+		if serial.Caches[i].S != batched.Caches[i].S {
+			t.Errorf("cache %d: batch stats differ from serial", i)
+		}
+	}
+}
+
+func TestHierarchyBatchMatchesAccess(t *testing.T) {
+	stream := synthStream(200_000)
+	for _, cfg := range []HierarchyConfig{
+		{L1: Config{8 << 10, 32, WriteValidate}, L2: Config{256 << 10, 64, WriteValidate}, L2HitCycles: 6},
+		{L1: Config{16 << 10, 64, FetchOnWrite}, L2: Config{512 << 10, 128, FetchOnWrite}, L2HitCycles: 8},
+	} {
+		serial := NewHierarchy(cfg)
+		for _, r := range stream {
+			serial.Access(r.Addr(), r&mem.RefWrite != 0, r&mem.RefCollector != 0)
+		}
+		batched := NewHierarchy(cfg)
+		feedChunks(batched, stream)
+		if serial.L1.S != batched.L1.S {
+			t.Errorf("%v: L1 batch stats differ from serial", cfg)
+		}
+		if serial.L2.S != batched.L2.S {
+			t.Errorf("%v: L2 batch stats differ from serial", cfg)
+		}
 	}
 }

@@ -1,0 +1,321 @@
+// The fused cache bank: one decoded chunk of the reference stream is
+// simulated against every direct-mapped configuration of a sweep in a
+// single pass, with no per-reference interface calls and no per-config
+// channel hops. Each configuration's tag state lives in a struct-of-arrays
+// lane — a flat []uint64 tag array plus packed valid/dirty bitsets, one
+// arena per config (the same arrays the Cache owns, aliased, so the fused
+// and unfused paths share state and statistics) — and the hot loop keeps
+// every miss counter in registers, merging into the cache's Stats once per
+// chunk. Reference-kind totals (reads/writes, program/collector) depend
+// only on the chunk itself, so they are histogrammed once per chunk and
+// added to every lane instead of being branched on per reference per
+// config.
+//
+// Determinism: each lane consumes the chunk stream sequentially, in
+// order, exactly as the serial Bank's per-cache loop does, and the
+// per-chunk merge lands before any chunk-boundary snapshot is taken — so
+// final statistics and periodic snapshots are bitwise identical to the
+// serial Bank's no matter which path (serial bank, fused bank, sharded
+// parallel bank) simulated the sweep.
+package cache
+
+import (
+	"time"
+
+	"gcsim/internal/mem"
+)
+
+// fusedLane is one configuration's slot in the fused store: the cache's
+// flat tag/valid/dirty arrays plus its geometry, hoisted so the simulate
+// loop touches no Cache fields, and the per-chunk miss-counter scratch the
+// merge pass folds into the cache's Stats.
+type fusedLane struct {
+	c *Cache
+
+	tags  []uint64 // aliases c.tags: current block number per cache block
+	valid []uint64 // aliases c.valid: per-word valid bits per block
+	dirty []uint64 // aliases c.dirty: dirty bits, packed 64 blocks per word
+
+	shift3   uint // blockShift - log2(WordBytes): word address -> block number
+	wordMask uint64
+	fullMask uint64
+	fow      bool // fetch-on-write policy
+
+	// Per-chunk scratch, written by simulate and consumed by merge.
+	readMiss, writeMiss, writeAllocs uint64
+	gcReadMiss, gcWriteMiss          uint64
+	wb, gcwb                         uint64
+	fused                            bool // this chunk went through simulate
+}
+
+// newFusedLane hoists one cache's state and geometry into a lane.
+func newFusedLane(c *Cache) fusedLane {
+	return fusedLane{
+		c:        c,
+		tags:     c.tags,
+		valid:    c.valid,
+		dirty:    c.dirty,
+		shift3:   c.blockShift - 3, // WordBytes == 8
+		wordMask: c.wordMask,
+		fullMask: c.fullMask,
+		fow:      c.cfg.Policy == FetchOnWrite,
+	}
+}
+
+// refKinds histograms a chunk by reference kind. The index is the packed
+// ref's top two bits (write<<1 | collector): 0 = program read, 1 =
+// collector read, 2 = program write, 3 = collector write. The totals are
+// a property of the chunk alone, so one histogram serves every lane.
+func refKinds(refs []mem.Ref) (k [4]uint64) {
+	for _, r := range refs {
+		k[r>>62]++
+	}
+	return k
+}
+
+// run simulates one chunk through this lane. Caches with live
+// instrumentation hooks (block stats, miss events) take the cache's own
+// instrumented path, which already maintains every counter itself; plain
+// lanes take the fused register loop and defer counters to merge.
+func (ln *fusedLane) run(refs []mem.Ref) {
+	if c := ln.c; c.instrumented {
+		for _, r := range refs {
+			c.accessInstrumented(r.Addr(), r.Write(), r.Collector())
+		}
+		ln.fused = false
+		return
+	}
+	ln.simulate(refs)
+	ln.fused = true
+}
+
+// simulate is the fused hot loop: the direct-mapped write-validate /
+// fetch-on-write simulation of accessPlain, restructured so the common
+// case (tag match on a valid word) is a handful of ALU ops on flat
+// arrays, and every event counter stays in a register until the chunk is
+// done. It must remain semantically identical to Cache.accessPlain —
+// the golden fused-vs-serial equivalence tests enforce this bit for bit.
+func (ln *fusedLane) simulate(refs []mem.Ref) {
+	tags := ln.tags
+	if len(tags) == 0 {
+		return
+	}
+	idxMask := uint64(len(tags) - 1)
+	valid := ln.valid[:len(tags)]
+	dirty := ln.dirty
+	if len(dirty) == 0 {
+		return
+	}
+	// len(dirty) is ceil(len(tags)/64), a power of two whenever len(tags)
+	// is — masking the dirty-word index is a no-op that lets the compiler
+	// drop the bounds check.
+	dwMask := uint64(len(dirty) - 1)
+	var (
+		shift3               = ln.shift3
+		wordMask             = ln.wordMask
+		fullMask             = ln.fullMask
+		fow                  = ln.fow
+		readMiss, gcReadMiss uint64
+		writeMiss, gcwMiss   uint64
+		writeAllocs          uint64
+		wb, gcwb             uint64
+	)
+	for _, r := range refs {
+		addr := r.Addr()
+		blockNum := addr >> shift3
+		idx := blockNum & idxMask
+		if tags[idx] == blockNum {
+			if r&mem.RefWrite != 0 {
+				// Write hit (or write to a claimed line): validate the
+				// word, mark the block dirty, no event.
+				valid[idx] |= 1 << (addr & wordMask)
+				dirty[(idx>>6)&dwMask] |= 1 << (idx & 63)
+				continue
+			}
+			if valid[idx]&(1<<(addr&wordMask)) != 0 {
+				continue // read hit
+			}
+			// Read of a word not yet validated in a claimed line: fetch.
+			valid[idx] = fullMask
+			if r&mem.RefCollector != 0 {
+				gcReadMiss++
+			} else {
+				readMiss++
+			}
+			continue
+		}
+
+		// Tag mismatch: evict, writing back a dirty occupant.
+		dw := (idx >> 6) & dwMask
+		db := uint64(1) << (idx & 63)
+		if dirty[dw]&db != 0 && tags[idx] != tagEmpty {
+			if r&mem.RefCollector != 0 {
+				gcwb++
+			} else {
+				wb++
+			}
+		}
+		tags[idx] = blockNum
+		if r&mem.RefWrite == 0 {
+			dirty[dw] &^= db
+			valid[idx] = fullMask
+			if r&mem.RefCollector != 0 {
+				gcReadMiss++
+			} else {
+				readMiss++
+			}
+			continue
+		}
+		dirty[dw] |= db
+		// The collector always fetches on write (paper, Section 6
+		// footnote); the program fetches only under FetchOnWrite.
+		if r&mem.RefCollector != 0 {
+			valid[idx] = fullMask
+			gcwMiss++
+			continue
+		}
+		if fow {
+			valid[idx] = fullMask
+			writeMiss++
+			continue
+		}
+		// Write-validate: claim the line, validate only the written word.
+		valid[idx] = 1 << (addr & wordMask)
+		writeAllocs++
+	}
+	ln.readMiss, ln.gcReadMiss = readMiss, gcReadMiss
+	ln.writeMiss, ln.gcWriteMiss = writeMiss, gcwMiss
+	ln.writeAllocs = writeAllocs
+	ln.wb, ln.gcwb = wb, gcwb
+}
+
+// merge folds the chunk's scratch counters and the shared kind histogram
+// into the cache's Stats. Instrumented lanes already counted themselves.
+func (ln *fusedLane) merge(k *[4]uint64) {
+	if !ln.fused {
+		return
+	}
+	s := &ln.c.S
+	s.Reads += k[0]
+	s.GCReads += k[1]
+	s.Writes += k[2]
+	s.GCWrites += k[3]
+	s.ReadMisses += ln.readMiss
+	s.WriteMisses += ln.writeMiss
+	s.WriteAllocs += ln.writeAllocs
+	s.GCReadMisses += ln.gcReadMiss
+	s.GCWriteMisses += ln.gcWriteMiss
+	s.Writebacks += ln.wb
+	s.GCWritebacks += ln.gcwb
+}
+
+// FusedBank simulates a whole sweep against one reference stream with the
+// fused single-pass loop. It is a drop-in replacement for Bank on
+// direct-mapped sweeps: install as the Memory's tracer for live runs
+// (RefBatch), or feed it decoded trace chunks with their clock stamps
+// (ChunkBatch, the traceio.ChunkSink contract) for replayed ones. Stats
+// and snapshots are bitwise identical to Bank's either way.
+type FusedBank struct {
+	Caches []*Cache
+	lanes  []fusedLane
+
+	// clock, when set, stamps chunk-boundary snapshots on the live path
+	// (the replay path carries each frame's recorded stamp instead).
+	clock func() uint64
+
+	simNs   int64 // time in the fused simulate loops
+	mergeNs int64 // time in stat merges and snapshot checks
+}
+
+// NewFusedBank builds a fused bank with one lane per configuration. It
+// panics on an invalid configuration, like New.
+func NewFusedBank(cfgs []Config) *FusedBank {
+	b := &FusedBank{Caches: make([]*Cache, len(cfgs))}
+	for i, cfg := range cfgs {
+		b.Caches[i] = New(cfg)
+	}
+	b.lanes = make([]fusedLane, len(cfgs))
+	for i, c := range b.Caches {
+		b.lanes[i] = newFusedLane(c)
+	}
+	return b
+}
+
+// RefBatch implements mem.BatchTracer: the live path, clocked by the
+// bank's snapshot clock (the machine's instruction counter).
+func (b *FusedBank) RefBatch(refs []mem.Ref) {
+	var clockAt uint64
+	if b.clock != nil {
+		clockAt = b.clock()
+	}
+	b.chunk(refs, clockAt, b.clock != nil)
+}
+
+// ChunkBatch consumes one decoded trace chunk stamped with the recorded
+// instruction clock — the replay path (traceio.ChunkSink).
+func (b *FusedBank) ChunkBatch(refs []mem.Ref, insnsAt uint64) {
+	b.chunk(refs, insnsAt, insnsAt != 0)
+}
+
+// chunk runs one chunk through every lane, then merges and samples. The
+// simulate pass and the merge pass are timed separately so replay sweeps
+// can report a decode/simulate/merge breakdown.
+func (b *FusedBank) chunk(refs []mem.Ref, clockAt uint64, stamped bool) {
+	if len(b.lanes) == 0 || len(refs) == 0 {
+		return
+	}
+	kinds := refKinds(refs)
+	t0 := time.Now()
+	for i := range b.lanes {
+		b.lanes[i].run(refs)
+	}
+	t1 := time.Now()
+	for i := range b.lanes {
+		ln := &b.lanes[i]
+		ln.merge(&kinds)
+		if stamped && ln.c.snapInterval != 0 {
+			ln.c.MaybeSnapshot(clockAt)
+		}
+	}
+	b.simNs += int64(t1.Sub(t0))
+	b.mergeNs += int64(time.Since(t1))
+}
+
+// Ref implements mem.Tracer for per-reference producers (e.g. legacy v1
+// trace replay); it behaves exactly like Bank.Ref.
+func (b *FusedBank) Ref(addr uint64, write, collector bool) {
+	for _, c := range b.Caches {
+		c.Access(addr, write, collector)
+	}
+}
+
+// SetSnapshotClock installs the instruction clock consulted once per
+// live chunk for periodic snapshots (see Cache.EnableSnapshots).
+func (b *FusedBank) SetSnapshotClock(clock func() uint64) { b.clock = clock }
+
+// Bank returns a serial-bank view sharing this bank's caches, for code
+// that consumes *Bank results.
+func (b *FusedBank) Bank() *Bank { return &Bank{Caches: b.Caches} }
+
+// Find returns the bank's cache with the given configuration, or nil.
+func (b *FusedBank) Find(cfg Config) *Cache {
+	for _, c := range b.Caches {
+		if c.cfg == cfg {
+			return c
+		}
+	}
+	return nil
+}
+
+// SimulateSeconds returns the cumulative wall time spent in the fused
+// simulate loops, and MergeSeconds the time in per-chunk stat merges and
+// snapshot checks. On a sharded parallel bank the per-worker times are
+// summed, so either can exceed the elapsed wall clock.
+func (b *FusedBank) SimulateSeconds() float64 { return float64(b.simNs) / 1e9 }
+
+// MergeSeconds returns the cumulative wall time spent merging per-chunk
+// counters into cache Stats (see SimulateSeconds).
+func (b *FusedBank) MergeSeconds() float64 { return float64(b.mergeNs) / 1e9 }
+
+var _ mem.Tracer = (*FusedBank)(nil)
+var _ mem.BatchTracer = (*FusedBank)(nil)

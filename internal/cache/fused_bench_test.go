@@ -1,0 +1,54 @@
+package cache
+
+import (
+	"testing"
+
+	"gcsim/internal/mem"
+)
+
+// BenchmarkFusedBank measures the fused single-pass sweep over the same
+// 8-configuration stream as BenchmarkSerialBank/BenchmarkParallelBank —
+// the headline tag-store lookup rate of the fused store.
+func BenchmarkFusedBank(b *testing.B) {
+	benchBank(b, func() interface{ mem.BatchTracer } {
+		return NewFusedBank(benchConfigs())
+	}, nil)
+}
+
+// BenchmarkFusedLane measures the raw fused kernel on a single
+// configuration: the per-access floor the multi-lane loop builds on.
+func BenchmarkFusedLane(b *testing.B) {
+	stream := synthStream(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank := NewFusedBank([]Config{{SizeBytes: 64 << 10, BlockBytes: 64, Policy: WriteValidate}})
+		feedChunks(bank, stream)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(len(stream))/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkFusedBankChunkBatch drives the replay entry point (stamped
+// chunks, snapshot checks live) to keep the decode-once fan-out honest.
+func BenchmarkFusedBankChunkBatch(b *testing.B) {
+	stream := synthStream(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank := NewFusedBank(benchConfigs())
+		var insns uint64
+		refs := stream
+		for len(refs) > 0 {
+			n := len(refs)
+			if n > mem.ChunkRefs {
+				n = mem.ChunkRefs
+			}
+			insns += uint64(n)
+			bank.ChunkBatch(refs[:n], insns)
+			refs = refs[n:]
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(len(stream))/b.Elapsed().Seconds(), "refs/s")
+}

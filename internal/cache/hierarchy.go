@@ -104,6 +104,16 @@ func (h *Hierarchy) Access(wordAddr uint64, write, collector bool) {
 // Ref implements mem.Tracer.
 func (h *Hierarchy) Ref(addr uint64, write, collector bool) { h.Access(addr, write, collector) }
 
+// RefBatch implements mem.BatchTracer. Each reference still walks both
+// levels individually — the L2 sees only the L1's miss traffic, which is
+// decided per reference — but the chunk path decodes each packed
+// reference once and avoids an interface call per reference.
+func (h *Hierarchy) RefBatch(refs []mem.Ref) {
+	for _, r := range refs {
+		h.Access(r.Addr(), r&mem.RefWrite != 0, r&mem.RefCollector != 0)
+	}
+}
+
 // Overhead computes the memory overhead of the hierarchy relative to the
 // idealized one-instruction-per-cycle run: every L1 miss pays the L2
 // access time, and every L2 miss additionally pays the main-memory
@@ -119,4 +129,7 @@ func (h *Hierarchy) Overhead(p Processor, insns uint64) float64 {
 	return cycles / float64(insns)
 }
 
-var _ mem.Tracer = (*Hierarchy)(nil)
+var (
+	_ mem.Tracer      = (*Hierarchy)(nil)
+	_ mem.BatchTracer = (*Hierarchy)(nil)
+)

@@ -1,19 +1,23 @@
 // The parallel cache bank: the same single-pass multi-configuration sweep
-// as Bank, but with each cache simulated on its own goroutine. The
-// producer (the VM's reference pipeline) publishes sealed chunks of packed
-// refs; every worker replays every chunk, in publication order, against
-// its one cache. Because each cache still consumes the stream
-// sequentially, the per-cache simulation is exactly the serial one and the
-// resulting Stats are bitwise identical to Bank's — parallelism changes
-// only which host core runs which cache, never what any cache observes.
+// as Bank, but with the configurations sharded across a pool of worker
+// goroutines sized to the host's cores, not to the sweep. The producer
+// (the VM's reference pipeline) publishes sealed chunks of packed refs
+// once; every worker replays every chunk, in publication order, against
+// its shard of configurations using the fused single-pass kernel. Because
+// each cache still consumes the stream sequentially, the per-cache
+// simulation is exactly the serial one and the resulting Stats are bitwise
+// identical to Bank's — parallelism changes only which host core runs
+// which configurations, never what any cache observes.
 //
 // Chunks live in a small fixed ring and are recycled: the producer blocks
 // when all chunks are in flight (bounding memory and applying back
 // pressure to the VM), and the last worker to finish a chunk returns it to
-// the ring.
+// the ring. Each chunk carries its reference-kind histogram, computed once
+// at publication and shared by every lane's stat merge.
 package cache
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -28,15 +32,17 @@ const parallelRing = 8
 // parChunk is one sealed, shared chunk of the reference stream.
 type parChunk struct {
 	refs    []mem.Ref
+	kinds   [4]uint64    // reference-kind histogram (see refKinds)
 	insnsAt uint64       // instruction clock at publication (0 if no clock)
 	pending atomic.Int32 // workers that have not finished this chunk yet
 }
 
-// ParallelBank fans one reference stream out to per-cache worker
-// goroutines. Use it exactly like Bank — install as the Memory's tracer,
-// run, then call Drain before reading any cache's Stats. A ParallelBank
-// is single-producer and single-shot: one goroutine feeds it, and after
-// Drain it cannot be reused.
+// ParallelBank fans one reference stream out to core-scaled worker
+// goroutines, each simulating a shard of the sweep's configurations with
+// the fused kernel. Use it exactly like Bank — install as the Memory's
+// tracer, run, then call Drain before reading any cache's Stats. A
+// ParallelBank is single-producer and single-shot: one goroutine feeds
+// it, and after Drain it cannot be reused.
 type ParallelBank struct {
 	Caches []*Cache
 
@@ -47,7 +53,7 @@ type ParallelBank struct {
 	drained bool
 
 	// clock, when set (SetSnapshotClock), stamps every published chunk
-	// with the VM's instruction count so workers can drive their cache's
+	// with the VM's instruction count so workers can drive their caches'
 	// periodic snapshots. The stamp is taken on the producer goroutine
 	// while the VM is blocked in RefBatch, so it equals exactly what the
 	// serial bank's post-replay clock read would return — snapshots are
@@ -55,10 +61,24 @@ type ParallelBank struct {
 	clock func() uint64
 }
 
-// NewParallelBank builds the bank and starts one worker per
-// configuration. The goroutines idle on empty channels until references
-// arrive and exit at Drain.
+// NewParallelBank builds the bank with a worker pool sized to GOMAXPROCS
+// (capped at the number of configurations). The goroutines idle on empty
+// channels until references arrive and exit at Drain.
 func NewParallelBank(cfgs []Config) *ParallelBank {
+	return NewParallelBankWorkers(cfgs, runtime.GOMAXPROCS(0))
+}
+
+// NewParallelBankWorkers builds the bank with at most n workers;
+// configurations are dealt round-robin across the pool so neighboring
+// sizes (whose simulation state competes for the same host cache levels)
+// land on different workers.
+func NewParallelBankWorkers(cfgs []Config, n int) *ParallelBank {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(cfgs) {
+		n = len(cfgs)
+	}
 	b := &ParallelBank{
 		Caches: make([]*Cache, len(cfgs)),
 		free:   make(chan *parChunk, parallelRing),
@@ -68,22 +88,35 @@ func NewParallelBank(cfgs []Config) *ParallelBank {
 	}
 	for i, cfg := range cfgs {
 		b.Caches[i] = New(cfg)
+	}
+	for w := 0; w < n; w++ {
+		var lanes []fusedLane
+		for i := w; i < len(cfgs); i += n {
+			lanes = append(lanes, newFusedLane(b.Caches[i]))
+		}
 		ch := make(chan *parChunk, parallelRing)
 		b.workers = append(b.workers, ch)
 		b.wg.Add(1)
-		go b.work(b.Caches[i], ch)
+		go b.work(lanes, ch)
 	}
 	return b
 }
 
-// work replays every published chunk against one cache, recycling each
-// chunk once every worker has finished with it.
-func (b *ParallelBank) work(c *Cache, ch chan *parChunk) {
+// work replays every published chunk against one shard of the sweep,
+// recycling each chunk once every worker has finished with it. Each lane
+// runs the fused kernel (or the cache's instrumented path when hooks are
+// live), merges the chunk's counters, and samples stamped snapshots —
+// the exact per-chunk sequence of the serial fused bank.
+func (b *ParallelBank) work(lanes []fusedLane, ch chan *parChunk) {
 	defer b.wg.Done()
 	for ck := range ch {
-		c.AccessBatch(ck.refs)
-		if ck.insnsAt != 0 {
-			c.MaybeSnapshot(ck.insnsAt)
+		for i := range lanes {
+			ln := &lanes[i]
+			ln.run(ck.refs)
+			ln.merge(&ck.kinds)
+			if ck.insnsAt != 0 {
+				ln.c.MaybeSnapshot(ck.insnsAt)
+			}
 		}
 		if ck.pending.Add(-1) == 0 {
 			b.free <- ck
@@ -92,8 +125,9 @@ func (b *ParallelBank) work(c *Cache, ch chan *parChunk) {
 }
 
 // RefBatch implements mem.BatchTracer. The chunk is copied into an owned
-// ring buffer (the caller reuses its buffer immediately), sealed, and
-// published to every worker. Blocks when the ring is exhausted.
+// ring buffer (the caller reuses its buffer immediately), sealed with its
+// kind histogram and clock stamp, and published once to every worker.
+// Blocks when the ring is exhausted.
 func (b *ParallelBank) RefBatch(refs []mem.Ref) {
 	if len(b.workers) == 0 {
 		return
@@ -105,6 +139,7 @@ func (b *ParallelBank) RefBatch(refs []mem.Ref) {
 		}
 		ck := <-b.free
 		ck.refs = append(ck.refs[:0], refs[:n]...)
+		ck.kinds = refKinds(ck.refs)
 		ck.insnsAt = 0
 		if b.clock != nil {
 			ck.insnsAt = b.clock()
@@ -153,6 +188,9 @@ func (b *ParallelBank) Drain() {
 // chunks for the caches' periodic snapshots. Must be set before the first
 // reference is published.
 func (b *ParallelBank) SetSnapshotClock(clock func() uint64) { b.clock = clock }
+
+// Workers returns the size of the bank's worker pool.
+func (b *ParallelBank) Workers() int { return len(b.workers) }
 
 // Bank returns a serial-bank view sharing this bank's caches, for code
 // that consumes *Bank results. Valid only after Drain.

@@ -90,6 +90,32 @@ func TestParallelBankMatchesSerialBank(t *testing.T) {
 	}
 }
 
+// TestParallelBankWorkerSharding pins the core-scaled scheduling: any
+// worker-pool size must shard the configurations without changing a single
+// counter, and the pool must never exceed the configuration count.
+func TestParallelBankWorkerSharding(t *testing.T) {
+	stream := synthStream(200_000)
+	cfgs := append(SweepConfigs(WriteValidate), SweepConfigs(FetchOnWrite)...)
+
+	serial := NewBank(cfgs)
+	feedChunks(serial, stream)
+
+	for _, n := range []int{1, 2, 3, len(cfgs), len(cfgs) + 5} {
+		par := NewParallelBankWorkers(cfgs, n)
+		if want := min(n, len(cfgs)); par.Workers() != want {
+			t.Fatalf("workers=%d: pool has %d workers, want %d", n, par.Workers(), want)
+		}
+		feedChunks(par, stream)
+		par.Drain()
+		for i, sc := range serial.Caches {
+			if pc := par.Caches[i]; sc.S != pc.S {
+				t.Errorf("workers=%d config %v: serial %+v != parallel %+v",
+					n, sc.Config(), sc.S, pc.S)
+			}
+		}
+	}
+}
+
 func TestParallelBankPerRefTracer(t *testing.T) {
 	stream := synthStream(10_000)
 	cfgs := benchConfigs()

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"gcsim/internal/gc"
+	"gcsim/internal/workloads"
+)
+
+// The /metrics counters behind the fused path are process-wide, so the
+// test asserts deltas: every trace-cached sweep over a v2 trace takes the
+// fused path (never the fallback) and decodes at least one frame.
+func TestFusedReplayCounters(t *testing.T) {
+	w, err := workloads.ByName("tc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := gcSweepConfigs()
+	setParallelismForTest(t, 1)
+	installTraceCache(t)
+
+	before := FusedStats()
+	// First sweep records then replays; the second replays from the cache
+	// alone. Both replays must take the fused path.
+	for pass := 0; pass < 2; pass++ {
+		if _, err := RunSweep(context.Background(), w, w.SmallScale, gc.NewCheney(256<<10), cfgs); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+	}
+	after := FusedStats()
+
+	if got := after.FusedSweeps - before.FusedSweeps; got != 2 {
+		t.Errorf("fused sweeps: got %d, want 2", got)
+	}
+	if got := after.FallbackSweeps - before.FallbackSweeps; got != 0 {
+		t.Errorf("fallback sweeps: got %d, want 0 (v2 traces must not fall back)", got)
+	}
+	if got := after.DecodeOnceFrames - before.DecodeOnceFrames; got == 0 {
+		t.Error("decode-once frames did not advance across two fused sweeps")
+	}
+}

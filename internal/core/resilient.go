@@ -99,6 +99,28 @@ func RunSweepPerConfig(ctx context.Context, w *workloads.Workload, scale int, cf
 		todo = append(todo, i)
 	}
 
+	// With a trace cache active the remaining configurations can all be
+	// served by one fused replay: decode the trace once, simulate every
+	// config in a single pass, and commit the results individually (each
+	// checkpointed and announced exactly as a per-config run would be).
+	// Any failure other than cancellation falls back to the independent
+	// per-config runs below — the fault-tolerance contract is unchanged,
+	// the fused pass is purely a fast path.
+	if ActiveTraceCache() != nil && len(todo) > 1 {
+		done, perr := fusedPerConfigPass(ctx, w, scale, cfgs, todo, colName, opts, results)
+		if perr != nil {
+			for _, r := range results {
+				if r != nil {
+					sweep.Results = append(sweep.Results, *r)
+				}
+			}
+			return sweep, perr
+		}
+		if done {
+			todo = nil
+		}
+	}
+
 	err := forEachPar(ctx, len(todo), func(ti int) error {
 		i := todo[ti]
 		cfg := cfgs[i]
@@ -156,6 +178,61 @@ func RunSweepPerConfig(ctx context.Context, w *workloads.Workload, scale int, cf
 		return sweep, err
 	}
 	return sweep, nil
+}
+
+// fusedPerConfigPass attempts every remaining configuration as one fused
+// replay sweep (panic-isolated). On success it commits each result —
+// checkpoint, results slot, OnResult — in input order and returns
+// done=true. A cancellation (or a checkpoint write error) aborts the
+// sweep; any other failure returns done=false and the caller falls back
+// to independent per-config runs.
+func fusedPerConfigPass(ctx context.Context, w *workloads.Workload, scale int, cfgs []cache.Config, todo []int, colName string, opts PerConfigSweepOpts, results []*ConfigResult) (done bool, err error) {
+	sub := make([]cache.Config, len(todo))
+	for k, i := range todo {
+		sub[k] = cfgs[i]
+	}
+	sw, rerr := runSweepIsolated(ctx, w, scale, opts.MakeCollector(), sub)
+	if rerr != nil {
+		if ctx.Err() != nil || errors.Is(rerr, context.Canceled) || errors.Is(rerr, context.DeadlineExceeded) {
+			return false, rerr
+		}
+		progress().Printf("fused sweep over %d configs failed, falling back to per-config runs: %v",
+			len(sub), rerr)
+		return false, nil
+	}
+	for _, i := range todo {
+		cfg := cfgs[i]
+		res := ConfigResult{
+			Config:     cfg,
+			CacheStats: sw.Stats[cfg],
+			Checksum:   sw.Run.Checksum,
+			Insns:      sw.Run.Insns,
+			GCInsns:    sw.Run.GCInsns,
+			GCStats:    sw.Run.GCStats,
+		}
+		if opts.Checkpoint != nil {
+			if cerr := opts.Checkpoint.Save(w.Name, scale, colName, res); cerr != nil {
+				return false, cerr
+			}
+		}
+		results[i] = &res
+		if opts.OnResult != nil {
+			opts.OnResult(res)
+		}
+	}
+	return true, nil
+}
+
+// runSweepIsolated is RunSweep behind a panic barrier, so a simulator
+// crash during the fused pass degrades to the per-config fallback instead
+// of killing the job.
+func runSweepIsolated(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config) (sw *SweepResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return RunSweep(ctx, w, scale, col, cfgs)
 }
 
 // runOneConfig performs one attempt, isolating panics so a crash in the

@@ -251,9 +251,11 @@ type SweepResult struct {
 }
 
 // RunSweep runs a workload once against a bank with every given
-// configuration. With parallelism > 1 and more than one configuration,
-// the sweep uses the parallel cache bank — one worker goroutine per
-// configuration consuming the same chunked reference stream — which
+// configuration, simulated by the fused single-pass kernel: each chunk of
+// the reference stream is simulated against every configuration with no
+// per-ref dispatch. With parallelism > 1 and more than one configuration,
+// the sweep uses the parallel cache bank — configurations sharded across
+// core-scaled workers consuming the same chunked reference stream — which
 // produces bitwise-identical statistics to the serial bank (each cache
 // still consumes the stream sequentially and in order).
 func RunSweep(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config) (*SweepResult, error) {
@@ -262,6 +264,7 @@ func RunSweep(ctx context.Context, w *workloads.Workload, scale int, col gc.Coll
 	}
 	var (
 		bank   *cache.Bank
+		fused  *cache.FusedBank
 		tracer mem.Tracer
 		par    *cache.ParallelBank
 	)
@@ -269,8 +272,9 @@ func RunSweep(ctx context.Context, w *workloads.Workload, scale int, col gc.Coll
 		par = cache.NewParallelBank(cfgs)
 		tracer = par
 	} else {
-		bank = cache.NewBank(cfgs)
-		tracer = bank
+		fused = cache.NewFusedBank(cfgs)
+		tracer = fused
+		bank = fused.Bank()
 	}
 	spec := RunSpec{Workload: w, Scale: scale, Collector: col, Tracer: tracer}
 	sess := TelemetrySession()
@@ -285,7 +289,7 @@ func RunSweep(ctx context.Context, w *workloads.Workload, scale int, col gc.Coll
 			c.EnableSnapshots(sess.SnapshotInsns)
 		}
 		// Snapshots are clocked by the machine's instruction counter. The
-		// serial bank reads it at chunk boundaries; the parallel bank stamps
+		// fused bank reads it at chunk boundaries; the parallel bank stamps
 		// each chunk as the (paused) machine publishes it, so both see the
 		// same per-chunk values and record identical snapshots.
 		spec.OnMachine = func(m *vm.Machine) {
@@ -293,9 +297,7 @@ func RunSweep(ctx context.Context, w *workloads.Workload, scale int, col gc.Coll
 				par.SetSnapshotClock(m.Insns)
 				return
 			}
-			for _, c := range bank.Caches {
-				c.SetSnapshotClock(m.Insns)
-			}
+			fused.SetSnapshotClock(m.Insns)
 		}
 	}
 	run, err := Run(ctx, spec)

@@ -306,7 +306,11 @@ func (tc *TraceCache) record(ctx context.Context, w *workloads.Workload, scale i
 }
 
 // runSweep is RunSweep's record/replay path: ensure the trace exists (one
-// VM run at most, ever), then drive the bank from the trace.
+// VM run at most, ever), then drive the sweep from the trace. v2 traces
+// take the fused path — a SharedReplayer decodes each frame exactly once
+// and a FusedBank simulates the chunk against every configuration in a
+// single pass, with no per-config decode and no per-ref dispatch. v1
+// traces (no frame stamps) fall back to the classic replayer into a bank.
 func (tc *TraceCache) runSweep(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config) (*SweepResult, error) {
 	if scale == 0 {
 		scale = w.DefaultScale
@@ -321,6 +325,98 @@ func (tc *TraceCache) runSweep(ctx context.Context, w *workloads.Workload, scale
 		return nil, fmt.Errorf("core: trace cache: %w", err)
 	}
 	defer f.Close()
+
+	sr, serr := traceio.NewSharedReplayer(f)
+	if serr != nil {
+		// Not a v2 trace: rewind and replay through the per-bank path.
+		fallbackSweepCount.Add(1)
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("core: trace cache: %s: %w", tracePath, err)
+		}
+		return tc.replayFallback(ctx, w, scale, col, cfgs, meta, tracePath, f)
+	}
+	fusedSweepCount.Add(1)
+	sr.SetDecoders(Parallelism())
+	fused := cache.NewFusedBank(cfgs)
+	bank := fused.Bank()
+	sess := TelemetrySession()
+	if sess != nil && sess.SnapshotInsns > 0 {
+		for _, c := range fused.Caches {
+			c.EnableSnapshots(sess.SnapshotInsns)
+		}
+		// No clock wiring needed: every frame carries the instruction
+		// stamp the recording machine published at that chunk boundary,
+		// and ChunkBatch samples at those stamps — snapshots land on
+		// identical insns_at values to a live run's.
+	}
+
+	prog := progress()
+	prog.Printf("replay %s gc=%s started (%d refs cached, fused across %d configs)",
+		w.Name, meta.Collector, meta.Refs, len(cfgs))
+	start := time.Now()
+	n, rerr := sr.Run(ctx, fused)
+	dur := time.Since(start)
+	decodeOnceFrames.Add(sr.Frames())
+
+	run := &RunResult{
+		Workload:  meta.Workload,
+		Collector: meta.Collector,
+		Checksum:  meta.Checksum,
+		Insns:     meta.Insns,
+		GCInsns:   meta.GCInsns,
+		Counters:  meta.Counters,
+		GCStats:   meta.GCStats,
+	}
+	spec := RunSpec{Workload: w, Scale: scale, Collector: col}
+
+	if rerr != nil {
+		if ctx.Err() != nil {
+			rerr = fmt.Errorf("%w: %w", vm.ErrInterrupted, rerr)
+		}
+		prog.Printf("replay %s gc=%s failed: %v", w.Name, meta.Collector, rerr)
+		if sess != nil {
+			rec := newRunRecord(spec, run, nil, dur, 0)
+			rec.Status = telemetry.StatusFailed
+			if ctx.Err() != nil {
+				rec.Status = telemetry.StatusInterrupted
+			}
+			rec.Error = rerr.Error()
+			rec.Trace = traceProvenance("replay", meta)
+			for _, c := range bank.Caches {
+				rec.Caches = append(rec.Caches, telemetry.CacheRecordOf(c, run.Insns))
+			}
+			run.Record = rec
+			sess.Add(rec)
+		}
+		return nil, rerr
+	}
+	if n != meta.Refs {
+		return nil, fmt.Errorf("core: trace cache: %s replayed %d refs, sidecar says %d — corrupt entry?",
+			tracePath, n, meta.Refs)
+	}
+	prog.Printf("replay %s gc=%s done in %.2fs: %d refs (%.1fM refs/s)",
+		w.Name, meta.Collector, dur.Seconds(), n, float64(n)/1e6/max(dur.Seconds(), 1e-9))
+	// The per-stage breakdown of the fused sweep: decode is paid once for
+	// all configurations; simulate is the fused kernel; merge is the
+	// per-chunk stat folding and snapshot checks. bench_replay.sh parses
+	// this line from the progress stream.
+	prog.Printf("replay stages: decode=%.3fs simulate=%.3fs merge=%.3fs frames=%d configs=%d path=fused",
+		sr.DecodeSeconds(), fused.SimulateSeconds(), fused.MergeSeconds(), sr.Frames(), len(cfgs))
+
+	if sess != nil {
+		rec := newRunRecord(spec, run, nil, dur, 0)
+		rec.Trace = traceProvenance("replay", meta)
+		run.Record = rec
+		sess.Add(rec)
+	}
+	return finishSweep(run, bank, cfgs, sess), nil
+}
+
+// replayFallback drives a sweep from a trace the shared decoder cannot
+// serve (format v1): the classic replayer delivers each chunk to a serial
+// or parallel bank, paying per-tracer dispatch but preserving the exact
+// replay semantics (including snapshot clocks via the replayer's stamp).
+func (tc *TraceCache) replayFallback(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config, meta *TraceMeta, tracePath string, f *os.File) (*SweepResult, error) {
 	rp, err := traceio.NewReplayer(f)
 	if err != nil {
 		return nil, fmt.Errorf("core: trace cache: %s: %w", tracePath, err)

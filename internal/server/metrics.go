@@ -41,6 +41,7 @@ func (m *Metrics) WriteText(w io.Writer, tc *core.TraceCache, queued int) {
 		st := tc.Stats()
 		hits, misses = st.Hits, st.Misses
 	}
+	fused := core.FusedStats()
 	rows := []metricRow{
 		{"gcsimd_jobs_submitted_total", "Jobs accepted by POST /v1/jobs.", "counter", float64(m.JobsSubmitted.Load())},
 		{"gcsimd_jobs_completed_total", "Jobs that finished with every configuration done.", "counter", float64(m.JobsCompleted.Load())},
@@ -55,6 +56,9 @@ func (m *Metrics) WriteText(w io.Writer, tc *core.TraceCache, queued int) {
 		{"gcsimd_workers_busy", "Workers currently executing a job.", "gauge", float64(m.WorkersBusy.Load())},
 		{"gcsimd_trace_cache_hits_total", "Sweep lookups served by replaying a cached trace.", "counter", float64(hits)},
 		{"gcsimd_trace_cache_misses_total", "Sweep lookups that had to record a trace first.", "counter", float64(misses)},
+		{"gcsimd_fused_sweeps_total", "Replayed sweeps that decoded the trace once and simulated all configurations in a single fused pass.", "counter", float64(fused.FusedSweeps)},
+		{"gcsimd_fallback_sweeps_total", "Replayed sweeps that fell back to per-bank replay (v1 traces).", "counter", float64(fused.FallbackSweeps)},
+		{"gcsimd_decode_once_frames_total", "Trace frames decoded exactly once on the fused path, each serving every configuration of its sweep.", "counter", float64(fused.DecodeOnceFrames)},
 	}
 	for _, r := range rows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", r.name, r.help, r.name, r.kind, r.name, r.value)

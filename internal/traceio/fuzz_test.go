@@ -58,6 +58,27 @@ func FuzzReplay(f *testing.F) {
 			if err == nil && n != out.n {
 				t.Fatalf("decoders=%d: reported %d refs, delivered %d", nd, n, out.n)
 			}
+			// The shared-decode path must agree with the classic replayer
+			// byte for byte: same acceptance (v2 only), same ref count.
+			sr, serr := NewSharedReplayer(bytes.NewReader(data))
+			if serr != nil {
+				if rp.Version() == 2 {
+					t.Fatalf("shared replayer rejected a v2 header: %v", serr)
+				}
+				continue
+			}
+			sr.SetDecoders(nd)
+			var sout fuzzSink
+			sn, serr := sr.Run(context.Background(), &sout)
+			if serr == nil && sn != sout.n {
+				t.Fatalf("decoders=%d: shared reported %d refs, delivered %d", nd, sn, sout.n)
+			}
+			if err == nil && serr == nil && n != sn {
+				t.Fatalf("decoders=%d: classic replay %d refs, shared %d", nd, n, sn)
+			}
+			if (err == nil) != (serr == nil) {
+				t.Fatalf("decoders=%d: classic err=%v, shared err=%v", nd, err, serr)
+			}
 		}
 	})
 }
@@ -66,3 +87,6 @@ type fuzzSink struct{ n uint64 }
 
 func (s *fuzzSink) Ref(addr uint64, write, collector bool) { s.n++ }
 func (s *fuzzSink) RefBatch(refs []mem.Ref)                { s.n += uint64(len(refs)) }
+func (s *fuzzSink) ChunkBatch(refs []mem.Ref, insnsAt uint64) {
+	s.n += uint64(len(refs))
+}

@@ -3,8 +3,12 @@
 // frames) and feeds the reference stream to any mem.Tracer; a
 // batch-capable tracer (a cache, a Bank, a ParallelBank) receives whole
 // chunks, reproducing exactly the chunk boundaries of the recorded run.
+// A SharedReplayer is the decode-once variant: it hands each decoded
+// frame, together with its recorded instruction-clock stamp, to a
+// ChunkSink exactly once — the feed for the fused cache bank, where one
+// decode serves every configuration of a sweep.
 //
-// For v2 traces the Replayer decodes frames on a pool of goroutines:
+// For v2 traces both replayers decode frames on a pool of goroutines:
 // frames are self-contained, so decoding parallelizes, while delivery
 // stays strictly in frame order — the consumer observes the identical
 // reference stream (and identical chunk boundaries) the recording run
@@ -20,9 +24,20 @@ import (
 	"hash/crc32"
 	"io"
 	"runtime"
+	"sync/atomic"
+	"time"
 
 	"gcsim/internal/mem"
 )
+
+// ChunkSink consumes decoded trace chunks with their recorded
+// instruction-clock stamps. The stamp is the value a live run's (paused)
+// machine would have published at the chunk boundary; a stamp of 0 means
+// the recording run had no clock. The chunk is only valid for the
+// duration of the call.
+type ChunkSink interface {
+	ChunkBatch(refs []mem.Ref, insnsAt uint64)
+}
 
 // Replayer streams one trace into a tracer. It is single-shot: create,
 // optionally SetDecoders, then Run once.
@@ -32,6 +47,9 @@ type Replayer struct {
 	decoders int
 	stamp    uint64
 	ran      bool
+
+	frames uint64       // frames delivered
+	decNs  atomic.Int64 // cumulative frame-decode time across the pool
 }
 
 // NewReplayer opens a trace stream, consuming and validating the magic
@@ -76,22 +94,48 @@ func (rp *Replayer) SetDecoders(n int) {
 // machine would publish its instruction count.
 func (rp *Replayer) Clock() uint64 { return rp.stamp }
 
+// Frames returns the number of trace frames delivered so far.
+func (rp *Replayer) Frames() uint64 { return rp.frames }
+
+// DecodeSeconds returns the cumulative wall time spent decoding frames
+// (varint expansion and decompression, excluding I/O and delivery). With
+// a decoder pool the per-goroutine times are summed, so the total can
+// exceed the elapsed wall clock.
+func (rp *Replayer) DecodeSeconds() float64 { return float64(rp.decNs.Load()) / 1e9 }
+
+// emitFunc receives each decoded chunk with its clock stamp, strictly in
+// frame order, on the Run caller's goroutine.
+type emitFunc func(refs []mem.Ref, insnsAt uint64)
+
 // Run replays the whole trace into tracer, returning the number of
 // references delivered. The context cancels the replay at the next frame
 // boundary (v1: every mem.ChunkRefs records); the returned error then
 // matches ctx.Err() under errors.Is.
 func (rp *Replayer) Run(ctx context.Context, tracer mem.Tracer) (uint64, error) {
+	if rp.version == 1 {
+		if rp.ran {
+			return 0, fmt.Errorf("traceio: Replayer is single-shot")
+		}
+		rp.ran = true
+		return rp.runV1(ctx, tracer)
+	}
+	bt, _ := tracer.(mem.BatchTracer)
+	return rp.run(ctx, func(refs []mem.Ref, insnsAt uint64) {
+		rp.stamp = insnsAt
+		deliver(tracer, bt, refs)
+	})
+}
+
+// run replays a v2 trace through emit, inline or via the decoder pool.
+func (rp *Replayer) run(ctx context.Context, emit emitFunc) (uint64, error) {
 	if rp.ran {
 		return 0, fmt.Errorf("traceio: Replayer is single-shot")
 	}
 	rp.ran = true
-	if rp.version == 1 {
-		return rp.runV1(ctx, tracer)
-	}
 	if rp.decoders > 1 {
-		return rp.runParallel(ctx, tracer)
+		return rp.runParallel(ctx, emit)
 	}
-	return rp.runSerial(ctx, tracer)
+	return rp.runSerial(ctx, emit)
 }
 
 // deliver hands one decoded chunk to the tracer, batch-wise if possible.
@@ -135,8 +179,7 @@ func (rp *Replayer) runV1(ctx context.Context, tracer mem.Tracer) (uint64, error
 
 // runSerial replays a v2 trace inline: one goroutine reads, decodes, and
 // delivers, reusing a single payload buffer and chunk.
-func (rp *Replayer) runSerial(ctx context.Context, tracer mem.Tracer) (uint64, error) {
-	bt, _ := tracer.(mem.BatchTracer)
+func (rp *Replayer) runSerial(ctx context.Context, emit emitFunc) (uint64, error) {
 	var (
 		dec    frameDecoder
 		f      frame
@@ -164,12 +207,14 @@ func (rp *Replayer) runSerial(ctx context.Context, tracer mem.Tracer) (uint64, e
 		}
 		buf = f.payload[:cap(f.payload)]
 		runCRC = crc32.Update(runCRC, crc32.IEEETable, f.payload)
+		t0 := time.Now()
 		refs, err := dec.decode(&f, chunk[:0])
+		rp.decNs.Add(int64(time.Since(t0)))
 		if err != nil {
 			return count, err
 		}
-		rp.stamp = f.insnsAt
-		deliver(tracer, bt, refs)
+		rp.frames++
+		emit(refs, f.insnsAt)
 		count += uint64(len(refs))
 		chunk = refs // keep the buffer if decode grew it
 	}
@@ -195,8 +240,7 @@ type readerOutcome struct{ err error }
 // goroutine streams frames (verifying the running CRC and trailer), the
 // pool decodes them concurrently, and the calling goroutine delivers
 // decoded chunks strictly in frame order.
-func (rp *Replayer) runParallel(ctx context.Context, tracer mem.Tracer) (uint64, error) {
-	bt, _ := tracer.(mem.BatchTracer)
+func (rp *Replayer) runParallel(ctx context.Context, emit emitFunc) (uint64, error) {
 	nd := rp.decoders
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -255,7 +299,9 @@ func (rp *Replayer) runParallel(ctx context.Context, tracer mem.Tracer) (uint64,
 			var dec frameDecoder
 			for j := range work {
 				refs := make([]mem.Ref, 0, j.f.refs)
+				t0 := time.Now()
 				refs, err := dec.decode(&j.f, refs)
+				rp.decNs.Add(int64(time.Since(t0)))
 				j.out <- decodeResult{refs, err}
 			}
 		}()
@@ -283,8 +329,8 @@ func (rp *Replayer) runParallel(ctx context.Context, tracer mem.Tracer) (uint64,
 			cancel()
 			continue
 		}
-		rp.stamp = j.f.insnsAt
-		deliver(tracer, bt, res.refs)
+		rp.frames++
+		emit(res.refs, j.f.insnsAt)
 		count += uint64(len(res.refs))
 	}
 	oc := <-outcome
@@ -296,6 +342,47 @@ func (rp *Replayer) runParallel(ctx context.Context, tracer mem.Tracer) (uint64,
 	}
 	return count, derr
 }
+
+// SharedReplayer replays one v2 trace into a ChunkSink, decoding each
+// frame exactly once no matter how many cache configurations the sink
+// fans the chunk out to. It refuses v1 traces — they carry no frame
+// stamps, so a shared replay could not reproduce snapshot clocks; callers
+// fall back to a Replayer per config (or a Bank) for those. Like
+// Replayer, it is single-shot.
+type SharedReplayer struct {
+	rp *Replayer
+}
+
+// NewSharedReplayer opens a v2 trace stream for decode-once replay.
+func NewSharedReplayer(r io.Reader) (*SharedReplayer, error) {
+	rp, err := NewReplayer(r)
+	if err != nil {
+		return nil, err
+	}
+	if rp.version != 2 {
+		return nil, fmt.Errorf("traceio: shared replay requires a v2 trace (got format v%d)", rp.version)
+	}
+	return &SharedReplayer{rp: rp}, nil
+}
+
+// SetDecoders bounds the frame-decoding pool (see Replayer.SetDecoders).
+func (s *SharedReplayer) SetDecoders(n int) { s.rp.SetDecoders(n) }
+
+// Run replays the whole trace into sink, returning the number of
+// references delivered. Chunks arrive strictly in frame order on the
+// calling goroutine, each stamped with its recorded instruction clock.
+func (s *SharedReplayer) Run(ctx context.Context, sink ChunkSink) (uint64, error) {
+	return s.rp.run(ctx, sink.ChunkBatch)
+}
+
+// Frames returns the number of frames decoded and delivered so far —
+// with the fused bank downstream, each counts as one decode serving the
+// whole sweep.
+func (s *SharedReplayer) Frames() uint64 { return s.rp.Frames() }
+
+// DecodeSeconds reports cumulative frame-decode time (see
+// Replayer.DecodeSeconds).
+func (s *SharedReplayer) DecodeSeconds() float64 { return s.rp.DecodeSeconds() }
 
 // Replay streams a trace from r into tracer, returning the number of
 // references replayed. Both format versions are accepted. The context

@@ -1,0 +1,105 @@
+package traceio
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"gcsim/internal/cache"
+	"gcsim/internal/mem"
+)
+
+// benchTrace builds an in-memory v2 trace of n synthetic references.
+func benchTrace(b *testing.B, n int) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	w, err := NewBatchWriter(&buf, WriterOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var insns uint64
+	w.SetClock(func() uint64 { insns += 10_000; return insns })
+	refs := makeRefs(n)
+	for len(refs) > 0 {
+		c := mem.ChunkRefs
+		if c > len(refs) {
+			c = len(refs)
+		}
+		w.RefBatch(refs[:c])
+		refs = refs[c:]
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkSharedReplayFanout is the decode-once fan-out: one
+// SharedReplayer pass feeds all 8 sweep configurations through the fused
+// bank. Compare against BenchmarkPerConfigReplay, which pays the decode
+// per configuration — the gap is the tentpole win of fused replay.
+func BenchmarkSharedReplayFanout(b *testing.B) {
+	data := benchTrace(b, 1<<20)
+	cfgs := sweepConfigs8()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr, err := NewSharedReplayer(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sr.SetDecoders(1)
+		bank := cache.NewFusedBank(cfgs)
+		if _, err := sr.Run(context.Background(), bank); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(1<<20)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkPerConfigReplay replays the same trace once per configuration
+// (the pre-fused sweep shape: every config re-decodes the stream).
+func BenchmarkPerConfigReplay(b *testing.B) {
+	data := benchTrace(b, 1<<20)
+	cfgs := sweepConfigs8()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			rp, err := NewReplayer(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rp.SetDecoders(1)
+			if _, err := rp.Run(context.Background(), cache.New(cfg)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(1<<20)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkSharedReplayDeliver measures raw decode-and-deliver with a
+// no-op sink: the ceiling every consumer shares.
+func BenchmarkSharedReplayDeliver(b *testing.B) {
+	data := benchTrace(b, 1<<20)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr, err := NewSharedReplayer(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sr.SetDecoders(1)
+		if _, err := sr.Run(context.Background(), &countSink{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(1<<20)/b.Elapsed().Seconds(), "refs/s")
+}
