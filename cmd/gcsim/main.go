@@ -30,7 +30,7 @@
 //	      [-semispace bytes] [-nursery bytes] [-parallel N] [-v]
 //	      [-timeout 10m] [-verify-heap]
 //	      [-checkpoint dir [-resume] [-retries N]] [-trace-cache dir]
-//	      [-json path|-] [-events path|-] [-progress]
+//	      [-json path|-] [-events path|-] [-spans path|-] [-progress]
 //	      [-pprof addr] [-cpuprofile file]
 //	gcsim -file prog.scm [same options]
 //	gcsim -check-record records.json
@@ -98,6 +98,7 @@ func main() {
 	retries := flag.Int("retries", 1, "re-attempts per failed configuration in -checkpoint mode")
 	jsonOut := flag.String("json", "", `write the run record as JSON to this path ("-" = stdout)`)
 	eventsOut := flag.String("events", "", `stream per-collection GC events as JSONL to this path ("-" = stdout)`)
+	spansOut := flag.String("spans", "", `record lifecycle spans (gcsim-span/v1) as JSONL to this path ("-" = stdout)`)
 	snapInsns := flag.Uint64("snapshot-insns", telemetry.DefaultSnapshotInsns, "cache snapshot interval in simulated instructions (0 = none; used with -json)")
 	progressFlag := flag.Bool("progress", false, "report live run progress on stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -132,6 +133,7 @@ func main() {
 		for flagName, set := range map[string]bool{
 			"-file": *file != "", "-checkpoint": *checkpointDir != "", "-resume": *resume,
 			"-trace-cache": *traceCacheDir != "", "-json": *jsonOut != "", "-events": *eventsOut != "",
+			"-spans": *spansOut != "",
 		} {
 			if set {
 				cliutil.Fatalf(tool, "%s cannot be combined with -remote (the server owns execution)", flagName)
@@ -195,6 +197,28 @@ func main() {
 	}
 	core.SetProgress(telemetry.NewProgress(os.Stderr, tool, *progressFlag))
 
+	// Span recording: a root "job" span brackets the whole invocation and
+	// the engine's stages (trace.lookup, replay, run.vm, …) nest under it
+	// via the context. The summary line on stderr is what
+	// bench_replay.sh's overhead gate parses.
+	var (
+		spans    *telemetry.SpanRecorder
+		rootSpan *telemetry.ActiveSpan
+	)
+	if *spansOut != "" {
+		w, err := telemetry.OpenOutput(*spansOut)
+		if err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		defer w.Close()
+		spans = telemetry.NewSpanRecorder(0)
+		spans.SetJSONL(w)
+		core.SetSpans(spans)
+		defer core.SetSpans(nil)
+		ctx = telemetry.ContextWithTrace(ctx, "cli")
+		ctx, rootSpan = spans.StartSpan(ctx, telemetry.StageJob)
+	}
+
 	opts := sweepOpts{
 		verbose:       *verbose,
 		checkpointDir: *checkpointDir,
@@ -213,6 +237,14 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	rootSpan.End()
+	if spans != nil {
+		// Self-measured recording cost, reported whether or not the run
+		// succeeded; the ≤2% overhead gate reads this line.
+		core.Progress().Printf("spans: total=%d dropped=%d overhead=%.6fs",
+			spans.Total(), spans.Dropped(), spans.OverheadSeconds())
 	}
 
 	// Write the telemetry records before reporting any run error: an

@@ -12,8 +12,11 @@
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events live progress, one JSON event per line
 //	GET    /v1/jobs/{id}/report the rendered text report
-//	GET    /metrics             Prometheus text exposition
-//	GET    /healthz             liveness probe
+//	GET    /v1/jobs/{id}/spans  the job's recorded span tree (gcsim-span/v1)
+//	GET    /metrics             Prometheus text exposition (counters, gauges, latency histograms)
+//	GET    /healthz             health probe: pool depth, store writable, trace-cache stat
+//	GET    /dashboard           live HTML dashboard (SSE-fed job table and stage latencies)
+//	GET    /dashboard/events    the dashboard's SSE feed
 //
 // Jobs persist under the state directory and survive restarts: completed
 // configurations land in per-job checkpoint files as they finish, so a
@@ -24,7 +27,8 @@
 // Usage:
 //
 //	gcsimd [-addr host:port] [-state dir] [-workers N] [-parallel N]
-//	       [-trace-cache dir|none] [-verify-heap] [-drain-timeout d] [-v]
+//	       [-trace-cache dir|none] [-verify-heap] [-drain-timeout d]
+//	       [-debug-addr host:port] [-v]
 package main
 
 import (
@@ -57,6 +61,7 @@ func main() {
 	traceCacheDir := flag.String("trace-cache", "", `trace cache directory shared by all jobs (default <state>/trace-cache; "none" disables record-once/replay-many)`)
 	verifyHeap := flag.Bool("verify-heap", false, "verify heap invariants after every collection")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long to wait for open HTTP connections on shutdown")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (off when empty)")
 	verbose := flag.Bool("v", false, "log job lifecycle and engine progress on stderr")
 	flag.Parse()
 
@@ -67,6 +72,16 @@ func main() {
 	core.SetVerifyHeap(*verifyHeap)
 	prog := telemetry.NewProgress(os.Stderr, tool, *verbose)
 	core.SetProgress(prog)
+	if _, err := cliutil.StartProfiling(tool, *debugAddr, ""); err != nil {
+		cliutil.Fatal(tool, err)
+	}
+
+	// One span recorder serves both layers: the server records the job
+	// lifecycle stages, the engine (via core.SetSpans) nests its sweep
+	// stages under them, and /v1/jobs/{id}/spans reads the joint tree.
+	spans := telemetry.NewSpanRecorder(0)
+	core.SetSpans(spans)
+	defer core.SetSpans(nil)
 
 	var tc *core.TraceCache
 	if *traceCacheDir != "none" {
@@ -88,6 +103,7 @@ func main() {
 		Workers:    *workers,
 		TraceCache: tc,
 		Progress:   prog,
+		Spans:      spans,
 	})
 	if err != nil {
 		cliutil.Fatal(tool, err)

@@ -176,9 +176,13 @@ func Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	}
 	prog := progress()
 	prog.Printf("run %s gc=%s started", spec.Workload.Name, col.Name())
+	_, vmSpan := Spans().StartSpan(ctx, telemetry.StageRunVM)
+	vmSpan.SetAttr("workload", spec.Workload.Name)
+	vmSpan.SetAttr("collector", col.Name())
 	start := time.Now()
 	v, err := spec.Workload.Run(m, spec.Scale)
 	dur := time.Since(start)
+	vmSpan.End()
 	if err == nil && ctx.Err() != nil {
 		// The program can end before the context watcher delivers the
 		// interrupt (there is no safepoint left to observe it, e.g. on a

@@ -19,6 +19,7 @@ var (
 	telMu       sync.RWMutex
 	telSession  *telemetry.Session
 	telProgress *telemetry.Progress
+	telSpans    *telemetry.SpanRecorder
 )
 
 // EnableTelemetry installs the session every subsequent Run reports to.
@@ -54,6 +55,24 @@ func progress() *telemetry.Progress {
 // is safe to call), so other layers — e.g. gcsim's remote client — can
 // log through the same channel the engine does.
 func Progress() *telemetry.Progress { return progress() }
+
+// SetSpans installs the span recorder the engine's lifecycle stages —
+// trace-cache lookup and record, VM runs, replay with its
+// decode/simulate/merge breakdown — report to. Pass nil to disable; a
+// nil recorder is safe everywhere, so instrumentation sites call it
+// unconditionally.
+func SetSpans(r *telemetry.SpanRecorder) {
+	telMu.Lock()
+	defer telMu.Unlock()
+	telSpans = r
+}
+
+// Spans returns the installed span recorder, or nil.
+func Spans() *telemetry.SpanRecorder {
+	telMu.RLock()
+	defer telMu.RUnlock()
+	return telSpans
+}
 
 // newRunRecord condenses a completed run. Cache results are attached
 // afterwards by RunSweep, which also folds in snapshot overhead.

@@ -156,6 +156,10 @@ func (tc *TraceCache) ensure(ctx context.Context, w *workloads.Workload, scale i
 	tracePath := filepath.Join(tc.dir, key+".trace")
 	metaPath := filepath.Join(tc.dir, key+".json")
 
+	ctx, span := Spans().StartSpan(ctx, telemetry.StageTraceLookup)
+	span.SetAttr("workload", w.Name)
+	defer span.End()
+
 	l := tc.keyLock(key)
 	l.Lock()
 	defer l.Unlock()
@@ -166,9 +170,11 @@ func (tc *TraceCache) ensure(ctx context.Context, w *workloads.Workload, scale i
 	}
 	if meta != nil {
 		tc.hits.Add(1)
+		span.SetAttr("result", "hit")
 		return meta, tracePath, nil
 	}
 	tc.misses.Add(1)
+	span.SetAttr("result", "miss")
 	meta, err = tc.record(ctx, w, scale, col, identity, tracePath, metaPath)
 	if err != nil {
 		return nil, "", err
@@ -212,6 +218,9 @@ func loadTraceMeta(metaPath, tracePath, workload string, scale int, identity str
 // never leaves a torn entry.
 func (tc *TraceCache) record(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, identity, tracePath, metaPath string) (_ *TraceMeta, err error) {
 	progress().Printf("trace cache: recording %s gc=%s", w.Name, identity)
+	ctx, span := Spans().StartSpan(ctx, telemetry.StageTraceRecord)
+	span.SetAttr("workload", w.Name)
+	defer span.End()
 	tmp := tracePath + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -353,9 +362,14 @@ func (tc *TraceCache) runSweep(ctx context.Context, w *workloads.Workload, scale
 	prog := progress()
 	prog.Printf("replay %s gc=%s started (%d refs cached, fused across %d configs)",
 		w.Name, meta.Collector, meta.Refs, len(cfgs))
+	spanCtx, span := Spans().StartSpan(ctx, telemetry.StageReplay)
+	span.SetAttr("path", "fused")
+	span.SetAttr("configs", fmt.Sprint(len(cfgs)))
 	start := time.Now()
 	n, rerr := sr.Run(ctx, fused)
 	dur := time.Since(start)
+	span.End()
+	emitReplayStages(spanCtx, start, sr.DecodeSeconds(), fused.SimulateSeconds(), fused.MergeSeconds())
 	decodeOnceFrames.Add(sr.Frames())
 
 	run := &RunResult{
@@ -458,6 +472,9 @@ func (tc *TraceCache) replayFallback(ctx context.Context, w *workloads.Workload,
 
 	prog := progress()
 	prog.Printf("replay %s gc=%s started (%d refs cached)", w.Name, meta.Collector, meta.Refs)
+	_, span := Spans().StartSpan(ctx, telemetry.StageReplay)
+	span.SetAttr("path", "fallback")
+	span.SetAttr("configs", fmt.Sprint(len(cfgs)))
 	start := time.Now()
 	n, rerr := rp.Run(ctx, tracer)
 	if par != nil {
@@ -465,6 +482,7 @@ func (tc *TraceCache) replayFallback(ctx context.Context, w *workloads.Workload,
 		bank = par.Bank()
 	}
 	dur := time.Since(start)
+	span.End()
 
 	run := &RunResult{
 		Workload:  meta.Workload,
@@ -514,6 +532,22 @@ func (tc *TraceCache) replayFallback(ctx context.Context, w *workloads.Workload,
 		sess.Add(rec)
 	}
 	return finishSweep(run, bank, cfgs, sess), nil
+}
+
+// emitReplayStages records the fused sweep's stage clocks as synthesized
+// child spans of the replay span (ctx must carry it). The clocks are
+// per-chunk measurements summed across decoder goroutines and lanes, so
+// each child is an aggregate — marked as such, sharing the replay's start
+// time — and their durations can exceed the replay's wall time.
+func emitReplayStages(ctx context.Context, start time.Time, decodeSec, simSec, mergeSec float64) {
+	r := Spans()
+	if r == nil {
+		return
+	}
+	agg := map[string]string{"aggregate": "true"}
+	r.Emit(ctx, telemetry.StageDecode, start, time.Duration(decodeSec*float64(time.Second)), agg)
+	r.Emit(ctx, telemetry.StageSimulate, start, time.Duration(simSec*float64(time.Second)), agg)
+	r.Emit(ctx, telemetry.StageMerge, start, time.Duration(mergeSec*float64(time.Second)), agg)
 }
 
 func traceProvenance(source string, meta *TraceMeta) *telemetry.TraceRecord {

@@ -1,0 +1,331 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"time"
+
+	"gcsim/internal/telemetry"
+)
+
+// The live dashboard: one server-rendered HTML page at /dashboard and an
+// SSE feed at /dashboard/events keeping it current. The page reuses the
+// same server-side rendering the API does — the job table comes from the
+// store, the latest finished report from Job.RenderReport (internal/
+// report, byte-identical to gcsim's own output) — and the browser-side
+// script only patches what the feed tells it changed: job events from
+// the hub's firehose subscription update table rows, periodic stats
+// events update the tiles and feed the stage-latency sparklines
+// (average seconds per stage over each interval, Δsum/Δcount between
+// consecutive stats frames).
+
+// statsInterval paces the periodic stats frames on the SSE feed.
+const statsInterval = time.Second
+
+// dashStats is one stats frame: instantaneous serving state plus
+// cumulative histogram summaries the client differentiates.
+type dashStats struct {
+	QueueDepth    int     `json:"queue_depth"`
+	Workers       int     `json:"workers"`
+	WorkersBusy   int64   `json:"workers_busy"`
+	JobsRunning   int64   `json:"jobs_running"`
+	JobsCompleted uint64  `json:"jobs_completed"`
+	JobsFailed    uint64  `json:"jobs_failed"`
+	TraceHits     uint64  `json:"trace_hits"`
+	TraceMisses   uint64  `json:"trace_misses"`
+	HitRate       float64 `json:"hit_rate"`
+	// Stages maps stage name -> cumulative {count, sum seconds}; Job and
+	// Queue are the two first-class families.
+	Job    statsSummary            `json:"job"`
+	Queue  statsSummary            `json:"queue"`
+	Stages map[string]statsSummary `json:"stages"`
+	// SpansDropped counts spans that degraded to counters-only under
+	// load; nonzero is the always-on-cheap design working, not an error.
+	SpansDropped uint64 `json:"spans_dropped"`
+}
+
+type statsSummary struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+}
+
+func summaryOf(h *telemetry.Histogram) statsSummary {
+	s := h.Snapshot()
+	return statsSummary{Count: s.Count, Sum: s.Sum}
+}
+
+func (s *Server) dashStatsNow() dashStats {
+	st := dashStats{
+		QueueDepth:    s.pool.depth(),
+		Workers:       s.metrics.Workers,
+		WorkersBusy:   s.metrics.WorkersBusy.Load(),
+		JobsRunning:   s.metrics.JobsRunning.Load(),
+		JobsCompleted: s.metrics.JobsCompleted.Load(),
+		JobsFailed:    s.metrics.JobsFailed.Load(),
+		Job:           summaryOf(s.metrics.JobSeconds),
+		Queue:         summaryOf(s.metrics.QueueSeconds),
+		Stages:        make(map[string]statsSummary, len(s.metrics.StageSeconds)),
+		SpansDropped:  s.cfg.Spans.Dropped(),
+	}
+	if tc := s.cfg.TraceCache; tc != nil {
+		cs := tc.Stats()
+		st.TraceHits, st.TraceMisses = cs.Hits, cs.Misses
+		if total := cs.Hits + cs.Misses; total > 0 {
+			st.HitRate = float64(cs.Hits) / float64(total)
+		}
+	}
+	for name, h := range s.metrics.StageSeconds {
+		st.Stages[name] = summaryOf(h)
+	}
+	return st
+}
+
+// dashboardJob is one row of the server-rendered job table.
+type dashboardJob struct {
+	ID, Workload, GC, State, Submitted string
+	Done, Total                        int
+	Error                              string
+}
+
+var dashboardTmpl = template.Must(template.New("dashboard").Funcs(template.FuncMap{
+	"pct": func(f float64) string { return fmt.Sprintf("%.0f%%", f*100) },
+}).Parse(dashboardHTML))
+
+// handleDashboard renders the dashboard page: current job table, stat
+// tiles, and the most recent finished job's report, all server-side; the
+// embedded script then keeps the page live from /dashboard/events.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	jobs := s.store.List()
+	rows := make([]dashboardJob, 0, len(jobs))
+	var latestReport, latestReportJob string
+	for _, j := range jobs {
+		rows = append(rows, dashboardJob{
+			ID: j.ID, Workload: j.Spec.Workload, GC: j.Spec.GC,
+			State: j.State, Submitted: j.SubmittedAt,
+			Done: j.ConfigsDone, Total: j.ConfigsTotal, Error: j.Error,
+		})
+		if latestReport == "" && j.State == StateDone {
+			var buf bytes.Buffer
+			if err := j.RenderReport(&buf, false); err == nil {
+				latestReport, latestReportJob = buf.String(), j.ID
+			}
+		}
+	}
+	stages := make([]string, 0, len(s.metrics.StageSeconds))
+	for name := range s.metrics.StageSeconds {
+		stages = append(stages, name)
+	}
+	sort.Strings(stages)
+
+	data := map[string]any{
+		"Jobs":            rows,
+		"Stats":           s.dashStatsNow(),
+		"Stages":          stages,
+		"LatestReport":    latestReport,
+		"LatestReportJob": latestReportJob,
+	}
+	var buf bytes.Buffer
+	if err := dashboardTmpl.Execute(&buf, data); err != nil {
+		httpError(w, http.StatusInternalServerError, "dashboard: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleDashboardEvents is the SSE feed: a stats frame immediately on
+// connect (so the page paints without waiting a tick), then job events
+// as the hub publishes them and a stats frame every statsInterval.
+func (s *Server) handleDashboardEvents(w http.ResponseWriter, r *http.Request) {
+	ch, cancel := s.hub.subscribeAll()
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+
+	emit := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	if !emit("stats", s.dashStatsNow()) {
+		return
+	}
+
+	tick := time.NewTicker(statsInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, open := <-ch:
+			if !open {
+				return
+			}
+			if !emit("job", e) {
+				return
+			}
+		case <-tick.C:
+			if !emit("stats", s.dashStatsNow()) {
+				return
+			}
+		}
+	}
+}
+
+// dashboardHTML is the page template. Styling and scripting are inlined
+// so the dashboard is a single self-contained document — easy to save as
+// a snapshot artifact (server_smoke.sh does) and zero extra routes.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>gcsimd dashboard</title>
+<style>
+  :root { --bg:#11151a; --panel:#1a2028; --ink:#d8dee6; --dim:#7d8a99; --acc:#58a6ff; --ok:#3fb950; --bad:#f85149; --warn:#d29922; }
+  body { background:var(--bg); color:var(--ink); font:14px/1.45 ui-monospace,Menlo,Consolas,monospace; margin:0; padding:1.2rem 1.6rem; }
+  h1 { font-size:1.1rem; margin:0 0 1rem; color:var(--acc); }
+  h2 { font-size:0.9rem; margin:1.4rem 0 0.5rem; color:var(--dim); text-transform:uppercase; letter-spacing:0.08em; }
+  .tiles { display:flex; flex-wrap:wrap; gap:0.8rem; }
+  .tile { background:var(--panel); border-radius:6px; padding:0.6rem 1rem; min-width:9rem; }
+  .tile .v { font-size:1.4rem; } .tile .k { color:var(--dim); font-size:0.78rem; }
+  table { border-collapse:collapse; width:100%; background:var(--panel); border-radius:6px; overflow:hidden; }
+  th, td { text-align:left; padding:0.4rem 0.8rem; border-bottom:1px solid #232b35; }
+  th { color:var(--dim); font-weight:normal; font-size:0.78rem; text-transform:uppercase; letter-spacing:0.06em; }
+  td.state-done { color:var(--ok); } td.state-failed, td.state-cancelled { color:var(--bad); }
+  td.state-running { color:var(--acc); } td.state-queued, td.state-interrupted { color:var(--warn); }
+  .spark { display:inline-block; vertical-align:middle; }
+  .stage-row td { font-size:0.85rem; }
+  pre { background:var(--panel); border-radius:6px; padding:0.8rem 1rem; overflow-x:auto; font-size:0.82rem; }
+  .muted { color:var(--dim); }
+</style>
+</head>
+<body>
+<h1>gcsimd <span class="muted">live dashboard</span></h1>
+
+<div class="tiles">
+  <div class="tile"><div class="v" id="t-workers">{{.Stats.WorkersBusy}}/{{.Stats.Workers}}</div><div class="k">workers busy</div></div>
+  <div class="tile"><div class="v" id="t-queue">{{.Stats.QueueDepth}}</div><div class="k">jobs queued</div></div>
+  <div class="tile"><div class="v" id="t-running">{{.Stats.JobsRunning}}</div><div class="k">jobs running</div></div>
+  <div class="tile"><div class="v" id="t-completed">{{.Stats.JobsCompleted}}</div><div class="k">jobs completed</div></div>
+  <div class="tile"><div class="v" id="t-hitrate">{{pct .Stats.HitRate}}</div><div class="k">trace-cache hit rate</div></div>
+  <div class="tile"><div class="v" id="t-dropped">{{.Stats.SpansDropped}}</div><div class="k">spans → counters-only</div></div>
+</div>
+
+<h2>Jobs</h2>
+<table id="jobs">
+  <thead><tr><th>id</th><th>workload</th><th>gc</th><th>state</th><th>configs</th><th>submitted</th><th>error</th></tr></thead>
+  <tbody>
+  {{range .Jobs}}<tr id="job-{{.ID}}"><td>{{.ID}}</td><td>{{.Workload}}</td><td>{{.GC}}</td><td class="state-{{.State}}">{{.State}}</td><td>{{.Done}}/{{.Total}}</td><td>{{.Submitted}}</td><td>{{.Error}}</td></tr>
+  {{end}}
+  </tbody>
+</table>
+
+<h2>Stage latency <span class="muted">(avg seconds per interval)</span></h2>
+<table id="stages">
+  <thead><tr><th>stage</th><th>count</th><th>total s</th><th>trend</th></tr></thead>
+  <tbody>
+  <tr class="stage-row" id="stage-job"><td>job</td><td class="c">0</td><td class="s">0</td><td><canvas class="spark" width="120" height="22"></canvas></td></tr>
+  <tr class="stage-row" id="stage-queue"><td>queue</td><td class="c">0</td><td class="s">0</td><td><canvas class="spark" width="120" height="22"></canvas></td></tr>
+  {{range .Stages}}<tr class="stage-row" id="stage-{{.}}"><td>{{.}}</td><td class="c">0</td><td class="s">0</td><td><canvas class="spark" width="120" height="22"></canvas></td></tr>
+  {{end}}
+  </tbody>
+</table>
+
+{{if .LatestReport}}
+<h2>Latest report <span class="muted">({{.LatestReportJob}})</span></h2>
+<pre id="report">{{.LatestReport}}</pre>
+{{end}}
+
+<script>
+(() => {
+  const hist = {};          // stage -> [{count,sum}, ...] recent summaries
+  const SPARK_N = 60;       // keep a minute of 1s frames
+
+  function fmtCount(n) { return n.toLocaleString("en-US"); }
+
+  function spark(canvas, values) {
+    const ctx = canvas.getContext("2d");
+    const w = canvas.width, h = canvas.height;
+    ctx.clearRect(0, 0, w, h);
+    if (values.length < 2) return;
+    const max = Math.max(...values, 1e-9);
+    ctx.strokeStyle = "#58a6ff";
+    ctx.lineWidth = 1.2;
+    ctx.beginPath();
+    values.forEach((v, i) => {
+      const x = i * (w - 2) / (SPARK_N - 1) + 1;
+      const y = h - 2 - (v / max) * (h - 4);
+      i === 0 ? ctx.moveTo(x, y) : ctx.lineTo(x, y);
+    });
+    ctx.stroke();
+  }
+
+  function updateStage(name, cur) {
+    const row = document.getElementById("stage-" + name);
+    if (!row || !cur) return;
+    row.querySelector(".c").textContent = fmtCount(cur.count);
+    row.querySelector(".s").textContent = cur.sum.toFixed(3);
+    const hs = hist[name] || (hist[name] = []);
+    const prev = hs.length ? hs[hs.length - 1] : null;
+    hs.push(cur);
+    if (hs.length > SPARK_N + 1) hs.shift();
+    // Sparkline point: average seconds of the spans that ended in this
+    // interval (Δsum/Δcount between consecutive frames; 0 when idle).
+    const pts = [];
+    for (let i = 1; i < hs.length; i++) {
+      const dc = hs[i].count - hs[i-1].count;
+      pts.push(dc > 0 ? (hs[i].sum - hs[i-1].sum) / dc : 0);
+    }
+    spark(row.querySelector("canvas"), pts);
+    void prev;
+  }
+
+  function onStats(st) {
+    document.getElementById("t-workers").textContent = st.workers_busy + "/" + st.workers;
+    document.getElementById("t-queue").textContent = st.queue_depth;
+    document.getElementById("t-running").textContent = st.jobs_running;
+    document.getElementById("t-completed").textContent = st.jobs_completed;
+    document.getElementById("t-hitrate").textContent = Math.round(st.hit_rate * 100) + "%";
+    document.getElementById("t-dropped").textContent = st.spans_dropped;
+    updateStage("job", st.job);
+    updateStage("queue", st.queue);
+    for (const [name, cur] of Object.entries(st.stages || {})) updateStage(name, cur);
+  }
+
+  function onJob(e) {
+    let row = document.getElementById("job-" + e.job);
+    if (!row) {
+      row = document.createElement("tr");
+      row.id = "job-" + e.job;
+      row.innerHTML = "<td>" + e.job + "</td><td></td><td></td><td></td><td></td><td></td><td></td>";
+      document.querySelector("#jobs tbody").prepend(row);
+    }
+    const cells = row.children;
+    if (e.type === "state") {
+      cells[3].textContent = e.state || "";
+      cells[3].className = "state-" + (e.state || "");
+      if (e.error) cells[6].textContent = e.error;
+    }
+    if (e.total) cells[4].textContent = (e.done || 0) + "/" + e.total;
+  }
+
+  const es = new EventSource("/dashboard/events");
+  es.addEventListener("stats", ev => onStats(JSON.parse(ev.data)));
+  es.addEventListener("job", ev => onJob(JSON.parse(ev.data)));
+})();
+</script>
+</body>
+</html>
+`

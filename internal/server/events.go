@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // eventHub fans each job's progress events out to its live subscribers
 // while keeping the full per-job history for replay, so a client that
@@ -9,10 +12,21 @@ import "sync"
 // lines rather than block a worker on a slow reader — but a terminal
 // state event is never dropped: termination is signalled by closing the
 // subscriber channels, which no backlog can delay.
+//
+// Besides per-job subscribers, the hub carries firehose subscribers
+// (subscribeAll) that see every job's events — the dashboard's feed.
+// Firehose channels are never closed by job termination; they live until
+// their subscriber cancels.
 type eventHub struct {
+	// observe, when non-nil, is called with each publish's fan-out
+	// duration — how long delivering the event to every subscriber took.
+	// It feeds the gcsimd_fanout_seconds histogram.
+	observe func(time.Duration)
+
 	mu     sync.Mutex
 	events map[string][]Event
 	subs   map[string]map[int]chan Event
+	all    map[int]chan Event
 	closed map[string]bool
 	nextID int
 }
@@ -22,23 +36,27 @@ type eventHub struct {
 // spare; a reader further behind than that loses progress lines only.
 const subChanCap = 256
 
-func newEventHub() *eventHub {
+func newEventHub(observe func(time.Duration)) *eventHub {
 	return &eventHub{
-		events: make(map[string][]Event),
-		subs:   make(map[string]map[int]chan Event),
-		closed: make(map[string]bool),
+		observe: observe,
+		events:  make(map[string][]Event),
+		subs:    make(map[string]map[int]chan Event),
+		all:     make(map[int]chan Event),
+		closed:  make(map[string]bool),
 	}
 }
 
 // publish appends the event to the job's history and delivers it to live
 // subscribers. A terminal state event also closes the job's stream: all
-// subscriber channels are closed and later subscribers get replay only.
+// per-job subscriber channels are closed and later subscribers get
+// replay only. Firehose subscribers receive the event too but stay open.
 func (h *eventHub) publish(e Event) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed[e.Job] {
 		return // terminal already announced; nothing may follow it
 	}
+	t0 := time.Now()
 	h.events[e.Job] = append(h.events[e.Job], e)
 	terminal := e.Type == "state" && TerminalState(e.State)
 	for _, ch := range h.subs[e.Job] {
@@ -47,12 +65,21 @@ func (h *eventHub) publish(e Event) {
 		default: // slow reader: drop the progress line, never block a worker
 		}
 	}
+	for _, ch := range h.all {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
 	if terminal {
 		h.closed[e.Job] = true
 		for _, ch := range h.subs[e.Job] {
 			close(ch)
 		}
 		delete(h.subs, e.Job)
+	}
+	if h.observe != nil {
+		h.observe(time.Since(t0))
 	}
 }
 
@@ -85,6 +112,28 @@ func (h *eventHub) subscribe(jobID string) (replay []Event, ch chan Event, cance
 		}
 	}
 	return replay, ch, cancel
+}
+
+// subscribeAll attaches a firehose subscriber that receives every job's
+// events from now on. The channel is only closed by cancel — job
+// termination never closes it — so one dashboard connection can watch
+// any number of jobs come and go.
+func (h *eventHub) subscribeAll() (ch chan Event, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch = make(chan Event, subChanCap)
+	id := h.nextID
+	h.nextID++
+	h.all[id] = ch
+	cancel = func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, live := h.all[id]; live {
+			delete(h.all, id)
+			close(ch)
+		}
+	}
+	return ch, cancel
 }
 
 // seed records history for a job the hub has never seen (a job loaded

@@ -3,17 +3,22 @@ package server
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strconv"
 	"sync/atomic"
 
 	"gcsim/internal/core"
+	"gcsim/internal/telemetry"
 )
 
-// Metrics is the service's counter set, exported at /metrics in
-// Prometheus text exposition format. Counters are monotonically
-// increasing totals since process start; gauges report instantaneous
-// state. The trace-cache hit counters come straight from the shared
-// core.TraceCache, so a repeated job shows up as hits — the signal that
-// record-once/replay-many is actually being shared across jobs.
+// Metrics is the service's metric set, exported at /metrics in Prometheus
+// text exposition format. Counters are monotonically increasing totals
+// since process start; gauges report instantaneous state; histograms are
+// fixed-bucket latency distributions fed by the span recorder's OnEnd
+// hook and the event hub's fan-out clock. The trace-cache hit counters
+// come straight from the shared core.TraceCache, so a repeated job shows
+// up as hits — the signal that record-once/replay-many is actually being
+// shared across jobs.
 type Metrics struct {
 	JobsSubmitted    atomic.Uint64
 	JobsCompleted    atomic.Uint64
@@ -25,6 +30,62 @@ type Metrics struct {
 	RefsReplayed     atomic.Uint64
 	WorkersBusy      atomic.Int64
 	Workers          int
+
+	// JobSeconds observes whole-job wall time (enqueue to terminal state
+	// persisted) and QueueSeconds the enqueue-to-pickup wait — the two
+	// ends of the latency story a counter can't tell.
+	JobSeconds   *telemetry.Histogram
+	QueueSeconds *telemetry.Histogram
+	// StageSeconds breaks job time down by lifecycle stage, one series
+	// per name in the span taxonomy (labelled {stage="..."}).
+	StageSeconds map[string]*telemetry.Histogram
+	// FanoutSeconds observes the event hub's per-publish fan-out lag:
+	// how long delivering one event to every subscriber took. The hub
+	// never blocks on a slow reader, so growth here means subscriber
+	// count, not backpressure.
+	FanoutSeconds *telemetry.Histogram
+}
+
+// fanoutBuckets suit the hub's microsecond-scale delivery loop; the
+// default latency buckets would put every observation in the first one.
+var fanoutBuckets = []float64{
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 1e-1,
+}
+
+// NewMetrics builds the metric set for a pool of the given size.
+func NewMetrics(workers int) *Metrics {
+	m := &Metrics{
+		Workers:       workers,
+		JobSeconds:    telemetry.NewHistogram(),
+		QueueSeconds:  telemetry.NewHistogram(),
+		StageSeconds:  make(map[string]*telemetry.Histogram, len(telemetry.Stages)),
+		FanoutSeconds: telemetry.NewHistogram(fanoutBuckets...),
+	}
+	// One fixed series per stage, allocated up front: scrapes and the
+	// OnEnd hook then only ever read the map, so no lock is needed.
+	for _, stage := range telemetry.Stages {
+		if stage == telemetry.StageJob || stage == telemetry.StageQueue {
+			continue // already first-class families above
+		}
+		m.StageSeconds[stage] = telemetry.NewHistogram()
+	}
+	return m
+}
+
+// ObserveSpan routes one finished span into the matching histogram; it is
+// the span recorder's OnEnd hook.
+func (m *Metrics) ObserveSpan(sp telemetry.Span) {
+	d := float64(sp.DurationNanos) / 1e9
+	switch sp.Name {
+	case telemetry.StageJob:
+		m.JobSeconds.Observe(d)
+	case telemetry.StageQueue:
+		m.QueueSeconds.Observe(d)
+	default:
+		if h := m.StageSeconds[sp.Name]; h != nil {
+			h.Observe(d)
+		}
+	}
 }
 
 // metricRow is one exposition line with its metadata.
@@ -63,4 +124,61 @@ func (m *Metrics) WriteText(w io.Writer, tc *core.TraceCache, queued int) {
 	for _, r := range rows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", r.name, r.help, r.name, r.kind, r.name, r.value)
 	}
+
+	writeHistogram(w, "gcsimd_job_seconds",
+		"Job wall time from enqueue to terminal state persisted.", "", m.JobSeconds)
+	writeHistogram(w, "gcsimd_queue_seconds",
+		"Job wait from enqueue to worker pickup.", "", m.QueueSeconds)
+	writeHistogram(w, "gcsimd_fanout_seconds",
+		"Event hub per-publish fan-out delivery time.", "", m.FanoutSeconds)
+
+	// The stage family: one labelled series per lifecycle stage, HELP and
+	// TYPE once, stages in deterministic order.
+	stages := make([]string, 0, len(m.StageSeconds))
+	for stage := range m.StageSeconds {
+		stages = append(stages, stage)
+	}
+	sort.Strings(stages)
+	for i, stage := range stages {
+		writeHistogramHeader(w, "gcsimd_stage_seconds",
+			"Per-stage duration of job lifecycle spans, by stage name.", i == 0)
+		writeHistogramSeries(w, "gcsimd_stage_seconds", `stage="`+stage+`"`, m.StageSeconds[stage])
+	}
+}
+
+// writeHistogram emits one complete unlabelled histogram family.
+func writeHistogram(w io.Writer, name, help, labels string, h *telemetry.Histogram) {
+	writeHistogramHeader(w, name, help, true)
+	writeHistogramSeries(w, name, labels, h)
+}
+
+func writeHistogramHeader(w io.Writer, name, help string, write bool) {
+	if !write {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+}
+
+// writeHistogramSeries emits the _bucket/_sum/_count rows of one series.
+// extraLabels ("" or `stage="sweep"`) is merged with the le label.
+func writeHistogramSeries(w io.Writer, name, extraLabels string, h *telemetry.Histogram) {
+	snap := h.Snapshot()
+	joint := func(le string) string {
+		if extraLabels == "" {
+			return `le="` + le + `"`
+		}
+		return extraLabels + `,le="` + le + `"`
+	}
+	var cum uint64
+	for i, b := range snap.Bounds {
+		cum += snap.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, joint(strconv.FormatFloat(b, 'g', -1, 64)), cum)
+	}
+	cum += snap.Counts[len(snap.Counts)-1]
+	fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, joint("+Inf"), cum)
+	if extraLabels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, snap.Sum, name, snap.Count)
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, extraLabels, snap.Sum, name, extraLabels, snap.Count)
 }

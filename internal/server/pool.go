@@ -4,18 +4,20 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // pool is the bounded worker set that executes jobs. Submissions enqueue
-// a job ID; each worker loops pulling IDs and handing them to the run
+// a job ID stamped with its enqueue time (the start of the job's queue
+// span); each worker loops pulling entries and handing them to the run
 // callback with the pool's run context. Draining cancels that context —
 // the PR-3 cancellation plumbing interrupts the machines at their next
 // safepoint, the resilient sweep checkpoints what completed — and then
 // waits for every worker to return. IDs still queued at drain time simply
 // stay queued on disk and are re-enqueued by the next server.
 type pool struct {
-	queue  chan string
-	run    func(ctx context.Context, id string)
+	queue  chan queued
+	run    func(ctx context.Context, id string, queuedAt time.Time)
 	wg     sync.WaitGroup
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -25,12 +27,18 @@ type pool struct {
 	drained bool
 }
 
+// queued is one backlog entry: a job ID and when it joined the queue.
+type queued struct {
+	id string
+	at time.Time
+}
+
 // queueCap bounds the backlog; submissions beyond it are rejected with
 // 503 rather than growing without bound.
 const queueCap = 1024
 
-func newPool(run func(ctx context.Context, id string)) *pool {
-	return &pool{queue: make(chan string, queueCap), run: run}
+func newPool(run func(ctx context.Context, id string, queuedAt time.Time)) *pool {
+	return &pool{queue: make(chan queued, queueCap), run: run}
 }
 
 // start launches n workers under a context derived from ctx.
@@ -54,8 +62,8 @@ func (p *pool) worker() {
 		select {
 		case <-p.ctx.Done():
 			return
-		case id := <-p.queue:
-			p.run(p.ctx, id)
+		case q := <-p.queue:
+			p.run(p.ctx, q.id, q.at)
 		}
 	}
 }
@@ -69,7 +77,7 @@ func (p *pool) submit(id string) error {
 		return fmt.Errorf("server: draining, not accepting jobs")
 	}
 	select {
-	case p.queue <- id:
+	case p.queue <- queued{id: id, at: time.Now()}:
 		return nil
 	default:
 		return fmt.Errorf("server: job queue full (%d pending)", queueCap)

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -31,6 +32,12 @@ type Config struct {
 	TraceCache *core.TraceCache
 	// Progress, if non-nil, receives job lifecycle log lines.
 	Progress *telemetry.Progress
+	// Spans, if non-nil, records each job's lifecycle span tree
+	// (enqueue→report, plus the engine stages under the sweep). The
+	// caller is responsible for having installed the same recorder with
+	// core.SetSpans so engine spans land in the same tree; the server
+	// claims the recorder's OnEnd hook to feed its latency histograms.
+	Spans *telemetry.SpanRecorder
 }
 
 // Server is the gcsimd service: a job store, a worker pool, an event hub,
@@ -65,11 +72,16 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		store:     store,
-		hub:       newEventHub(),
-		metrics:   &Metrics{Workers: cfg.Workers},
+		metrics:   NewMetrics(cfg.Workers),
 		cancels:   make(map[string]context.CancelFunc),
 		cancelled: make(map[string]bool),
 	}
+	s.hub = newEventHub(func(d time.Duration) {
+		s.metrics.FanoutSeconds.Observe(d.Seconds())
+	})
+	// Every ended span — the server's lifecycle stages and the engine's
+	// sweep-internal ones alike — feeds the per-stage histograms.
+	cfg.Spans.SetOnEnd(s.metrics.ObserveSpan)
 	s.pool = newPool(s.runJob)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -78,11 +90,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleSpans)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
+	s.mux.HandleFunc("GET /dashboard/events", s.handleDashboardEvents)
 	return s, nil
 }
 
@@ -136,12 +148,37 @@ func nowRFC3339() string { return time.Now().UTC().Format(time.RFC3339) }
 // its finished configurations checkpointed; an API cancellation marks it
 // cancelled — terminal. Failed configurations (after the retry budget)
 // fail the job but keep every completed result.
-func (s *Server) runJob(ctx context.Context, id string) {
+//
+// Span accounting: the job span starts at enqueue time and its children
+// — queue, setup, sweep, report — are contiguous (each stage ends where
+// the next begins, sharing the boundary timestamp), so the four stage
+// durations sum exactly to the job's wall time by construction.
+func (s *Server) runJob(ctx context.Context, id string, queuedAt time.Time) {
 	j, ok := s.store.Get(id)
 	if !ok || j.Terminal() {
 		return // cancelled while queued, or stale queue entry
 	}
 	spec := j.Spec
+
+	rec := s.cfg.Spans
+	pickup := time.Now()
+	sctx := telemetry.ContextWithTrace(context.Background(), id)
+	sctx, jobSpan := rec.StartSpanAt(sctx, telemetry.StageJob, queuedAt)
+	jobSpan.SetAttr("workload", spec.Workload)
+	_, queueSpan := rec.StartSpanAt(sctx, telemetry.StageQueue, queuedAt)
+	queueSpan.EndAt(pickup)
+	_, setupSpan := rec.StartSpanAt(sctx, telemetry.StageSetup, pickup)
+	// finishStaged ends the currently open stage, runs finishJob inside
+	// the report stage, and closes the job span at the same instant.
+	finishStaged := func(open *telemetry.ActiveSpan, sweep *core.PerConfigSweep, err error) {
+		at := time.Now()
+		open.EndAt(at)
+		_, reportSpan := rec.StartSpanAt(sctx, telemetry.StageReport, at)
+		s.finishJob(id, sweep, err)
+		end := time.Now()
+		reportSpan.EndAt(end)
+		jobSpan.EndAt(end)
+	}
 
 	jctx, cancel := context.WithCancel(ctx)
 	s.mu.Lock()
@@ -157,12 +194,12 @@ func (s *Server) runJob(ctx context.Context, id string) {
 
 	w, err := workloads.ByName(spec.Workload)
 	if err != nil {
-		s.finishJob(id, nil, err)
+		finishStaged(setupSpan, nil, err)
 		return
 	}
 	cfgs, err := spec.CacheConfigs()
 	if err != nil {
-		s.finishJob(id, nil, err)
+		finishStaged(setupSpan, nil, err)
 		return
 	}
 	gcName := spec.GC
@@ -198,14 +235,22 @@ func (s *Server) runJob(ctx context.Context, id string) {
 
 	ck, err := core.NewCheckpoint(s.store.CheckpointDir(id))
 	if err != nil {
-		s.finishJob(id, nil, err)
+		finishStaged(setupSpan, nil, err)
 		return
 	}
+
+	// Setup ends where the sweep begins; graft the span lineage onto the
+	// cancellable job context so the engine's spans (trace.lookup, replay,
+	// run.vm, …) nest under this job's sweep span.
+	sweepStart := time.Now()
+	setupSpan.EndAt(sweepStart)
+	sweepCtx, sweepSpan := rec.StartSpanAt(telemetry.ContextWithSpan(jctx, telemetry.SpanFromContext(sctx)), telemetry.StageSweep, sweepStart)
+	sweepSpan.SetAttr("configs", fmt.Sprint(len(cfgs)))
 
 	var done int
 	var doneMu sync.Mutex
 	total := len(cfgs)
-	sweep, err := core.RunSweepPerConfig(jctx, w, spec.Scale, cfgs, core.PerConfigSweepOpts{
+	sweep, err := core.RunSweepPerConfig(sweepCtx, w, spec.Scale, cfgs, core.PerConfigSweepOpts{
 		MakeCollector: mkCol,
 		Retries:       spec.Retries,
 		Checkpoint:    ck,
@@ -220,7 +265,7 @@ func (s *Server) runJob(ctx context.Context, id string) {
 			s.hub.publish(Event{Type: "config", Job: id, Config: r.Config.String(), Done: d, Total: total})
 		},
 	})
-	s.finishJob(id, sweep, err)
+	finishStaged(sweepSpan, sweep, err)
 }
 
 // finishJob persists a job's terminal (or interrupted) state and
@@ -478,4 +523,67 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteText(w, s.cfg.TraceCache, s.pool.depth())
+}
+
+// Health is the /healthz body: instantaneous serving state plus the
+// liveness of the two disk dependencies (job store, trace cache).
+type Health struct {
+	Status      string `json:"status"` // "ok" or "degraded"
+	QueueDepth  int    `json:"queue_depth"`
+	Workers     int    `json:"workers"`
+	WorkersBusy int64  `json:"workers_busy"`
+	JobsRunning int64  `json:"jobs_running"`
+	Store       string `json:"store"`                 // "ok" or the probe error
+	TraceCache  string `json:"trace_cache,omitempty"` // "ok", the stat error, or absent when disabled
+}
+
+// handleHealthz reports service health: 200 with status "ok" when the
+// store accepts writes and the trace-cache directory (if configured) is
+// statable, 503 with status "degraded" otherwise. The body carries the
+// pool's instantaneous state either way, so probes double as a cheap
+// saturation check.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Status:      "ok",
+		QueueDepth:  s.pool.depth(),
+		Workers:     s.metrics.Workers,
+		WorkersBusy: s.metrics.WorkersBusy.Load(),
+		JobsRunning: s.metrics.JobsRunning.Load(),
+		Store:       "ok",
+	}
+	if err := s.store.ProbeWritable(); err != nil {
+		h.Status = "degraded"
+		h.Store = err.Error()
+	}
+	if tc := s.cfg.TraceCache; tc != nil {
+		h.TraceCache = "ok"
+		if st, err := os.Stat(tc.Dir()); err != nil {
+			h.Status = "degraded"
+			h.TraceCache = err.Error()
+		} else if !st.IsDir() {
+			h.Status = "degraded"
+			h.TraceCache = fmt.Sprintf("%s is not a directory", tc.Dir())
+		}
+	}
+	code := http.StatusOK
+	if h.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// handleSpans returns one job's recorded span tree (the job ID is the
+// trace ID). An empty list means the recorder is disabled, the job has
+// not run yet, or its spans have aged out of the bounded ring.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.store.Get(id); !ok {
+		httpError(w, http.StatusNotFound, "no such job %s", id)
+		return
+	}
+	spans := s.cfg.Spans.SpansFor(id)
+	if spans == nil {
+		spans = []telemetry.Span{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": id, "spans": spans})
 }

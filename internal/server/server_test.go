@@ -125,7 +125,7 @@ func TestStorePersistReload(t *testing.T) {
 }
 
 func TestEventHubReplayAndTerminal(t *testing.T) {
-	h := newEventHub()
+	h := newEventHub(nil)
 	h.publish(Event{Type: "state", Job: "j1", State: StateQueued})
 	h.publish(Event{Type: "config", Job: "j1", Config: "64k/64b/write-validate", Done: 1, Total: 2})
 
@@ -159,7 +159,7 @@ func TestEventHubReplayAndTerminal(t *testing.T) {
 }
 
 func TestEventHubSeed(t *testing.T) {
-	h := newEventHub()
+	h := newEventHub(nil)
 	h.seed(&Job{ID: "j9", State: StateDone, ConfigsDone: 3, ConfigsTotal: 3})
 	replay, ch, cancel := h.subscribe("j9")
 	defer cancel()
@@ -176,7 +176,7 @@ func TestEventHubSeed(t *testing.T) {
 }
 
 func TestMetricsText(t *testing.T) {
-	m := &Metrics{Workers: 3}
+	m := NewMetrics(3)
 	m.JobsSubmitted.Add(5)
 	m.JobsCompleted.Add(4)
 	m.RefsReplayed.Add(1_000_000)

@@ -176,6 +176,20 @@ func (s *Store) Resumable() []string {
 	return ids
 }
 
+// ProbeWritable verifies the store's backing directory still accepts
+// writes — the /healthz liveness check for the disk. It creates and
+// removes a scratch file in the jobs directory.
+func (s *Store) ProbeWritable() error {
+	probe := filepath.Join(s.dir, "jobs", ".healthz-probe")
+	if err := os.WriteFile(probe, []byte("ok\n"), 0o644); err != nil {
+		return fmt.Errorf("server: store not writable: %w", err)
+	}
+	if err := os.Remove(probe); err != nil {
+		return fmt.Errorf("server: store probe cleanup: %w", err)
+	}
+	return nil
+}
+
 // persistLocked writes the job's JSON atomically. Callers hold s.mu.
 func (s *Store) persistLocked(j *Job) error {
 	dir := s.JobDir(j.ID)

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket latency histogram with Prometheus `le`
+// semantics: an observation lands in the first bucket whose upper bound
+// is >= the value, and values above every bound land in the implicit
+// +Inf bucket. Observations are lock-free (one atomic add per bucket plus
+// a CAS loop for the sum), so histograms can sit on serving paths — the
+// event hub's fan-out, the worker pool's job accounting — without
+// serializing them.
+//
+// Bounds are fixed at construction and never rebucketed, which keeps
+// scrapes comparable across the process lifetime: a Prometheus client
+// can subtract two scrapes bucket by bucket.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, excluding +Inf
+	counts []atomic.Uint64 // one per bound, plus the +Inf bucket
+	sum    atomic.Uint64   // math.Float64bits of the running sum
+}
+
+// DefLatencyBuckets spans one millisecond to one minute, the range gcsimd
+// stage latencies live in: sub-millisecond merges up to multi-second VM
+// recording runs, with headroom for saturated queues.
+var DefLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// NewHistogram builds a histogram over the given upper bounds (sorted
+// and deduplicated; DefLatencyBuckets if none are given).
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	dedup := sorted[:0]
+	for i, b := range sorted {
+		if i == 0 || b != sorted[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{bounds: dedup, counts: make([]atomic.Uint64, len(dedup)+1)}
+}
+
+// Observe records one value. Negative values (a clock step, an aggregate
+// underflow) are clamped to zero — durations cannot be negative, and a
+// zero-duration observation still counts.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	// sort.SearchFloat64s returns the first i with bounds[i] >= v — exactly
+	// the `le` bucket; i == len(bounds) is the +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, ready for
+// exposition: Counts are per-bucket (not cumulative) with the +Inf bucket
+// last, and Count is their total, so buckets and count always agree even
+// when the snapshot races concurrent observations.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"` // upper bounds, excluding +Inf
+	Counts []uint64  `json:"counts"` // per-bucket, len(Bounds)+1 (+Inf last)
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}

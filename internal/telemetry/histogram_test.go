@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	// Prometheus `le` semantics: a value exactly on a bound lands in that
+	// bound's bucket.
+	h.Observe(0.001) // -> le=0.001
+	h.Observe(0.01)  // -> le=0.01
+	h.Observe(0.1)   // -> le=0.1
+	h.Observe(0.005) // -> le=0.01
+	h.Observe(0.5)   // -> +Inf
+
+	s := h.Snapshot()
+	want := []uint64{1, 2, 1, 1} // per-bucket (not cumulative), +Inf last
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d count = %d, want %d (snapshot %+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-0.616) > 1e-12 {
+		t.Errorf("Sum = %v, want 0.616", s.Sum)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	h := NewHistogram(0.001, 1)
+	h.Observe(0)          // zero-duration span: first bucket, still counted
+	h.Observe(-5)         // clamped to 0
+	h.Observe(math.NaN()) // clamped to 0
+	s := h.Snapshot()
+	if s.Counts[0] != 3 {
+		t.Errorf("first bucket = %d, want 3 (zero and clamped values)", s.Counts[0])
+	}
+	if s.Count != 3 || s.Sum != 0 {
+		t.Errorf("Count=%d Sum=%v, want 3 and 0", s.Count, s.Sum)
+	}
+}
+
+func TestHistogramPlusInfOnly(t *testing.T) {
+	h := NewHistogram(0.001)
+	h.Observe(1e9)
+	h.Observe(math.Inf(1))
+	s := h.Snapshot()
+	if s.Counts[len(s.Counts)-1] != 2 {
+		t.Errorf("+Inf bucket = %d, want 2", s.Counts[len(s.Counts)-1])
+	}
+	if h.Count() != 2 {
+		t.Errorf("Count = %d, want 2", h.Count())
+	}
+}
+
+func TestHistogramDefaultsSortedDeduped(t *testing.T) {
+	h := NewHistogram(1, 0.5, 1, 0.25)
+	if len(h.bounds) != 3 {
+		t.Fatalf("bounds = %v, want 3 deduped", h.bounds)
+	}
+	for i := 1; i < len(h.bounds); i++ {
+		if h.bounds[i-1] >= h.bounds[i] {
+			t.Fatalf("bounds not sorted: %v", h.bounds)
+		}
+	}
+	d := NewHistogram()
+	if len(d.bounds) != len(DefLatencyBuckets) {
+		t.Errorf("default bounds = %v", d.bounds)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*per)
+	}
+	// Sum of 0,0.001,...,0.099 repeated: workers * 10 * (0+...+99)/1000.
+	want := float64(workers) * 10 * 99 * 100 / 2 / 1000
+	if math.Abs(s.Sum-want) > 1e-6 {
+		t.Errorf("Sum = %v, want %v", s.Sum, want)
+	}
+}

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"gcsim/internal/gc"
+)
+
+// TestGCRingOverflowWhileStreaming overflows a small ring while readers
+// continuously snapshot it, checking every observed snapshot is a
+// consistent window: bounded by capacity, oldest-first, with contiguous
+// sequence numbers (eviction may only drop from the front, never tear
+// the middle).
+func TestGCRingOverflowWhileStreaming(t *testing.T) {
+	const capacity, pushes = 8, 5000
+	r := NewGCRing(capacity)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for reader := 0; reader < 4; reader++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := r.Events()
+				if len(evs) > capacity {
+					t.Errorf("snapshot holds %d events, cap %d", len(evs), capacity)
+					return
+				}
+				for i := 1; i < len(evs); i++ {
+					if evs[i].Seq != evs[i-1].Seq+1 {
+						t.Errorf("torn snapshot: seq %d follows %d", evs[i].Seq, evs[i-1].Seq)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < pushes; i++ {
+		r.Push(gc.Event{Seq: uint64(i)})
+	}
+	close(stop)
+	wg.Wait()
+
+	if r.Total() != pushes {
+		t.Errorf("Total = %d, want %d", r.Total(), pushes)
+	}
+	if r.Dropped() != pushes-capacity {
+		t.Errorf("Dropped = %d, want %d", r.Dropped(), pushes-capacity)
+	}
+	evs := r.Events()
+	if len(evs) != capacity {
+		t.Fatalf("final ring holds %d, want %d", len(evs), capacity)
+	}
+	if evs[0].Seq != pushes-capacity || evs[capacity-1].Seq != pushes-1 {
+		t.Errorf("final window [%d..%d], want [%d..%d]",
+			evs[0].Seq, evs[capacity-1].Seq, pushes-capacity, pushes-1)
+	}
+}

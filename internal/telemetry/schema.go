@@ -20,31 +20,65 @@ import (
 //go:embed schemas/runrecord.schema.json
 var runRecordSchemaJSON []byte
 
-// RunRecordSchemaJSON returns the embedded schema document.
+//go:embed schemas/span.schema.json
+var spanSchemaJSON []byte
+
+// RunRecordSchemaJSON returns the embedded run-record schema document.
 func RunRecordSchemaJSON() []byte {
 	return append([]byte(nil), runRecordSchemaJSON...)
 }
 
-var (
-	schemaOnce sync.Once
-	schemaDoc  map[string]any
-	schemaErr  error
-)
-
-func loadSchema() (map[string]any, error) {
-	schemaOnce.Do(func() {
-		schemaErr = json.Unmarshal(runRecordSchemaJSON, &schemaDoc)
-	})
-	return schemaDoc, schemaErr
+// SpanSchemaJSON returns the embedded span schema document.
+func SpanSchemaJSON() []byte {
+	return append([]byte(nil), spanSchemaJSON...)
 }
 
-// ValidateRecord checks one decoded record value against the schema.
-func ValidateRecord(v any) error {
-	schema, err := loadSchema()
+// embeddedSchema lazily parses one embedded schema document exactly once.
+type embeddedSchema struct {
+	raw  []byte
+	once sync.Once
+	doc  map[string]any
+	err  error
+}
+
+func (s *embeddedSchema) load() (map[string]any, error) {
+	s.once.Do(func() {
+		s.err = json.Unmarshal(s.raw, &s.doc)
+	})
+	return s.doc, s.err
+}
+
+// validate checks one decoded value against the schema.
+func (s *embeddedSchema) validate(v any) error {
+	schema, err := s.load()
 	if err != nil {
 		return fmt.Errorf("telemetry: bad embedded schema: %w", err)
 	}
 	return validateValue(schema, v, "$")
+}
+
+var (
+	runRecordSchema = &embeddedSchema{raw: runRecordSchemaJSON}
+	spanSchema      = &embeddedSchema{raw: spanSchemaJSON}
+)
+
+// ValidateRecord checks one decoded run-record value against the schema.
+func ValidateRecord(v any) error {
+	return runRecordSchema.validate(v)
+}
+
+// ValidateSpan checks one decoded span value against the span schema.
+func ValidateSpan(v any) error {
+	return spanSchema.validate(v)
+}
+
+// ValidateSpanJSON validates one serialized span document.
+func ValidateSpanJSON(data []byte) error {
+	var v any
+	if err := json.Unmarshal(bytes.TrimSpace(data), &v); err != nil {
+		return fmt.Errorf("telemetry: bad span JSON: %w", err)
+	}
+	return ValidateSpan(v)
 }
 
 // ValidateRecordJSON validates serialized run records: a single JSON

@@ -1,0 +1,396 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span-level tracing. A span is one timed stage of a job's lifecycle —
+// enqueue to report — recorded as a schema-validated gcsim-span/v1
+// document into a bounded ring (and, when a sink is installed, a JSONL
+// stream). Spans are coarse by design: one per stage, never per
+// reference or per chunk, so a whole gcsimd job produces on the order of
+// a dozen. The per-chunk stage clocks the replay engine already keeps
+// (decode/simulate/merge) surface as synthesized aggregate spans rather
+// than per-chunk ones.
+//
+// The recorder is always-on-cheap: stage counters are lock-free atomics,
+// and the ring/stream write is attempted with a try-lock — under
+// contention the span drops to counters-only instead of blocking the
+// pipeline that produced it. The recorder measures its own recording
+// cost so the ≤2% overhead budget is checkable (see OverheadSeconds).
+
+// SpanSchemaName identifies the span schema; bump the version when the
+// span shape changes incompatibly.
+const SpanSchemaName = "gcsim-span/v1"
+
+// The stage taxonomy. Server-side stages partition a job's wall time;
+// engine stages nest under "sweep" and describe where the sweep's time
+// went. The three replay.* stages are aggregates of the fused engine's
+// per-chunk stage clocks (summed across decoder goroutines, so they can
+// exceed the wall time of their parent).
+const (
+	StageJob    = "job"    // whole job: enqueue -> terminal state persisted
+	StageQueue  = "queue"  // enqueue -> worker pickup
+	StageSetup  = "setup"  // spec resolution, collector build, checkpoint open
+	StageSweep  = "sweep"  // the engine sweep (RunSweep / RunSweepPerConfig)
+	StageReport = "report" // result persistence + terminal event publication
+
+	StageTraceLookup = "trace.lookup"    // trace-cache ensure (hit check, key lock)
+	StageTraceRecord = "trace.record"    // recording a missing trace (one VM run)
+	StageRunVM       = "run.vm"          // one live VM execution
+	StageReplay      = "replay"          // replaying a cached trace into the bank
+	StageDecode      = "replay.decode"   // aggregate frame-decode CPU time
+	StageSimulate    = "replay.simulate" // aggregate fused-kernel CPU time
+	StageMerge       = "replay.merge"    // aggregate stat-merge + snapshot time
+)
+
+// Stages lists the taxonomy, server stages first. The span schema's name
+// enum and the server's per-stage histograms both derive from it.
+var Stages = []string{
+	StageJob, StageQueue, StageSetup, StageSweep, StageReport,
+	StageTraceLookup, StageTraceRecord, StageRunVM,
+	StageReplay, StageDecode, StageSimulate, StageMerge,
+}
+
+// Span is one recorded stage: a node of a job's span tree.
+type Span struct {
+	Schema string `json:"schema"` // SpanSchemaName
+	// Trace groups the spans of one job (the gcsimd job ID) or one CLI
+	// invocation.
+	Trace string `json:"trace"`
+	// ID is unique per recorder; Parent is 0 for root spans.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Name is one of the Stages constants.
+	Name          string `json:"name"`
+	StartUnixNano int64  `json:"start_unix_nano"`
+	DurationNanos int64  `json:"duration_nanos"`
+	// Attrs carries small stage-specific facts (config count, ref count,
+	// replay path). Never large and never per-ref.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// spanCtxKey carries the current trace/parent through a context.
+type spanCtxKey struct{}
+
+// SpanContext names the position new child spans attach to.
+type SpanContext struct {
+	Trace string
+	Span  uint64 // parent span ID; 0 at the trace root
+}
+
+// ContextWithTrace returns a context rooted at the named trace with no
+// parent span: the next StartSpan under it becomes a root span.
+func ContextWithTrace(ctx context.Context, trace string) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, SpanContext{Trace: trace})
+}
+
+// SpanFromContext returns the current span context (zero if none).
+func SpanFromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc
+}
+
+// ContextWithSpan grafts a span position onto ctx, so a span context can
+// be carried across context lineages (e.g. onto a cancellable job
+// context that was derived before the span existed).
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// DefaultSpanRingCap bounds the recorder's span ring. A gcsimd job
+// records roughly a dozen spans, so 4096 keeps the trees of the last few
+// hundred jobs inspectable at /v1/jobs/{id}/spans.
+const DefaultSpanRingCap = 4096
+
+// StageTotal is the counters-only view of one stage: how many spans
+// ended with that name and their cumulative duration. These survive even
+// when the span detail was dropped under load.
+type StageTotal struct {
+	Count   uint64  `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// stageCount is one stage's lock-free counter pair.
+type stageCount struct {
+	count atomic.Uint64
+	ns    atomic.Int64
+}
+
+// SpanRecorder records finished spans. All methods are safe for
+// concurrent use, and a nil *SpanRecorder is safe to call everywhere (a
+// no-op), so instrumentation sites never need guards.
+type SpanRecorder struct {
+	nextID   atomic.Uint64
+	total    atomic.Uint64
+	dropped  atomic.Uint64
+	overhead atomic.Int64 // ns spent inside the recorder itself
+
+	counts sync.Map // stage name -> *stageCount
+
+	// onEnd, when set (before any span is recorded), observes every ended
+	// span — the server feeds its latency histograms from it. It must be
+	// cheap and non-blocking; it runs on the instrumented goroutine.
+	onEnd func(Span)
+
+	mu    sync.Mutex // guards the ring and the JSONL sink
+	buf   []Span
+	start int
+	n     int
+	enc   *json.Encoder
+}
+
+// NewSpanRecorder builds a recorder whose ring holds at most capacity
+// spans (DefaultSpanRingCap if capacity <= 0).
+func NewSpanRecorder(capacity int) *SpanRecorder {
+	if capacity <= 0 {
+		capacity = DefaultSpanRingCap
+	}
+	return &SpanRecorder{buf: make([]Span, capacity)}
+}
+
+// SetJSONL installs a JSONL sink: every recorded span is written as one
+// JSON line. Install before recording begins.
+func (r *SpanRecorder) SetJSONL(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.enc = json.NewEncoder(w)
+}
+
+// SetOnEnd installs the per-span observer. Install before recording
+// begins; the observer runs on the instrumented goroutine and must not
+// block.
+func (r *SpanRecorder) SetOnEnd(fn func(Span)) {
+	if r == nil {
+		return
+	}
+	r.onEnd = fn
+}
+
+// ActiveSpan is a started, not-yet-ended span. A nil *ActiveSpan is safe
+// to use.
+type ActiveSpan struct {
+	r     *SpanRecorder
+	span  Span
+	start time.Time
+}
+
+// StartSpan begins a span as a child of the context's current span (or a
+// root of the context's trace) and returns a derived context under which
+// further StartSpan calls nest. With a nil recorder it returns ctx and a
+// nil span.
+func (r *SpanRecorder) StartSpan(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	return r.StartSpanAt(ctx, name, time.Now())
+}
+
+// StartSpanAt is StartSpan with an explicit start time, for spans that
+// logically began before the code recording them ran (a job span starts
+// at enqueue, not at worker pickup).
+func (r *SpanRecorder) StartSpanAt(ctx context.Context, name string, start time.Time) (context.Context, *ActiveSpan) {
+	if r == nil {
+		return ctx, nil
+	}
+	sc := SpanFromContext(ctx)
+	s := &ActiveSpan{
+		r: r,
+		span: Span{
+			Schema:        SpanSchemaName,
+			Trace:         sc.Trace,
+			ID:            r.nextID.Add(1),
+			Parent:        sc.Span,
+			Name:          name,
+			StartUnixNano: start.UnixNano(),
+		},
+		start: start,
+	}
+	if s.span.Trace == "" {
+		s.span.Trace = "untraced"
+	}
+	return context.WithValue(ctx, spanCtxKey{}, SpanContext{Trace: s.span.Trace, Span: s.span.ID}), s
+}
+
+// SetAttr attaches one attribute to the span.
+func (s *ActiveSpan) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.span.Attrs == nil {
+		s.span.Attrs = make(map[string]string, 4)
+	}
+	s.span.Attrs[key] = value
+}
+
+// ID returns the span's identifier (0 for a nil span).
+func (s *ActiveSpan) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.span.ID
+}
+
+// End finishes the span at the current time and records it.
+func (s *ActiveSpan) End() { s.EndAt(time.Now()) }
+
+// EndAt finishes the span at an explicit time, so contiguous stages can
+// share exact boundary timestamps and sum to their parent's duration.
+func (s *ActiveSpan) EndAt(end time.Time) {
+	if s == nil {
+		return
+	}
+	sp := s.span
+	sp.DurationNanos = end.Sub(s.start).Nanoseconds()
+	if sp.DurationNanos < 0 {
+		sp.DurationNanos = 0
+	}
+	s.r.record(sp)
+}
+
+// Emit records a completed span in one call: a child of the context's
+// current span with an explicit start and duration. It is how aggregate
+// stage clocks (decode/simulate/merge seconds summed over per-chunk
+// measurements) become spans after the fact. Returns the recorded span's
+// ID (0 with a nil recorder).
+func (r *SpanRecorder) Emit(ctx context.Context, name string, start time.Time, d time.Duration, attrs map[string]string) uint64 {
+	if r == nil {
+		return 0
+	}
+	sc := SpanFromContext(ctx)
+	trace := sc.Trace
+	if trace == "" {
+		trace = "untraced"
+	}
+	if d < 0 {
+		d = 0
+	}
+	sp := Span{
+		Schema:        SpanSchemaName,
+		Trace:         trace,
+		ID:            r.nextID.Add(1),
+		Parent:        sc.Span,
+		Name:          name,
+		StartUnixNano: start.UnixNano(),
+		DurationNanos: d.Nanoseconds(),
+		Attrs:         attrs,
+	}
+	r.record(sp)
+	return sp.ID
+}
+
+// record commits one finished span: counters always, span detail (ring +
+// JSONL) only if the recorder's lock is immediately available. A
+// contended lock means something else is recording or a reader is
+// snapshotting; rather than block the chunk pipeline or a worker, the
+// span degrades to its counters and the drop is counted.
+func (r *SpanRecorder) record(sp Span) {
+	t0 := time.Now()
+	r.total.Add(1)
+	c := r.stage(sp.Name)
+	c.count.Add(1)
+	c.ns.Add(sp.DurationNanos)
+	if r.onEnd != nil {
+		r.onEnd(sp)
+	}
+	if !r.mu.TryLock() {
+		r.dropped.Add(1)
+		r.overhead.Add(int64(time.Since(t0)))
+		return
+	}
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = sp
+		r.n++
+	} else {
+		r.buf[r.start] = sp
+		r.start = (r.start + 1) % len(r.buf)
+	}
+	if r.enc != nil {
+		// Encode errors (a closed pipe) are deliberately ignored: span
+		// streaming is advisory and must never abort the run it observes.
+		_ = r.enc.Encode(sp)
+	}
+	r.mu.Unlock()
+	r.overhead.Add(int64(time.Since(t0)))
+}
+
+func (r *SpanRecorder) stage(name string) *stageCount {
+	if v, ok := r.counts.Load(name); ok {
+		return v.(*stageCount)
+	}
+	v, _ := r.counts.LoadOrStore(name, &stageCount{})
+	return v.(*stageCount)
+}
+
+// Spans returns a copy of the buffered spans, oldest first.
+func (r *SpanRecorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// SpansFor returns the buffered spans of one trace, oldest first.
+func (r *SpanRecorder) SpansFor(trace string) []Span {
+	var out []Span
+	for _, sp := range r.Spans() {
+		if sp.Trace == trace {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// StageTotals returns the counters-only per-stage view: every ended span
+// is counted here even when its detail was dropped under load.
+func (r *SpanRecorder) StageTotals() map[string]StageTotal {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]StageTotal)
+	r.counts.Range(func(k, v any) bool {
+		c := v.(*stageCount)
+		out[k.(string)] = StageTotal{
+			Count:   c.count.Load(),
+			Seconds: float64(c.ns.Load()) / 1e9,
+		}
+		return true
+	})
+	return out
+}
+
+// Total returns the number of spans ever recorded (including dropped).
+func (r *SpanRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total.Load()
+}
+
+// Dropped returns how many spans degraded to counters-only.
+func (r *SpanRecorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// OverheadSeconds returns the recorder's self-measured cost: wall time
+// spent inside record calls, the number the ≤2% overhead gate checks.
+func (r *SpanRecorder) OverheadSeconds() float64 {
+	if r == nil {
+		return 0
+	}
+	return float64(r.overhead.Load()) / 1e9
+}

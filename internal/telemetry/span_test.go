@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanParentingAndContext(t *testing.T) {
+	r := NewSpanRecorder(16)
+	ctx := ContextWithTrace(context.Background(), "job-1")
+
+	ctx, root := r.StartSpan(ctx, StageJob)
+	child1Ctx, child1 := r.StartSpan(ctx, StageSetup)
+	_, grand := r.StartSpan(child1Ctx, StageTraceLookup)
+	grand.End()
+	child1.End()
+	_, child2 := r.StartSpan(ctx, StageSweep)
+	child2.End()
+	root.End()
+
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("recorded %d spans, want 4", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, sp := range spans {
+		if sp.Trace != "job-1" {
+			t.Errorf("span %s trace = %q, want job-1", sp.Name, sp.Trace)
+		}
+		byName[sp.Name] = sp
+	}
+	if byName[StageSetup].Parent != byName[StageJob].ID {
+		t.Errorf("setup parent = %d, want job id %d", byName[StageSetup].Parent, byName[StageJob].ID)
+	}
+	if byName[StageTraceLookup].Parent != byName[StageSetup].ID {
+		t.Errorf("trace.lookup parent = %d, want setup id %d", byName[StageTraceLookup].Parent, byName[StageSetup].ID)
+	}
+	if byName[StageSweep].Parent != byName[StageJob].ID {
+		t.Errorf("sweep parent = %d, want job id %d", byName[StageSweep].Parent, byName[StageJob].ID)
+	}
+	if byName[StageJob].Parent != 0 {
+		t.Errorf("job is a root, parent = %d", byName[StageJob].Parent)
+	}
+}
+
+func TestSpanNilRecorderSafe(t *testing.T) {
+	var r *SpanRecorder
+	ctx, span := r.StartSpan(context.Background(), StageJob)
+	if ctx == nil || span != nil {
+		t.Fatalf("nil recorder: ctx=%v span=%v", ctx, span)
+	}
+	span.SetAttr("k", "v") // must not panic
+	span.End()
+	if r.Emit(ctx, StageReplay, time.Now(), time.Second, nil) != 0 {
+		t.Error("nil recorder Emit returned a span ID")
+	}
+	if r.Spans() != nil || r.Total() != 0 || r.Dropped() != 0 || r.OverheadSeconds() != 0 {
+		t.Error("nil recorder accessors not zero")
+	}
+	r.SetJSONL(&bytes.Buffer{})
+	r.SetOnEnd(func(Span) {})
+}
+
+func TestSpanSchemaValidAndJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewSpanRecorder(8)
+	r.SetJSONL(&buf)
+	ctx := ContextWithTrace(context.Background(), "job-2")
+	ctx, root := r.StartSpanAt(ctx, StageJob, time.Now().Add(-time.Second))
+	root.SetAttr("workload", "tc")
+	r.Emit(ctx, StageDecode, time.Now(), 123*time.Millisecond, map[string]string{"aggregate": "true"})
+	root.End()
+
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		if err := ValidateSpanJSON(sc.Bytes()); err != nil {
+			t.Errorf("line %d: %v\n%s", lines, err, sc.Text())
+		}
+	}
+	if lines != 2 {
+		t.Fatalf("JSONL lines = %d, want 2", lines)
+	}
+	for _, sp := range r.Spans() {
+		data, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateSpanJSON(data); err != nil {
+			t.Errorf("span %s invalid: %v", sp.Name, err)
+		}
+	}
+}
+
+func TestSpanSchemaRejectsBadDocuments(t *testing.T) {
+	for name, doc := range map[string]string{
+		"missing trace": `{"schema":"gcsim-span/v1","id":1,"name":"job","start_unix_nano":1,"duration_nanos":1}`,
+		"bad schema":    `{"schema":"gcsim-span/v2","trace":"t","id":1,"name":"job","start_unix_nano":1,"duration_nanos":1}`,
+		"unknown stage": `{"schema":"gcsim-span/v1","trace":"t","id":1,"name":"frobnicate","start_unix_nano":1,"duration_nanos":1}`,
+	} {
+		if err := ValidateSpanJSON([]byte(doc)); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestSpanRingOverflow(t *testing.T) {
+	r := NewSpanRecorder(4)
+	ctx := ContextWithTrace(context.Background(), "job-3")
+	for i := 0; i < 10; i++ {
+		_, sp := r.StartSpan(ctx, StageSweep)
+		sp.End()
+	}
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	// Oldest first, and the survivors are the newest four (IDs 7..10).
+	for i, sp := range spans {
+		if want := uint64(7 + i); sp.ID != want {
+			t.Errorf("spans[%d].ID = %d, want %d", i, sp.ID, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d, want 10", r.Total())
+	}
+}
+
+func TestSpanCountersOnlyUnderContention(t *testing.T) {
+	r := NewSpanRecorder(8)
+	ctx := ContextWithTrace(context.Background(), "job-4")
+
+	// Hold the recorder's lock the way a slow reader or concurrent writer
+	// would; recording must not block — spans degrade to counters.
+	r.mu.Lock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, sp := r.StartSpan(ctx, StageSweep)
+		sp.End()
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("span recording blocked on a contended recorder")
+	}
+	r.mu.Unlock()
+
+	if r.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", r.Dropped())
+	}
+	if r.Total() != 1 {
+		t.Fatalf("Total = %d, want 1", r.Total())
+	}
+	if len(r.Spans()) != 0 {
+		t.Error("dropped span appeared in the ring")
+	}
+	totals := r.StageTotals()
+	if totals[StageSweep].Count != 1 {
+		t.Errorf("stage counters lost the dropped span: %+v", totals)
+	}
+}
+
+func TestSpanStageTotalsAndOnEnd(t *testing.T) {
+	r := NewSpanRecorder(8)
+	var seen []string
+	r.SetOnEnd(func(sp Span) { seen = append(seen, sp.Name) })
+	ctx := ContextWithTrace(context.Background(), "job-5")
+	r.Emit(ctx, StageDecode, time.Now(), 2*time.Second, nil)
+	r.Emit(ctx, StageDecode, time.Now(), time.Second, nil)
+	r.Emit(ctx, StageMerge, time.Now(), 500*time.Millisecond, nil)
+
+	totals := r.StageTotals()
+	if got := totals[StageDecode]; got.Count != 2 || math.Abs(got.Seconds-3) > 1e-9 {
+		t.Errorf("decode totals = %+v, want count 2 sum 3s", got)
+	}
+	if got := totals[StageMerge]; got.Count != 1 || math.Abs(got.Seconds-0.5) > 1e-9 {
+		t.Errorf("merge totals = %+v, want count 1 sum 0.5s", got)
+	}
+	if strings.Join(seen, ",") != "replay.decode,replay.decode,replay.merge" {
+		t.Errorf("OnEnd saw %v", seen)
+	}
+	if r.OverheadSeconds() <= 0 {
+		t.Error("recorder did not measure its own overhead")
+	}
+}
+
+func TestSpansForFiltersByTrace(t *testing.T) {
+	r := NewSpanRecorder(16)
+	for _, trace := range []string{"a", "b", "a"} {
+		ctx := ContextWithTrace(context.Background(), trace)
+		_, sp := r.StartSpan(ctx, StageJob)
+		sp.End()
+	}
+	if got := len(r.SpansFor("a")); got != 2 {
+		t.Errorf("SpansFor(a) = %d spans, want 2", got)
+	}
+	if got := len(r.SpansFor("b")); got != 1 {
+		t.Errorf("SpansFor(b) = %d spans, want 1", got)
+	}
+	if got := len(r.SpansFor("zzz")); got != 0 {
+		t.Errorf("SpansFor(zzz) = %d spans, want 0", got)
+	}
+}
+
+func TestSpanRecorderConcurrent(t *testing.T) {
+	r := NewSpanRecorder(64)
+	ctx := ContextWithTrace(context.Background(), "job-race")
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c, sp := r.StartSpan(ctx, StageSweep)
+				r.Emit(c, StageSimulate, time.Now(), time.Microsecond, nil)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Total(); got != workers*per*2 {
+		t.Fatalf("Total = %d, want %d", got, workers*per*2)
+	}
+	totals := r.StageTotals()
+	if totals[StageSweep].Count+totals[StageSimulate].Count != workers*per*2 {
+		t.Errorf("stage counters lost spans: %+v", totals)
+	}
+}

@@ -19,6 +19,11 @@
 #   stages      the fused sweep's per-stage breakdown (decode / simulate /
 #               merge seconds and frame count), parsed from the -progress
 #               stderr so stdout stays byte-identical.
+#   spans       the same fused sweep once more with -spans span recording
+#               enabled: the recorder's self-measured overhead (from the
+#               "spans: total=... overhead=..." stderr summary) must stay
+#               within SPAN_MAX_OVERHEAD (default 2%) of that run's wall
+#               time — the always-on-cheap budget for the tracing layer.
 #
 # Two speedups are gated, both against live_refs_per_sec — the live
 # engine's end-to-end reference throughput from BENCH_parallel.json
@@ -56,6 +61,7 @@ blocks="32,64" # 4 sizes x 2 blocks = 8 configurations
 repeats="${REPEATS:-3}"
 min_speedup="${MIN_SPEEDUP:-5}"
 min_sweep_speedup="${MIN_SWEEP_SPEEDUP:-8}"
+span_max_overhead="${SPAN_MAX_OVERHEAD:-0.02}"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -101,8 +107,10 @@ wall perconfig "$tmp/gcsim" $sweep -checkpoint "$tmp/ck" > "$tmp/perconfig_stdou
 "$tmp/gcsim" $sweep -trace-cache "$tmp/tcache" > "$tmp/prime_stdout.txt"
 wall cached "$tmp/gcsim" $sweep -trace-cache "$tmp/tcache" -progress \
     -json "$cached_record" > "$tmp/cached_stdout.txt" 2> "$tmp/cached_progress.txt"
+wall spanned "$tmp/gcsim" $sweep -trace-cache "$tmp/tcache" -progress \
+    -spans "$tmp/spans.jsonl" > "$tmp/spanned_stdout.txt" 2> "$tmp/spanned_progress.txt"
 
-for pass in perconfig prime cached; do
+for pass in perconfig prime cached spanned; do
     if ! cmp -s "$tmp/live_stdout.txt" "$tmp/${pass}_stdout.txt"; then
         echo "FAIL: $pass sweep stdout differs from the live single-pass sweep" >&2
         diff "$tmp/live_stdout.txt" "$tmp/${pass}_stdout.txt" >&2 || true
@@ -136,9 +144,27 @@ merge_s=$(echo "$stages" | sed -n 's/.*merge=\([0-9.]*\)s.*/\1/p')
 frames=$(echo "$stages" | sed -n 's/.*frames=\([0-9]*\).*/\1/p')
 echo "fused stages: decode=${decode_s}s simulate=${simulate_s}s merge=${merge_s}s ($frames frames)"
 
+# The span-enabled run's recorder summary, from the -progress stderr:
+#   gcsim: spans: total=N dropped=N overhead=0.000123s
+spanline=$(grep 'spans: total=' "$tmp/spanned_progress.txt" | head -1)
+if [ -z "$spanline" ]; then
+    echo "FAIL: span-enabled sweep emitted no recorder summary" >&2
+    cat "$tmp/spanned_progress.txt" >&2
+    exit 1
+fi
+span_total=$(echo "$spanline" | sed -n 's/.*total=\([0-9]*\).*/\1/p')
+span_dropped=$(echo "$spanline" | sed -n 's/.*dropped=\([0-9]*\).*/\1/p')
+span_overhead=$(echo "$spanline" | sed -n 's/.*overhead=\([0-9.]*\)s.*/\1/p')
+if [ ! -s "$tmp/spans.jsonl" ] || [ "${span_total:-0}" -lt 1 ]; then
+    echo "FAIL: span-enabled sweep recorded no spans ($spanline)" >&2
+    exit 1
+fi
+echo "spans: total=$span_total dropped=$span_dropped overhead=${span_overhead}s"
+
 live_dur=$(cat "$tmp/live.wall")
 perconfig_dur=$(cat "$tmp/perconfig.wall")
 cached_dur=$(cat "$tmp/cached.wall")
+spanned_dur=$(cat "$tmp/spanned.wall")
 
 # field FILE KEY: extract the first numeric value of "key": N from a record.
 field() {
@@ -160,6 +186,8 @@ awk -v refs="$refs" -v bytes="$trace_bytes" -v cap="$capture_mrefs" \
     -v pdur="$perconfig_dur" -v cdur="$cached_dur" \
     -v dec="$decode_s" -v sim="$simulate_s" -v mrg="$merge_s" \
     -v frames="$frames" -v minsp="$min_speedup" -v minsw="$min_sweep_speedup" \
+    -v sdur="$spanned_dur" -v stotal="$span_total" -v sdrop="$span_dropped" \
+    -v sover="$span_overhead" -v smax="$span_max_overhead" \
     -v wl="$workload" -v col="$collector" -v lrec="$live_record" \
     -v crec="$cached_record" '
 BEGIN {
@@ -190,9 +218,15 @@ BEGIN {
     printf "  \"replay_simulate_seconds\": %.3f,\n", sim
     printf "  \"replay_merge_seconds\": %.3f,\n", mrg
     printf "  \"replay_frames\": %d,\n", frames
+    over_frac = sover / sdur
+    printf "  \"span_total\": %d,\n", stotal
+    printf "  \"span_dropped\": %d,\n", sdrop
+    printf "  \"span_overhead_seconds\": %.6f,\n", sover
+    printf "  \"span_overhead_fraction\": %.6f,\n", over_frac
+    printf "  \"span_max_overhead\": %s,\n", smax
     printf "  \"stdout_identical\": true,\n"
     printf "  \"records\": [\"%s\", \"%s\"],\n", lrec, crec
-    printf "  \"note\": \"replay_refs_per_sec: trace->consumer delivery rate (gctrace -replay -cache none). live_refs_per_sec: the live engine end-to-end throughput from BENCH_parallel.json serial_refs_per_sec — the shared baseline for both gated speedups. vm_capture_refs_per_sec: the recording run (VM + v2 encode) on the same workload. sweep_*_seconds: the same 8-config sweep run live single-pass, live per-config (8 VM runs, the resilient/gcsimd cost), and as a fused replay from a -trace-cache directory (decode each frame once, fan out to all configs), stdout byte-identical across all of them. sweep_speedup: aggregate simulation-serving rate of the fused sweep (sweep_configs x refs / sweep_replay_seconds, each decoded reference applied to every configuration) over live_refs_per_sec. sweep_perconfig_speedup and sweep_single_pass_speedup: plain wall-clock ratios of the same three sweeps. replay_*_seconds: the fused sweep stage breakdown parsed from -progress stderr.\"\n"
+    printf "  \"note\": \"replay_refs_per_sec: trace->consumer delivery rate (gctrace -replay -cache none). live_refs_per_sec: the live engine end-to-end throughput from BENCH_parallel.json serial_refs_per_sec — the shared baseline for both gated speedups. vm_capture_refs_per_sec: the recording run (VM + v2 encode) on the same workload. sweep_*_seconds: the same 8-config sweep run live single-pass, live per-config (8 VM runs, the resilient/gcsimd cost), and as a fused replay from a -trace-cache directory (decode each frame once, fan out to all configs), stdout byte-identical across all of them. sweep_speedup: aggregate simulation-serving rate of the fused sweep (sweep_configs x refs / sweep_replay_seconds, each decoded reference applied to every configuration) over live_refs_per_sec. sweep_perconfig_speedup and sweep_single_pass_speedup: plain wall-clock ratios of the same three sweeps. replay_*_seconds: the fused sweep stage breakdown parsed from -progress stderr. span_*: the same fused sweep re-run with -spans recording every stage span to JSONL; span_overhead_seconds is the recorder self-measured cost, gated at span_max_overhead of that run wall time.\"\n"
     printf "}\n"
     if (speedup < minsp) {
         printf "FAIL: replay speedup %.2fx below minimum %sx\n", speedup, minsp > "/dev/stderr"
@@ -211,6 +245,11 @@ BEGIN {
     if (repps <= cap * 1e6) {
         printf "FAIL: replay (%.0f refs/s) no faster than re-recording (%.0f refs/s)\n", \
             repps, cap * 1e6 > "/dev/stderr"
+        exit 1
+    }
+    if (over_frac > smax) {
+        printf "FAIL: span recording overhead %.4fs is %.2f%% of the %.3fs sweep, above the %.0f%% budget\n", \
+            sover, over_frac * 100, sdur, smax * 100 > "/dev/stderr"
         exit 1
     }
 }' > "$out"

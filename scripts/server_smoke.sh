@@ -1,9 +1,12 @@
 #!/bin/sh
 # End-to-end smoke of the networked experiment service: start gcsimd on an
-# ephemeral port, run the same sweep locally and through gcsim -remote,
-# and require byte-identical reports. A second remote submission must
-# replay the daemon's trace cache (nonzero hit counter on /metrics), and a
-# SIGTERM must drain the daemon cleanly (exit 0 after "drained").
+# ephemeral port, wait for /healthz to report "ok", run the same sweep
+# locally and through gcsim -remote, and require byte-identical reports. A
+# second remote submission must replay the daemon's trace cache (nonzero
+# hit counter on /metrics), the job-latency histogram must advance across
+# the two jobs, a rendered /dashboard snapshot is saved under
+# $BENCH_DIR/server-smoke/ for CI artifacts, and a SIGTERM must drain the
+# daemon cleanly (exit 0 after "drained").
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -40,6 +43,34 @@ if [ -z "$base" ]; then
 fi
 echo "gcsimd is at $base"
 
+# Readiness comes from the service itself, not a raw TCP probe: /healthz
+# answers 200 with status "ok" only once the store accepts writes and the
+# trace cache is statable.
+i=0
+until curl -fsS "$base/healthz" > "$workdir/healthz.json" 2>/dev/null; do
+    kill -0 "$daemon" 2>/dev/null || {
+        echo "FAIL: gcsimd died before turning healthy" >&2
+        cat "$workdir/gcsimd.log" >&2
+        exit 1
+    }
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "FAIL: /healthz never answered 200" >&2
+        cat "$workdir/gcsimd.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+grep -q '"status": "ok"' "$workdir/healthz.json" || {
+    echo "FAIL: /healthz answered but not ok:" >&2
+    cat "$workdir/healthz.json" >&2
+    exit 1
+}
+echo "/healthz: ok"
+
+metric_of() { echo "$1" | awk -v name="$2" '$1 == name { print $2 }'; }
+jobs_hist_before=$(metric_of "$(curl -fsS "$base/metrics")" gcsimd_job_seconds_count)
+
 sweep="-workload tc -scale 400 -gc cheney -cache 32k,64k -block 32,64"
 "$workdir/gcsim" $sweep > "$workdir/local.txt"
 "$workdir/gcsim" -remote "$base" $sweep > "$workdir/remote1.txt"
@@ -70,6 +101,30 @@ awk -v c="$completed" 'BEGIN { exit (c + 0 == 2) ? 0 : 1 }' || {
     echo "FAIL: gcsimd_jobs_completed_total = $completed, want 2" >&2
     exit 1
 }
+
+# The job-latency histogram must have advanced by the two remote jobs.
+jobs_hist_after=$(metric_of "$metrics" gcsimd_job_seconds_count)
+echo "/metrics: gcsimd_job_seconds_count $jobs_hist_before -> $jobs_hist_after"
+awk -v a="$jobs_hist_before" -v b="$jobs_hist_after" \
+    'BEGIN { exit (b + 0 - a - 0 == 2) ? 0 : 1 }' || {
+    echo "FAIL: job-latency histogram count went $jobs_hist_before -> $jobs_hist_after, want +2" >&2
+    exit 1
+}
+echo "$metrics" | grep -q '^gcsimd_stage_seconds_count{stage="sweep"} 2$' || {
+    echo "FAIL: per-stage histogram missed the sweeps:" >&2
+    echo "$metrics" | grep gcsimd_stage_seconds_count >&2 || true
+    exit 1
+}
+
+# Snapshot the rendered dashboard for CI artifact upload.
+snapdir="${BENCH_DIR:-bench-out}/server-smoke"
+mkdir -p "$snapdir"
+curl -fsS "$base/dashboard" > "$snapdir/dashboard.html"
+grep -q 'id="jobs"' "$snapdir/dashboard.html" || {
+    echo "FAIL: /dashboard did not render the job table" >&2
+    exit 1
+}
+echo "dashboard snapshot: $snapdir/dashboard.html"
 
 # SIGTERM must drain: in-flight work checkpointed, clean exit 0.
 kill -TERM "$daemon"
