@@ -34,12 +34,18 @@
 //	      [-pprof addr] [-cpuprofile file]
 //	gcsim -file prog.scm [same options]
 //	gcsim -check-record records.json
-//	gcsim -remote http://host:port -workload tc [sweep options]
+//	gcsim -remote http://host:port [-api-key key] [-priority class]
+//	      [-max-retries N] -workload tc [sweep options]
 //
 // With -remote the sweep runs on a gcsimd server: the job is submitted,
 // its progress streamed (-progress), and the results rendered locally —
 // byte-identical to the same sweep run in-process, because both sides
-// format through internal/report and the engine is deterministic.
+// format through internal/report and the engine is deterministic. A
+// multi-tenant server authenticates -api-key and may shed load; the
+// client honours Retry-After on 429/503 with capped exponential backoff
+// and jitter, retrying up to -max-retries times. -priority picks the
+// scheduling class (interactive, batch, bulk); interactive jobs may
+// preempt running bulk sweeps.
 package main
 
 import (
@@ -61,6 +67,7 @@ import (
 	"gcsim/internal/mem"
 	"gcsim/internal/report"
 	"gcsim/internal/scheme"
+	"gcsim/internal/server"
 	"gcsim/internal/telemetry"
 	"gcsim/internal/vm"
 	"gcsim/internal/workloads"
@@ -76,6 +83,10 @@ type sweepOpts struct {
 	retries       int
 	gcName        string
 	gcOpts        gc.Options
+	// remote-only knobs (used with -remote)
+	apiKey     string
+	priority   string
+	maxRetries int
 }
 
 func main() {
@@ -105,6 +116,9 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	checkRecord := flag.String("check-record", "", `validate a run-record JSON file ("-" = stdin) against the schema and exit`)
 	remote := flag.String("remote", "", "submit the sweep to a gcsimd server at this base URL (e.g. http://127.0.0.1:8089) and render its results locally")
+	apiKey := flag.String("api-key", "", "API key for a multi-tenant gcsimd server (used with -remote)")
+	priority := flag.String("priority", "", "scheduling class for the remote job: interactive, batch (default), or bulk")
+	maxRetries := flag.Int("max-retries", 4, "retries when the server sheds the submission with 429/503 (used with -remote)")
 	flag.Parse()
 
 	if *checkRecord != "" {
@@ -139,6 +153,14 @@ func main() {
 				cliutil.Fatalf(tool, "%s cannot be combined with -remote (the server owns execution)", flagName)
 			}
 		}
+		if *maxRetries < 0 {
+			cliutil.Fatalf(tool, "-max-retries must be >= 0")
+		}
+		if _, err := server.PriorityClass(*priority); err != nil {
+			cliutil.Fatal(tool, err)
+		}
+	} else if *apiKey != "" || *priority != "" {
+		cliutil.Fatalf(tool, "-api-key and -priority only apply with -remote")
 	}
 
 	core.SetParallelism(*parallel)
@@ -226,6 +248,9 @@ func main() {
 		retries:       *retries,
 		gcName:        *gcName,
 		gcOpts:        gcOpts,
+		apiKey:        *apiKey,
+		priority:      *priority,
+		maxRetries:    *maxRetries,
 	}
 	switch {
 	case *remote != "":

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"gcsim/internal/cache"
 	"gcsim/internal/core"
@@ -26,8 +27,9 @@ func runRemote(ctx context.Context, out io.Writer, base, workload string, scale 
 			NurseryBytes:   gcOpts.NurseryBytes,
 			OldBytes:       gcOpts.OldBytes,
 		},
-		Retries: opts.retries,
-		Label:   "gcsim-remote",
+		Retries:  opts.retries,
+		Priority: opts.priority,
+		Label:    "gcsim-remote",
 	}
 	for _, cfg := range cfgs {
 		spec.Configs = append(spec.Configs, server.ConfigFromCache(cfg))
@@ -35,6 +37,11 @@ func runRemote(ctx context.Context, out io.Writer, base, workload string, scale 
 
 	prog := core.Progress()
 	cl := server.NewClient(base)
+	cl.APIKey = opts.apiKey
+	cl.MaxRetries = opts.maxRetries
+	cl.OnRetry = func(attempt int, status string, delay time.Duration) {
+		prog.Printf("server busy (%s), retry %d in %s", status, attempt, delay.Round(time.Millisecond))
+	}
 	job, err := cl.Run(ctx, spec, func(e server.Event) {
 		switch e.Type {
 		case "state":

@@ -27,8 +27,18 @@
 // Usage:
 //
 //	gcsimd [-addr host:port] [-state dir] [-workers N] [-parallel N]
-//	       [-trace-cache dir|none] [-verify-heap] [-drain-timeout d]
-//	       [-debug-addr host:port] [-v]
+//	       [-trace-cache dir|none] [-tenants file] [-queue-high-water N]
+//	       [-verify-heap] [-drain-timeout d] [-debug-addr host:port] [-v]
+//
+// With -tenants, every /v1 route requires an API key from the config
+// file ({"tenants": [{"name", "key", "rate_per_sec", "burst",
+// "max_running", "max_queued", "max_priority"}, ...]}); each tenant gets
+// its own token-bucket rate limit, quotas, and priority ceiling. Jobs
+// carry a priority class (interactive/batch/bulk); an arriving
+// interactive job may preempt a running bulk sweep, which re-queues with
+// its completed configurations checkpointed. Past -queue-high-water the
+// daemon sheds submissions with 429 + Retry-After instead of queueing
+// without bound.
 package main
 
 import (
@@ -59,6 +69,8 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrently executing jobs")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "per-job parallelism (worker goroutines per sweep)")
 	traceCacheDir := flag.String("trace-cache", "", `trace cache directory shared by all jobs (default <state>/trace-cache; "none" disables record-once/replay-many)`)
+	tenantsPath := flag.String("tenants", "", "tenants config file (JSON; empty = open single-tenant mode, no API keys)")
+	highWater := flag.Int("queue-high-water", 0, "queue depth beyond which submissions are shed with 429 + Retry-After (0 = default)")
 	verifyHeap := flag.Bool("verify-heap", false, "verify heap invariants after every collection")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long to wait for open HTTP connections on shutdown")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (off when empty)")
@@ -98,12 +110,23 @@ func main() {
 		defer core.SetTraceCache(nil)
 	}
 
+	var tenants *server.TenantRegistry
+	if *tenantsPath != "" {
+		reg, err := server.LoadTenants(*tenantsPath)
+		if err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		tenants = reg
+	}
+
 	srv, err := server.New(server.Config{
-		StateDir:   *stateDir,
-		Workers:    *workers,
-		TraceCache: tc,
-		Progress:   prog,
-		Spans:      spans,
+		StateDir:       *stateDir,
+		Workers:        *workers,
+		TraceCache:     tc,
+		Progress:       prog,
+		Spans:          spans,
+		Tenants:        tenants,
+		QueueHighWater: *highWater,
 	})
 	if err != nil {
 		cliutil.Fatal(tool, err)

@@ -23,6 +23,30 @@ import (
 // stream, so a per-config sweep's statistics are bitwise-identical to the
 // single-pass bank's.
 
+// ErrPreempted is the cancellation cause a scheduler passes (via
+// context.WithCancelCause) when it stops a running sweep to free its
+// worker for higher-priority work. The sweep checkpoints exactly as any
+// other cancellation does — completed configurations are already on disk
+// — and RunSweepPerConfig folds the cause into its returned error, so a
+// caller can tell a preemption (re-enqueue, resume later) from a
+// shutdown (park as interrupted) with errors.Is.
+var ErrPreempted = errors.New("core: sweep preempted")
+
+// withCause augments a cancellation error with the context's cancel
+// cause when the caller supplied one. A plain cancellation (cause ==
+// ctx.Err()) and a non-cancelled context pass through unchanged, so
+// existing errors.Is(err, context.Canceled) checks keep working.
+func withCause(ctx context.Context, err error) error {
+	if err == nil || ctx.Err() == nil {
+		return err
+	}
+	cause := context.Cause(ctx)
+	if cause == nil || errors.Is(err, cause) || errors.Is(cause, ctx.Err()) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", cause, err)
+}
+
 // PerConfigSweepOpts configures RunSweepPerConfig.
 type PerConfigSweepOpts struct {
 	// MakeCollector builds a fresh collector for each attempt. Collectors
@@ -114,7 +138,7 @@ func RunSweepPerConfig(ctx context.Context, w *workloads.Workload, scale int, cf
 					sweep.Results = append(sweep.Results, *r)
 				}
 			}
-			return sweep, perr
+			return sweep, withCause(ctx, perr)
 		}
 		if done {
 			todo = nil
@@ -172,7 +196,7 @@ func RunSweepPerConfig(ctx context.Context, w *workloads.Workload, scale int, cf
 		}
 	}
 	if err != nil {
-		return sweep, err
+		return sweep, withCause(ctx, err)
 	}
 	if err := sweep.checkConsistency(); err != nil {
 		return sweep, err

@@ -32,6 +32,9 @@ const JobSchema = "gcsimd-job/v1"
 // Job states. Queued, running, and interrupted jobs are resumable: a
 // restarted server re-enqueues them and the per-config checkpoint replays
 // whatever already completed. Done, failed, and cancelled are terminal.
+// Preempted is transient and appears only on event streams: a preempted
+// job is persisted as queued (with its checkpoints intact) the moment the
+// preemption is announced, so no job is ever at rest in that state.
 const (
 	StateQueued      = "queued"
 	StateRunning     = "running"
@@ -39,11 +42,58 @@ const (
 	StateFailed      = "failed"
 	StateInterrupted = "interrupted"
 	StateCancelled   = "cancelled"
+	StatePreempted   = "preempted"
 )
 
 // TerminalState reports whether a job in this state will never run again.
 func TerminalState(state string) bool {
 	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// Priority classes, highest to lowest. The worker pool always dispatches
+// the highest class present in the backlog (FIFO within a class), and an
+// arriving interactive job may preempt a running bulk sweep — following
+// the prioritized-GC model, high-priority work evicts low-priority work
+// rather than waiting behind it. Batch, the default, is never preempted
+// and never preempts.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+	PriorityBulk        = "bulk"
+)
+
+// Scheduling classes: the numeric order of the priority names. Bigger
+// dispatches first.
+const (
+	ClassBulk = iota
+	ClassBatch
+	ClassInteractive
+)
+
+// PriorityClass resolves a priority name to its scheduling class. The
+// empty name is batch, the default.
+func PriorityClass(name string) (int, error) {
+	switch name {
+	case PriorityBulk:
+		return ClassBulk, nil
+	case PriorityBatch, "":
+		return ClassBatch, nil
+	case PriorityInteractive:
+		return ClassInteractive, nil
+	}
+	return 0, fmt.Errorf("server: unknown priority %q (want %s, %s, or %s)",
+		name, PriorityInteractive, PriorityBatch, PriorityBulk)
+}
+
+// PriorityName is the inverse of PriorityClass.
+func PriorityName(class int) string {
+	switch {
+	case class >= ClassInteractive:
+		return PriorityInteractive
+	case class <= ClassBulk:
+		return PriorityBulk
+	}
+	return PriorityBatch
 }
 
 // CacheConfig is the wire form of one cache geometry. The policy travels
@@ -110,6 +160,9 @@ type JobSpec struct {
 	Retries int `json:"retries,omitempty"`
 	// Label tags the job (free-form, e.g. a CI run ID).
 	Label string `json:"label,omitempty"`
+	// Priority is the scheduling class: "interactive", "batch" (the
+	// default), or "bulk". Tenants may be capped below interactive.
+	Priority string `json:"priority,omitempty"`
 }
 
 // Validate checks the spec without running anything: the workload and
@@ -133,6 +186,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.Retries < 0 {
 		return fmt.Errorf("server: retries must be >= 0")
+	}
+	if _, err := PriorityClass(s.Priority); err != nil {
+		return err
 	}
 	for _, c := range s.Configs {
 		if _, err := c.ToCache(); err != nil {
@@ -208,6 +264,16 @@ type Job struct {
 	ConfigsTotal int            `json:"configs_total"`
 	Results      []ConfigResult `json:"results,omitempty"`
 	Failures     []JobFailure   `json:"failures,omitempty"`
+	// Tenant is the submitting tenant's name; Priority is the resolved
+	// scheduling class name (never empty once created).
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority,omitempty"`
+	// Preemptions counts how many times the job was preempted by
+	// higher-priority work and re-queued with its checkpoints intact.
+	Preemptions int `json:"preemptions,omitempty"`
+	// QueueSeconds is how long the job's latest stay in the backlog
+	// lasted, measured when a worker picked it up.
+	QueueSeconds float64 `json:"queue_seconds,omitempty"`
 }
 
 // Terminal reports whether the job will never run again.
@@ -244,11 +310,13 @@ func (j *Job) RenderReport(out io.Writer, verbose bool) error {
 // "config" event reports one configuration completing. A state event with
 // a terminal state is always the last line of a stream.
 type Event struct {
-	Type   string `json:"type"` // "state" or "config"
-	Job    string `json:"job"`
-	State  string `json:"state,omitempty"`
-	Config string `json:"config,omitempty"`
-	Done   int    `json:"done,omitempty"`
-	Total  int    `json:"total,omitempty"`
-	Error  string `json:"error,omitempty"`
+	Type     string `json:"type"` // "state" or "config"
+	Job      string `json:"job"`
+	State    string `json:"state,omitempty"`
+	Config   string `json:"config,omitempty"`
+	Done     int    `json:"done,omitempty"`
+	Total    int    `json:"total,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority,omitempty"`
 }

@@ -7,7 +7,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -15,10 +17,33 @@ import (
 // Client talks to a gcsimd server. The zero HTTPClient is usable: event
 // streams are long-lived, so no overall request timeout is set — pass a
 // context to bound a call instead.
+//
+// A multi-tenant server sheds load with 429 (and drains with 503); the
+// client treats both as advice, not failure: with MaxRetries > 0 it
+// backs off — honouring the server's Retry-After when present, capped
+// exponential backoff with jitter otherwise — and retries the request.
+// Requests are buffered, so a retry is always safe to rebuild.
 type Client struct {
 	BaseURL    string
 	HTTPClient *http.Client
+	// APIKey authenticates every request when the server runs with
+	// -tenants (sent as Authorization: Bearer).
+	APIKey string
+	// MaxRetries bounds how many times a 429/503 response is retried
+	// before it surfaces as an error (0 = fail on the first one).
+	MaxRetries int
+	// RetryBase is the first backoff step when the server sends no
+	// Retry-After (default 200ms; doubles per attempt, capped).
+	RetryBase time.Duration
+	// OnRetry, when non-nil, observes each backoff: the attempt number
+	// (1-based), the response status, and the chosen delay.
+	OnRetry func(attempt int, status string, delay time.Duration)
 }
+
+const (
+	defaultRetryBase = 200 * time.Millisecond
+	maxRetryDelay    = 30 * time.Second
+)
 
 // NewClient builds a client for the server at base (e.g.
 // "http://127.0.0.1:8089").
@@ -45,23 +70,106 @@ func apiError(resp *http.Response) error {
 	return fmt.Errorf("server: %s: %s", resp.Status, bytes.TrimSpace(body))
 }
 
+// retryableStatus reports whether a response asks the client to come
+// back later rather than telling it the request is wrong.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// do sends one request, built fresh per attempt from the buffered body,
+// retrying 429/503 up to MaxRetries times. The caller owns the returned
+// response body.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		if c.APIKey != "" {
+			req.Header.Set("Authorization", "Bearer "+c.APIKey)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if !retryableStatus(resp.StatusCode) || attempt >= c.MaxRetries {
+			return resp, nil
+		}
+		delay := c.retryDelay(attempt, resp.Header.Get("Retry-After"))
+		status := resp.Status
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if c.OnRetry != nil {
+			c.OnRetry(attempt+1, status, delay)
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("%w (retrying after %s)", ctx.Err(), status)
+		case <-timer.C:
+		}
+	}
+}
+
+// retryDelay picks the wait before the next attempt: the server's
+// Retry-After when it sent one, exponential backoff from RetryBase
+// otherwise, both capped at maxRetryDelay — plus up to 50% jitter so a
+// shed storm's clients don't return in lockstep.
+func (c *Client) retryDelay(attempt int, retryAfter string) time.Duration {
+	base := c.RetryBase
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	d := base << uint(attempt)
+	if d > maxRetryDelay || d <= 0 {
+		d = maxRetryDelay
+	}
+	if ra, ok := parseRetryAfter(retryAfter); ok {
+		d = min(ra, maxRetryDelay)
+	}
+	return d + rand.N(d/2+1)
+}
+
+// parseRetryAfter reads a Retry-After header: delay-seconds or an HTTP
+// date.
+func parseRetryAfter(v string) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
 func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var body []byte
+	contentType := ""
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(data)
+		body = data
+		contentType = "application/json"
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
-	if err != nil {
-		return err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.do(ctx, method, path, body, contentType)
 	if err != nil {
 		return err
 	}
@@ -104,11 +212,7 @@ func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
 
 // Metrics fetches the raw Prometheus exposition page.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
-	if err != nil {
-		return "", err
-	}
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil, "")
 	if err != nil {
 		return "", err
 	}
@@ -124,11 +228,7 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 // be nil) per line, until the stream reports a terminal state or ctx is
 // cancelled. It returns the terminal state event.
 func (c *Client) Stream(ctx context.Context, id string, onEvent func(Event)) (Event, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
-	if err != nil {
-		return Event{}, err
-	}
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/events", nil, "")
 	if err != nil {
 		return Event{}, err
 	}

@@ -38,6 +38,8 @@ type dashStats struct {
 	TraceHits     uint64  `json:"trace_hits"`
 	TraceMisses   uint64  `json:"trace_misses"`
 	HitRate       float64 `json:"hit_rate"`
+	ShedTotal     uint64  `json:"shed_total"`
+	Preemptions   uint64  `json:"preemptions"`
 	// Stages maps stage name -> cumulative {count, sum seconds}; Job and
 	// Queue are the two first-class families.
 	Job    statsSummary            `json:"job"`
@@ -66,6 +68,8 @@ func (s *Server) dashStatsNow() dashStats {
 		JobsRunning:   s.metrics.JobsRunning.Load(),
 		JobsCompleted: s.metrics.JobsCompleted.Load(),
 		JobsFailed:    s.metrics.JobsFailed.Load(),
+		ShedTotal:     s.metrics.ShedTotal.Load(),
+		Preemptions:   s.metrics.PreemptionsTotal.Load(),
 		Job:           summaryOf(s.metrics.JobSeconds),
 		Queue:         summaryOf(s.metrics.QueueSeconds),
 		Stages:        make(map[string]statsSummary, len(s.metrics.StageSeconds)),
@@ -86,9 +90,9 @@ func (s *Server) dashStatsNow() dashStats {
 
 // dashboardJob is one row of the server-rendered job table.
 type dashboardJob struct {
-	ID, Workload, GC, State, Submitted string
-	Done, Total                        int
-	Error                              string
+	ID, Workload, GC, Tenant, Priority, State, Submitted string
+	Done, Total                                          int
+	Error                                                string
 }
 
 var dashboardTmpl = template.Must(template.New("dashboard").Funcs(template.FuncMap{
@@ -105,6 +109,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	for _, j := range jobs {
 		rows = append(rows, dashboardJob{
 			ID: j.ID, Workload: j.Spec.Workload, GC: j.Spec.GC,
+			Tenant: j.Tenant, Priority: j.Priority,
 			State: j.State, Submitted: j.SubmittedAt,
 			Done: j.ConfigsDone, Total: j.ConfigsTotal, Error: j.Error,
 		})
@@ -204,7 +209,7 @@ const dashboardHTML = `<!DOCTYPE html>
   th, td { text-align:left; padding:0.4rem 0.8rem; border-bottom:1px solid #232b35; }
   th { color:var(--dim); font-weight:normal; font-size:0.78rem; text-transform:uppercase; letter-spacing:0.06em; }
   td.state-done { color:var(--ok); } td.state-failed, td.state-cancelled { color:var(--bad); }
-  td.state-running { color:var(--acc); } td.state-queued, td.state-interrupted { color:var(--warn); }
+  td.state-running { color:var(--acc); } td.state-queued, td.state-interrupted, td.state-preempted { color:var(--warn); }
   .spark { display:inline-block; vertical-align:middle; }
   .stage-row td { font-size:0.85rem; }
   pre { background:var(--panel); border-radius:6px; padding:0.8rem 1rem; overflow-x:auto; font-size:0.82rem; }
@@ -220,14 +225,16 @@ const dashboardHTML = `<!DOCTYPE html>
   <div class="tile"><div class="v" id="t-running">{{.Stats.JobsRunning}}</div><div class="k">jobs running</div></div>
   <div class="tile"><div class="v" id="t-completed">{{.Stats.JobsCompleted}}</div><div class="k">jobs completed</div></div>
   <div class="tile"><div class="v" id="t-hitrate">{{pct .Stats.HitRate}}</div><div class="k">trace-cache hit rate</div></div>
+  <div class="tile"><div class="v" id="t-shed">{{.Stats.ShedTotal}}</div><div class="k">submissions shed</div></div>
+  <div class="tile"><div class="v" id="t-preempted">{{.Stats.Preemptions}}</div><div class="k">preemptions</div></div>
   <div class="tile"><div class="v" id="t-dropped">{{.Stats.SpansDropped}}</div><div class="k">spans → counters-only</div></div>
 </div>
 
 <h2>Jobs</h2>
 <table id="jobs">
-  <thead><tr><th>id</th><th>workload</th><th>gc</th><th>state</th><th>configs</th><th>submitted</th><th>error</th></tr></thead>
+  <thead><tr><th>id</th><th>workload</th><th>gc</th><th>tenant</th><th>priority</th><th>state</th><th>configs</th><th>submitted</th><th>error</th></tr></thead>
   <tbody>
-  {{range .Jobs}}<tr id="job-{{.ID}}"><td>{{.ID}}</td><td>{{.Workload}}</td><td>{{.GC}}</td><td class="state-{{.State}}">{{.State}}</td><td>{{.Done}}/{{.Total}}</td><td>{{.Submitted}}</td><td>{{.Error}}</td></tr>
+  {{range .Jobs}}<tr id="job-{{.ID}}"><td>{{.ID}}</td><td>{{.Workload}}</td><td>{{.GC}}</td><td>{{.Tenant}}</td><td>{{.Priority}}</td><td class="state-{{.State}}">{{.State}}</td><td>{{.Done}}/{{.Total}}</td><td>{{.Submitted}}</td><td>{{.Error}}</td></tr>
   {{end}}
   </tbody>
 </table>
@@ -298,6 +305,8 @@ const dashboardHTML = `<!DOCTYPE html>
     document.getElementById("t-running").textContent = st.jobs_running;
     document.getElementById("t-completed").textContent = st.jobs_completed;
     document.getElementById("t-hitrate").textContent = Math.round(st.hit_rate * 100) + "%";
+    document.getElementById("t-shed").textContent = st.shed_total;
+    document.getElementById("t-preempted").textContent = st.preemptions;
     document.getElementById("t-dropped").textContent = st.spans_dropped;
     updateStage("job", st.job);
     updateStage("queue", st.queue);
@@ -309,16 +318,18 @@ const dashboardHTML = `<!DOCTYPE html>
     if (!row) {
       row = document.createElement("tr");
       row.id = "job-" + e.job;
-      row.innerHTML = "<td>" + e.job + "</td><td></td><td></td><td></td><td></td><td></td><td></td>";
+      row.innerHTML = "<td>" + e.job + "</td><td></td><td></td><td></td><td></td><td></td><td></td><td></td><td></td>";
       document.querySelector("#jobs tbody").prepend(row);
     }
     const cells = row.children;
+    if (e.tenant) cells[3].textContent = e.tenant;
+    if (e.priority) cells[4].textContent = e.priority;
     if (e.type === "state") {
-      cells[3].textContent = e.state || "";
-      cells[3].className = "state-" + (e.state || "");
-      if (e.error) cells[6].textContent = e.error;
+      cells[5].textContent = e.state || "";
+      cells[5].className = "state-" + (e.state || "");
+      if (e.error) cells[8].textContent = e.error;
     }
-    if (e.total) cells[4].textContent = (e.done || 0) + "/" + e.total;
+    if (e.total) cells[6].textContent = (e.done || 0) + "/" + e.total;
   }
 
   const es = new EventSource("/dashboard/events");

@@ -8,48 +8,86 @@ import (
 // eventHub fans each job's progress events out to its live subscribers
 // while keeping the full per-job history for replay, so a client that
 // connects mid-run (or after completion) still sees every line. Events
-// are advisory — the hub is bounded per subscriber and drops progress
-// lines rather than block a worker on a slow reader — but a terminal
-// state event is never dropped: termination is signalled by closing the
-// subscriber channels, which no backlog can delay.
+// are advisory — per-job subscribers are bounded and drop progress lines
+// rather than block a worker on a slow reader — but a terminal state
+// event is never dropped: termination is signalled by closing the
+// subscriber channels, which no backlog can delay. Every dropped line is
+// charged to the subscriber that fell behind and surfaced through the
+// dropped hook (gcsimd_sse_dropped_total{reason=...}), so shedding is
+// attributable instead of silent.
 //
 // Besides per-job subscribers, the hub carries firehose subscribers
-// (subscribeAll) that see every job's events — the dashboard's feed.
-// Firehose channels are never closed by job termination; they live until
-// their subscriber cancels.
+// (subscribeAll) — the dashboard's feed. The firehose is a broadcast
+// ring: publish writes one slot and broadcasts, O(1) regardless of how
+// many subscribers are attached, and each subscriber's pump goroutine
+// chases the ring at its own pace. A pump that falls more than the ring
+// capacity behind skips forward and counts the overrun against that
+// subscriber. Firehose channels are never closed by job termination;
+// they live until their subscriber cancels.
 type eventHub struct {
 	// observe, when non-nil, is called with each publish's fan-out
 	// duration — how long delivering the event to every subscriber took.
 	// It feeds the gcsimd_fanout_seconds histogram.
 	observe func(time.Duration)
+	// dropped, when non-nil, is called whenever events are dropped, with
+	// the reason label and the count.
+	dropped func(reason string, n uint64)
 
 	mu     sync.Mutex
+	cond   *sync.Cond // broadcast: the ring advanced (or a pump was cancelled)
 	events map[string][]Event
-	subs   map[string]map[int]chan Event
-	all    map[int]chan Event
+	subs   map[string]map[int]*hubSub
 	closed map[string]bool
 	nextID int
+
+	ring    [ringCap]Event
+	ringSeq uint64 // next sequence number to write; ring[seq%ringCap]
 }
+
+// hubSub is one per-job subscriber: its channel and how many events it
+// has personally lost to backpressure.
+type hubSub struct {
+	ch      chan Event
+	dropped uint64
+}
+
+// Drop reasons: the `reason` label on gcsimd_sse_dropped_total.
+const (
+	// DropSlowSubscriber: a per-job subscriber's buffer was full.
+	DropSlowSubscriber = "slow_subscriber"
+	// DropRingOverrun: a firehose subscriber fell more than the ring
+	// capacity behind and was skipped forward.
+	DropRingOverrun = "ring_overrun"
+)
+
+// dropReasons fixes the exposition order of the reason label.
+var dropReasons = []string{DropRingOverrun, DropSlowSubscriber}
 
 // subChanCap bounds each subscriber's in-flight buffer. A sweep emits one
 // event per configuration, so 256 covers any realistic job with room to
 // spare; a reader further behind than that loses progress lines only.
 const subChanCap = 256
 
-func newEventHub(observe func(time.Duration)) *eventHub {
-	return &eventHub{
+// ringCap is the firehose broadcast ring's capacity: how far a dashboard
+// connection may lag before it starts losing events.
+const ringCap = 1024
+
+func newEventHub(observe func(time.Duration), dropped func(reason string, n uint64)) *eventHub {
+	h := &eventHub{
 		observe: observe,
+		dropped: dropped,
 		events:  make(map[string][]Event),
-		subs:    make(map[string]map[int]chan Event),
-		all:     make(map[int]chan Event),
+		subs:    make(map[string]map[int]*hubSub),
 		closed:  make(map[string]bool),
 	}
+	h.cond = sync.NewCond(&h.mu)
+	return h
 }
 
-// publish appends the event to the job's history and delivers it to live
-// subscribers. A terminal state event also closes the job's stream: all
-// per-job subscriber channels are closed and later subscribers get
-// replay only. Firehose subscribers receive the event too but stay open.
+// publish appends the event to the job's history, delivers it to live
+// per-job subscribers, and advances the broadcast ring. A terminal state
+// event also closes the job's stream: all per-job subscriber channels
+// are closed and later subscribers get replay only.
 func (h *eventHub) publish(e Event) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -59,22 +97,25 @@ func (h *eventHub) publish(e Event) {
 	t0 := time.Now()
 	h.events[e.Job] = append(h.events[e.Job], e)
 	terminal := e.Type == "state" && TerminalState(e.State)
-	for _, ch := range h.subs[e.Job] {
+	var slow uint64
+	for _, sub := range h.subs[e.Job] {
 		select {
-		case ch <- e:
+		case sub.ch <- e:
 		default: // slow reader: drop the progress line, never block a worker
+			sub.dropped++
+			slow++
 		}
 	}
-	for _, ch := range h.all {
-		select {
-		case ch <- e:
-		default:
-		}
+	if slow > 0 && h.dropped != nil {
+		h.dropped(DropSlowSubscriber, slow)
 	}
+	h.ring[h.ringSeq%ringCap] = e
+	h.ringSeq++
+	h.cond.Broadcast()
 	if terminal {
 		h.closed[e.Job] = true
-		for _, ch := range h.subs[e.Job] {
-			close(ch)
+		for _, sub := range h.subs[e.Job] {
+			close(sub.ch)
 		}
 		delete(h.subs, e.Job)
 	}
@@ -94,46 +135,95 @@ func (h *eventHub) subscribe(jobID string) (replay []Event, ch chan Event, cance
 	if h.closed[jobID] {
 		return replay, nil, func() {}
 	}
-	ch = make(chan Event, subChanCap)
+	sub := &hubSub{ch: make(chan Event, subChanCap)}
 	id := h.nextID
 	h.nextID++
 	if h.subs[jobID] == nil {
-		h.subs[jobID] = make(map[int]chan Event)
+		h.subs[jobID] = make(map[int]*hubSub)
 	}
-	h.subs[jobID][id] = ch
+	h.subs[jobID][id] = sub
 	cancel = func() {
 		h.mu.Lock()
 		defer h.mu.Unlock()
 		if subs, ok := h.subs[jobID]; ok {
 			if _, live := subs[id]; live {
 				delete(subs, id)
-				close(ch)
+				close(sub.ch)
 			}
 		}
 	}
-	return replay, ch, cancel
+	return replay, sub.ch, cancel
 }
 
 // subscribeAll attaches a firehose subscriber that receives every job's
-// events from now on. The channel is only closed by cancel — job
-// termination never closes it — so one dashboard connection can watch
-// any number of jobs come and go.
+// events from now on, pumped from the broadcast ring. The channel is
+// only closed by cancel — job termination never closes it — so one
+// dashboard connection can watch any number of jobs come and go.
 func (h *eventHub) subscribeAll() (ch chan Event, cancel func()) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	ch = make(chan Event, subChanCap)
-	id := h.nextID
-	h.nextID++
-	h.all[id] = ch
+	done := make(chan struct{})
+	h.mu.Lock()
+	cursor := h.ringSeq
+	h.mu.Unlock()
+	go h.pump(ch, done, cursor)
+	var once sync.Once
 	cancel = func() {
-		h.mu.Lock()
-		defer h.mu.Unlock()
-		if _, live := h.all[id]; live {
-			delete(h.all, id)
-			close(ch)
-		}
+		once.Do(func() {
+			close(done)
+			// Nudge a pump parked in cond.Wait so it sees done.
+			h.mu.Lock()
+			h.cond.Broadcast()
+			h.mu.Unlock()
+		})
 	}
 	return ch, cancel
+}
+
+// pump chases the broadcast ring on behalf of one firehose subscriber,
+// copying batches out under the lock and delivering them without it (so
+// a stalled subscriber stalls only its own pump). Falling more than
+// ringCap behind skips the cursor forward and counts the skipped events
+// as drops.
+func (h *eventHub) pump(ch chan Event, done chan struct{}, cursor uint64) {
+	defer close(ch)
+	for {
+		h.mu.Lock()
+		for cursor == h.ringSeq && !isClosed(done) {
+			h.cond.Wait()
+		}
+		if isClosed(done) {
+			h.mu.Unlock()
+			return
+		}
+		if lag := h.ringSeq - cursor; lag > ringCap {
+			skipped := lag - ringCap
+			if h.dropped != nil {
+				h.dropped(DropRingOverrun, skipped)
+			}
+			cursor = h.ringSeq - ringCap
+		}
+		batch := make([]Event, 0, h.ringSeq-cursor)
+		for ; cursor < h.ringSeq; cursor++ {
+			batch = append(batch, h.ring[cursor%ringCap])
+		}
+		h.mu.Unlock()
+		for _, e := range batch {
+			select {
+			case ch <- e:
+			case <-done:
+				return
+			}
+		}
+	}
+}
+
+func isClosed(done chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // seed records history for a job the hub has never seen (a job loaded
@@ -145,7 +235,7 @@ func (h *eventHub) seed(j *Job) {
 	if len(h.events[j.ID]) > 0 || h.closed[j.ID] {
 		return
 	}
-	e := Event{Type: "state", Job: j.ID, State: j.State, Done: j.ConfigsDone, Total: j.ConfigsTotal, Error: j.Error}
+	e := Event{Type: "state", Job: j.ID, State: j.State, Done: j.ConfigsDone, Total: j.ConfigsTotal, Error: j.Error, Tenant: j.Tenant, Priority: j.Priority}
 	h.events[j.ID] = append(h.events[j.ID], e)
 	if j.Terminal() {
 		h.closed[j.ID] = true

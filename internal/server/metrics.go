@@ -31,6 +31,15 @@ type Metrics struct {
 	WorkersBusy      atomic.Int64
 	Workers          int
 
+	// ShedTotal counts submissions rejected because the queue was past
+	// its high-water mark; PreemptionsTotal counts running jobs stopped
+	// to free a worker for higher-priority work.
+	ShedTotal        atomic.Uint64
+	PreemptionsTotal atomic.Uint64
+	// SSEDropped counts events dropped by the hub, per reason (fixed
+	// keys, allocated up front, so the hub's hook is lock-free).
+	SSEDropped map[string]*atomic.Uint64
+
 	// JobSeconds observes whole-job wall time (enqueue to terminal state
 	// persisted) and QueueSeconds the enqueue-to-pickup wait — the two
 	// ends of the latency story a counter can't tell.
@@ -60,6 +69,10 @@ func NewMetrics(workers int) *Metrics {
 		QueueSeconds:  telemetry.NewHistogram(),
 		StageSeconds:  make(map[string]*telemetry.Histogram, len(telemetry.Stages)),
 		FanoutSeconds: telemetry.NewHistogram(fanoutBuckets...),
+		SSEDropped:    make(map[string]*atomic.Uint64, len(dropReasons)),
+	}
+	for _, reason := range dropReasons {
+		m.SSEDropped[reason] = new(atomic.Uint64)
 	}
 	// One fixed series per stage, allocated up front: scrapes and the
 	// OnEnd hook then only ever read the map, so no lock is needed.
@@ -88,6 +101,14 @@ func (m *Metrics) ObserveSpan(sp telemetry.Span) {
 	}
 }
 
+// DropEvent is the event hub's drop hook: it charges n dropped events to
+// the reason's counter.
+func (m *Metrics) DropEvent(reason string, n uint64) {
+	if c := m.SSEDropped[reason]; c != nil {
+		c.Add(n)
+	}
+}
+
 // metricRow is one exposition line with its metadata.
 type metricRow struct {
 	name, help, kind string
@@ -95,8 +116,9 @@ type metricRow struct {
 }
 
 // WriteText writes the exposition page. tc may be nil (trace cache
-// disabled); queued is the current queue depth.
-func (m *Metrics) WriteText(w io.Writer, tc *core.TraceCache, queued int) {
+// disabled); queued is the current queue depth; tenants may be nil (no
+// per-tenant families).
+func (m *Metrics) WriteText(w io.Writer, tc *core.TraceCache, queued int, tenants *TenantRegistry) {
 	var hits, misses uint64
 	if tc != nil {
 		st := tc.Stats()
@@ -120,9 +142,20 @@ func (m *Metrics) WriteText(w io.Writer, tc *core.TraceCache, queued int) {
 		{"gcsimd_fused_sweeps_total", "Replayed sweeps that decoded the trace once and simulated all configurations in a single fused pass.", "counter", float64(fused.FusedSweeps)},
 		{"gcsimd_fallback_sweeps_total", "Replayed sweeps that fell back to per-bank replay (v1 traces).", "counter", float64(fused.FallbackSweeps)},
 		{"gcsimd_decode_once_frames_total", "Trace frames decoded exactly once on the fused path, each serving every configuration of its sweep.", "counter", float64(fused.DecodeOnceFrames)},
+		{"gcsimd_shed_total", "Submissions rejected with 429 because the queue was past its high-water mark.", "counter", float64(m.ShedTotal.Load())},
+		{"gcsimd_preemptions_total", "Running jobs preempted to free a worker for higher-priority work.", "counter", float64(m.PreemptionsTotal.Load())},
 	}
 	for _, r := range rows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", r.name, r.help, r.name, r.kind, r.name, r.value)
+	}
+
+	fmt.Fprintf(w, "# HELP gcsimd_sse_dropped_total Events dropped by the hub, by reason (slow_subscriber: a per-job reader's buffer was full; ring_overrun: a firehose reader fell behind the broadcast ring).\n# TYPE gcsimd_sse_dropped_total counter\n")
+	for _, reason := range dropReasons {
+		fmt.Fprintf(w, "gcsimd_sse_dropped_total{reason=%q} %d\n", reason, m.SSEDropped[reason].Load())
+	}
+
+	if tenants != nil {
+		writeTenantMetrics(w, tenants.Stats())
 	}
 
 	writeHistogram(w, "gcsimd_job_seconds",
@@ -143,6 +176,30 @@ func (m *Metrics) WriteText(w io.Writer, tc *core.TraceCache, queued int) {
 		writeHistogramHeader(w, "gcsimd_stage_seconds",
 			"Per-stage duration of job lifecycle spans, by stage name.", i == 0)
 		writeHistogramSeries(w, "gcsimd_stage_seconds", `stage="`+stage+`"`, m.StageSeconds[stage])
+	}
+}
+
+// writeTenantMetrics emits the per-tenant families, one labelled series
+// per tenant (and per rejection reason), tenants in name order so
+// scrapes diff cleanly.
+func writeTenantMetrics(w io.Writer, stats []TenantStats) {
+	fmt.Fprintf(w, "# HELP gcsimd_tenant_jobs_submitted_total Jobs accepted per tenant.\n# TYPE gcsimd_tenant_jobs_submitted_total counter\n")
+	for _, s := range stats {
+		fmt.Fprintf(w, "gcsimd_tenant_jobs_submitted_total{tenant=%q} %d\n", s.Name, s.Submitted)
+	}
+	fmt.Fprintf(w, "# HELP gcsimd_tenant_rejected_total Submissions rejected per tenant, by reason.\n# TYPE gcsimd_tenant_rejected_total counter\n")
+	for _, s := range stats {
+		for _, reason := range rejectReasons {
+			fmt.Fprintf(w, "gcsimd_tenant_rejected_total{tenant=%q,reason=%q} %d\n", s.Name, reason, s.Rejected[reason])
+		}
+	}
+	fmt.Fprintf(w, "# HELP gcsimd_tenant_jobs_queued Jobs waiting for a worker, per tenant.\n# TYPE gcsimd_tenant_jobs_queued gauge\n")
+	for _, s := range stats {
+		fmt.Fprintf(w, "gcsimd_tenant_jobs_queued{tenant=%q} %d\n", s.Name, s.Queued)
+	}
+	fmt.Fprintf(w, "# HELP gcsimd_tenant_jobs_running Jobs executing right now, per tenant.\n# TYPE gcsimd_tenant_jobs_running gauge\n")
+	for _, s := range stats {
+		fmt.Fprintf(w, "gcsimd_tenant_jobs_running{tenant=%q} %d\n", s.Name, s.Running)
 	}
 }
 

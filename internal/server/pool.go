@@ -1,44 +1,84 @@
 package server
 
 import (
+	"container/heap"
 	"context"
 	"fmt"
 	"sync"
 	"time"
 )
 
-// pool is the bounded worker set that executes jobs. Submissions enqueue
-// a job ID stamped with its enqueue time (the start of the job's queue
-// span); each worker loops pulling entries and handing them to the run
-// callback with the pool's run context. Draining cancels that context —
-// the PR-3 cancellation plumbing interrupts the machines at their next
-// safepoint, the resilient sweep checkpoints what completed — and then
-// waits for every worker to return. IDs still queued at drain time simply
-// stay queued on disk and are re-enqueued by the next server.
+// pool is the priority worker set that executes jobs. The backlog is a
+// heap ordered by scheduling class (interactive > batch > bulk), FIFO
+// within a class, so the highest-priority work always dispatches first.
+// Each entry is stamped with its enqueue time (the start of the job's
+// queue span). Before a worker picks an entry up the pool consults the
+// admit gate — the tenant concurrency quota — and defers entries whose
+// tenant is already running at quota; kick() wakes the workers to rescan
+// when a slot frees.
+//
+// Draining cancels the run context — the PR-3 cancellation plumbing
+// interrupts the machines at their next safepoint, the resilient sweep
+// checkpoints what completed — and waits for every worker to return. IDs
+// still queued at drain time simply stay queued on disk and are
+// re-enqueued by the next server.
 type pool struct {
-	queue  chan queued
-	run    func(ctx context.Context, id string, queuedAt time.Time)
-	wg     sync.WaitGroup
-	ctx    context.Context
-	cancel context.CancelFunc
+	run func(ctx context.Context, id string, queuedAt time.Time, class int)
+	// admit, when non-nil, gates dispatch: false leaves the entry queued
+	// and the worker tries the next-best one. Called with the pool lock
+	// held; it must only take leaf locks (store shard, tenant).
+	admit func(id string) bool
 
 	mu      sync.Mutex
+	cond    *sync.Cond
+	backlog jobHeap
+	seq     uint64
+	idle    int
 	started bool
 	drained bool
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
 }
 
-// queued is one backlog entry: a job ID and when it joined the queue.
+// queued is one backlog entry.
 type queued struct {
-	id string
-	at time.Time
+	id    string
+	class int
+	seq   uint64 // FIFO tiebreak within a class
+	at    time.Time
+}
+
+// jobHeap orders the backlog: higher class first, then lower sequence
+// number (earlier submission).
+type jobHeap []queued
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].class != h[j].class {
+		return h[i].class > h[j].class
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(queued)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	q := old[n-1]
+	*h = old[:n-1]
+	return q
 }
 
 // queueCap bounds the backlog; submissions beyond it are rejected with
-// 503 rather than growing without bound.
+// 503 rather than growing without bound. Load shedding engages earlier,
+// at the configured high-water mark.
 const queueCap = 1024
 
-func newPool(run func(ctx context.Context, id string, queuedAt time.Time)) *pool {
-	return &pool{queue: make(chan queued, queueCap), run: run}
+func newPool(run func(ctx context.Context, id string, queuedAt time.Time, class int), admit func(id string) bool) *pool {
+	p := &pool{run: run, admit: admit}
+	p.cond = sync.NewCond(&p.mu)
+	return p
 }
 
 // start launches n workers under a context derived from ctx.
@@ -50,6 +90,12 @@ func (p *pool) start(ctx context.Context, n int) {
 	}
 	p.started = true
 	p.ctx, p.cancel = context.WithCancel(ctx)
+	// Workers park on the cond while idle; wake them all when the run
+	// context dies so they can observe it and exit.
+	go func() {
+		<-p.ctx.Done()
+		p.cond.Broadcast()
+	}()
 	for i := 0; i < n; i++ {
 		p.wg.Add(1)
 		go p.worker()
@@ -58,34 +104,83 @@ func (p *pool) start(ctx context.Context, n int) {
 
 func (p *pool) worker() {
 	defer p.wg.Done()
+	p.mu.Lock()
 	for {
-		select {
-		case <-p.ctx.Done():
+		if p.ctx.Err() != nil {
+			p.mu.Unlock()
 			return
-		case q := <-p.queue:
-			p.run(p.ctx, q.id, q.at)
 		}
+		q, ok := p.nextLocked()
+		if !ok {
+			p.idle++
+			p.cond.Wait()
+			p.idle--
+			continue
+		}
+		p.mu.Unlock()
+		p.run(p.ctx, q.id, q.at, q.class)
+		p.mu.Lock()
 	}
 }
 
-// submit enqueues a job ID without blocking.
-func (p *pool) submit(id string) error {
+// nextLocked pops the best dispatchable entry: highest class, FIFO
+// within it, skipping entries the admit gate defers (their tenant is
+// running at quota). Deferred entries go straight back on the heap.
+func (p *pool) nextLocked() (queued, bool) {
+	var deferred []queued
+	defer func() {
+		for _, d := range deferred {
+			heap.Push(&p.backlog, d)
+		}
+	}()
+	for p.backlog.Len() > 0 {
+		q := heap.Pop(&p.backlog).(queued)
+		if p.admit == nil || p.admit(q.id) {
+			return q, true
+		}
+		deferred = append(deferred, q)
+	}
+	return queued{}, false
+}
+
+// submit enqueues a job at the given scheduling class without blocking.
+func (p *pool) submit(id string, class int, at time.Time) error {
 	p.mu.Lock()
-	drained := p.drained
-	p.mu.Unlock()
-	if drained {
+	defer p.mu.Unlock()
+	if p.drained {
 		return fmt.Errorf("server: draining, not accepting jobs")
 	}
-	select {
-	case p.queue <- queued{id: id, at: time.Now()}:
-		return nil
-	default:
+	if len(p.backlog) >= queueCap {
 		return fmt.Errorf("server: job queue full (%d pending)", queueCap)
 	}
+	p.seq++
+	heap.Push(&p.backlog, queued{id: id, class: class, seq: p.seq, at: at})
+	p.cond.Signal()
+	return nil
 }
 
 // depth reports the current backlog.
-func (p *pool) depth() int { return len(p.queue) }
+func (p *pool) depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.backlog)
+}
+
+// idleWorkers reports how many workers are parked waiting for work.
+func (p *pool) idleWorkers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.idle
+}
+
+// kick wakes every parked worker to rescan the backlog — a tenant's
+// concurrency slot freed up, so a previously deferred entry may now
+// dispatch.
+func (p *pool) kick() {
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
 
 // drain cancels the run context and waits for the workers to finish
 // checkpointing their in-flight jobs. Safe to call more than once.
@@ -96,6 +191,7 @@ func (p *pool) drain() {
 		if p.cancel != nil {
 			p.cancel()
 		}
+		p.cond.Broadcast()
 	}
 	p.mu.Unlock()
 	p.wg.Wait()

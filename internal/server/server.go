@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,7 +41,20 @@ type Config struct {
 	// core.SetSpans so engine spans land in the same tree; the server
 	// claims the recorder's OnEnd hook to feed its latency histograms.
 	Spans *telemetry.SpanRecorder
+	// Tenants authenticates and rate-limits every /v1 request. Nil runs
+	// the server open: no API keys, one unlimited anonymous tenant.
+	Tenants *TenantRegistry
+	// QueueHighWater is the backlog depth at which submissions start
+	// being shed with 429 + Retry-After (default defaultHighWater,
+	// clamped to the hard queue capacity).
+	QueueHighWater int
 }
+
+// defaultHighWater is the default shedding threshold: deep enough that a
+// burst of cheap replay jobs rides through, well short of the hard
+// queueCap so shedding (a 429 with advice) engages before rejection (a
+// 503 without).
+const defaultHighWater = 256
 
 // Server is the gcsimd service: a job store, a worker pool, an event hub,
 // and the HTTP API tying them together.
@@ -48,11 +64,20 @@ type Server struct {
 	hub     *eventHub
 	pool    *pool
 	metrics *Metrics
+	tenants *TenantRegistry
 	mux     *http.ServeMux
 
 	mu        sync.Mutex
-	cancels   map[string]context.CancelFunc
+	running   map[string]*runningJob
 	cancelled map[string]bool // jobs cancelled via the API (vs drained)
+}
+
+// runningJob tracks one executing job for the cancel and preempt paths.
+type runningJob struct {
+	class      int
+	since      time.Time
+	preempt    context.CancelCauseFunc
+	preempting bool
 }
 
 // New opens the state directory and builds the server. Call Start to
@@ -65,6 +90,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
+	if cfg.QueueHighWater <= 0 {
+		cfg.QueueHighWater = defaultHighWater
+	}
+	if cfg.QueueHighWater > queueCap {
+		cfg.QueueHighWater = queueCap
+	}
+	if cfg.Tenants == nil {
+		cfg.Tenants = newOpenRegistry()
+	}
 	store, err := OpenStore(cfg.StateDir)
 	if err != nil {
 		return nil, err
@@ -73,16 +107,17 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		store:     store,
 		metrics:   NewMetrics(cfg.Workers),
-		cancels:   make(map[string]context.CancelFunc),
+		tenants:   cfg.Tenants,
+		running:   make(map[string]*runningJob),
 		cancelled: make(map[string]bool),
 	}
 	s.hub = newEventHub(func(d time.Duration) {
 		s.metrics.FanoutSeconds.Observe(d.Seconds())
-	})
+	}, s.metrics.DropEvent)
 	// Every ended span — the server's lifecycle stages and the engine's
 	// sweep-internal ones alike — feeds the per-stage histograms.
 	cfg.Spans.SetOnEnd(s.metrics.ObserveSpan)
-	s.pool = newPool(s.runJob)
+	s.pool = newPool(s.runJob, s.admitRun)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -98,8 +133,44 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the HTTP API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP API: the /v1 routes behind tenant
+// authentication, the operational endpoints (/metrics, /healthz,
+// /dashboard) open — probes and scrapers don't carry tenant keys.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			t, ok := s.tenants.Authenticate(apiKey(r))
+			if !ok {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="gcsimd"`)
+				httpError(w, http.StatusUnauthorized, "missing or unknown API key")
+				return
+			}
+			r = r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, t))
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// tenantCtxKey carries the authenticated *Tenant through the request
+// context.
+type tenantCtxKey struct{}
+
+// tenantFrom returns the request's authenticated tenant.
+func tenantFrom(ctx context.Context) *Tenant {
+	t, _ := ctx.Value(tenantCtxKey{}).(*Tenant)
+	return t
+}
+
+// apiKey extracts the request's API key: "Authorization: Bearer <key>"
+// or the X-API-Key header.
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if key, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}
 
 // Start launches the worker pool under ctx and re-enqueues every
 // resumable job a previous process left behind (their completed
@@ -117,7 +188,10 @@ func (s *Server) Start(ctx context.Context) {
 			continue
 		}
 		s.hub.seed(j)
-		if err := s.pool.submit(id); err != nil {
+		class, _ := PriorityClass(j.Priority) // old jobs have no priority: batch
+		s.tenants.ByName(j.Tenant).requeue()
+		if err := s.pool.submit(id, class, time.Now()); err != nil {
+			s.tenants.ByName(j.Tenant).dropQueued()
 			s.logf("resume %s: %v", id, err)
 		}
 	}
@@ -146,19 +220,51 @@ func nowRFC3339() string { return time.Now().UTC().Format(time.RFC3339) }
 // runJob executes one job on a pool worker. Interruption semantics: a
 // drain (pool context cancelled) marks the job interrupted — resumable,
 // its finished configurations checkpointed; an API cancellation marks it
-// cancelled — terminal. Failed configurations (after the retry budget)
-// fail the job but keep every completed result.
+// cancelled — terminal; a preemption (cancellation with cause
+// core.ErrPreempted) re-queues it, checkpoints intact, to resume when a
+// worker frees up. Failed configurations (after the retry budget) fail
+// the job but keep every completed result.
 //
 // Span accounting: the job span starts at enqueue time and its children
 // — queue, setup, sweep, report — are contiguous (each stage ends where
 // the next begins, sharing the boundary timestamp), so the four stage
 // durations sum exactly to the job's wall time by construction.
-func (s *Server) runJob(ctx context.Context, id string, queuedAt time.Time) {
+func (s *Server) runJob(ctx context.Context, id string, queuedAt time.Time, class int) {
 	j, ok := s.store.Get(id)
+	// The dispatch gate took a tenant concurrency slot for this entry;
+	// give it back however the run ends, then wake the workers — a
+	// deferred entry of the same tenant may now be dispatchable.
+	var tenant *Tenant
+	if ok {
+		tenant = s.tenants.ByName(j.Tenant)
+	}
+	defer func() {
+		tenant.releaseRun()
+		s.pool.kick()
+	}()
 	if !ok || j.Terminal() {
 		return // cancelled while queued, or stale queue entry
 	}
 	spec := j.Spec
+
+	jctx, cancel := context.WithCancelCause(ctx)
+	s.mu.Lock()
+	if _, already := s.running[id]; already {
+		// A duplicate backlog entry (re-enqueued by Start while the
+		// original was still queued) must not run the job twice at once.
+		s.mu.Unlock()
+		cancel(nil)
+		return
+	}
+	s.running[id] = &runningJob{class: class, since: time.Now(), preempt: cancel}
+	s.mu.Unlock()
+	defer func() {
+		cancel(nil)
+		s.mu.Lock()
+		delete(s.running, id)
+		delete(s.cancelled, id) // a cancel that raced with completion
+		s.mu.Unlock()
+	}()
 
 	rec := s.cfg.Spans
 	pickup := time.Now()
@@ -174,23 +280,11 @@ func (s *Server) runJob(ctx context.Context, id string, queuedAt time.Time) {
 		at := time.Now()
 		open.EndAt(at)
 		_, reportSpan := rec.StartSpanAt(sctx, telemetry.StageReport, at)
-		s.finishJob(id, sweep, err)
+		s.finishJob(id, class, sweep, err)
 		end := time.Now()
 		reportSpan.EndAt(end)
 		jobSpan.EndAt(end)
 	}
-
-	jctx, cancel := context.WithCancel(ctx)
-	s.mu.Lock()
-	s.cancels[id] = cancel
-	s.mu.Unlock()
-	defer func() {
-		cancel()
-		s.mu.Lock()
-		delete(s.cancels, id)
-		delete(s.cancelled, id) // a cancel that raced with completion
-		s.mu.Unlock()
-	}()
 
 	w, err := workloads.ByName(spec.Workload)
 	if err != nil {
@@ -226,11 +320,12 @@ func (s *Server) runJob(ctx context.Context, id string, queuedAt time.Time) {
 	if _, err := s.store.Update(id, func(j *Job) {
 		j.State = StateRunning
 		j.Collector = colName
+		j.QueueSeconds = pickup.Sub(queuedAt).Seconds()
 	}); err != nil {
 		s.logf("job %s: %v", id, err)
 		return
 	}
-	s.hub.publish(Event{Type: "state", Job: id, State: StateRunning, Total: len(cfgs)})
+	s.hub.publish(Event{Type: "state", Job: id, State: StateRunning, Total: len(cfgs), Tenant: j.Tenant, Priority: j.Priority})
 	s.logf("job %s started: %s/s%d gc=%s, %d configs", id, spec.Workload, spec.Scale, colName, len(cfgs))
 
 	ck, err := core.NewCheckpoint(s.store.CheckpointDir(id))
@@ -269,12 +364,18 @@ func (s *Server) runJob(ctx context.Context, id string, queuedAt time.Time) {
 }
 
 // finishJob persists a job's terminal (or interrupted) state and
-// announces it. sweep may be nil when the job never started a sweep.
-func (s *Server) finishJob(id string, sweep *core.PerConfigSweep, err error) {
+// announces it; a preempted job is instead re-queued with its results so
+// far. sweep may be nil when the job never started a sweep.
+func (s *Server) finishJob(id string, class int, sweep *core.PerConfigSweep, err error) {
 	s.mu.Lock()
 	apiCancelled := s.cancelled[id]
 	delete(s.cancelled, id)
 	s.mu.Unlock()
+
+	if err != nil && !apiCancelled && errors.Is(err, core.ErrPreempted) {
+		s.requeuePreempted(id, class, sweep)
+		return
+	}
 
 	state := StateDone
 	var errText string
@@ -327,8 +428,45 @@ func (s *Server) finishJob(id string, sweep *core.PerConfigSweep, err error) {
 		s.logf("job %s: %v", id, uerr)
 		return
 	}
-	s.hub.publish(Event{Type: "state", Job: id, State: state, Done: j.ConfigsDone, Total: j.ConfigsTotal, Error: errText})
+	s.hub.publish(Event{Type: "state", Job: id, State: state, Done: j.ConfigsDone, Total: j.ConfigsTotal, Error: errText, Tenant: j.Tenant, Priority: j.Priority})
 	s.logf("job %s %s: %d/%d configs%s", id, state, j.ConfigsDone, j.ConfigsTotal, suffixIf(errText))
+}
+
+// requeuePreempted puts a preempted job back in the queue: its completed
+// configurations (already checkpointed on disk) are persisted on the job
+// view, the transient preempted state is announced, and the job re-enters
+// the backlog at its own priority — when a worker next picks it up, the
+// resume path replays the checkpoints and the final report comes out
+// byte-identical to an uninterrupted run.
+func (s *Server) requeuePreempted(id string, class int, sweep *core.PerConfigSweep) {
+	s.metrics.PreemptionsTotal.Add(1)
+	j, uerr := s.store.Update(id, func(j *Job) {
+		j.State = StateQueued
+		j.Error = ""
+		j.Preemptions++
+		if sweep != nil {
+			j.Collector = sweep.Collector
+			j.Results = j.Results[:0]
+			for _, r := range sweep.Results {
+				j.Results = append(j.Results, resultFromCore(r))
+			}
+			j.ConfigsDone = len(j.Results)
+		}
+	})
+	if uerr != nil {
+		s.logf("job %s: %v", id, uerr)
+		return
+	}
+	s.hub.publish(Event{Type: "state", Job: id, State: StatePreempted, Done: j.ConfigsDone, Total: j.ConfigsTotal, Tenant: j.Tenant, Priority: j.Priority})
+	s.hub.publish(Event{Type: "state", Job: id, State: StateQueued, Done: j.ConfigsDone, Total: j.ConfigsTotal, Tenant: j.Tenant, Priority: j.Priority})
+	s.tenants.ByName(j.Tenant).requeue()
+	if err := s.pool.submit(id, class, time.Now()); err != nil {
+		// Draining (or the queue is full): the job is persisted as queued,
+		// so the next process re-enqueues it like any resumable job.
+		s.tenants.ByName(j.Tenant).dropQueued()
+		s.logf("re-enqueue preempted job %s: %v", id, err)
+	}
+	s.logf("job %s preempted: %d/%d configs checkpointed, re-queued", id, j.ConfigsDone, j.ConfigsTotal)
 }
 
 func suffixIf(errText string) string {
@@ -358,6 +496,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := tenantFrom(r.Context())
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
@@ -369,26 +508,127 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j, err := s.store.Create(spec, nowRFC3339())
+	class, _ := PriorityClass(spec.Priority) // Validate checked it
+
+	// Global load shedding: past the high-water mark every submission is
+	// shed with 429 plus a Retry-After projected from the observed job
+	// latencies — degrade with advice instead of queueing unboundedly.
+	if depth := s.pool.depth(); depth >= s.cfg.QueueHighWater {
+		tenant.reject(RejectOverload)
+		s.metrics.ShedTotal.Add(1)
+		setRetryAfter(w, s.estimateRetryAfter())
+		httpError(w, http.StatusTooManyRequests,
+			"server overloaded: %d jobs queued (high-water mark %d)", depth, s.cfg.QueueHighWater)
+		return
+	}
+
+	// Tenant-scoped admission: priority ceiling, queued-job quota, token
+	// bucket. The bucket knows its own refill time; the quota rejection
+	// borrows the latency estimate, same as shedding.
+	if aerr := tenant.admitSubmit(class); aerr != nil {
+		switch {
+		case aerr.RetryAfter > 0:
+			setRetryAfter(w, aerr.RetryAfter)
+		case aerr.Status == http.StatusTooManyRequests:
+			setRetryAfter(w, s.estimateRetryAfter())
+		}
+		httpError(w, aerr.Status, "%s", aerr.Msg)
+		return
+	}
+
+	j, err := s.store.Create(spec, tenant.Name(), nowRFC3339())
 	if err != nil {
+		tenant.dropQueued()
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	s.metrics.JobsSubmitted.Add(1)
-	s.hub.publish(Event{Type: "state", Job: j.ID, State: StateQueued, Total: j.ConfigsTotal})
-	if err := s.pool.submit(j.ID); err != nil {
+	s.hub.publish(Event{Type: "state", Job: j.ID, State: StateQueued, Total: j.ConfigsTotal, Tenant: j.Tenant, Priority: j.Priority})
+	if err := s.pool.submit(j.ID, class, time.Now()); err != nil {
+		tenant.dropQueued()
 		j, _ = s.store.Update(j.ID, func(j *Job) {
 			j.State = StateFailed
 			j.Error = err.Error()
 			j.FinishedAt = nowRFC3339()
 		})
 		s.metrics.JobsFailed.Add(1)
-		s.hub.publish(Event{Type: "state", Job: j.ID, State: StateFailed, Error: j.Error})
+		s.hub.publish(Event{Type: "state", Job: j.ID, State: StateFailed, Error: j.Error, Tenant: j.Tenant, Priority: j.Priority})
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	s.logf("job %s submitted: %s gc=%s, %d configs", j.ID, spec.Workload, spec.GC, len(spec.Configs))
+	s.maybePreempt(class)
+	s.logf("job %s submitted by %s: %s gc=%s, %d configs, %s priority",
+		j.ID, j.Tenant, spec.Workload, spec.GC, len(spec.Configs), j.Priority)
 	writeJSON(w, http.StatusAccepted, j)
+}
+
+// admitRun is the pool's dispatch gate: it reserves one of the job's
+// tenant's concurrency slots, deferring the entry (it stays queued) when
+// the tenant is already running at quota. Called under the pool lock;
+// store shard and tenant locks are leaves, so the ordering is safe.
+func (s *Server) admitRun(id string) bool {
+	j, ok := s.store.Get(id)
+	if !ok {
+		return true // stale entry; the worker discards it
+	}
+	return s.tenants.ByName(j.Tenant).tryAcquireRun()
+}
+
+// maybePreempt frees a worker for an arriving interactive job by
+// preempting a running bulk sweep — the lowest class only, so batch work
+// is never churned (the prioritized-GC policy: high-priority work evicts
+// low-priority work rather than waiting behind it). The youngest victim
+// is chosen — it has the least checkpointed progress to protect and the
+// most still to lose to a later preemption anyway.
+func (s *Server) maybePreempt(class int) {
+	if class != ClassInteractive || s.pool.idleWorkers() > 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var victimID string
+	var victim *runningJob
+	for id, rj := range s.running {
+		if rj.class != ClassBulk || rj.preempting {
+			continue
+		}
+		if victim == nil || rj.since.After(victim.since) {
+			victimID, victim = id, rj
+		}
+	}
+	if victim == nil {
+		return
+	}
+	victim.preempting = true
+	s.logf("preempting bulk job %s for an interactive arrival", victimID)
+	victim.preempt(core.ErrPreempted)
+}
+
+// estimateRetryAfter projects how long a shed client should wait before
+// retrying: the backlog spread over the worker pool at the observed
+// median job latency (the PR-7 histogram). Clamped to [1s, 5m]; before
+// any job has completed the floor applies.
+func (s *Server) estimateRetryAfter() time.Duration {
+	p50 := s.metrics.JobSeconds.Snapshot().Quantile(0.5)
+	perWorker := math.Ceil(float64(s.pool.depth()) / math.Max(1, float64(s.metrics.Workers)))
+	est := time.Duration(p50 * (perWorker + 1) * float64(time.Second))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 5*time.Minute {
+		est = 5 * time.Minute
+	}
+	return est
+}
+
+// setRetryAfter writes the Retry-After header, in whole seconds (the
+// delay-seconds form), never less than 1.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -416,15 +656,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	cancel := s.cancels[id]
-	if cancel != nil {
+	rj := s.running[id]
+	if rj != nil {
 		s.cancelled[id] = true
 	}
 	s.mu.Unlock()
-	if cancel != nil {
+	if rj != nil {
 		// Running: interrupt the machines; the worker persists the
 		// cancelled state once the sweep drains.
-		cancel()
+		rj.preempt(nil) // plain cancellation, cause context.Canceled
 		j, _ = s.store.Get(id)
 		writeJSON(w, http.StatusOK, j)
 		return
@@ -499,7 +739,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 drained:
 	if !sawTerminal {
 		if j, ok := s.store.Get(id); ok && j.Terminal() {
-			emit(Event{Type: "state", Job: id, State: j.State, Done: j.ConfigsDone, Total: j.ConfigsTotal, Error: j.Error})
+			emit(Event{Type: "state", Job: id, State: j.State, Done: j.ConfigsDone, Total: j.ConfigsTotal, Error: j.Error, Tenant: j.Tenant, Priority: j.Priority})
 		}
 	}
 }
@@ -522,14 +762,15 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteText(w, s.cfg.TraceCache, s.pool.depth())
+	s.metrics.WriteText(w, s.cfg.TraceCache, s.pool.depth(), s.tenants)
 }
 
 // Health is the /healthz body: instantaneous serving state plus the
 // liveness of the two disk dependencies (job store, trace cache).
 type Health struct {
-	Status      string `json:"status"` // "ok" or "degraded"
+	Status      string `json:"status"` // "ok", "degraded:overloaded", or "degraded"
 	QueueDepth  int    `json:"queue_depth"`
+	HighWater   int    `json:"queue_high_water"`
 	Workers     int    `json:"workers"`
 	WorkersBusy int64  `json:"workers_busy"`
 	JobsRunning int64  `json:"jobs_running"`
@@ -539,17 +780,23 @@ type Health struct {
 
 // handleHealthz reports service health: 200 with status "ok" when the
 // store accepts writes and the trace-cache directory (if configured) is
-// statable, 503 with status "degraded" otherwise. The body carries the
-// pool's instantaneous state either way, so probes double as a cheap
-// saturation check.
+// statable, 503 otherwise — "degraded:overloaded" when the backlog is
+// past the high-water mark and submissions are being shed, "degraded"
+// when a disk dependency failed (the graver signal, so it wins when
+// both hold). The body carries the pool's instantaneous state either
+// way, so probes double as a cheap saturation check.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := Health{
 		Status:      "ok",
 		QueueDepth:  s.pool.depth(),
+		HighWater:   s.cfg.QueueHighWater,
 		Workers:     s.metrics.Workers,
 		WorkersBusy: s.metrics.WorkersBusy.Load(),
 		JobsRunning: s.metrics.JobsRunning.Load(),
 		Store:       "ok",
+	}
+	if h.QueueDepth >= h.HighWater {
+		h.Status = "degraded:overloaded"
 	}
 	if err := s.store.ProbeWritable(); err != nil {
 		h.Status = "degraded"

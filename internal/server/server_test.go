@@ -73,11 +73,11 @@ func TestStorePersistReload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j1, err := st.Create(validSpec(), "2026-01-01T00:00:01Z")
+	j1, err := st.Create(validSpec(), "acme", "2026-01-01T00:00:01Z")
 	if err != nil {
 		t.Fatal(err)
 	}
-	j2, err := st.Create(validSpec(), "2026-01-01T00:00:02Z")
+	j2, err := st.Create(validSpec(), "acme", "2026-01-01T00:00:02Z")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,6 +108,9 @@ func TestStorePersistReload(t *testing.T) {
 	if got.Spec.Workload != "nbody" || len(got.Spec.Configs) != 1 {
 		t.Errorf("reloaded spec = %+v", got.Spec)
 	}
+	if got.Tenant != "acme" || got.Priority != PriorityBatch {
+		t.Errorf("reloaded tenant/priority = %q/%q, want acme/batch", got.Tenant, got.Priority)
+	}
 	res := st2.Resumable()
 	if len(res) != 1 || res[0] != j1.ID {
 		t.Errorf("Resumable() = %v, want [%s]", res, j1.ID)
@@ -125,7 +128,7 @@ func TestStorePersistReload(t *testing.T) {
 }
 
 func TestEventHubReplayAndTerminal(t *testing.T) {
-	h := newEventHub(nil)
+	h := newEventHub(nil, nil)
 	h.publish(Event{Type: "state", Job: "j1", State: StateQueued})
 	h.publish(Event{Type: "config", Job: "j1", Config: "64k/64b/write-validate", Done: 1, Total: 2})
 
@@ -159,7 +162,7 @@ func TestEventHubReplayAndTerminal(t *testing.T) {
 }
 
 func TestEventHubSeed(t *testing.T) {
-	h := newEventHub(nil)
+	h := newEventHub(nil, nil)
 	h.seed(&Job{ID: "j9", State: StateDone, ConfigsDone: 3, ConfigsTotal: 3})
 	replay, ch, cancel := h.subscribe("j9")
 	defer cancel()
@@ -185,7 +188,7 @@ func TestMetricsText(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	m.WriteText(&sb, tc, 2)
+	m.WriteText(&sb, tc, 2, newOpenRegistry())
 	text := sb.String()
 	for _, want := range []string{
 		"# TYPE gcsimd_jobs_submitted_total counter",
@@ -201,9 +204,10 @@ func TestMetricsText(t *testing.T) {
 			t.Errorf("metrics page missing %q:\n%s", want, text)
 		}
 	}
-	// A nil trace cache must not panic and still reports zero counters.
+	// A nil trace cache must not panic and still reports zero counters,
+	// and a nil tenant registry must not panic either.
 	sb.Reset()
-	m.WriteText(&sb, nil, 0)
+	m.WriteText(&sb, nil, 0, nil)
 	if !strings.Contains(sb.String(), "gcsimd_trace_cache_hits_total 0") {
 		t.Error("nil trace cache dropped the hit counter")
 	}

@@ -5,71 +5,140 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
-// Store persists jobs under <dir>/jobs/<id>/job.json — one JSON document
-// per job, written atomically (temp file + rename, the checkpoint
-// pattern) so a crash can never leave a torn job behind. Each job's
-// per-config checkpoint directory lives next to its job.json, which is
-// what makes an interrupted job resumable: the sweep results that
-// completed before the interruption are reloaded from the checkpoint, not
-// recomputed.
+// Store persists jobs under <dir>/jobs/shard-N/<id>/job.json — one JSON
+// document per job, written atomically (temp file + rename, the
+// checkpoint pattern) so a crash can never leave a torn job behind. Jobs
+// hash onto a fixed set of shards, each with its own lock and map, so
+// a worker persisting one job's results never serializes against the
+// HTTP handlers reading another's — the store used to be a single
+// global mutex and showed up as the serialization point under load.
+// Each job's per-config checkpoint directory lives next to its
+// job.json, which is what makes an interrupted job resumable: the sweep
+// results that completed before the interruption are reloaded from the
+// checkpoint, not recomputed.
 //
-// The in-memory map is the single source of truth while the server runs;
-// readers always receive deep copies, so HTTP handlers can marshal a job
-// while a worker mutates it without a data race.
+// The in-memory maps are the single source of truth while the server
+// runs; readers always receive deep copies, so HTTP handlers can marshal
+// a job while a worker mutates it without a data race.
+//
+// Stores written by earlier versions kept every job directly under
+// <dir>/jobs/<id>/; OpenStore migrates such layouts once, renaming each
+// job directory into its shard (a rename is atomic, so a crash
+// mid-migration just leaves the remainder for the next start).
 type Store struct {
-	dir string
+	dir    string
+	shards [storeShards]storeShard
+}
 
+// storeShards fixes the shard count. The shard index is a pure function
+// of the job ID, so the on-disk layout is stable across restarts; 8 is
+// plenty to take the store off the contention profile while keeping the
+// directory tree readable.
+const storeShards = 8
+
+type storeShard struct {
 	mu   sync.Mutex
 	jobs map[string]*Job
 }
 
-// OpenStore loads (creating if needed) the job store rooted at dir.
+// shardIndex maps a job ID onto its shard.
+func shardIndex(id string) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % storeShards)
+}
+
+func shardDirName(i int) string { return fmt.Sprintf("shard-%d", i) }
+
+// OpenStore loads (creating if needed) the job store rooted at dir,
+// migrating any pre-shard layout it finds.
 func OpenStore(dir string) (*Store, error) {
 	jobsDir := filepath.Join(dir, "jobs")
-	if err := os.MkdirAll(jobsDir, 0o755); err != nil {
-		return nil, fmt.Errorf("server: job store: %w", err)
-	}
-	s := &Store{dir: dir, jobs: make(map[string]*Job)}
-	entries, err := os.ReadDir(jobsDir)
-	if err != nil {
-		return nil, fmt.Errorf("server: job store: %w", err)
-	}
-	for _, e := range entries {
-		if !e.IsDir() {
-			continue
+	s := &Store{dir: dir}
+	for i := range s.shards {
+		s.shards[i].jobs = make(map[string]*Job)
+		if err := os.MkdirAll(filepath.Join(jobsDir, shardDirName(i)), 0o755); err != nil {
+			return nil, fmt.Errorf("server: job store: %w", err)
 		}
-		path := filepath.Join(jobsDir, e.Name(), "job.json")
-		data, err := os.ReadFile(path)
-		if os.IsNotExist(err) {
-			continue // an empty or half-created job dir; ignore
-		}
+	}
+	if err := migrateLegacyLayout(jobsDir); err != nil {
+		return nil, err
+	}
+	for i := range s.shards {
+		shardDir := filepath.Join(jobsDir, shardDirName(i))
+		entries, err := os.ReadDir(shardDir)
 		if err != nil {
 			return nil, fmt.Errorf("server: job store: %w", err)
 		}
-		var j Job
-		if err := json.Unmarshal(data, &j); err != nil {
-			return nil, fmt.Errorf("server: job store: %s: %w", path, err)
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			path := filepath.Join(shardDir, e.Name(), "job.json")
+			data, err := os.ReadFile(path)
+			if os.IsNotExist(err) {
+				continue // an empty or half-created job dir; ignore
+			}
+			if err != nil {
+				return nil, fmt.Errorf("server: job store: %w", err)
+			}
+			var j Job
+			if err := json.Unmarshal(data, &j); err != nil {
+				return nil, fmt.Errorf("server: job store: %s: %w", path, err)
+			}
+			if j.Schema != JobSchema {
+				return nil, fmt.Errorf("server: job store: %s: schema %q, want %q", path, j.Schema, JobSchema)
+			}
+			if j.ID != e.Name() {
+				return nil, fmt.Errorf("server: job store: %s claims id %q", path, j.ID)
+			}
+			if shardIndex(j.ID) != i {
+				return nil, fmt.Errorf("server: job store: %s is in shard %d, belongs in %d", path, i, shardIndex(j.ID))
+			}
+			s.shards[i].jobs[j.ID] = &j
 		}
-		if j.Schema != JobSchema {
-			return nil, fmt.Errorf("server: job store: %s: schema %q, want %q", path, j.Schema, JobSchema)
-		}
-		if j.ID != e.Name() {
-			return nil, fmt.Errorf("server: job store: %s claims id %q", path, j.ID)
-		}
-		s.jobs[j.ID] = &j
 	}
 	return s, nil
 }
 
+// migrateLegacyLayout renames pre-shard job directories
+// (<jobs>/<id>/) into their shard (<jobs>/shard-N/<id>/). Runs once: a
+// migrated store has nothing left to move.
+func migrateLegacyLayout(jobsDir string) error {
+	entries, err := os.ReadDir(jobsDir)
+	if err != nil {
+		return fmt.Errorf("server: job store: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || strings.HasPrefix(e.Name(), "shard-") {
+			continue
+		}
+		id := e.Name()
+		from := filepath.Join(jobsDir, id)
+		if _, err := os.Stat(filepath.Join(from, "job.json")); err != nil {
+			continue // not a job directory; leave it alone
+		}
+		to := filepath.Join(jobsDir, shardDirName(shardIndex(id)), id)
+		if err := os.Rename(from, to); err != nil {
+			return fmt.Errorf("server: job store: migrate %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
 // JobDir returns the directory holding one job's state (job.json plus its
 // checkpoint directory).
-func (s *Store) JobDir(id string) string { return filepath.Join(s.dir, "jobs", id) }
+func (s *Store) JobDir(id string) string {
+	return filepath.Join(s.dir, "jobs", shardDirName(shardIndex(id)), id)
+}
 
 // CheckpointDir returns the per-config checkpoint directory for one job.
 func (s *Store) CheckpointDir(id string) string { return filepath.Join(s.JobDir(id), "checkpoint") }
@@ -83,8 +152,13 @@ func newJobID() string {
 	return "j" + hex.EncodeToString(b[:])
 }
 
-// Create registers and persists a new queued job for the spec.
-func (s *Store) Create(spec JobSpec, submittedAt string) (*Job, error) {
+// Create registers and persists a new queued job for the spec, owned by
+// the named tenant.
+func (s *Store) Create(spec JobSpec, tenant, submittedAt string) (*Job, error) {
+	class, err := PriorityClass(spec.Priority)
+	if err != nil {
+		return nil, err
+	}
 	j := &Job{
 		Schema:       JobSchema,
 		ID:           newJobID(),
@@ -92,24 +166,28 @@ func (s *Store) Create(spec JobSpec, submittedAt string) (*Job, error) {
 		State:        StateQueued,
 		SubmittedAt:  submittedAt,
 		ConfigsTotal: len(spec.Configs),
+		Tenant:       tenant,
+		Priority:     PriorityName(class),
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.jobs[j.ID]; exists {
+	sh := &s.shards[shardIndex(j.ID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.jobs[j.ID]; exists {
 		return nil, fmt.Errorf("server: job id collision: %s", j.ID)
 	}
 	if err := s.persistLocked(j); err != nil {
 		return nil, err
 	}
-	s.jobs[j.ID] = j
+	sh.jobs[j.ID] = j
 	return copyJob(j), nil
 }
 
 // Get returns a deep copy of one job.
 func (s *Store) Get(id string) (*Job, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
+	sh := &s.shards[shardIndex(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	j, ok := sh.jobs[id]
 	if !ok {
 		return nil, false
 	}
@@ -119,11 +197,14 @@ func (s *Store) Get(id string) (*Job, bool) {
 // List returns deep copies of every job, newest submission first (ties
 // broken by ID so the order is deterministic).
 func (s *Store) List() []*Job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*Job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		out = append(out, copyJob(j))
+	var out []*Job
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, j := range sh.jobs {
+			out = append(out, copyJob(j))
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].SubmittedAt != out[b].SubmittedAt {
@@ -134,12 +215,13 @@ func (s *Store) List() []*Job {
 	return out
 }
 
-// Update applies fn to the job under the store lock and persists the
+// Update applies fn to the job under its shard lock and persists the
 // result. fn sees (and may mutate) the canonical job.
 func (s *Store) Update(id string, fn func(*Job)) (*Job, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
+	sh := &s.shards[shardIndex(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	j, ok := sh.jobs[id]
 	if !ok {
 		return nil, fmt.Errorf("server: no such job %s", id)
 	}
@@ -155,13 +237,16 @@ func (s *Store) Update(id string, fn func(*Job)) (*Job, error) {
 // checkpoints hold their completed configurations. Order is submission
 // order (oldest first) so the restarted queue drains fairly.
 func (s *Store) Resumable() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var jobs []*Job
-	for _, j := range s.jobs {
-		if !TerminalState(j.State) {
-			jobs = append(jobs, j)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, j := range sh.jobs {
+			if !TerminalState(j.State) {
+				jobs = append(jobs, copyJob(j))
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(jobs, func(a, b int) bool {
 		if jobs[a].SubmittedAt != jobs[b].SubmittedAt {
@@ -190,7 +275,8 @@ func (s *Store) ProbeWritable() error {
 	return nil
 }
 
-// persistLocked writes the job's JSON atomically. Callers hold s.mu.
+// persistLocked writes the job's JSON atomically. Callers hold the job's
+// shard lock.
 func (s *Store) persistLocked(j *Job) error {
 	dir := s.JobDir(j.ID)
 	if err := os.MkdirAll(dir, 0o755); err != nil {

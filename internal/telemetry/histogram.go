@@ -93,6 +93,31 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation inside the owning bucket — the
+// same estimate Prometheus's histogram_quantile computes, so a
+// Retry-After derived here matches what an operator sees on a graph.
+// It returns 0 for an empty histogram; a quantile landing in the +Inf
+// bucket clamps to the highest finite bound, which is the most the
+// fixed buckets can attest to.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	rank := q * float64(s.Count)
+	var cum, lower float64
+	for i, bound := range s.Bounds {
+		c := float64(s.Counts[i])
+		if c > 0 && cum+c >= rank {
+			return lower + (bound-lower)*(rank-cum)/c
+		}
+		cum += c
+		lower = bound
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Count returns the number of observations so far.
 func (h *Histogram) Count() uint64 {
 	var n uint64

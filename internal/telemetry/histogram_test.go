@@ -74,6 +74,54 @@ func TestHistogramDefaultsSortedDeduped(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	// Ten observations in (1, 2]: the bucket is uniform under the linear
+	// interpolation, so the median of the distribution is its midpoint.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %v, want 1.5 (midpoint of (1,2])", got)
+	}
+	if got := s.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Quantile(1) = %v, want the bucket's upper bound 2", got)
+	}
+
+	// A split distribution: 5 in (0,1], 5 in (4,8]. The 0.25 quantile
+	// interpolates inside the first bucket, the 0.75 inside the last.
+	h2 := NewHistogram(1, 2, 4, 8)
+	for i := 0; i < 5; i++ {
+		h2.Observe(0.5)
+		h2.Observe(6)
+	}
+	s2 := h2.Snapshot()
+	if got := s2.Quantile(0.25); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Quantile(0.25) = %v, want 0.5", got)
+	}
+	// rank 7.5 of 10 sits 2.5 observations into the (4,8] bucket's 5.
+	if got := s2.Quantile(0.75); math.Abs(got-6) > 1e-9 {
+		t.Errorf("Quantile(0.75) = %v, want 6 (halfway into (4,8])", got)
+	}
+
+	// Edge cases: empty histogram, out-of-range q, +Inf-only mass.
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Errorf("q clamped low: %v != %v", got, s.Quantile(0))
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Errorf("q clamped high: %v != %v", got, s.Quantile(1))
+	}
+	inf := NewHistogram(1, 2)
+	inf.Observe(100) // +Inf bucket only
+	if got := inf.Snapshot().Quantile(0.5); got != 2 {
+		t.Errorf("+Inf-only Quantile = %v, want the highest finite bound 2", got)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	h := NewHistogram()
 	var wg sync.WaitGroup

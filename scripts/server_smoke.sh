@@ -7,6 +7,13 @@
 # the two jobs, a rendered /dashboard snapshot is saved under
 # $BENCH_DIR/server-smoke/ for CI artifacts, and a SIGTERM must drain the
 # daemon cleanly (exit 0 after "drained").
+#
+# A second phase restarts the daemon in multi-tenant mode (-tenants) and
+# smokes the admission layer: unauthenticated /v1 requests 401, a tenant
+# over its queued-job quota gets a 429 with Retry-After advice, and an
+# interactive arrival preempts a running bulk sweep that then resumes
+# from its checkpoints — with its report still byte-identical to a local
+# run. The final /metrics page is saved next to the dashboard snapshot.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,6 +25,38 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# wait_for_listen LOGFILE: echo the daemon's announced base URL.
+wait_for_listen() {
+    _base=""
+    _i=0
+    while [ "$_i" -lt 50 ]; do
+        _base=$(sed -n 's|^gcsimd: listening on \(http://.*\)$|\1|p' "$1" | head -1)
+        [ -n "$_base" ] && break
+        kill -0 "$daemon" 2>/dev/null || break
+        sleep 0.2
+        _i=$((_i + 1))
+    done
+    echo "$_base"
+}
+
+# drain_daemon LOGFILE: SIGTERM the daemon and require a clean drain.
+drain_daemon() {
+    kill -TERM "$daemon"
+    _status=0
+    wait "$daemon" || _status=$?
+    daemon=""
+    if [ "$_status" -ne 0 ]; then
+        echo "FAIL: gcsimd exited $_status on SIGTERM" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+    grep -q "gcsimd: drained" "$1" || {
+        echo "FAIL: gcsimd never reported a completed drain" >&2
+        cat "$1" >&2
+        exit 1
+    }
+}
+
 echo "building gcsim and gcsimd"
 go build -o "$workdir/gcsim" ./cmd/gcsim
 go build -o "$workdir/gcsimd" ./cmd/gcsimd
@@ -27,15 +66,7 @@ go build -o "$workdir/gcsimd" ./cmd/gcsimd
 daemon=$!
 
 # The first stdout line is a protocol: "gcsimd: listening on http://HOST:PORT".
-base=""
-i=0
-while [ "$i" -lt 50 ]; do
-    base=$(sed -n 's|^gcsimd: listening on \(http://.*\)$|\1|p' "$workdir/gcsimd.log" | head -1)
-    [ -n "$base" ] && break
-    kill -0 "$daemon" 2>/dev/null || break
-    sleep 0.2
-    i=$((i + 1))
-done
+base=$(wait_for_listen "$workdir/gcsimd.log")
 if [ -z "$base" ]; then
     echo "FAIL: gcsimd did not announce a listen address" >&2
     cat "$workdir/gcsimd.log" >&2
@@ -127,18 +158,152 @@ grep -q 'id="jobs"' "$snapdir/dashboard.html" || {
 echo "dashboard snapshot: $snapdir/dashboard.html"
 
 # SIGTERM must drain: in-flight work checkpointed, clean exit 0.
-kill -TERM "$daemon"
-status=0
-wait "$daemon" || status=$?
-daemon=""
-if [ "$status" -ne 0 ]; then
-    echo "FAIL: gcsimd exited $status on SIGTERM" >&2
-    cat "$workdir/gcsimd.log" >&2
+drain_daemon "$workdir/gcsimd.log"
+echo "gcsimd: SIGTERM drained cleanly"
+
+# ---------------------------------------------------------------------------
+# Phase 2: multi-tenant admission, quota shedding, and preemption.
+# ---------------------------------------------------------------------------
+
+cat > "$workdir/tenants.json" <<'EOF'
+{"tenants": [
+    {"name": "ops", "key": "ops-key"},
+    {"name": "lab", "key": "lab-key", "max_queued": 1}
+]}
+EOF
+
+# A single worker with serial configs and no trace cache forces the
+# incremental per-config path, so a preempted sweep has checkpoints to
+# resume from (the fused replay pass commits results only at sweep end).
+"$workdir/gcsimd" -addr 127.0.0.1:0 -state "$workdir/state2" -workers 1 \
+    -parallel 1 -trace-cache none -tenants "$workdir/tenants.json" \
+    > "$workdir/gcsimd2.log" 2>&1 &
+daemon=$!
+
+base2=$(wait_for_listen "$workdir/gcsimd2.log")
+if [ -z "$base2" ]; then
+    echo "FAIL: tenant-mode gcsimd did not announce a listen address" >&2
+    cat "$workdir/gcsimd2.log" >&2
     exit 1
 fi
-grep -q "gcsimd: drained" "$workdir/gcsimd.log" || {
-    echo "FAIL: gcsimd never reported a completed drain" >&2
-    cat "$workdir/gcsimd.log" >&2
+echo "tenant-mode gcsimd is at $base2"
+
+i=0
+until curl -fsS "$base2/healthz" > /dev/null 2>&1; do
+    kill -0 "$daemon" 2>/dev/null || {
+        echo "FAIL: tenant-mode gcsimd died before turning healthy" >&2
+        cat "$workdir/gcsimd2.log" >&2
+        exit 1
+    }
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "FAIL: tenant-mode /healthz never answered 200" >&2
+        cat "$workdir/gcsimd2.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# Every /v1 route now demands an API key; /healthz stays open for probes.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base2/v1/jobs")
+if [ "$code" != "401" ]; then
+    echo "FAIL: unauthenticated /v1/jobs answered $code, want 401" >&2
+    exit 1
+fi
+echo "auth: unauthenticated request rejected with 401"
+
+# Kick off a long bulk sweep for ops; it will be preempted below.
+bulk_sweep="-workload tc -scale 1200 -gc cheney -cache 32k,16k,64k -block 32"
+"$workdir/gcsim" -remote "$base2" -api-key ops-key -priority bulk \
+    $bulk_sweep > "$workdir/remote_bulk.txt" &
+bulk_client=$!
+
+# Wait until the bulk sweep has checkpointed at least one configuration,
+# so the preemption has something to resume from.
+i=0
+while :; do
+    done_configs=$(metric_of "$(curl -fsS -H 'X-API-Key: ops-key' "$base2/metrics")" \
+        gcsimd_configs_completed_total)
+    awk -v c="${done_configs:-0}" 'BEGIN { exit (c + 0 >= 1) ? 0 : 1 }' && break
+    i=$((i + 1))
+    if [ "$i" -ge 300 ]; then
+        echo "FAIL: bulk sweep never completed a configuration" >&2
+        cat "$workdir/gcsimd2.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# lab is capped at one queued-or-running job: the first submission is
+# accepted, the second is shed with 429 and Retry-After advice.
+lab_spec='{"workload":"nbody","scale":1,"gc":"none","configs":[{"size_bytes":32768,"block_bytes":32,"policy":"write-validate"}]}'
+code=$(curl -s -o "$workdir/lab1.json" -w '%{http_code}' \
+    -H 'X-API-Key: lab-key' -H 'Content-Type: application/json' \
+    -d "$lab_spec" "$base2/v1/jobs")
+if [ "$code" != "202" ]; then
+    echo "FAIL: lab's first submission answered $code, want 202" >&2
+    cat "$workdir/lab1.json" >&2
+    exit 1
+fi
+code=$(curl -s -D "$workdir/lab2.hdr" -o /dev/null -w '%{http_code}' \
+    -H 'X-API-Key: lab-key' -H 'Content-Type: application/json' \
+    -d "$lab_spec" "$base2/v1/jobs")
+if [ "$code" != "429" ]; then
+    echo "FAIL: lab's over-quota submission answered $code, want 429" >&2
+    exit 1
+fi
+grep -iq '^retry-after:' "$workdir/lab2.hdr" || {
+    echo "FAIL: 429 response carried no Retry-After header" >&2
+    cat "$workdir/lab2.hdr" >&2
     exit 1
 }
-echo "gcsimd: SIGTERM drained cleanly"
+echo "quota: second lab job shed with 429 + Retry-After"
+
+# An interactive arrival preempts the running bulk sweep.
+"$workdir/gcsim" -remote "$base2" -api-key ops-key -priority interactive \
+    -workload nbody -scale 1 -gc none -cache 32k -block 32 > /dev/null
+
+wait "$bulk_client" || {
+    echo "FAIL: preempted bulk sweep did not complete" >&2
+    cat "$workdir/gcsimd2.log" >&2
+    exit 1
+}
+
+metrics2=$(curl -fsS -H 'X-API-Key: ops-key' "$base2/metrics")
+preemptions=$(metric_of "$metrics2" gcsimd_preemptions_total)
+awk -v p="${preemptions:-0}" 'BEGIN { exit (p + 0 >= 1) ? 0 : 1 }' || {
+    echo "FAIL: gcsimd_preemptions_total = ${preemptions:-0}, want >= 1" >&2
+    exit 1
+}
+
+# The preempted job must record the preemption and have resumed at least
+# one configuration from its checkpoint. Both fields are omitted from the
+# JSON when zero/false, so their mere presence is the assertion.
+jobs_json=$(curl -fsS -H 'X-API-Key: ops-key' "$base2/v1/jobs")
+echo "$jobs_json" | grep -q '"preemptions":' || {
+    echo "FAIL: no job records a preemption:" >&2
+    echo "$jobs_json" >&2
+    exit 1
+}
+echo "$jobs_json" | grep -q '"from_checkpoint": true' || {
+    echo "FAIL: no configuration resumed from checkpoint:" >&2
+    echo "$jobs_json" >&2
+    exit 1
+}
+echo "preemption: bulk sweep preempted and resumed from checkpoint"
+
+# Preemption must not change a byte of the report.
+"$workdir/gcsim" $bulk_sweep > "$workdir/local_bulk.txt"
+if ! cmp -s "$workdir/local_bulk.txt" "$workdir/remote_bulk.txt"; then
+    echo "FAIL: preempted bulk report differs from the local run" >&2
+    diff "$workdir/local_bulk.txt" "$workdir/remote_bulk.txt" >&2 || true
+    exit 1
+fi
+echo "reports: preempted bulk run byte-identical to local"
+
+# Snapshot the tenant-mode metrics page for CI artifact upload.
+curl -fsS -H 'X-API-Key: ops-key' "$base2/metrics" > "$snapdir/metrics.txt"
+echo "metrics snapshot: $snapdir/metrics.txt"
+
+drain_daemon "$workdir/gcsimd2.log"
+echo "tenant-mode gcsimd: SIGTERM drained cleanly"
