@@ -190,6 +190,98 @@ func TestAdmissionAuthAndLimits(t *testing.T) {
 	}
 }
 
+// doKeyed performs one request with the given API key and drains the
+// body headers-first (event streams return after the 200 header).
+func doKeyed(t *testing.T, method, url, key string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestTenantIsolationOnJobRoutes(t *testing.T) {
+	_, hs := newTenantServer(t, `{"tenants": [
+		{"name": "alpha", "key": "k-alpha"},
+		{"name": "beta", "key": "k-beta"}
+	]}`, 0)
+
+	resp, _, job := rawSubmit(t, hs.URL, "k-alpha", quickSpec(""))
+	if resp.StatusCode != http.StatusAccepted || job == nil {
+		t.Fatalf("submit: status=%d", resp.StatusCode)
+	}
+
+	// Every job-scoped route answers 404 for another tenant's job — the
+	// same as for an absent one, so IDs don't leak — while the owner
+	// still reaches it.
+	for _, path := range []string{
+		"/v1/jobs/" + job.ID,
+		"/v1/jobs/" + job.ID + "/report",
+		"/v1/jobs/" + job.ID + "/events",
+		"/v1/jobs/" + job.ID + "/spans",
+	} {
+		if got := doKeyed(t, http.MethodGet, hs.URL+path, "k-beta"); got.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s as beta: status=%d, want 404", path, got.StatusCode)
+		}
+		if got := doKeyed(t, http.MethodGet, hs.URL+path, "k-alpha"); got.StatusCode == http.StatusNotFound {
+			t.Errorf("GET %s as alpha (the owner): 404", path)
+		}
+	}
+	if got := doKeyed(t, http.MethodDelete, hs.URL+"/v1/jobs/"+job.ID, "k-beta"); got.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE as beta: status=%d, want 404", got.StatusCode)
+	}
+
+	// Listing is filtered to the caller's own jobs.
+	for key, want := range map[string]int{"k-alpha": 1, "k-beta": 0} {
+		req, err := http.NewRequest(http.MethodGet, hs.URL+"/v1/jobs", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-API-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var list struct {
+			Jobs []server.Job `json:"jobs"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(list.Jobs) != want {
+			t.Errorf("list as %s: %d jobs, want %d", key, len(list.Jobs), want)
+		}
+	}
+
+	// In tenant mode the dashboard authenticates too: anonymous is 401,
+	// a tenant key works via header or the ?key= query (EventSource
+	// cannot set headers). The owner then cancels its own job fine.
+	for _, path := range []string{"/dashboard", "/dashboard/events"} {
+		if got := doKeyed(t, http.MethodGet, hs.URL+path, ""); got.StatusCode != http.StatusUnauthorized {
+			t.Errorf("GET %s anonymously: status=%d, want 401", path, got.StatusCode)
+		}
+		if got := doKeyed(t, http.MethodGet, hs.URL+path, "k-beta"); got.StatusCode != http.StatusOK {
+			t.Errorf("GET %s as beta: status=%d, want 200", path, got.StatusCode)
+		}
+		if got := doKeyed(t, http.MethodGet, hs.URL+path+"?key=k-alpha", ""); got.StatusCode != http.StatusOK {
+			t.Errorf("GET %s?key=: status=%d, want 200", path, got.StatusCode)
+		}
+	}
+	if got := doKeyed(t, http.MethodDelete, hs.URL+"/v1/jobs/"+job.ID, "k-alpha"); got.StatusCode != http.StatusOK {
+		t.Errorf("DELETE as alpha (the owner): status=%d, want 200", got.StatusCode)
+	}
+}
+
 func readBody(t *testing.T, resp *http.Response) string {
 	t.Helper()
 	defer resp.Body.Close()

@@ -121,8 +121,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 
 // retryDelay picks the wait before the next attempt: the server's
 // Retry-After when it sent one, exponential backoff from RetryBase
-// otherwise, both capped at maxRetryDelay — plus up to 50% jitter so a
-// shed storm's clients don't return in lockstep.
+// otherwise, plus up to 50% jitter so a shed storm's clients don't
+// return in lockstep. The final delay, jitter included, never exceeds
+// maxRetryDelay.
 func (c *Client) retryDelay(attempt int, retryAfter string) time.Duration {
 	base := c.RetryBase
 	if base <= 0 {
@@ -135,7 +136,7 @@ func (c *Client) retryDelay(attempt int, retryAfter string) time.Duration {
 	if ra, ok := parseRetryAfter(retryAfter); ok {
 		d = min(ra, maxRetryDelay)
 	}
-	return d + rand.N(d/2+1)
+	return min(d+rand.N(d/2+1), maxRetryDelay)
 }
 
 // parseRetryAfter reads a Retry-After header: delay-seconds or an HTTP

@@ -107,6 +107,11 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	rows := make([]dashboardJob, 0, len(jobs))
 	var latestReport, latestReportJob string
 	for _, j := range jobs {
+		// Tenant mode: the dashboard is authenticated per tenant, not an
+		// operator view — each tenant sees its own jobs only.
+		if !s.ownedBy(r, j) {
+			continue
+		}
 		rows = append(rows, dashboardJob{
 			ID: j.ID, Workload: j.Spec.Workload, GC: j.Spec.GC,
 			Tenant: j.Tenant, Priority: j.Priority,
@@ -149,6 +154,27 @@ func (s *Server) handleDashboardEvents(w http.ResponseWriter, r *http.Request) {
 	ch, cancel := s.hub.subscribeAll()
 	defer cancel()
 
+	// In tenant mode the firehose narrows to the caller's own jobs, same
+	// as the page's table. State events carry their tenant; config events
+	// don't, so their owner is resolved from the store once per job and
+	// memoized for the life of this stream.
+	owner := make(map[string]string)
+	visible := func(e Event) bool {
+		if s.tenants.Open() {
+			return true
+		}
+		name, ok := e.Tenant, e.Tenant != ""
+		if !ok {
+			if name, ok = owner[e.Job]; !ok {
+				if j, found := s.store.Get(e.Job); found {
+					name = j.Tenant
+				}
+			}
+		}
+		owner[e.Job] = name
+		return name == tenantFrom(r.Context()).Name()
+	}
+
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
@@ -177,6 +203,9 @@ func (s *Server) handleDashboardEvents(w http.ResponseWriter, r *http.Request) {
 		case e, open := <-ch:
 			if !open {
 				return
+			}
+			if !visible(e) {
+				continue
 			}
 			if !emit("job", e) {
 				return
@@ -332,7 +361,9 @@ const dashboardHTML = `<!DOCTYPE html>
     if (e.total) cells[6].textContent = (e.done || 0) + "/" + e.total;
   }
 
-  const es = new EventSource("/dashboard/events");
+  // location.search forwards the ?key= credential in tenant mode —
+  // EventSource cannot set an Authorization header.
+  const es = new EventSource("/dashboard/events" + location.search);
   es.addEventListener("stats", ev => onStats(JSON.parse(ev.data)));
   es.addEventListener("job", ev => onJob(JSON.parse(ev.data)));
 })();

@@ -91,10 +91,14 @@ func (p *pool) start(ctx context.Context, n int) {
 	p.started = true
 	p.ctx, p.cancel = context.WithCancel(ctx)
 	// Workers park on the cond while idle; wake them all when the run
-	// context dies so they can observe it and exit.
+	// context dies so they can observe it and exit. The broadcast must
+	// hold the mutex: unlocked, it could fire between a worker's ctx
+	// check and its cond.Wait and the wakeup would be lost.
 	go func() {
 		<-p.ctx.Done()
+		p.mu.Lock()
 		p.cond.Broadcast()
+		p.mu.Unlock()
 	}()
 	for i := 0; i < n; i++ {
 		p.wg.Add(1)

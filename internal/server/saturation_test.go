@@ -175,6 +175,14 @@ func TestE2ESaturationThreeTenants(t *testing.T) {
 		{"k-beta", server.PriorityBatch},
 		{"k-gamma", server.PriorityBulk},
 	}
+	// One client per tenant: each tenant may only see its own jobs, so
+	// the poll below must use the submitting tenant's key.
+	clients := make(map[string]*server.Client, len(tenants))
+	for _, tn := range tenants {
+		c := server.NewClient(hs.URL)
+		c.APIKey = tn.key
+		clients[tn.priority] = c
+	}
 	accepted := make(map[string]string) // job ID -> priority
 	var shed int
 	for i := 0; i < submitted; i++ {
@@ -200,10 +208,9 @@ func TestE2ESaturationThreeTenants(t *testing.T) {
 	srv.Start(context.Background())
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
 	defer cancel()
-	cl := server.NewClient(hs.URL)
-	cl.APIKey = "k-alpha"
 	queueSecs := make(map[string][]float64) // priority -> per-job queue wait
 	for id, priority := range accepted {
+		cl := clients[priority]
 		var final *server.Job
 		for {
 			j, err := cl.Job(ctx, id)
@@ -235,7 +242,7 @@ func TestE2ESaturationThreeTenants(t *testing.T) {
 		t.Errorf("interactive p99 queue latency %.4fs >= bulk p50 %.4fs", interP99, bulkP50)
 	}
 
-	page, err := cl.Metrics(ctx)
+	page, err := clients[server.PriorityInteractive].Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -134,11 +134,12 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Handler returns the HTTP API: the /v1 routes behind tenant
-// authentication, the operational endpoints (/metrics, /healthz,
-// /dashboard) open — probes and scrapers don't carry tenant keys.
+// authentication — and, in tenant mode, the dashboard too, since its
+// firehose carries every tenant's events — with /metrics and /healthz
+// always open: probes and scrapers don't carry tenant keys.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if strings.HasPrefix(r.URL.Path, "/v1/") {
+		if s.needsAuth(r.URL.Path) {
 			t, ok := s.tenants.Authenticate(apiKey(r))
 			if !ok {
 				w.Header().Set("WWW-Authenticate", `Bearer realm="gcsimd"`)
@@ -151,6 +152,19 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
+// needsAuth reports whether a path authenticates. /v1 always does; the
+// dashboard joins it once the registry is closed — anonymous visitors
+// must not watch every tenant's job stream.
+func (s *Server) needsAuth(path string) bool {
+	if strings.HasPrefix(path, "/v1/") {
+		return true
+	}
+	if s.tenants.Open() {
+		return false
+	}
+	return path == "/dashboard" || strings.HasPrefix(path, "/dashboard/")
+}
+
 // tenantCtxKey carries the authenticated *Tenant through the request
 // context.
 type tenantCtxKey struct{}
@@ -161,15 +175,41 @@ func tenantFrom(ctx context.Context) *Tenant {
 	return t
 }
 
-// apiKey extracts the request's API key: "Authorization: Bearer <key>"
-// or the X-API-Key header.
+// apiKey extracts the request's API key: "Authorization: Bearer <key>",
+// the X-API-Key header, or a ?key= query parameter — the last for the
+// dashboard's EventSource, which cannot set headers.
 func apiKey(r *http.Request) string {
 	if auth := r.Header.Get("Authorization"); auth != "" {
 		if key, ok := strings.CutPrefix(auth, "Bearer "); ok {
 			return strings.TrimSpace(key)
 		}
 	}
-	return r.Header.Get("X-API-Key")
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return key
+	}
+	return r.URL.Query().Get("key")
+}
+
+// ownedBy reports whether the request's tenant may see and act on job j.
+// Open mode keeps the pre-tenancy behaviour (everything visible); in
+// tenant mode a job belongs to the tenant that submitted it.
+func (s *Server) ownedBy(r *http.Request, j *Job) bool {
+	if s.tenants.Open() {
+		return true
+	}
+	return j.Tenant == tenantFrom(r.Context()).Name()
+}
+
+// getAuthorized fetches a job and enforces ownership, answering 404 for
+// a foreign tenant's job exactly as for an absent one — job IDs must not
+// leak across tenants.
+func (s *Server) getAuthorized(w http.ResponseWriter, r *http.Request, id string) (*Job, bool) {
+	j, ok := s.store.Get(id)
+	if !ok || !s.ownedBy(r, j) {
+		httpError(w, http.StatusNotFound, "no such job %s", id)
+		return nil, false
+	}
+	return j, true
 }
 
 // Start launches the worker pool under ctx and re-enqueues every
@@ -606,10 +646,22 @@ func (s *Server) maybePreempt(class int) {
 
 // estimateRetryAfter projects how long a shed client should wait before
 // retrying: the backlog spread over the worker pool at the observed
-// median job latency (the PR-7 histogram). Clamped to [1s, 5m]; before
-// any job has completed the floor applies.
+// median per-job service time. The sweep-stage histogram is the signal,
+// not JobSeconds — that one measures enqueue-to-terminal wall time, so
+// under sustained overload the queue wait would feed its own delay back
+// into the advice. Before any sweep has completed, the job-minus-queue
+// medians approximate it. Clamped to [1s, 5m]; with no data the floor
+// applies.
 func (s *Server) estimateRetryAfter() time.Duration {
-	p50 := s.metrics.JobSeconds.Snapshot().Quantile(0.5)
+	var p50 float64
+	if h := s.metrics.StageSeconds[telemetry.StageSweep]; h != nil {
+		if snap := h.Snapshot(); snap.Count > 0 {
+			p50 = snap.Quantile(0.5)
+		}
+	}
+	if p50 == 0 {
+		p50 = math.Max(0, s.metrics.JobSeconds.Snapshot().Quantile(0.5)-s.metrics.QueueSeconds.Snapshot().Quantile(0.5))
+	}
 	perWorker := math.Ceil(float64(s.pool.depth()) / math.Max(1, float64(s.metrics.Workers)))
 	est := time.Duration(p50 * (perWorker + 1) * float64(time.Second))
 	if est < time.Second {
@@ -632,13 +684,24 @@ func setRetryAfter(w http.ResponseWriter, d time.Duration) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.store.List()})
+	jobs := s.store.List()
+	if !s.tenants.Open() {
+		// Tenant mode: each tenant lists only its own jobs.
+		name := tenantFrom(r.Context()).Name()
+		visible := jobs[:0]
+		for _, j := range jobs {
+			if j.Tenant == name {
+				visible = append(visible, j)
+			}
+		}
+		jobs = visible
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.store.Get(r.PathValue("id"))
+	j, ok := s.getAuthorized(w, r, r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job %s", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, j)
@@ -646,9 +709,8 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	j, ok := s.store.Get(id)
+	j, ok := s.getAuthorized(w, r, id)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job %s", id)
 		return
 	}
 	if j.Terminal() {
@@ -689,9 +751,8 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	j, ok := s.store.Get(id)
+	j, ok := s.getAuthorized(w, r, id)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job %s", id)
 		return
 	}
 	s.hub.seed(j) // restarted server: make the stream coherent again
@@ -746,9 +807,8 @@ drained:
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	j, ok := s.store.Get(id)
+	j, ok := s.getAuthorized(w, r, id)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job %s", id)
 		return
 	}
 	var buf bytes.Buffer
@@ -824,8 +884,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // not run yet, or its spans have aged out of the bounded ring.
 func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if _, ok := s.store.Get(id); !ok {
-		httpError(w, http.StatusNotFound, "no such job %s", id)
+	if _, ok := s.getAuthorized(w, r, id); !ok {
 		return
 	}
 	spans := s.cfg.Spans.SpansFor(id)
