@@ -29,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -43,7 +44,8 @@ const tool = "gcbench"
 func main() {
 	expID := flag.String("exp", "", "experiment ID to run (default: all)")
 	quick := flag.Bool("quick", false, "use small test scales")
-	scale := flag.Int("scale", 100, "workload scale percent")
+	scale := flag.String("scale", "100", `workload scale percent, or "paper" for the billion-instruction tier (runs the P1 experiment unless -exp overrides)`)
+	workloadFilter := flag.String("workloads", "", "comma-separated workload subset for the paper tier (default: all five)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent workload runs within an experiment (1 = serial)")
 	metrics := flag.Bool("metrics", false, "print structured metrics after each report")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
@@ -105,10 +107,30 @@ func main() {
 	}
 	core.SetProgress(telemetry.NewProgress(os.Stderr, tool, *progressFlag))
 
-	cfg := core.ExpConfig{Quick: *quick, ScalePercent: *scale}
+	cfg := core.ExpConfig{Quick: *quick, Workloads: *workloadFilter}
+	paper := *scale == "paper"
+	if paper {
+		cfg.ScalePercent = 100
+	} else {
+		pct, err := strconv.Atoi(*scale)
+		if err != nil || pct <= 0 {
+			cliutil.Fatal(tool, fmt.Errorf(`-scale must be a positive percent or "paper", got %q`, *scale))
+		}
+		cfg.ScalePercent = pct
+	}
 	exps := core.Experiments()
 	if *expID != "" {
 		e, err := core.ExperimentByID(*expID)
+		if err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		exps = []*core.Experiment{e}
+	} else if paper {
+		// -scale paper selects the paper tier: P1 runs each workload at
+		// its PaperScale. The classic experiments keep their calibrated
+		// default scales — rerunning whole tables at 30x length is hours
+		// of work that changes no conclusions; use -exp to force one.
+		e, err := core.ExperimentByID("P1")
 		if err != nil {
 			cliutil.Fatal(tool, err)
 		}

@@ -56,7 +56,7 @@ func TestFacadeWorkloadsAndExperiments(t *testing.T) {
 	if r.Checksum == 0 {
 		t.Error("no checksum")
 	}
-	if len(Experiments()) != 17 {
+	if len(Experiments()) != 18 {
 		t.Error("experiment registry wrong")
 	}
 	e, err := ExperimentByID("T2")

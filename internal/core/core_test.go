@@ -94,8 +94,8 @@ func TestGCOverheadVsBaseline(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 17 {
-		t.Fatalf("expected 17 experiments (13 paper + 4 extensions), got %d: %v", len(ids), ids)
+	if len(ids) != 18 {
+		t.Fatalf("expected 18 experiments (13 paper + 4 extensions + the paper-scale tier), got %d: %v", len(ids), ids)
 	}
 	for _, id := range ids {
 		e, err := ExperimentByID(id)

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"gcsim/internal/gc"
+	"gcsim/internal/vm"
+	"gcsim/internal/workloads"
+)
+
+// TestFusionNeutralRunRecords is the run-record-level differential for the
+// superinstruction rewrite: every registered workload, run at its quick
+// scale with fusion on and off, must produce identical checksums,
+// instruction totals, reference counters, and collector statistics. The
+// vm package pins fusion neutrality on small programs; this pins it on
+// the actual workloads the experiments measure, through the full traced
+// memory path.
+func TestFusionNeutralRunRecords(t *testing.T) {
+	for _, w := range workloads.All() {
+		run := func(noFuse bool) *RunResult {
+			t.Helper()
+			r, err := Run(context.Background(), RunSpec{
+				Workload:  w,
+				Scale:     w.SmallScale,
+				Collector: gc.NewCheney(0),
+				OnMachine: func(m *vm.Machine) { m.NoFuse = noFuse },
+			})
+			if err != nil {
+				t.Fatalf("%s (noFuse=%v): %v", w.Name, noFuse, err)
+			}
+			return r
+		}
+		fused, unfused := run(false), run(true)
+		if fused.Checksum != unfused.Checksum {
+			t.Errorf("%s: fused checksum %d != unfused %d", w.Name, fused.Checksum, unfused.Checksum)
+		}
+		if fused.Insns != unfused.Insns || fused.GCInsns != unfused.GCInsns {
+			t.Errorf("%s: fused insns %d+%d != unfused %d+%d",
+				w.Name, fused.Insns, fused.GCInsns, unfused.Insns, unfused.GCInsns)
+		}
+		if fused.Counters != unfused.Counters {
+			t.Errorf("%s: fused counters %+v != unfused %+v", w.Name, fused.Counters, unfused.Counters)
+		}
+		if fused.GCStats != unfused.GCStats {
+			t.Errorf("%s: fused gc stats %+v != unfused %+v", w.Name, fused.GCStats, unfused.GCStats)
+		}
+	}
+}

@@ -47,6 +47,7 @@ type TraceMeta struct {
 	Collector     string       `json:"collector"`
 	Identity      string       `json:"collector_identity"`
 	FormatVersion int          `json:"format_version"`
+	VMCodeShape   int          `json:"vm_code_shape"`
 	SHA256        string       `json:"sha256"`
 	Refs          uint64       `json:"refs"`
 	TraceBytes    int64        `json:"trace_bytes"`
@@ -119,13 +120,15 @@ func ActiveTraceCache() *TraceCache {
 }
 
 // traceKey derives the content address. Everything that determines the
-// reference stream is in the preimage: the trace format version, the
-// workload and scale (which fix the program), and the collector identity
-// (which fixes every construction-time parameter that changes collection
-// behaviour — see gc.Identity).
+// reference stream is in the preimage: the trace format version, the VM
+// code shape version (packed word layout, superinstruction set, cost
+// table — see vm.CodeShapeVersion), the workload and scale (which fix the
+// program), and the collector identity (which fixes every
+// construction-time parameter that changes collection behaviour — see
+// gc.Identity).
 func traceKey(workload string, scale int, identity string) string {
-	h := sha256.Sum256([]byte(fmt.Sprintf("gcsim-trace|v%d|%s|s%d|%s",
-		traceio.FormatVersion, workload, scale, identity)))
+	h := sha256.Sum256([]byte(fmt.Sprintf("gcsim-trace|v%d|c%d|%s|s%d|%s",
+		traceio.FormatVersion, vm.CodeShapeVersion, workload, scale, identity)))
 	return hex.EncodeToString(h[:])[:24]
 }
 
@@ -202,10 +205,10 @@ func loadTraceMeta(metaPath, tracePath, workload string, scale int, identity str
 		return nil, fmt.Errorf("core: trace cache: %s: schema %q, want %q", metaPath, meta.Schema, TraceMetaSchema)
 	}
 	if meta.Workload != workload || meta.Scale != scale || meta.Identity != identity ||
-		meta.FormatVersion != traceio.FormatVersion {
-		return nil, fmt.Errorf("core: trace cache: %s describes %s/s%d/%s (format v%d), want %s/s%d/%s (format v%d)",
-			metaPath, meta.Workload, meta.Scale, meta.Identity, meta.FormatVersion,
-			workload, scale, identity, traceio.FormatVersion)
+		meta.FormatVersion != traceio.FormatVersion || meta.VMCodeShape != vm.CodeShapeVersion {
+		return nil, fmt.Errorf("core: trace cache: %s describes %s/s%d/%s (format v%d, code shape c%d), want %s/s%d/%s (format v%d, code shape c%d)",
+			metaPath, meta.Workload, meta.Scale, meta.Identity, meta.FormatVersion, meta.VMCodeShape,
+			workload, scale, identity, traceio.FormatVersion, vm.CodeShapeVersion)
 	}
 	if _, err := os.Stat(tracePath); err != nil {
 		return nil, fmt.Errorf("core: trace cache: sidecar %s present but trace missing: %w", metaPath, err)
@@ -272,6 +275,7 @@ func (tc *TraceCache) record(ctx context.Context, w *workloads.Workload, scale i
 		Collector:     res.Collector,
 		Identity:      identity,
 		FormatVersion: traceio.FormatVersion,
+		VMCodeShape:   vm.CodeShapeVersion,
 		SHA256:        hex.EncodeToString(hash.Sum(nil)),
 		Refs:          bw.Count(),
 		TraceBytes:    st.Size(),

@@ -191,8 +191,18 @@ type Memory struct {
 	dynWords   uint64 // words of dynamic backing store allocated
 	tracer     Tracer
 	batch      BatchTracer // non-nil when the tracer is batch-capable
-	chunk      []Ref       // staged refs awaiting delivery to batch
+	chunk      []Ref       // staging buffer, len ChunkRefs when batching
+	pos        int         // next free chunk slot; stageSentinel when not batching
 	collector  bool        // true while a garbage collector is running
+
+	// Mode-dependent hot-path state, maintained by SetCollectorMode so the
+	// per-reference path is branch-free with respect to collector mode: the
+	// counter pointers select C.Loads/C.Stores or C.GCLoads/C.GCStores, and
+	// mode is the Ref flag bit (RefCollector or 0) OR-ed into every staged
+	// reference.
+	loadCtr  *uint64
+	storeCtr *uint64
+	mode     Ref
 
 	C Counters
 }
@@ -204,6 +214,7 @@ func New(tracer Tracer) *Memory {
 		stack:      make([]scheme.Word, StackLimit-StackBase),
 		staticNext: StaticBase,
 	}
+	m.loadCtr, m.storeCtr = &m.C.Loads, &m.C.Stores
 	m.SetTracer(tracer)
 	return m
 }
@@ -220,70 +231,179 @@ func (m *Memory) SetTracer(t Tracer) {
 	if bt, ok := t.(BatchTracer); ok && t != nil {
 		m.batch = bt
 		if m.chunk == nil {
-			m.chunk = make([]Ref, 0, ChunkRefs)
+			m.chunk = make([]Ref, ChunkRefs)
 		}
+		m.pos = 0
 	} else {
 		m.batch = nil
+		m.pos = stageSentinel
 	}
 }
 
+// stageSentinel parks pos beyond every fast-path slot when no batch tracer
+// is installed, steering all references through refSlow's per-reference
+// counting-and-forwarding path without a second branch in the accessors.
+const stageSentinel = ChunkRefs
+
 // FlushTrace delivers any staged references to the batch tracer. The VM
 // calls it at the end of every top-level run and before allocation
-// events; observers that read tracer state mid-run (rather than at a run
-// boundary) must flush first.
+// events; observers that read tracer state or the reference counters
+// mid-run (rather than at a run boundary) must flush first.
 func (m *Memory) FlushTrace() {
-	if len(m.chunk) > 0 {
-		refs := m.chunk
-		m.chunk = m.chunk[:0]
+	if m.batch != nil && m.pos > 0 {
+		refs := m.chunk[:m.pos]
+		m.pos = 0
+		m.countRefs(refs)
 		m.batch.RefBatch(refs)
 	}
+}
+
+// countRefs folds a sealed chunk into the reference counters. On the batch
+// path counting happens here, once per chunk, rather than once per
+// reference in Load/Store: the flag bits of each staged Ref identify the
+// counter it belongs to, so the totals are identical — they just become
+// visible at flush boundaries, which is when the contract lets callers
+// read them.
+func (m *Memory) countRefs(refs []Ref) {
+	// Three independent accumulators keep the loop branch-free and free of
+	// memory-carried dependencies; the four counter deltas are linear
+	// combinations of (total, writes, collector, collector-writes).
+	var wr, col, colwr uint64
+	for _, r := range refs {
+		w := uint64(r) >> 63
+		c := uint64(r) >> 62 & 1
+		wr += w
+		col += c
+		colwr += w & c
+	}
+	n := uint64(len(refs))
+	m.C.Loads += n - wr - col + colwr
+	m.C.Stores += wr - colwr
+	m.C.GCLoads += col - colwr
+	m.C.GCStores += colwr
 }
 
 // Tracer returns the current tracer.
 func (m *Memory) Tracer() Tracer { return m.tracer }
 
 // SetCollectorMode flags subsequent references as collector references.
-func (m *Memory) SetCollectorMode(on bool) { m.collector = on }
+func (m *Memory) SetCollectorMode(on bool) {
+	m.collector = on
+	if on {
+		m.loadCtr, m.storeCtr, m.mode = &m.C.GCLoads, &m.C.GCStores, RefCollector
+	} else {
+		m.loadCtr, m.storeCtr, m.mode = &m.C.Loads, &m.C.Stores, 0
+	}
+}
 
 // CollectorMode reports whether collector mode is active.
 func (m *Memory) CollectorMode() bool { return m.collector }
 
 // Load reads the word at addr, counting and tracing the reference.
+//
+// The accessor bodies below are written to stay under the inlining budget:
+// the common case — a staging slot is free — is three or four instructions,
+// and everything else (sealing a full chunk, unbatched counting and
+// forwarding) lives behind one refSlow call. The sealing reference is
+// stored and delivered inside its own accessor call, so frame boundaries
+// and the instruction clock observed at every seal are identical to the
+// old append-then-flush staging.
 func (m *Memory) Load(addr uint64) scheme.Word {
-	if m.collector {
-		m.C.GCLoads++
+	if p := m.pos; p < ChunkRefs-1 {
+		m.chunk[p] = Ref(addr) | m.mode
+		m.pos = p + 1
 	} else {
-		m.C.Loads++
-	}
-	if m.batch != nil {
-		m.stage(MakeRef(addr, false, m.collector))
-	} else if m.tracer != nil {
-		m.tracer.Ref(addr, false, m.collector)
+		m.refSlow(Ref(addr) | m.mode)
 	}
 	return m.load(addr)
 }
 
 // Store writes the word at addr, counting and tracing the reference.
 func (m *Memory) Store(addr uint64, w scheme.Word) {
-	if m.collector {
-		m.C.GCStores++
+	if p := m.pos; p < ChunkRefs-1 {
+		m.chunk[p] = Ref(addr) | RefWrite | m.mode
+		m.pos = p + 1
 	} else {
-		m.C.Stores++
-	}
-	if m.batch != nil {
-		m.stage(MakeRef(addr, true, m.collector))
-	} else if m.tracer != nil {
-		m.tracer.Ref(addr, true, m.collector)
+		m.refSlow(Ref(addr) | RefWrite | m.mode)
 	}
 	m.store(addr, w)
 }
 
-// stage appends one packed ref to the chunk buffer, sealing and
-// delivering the chunk when it fills.
-func (m *Memory) stage(r Ref) {
-	m.chunk = append(m.chunk, r)
-	if len(m.chunk) == cap(m.chunk) {
+// LoadStack reads a word the caller knows lies in the stack region,
+// counting and tracing exactly like Load but skipping the region dispatch.
+// It is the interpreter's fast path for frame and argument traffic, which
+// dominates the reference stream (the paper's Section 4 stack locality).
+// Addresses outside the stack slice fault via the slice bounds check.
+func (m *Memory) LoadStack(addr uint64) scheme.Word {
+	if p := m.pos; p < ChunkRefs-1 {
+		m.chunk[p] = Ref(addr) | m.mode
+		m.pos = p + 1
+	} else {
+		m.refSlow(Ref(addr) | m.mode)
+	}
+	return m.stack[addr-StackBase]
+}
+
+// StoreStack writes a word the caller knows lies in the stack region; the
+// store-side counterpart of LoadStack.
+func (m *Memory) StoreStack(addr uint64, w scheme.Word) {
+	if p := m.pos; p < ChunkRefs-1 {
+		m.chunk[p] = Ref(addr) | RefWrite | m.mode
+		m.pos = p + 1
+	} else {
+		m.refSlow(Ref(addr) | RefWrite | m.mode)
+	}
+	m.stack[addr-StackBase] = w
+}
+
+// StoreStack4 writes four consecutive stack words starting at addr — the
+// shape of the interpreter's call-frame push, which the paper's reference
+// streams are full of. When four staging slots are free short of the seal
+// point it stages all four references and performs all four stores under a
+// single bounds check each; otherwise it falls back to four ordinary
+// StoreStack calls, so a sealing reference still flushes inside its own
+// accessor call and the reference stream is identical either way.
+func (m *Memory) StoreStack4(addr uint64, w0, w1, w2, w3 scheme.Word) {
+	if p := m.pos; p < ChunkRefs-4 {
+		r := Ref(addr) | RefWrite | m.mode
+		c := m.chunk[p : p+4 : p+4]
+		c[0] = r
+		c[1] = r + 1
+		c[2] = r + 2
+		c[3] = r + 3
+		m.pos = p + 4
+		s := m.stack[addr-StackBase:][:4]
+		s[0], s[1], s[2], s[3] = w0, w1, w2, w3
+		return
+	}
+	m.StoreStack(addr, w0)
+	m.StoreStack(addr+1, w1)
+	m.StoreStack(addr+2, w2)
+	m.StoreStack(addr+3, w3)
+}
+
+// refSlow handles the two uncommon staging outcomes: r seals a full chunk
+// (stored as its last reference, then the whole chunk is counted and
+// delivered — within r's own accessor call, like every sealing reference
+// before it), or no batch tracer is installed and the reference is counted
+// and forwarded one at a time. The Ref flag bits carry everything the
+// unbatched path needs.
+//
+//go:noinline
+func (m *Memory) refSlow(r Ref) {
+	if m.batch != nil {
+		m.chunk[ChunkRefs-1] = r
+		m.pos = ChunkRefs
 		m.FlushTrace()
+		return
+	}
+	if r&RefWrite != 0 {
+		*m.storeCtr++
+	} else {
+		*m.loadCtr++
+	}
+	if m.tracer != nil {
+		m.tracer.Ref(uint64(r&refAddrMask), r&RefWrite != 0, r&RefCollector != 0)
 	}
 }
 

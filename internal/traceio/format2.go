@@ -161,24 +161,53 @@ func (t *BatchWriter) writeFrame(refs []mem.Ref) {
 	if cap(t.enc) < len(refs)*maxRefBytes {
 		t.enc = make([]byte, 0, len(refs)*maxRefBytes)
 	}
-	enc := t.enc[:0]
-	var prev [2]uint64
+	// Encode with direct indexed writes into the pre-sized buffer rather
+	// than binary.AppendUvarint: the append form re-checks capacity per
+	// byte and defeats inlining, and this loop runs once per captured
+	// reference — it is the measured hot spot of live capture. The byte
+	// output is identical to AppendUvarint's.
+	buf := t.enc[:cap(t.enc)]
+	j := 0
+	// The two delta-chain cursors live in locals, not an indexed array, so
+	// the loop-carried dependency runs through registers instead of a
+	// store-to-load round trip per reference.
+	var prev0, prev1 uint64
 	for _, r := range refs {
 		addr := r.Addr()
 		if addr > addrMask {
 			t.err = fmt.Errorf("reference address %#x outside the 61-bit trace ring", addr)
 			return
 		}
-		var chain uint64
+		var d, chainBit uint64
 		if addr >= mem.StaticBase {
-			chain = 1
+			d = (addr - prev1) & addrMask
+			prev1 = addr
+			chainBit = 1 << 2
+		} else {
+			d = (addr - prev0) & addrMask
+			prev0 = addr
 		}
-		d := (addr - prev[chain]) & addrMask
 		s := int64(d<<3) >> 3 // sign-extend the 61-bit ring delta
-		v := (uint64(s<<1)^uint64(s>>63))<<3 | chain<<2
-		enc = binary.AppendUvarint(enc, v|uint64(r.Flags()))
-		prev[chain] = addr
+		v := (uint64(s<<1)^uint64(s>>63))<<3 | chainBit | uint64(r.Flags())
+		switch {
+		case v < 1<<7: // deltas within ±7 words — most stack traffic
+			buf[j] = byte(v)
+			j++
+		case v < 1<<14: // within ±1Ki words — locals and nearby heap
+			buf[j] = byte(v) | 0x80
+			buf[j+1] = byte(v >> 7)
+			j += 2
+		default:
+			for v >= 0x80 {
+				buf[j] = byte(v) | 0x80
+				j++
+				v >>= 7
+			}
+			buf[j] = byte(v)
+			j++
+		}
 	}
+	enc := buf[:j]
 	t.enc = enc
 
 	payload := enc

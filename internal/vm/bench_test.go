@@ -1,0 +1,70 @@
+package vm
+
+import (
+	"testing"
+
+	"gcsim/internal/gc"
+)
+
+// Interpreter microbenchmarks: four instruction mixes that isolate the
+// hot-path costs the packed-word rewrite targets. Each reports simulated
+// insns/s alongside Go's ns/op, so bench-smoke trends catch a dispatch
+// regression even when iteration counts drift.
+//
+//	dispatch  tail-recursive countdown: fetch/decode, a fused
+//	          compare+branch, one arithmetic op, one tail call — the
+//	          leanest loop this VM can express (loops compile to tail
+//	          calls, so this is also the back-edge fuel-check path)
+//	arith     the same loop body widened with fixnum arithmetic chains
+//	calls     naive fib: non-tail calls, frame pushes, returns
+//	cons      list building: allocation and collector pressure (Cheney)
+
+// benchEval evaluates setup once, warms call (compiling and fusing its
+// code), then times b.N evaluations of call, reporting simulated
+// instruction throughput.
+func benchEval(b *testing.B, setup, call string) {
+	m := NewLoaded(nil, gc.NewCheney(0))
+	m.MaxInsns = 1 << 62
+	if _, err := m.Eval(setup); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Eval(call); err != nil {
+		b.Fatal(err)
+	}
+	start := m.Insns()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Eval(call); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	insns := m.Insns() - start
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(insns)/s, "insns/s")
+	}
+}
+
+func BenchmarkDispatchLoop(b *testing.B) {
+	benchEval(b,
+		"(define (spin i) (if (eq? i 0) 0 (spin (- i 1))))",
+		"(spin 200000)")
+}
+
+func BenchmarkArithLoop(b *testing.B) {
+	benchEval(b,
+		"(define (arith i acc) (if (eq? i 0) acc (arith (- i 1) (+ acc (- (* i 3) (* i 2))))))",
+		"(arith 100000 0)")
+}
+
+func BenchmarkCallHeavy(b *testing.B) {
+	benchEval(b,
+		"(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+		"(fib 20)")
+}
+
+func BenchmarkConsHeavy(b *testing.B) {
+	benchEval(b,
+		"(define (build n acc) (if (eq? n 0) acc (build (- n 1) (cons n acc))))",
+		"(begin (build 20000 '()) 0)")
+}

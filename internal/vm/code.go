@@ -70,6 +70,31 @@ const (
 	OpZeroP  // zero?
 	OpVecRef // vector popped, index in acc
 	OpVecSet // vector and index popped, value in acc
+
+	// Superinstructions. These never appear in Code.Instrs — the compiler
+	// emits only the primitive opcodes above — but the packer substitutes
+	// them for hot adjacent pairs when it finalizes a Code (see fusePair).
+	// Each one performs exactly the work of its two components, charging
+	// each component's cost at the point the unfused sequence would, so
+	// instruction totals and the instruction clock observed at every data
+	// reference are bit-identical with fusion on or off.
+	OpLocalPush    // local A; push
+	OpConstPush    // const A; push
+	OpGlobalPush   // global A; push
+	OpFreePush     // free A; push
+	OpPushLocal    // push; local A
+	OpPushCall     // push; call A
+	OpPushTailCall // push; tail-call A
+	OpNumEqJF      // num=; jump-false A
+	OpLessJF       // lt; jump-false A
+	OpLessEqJF     // le; jump-false A
+	OpGreaterJF    // gt; jump-false A
+	OpGreaterEqJF  // ge; jump-false A
+	OpEqJF         // eq?; jump-false A
+	OpNullPJF      // null?; jump-false A
+	OpPairPJF      // pair?; jump-false A
+	OpNotJF        // not; jump-false A
+	OpZeroPJF      // zero?; jump-false A
 	opCount
 )
 
@@ -86,7 +111,15 @@ var opNames = [...]string{
 	OpNumEq: "num=", OpLess: "lt", OpLessEq: "le", OpGreater: "gt",
 	OpGreaterEq: "ge", OpEq: "eq?", OpNullP: "null?", OpPairP: "pair?",
 	OpNot: "not", OpZeroP: "zero?", OpVecRef: "vector-ref",
-	OpVecSet: "vector-set!",
+	OpVecSet:    "vector-set!",
+	OpLocalPush: "local+push", OpConstPush: "const+push",
+	OpGlobalPush: "global+push", OpFreePush: "free+push",
+	OpPushLocal: "push+local", OpPushCall: "push+call",
+	OpPushTailCall: "push+tail-call",
+	OpNumEqJF:      "num=+jf", OpLessJF: "lt+jf", OpLessEqJF: "le+jf",
+	OpGreaterJF: "gt+jf", OpGreaterEqJF: "ge+jf", OpEqJF: "eq?+jf",
+	OpNullPJF: "null?+jf", OpPairPJF: "pair?+jf", OpNotJF: "not+jf",
+	OpZeroPJF: "zero?+jf",
 }
 
 func (o Op) String() string {
@@ -112,6 +145,16 @@ var costs = [opCount]uint64{
 	OpAdd: 5, OpSub: 5, OpMul: 8, OpNumEq: 5, OpLess: 5, OpLessEq: 5,
 	OpGreater: 5, OpGreaterEq: 5, OpEq: 4, OpNullP: 3, OpPairP: 4,
 	OpNot: 3, OpZeroP: 4, OpVecRef: 7, OpVecSet: 7,
+
+	// A superinstruction's table entry is its FIRST component's cost; the
+	// interpreter charges the second component inside the handler at the
+	// point the unfused sequence would have charged it (between the two
+	// components' data references), keeping the instruction clock exact.
+	OpLocalPush: 3, OpConstPush: 2, OpGlobalPush: 4, OpFreePush: 4,
+	OpPushLocal: 3, OpPushCall: 3, OpPushTailCall: 3,
+	OpNumEqJF: 5, OpLessJF: 5, OpLessEqJF: 5, OpGreaterJF: 5,
+	OpGreaterEqJF: 5, OpEqJF: 4, OpNullPJF: 3, OpPairPJF: 4,
+	OpNotJF: 3, OpZeroPJF: 4,
 }
 
 // Instr is one bytecode instruction with up to two immediate operands.
@@ -152,6 +195,12 @@ type Code struct {
 	Prim int
 
 	idx int // position in the machine's code table
+
+	// packed is the instruction stream the interpreter actually executes:
+	// one 64-bit word per Instr (same indices, so jump targets transfer
+	// unchanged), with hot adjacent pairs rewritten into superinstructions.
+	// Built lazily on first entry; nil until then.
+	packed []uint64
 }
 
 // Disassemble renders the code for debugging and tests.
@@ -168,6 +217,169 @@ func (c *Code) Disassemble() string {
 			fmt.Fprintf(&b, "  ; %s", c.Globals[in.A])
 		}
 		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CodeShapeVersion identifies the interpreter's executable code shape: the
+// packed instruction word layout, the superinstruction set, and the cost
+// table — everything that could alter the reference stream or instruction
+// clock a recorded trace embeds. It is part of the trace cache key
+// preimage: bump it whenever any of those change, even "neutrally", so
+// stale cached traces are re-recorded instead of silently replayed against
+// a different interpreter. Version 1 was the pre-packing struct walker
+// (which recorded identical streams, but predates this constant).
+const CodeShapeVersion = 2
+
+// Packed instruction word layout. The interpreter never reads Instr structs
+// in its hot loop: finalize folds each instruction into one 64-bit word —
+// opcode in the low byte, the A operand as a 32-bit two's-complement field,
+// the small B operand (closure free count) in the next 16 bits, and the
+// instruction's base cycle cost in the top byte — so one aligned load
+// fetches a whole instruction, qlang-style, instead of three struct field
+// loads plus a cost-table lookup.
+const (
+	bitsOp     = 8
+	bitsA      = 32
+	bitsB      = 16
+	opMask     = 1<<bitsOp - 1
+	packedBMax = 1 << bitsB
+	costShift  = bitsOp + bitsA + bitsB
+)
+
+// packInstr folds an opcode, its operands, and its base cost into one
+// instruction word. For superinstructions the packed cost is the FIRST
+// component's cost (costs[op] already holds it); the handler charges the
+// second component mid-stream, at the point the unfused pair would have,
+// so the instruction clock observed at every chunk seal is bit-identical
+// to unfused execution.
+func packInstr(op Op, a, b int32) uint64 {
+	return uint64(op) | uint64(uint32(a))<<bitsOp |
+		uint64(uint32(b))<<(bitsOp+bitsA) | costs[op]<<(bitsOp+bitsA+bitsB)
+}
+
+// packedA recovers the sign-extended A operand.
+func packedA(w uint64) int32 { return int32(uint32(w >> bitsOp)) }
+
+// packedB recovers the B operand.
+func packedB(w uint64) int32 { return int32(w >> (bitsOp + bitsA) & (packedBMax - 1)) }
+
+// finalize builds the packed instruction stream, fusing hot adjacent pairs
+// into superinstructions when fuse is set. The packed stream is index-
+// compatible with Instrs: a fused pair occupies the first slot and the
+// handler skips the second, whose word is kept verbatim but never executed
+// (it is provably not a jump target — see the target scan). Callers
+// finalize each Code at most once, on first entry.
+func (c *Code) finalize(fuse bool) {
+	n := len(c.Instrs)
+	packed := make([]uint64, n)
+	for i, in := range c.Instrs {
+		if in.Op == OpClosure && (in.B < 0 || int64(in.B) >= packedBMax) {
+			panic(fmt.Sprintf("vm: closure free count %d overflows packed instruction word", in.B))
+		}
+		packed[i] = packInstr(in.Op, in.A, in.B)
+	}
+	if fuse && n >= 2 {
+		// A slot may be fused away only if control never enters it
+		// directly: collect every pc that a jump or a return can target.
+		target := make([]bool, n)
+		for _, in := range c.Instrs {
+			switch in.Op {
+			case OpJump, OpJumpFalse, OpFrame:
+				if t := int(in.A); 0 <= t && t < n {
+					target[t] = true
+				}
+			}
+		}
+		for i := 0; i+1 < n; i++ {
+			if target[i+1] {
+				continue
+			}
+			if w, ok := fusePair(c.Instrs[i], c.Instrs[i+1]); ok {
+				packed[i] = w
+				i++ // second slot consumed; never fuse it again
+			}
+		}
+	}
+	c.packed = packed
+}
+
+// fusePair returns the superinstruction word for an adjacent opcode pair,
+// if one exists. The table covers the pairs the compiler actually emits
+// back to back: operand loads feeding an argument push (Local/Const/
+// Global/Free + Push), a push followed by a local reload or by the call
+// that consumes the argument (Push + Local/Call/TailCall), and every
+// inlined comparison feeding a conditional branch (cmp + JumpFalse).
+// Frame+Call never fuses in practice: the operator and argument pushes
+// always sit between OpFrame and its OpCall, so that slot of the design
+// space is covered by Push+Call instead.
+func fusePair(a, b Instr) (uint64, bool) {
+	switch {
+	case b.Op == OpPush:
+		switch a.Op {
+		case OpLocal:
+			return packInstr(OpLocalPush, a.A, 0), true
+		case OpConst:
+			return packInstr(OpConstPush, a.A, 0), true
+		case OpGlobal:
+			return packInstr(OpGlobalPush, a.A, 0), true
+		case OpFree:
+			return packInstr(OpFreePush, a.A, 0), true
+		}
+	case a.Op == OpPush:
+		switch b.Op {
+		case OpLocal:
+			return packInstr(OpPushLocal, b.A, 0), true
+		case OpCall:
+			return packInstr(OpPushCall, b.A, 0), true
+		case OpTailCall:
+			return packInstr(OpPushTailCall, b.A, 0), true
+		}
+	case b.Op == OpJumpFalse:
+		var op Op
+		switch a.Op {
+		case OpNumEq:
+			op = OpNumEqJF
+		case OpLess:
+			op = OpLessJF
+		case OpLessEq:
+			op = OpLessEqJF
+		case OpGreater:
+			op = OpGreaterJF
+		case OpGreaterEq:
+			op = OpGreaterEqJF
+		case OpEq:
+			op = OpEqJF
+		case OpNullP:
+			op = OpNullPJF
+		case OpPairP:
+			op = OpPairPJF
+		case OpNot:
+			op = OpNotJF
+		case OpZeroP:
+			op = OpZeroPJF
+		default:
+			return 0, false
+		}
+		return packInstr(op, b.A, 0), true
+	}
+	return 0, false
+}
+
+// DisassemblePacked renders the packed (post-fusion) stream for debugging
+// and fusion tests; slots consumed by a superinstruction are marked.
+func (c *Code) DisassemblePacked() string {
+	var b strings.Builder
+	skip := false
+	for pc, w := range c.packed {
+		op := Op(w & opMask)
+		if skip {
+			fmt.Fprintf(&b, "%4d  (fused into %d)\n", pc, pc-1)
+			skip = false
+			continue
+		}
+		fmt.Fprintf(&b, "%4d  %s %d\n", pc, op, packedA(w))
+		skip = op > OpVecSet
 	}
 	return b.String()
 }

@@ -1,0 +1,209 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"gcsim/internal/scheme"
+)
+
+// These tests pin the two contracts of the packed-word rewrite: safepoint
+// fuel/interrupt checks still stop runs promptly and exactly, and
+// superinstruction fusion changes neither results nor instruction totals.
+
+// runCounting evaluates src on a fresh machine (fused or not) and returns
+// the result, the error, and the simulated instruction total.
+func runCounting(t *testing.T, src string, noFuse bool) (scheme.Word, error, uint64) {
+	t.Helper()
+	m := NewLoaded(nil, nil)
+	m.MaxInsns = 500_000_000
+	m.NoFuse = noFuse
+	w, err := m.Eval(src)
+	return w, err, m.Insns()
+}
+
+// TestFuelStopsWithinOneBasicBlock drives a tail-recursive spin loop —
+// whose only safepoints are the tail-call back-edges — into a small
+// budget and checks the overshoot: the run must stop with
+// ErrFuelExhausted having executed at most one loop body past MaxInsns.
+func TestFuelStopsWithinOneBasicBlock(t *testing.T) {
+	const src = "(define (spin i) (if (eq? i 0) 0 (spin (+ i -1)))) (spin 100000000)"
+
+	// Measure one loop iteration's cost from two budgets far enough apart
+	// to amortize setup, then verify overshoot at several budgets.
+	m := NewLoaded(nil, nil)
+	m.MaxInsns = 500_000_000
+	m.MustEval("(define (spin i) (if (eq? i 0) 0 (spin (+ i -1))))")
+	i0 := m.Insns()
+	m.MustEval("(spin 1000)")
+	i1 := m.Insns()
+	m.MustEval("(spin 2000)")
+	perIter := (m.Insns() - i1 - (i1 - i0)) / 1000
+	if perIter == 0 || perIter > 100 {
+		t.Fatalf("implausible per-iteration cost %d", perIter)
+	}
+
+	for _, budget := range []uint64{10_000, 10_001, 54_321} {
+		m := NewLoaded(nil, nil)
+		m.MaxInsns = budget
+		_, err := m.Eval(src)
+		if err != ErrFuelExhausted {
+			t.Fatalf("budget %d: err = %v, want ErrFuelExhausted", budget, err)
+		}
+		over := m.Insns() - budget
+		if m.Insns() <= budget {
+			t.Fatalf("budget %d: stopped at %d, inside the budget (safepoint fired early)", budget, m.Insns())
+		}
+		// One basic block here is one loop body; allow one extra body for
+		// the block in flight when the budget tripped.
+		if over > 2*perIter {
+			t.Errorf("budget %d: overshot by %d insns, more than two %d-insn loop bodies", budget, over, perIter)
+		}
+	}
+}
+
+// TestInterruptStopsPromptly interrupts a spinning machine before it
+// starts and checks the very first safepoint surfaces ErrInterrupted.
+func TestInterruptStopsPromptly(t *testing.T) {
+	m := NewLoaded(nil, nil)
+	m.MaxInsns = 500_000_000
+	m.MustEval("(define (spin i) (if (eq? i 0) 0 (spin (+ i -1))))")
+	m.Interrupt()
+	start := m.Insns()
+	_, err := m.Eval("(spin 100000000)")
+	if err != ErrInterrupted {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	// The toplevel call is the first safepoint: the run must die within
+	// one basic block of it, not after some slice of the hundred-million
+	// iteration loop.
+	if ran := m.Insns() - start; ran > 1000 {
+		t.Errorf("ran %d insns after a pre-set interrupt, want < 1000", ran)
+	}
+	m.ClearInterrupt()
+	if _, err := m.Eval("(spin 10)"); err != nil {
+		t.Errorf("after ClearInterrupt: %v", err)
+	}
+}
+
+// TestFusionNeutrality runs result- and counter-sensitive programs fused
+// and unfused: results and instruction totals must match exactly — fusion
+// only collapses dispatch, never accounting.
+func TestFusionNeutrality(t *testing.T) {
+	programs := []string{
+		// Every fusable pair: local/const/global/free loads feeding
+		// pushes, pushes feeding calls, and each fused compare+branch.
+		"(define (f a b) (+ a b)) (f 1 2)",
+		"(define g 10) (define (h x) (* g x)) (h 5)",
+		"(define (mk n) (lambda (x) (+ n x))) ((mk 4) 5)",
+		"(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 12)",
+		"(define (count p lst n) (if (null? lst) n (count p (cdr lst) (if (p (car lst)) (+ n 1) n)))) (count pair? (list 1 (list 2) 3 (list 4)) 0)",
+		"(define (spin i acc) (if (eq? i 0) acc (spin (- i 1) (+ acc 1)))) (spin 5000 0)",
+		"(define (cmp a b) (if (>= a b) (if (> a b) 2 1) (if (<= a b) (if (= a b) 99 0) -1))) (+ (cmp 3 2) (cmp 2 2) (cmp 1 2))",
+		"(define (z n) (if (zero? n) 'done (z (- n 1)))) (z 100)",
+		"(define (nn x) (if (not x) 1 0)) (+ (nn #f) (nn 3))",
+		"(let loop ((i 0) (acc '())) (if (= i 20) (length acc) (loop (+ i 1) (cons i acc))))",
+	}
+	for _, src := range programs {
+		fw, ferr, fi := runCounting(t, src, false)
+		uw, uerr, ui := runCounting(t, src, true)
+		if (ferr == nil) != (uerr == nil) {
+			t.Fatalf("%q: fused err %v vs unfused err %v", src, ferr, uerr)
+		}
+		if fw != uw {
+			t.Errorf("%q: fused result %v != unfused %v", src, fw, uw)
+		}
+		if fi != ui {
+			t.Errorf("%q: fused insns %d != unfused %d", src, fi, ui)
+		}
+	}
+}
+
+// FuzzFuse is the differential fuzzer for superinstruction fusion: any
+// program the reader accepts must evaluate to the same result, the same
+// printed output, the same error, and the same instruction total with
+// fusion on and off. The seeds cover every fused pair and the edge shapes
+// the fusion pass reasons about (branch targets between fusable
+// neighbors, closures capturing frames, deep recursion into the fuel
+// budget). (Without -fuzz, go test runs the seed corpus.)
+func FuzzFuse(f *testing.F) {
+	seeds := []string{
+		"(define (f a b) (+ a b)) (f 1 2)",
+		"(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 10)",
+		"(define (mk n) (lambda (x) (+ n x))) ((mk 4) 5)",
+		"(let loop ((i 0) (acc '())) (if (= i 20) (length acc) (loop (+ i 1) (cons i acc))))",
+		"(define (z n) (if (zero? n) 'done (z (- n 1)))) (z 50)",
+		"(display (list 1 2 3)) (newline)",
+		"(define v (make-vector 4 0)) (vector-set! v 2 9) (vector-ref v 2)",
+		"(define (spin i) (if (eq? i 0) 0 (spin (- i 1)))) (spin 1000000)", // trips MaxInsns
+		"(apply + 1 2 (list 3 4))",
+		"(define-syntax inc (syntax-rules () ((_ x) (+ x 1)))) (inc (inc 40))",
+		"(car '())", // runtime error, must match fused/unfused
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if _, err := scheme.ReadAll(src); err != nil {
+			return
+		}
+		type outcome struct {
+			val, out, errs string
+			insns          uint64
+		}
+		run := func(noFuse bool) outcome {
+			m := NewLoaded(nil, nil)
+			m.MaxInsns = 200_000 // bounds runaway fuzz programs, identically on both sides
+			m.NoFuse = noFuse
+			w, err := m.Eval(src)
+			o := outcome{out: m.Output(), insns: m.Insns()}
+			if err != nil {
+				o.errs = err.Error()
+			} else {
+				o.val = m.DescribeValue(w)
+			}
+			return o
+		}
+		fused, unfused := run(false), run(true)
+		if fused != unfused {
+			t.Fatalf("fused and unfused runs diverge for %q:\nfused:   %+v\nunfused: %+v", src, fused, unfused)
+		}
+	})
+}
+
+// TestFusionFiresOnHotPairs proves the fusion pass actually rewrites the
+// pairs it claims to (a neutrality test alone would pass if fusion were
+// accidentally disabled).
+func TestFusionFiresOnHotPairs(t *testing.T) {
+	m := NewLoaded(nil, nil)
+	m.MaxInsns = 500_000_000
+	m.MustEval("(define (f a b) (if (< a b) (f (+ a 1) b) a))")
+	m.MustEval("(f 0 3)") // force finalize+fuse of f's code
+	var dis string
+	for _, c := range m.codes {
+		if c.Name == "f" {
+			dis = c.DisassemblePacked()
+		}
+	}
+	if dis == "" {
+		t.Fatal("procedure f not found in the machine's code table")
+	}
+	for _, want := range []string{"lt+jf", "local+push", "(fused into"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("fused disassembly of f lacks %q:\n%s", want, dis)
+		}
+	}
+
+	// And the jump-target guard: a branch target between two otherwise
+	// fusable instructions must block fusion at that slot.
+	m2 := NewLoaded(nil, nil)
+	m2.MaxInsns = 500_000_000
+	m2.NoFuse = true
+	m2.MustEval("(define (f a b) (if (< a b) (f (+ a 1) b) a))")
+	m2.MustEval("(f 0 3)")
+	for _, c := range m2.codes {
+		if c.Name == "f" && strings.Contains(c.DisassemblePacked(), "(fused into") {
+			t.Error("NoFuse machine still produced fused slots")
+		}
+	}
+}

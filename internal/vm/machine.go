@@ -44,8 +44,16 @@ type Machine struct {
 	barrierCost uint64 // mutator cost per pointer store (generational)
 
 	// MaxInsns aborts a run that exceeds this instruction count (0 means
-	// unlimited); it guards tests against runaway programs.
+	// unlimited); it guards tests against runaway programs. The budget is
+	// enforced at safepoints (calls, applies) and taken backward jumps, not
+	// per instruction, so a run may overshoot by at most one basic block.
 	MaxInsns uint64
+
+	// NoFuse disables superinstruction fusion for code finalized after it
+	// is set. Fusion is semantics- and trace-neutral, so this exists only
+	// for the differential tests that prove it: set it before the code in
+	// question first runs (codes are packed on first entry).
+	NoFuse bool
 
 	// VerifyHeap runs the gc.Verify invariant checker after every
 	// collection; a violation aborts the run with an error wrapping
@@ -215,7 +223,7 @@ func (vm *Machine) push(w Word) {
 	if vm.sp >= mem.StackLimit {
 		panic(ErrStackOverflow)
 	}
-	vm.Mem.Store(vm.sp, w)
+	vm.Mem.StoreStack(vm.sp, w)
 	vm.sp++
 }
 

@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 
+	"gcsim/internal/mem"
 	"gcsim/internal/scheme"
 )
 
@@ -59,117 +60,165 @@ func (vm *Machine) RunCode(code *Code) (result Word, err error) {
 	vm.push(thunk)
 	vm.base = vm.sp
 	vm.clos = thunk
+	if code.packed == nil {
+		code.finalize(!vm.NoFuse)
+	}
 	result = vm.execute(code)
 	vm.sp, vm.base = sp0, base0
 	return result, nil
 }
 
 // arg reads builtin argument i from the stack (traced).
-func (vm *Machine) arg(i int) Word { return vm.Mem.Load(vm.base + uint64(i)) }
+func (vm *Machine) arg(i int) Word { return vm.Mem.LoadStack(vm.base + uint64(i)) }
 
-// nargsIn is set when a primitive stub is entered.
+// checkFuel panics with ErrFuelExhausted once the instruction budget is
+// spent. The interpreter calls it only at safepoints (calls, applies) and
+// on taken backward jumps — not per instruction — so a run can overshoot
+// MaxInsns by at most one basic block before it stops.
+func (vm *Machine) checkFuel() {
+	if vm.MaxInsns != 0 && vm.insns > vm.MaxInsns {
+		panic(ErrFuelExhausted)
+	}
+}
+
+// fusedJF finishes a compare+jump-false superinstruction: it deposits the
+// comparison result in the accumulator, charges the branch component, and
+// returns the next pc (the branch target on #f, or the slot after the
+// consumed jump-false otherwise).
+func (vm *Machine) fusedJF(v Word, target int32, pc int) int {
+	vm.acc = v
+	vm.insns += costs[OpJumpFalse]
+	if v == scheme.False {
+		t := int(target)
+		if t < pc {
+			vm.checkFuel()
+		}
+		return t
+	}
+	return pc + 1
+}
+
+// execute runs the packed instruction stream. The loop is the simulator's
+// innermost hot path: one 64-bit load fetches opcode and operands, fuel
+// and interrupt checks live at safepoints rather than per instruction, and
+// stack traffic goes through the Memory's stack fast path. Superinstruction
+// handlers interleave their two components' cost charges and references
+// exactly as the unfused pair would, so traces and instruction clocks are
+// independent of fusion.
 func (vm *Machine) execute(code *Code) Word {
-	ins := code.Instrs
+	ins := code.packed
 	pc := 0
 	m := vm.Mem
 
 	for {
 		in := ins[pc]
 		pc++
-		vm.insns += costs[in.Op]
-		if vm.MaxInsns != 0 && vm.insns > vm.MaxInsns {
-			panic(ErrFuelExhausted)
-		}
+		op := Op(in & opMask)
+		a := packedA(in)
+		vm.insns += in >> costShift // base cost rides in the word's top byte
 
-		switch in.Op {
+		switch op {
 		case OpConst:
-			vm.acc = code.Consts[in.A]
+			vm.acc = code.Consts[a]
 		case OpLocal:
-			vm.acc = m.Load(vm.base + uint64(in.A))
+			vm.acc = m.LoadStack(vm.base + uint64(a))
 		case OpSetLocal:
-			m.Store(vm.base+uint64(in.A), vm.acc)
+			m.StoreStack(vm.base+uint64(a), vm.acc)
 		case OpFree:
-			vm.acc = m.Load(scheme.PtrAddr(vm.clos) + 2 + uint64(in.A))
+			vm.acc = m.Load(scheme.PtrAddr(vm.clos) + 2 + uint64(a))
 		case OpGlobal:
-			w := m.Load(code.Cells[in.A] + 1)
+			w := m.Load(code.Cells[a] + 1)
 			if w == scheme.Undef {
-				vm.errf("unbound variable: %s", code.Globals[in.A])
+				vm.errf("unbound variable: %s", code.Globals[a])
 			}
 			vm.acc = w
 		case OpSetGlobal:
-			vm.storeSlot(code.Cells[in.A]+1, vm.acc)
+			vm.storeSlot(code.Cells[a]+1, vm.acc)
 		case OpPush:
 			vm.push(vm.acc)
 		case OpPopN:
-			vm.sp -= uint64(in.A)
+			vm.sp -= uint64(a)
 		case OpBox:
 			vm.acc = vm.newCell(vm.acc)
 		case OpBoxRef:
 			vm.acc = m.Load(scheme.PtrAddr(vm.acc) + 1)
 		case OpBoxSet:
 			vm.sp--
-			cell := m.Load(vm.sp)
+			cell := m.LoadStack(vm.sp)
 			vm.storeSlot(scheme.PtrAddr(cell)+1, vm.acc)
 			vm.acc = scheme.Unspec
 		case OpClosure:
-			n := int(in.B)
+			n := int(packedB(in))
 			vm.charge(uint64(n)) // capture copies
 			free := make([]Word, n)
 			for i := 0; i < n; i++ {
-				free[i] = m.Load(vm.sp - uint64(n) + uint64(i))
+				free[i] = m.LoadStack(vm.sp - uint64(n) + uint64(i))
 			}
 			vm.sp -= uint64(n)
-			vm.acc = vm.makeClosure(int(in.A), free)
+			vm.acc = vm.makeClosure(int(a), free)
 		case OpFrame:
-			vm.push(vm.clos)
-			vm.push(scheme.FromFixnum(int64(code.idx)))
-			vm.push(scheme.FromFixnum(int64(in.A)))
-			vm.push(scheme.FromFixnum(int64(vm.base)))
+			// Four-wide frame push: one staging fast path instead of four
+			// push calls. The fallback reproduces push's per-word overflow
+			// behavior exactly (partial pushes, then ErrStackOverflow).
+			if vm.sp+4 <= mem.StackLimit {
+				m.StoreStack4(vm.sp, vm.clos,
+					scheme.FromFixnum(int64(code.idx)),
+					scheme.FromFixnum(int64(a)),
+					scheme.FromFixnum(int64(vm.base)))
+				vm.sp += 4
+			} else {
+				vm.push(vm.clos)
+				vm.push(scheme.FromFixnum(int64(code.idx)))
+				vm.push(scheme.FromFixnum(int64(a)))
+				vm.push(scheme.FromFixnum(int64(vm.base)))
+			}
 		case OpCall:
+			vm.checkFuel()
 			if vm.interrupt.Load() {
 				panic(ErrInterrupted)
 			}
 			if vm.Col.NeedsCollect() {
 				vm.collect()
 			}
-			n := int(in.A)
+			n := int(a)
 			funSlot := vm.sp - uint64(n) - 1
-			fun := m.Load(funSlot)
+			fun := m.LoadStack(funSlot)
 			code = vm.enter(fun, n, funSlot+1)
-			ins = code.Instrs
+			ins = code.packed
 			pc = 0
 		case OpTailCall:
+			vm.checkFuel()
 			if vm.interrupt.Load() {
 				panic(ErrInterrupted)
 			}
 			if vm.Col.NeedsCollect() {
 				vm.collect()
 			}
-			n := int(in.A)
+			n := int(a)
 			src := vm.sp - uint64(n) - 1
 			dst := vm.base - 1
 			var fun Word
 			if src == dst {
-				fun = m.Load(dst)
+				fun = m.LoadStack(dst)
 			} else {
 				vm.charge(uint64(2 * (n + 1)))
 				for i := 0; i <= n; i++ {
-					w := m.Load(src + uint64(i))
+					w := m.LoadStack(src + uint64(i))
 					if i == 0 {
 						fun = w
 					}
-					m.Store(dst+uint64(i), w)
+					m.StoreStack(dst+uint64(i), w)
 				}
 			}
 			vm.sp = vm.base + uint64(n)
 			code = vm.enter(fun, n, vm.base)
-			ins = code.Instrs
+			ins = code.packed
 			pc = 0
 		case OpReturn:
-			savedClos := m.Load(vm.base - 5)
-			savedCode := scheme.FixnumValue(m.Load(vm.base - 4))
-			savedPC := scheme.FixnumValue(m.Load(vm.base - 3))
-			savedBase := scheme.FixnumValue(m.Load(vm.base - 2))
+			savedClos := m.LoadStack(vm.base - 5)
+			savedCode := scheme.FixnumValue(m.LoadStack(vm.base - 4))
+			savedPC := scheme.FixnumValue(m.LoadStack(vm.base - 3))
+			savedBase := scheme.FixnumValue(m.LoadStack(vm.base - 2))
 			vm.sp = vm.base - 5
 			if savedCode == haltSentinel {
 				return vm.acc
@@ -177,18 +226,26 @@ func (vm *Machine) execute(code *Code) Word {
 			vm.clos = savedClos
 			vm.base = uint64(savedBase)
 			code = vm.codes[savedCode]
-			ins = code.Instrs
+			ins = code.packed
 			pc = int(savedPC)
 		case OpJump:
-			pc = int(in.A)
+			t := int(a)
+			if t < pc {
+				vm.checkFuel()
+			}
+			pc = t
 		case OpJumpFalse:
 			if vm.acc == scheme.False {
-				pc = int(in.A)
+				t := int(a)
+				if t < pc {
+					vm.checkFuel()
+				}
+				pc = t
 			}
 		case OpHalt:
 			return vm.acc
 		case OpPrim:
-			f := &builtins[in.A]
+			f := &builtins[a]
 			n := int(vm.sp - vm.base)
 			if n < f.MinArgs || (!f.Variadic && n != f.MinArgs) {
 				vm.errf("%s: expected %d arguments, got %d", f.Name, f.MinArgs, n)
@@ -196,54 +253,55 @@ func (vm *Machine) execute(code *Code) Word {
 			vm.charge(f.Cost)
 			vm.acc = f.Fn(vm, n)
 		case OpApply:
+			vm.checkFuel()
 			code = vm.applySpecial()
-			ins = code.Instrs
+			ins = code.packed
 			pc = 0
 
 		case OpCons:
 			vm.sp--
-			vm.acc = vm.cons(m.Load(vm.sp), vm.acc)
+			vm.acc = vm.cons(m.LoadStack(vm.sp), vm.acc)
 		case OpCar:
 			vm.acc = vm.car(vm.acc)
 		case OpCdr:
 			vm.acc = vm.cdr(vm.acc)
 		case OpSetCar:
 			vm.sp--
-			p := m.Load(vm.sp)
+			p := m.LoadStack(vm.sp)
 			vm.storeSlot(vm.checkKind(p, scheme.KindPair, "set-car!")+1, vm.acc)
 			vm.acc = scheme.Unspec
 		case OpSetCdr:
 			vm.sp--
-			p := m.Load(vm.sp)
+			p := m.LoadStack(vm.sp)
 			vm.storeSlot(vm.checkKind(p, scheme.KindPair, "set-cdr!")+2, vm.acc)
 			vm.acc = scheme.Unspec
 		case OpAdd:
 			vm.sp--
-			vm.acc = vm.numAdd(m.Load(vm.sp), vm.acc)
+			vm.acc = vm.numAdd(m.LoadStack(vm.sp), vm.acc)
 		case OpSub:
 			vm.sp--
-			vm.acc = vm.numSub(m.Load(vm.sp), vm.acc)
+			vm.acc = vm.numSub(m.LoadStack(vm.sp), vm.acc)
 		case OpMul:
 			vm.sp--
-			vm.acc = vm.numMul(m.Load(vm.sp), vm.acc)
+			vm.acc = vm.numMul(m.LoadStack(vm.sp), vm.acc)
 		case OpNumEq:
 			vm.sp--
-			vm.acc = scheme.FromBool(vm.numCompare(m.Load(vm.sp), vm.acc, "=") == 0)
+			vm.acc = scheme.FromBool(vm.numCompare(m.LoadStack(vm.sp), vm.acc, "=") == 0)
 		case OpLess:
 			vm.sp--
-			vm.acc = scheme.FromBool(vm.numCompare(m.Load(vm.sp), vm.acc, "<") < 0)
+			vm.acc = scheme.FromBool(vm.numCompare(m.LoadStack(vm.sp), vm.acc, "<") < 0)
 		case OpLessEq:
 			vm.sp--
-			vm.acc = scheme.FromBool(vm.numCompare(m.Load(vm.sp), vm.acc, "<=") <= 0)
+			vm.acc = scheme.FromBool(vm.numCompare(m.LoadStack(vm.sp), vm.acc, "<=") <= 0)
 		case OpGreater:
 			vm.sp--
-			vm.acc = scheme.FromBool(vm.numCompare(m.Load(vm.sp), vm.acc, ">") > 0)
+			vm.acc = scheme.FromBool(vm.numCompare(m.LoadStack(vm.sp), vm.acc, ">") > 0)
 		case OpGreaterEq:
 			vm.sp--
-			vm.acc = scheme.FromBool(vm.numCompare(m.Load(vm.sp), vm.acc, ">=") >= 0)
+			vm.acc = scheme.FromBool(vm.numCompare(m.LoadStack(vm.sp), vm.acc, ">=") >= 0)
 		case OpEq:
 			vm.sp--
-			vm.acc = scheme.FromBool(m.Load(vm.sp) == vm.acc)
+			vm.acc = scheme.FromBool(m.LoadStack(vm.sp) == vm.acc)
 		case OpNullP:
 			vm.acc = scheme.FromBool(vm.acc == scheme.Nil)
 		case OpPairP:
@@ -254,16 +312,118 @@ func (vm *Machine) execute(code *Code) Word {
 			vm.acc = scheme.FromBool(vm.numCompare(vm.acc, scheme.FromFixnum(0), "zero?") == 0)
 		case OpVecRef:
 			vm.sp--
-			v := m.Load(vm.sp)
+			v := m.LoadStack(vm.sp)
 			vm.acc = vm.vectorRef(v, vm.fixArg(vm.acc, "vector-ref"), "vector-ref")
 		case OpVecSet:
 			vm.sp -= 2
-			v := m.Load(vm.sp)
-			i := vm.fixArg(m.Load(vm.sp+1), "vector-set!")
+			v := m.LoadStack(vm.sp)
+			i := vm.fixArg(m.LoadStack(vm.sp+1), "vector-set!")
 			vm.vectorSet(v, i, vm.acc, "vector-set!")
 			vm.acc = scheme.Unspec
+
+		case OpLocalPush:
+			vm.acc = m.LoadStack(vm.base + uint64(a))
+			vm.insns += costs[OpPush]
+			vm.push(vm.acc)
+			pc++
+		case OpConstPush:
+			vm.acc = code.Consts[a]
+			vm.insns += costs[OpPush]
+			vm.push(vm.acc)
+			pc++
+		case OpGlobalPush:
+			w := m.Load(code.Cells[a] + 1)
+			if w == scheme.Undef {
+				vm.errf("unbound variable: %s", code.Globals[a])
+			}
+			vm.acc = w
+			vm.insns += costs[OpPush]
+			vm.push(w)
+			pc++
+		case OpFreePush:
+			vm.acc = m.Load(scheme.PtrAddr(vm.clos) + 2 + uint64(a))
+			vm.insns += costs[OpPush]
+			vm.push(vm.acc)
+			pc++
+		case OpPushLocal:
+			vm.push(vm.acc)
+			vm.insns += costs[OpLocal]
+			vm.acc = m.LoadStack(vm.base + uint64(a))
+			pc++
+		case OpPushCall:
+			vm.push(vm.acc)
+			vm.insns += costs[OpCall]
+			vm.checkFuel()
+			if vm.interrupt.Load() {
+				panic(ErrInterrupted)
+			}
+			if vm.Col.NeedsCollect() {
+				vm.collect()
+			}
+			n := int(a)
+			funSlot := vm.sp - uint64(n) - 1
+			fun := m.LoadStack(funSlot)
+			code = vm.enter(fun, n, funSlot+1)
+			ins = code.packed
+			pc = 0
+		case OpPushTailCall:
+			vm.push(vm.acc)
+			vm.insns += costs[OpTailCall]
+			vm.checkFuel()
+			if vm.interrupt.Load() {
+				panic(ErrInterrupted)
+			}
+			if vm.Col.NeedsCollect() {
+				vm.collect()
+			}
+			n := int(a)
+			src := vm.sp - uint64(n) - 1
+			dst := vm.base - 1
+			var fun Word
+			if src == dst {
+				fun = m.LoadStack(dst)
+			} else {
+				vm.charge(uint64(2 * (n + 1)))
+				for i := 0; i <= n; i++ {
+					w := m.LoadStack(src + uint64(i))
+					if i == 0 {
+						fun = w
+					}
+					m.StoreStack(dst+uint64(i), w)
+				}
+			}
+			vm.sp = vm.base + uint64(n)
+			code = vm.enter(fun, n, vm.base)
+			ins = code.packed
+			pc = 0
+		case OpNumEqJF:
+			vm.sp--
+			pc = vm.fusedJF(scheme.FromBool(vm.numCompare(m.LoadStack(vm.sp), vm.acc, "=") == 0), a, pc)
+		case OpLessJF:
+			vm.sp--
+			pc = vm.fusedJF(scheme.FromBool(vm.numCompare(m.LoadStack(vm.sp), vm.acc, "<") < 0), a, pc)
+		case OpLessEqJF:
+			vm.sp--
+			pc = vm.fusedJF(scheme.FromBool(vm.numCompare(m.LoadStack(vm.sp), vm.acc, "<=") <= 0), a, pc)
+		case OpGreaterJF:
+			vm.sp--
+			pc = vm.fusedJF(scheme.FromBool(vm.numCompare(m.LoadStack(vm.sp), vm.acc, ">") > 0), a, pc)
+		case OpGreaterEqJF:
+			vm.sp--
+			pc = vm.fusedJF(scheme.FromBool(vm.numCompare(m.LoadStack(vm.sp), vm.acc, ">=") >= 0), a, pc)
+		case OpEqJF:
+			vm.sp--
+			pc = vm.fusedJF(scheme.FromBool(m.LoadStack(vm.sp) == vm.acc), a, pc)
+		case OpNullPJF:
+			pc = vm.fusedJF(scheme.FromBool(vm.acc == scheme.Nil), a, pc)
+		case OpPairPJF:
+			pc = vm.fusedJF(scheme.FromBool(vm.isKind(vm.acc, scheme.KindPair)), a, pc)
+		case OpNotJF:
+			pc = vm.fusedJF(scheme.FromBool(vm.acc == scheme.False), a, pc)
+		case OpZeroPJF:
+			pc = vm.fusedJF(scheme.FromBool(vm.numCompare(vm.acc, scheme.FromFixnum(0), "zero?") == 0), a, pc)
 		default:
-			vm.errf("internal error: bad opcode %v", in.Op)
+			vm.errf("internal error: bad opcode %v", op)
 		}
 	}
 }
@@ -272,6 +432,9 @@ func (vm *Machine) execute(code *Code) Word {
 // [newBase, newBase+n); it returns the code to execute.
 func (vm *Machine) enter(fun Word, n int, newBase uint64) *Code {
 	code := vm.closureCode(fun)
+	if code.packed == nil {
+		code.finalize(!vm.NoFuse)
+	}
 	if code.Prim < 0 {
 		switch {
 		case code.Rest:
@@ -281,7 +444,7 @@ func (vm *Machine) enter(fun Word, n int, newBase uint64) *Code {
 			}
 			rest := scheme.Nil
 			for i := n - 1; i >= code.NArgs; i-- {
-				rest = vm.cons(vm.Mem.Load(newBase+uint64(i)), rest)
+				rest = vm.cons(vm.Mem.LoadStack(newBase+uint64(i)), rest)
 			}
 			vm.sp = newBase + uint64(code.NArgs)
 			vm.push(rest)
@@ -310,12 +473,12 @@ func (vm *Machine) applySpecial() *Code {
 	if k < 2 {
 		vm.errf("apply: expected at least 2 arguments, got %d", k)
 	}
-	fun := m.Load(vm.base)
-	lstw := m.Load(vm.base + uint64(k) - 1)
-	m.Store(vm.base-1, fun)
+	fun := m.LoadStack(vm.base)
+	lstw := m.LoadStack(vm.base + uint64(k) - 1)
+	m.StoreStack(vm.base-1, fun)
 	n := 0
 	for i := 1; i < k-1; i++ {
-		m.Store(vm.base+uint64(n), m.Load(vm.base+uint64(i)))
+		m.StoreStack(vm.base+uint64(n), m.LoadStack(vm.base+uint64(i)))
 		n++
 	}
 	for lstw != scheme.Nil {
@@ -323,7 +486,7 @@ func (vm *Machine) applySpecial() *Code {
 			vm.errf("apply: final argument is not a proper list")
 		}
 		a := scheme.PtrAddr(lstw)
-		m.Store(vm.base+uint64(n), m.Load(a+1))
+		m.StoreStack(vm.base+uint64(n), m.Load(a+1))
 		n++
 		lstw = m.Load(a + 2)
 		vm.charge(3)

@@ -29,6 +29,12 @@ type Workload struct {
 	// DefaultScale drives the full experiment runs; SmallScale keeps unit
 	// tests and -short benchmarks quick.
 	DefaultScale, SmallScale int
+	// PaperScale reaches the paper's run magnitude: 2-7 billion simulated
+	// instructions per run (Section 3 sizes its programs in the billions;
+	// the default runs are ~30x shorter). Only the five primary workloads
+	// carry one; it drives the P1 paper-tier experiment, whose traces are
+	// meant to be recorded once into a trace cache and kept warm.
+	PaperScale int
 	// Description summarizes the program for reports.
 	Description string
 	// Inline, when non-empty, is the workload's Scheme text itself; File is
@@ -42,27 +48,27 @@ func All() []*Workload {
 	return []*Workload{
 		{
 			Name: "tc", PaperProgram: "orbit", File: "tc.scm", Entry: "tc-main",
-			DefaultScale: 1200, SmallScale: 40,
+			DefaultScale: 1200, SmallScale: 40, PaperScale: 36000,
 			Description: "five-pass Scheme-subset compiler compiling a generated corpus",
 		},
 		{
 			Name: "prover", PaperProgram: "imps", File: "prover.scm", Entry: "prover-main",
-			DefaultScale: 2500, SmallScale: 60,
+			DefaultScale: 2500, SmallScale: 60, PaperScale: 50000,
 			Description: "rewriting tautology prover with memoized bottom-up rewriting",
 		},
 		{
 			Name: "lambda", PaperProgram: "lp", File: "lambda.scm", Entry: "lambda-main",
-			DefaultScale: 1000, SmallScale: 150,
+			DefaultScale: 1000, SmallScale: 150, PaperScale: 3300,
 			Description: "lambda-calculus reducer with a monotonically growing live trail",
 		},
 		{
 			Name: "nbody", PaperProgram: "nbody", File: "nbody.scm", Entry: "nbody-main",
-			DefaultScale: 3, SmallScale: 1,
+			DefaultScale: 3, SmallScale: 1, PaperScale: 60,
 			Description: "Barnes-Hut 3-D N-body accelerations of 256 point masses",
 		},
 		{
 			Name: "match", PaperProgram: "gambit", File: "match.scm", Entry: "match-main",
-			DefaultScale: 1000, SmallScale: 40,
+			DefaultScale: 1000, SmallScale: 40, PaperScale: 15000,
 			Description: "pattern-matching CPS compiler with record (vector) nodes",
 		},
 	}

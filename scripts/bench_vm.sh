@@ -1,0 +1,107 @@
+#!/bin/sh
+# Benchmarks the interpreter fast path: the live-capture throughput the
+# packed-word rewrite bought, and the four internal/vm microbenchmarks
+# that isolate its dispatch costs. Two checks gate, one pins correctness:
+#
+#   capture    gctrace -capture on the tc workload (best of $REPEATS):
+#              the end-to-end VM + trace-encode rate that bounds how fast
+#              a trace cache primes. Gated at MIN_CAPTURE_REFS_PER_SEC
+#              (default 90M refs/s — 3x the 30M pre-rewrite seed).
+#   trace sha  the captured trace's sha256 must equal EXPECTED_TRACE_SHA:
+#              the packed-word interpreter, superinstruction fusion, and
+#              cost accounting must reproduce the pre-rewrite reference
+#              stream byte-for-byte. Set EXPECTED_TRACE_SHA=skip after a
+#              deliberate stream change (then refresh the value here).
+#   micro      go test -bench over internal/vm: dispatch-only, arithmetic,
+#              call-heavy, and cons-heavy loops, each reporting simulated
+#              insns/s (reported, not gated — CI trends catch drift).
+#
+# Output (under $BENCH_DIR, default bench-out/, which is gitignored; the
+# committed BENCH_vm.json at the repository root is the seed baseline,
+# refreshed deliberately, not on every run):
+#   BENCH_vm.json   summary consumed by CI trend tracking
+set -eu
+
+cd "$(dirname "$0")/.."
+bench_dir="${BENCH_DIR:-bench-out}"
+mkdir -p "$bench_dir"
+out="${1:-$bench_dir/BENCH_vm.json}"
+workload="${WORKLOAD:-tc}"
+collector="${COLLECTOR:-cheney}"
+repeats="${REPEATS:-5}"
+benchtime="${BENCHTIME:-1s}"
+min_capture="${MIN_CAPTURE_REFS_PER_SEC:-90000000}"
+baseline="${CAPTURE_BASELINE_REFS_PER_SEC:-30000000}" # pre-rewrite seed rate
+# sha256 of the tc/cheney default-scale v2 trace; the stream contract.
+expected_sha="${EXPECTED_TRACE_SHA:-e386dee7b24da0009b885d16ec02863cb340907785a59a50247c6447abfd24de}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "building gctrace"
+go build -o "$tmp/gctrace" ./cmd/gctrace
+
+# --- capture: live VM recording rate (best of $repeats) -------------------
+capture_mrefs=0
+i=0
+while [ "$i" -lt "$repeats" ]; do
+    "$tmp/gctrace" -capture "$tmp/trace.v2" -workload "$workload" \
+        -gc "$collector" > "$tmp/capture.txt"
+    m=$(sed -n 's/^throughput: \([0-9.]*\)M refs\/s.*/\1/p' "$tmp/capture.txt")
+    capture_mrefs=$(awk -v a="$capture_mrefs" -v b="$m" 'BEGIN { print (b > a) ? b : a }')
+    i=$((i + 1))
+done
+cat "$tmp/capture.txt"
+echo "capture: ${capture_mrefs}M refs/s (best of $repeats)"
+refs=$(sed -n 's/^captured \([0-9]*\) references.*/\1/p' "$tmp/capture.txt")
+trace_sha=$(sha256sum "$tmp/trace.v2" | awk '{ print $1 }')
+if [ "$expected_sha" != "skip" ] && [ "$trace_sha" != "$expected_sha" ]; then
+    echo "FAIL: trace sha256 $trace_sha != expected $expected_sha" >&2
+    echo "      (the interpreter rewrite changed the reference stream;" >&2
+    echo "      if deliberate, bump vm.CodeShapeVersion and refresh this sha)" >&2
+    exit 1
+fi
+echo "trace: sha256 matches the pre-rewrite stream"
+
+# --- micro: the four internal/vm instruction-mix benchmarks ---------------
+go test ./internal/vm -run '^$' \
+    -bench 'BenchmarkDispatchLoop|BenchmarkArithLoop|BenchmarkCallHeavy|BenchmarkConsHeavy' \
+    -benchtime "$benchtime" | tee "$tmp/micro.txt"
+# Benchmark lines: BenchmarkDispatchLoop-8  N  ns/op  X insns/s
+micro_json=$(awk '/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) if ($(i + 1) == "insns/s") rate = $i
+    printf "  \"%s_insns_per_sec\": %.0f,\n", tolower(name), rate
+}' "$tmp/micro.txt")
+if [ -z "$micro_json" ]; then
+    echo "FAIL: no insns/s metrics parsed from the microbenchmarks" >&2
+    exit 1
+fi
+
+awk -v cap="$capture_mrefs" -v base="$baseline" -v mincap="$min_capture" \
+    -v refs="$refs" -v sha="$trace_sha" -v wl="$workload" -v col="$collector" \
+    -v micro="$micro_json" '
+BEGIN {
+    capps = cap * 1e6
+    speedup = capps / base
+    printf "{\n"
+    printf "  \"workload\": \"%s\",\n", wl
+    printf "  \"collector\": \"%s\",\n", col
+    printf "  \"refs\": %d,\n", refs
+    printf "  \"trace_sha256\": \"%s\",\n", sha
+    printf "  \"capture_refs_per_sec\": %.0f,\n", capps
+    printf "  \"capture_baseline_refs_per_sec\": %.0f,\n", base
+    printf "  \"capture_speedup\": %.2f,\n", speedup
+    printf "  \"min_capture_refs_per_sec\": %.0f,\n", mincap
+    printf "%s\n", micro
+    printf "  \"note\": \"capture_refs_per_sec: live VM recording rate (gctrace -capture, best-of-N) — the packed-word interpreter end to end, gated at min_capture_refs_per_sec (3x the pre-rewrite seed in capture_baseline_refs_per_sec). trace_sha256: the captured stream must be byte-identical to the pre-rewrite reference trace; a mismatch means fusion or cost accounting changed simulated behavior. *_insns_per_sec: the internal/vm microbenchmarks (dispatch-only, arithmetic, call-heavy, cons-heavy), reported for CI trend tracking, not gated.\"\n"
+    printf "}\n"
+    if (capps < mincap) {
+        printf "FAIL: capture rate %.0f refs/s below the %.0f floor\n", \
+            capps, mincap > "/dev/stderr"
+        exit 1
+    }
+}' > "$out"
+
+cat "$out"

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Nightly paper-tier smoke: run one billion-instruction workload through
+# gcbench -scale paper twice against the same trace cache. The first pass
+# records the reference stream at live-capture speed if the cache is cold
+# (first night, or after a CodeShapeVersion/FormatVersion bump invalidated
+# it) and replays if warm; the second pass always replays. Requiring both
+# reports byte-identical proves record and replay agree at paper scale,
+# and the touch keeps the CI cache entry warm for the next night.
+#
+# Outputs (under $BENCH_DIR/nightly-paper): pass1.txt, pass2.txt.
+# The trace cache itself lives in $TRACE_CACHE_DIR (persisted across
+# nights by actions/cache).
+set -eu
+
+cd "$(dirname "$0")/.."
+bench_dir="${BENCH_DIR:-bench-out}"
+cache_dir="${TRACE_CACHE_DIR:-$bench_dir/paper-traces}"
+workload="${WORKLOAD:-tc}"
+out="$bench_dir/nightly-paper"
+mkdir -p "$cache_dir" "$out"
+
+go build -o "$out/gcbench" ./cmd/gcbench
+
+echo "== pass 1: cold cache records, warm cache replays"
+"$out/gcbench" -scale paper -workloads "$workload" -trace-cache "$cache_dir" \
+    -progress > "$out/pass1.txt"
+echo "== pass 2: always replays"
+"$out/gcbench" -scale paper -workloads "$workload" -trace-cache "$cache_dir" \
+    -progress > "$out/pass2.txt"
+
+# The reports must agree byte-for-byte; only the wall-clock trailer lines
+# ("(P1 completed in 12.3s)") legitimately differ.
+for f in pass1 pass2; do
+    sed '/ completed in /d' "$out/$f.txt" > "$out/$f.cmp"
+done
+if ! cmp -s "$out/pass1.cmp" "$out/pass2.cmp"; then
+    echo "FAIL: paper-tier record and replay reports differ" >&2
+    diff "$out/pass1.cmp" "$out/pass2.cmp" >&2 || true
+    exit 1
+fi
+echo "paper tier: $workload record and replay reports byte-identical"
+du -sh "$cache_dir"
