@@ -17,6 +17,11 @@
 //	GET    /healthz             health probe: pool depth, store writable, trace-cache stat
 //	GET    /dashboard           live HTML dashboard (SSE-fed job table and stage latencies)
 //	GET    /dashboard/events    the dashboard's SSE feed
+//	GET    /castore/v1/blobs/{id}  this node's recorded trace blobs, by sha256
+//	POST   /cluster/v1/workers  (coordinator) worker registration + heartbeat
+//	GET    /cluster/v1/workers  (coordinator) the fleet view
+//	POST   /cluster/v1/traces/{claim,publish}  (coordinator) record-exactly-once arbitration
+//	GET    /cluster/v1/blobs/{id}  (coordinator) any fleet trace by sha256, fan-out
 //
 // Jobs persist under the state directory and survive restarts: completed
 // configurations land in per-job checkpoint files as they finish, so a
@@ -28,7 +33,20 @@
 //
 //	gcsimd [-addr host:port] [-state dir] [-workers N] [-parallel N]
 //	       [-trace-cache dir|none] [-tenants file] [-queue-high-water N]
+//	       [-role standalone|coordinator|worker] [-peers url]
+//	       [-node name] [-advertise url] [-heartbeat d]
 //	       [-verify-heap] [-drain-timeout d] [-debug-addr host:port] [-v]
+//
+// Cluster mode: a coordinator (-role coordinator) accepts jobs as usual
+// but shards each one's configuration matrix across the workers that
+// registered with it; workers (-role worker -peers <coordinator-url>)
+// execute shards and resolve trace-cache misses through the fleet, so
+// every reference stream is recorded exactly once cluster-wide and
+// fetched by content hash everywhere else. Reports from a cluster sweep
+// are byte-identical to the same job on a single node. A worker that
+// dies mid-sweep is detected by missed heartbeats (or a failed dispatch)
+// and its configurations are re-sharded over the survivors, resuming
+// from the coordinator's checkpoints.
 //
 // With -tenants, every /v1 route requires an API key from the config
 // file ({"tenants": [{"name", "key", "rate_per_sec", "burst",
@@ -52,6 +70,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,6 +90,11 @@ func main() {
 	traceCacheDir := flag.String("trace-cache", "", `trace cache directory shared by all jobs (default <state>/trace-cache; "none" disables record-once/replay-many)`)
 	tenantsPath := flag.String("tenants", "", "tenants config file (JSON; empty = open single-tenant mode, no API keys)")
 	highWater := flag.Int("queue-high-water", 0, "queue depth beyond which submissions are shed with 429 + Retry-After (0 = default)")
+	role := flag.String("role", "", `cluster role: "" or "standalone", "coordinator", or "worker"`)
+	peers := flag.String("peers", "", "coordinator base URL to register with (workers; first of a comma-separated list is used)")
+	nodeName := flag.String("node", "", "this node's cluster name (default: its advertise URL)")
+	advertise := flag.String("advertise", "", "URL peers reach this node at (default http://<listen address>)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "worker heartbeat interval")
 	verifyHeap := flag.Bool("verify-heap", false, "verify heap invariants after every collection")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long to wait for open HTTP connections on shutdown")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (off when empty)")
@@ -119,20 +143,37 @@ func main() {
 		tenants = reg
 	}
 
-	srv, err := server.New(server.Config{
-		StateDir:       *stateDir,
-		Workers:        *workers,
-		TraceCache:     tc,
-		Progress:       prog,
-		Spans:          spans,
-		Tenants:        tenants,
-		QueueHighWater: *highWater,
-	})
+	// Listen before building the server: a worker's default advertise URL
+	// needs the resolved port when -addr ends in :0.
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		cliutil.Fatal(tool, err)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	srvRole := *role
+	if srvRole == "standalone" {
+		srvRole = server.RoleStandalone
+	}
+	coordinator, _, _ := strings.Cut(*peers, ",")
+	advertiseURL := *advertise
+	if advertiseURL == "" {
+		advertiseURL = "http://" + ln.Addr().String()
+	}
+	srv, err := server.New(server.Config{
+		StateDir:        *stateDir,
+		Workers:         *workers,
+		TraceCache:      tc,
+		Progress:        prog,
+		Spans:           spans,
+		Tenants:         tenants,
+		QueueHighWater:  *highWater,
+		Role:            srvRole,
+		Coordinator:     coordinator,
+		NodeName:        *nodeName,
+		AdvertiseURL:    advertiseURL,
+		HeartbeatEvery:  *heartbeat,
+		WorkerDeadAfter: 5 * *heartbeat,
+	})
 	if err != nil {
 		cliutil.Fatal(tool, err)
 	}

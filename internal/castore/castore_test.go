@@ -1,0 +1,372 @@
+package castore
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// backends returns one freshly constructed store per backend, keyed
+// by name. The HTTP backend is a client over a mem-backed Handler, so
+// the golden-equivalence test exercises the wire protocol too.
+func backends(t *testing.T) map[string]Store {
+	t.Helper()
+	dir, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(NewMem()))
+	t.Cleanup(srv.Close)
+	return map[string]Store{
+		"dir":  dir,
+		"mem":  NewMem(),
+		"http": NewHTTPStore(srv.URL, srv.Client()),
+	}
+}
+
+func testBlobs() [][]byte {
+	return [][]byte{
+		[]byte(""),
+		[]byte("a"),
+		[]byte("the same trace bytes on every backend"),
+		bytes.Repeat([]byte{0xde, 0xad, 0xbe, 0xef}, 4096),
+	}
+}
+
+// TestGoldenEquivalence: identical content must yield identical
+// addresses and identical bytes back on every backend.
+func TestGoldenEquivalence(t *testing.T) {
+	ctx := context.Background()
+	blobs := testBlobs()
+	want := make([]ID, len(blobs))
+	for i, b := range blobs {
+		want[i] = Sum(b)
+	}
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			for i, b := range blobs {
+				id, err := s.Post(ctx, b)
+				if err != nil {
+					t.Fatalf("post blob %d: %v", i, err)
+				}
+				if id != want[i] {
+					t.Fatalf("blob %d: address %s, want %s", i, id, want[i])
+				}
+				got, err := s.Get(ctx, id)
+				if err != nil {
+					t.Fatalf("get blob %d: %v", i, err)
+				}
+				if !bytes.Equal(got, b) {
+					t.Fatalf("blob %d: bytes differ after round trip", i)
+				}
+				ok, err := s.Exists(ctx, id)
+				if err != nil || !ok {
+					t.Fatalf("blob %d: exists = %v, %v", i, ok, err)
+				}
+			}
+			var ids []string
+			if err := s.List(ctx, func(id ID) error { ids = append(ids, id.String()); return nil }); err != nil {
+				t.Fatalf("list: %v", err)
+			}
+			if len(ids) != len(blobs) {
+				t.Fatalf("list returned %d blobs, want %d", len(ids), len(blobs))
+			}
+			var wantIDs []string
+			for _, id := range want {
+				wantIDs = append(wantIDs, id.String())
+			}
+			sort.Strings(ids)
+			sort.Strings(wantIDs)
+			for i := range ids {
+				if ids[i] != wantIDs[i] {
+					t.Fatalf("list[%d] = %s, want %s", i, ids[i], wantIDs[i])
+				}
+			}
+		})
+	}
+}
+
+func TestGetAbsentAndDelete(t *testing.T) {
+	ctx := context.Background()
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			absent := Sum([]byte("never posted"))
+			if _, err := s.Get(ctx, absent); err != ErrNotFound {
+				t.Fatalf("get absent: %v, want ErrNotFound", err)
+			}
+			if ok, err := s.Exists(ctx, absent); err != nil || ok {
+				t.Fatalf("exists absent = %v, %v", ok, err)
+			}
+			if err := s.Delete(ctx, absent); err != nil {
+				t.Fatalf("delete absent: %v", err)
+			}
+			id, err := s.Post(ctx, []byte("doomed"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete(ctx, id); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+			if ok, _ := s.Exists(ctx, id); ok {
+				t.Fatal("blob still present after delete")
+			}
+		})
+	}
+}
+
+// TestOpenIngestEquivalence: the streaming extensions must agree with
+// Post/Get on every backend, whether native or via the buffering
+// fallbacks.
+func TestOpenIngestEquivalence(t *testing.T) {
+	ctx := context.Background()
+	payload := bytes.Repeat([]byte("stream me "), 1000)
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			w, err := Ingest(ctx, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < len(payload); i += 100 {
+				end := min(i+100, len(payload))
+				if _, err := w.Write(payload[i:end]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			id, err := w.Commit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != Sum(payload) {
+				t.Fatalf("ingest address %s, want %s", id, Sum(payload))
+			}
+			rc, err := Open(ctx, s, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rc.Close()
+			got, err := io.ReadAll(rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("streamed bytes differ")
+			}
+			// Seek back and re-read: replay fallback paths need this.
+			if _, err := rc.Seek(0, io.SeekStart); err != nil {
+				t.Fatalf("seek: %v", err)
+			}
+			again, err := io.ReadAll(rc)
+			if err != nil || !bytes.Equal(again, payload) {
+				t.Fatalf("re-read after seek differs (err=%v)", err)
+			}
+		})
+	}
+}
+
+func TestIngestAbort(t *testing.T) {
+	ctx := context.Background()
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			w, err := Ingest(ctx, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.Write([]byte("abandoned")); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Abort(); err != nil {
+				t.Fatal(err)
+			}
+			if ok, _ := s.Exists(ctx, Sum([]byte("abandoned"))); ok {
+				t.Fatal("aborted blob is present")
+			}
+		})
+	}
+}
+
+// TestCOWLaws: writes stay in the layer; reads pull through exactly
+// once; the base is never written.
+func TestCOWLaws(t *testing.T) {
+	ctx := context.Background()
+	layer, base := NewMem(), NewMem()
+	remote := []byte("recorded on another node")
+	remoteID, err := base.Post(ctx, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cow := NewCOW(layer, base)
+
+	local := []byte("recorded here")
+	localID, err := cow.Post(ctx, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := base.Exists(ctx, localID); ok {
+		t.Fatal("post leaked into the base")
+	}
+	if ok, _ := layer.Exists(ctx, localID); !ok {
+		t.Fatal("post missing from the layer")
+	}
+
+	if ok, _ := cow.Exists(ctx, remoteID); !ok {
+		t.Fatal("remote blob invisible through COW")
+	}
+	if ok, _ := cow.ExistsLocally(ctx, remoteID); ok {
+		t.Fatal("remote blob claimed local before any read")
+	}
+	if cow.Pulls() != 0 {
+		t.Fatalf("pulls = %d before any read", cow.Pulls())
+	}
+	got, err := cow.Get(ctx, remoteID)
+	if err != nil || !bytes.Equal(got, remote) {
+		t.Fatalf("get remote: %v", err)
+	}
+	if cow.Pulls() != 1 {
+		t.Fatalf("pulls = %d after first read, want 1", cow.Pulls())
+	}
+	if ok, _ := cow.ExistsLocally(ctx, remoteID); !ok {
+		t.Fatal("pull-through did not populate the layer")
+	}
+	if _, err := cow.Get(ctx, remoteID); err != nil {
+		t.Fatal(err)
+	}
+	if cow.Pulls() != 1 {
+		t.Fatalf("pulls = %d after cached read, want 1", cow.Pulls())
+	}
+
+	// Open must pull through too.
+	streamID, _ := base.Post(ctx, []byte("streamed remote"))
+	rc, err := cow.Open(ctx, streamID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+	if cow.Pulls() != 2 {
+		t.Fatalf("pulls = %d after open, want 2", cow.Pulls())
+	}
+
+	var n int
+	cow.List(ctx, func(ID) error { n++; return nil })
+	if n != 3 {
+		t.Fatalf("list saw %d blobs, want 3 deduplicated", n)
+	}
+}
+
+// TestUnionLaws: read-only fan-out over members in order.
+func TestUnionLaws(t *testing.T) {
+	ctx := context.Background()
+	a, b := NewMem(), NewMem()
+	idA, _ := a.Post(ctx, []byte("only on a"))
+	idB, _ := b.Post(ctx, []byte("only on b"))
+	both := []byte("on both")
+	a.Post(ctx, both)
+	idBoth, _ := b.Post(ctx, both)
+	u := NewUnion(a, b)
+
+	for _, id := range []ID{idA, idB, idBoth} {
+		if ok, err := u.Exists(ctx, id); err != nil || !ok {
+			t.Fatalf("exists %s = %v, %v", id, ok, err)
+		}
+		if _, err := u.Get(ctx, id); err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		rc, err := u.Open(ctx, id)
+		if err != nil {
+			t.Fatalf("open %s: %v", id, err)
+		}
+		rc.Close()
+	}
+	if _, err := u.Get(ctx, Sum([]byte("nowhere"))); err != ErrNotFound {
+		t.Fatalf("get absent: %v", err)
+	}
+	if _, err := u.Post(ctx, []byte("x")); err != ErrReadOnly {
+		t.Fatalf("post on union: %v, want ErrReadOnly", err)
+	}
+	if err := u.Delete(ctx, idA); err != ErrReadOnly {
+		t.Fatalf("delete on union: %v, want ErrReadOnly", err)
+	}
+	var n int
+	u.List(ctx, func(ID) error { n++; return nil })
+	if n != 3 {
+		t.Fatalf("list saw %d blobs, want 3 deduplicated", n)
+	}
+}
+
+// TestConcurrentPutGet hammers each backend from many goroutines;
+// run with -race.
+func TestConcurrentPutGet(t *testing.T) {
+	ctx := context.Background()
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			const workers = 8
+			const blobsPerWorker = 16
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < blobsPerWorker; i++ {
+						// Shared payloads so goroutines race on the same addresses.
+						payload := []byte(fmt.Sprintf("blob-%d", i))
+						id, err := s.Post(ctx, payload)
+						if err != nil {
+							errs <- fmt.Errorf("worker %d post: %w", w, err)
+							return
+						}
+						got, err := s.Get(ctx, id)
+						if err != nil {
+							errs <- fmt.Errorf("worker %d get: %w", w, err)
+							return
+						}
+						if !bytes.Equal(got, payload) {
+							errs <- fmt.Errorf("worker %d: corrupt read", w)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestHTTPStoreRejectsCorruptPeer: a peer returning wrong bytes must
+// not poison the client.
+func TestHTTPStoreRejectsCorruptPeer(t *testing.T) {
+	ctx := context.Background()
+	evil := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not what you asked for"))
+	}))
+	defer evil.Close()
+	s := NewHTTPStore(evil.URL, evil.Client())
+	if _, err := s.Get(ctx, Sum([]byte("the real thing"))); err == nil {
+		t.Fatal("corrupt peer blob accepted")
+	}
+}
+
+func TestParseID(t *testing.T) {
+	id := Sum([]byte("round trip"))
+	back, err := ParseID(id.String())
+	if err != nil || back != id {
+		t.Fatalf("ParseID round trip: %v", err)
+	}
+	for _, bad := range []string{"", "zz", "abcd", id.String() + "00"} {
+		if _, err := ParseID(bad); err == nil {
+			t.Fatalf("ParseID(%q) accepted", bad)
+		}
+	}
+	if !(ID{}).IsZero() || id.IsZero() {
+		t.Fatal("IsZero misbehaves")
+	}
+}

@@ -1,0 +1,55 @@
+package castore
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// FuzzRoundTrip checks the content-address round trip on every
+// backend composition: Post must return sha256(data), Get must return
+// the exact bytes, and a COW over a remote base must pull through
+// without corruption.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("hello"))
+	f.Add(bytes.Repeat([]byte{0}, 1024))
+	f.Add([]byte{0xff, 0x00, 0xde, 0xad})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ctx := context.Background()
+		dir, err := NewDir(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Sum(data)
+		for _, s := range []Store{NewMem(), dir, NewCOW(NewMem(), NewMem())} {
+			id, err := s.Post(ctx, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != want {
+				t.Fatalf("address %s, want %s", id, want)
+			}
+			got, err := s.Get(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("bytes differ after round trip")
+			}
+		}
+		// Pull-through path: blob lives only in the base.
+		base := NewMem()
+		if _, err := base.Post(ctx, data); err != nil {
+			t.Fatal(err)
+		}
+		cow := NewCOW(NewMem(), base)
+		got, err := cow.Get(ctx, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("bytes differ after pull-through")
+		}
+	})
+}

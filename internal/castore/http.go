@@ -1,0 +1,238 @@
+package castore
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// HTTPStore is a Store client for a peer serving the blob protocol
+// below (see Handler). Addresses are verified on every read, so a
+// misbehaving peer cannot poison a cache.
+type HTTPStore struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPStore returns a store client for the given base URL (e.g.
+// "http://host:port/castore/v1/blobs"). A nil client uses
+// http.DefaultClient.
+func NewHTTPStore(baseURL string, client *http.Client) *HTTPStore {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPStore{base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+func (h *HTTPStore) url(id ID) string { return h.base + "/" + id.String() }
+
+func (h *HTTPStore) do(req *http.Request) (*http.Response, error) {
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusNoContent:
+		return resp, nil
+	case http.StatusNotFound:
+		resp.Body.Close()
+		return nil, ErrNotFound
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("castore: peer %s: %s: %s", h.base, resp.Status, strings.TrimSpace(string(body)))
+	}
+}
+
+func (h *HTTPStore) Post(ctx context.Context, data []byte) (ID, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base, bytes.NewReader(data))
+	if err != nil {
+		return ID{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := h.do(req)
+	if err != nil {
+		return ID{}, err
+	}
+	defer resp.Body.Close()
+	line, err := io.ReadAll(io.LimitReader(resp.Body, 256))
+	if err != nil {
+		return ID{}, err
+	}
+	id, err := ParseID(strings.TrimSpace(string(line)))
+	if err != nil {
+		return ID{}, err
+	}
+	if id != Sum(data) {
+		return ID{}, fmt.Errorf("%w: peer returned %s", ErrBadBlob, id)
+	}
+	return id, nil
+}
+
+func (h *HTTPStore) Get(ctx context.Context, id ID) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.url(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := verify(id, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func (h *HTTPStore) Exists(ctx context.Context, id ID) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, h.url(id), nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := h.do(req)
+	if err == ErrNotFound {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	resp.Body.Close()
+	return true, nil
+}
+
+func (h *HTTPStore) Delete(ctx context.Context, id ID) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, h.url(id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.do(req)
+	if err == ErrNotFound {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+func (h *HTTPStore) List(ctx context.Context, fn func(ID) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		id, err := ParseID(line)
+		if err != nil {
+			return err
+		}
+		if err := fn(id); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// maxBlobBytes bounds a single posted blob (paper-scale traces are
+// ~500 MB; 4 GiB leaves ample headroom without letting a peer exhaust
+// memory).
+const maxBlobBytes = 4 << 30
+
+// Handler serves s over HTTP:
+//
+//	GET    <prefix>/{id}  blob bytes (404 if absent)
+//	HEAD   <prefix>/{id}  presence probe
+//	DELETE <prefix>/{id}  remove
+//	GET    <prefix>       newline-separated hex addresses
+//	POST   <prefix>       ingest body, respond with its hex address
+//
+// The handler must be mounted so that the path after the mount point
+// is either empty or a single hex address.
+func Handler(s Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.Trim(r.URL.Path, "/")
+		if rest == "" {
+			switch r.Method {
+			case http.MethodGet:
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				s.List(r.Context(), func(id ID) error {
+					_, err := fmt.Fprintln(w, id.String())
+					return err
+				})
+			case http.MethodPost:
+				data, err := io.ReadAll(io.LimitReader(r.Body, maxBlobBytes))
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				id, err := s.Post(r.Context(), data)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				fmt.Fprintln(w, id.String())
+			default:
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			}
+			return
+		}
+		id, err := ParseID(rest)
+		if err != nil {
+			http.Error(w, "bad blob id", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodHead:
+			ok, err := s.Exists(r.Context(), id)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if !ok {
+				w.WriteHeader(http.StatusNotFound)
+				return
+			}
+			w.WriteHeader(http.StatusOK)
+		case http.MethodGet:
+			rc, err := Open(r.Context(), s, id)
+			if err == ErrNotFound {
+				http.Error(w, "not found", http.StatusNotFound)
+				return
+			}
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			defer rc.Close()
+			w.Header().Set("Content-Type", "application/octet-stream")
+			io.Copy(w, rc)
+		case http.MethodDelete:
+			if err := s.Delete(r.Context(), id); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}

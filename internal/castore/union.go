@@ -1,0 +1,67 @@
+package castore
+
+import (
+	"context"
+	"io"
+)
+
+// Union is a read-only view over several stores: reads try each
+// member in order. The coordinator uses a union of its own store and
+// every registered worker to serve any trace recorded anywhere in the
+// fleet.
+type Union []Store
+
+// NewUnion returns a read-only union of the given stores.
+func NewUnion(stores ...Store) Union { return Union(stores) }
+
+// Post is not supported; unions are read-only.
+func (u Union) Post(ctx context.Context, data []byte) (ID, error) {
+	return ID{}, ErrReadOnly
+}
+
+func (u Union) Get(ctx context.Context, id ID) ([]byte, error) {
+	for _, s := range u {
+		data, err := s.Get(ctx, id)
+		if err == nil {
+			return data, nil
+		}
+		if err != ErrNotFound {
+			return nil, err
+		}
+	}
+	return nil, ErrNotFound
+}
+
+func (u Union) Exists(ctx context.Context, id ID) (bool, error) {
+	for _, s := range u {
+		ok, err := s.Exists(ctx, id)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Delete is not supported; unions are read-only.
+func (u Union) Delete(ctx context.Context, id ID) error { return ErrReadOnly }
+
+func (u Union) List(ctx context.Context, fn func(ID) error) error {
+	return listUnion(ctx, fn, u...)
+}
+
+// Open streams from the first member holding the blob.
+func (u Union) Open(ctx context.Context, id ID) (io.ReadSeekCloser, error) {
+	for _, s := range u {
+		ok, err := s.Exists(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return Open(ctx, s, id)
+		}
+	}
+	return nil, ErrNotFound
+}

@@ -37,6 +37,13 @@ var ErrPreempted = errors.New("core: sweep preempted")
 // ctx.Err()) and a non-cancelled context pass through unchanged, so
 // existing errors.Is(err, context.Canceled) checks keep working.
 func withCause(ctx context.Context, err error) error {
+	return WithCause(ctx, err)
+}
+
+// WithCause is withCause for callers outside the engine: a cluster
+// coordinator folding a shard's cancellation into the same shape this
+// package returns, so errors.Is(err, ErrPreempted) works on both paths.
+func WithCause(ctx context.Context, err error) error {
 	if err == nil || ctx.Err() == nil {
 		return err
 	}
@@ -64,6 +71,11 @@ type PerConfigSweepOpts struct {
 	// OnResult, if non-nil, observes each result as it is committed
 	// (freshly computed results only, not ones loaded from checkpoints).
 	OnResult func(ConfigResult)
+	// TraceCache, if non-nil, overrides the process-wide cache installed
+	// by SetTraceCache for this sweep. Cluster nodes use this: each node
+	// records to and replays from its own store even when several run in
+	// one process.
+	TraceCache *TraceCache
 }
 
 // PerConfigSweep is the outcome of a resilient sweep: one result per
@@ -96,6 +108,9 @@ func (s *PerConfigSweep) Result(cfg cache.Config) (ConfigResult, bool) {
 func RunSweepPerConfig(ctx context.Context, w *workloads.Workload, scale int, cfgs []cache.Config, opts PerConfigSweepOpts) (*PerConfigSweep, error) {
 	if opts.MakeCollector == nil {
 		opts.MakeCollector = func() gc.Collector { return nil } // Run substitutes NoGC
+	}
+	if opts.TraceCache == nil {
+		opts.TraceCache = ActiveTraceCache()
 	}
 	if scale == 0 {
 		scale = w.DefaultScale
@@ -130,7 +145,7 @@ func RunSweepPerConfig(ctx context.Context, w *workloads.Workload, scale int, cf
 	// Any failure other than cancellation falls back to the independent
 	// per-config runs below — the fault-tolerance contract is unchanged,
 	// the fused pass is purely a fast path.
-	if ActiveTraceCache() != nil && len(todo) > 1 {
+	if opts.TraceCache != nil && len(todo) > 1 {
 		done, perr := fusedPerConfigPass(ctx, w, scale, cfgs, todo, colName, opts, results)
 		if perr != nil {
 			for _, r := range results {
@@ -150,7 +165,7 @@ func RunSweepPerConfig(ctx context.Context, w *workloads.Workload, scale int, cf
 		cfg := cfgs[i]
 		var lastErr error
 		for attempt := 1; attempt <= 1+opts.Retries; attempt++ {
-			res, err := runOneConfig(ctx, w, scale, opts.MakeCollector(), cfg)
+			res, err := runOneConfig(ctx, opts.TraceCache, w, scale, opts.MakeCollector(), cfg)
 			if err == nil {
 				if opts.Checkpoint != nil {
 					if cerr := opts.Checkpoint.Save(w.Name, scale, colName, res); cerr != nil {
@@ -198,7 +213,7 @@ func RunSweepPerConfig(ctx context.Context, w *workloads.Workload, scale int, cf
 	if err != nil {
 		return sweep, withCause(ctx, err)
 	}
-	if err := sweep.checkConsistency(); err != nil {
+	if err := sweep.CheckConsistency(); err != nil {
 		return sweep, err
 	}
 	return sweep, nil
@@ -215,7 +230,7 @@ func fusedPerConfigPass(ctx context.Context, w *workloads.Workload, scale int, c
 	for k, i := range todo {
 		sub[k] = cfgs[i]
 	}
-	sw, rerr := runSweepIsolated(ctx, w, scale, opts.MakeCollector(), sub)
+	sw, rerr := runSweepIsolated(ctx, opts.TraceCache, w, scale, opts.MakeCollector(), sub)
 	if rerr != nil {
 		if ctx.Err() != nil || errors.Is(rerr, context.Canceled) || errors.Is(rerr, context.DeadlineExceeded) {
 			return false, rerr
@@ -250,25 +265,25 @@ func fusedPerConfigPass(ctx context.Context, w *workloads.Workload, scale int, c
 // runSweepIsolated is RunSweep behind a panic barrier, so a simulator
 // crash during the fused pass degrades to the per-config fallback instead
 // of killing the job.
-func runSweepIsolated(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config) (sw *SweepResult, err error) {
+func runSweepIsolated(ctx context.Context, tc *TraceCache, w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config) (sw *SweepResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: string(debug.Stack())}
 		}
 	}()
-	return RunSweep(ctx, w, scale, col, cfgs)
+	return runSweepWith(ctx, tc, w, scale, col, cfgs)
 }
 
 // runOneConfig performs one attempt, isolating panics so a crash in the
 // simulator (or a collector bug tripping the heap verifier's hard
 // assertions) burns only this attempt.
-func runOneConfig(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, cfg cache.Config) (res ConfigResult, err error) {
+func runOneConfig(ctx context.Context, tc *TraceCache, w *workloads.Workload, scale int, col gc.Collector, cfg cache.Config) (res ConfigResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: string(debug.Stack())}
 		}
 	}()
-	sw, err := RunSweep(ctx, w, scale, col, []cache.Config{cfg})
+	sw, err := runSweepWith(ctx, tc, w, scale, col, []cache.Config{cfg})
 	if err != nil {
 		return ConfigResult{}, err
 	}
@@ -282,11 +297,13 @@ func runOneConfig(ctx context.Context, w *workloads.Workload, scale int, col gc.
 	}, nil
 }
 
-// checkConsistency cross-checks the per-config runs: the VM is
+// CheckConsistency cross-checks the per-config runs: the VM is
 // deterministic, so every run of the same workload/scale/collector must
 // produce the same checksum and instruction counts. A mismatch means a
 // checkpoint from a different build or workload version leaked in.
-func (s *PerConfigSweep) checkConsistency() error {
+// Exported because a cluster coordinator recombines results computed on
+// different nodes and owes the sweep the same cross-check.
+func (s *PerConfigSweep) CheckConsistency() error {
 	if len(s.Results) < 2 {
 		return nil
 	}

@@ -263,7 +263,13 @@ type SweepResult struct {
 // produces bitwise-identical statistics to the serial bank (each cache
 // still consumes the stream sequentially and in order).
 func RunSweep(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config) (*SweepResult, error) {
-	if tc := ActiveTraceCache(); tc != nil {
+	return runSweepWith(ctx, ActiveTraceCache(), w, scale, col, cfgs)
+}
+
+// runSweepWith is RunSweep against an explicit trace cache (nil = live
+// simulation, no record/replay).
+func runSweepWith(ctx context.Context, tc *TraceCache, w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config) (*SweepResult, error) {
+	if tc != nil {
 		return tc.runSweep(ctx, w, scale, col, cfgs)
 	}
 	var (

@@ -2,18 +2,18 @@ package core
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gcsim/internal/cache"
+	"gcsim/internal/castore"
 	"gcsim/internal/gc"
 	"gcsim/internal/mem"
 	"gcsim/internal/telemetry"
@@ -32,6 +32,14 @@ import (
 // re-interpreting the program. Replayed statistics are bitwise-identical
 // to live ones (the replayer reproduces the exact chunked reference
 // stream, including the per-chunk clock stamps telemetry snapshots use).
+//
+// Storage is split in two, both pluggable: trace bytes live in a
+// castore.Store (sha256-addressed blobs — local dir, in-memory, HTTP
+// peer, or compositions thereof), and the (key → TraceMeta) mapping
+// lives in a TraceIndex. In a cluster the blob store is a COW over the
+// coordinator's fleet-wide fetch endpoint and a RemoteTraceIndex
+// arbitrates recording, so each trace is recorded exactly once anywhere
+// and fetched by hash everywhere else.
 
 // TraceMetaSchema identifies the trace sidecar format.
 const TraceMetaSchema = "gcsim-trace-meta/v1"
@@ -59,42 +67,218 @@ type TraceMeta struct {
 	RecordedAt    string       `json:"recorded_at"` // RFC 3339
 }
 
-// TraceCache stores recorded traces in a directory, content-addressed by
-// (format version, workload, scale, collector identity). It is safe for
+// TraceIndex maps trace keys to their sidecar metadata. Implementations
+// must be safe for concurrent use.
+type TraceIndex interface {
+	// Load returns the entry for key, or (nil, nil) on a clean miss.
+	Load(key string) (*TraceMeta, error)
+	// Save persists the entry for key, overwriting any previous one.
+	Save(key string, meta *TraceMeta) error
+}
+
+// RemoteTraceIndex arbitrates recording across a cluster so each trace
+// is recorded exactly once fleet-wide. A worker that misses locally
+// claims the key: if the trace is already recorded anywhere it gets the
+// meta back (and fetches the blob by hash); if the claim is granted it
+// records and publishes; otherwise another node holds the recording
+// lease and the worker polls. Leases expire server-side, so a recorder
+// that dies mid-run does not wedge the key.
+type RemoteTraceIndex interface {
+	Claim(ctx context.Context, key string) (granted bool, recorded *TraceMeta, err error)
+	Publish(ctx context.Context, key string, meta *TraceMeta) error
+}
+
+// TraceCache stores recorded traces content-addressed by (format
+// version, workload, scale, collector identity). It is safe for
 // concurrent use: simultaneous sweeps over the same key record once (the
 // first caller records while the rest wait, then replay).
 type TraceCache struct {
-	dir  string
-	mu   sync.Mutex
-	keys map[string]*sync.Mutex
+	dir   string // root of a dir-backed cache, "" for store-backed
+	blobs castore.Store
+	local castore.Store // layer serving peers; == blobs outside a cluster
+	index TraceIndex
+	mu    sync.Mutex
+	keys  map[string]*sync.Mutex
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	remote RemoteTraceIndex
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	recorded atomic.Uint64
+	fetched  atomic.Uint64
 }
 
 // TraceCacheStats counts this process's lookups against the cache: a hit
-// replays an existing trace, a miss records one first. Servers export
-// these (the hit rate is what record-once/replay-many buys across jobs).
+// replays an existing trace, a miss records one (Recorded) or — in a
+// cluster — fetches one recorded on another node (RemoteFetches).
+// Servers export these (the hit rate is what record-once/replay-many
+// buys across jobs; RemoteFetches is what the fabric buys across nodes).
 type TraceCacheStats struct {
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Recorded      uint64 `json:"recorded"`
+	RemoteFetches uint64 `json:"remote_fetches"`
 }
 
 // Stats returns the lookup counters accumulated so far.
 func (tc *TraceCache) Stats() TraceCacheStats {
-	return TraceCacheStats{Hits: tc.hits.Load(), Misses: tc.misses.Load()}
+	return TraceCacheStats{
+		Hits:          tc.hits.Load(),
+		Misses:        tc.misses.Load(),
+		Recorded:      tc.recorded.Load(),
+		RemoteFetches: tc.fetched.Load(),
+	}
 }
 
-// NewTraceCache opens (creating if needed) a trace-cache directory.
+// NewTraceCache opens (creating if needed) a directory-backed trace
+// cache: blobs under dir/blobs named by sha256, sidecars as
+// dir/<key>.json. Entries from the legacy flat layout (<key>.trace next
+// to the sidecar) are migrated in place.
 func NewTraceCache(dir string) (*TraceCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: trace cache: %w", err)
 	}
-	return &TraceCache{dir: dir, keys: make(map[string]*sync.Mutex)}, nil
+	blobs, err := castore.NewDir(filepath.Join(dir, "blobs"))
+	if err != nil {
+		return nil, fmt.Errorf("core: trace cache: %w", err)
+	}
+	if err := migrateLegacyTraces(dir, blobs); err != nil {
+		return nil, err
+	}
+	tc := NewTraceCacheWith(blobs, &dirTraceIndex{dir: dir})
+	tc.dir = dir
+	return tc, nil
 }
 
-// Dir returns the cache directory.
+// NewTraceCacheWith builds a trace cache over any blob store and index
+// combination — in-memory for tests, HTTP-backed for peers, COW/union
+// compositions for cluster workers.
+func NewTraceCacheWith(blobs castore.Store, index TraceIndex) *TraceCache {
+	return &TraceCache{
+		blobs: blobs,
+		local: blobs,
+		index: index,
+		keys:  make(map[string]*sync.Mutex),
+	}
+}
+
+// JoinCluster rewires the cache into a cluster fabric: reads fall back
+// to base (pulled through into the local store on first use) and
+// recording rights are arbitrated by remote. Call before the cache is
+// shared.
+func (tc *TraceCache) JoinCluster(base castore.Store, remote RemoteTraceIndex) {
+	tc.blobs = castore.NewCOW(tc.blobs, base)
+	tc.remote = remote
+}
+
+// Dir returns the cache directory ("" for store-backed caches).
 func (tc *TraceCache) Dir() string { return tc.dir }
+
+// LocalBlobs returns the node-local blob store — the layer a cluster
+// node serves to its peers. Serving this (never the composed store)
+// keeps fleet-wide fetches loop-free.
+func (tc *TraceCache) LocalBlobs() castore.Store { return tc.local }
+
+// migrateLegacyTraces moves flat-layout entries (<key>.trace) into the
+// blob store under their recorded sha256. The sidecars stay where they
+// are; only the trace bytes move.
+func migrateLegacyTraces(dir string, blobs *castore.Dir) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("core: trace cache: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var meta TraceMeta
+		if json.Unmarshal(data, &meta) != nil || meta.Schema != TraceMetaSchema {
+			continue
+		}
+		id, err := castore.ParseID(meta.SHA256)
+		if err != nil {
+			continue
+		}
+		key := strings.TrimSuffix(e.Name(), ".json")
+		tracePath := filepath.Join(dir, key+".trace")
+		if _, err := os.Stat(tracePath); err != nil {
+			continue // sidecar without trace: surfaces as an error on lookup, as before
+		}
+		dst := filepath.Join(blobs.Root(), id.String())
+		if err := os.Rename(tracePath, dst); err != nil {
+			return fmt.Errorf("core: trace cache: migrate %s: %w", tracePath, err)
+		}
+	}
+	return nil
+}
+
+// dirTraceIndex is the directory-backed index: one <key>.json sidecar
+// per entry, written atomically.
+type dirTraceIndex struct{ dir string }
+
+func (d *dirTraceIndex) Load(key string) (*TraceMeta, error) {
+	data, err := os.ReadFile(filepath.Join(d.dir, key+".json"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: trace cache: %w", err)
+	}
+	var meta TraceMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, fmt.Errorf("core: trace cache: %s.json: %w", key, err)
+	}
+	return &meta, nil
+}
+
+func (d *dirTraceIndex) Save(key string, meta *TraceMeta) error {
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: trace cache: %w", err)
+	}
+	path := filepath.Join(d.dir, key+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("core: trace cache: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("core: trace cache: %w", err)
+	}
+	return nil
+}
+
+// MemTraceIndex is an in-memory TraceIndex for tests and ephemeral
+// caches.
+type MemTraceIndex struct {
+	mu sync.Mutex
+	m  map[string]*TraceMeta
+}
+
+// NewMemTraceIndex returns an empty in-memory index.
+func NewMemTraceIndex() *MemTraceIndex { return &MemTraceIndex{m: make(map[string]*TraceMeta)} }
+
+func (mi *MemTraceIndex) Load(key string) (*TraceMeta, error) {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	meta := mi.m[key]
+	if meta == nil {
+		return nil, nil
+	}
+	cp := *meta
+	return &cp, nil
+}
+
+func (mi *MemTraceIndex) Save(key string, meta *TraceMeta) error {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	cp := *meta
+	mi.m[key] = &cp
+	return nil
+}
 
 // Process-wide active trace cache, installed by the CLIs' -trace-cache
 // flag (the SetVerifyHeap pattern). When set, RunSweep — and therefore
@@ -127,9 +311,15 @@ func ActiveTraceCache() *TraceCache {
 // construction-time parameter that changes collection behaviour — see
 // gc.Identity).
 func traceKey(workload string, scale int, identity string) string {
-	h := sha256.Sum256([]byte(fmt.Sprintf("gcsim-trace|v%d|c%d|%s|s%d|%s",
+	id := castore.Sum([]byte(fmt.Sprintf("gcsim-trace|v%d|c%d|%s|s%d|%s",
 		traceio.FormatVersion, vm.CodeShapeVersion, workload, scale, identity)))
-	return hex.EncodeToString(h[:])[:24]
+	return id.String()[:24]
+}
+
+// TraceKeyFor exposes the content key derivation to cluster components
+// (the coordinator indexes its fleet-wide trace table by this key).
+func TraceKeyFor(workload string, scale int, identity string) string {
+	return traceKey(workload, scale, identity)
 }
 
 func (tc *TraceCache) keyLock(key string) *sync.Mutex {
@@ -151,13 +341,12 @@ func collectorIdentity(col gc.Collector) string {
 }
 
 // ensure returns the trace for (w, scale, col), recording it with a
-// single VM run if the cache does not hold it yet. scale must already be
-// normalized (non-zero).
-func (tc *TraceCache) ensure(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector) (*TraceMeta, string, error) {
+// single VM run — or, in a cluster, fetching it from whichever node
+// recorded it — if the local cache does not hold it yet. scale must
+// already be normalized (non-zero).
+func (tc *TraceCache) ensure(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector) (*TraceMeta, error) {
 	identity := collectorIdentity(col)
 	key := traceKey(w.Name, scale, identity)
-	tracePath := filepath.Join(tc.dir, key+".trace")
-	metaPath := filepath.Join(tc.dir, key+".json")
 
 	ctx, span := Spans().StartSpan(ctx, telemetry.StageTraceLookup)
 	span.SetAttr("workload", w.Name)
@@ -167,77 +356,147 @@ func (tc *TraceCache) ensure(ctx context.Context, w *workloads.Workload, scale i
 	l.Lock()
 	defer l.Unlock()
 
-	meta, err := loadTraceMeta(metaPath, tracePath, w.Name, scale, identity)
+	meta, err := tc.loadLocal(ctx, key, w.Name, scale, identity)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	if meta != nil {
 		tc.hits.Add(1)
 		span.SetAttr("result", "hit")
-		return meta, tracePath, nil
+		return meta, nil
 	}
 	tc.misses.Add(1)
-	span.SetAttr("result", "miss")
-	meta, err = tc.record(ctx, w, scale, col, identity, tracePath, metaPath)
-	if err != nil {
-		return nil, "", err
+
+	if tc.remote != nil {
+		meta, err := tc.ensureViaCluster(ctx, w, scale, col, identity, key, span)
+		if err != nil {
+			return nil, err
+		}
+		return meta, nil
 	}
-	return meta, tracePath, nil
+
+	span.SetAttr("result", "miss")
+	return tc.record(ctx, w, scale, col, identity, key)
 }
 
-// loadTraceMeta reads and validates a cached entry; (nil, nil) means a
-// clean miss. A sidecar whose identity fields disagree with the request is
-// an error, not a miss: silently re-recording over it would hide either a
-// key collision or a tampered cache.
-func loadTraceMeta(metaPath, tracePath, workload string, scale int, identity string) (*TraceMeta, error) {
-	data, err := os.ReadFile(metaPath)
-	if os.IsNotExist(err) {
-		return nil, nil
+// ensureViaCluster resolves a local miss through the cluster's trace
+// index: fetch the meta if any node already recorded the trace, record
+// and publish if this node wins the recording lease, or poll while
+// another node records.
+func (tc *TraceCache) ensureViaCluster(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, identity, key string, span *telemetry.ActiveSpan) (*TraceMeta, error) {
+	for {
+		granted, recorded, err := tc.remote.Claim(ctx, key)
+		if err != nil {
+			return nil, fmt.Errorf("core: trace cache: cluster claim for %s: %w", key, err)
+		}
+		if recorded != nil {
+			if err := validateTraceMeta(recorded, key, w.Name, scale, identity); err != nil {
+				return nil, err
+			}
+			if err := tc.index.Save(key, recorded); err != nil {
+				return nil, err
+			}
+			tc.fetched.Add(1)
+			span.SetAttr("result", "remote")
+			progress().Printf("trace cache: %s gc=%s recorded elsewhere, fetching by hash %s",
+				w.Name, identity, recorded.SHA256[:16])
+			return recorded, nil
+		}
+		if granted {
+			span.SetAttr("result", "miss")
+			meta, err := tc.record(ctx, w, scale, col, identity, key)
+			if err != nil {
+				return nil, err
+			}
+			if err := tc.remote.Publish(ctx, key, meta); err != nil {
+				return nil, fmt.Errorf("core: trace cache: cluster publish for %s: %w", key, err)
+			}
+			return meta, nil
+		}
+		// Another node holds the recording lease: poll until it publishes
+		// (or its lease expires and a later Claim grants us the key).
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(300 * time.Millisecond):
+		}
 	}
+}
+
+// loadLocal reads and validates the local index entry for key; (nil,
+// nil) means a clean miss. A sidecar whose identity fields disagree with
+// the request is an error, not a miss: silently re-recording over it
+// would hide either a key collision or a tampered cache.
+func (tc *TraceCache) loadLocal(ctx context.Context, key, workload string, scale int, identity string) (*TraceMeta, error) {
+	meta, err := tc.index.Load(key)
+	if err != nil || meta == nil {
+		return nil, err
+	}
+	if err := validateTraceMeta(meta, key, workload, scale, identity); err != nil {
+		return nil, err
+	}
+	id, err := castore.ParseID(meta.SHA256)
+	if err != nil {
+		return nil, fmt.Errorf("core: trace cache: %s: bad sha256: %w", key, err)
+	}
+	ok, err := tc.blobs.Exists(ctx, id)
 	if err != nil {
 		return nil, fmt.Errorf("core: trace cache: %w", err)
 	}
-	var meta TraceMeta
-	if err := json.Unmarshal(data, &meta); err != nil {
-		return nil, fmt.Errorf("core: trace cache: %s: %w", metaPath, err)
+	if !ok {
+		return nil, fmt.Errorf("core: trace cache: sidecar %s present but trace blob %s missing", key, meta.SHA256)
 	}
+	return meta, nil
+}
+
+func validateTraceMeta(meta *TraceMeta, key, workload string, scale int, identity string) error {
 	if meta.Schema != TraceMetaSchema {
-		return nil, fmt.Errorf("core: trace cache: %s: schema %q, want %q", metaPath, meta.Schema, TraceMetaSchema)
+		return fmt.Errorf("core: trace cache: %s: schema %q, want %q", key, meta.Schema, TraceMetaSchema)
 	}
 	if meta.Workload != workload || meta.Scale != scale || meta.Identity != identity ||
 		meta.FormatVersion != traceio.FormatVersion || meta.VMCodeShape != vm.CodeShapeVersion {
-		return nil, fmt.Errorf("core: trace cache: %s describes %s/s%d/%s (format v%d, code shape c%d), want %s/s%d/%s (format v%d, code shape c%d)",
-			metaPath, meta.Workload, meta.Scale, meta.Identity, meta.FormatVersion, meta.VMCodeShape,
+		return fmt.Errorf("core: trace cache: %s describes %s/s%d/%s (format v%d, code shape c%d), want %s/s%d/%s (format v%d, code shape c%d)",
+			key, meta.Workload, meta.Scale, meta.Identity, meta.FormatVersion, meta.VMCodeShape,
 			workload, scale, identity, traceio.FormatVersion, vm.CodeShapeVersion)
 	}
-	if _, err := os.Stat(tracePath); err != nil {
-		return nil, fmt.Errorf("core: trace cache: sidecar %s present but trace missing: %w", metaPath, err)
-	}
-	return &meta, nil
+	return nil
 }
 
-// record runs the VM once with a trace writer attached and files the
-// result under the key, atomically (temp files + rename) so an interrupt
-// never leaves a torn entry.
-func (tc *TraceCache) record(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, identity, tracePath, metaPath string) (_ *TraceMeta, err error) {
+// countWriter counts bytes on their way into a blob writer.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// record runs the VM once with a trace writer attached and streams the
+// result into the blob store (hash computed as the bytes are written),
+// then files the sidecar. Blob first, sidecar second: a crash in
+// between leaves a blob without an index entry (a miss, re-recorded
+// next time), never a sidecar pointing at a missing or torn trace.
+func (tc *TraceCache) record(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, identity, key string) (_ *TraceMeta, err error) {
 	progress().Printf("trace cache: recording %s gc=%s", w.Name, identity)
 	ctx, span := Spans().StartSpan(ctx, telemetry.StageTraceRecord)
 	span.SetAttr("workload", w.Name)
 	defer span.End()
-	tmp := tracePath + ".tmp"
-	f, err := os.Create(tmp)
+
+	blobw, err := castore.Ingest(ctx, tc.blobs)
 	if err != nil {
 		return nil, fmt.Errorf("core: trace cache: %w", err)
 	}
 	defer func() {
 		if err != nil {
-			f.Close()
-			os.Remove(tmp)
+			blobw.Abort()
 		}
 	}()
 
-	hash := sha256.New()
-	bw, err := traceio.NewBatchWriter(io.MultiWriter(f, hash), traceio.WriterOpts{})
+	cw := &countWriter{w: blobw}
+	bw, err := traceio.NewBatchWriter(cw, traceio.WriterOpts{})
 	if err != nil {
 		return nil, fmt.Errorf("core: trace cache: %w", err)
 	}
@@ -260,10 +519,7 @@ func (tc *TraceCache) record(ctx context.Context, w *workloads.Workload, scale i
 	if err = bw.Close(); err != nil {
 		return nil, fmt.Errorf("core: trace cache: %w", err)
 	}
-	if err = f.Close(); err != nil {
-		return nil, fmt.Errorf("core: trace cache: %w", err)
-	}
-	st, err := os.Stat(tmp)
+	id, err := blobw.Commit()
 	if err != nil {
 		return nil, fmt.Errorf("core: trace cache: %w", err)
 	}
@@ -276,9 +532,9 @@ func (tc *TraceCache) record(ctx context.Context, w *workloads.Workload, scale i
 		Identity:      identity,
 		FormatVersion: traceio.FormatVersion,
 		VMCodeShape:   vm.CodeShapeVersion,
-		SHA256:        hex.EncodeToString(hash.Sum(nil)),
+		SHA256:        id.String(),
 		Refs:          bw.Count(),
-		TraceBytes:    st.Size(),
+		TraceBytes:    cw.n,
 		Checksum:      res.Checksum,
 		Insns:         res.Insns,
 		GCInsns:       res.GCInsns,
@@ -294,48 +550,49 @@ func (tc *TraceCache) record(ctx context.Context, w *workloads.Workload, scale i
 			FormatVersion: meta.FormatVersion,
 		}
 	}
-
-	data, err := json.MarshalIndent(meta, "", "  ")
-	if err != nil {
-		return nil, fmt.Errorf("core: trace cache: %w", err)
+	if err = tc.index.Save(key, meta); err != nil {
+		return nil, err
 	}
-	metaTmp := metaPath + ".tmp"
-	if err = os.WriteFile(metaTmp, append(data, '\n'), 0o644); err != nil {
-		return nil, fmt.Errorf("core: trace cache: %w", err)
-	}
-	// Trace first, sidecar second: a crash between the renames leaves a
-	// trace without a sidecar (a miss, re-recorded next time), never a
-	// sidecar pointing at a missing or torn trace.
-	if err = os.Rename(tmp, tracePath); err != nil {
-		os.Remove(metaTmp)
-		return nil, fmt.Errorf("core: trace cache: %w", err)
-	}
-	if err = os.Rename(metaTmp, metaPath); err != nil {
-		return nil, fmt.Errorf("core: trace cache: %w", err)
-	}
+	tc.recorded.Add(1)
 	progress().Printf("trace cache: recorded %s gc=%s: %d refs, %d bytes (%.2f bytes/ref)",
 		w.Name, identity, meta.Refs, meta.TraceBytes, float64(meta.TraceBytes)/float64(max(meta.Refs, 1)))
 	return meta, nil
 }
 
+// openTrace returns a streaming reader over the trace blob. With a COW
+// store this is where a trace recorded on another node is pulled through
+// into local storage — once.
+func (tc *TraceCache) openTrace(ctx context.Context, meta *TraceMeta) (io.ReadSeekCloser, error) {
+	id, err := castore.ParseID(meta.SHA256)
+	if err != nil {
+		return nil, fmt.Errorf("core: trace cache: bad sha256 in sidecar: %w", err)
+	}
+	rc, err := castore.Open(ctx, tc.blobs, id)
+	if err != nil {
+		return nil, fmt.Errorf("core: trace cache: open trace %s: %w", meta.SHA256, err)
+	}
+	return rc, nil
+}
+
 // runSweep is RunSweep's record/replay path: ensure the trace exists (one
-// VM run at most, ever), then drive the sweep from the trace. v2 traces
-// take the fused path — a SharedReplayer decodes each frame exactly once
-// and a FusedBank simulates the chunk against every configuration in a
-// single pass, with no per-config decode and no per-ref dispatch. v1
-// traces (no frame stamps) fall back to the classic replayer into a bank.
+// VM run at most, ever — cluster-wide when a remote index is wired), then
+// drive the sweep from the trace. v2 traces take the fused path — a
+// SharedReplayer decodes each frame exactly once and a FusedBank
+// simulates the chunk against every configuration in a single pass, with
+// no per-config decode and no per-ref dispatch. v1 traces (no frame
+// stamps) fall back to the classic replayer into a bank.
 func (tc *TraceCache) runSweep(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config) (*SweepResult, error) {
 	if scale == 0 {
 		scale = w.DefaultScale
 	}
-	meta, tracePath, err := tc.ensure(ctx, w, scale, col)
+	meta, err := tc.ensure(ctx, w, scale, col)
 	if err != nil {
 		return nil, err
 	}
 
-	f, err := os.Open(tracePath)
+	f, err := tc.openTrace(ctx, meta)
 	if err != nil {
-		return nil, fmt.Errorf("core: trace cache: %w", err)
+		return nil, err
 	}
 	defer f.Close()
 
@@ -344,9 +601,9 @@ func (tc *TraceCache) runSweep(ctx context.Context, w *workloads.Workload, scale
 		// Not a v2 trace: rewind and replay through the per-bank path.
 		fallbackSweepCount.Add(1)
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			return nil, fmt.Errorf("core: trace cache: %s: %w", tracePath, err)
+			return nil, fmt.Errorf("core: trace cache: %s: %w", meta.SHA256, err)
 		}
-		return tc.replayFallback(ctx, w, scale, col, cfgs, meta, tracePath, f)
+		return tc.replayFallback(ctx, w, scale, col, cfgs, meta, f)
 	}
 	fusedSweepCount.Add(1)
 	sr.SetDecoders(Parallelism())
@@ -410,7 +667,7 @@ func (tc *TraceCache) runSweep(ctx context.Context, w *workloads.Workload, scale
 	}
 	if n != meta.Refs {
 		return nil, fmt.Errorf("core: trace cache: %s replayed %d refs, sidecar says %d — corrupt entry?",
-			tracePath, n, meta.Refs)
+			meta.SHA256, n, meta.Refs)
 	}
 	prog.Printf("replay %s gc=%s done in %.2fs: %d refs (%.1fM refs/s)",
 		w.Name, meta.Collector, dur.Seconds(), n, float64(n)/1e6/max(dur.Seconds(), 1e-9))
@@ -434,10 +691,10 @@ func (tc *TraceCache) runSweep(ctx context.Context, w *workloads.Workload, scale
 // serve (format v1): the classic replayer delivers each chunk to a serial
 // or parallel bank, paying per-tracer dispatch but preserving the exact
 // replay semantics (including snapshot clocks via the replayer's stamp).
-func (tc *TraceCache) replayFallback(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config, meta *TraceMeta, tracePath string, f *os.File) (*SweepResult, error) {
+func (tc *TraceCache) replayFallback(ctx context.Context, w *workloads.Workload, scale int, col gc.Collector, cfgs []cache.Config, meta *TraceMeta, f io.ReadSeeker) (*SweepResult, error) {
 	rp, err := traceio.NewReplayer(f)
 	if err != nil {
-		return nil, fmt.Errorf("core: trace cache: %s: %w", tracePath, err)
+		return nil, fmt.Errorf("core: trace cache: %s: %w", meta.SHA256, err)
 	}
 	rp.SetDecoders(Parallelism())
 
@@ -524,7 +781,7 @@ func (tc *TraceCache) replayFallback(ctx context.Context, w *workloads.Workload,
 	}
 	if n != meta.Refs {
 		return nil, fmt.Errorf("core: trace cache: %s replayed %d refs, sidecar says %d — corrupt entry?",
-			tracePath, n, meta.Refs)
+			meta.SHA256, n, meta.Refs)
 	}
 	prog.Printf("replay %s gc=%s done in %.2fs: %d refs (%.1fM refs/s)",
 		w.Name, meta.Collector, dur.Seconds(), n, float64(n)/1e6/max(dur.Seconds(), 1e-9))

@@ -1,0 +1,699 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"io"
+
+	"gcsim/internal/cache"
+	"gcsim/internal/castore"
+	"gcsim/internal/core"
+	"gcsim/internal/workloads"
+)
+
+// The cluster fabric, coordinator side. A coordinator is a normal gcsimd
+// that additionally: keeps a registry of workers (registered and kept
+// alive over POST /cluster/v1/workers heartbeats), shards each job's
+// configuration list across the live workers and re-shards when one
+// dies, arbitrates trace recording fleet-wide (claim/publish, so every
+// reference stream is recorded exactly once no matter which node needed
+// it first), and serves any recorded trace by content hash — from its
+// own store when the publish replication already pulled it home, by
+// asking the live workers otherwise. Workers never talk to each other;
+// every cross-node byte moves through the coordinator, which keeps the
+// fetch graph loop-free (nodes serve only their local layer, see
+// TraceCache.LocalBlobs).
+
+// Cluster roles for Config.Role.
+const (
+	RoleStandalone  = ""
+	RoleCoordinator = "coordinator"
+	RoleWorker      = "worker"
+)
+
+// Cluster timing defaults.
+const (
+	defaultHeartbeatEvery  = time.Second
+	defaultWorkerDeadAfter = 5 * time.Second
+	// recordLeaseTTL is the backstop on a recording lease: liveness of
+	// the leaseholder (heartbeats) is the primary signal, this bounds the
+	// wedge when a node stops sweeping but keeps heartbeating.
+	recordLeaseTTL = 10 * time.Minute
+	// workerWaitMax bounds how long a cluster sweep waits for the first
+	// worker to register before failing the job.
+	workerWaitMax = 15 * time.Second
+)
+
+// workerStats is the node-local telemetry a worker reports with every
+// heartbeat; the coordinator aggregates it into the fleet metrics.
+type workerStats struct {
+	TraceRecorded uint64 `json:"trace_recorded"`
+	RemoteFetches uint64 `json:"remote_fetches"`
+	TraceHits     uint64 `json:"trace_hits"`
+	TraceMisses   uint64 `json:"trace_misses"`
+	JobsRunning   int64  `json:"jobs_running"`
+}
+
+// workerHello is the register/heartbeat body. The first hello registers;
+// every later one refreshes liveness and stats. Re-registering after a
+// transport failure resurrects a worker the coordinator marked dead.
+type workerHello struct {
+	Name  string      `json:"name"`
+	URL   string      `json:"url"`
+	Stats workerStats `json:"stats"`
+}
+
+// WorkerView is one row of GET /cluster/v1/workers (and the dashboard's
+// fleet table).
+type WorkerView struct {
+	Name     string      `json:"name"`
+	URL      string      `json:"url"`
+	Alive    bool        `json:"alive"`
+	LastSeen string      `json:"last_seen"` // RFC 3339
+	Stats    workerStats `json:"stats"`
+}
+
+// claimRequest asks for the recording lease on a trace key.
+type claimRequest struct {
+	Key  string `json:"key"`
+	Node string `json:"node"`
+}
+
+// claimResponse carries the arbitration outcome: "recorded" with the
+// meta when the trace exists somewhere, "granted" when the caller should
+// record, "pending" while another live node holds the lease.
+type claimResponse struct {
+	Status string          `json:"status"` // "granted", "recorded", or "pending"
+	Meta   *core.TraceMeta `json:"meta,omitempty"`
+}
+
+// publishRequest announces a finished recording. The coordinator
+// replicates the blob home from the holder before acknowledging, so a
+// published trace is always fetchable even after its recorder dies.
+type publishRequest struct {
+	Key  string          `json:"key"`
+	Node string          `json:"node"`
+	Meta *core.TraceMeta `json:"meta"`
+}
+
+// clusterWorker is the coordinator's view of one registered worker.
+type clusterWorker struct {
+	name     string
+	url      string
+	lastSeen time.Time
+	dead     bool // marked on dispatch transport failure; a heartbeat revives
+	stats    workerStats
+	client   *Client            // job dispatch
+	blobs    *castore.HTTPStore // the worker's /castore/v1/blobs
+}
+
+// clusterState is the coordinator's registry and trace table plus the
+// fleet counters /metrics exports.
+type clusterState struct {
+	deadAfter time.Duration
+
+	mu      sync.Mutex
+	workers map[string]*clusterWorker
+	traces  map[string]*traceEntry
+
+	shardsDispatched atomic.Uint64
+	reshards         atomic.Uint64
+	claims           atomic.Uint64
+	publishes        atomic.Uint64
+	blobReplications atomic.Uint64 // blobs copied home from a worker at publish
+	blobFanout       atomic.Uint64 // blob requests answered by asking a worker
+}
+
+// traceEntry is one row of the fleet trace table: published meta, or an
+// outstanding recording lease.
+type traceEntry struct {
+	meta       *core.TraceMeta
+	holder     string // node that recorded it
+	leaseOwner string
+	leaseAt    time.Time
+}
+
+func newClusterState(deadAfter time.Duration) *clusterState {
+	if deadAfter <= 0 {
+		deadAfter = defaultWorkerDeadAfter
+	}
+	return &clusterState{
+		deadAfter: deadAfter,
+		workers:   make(map[string]*clusterWorker),
+		traces:    make(map[string]*traceEntry),
+	}
+}
+
+// hello registers or refreshes a worker.
+func (cs *clusterState) hello(h workerHello) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	w := cs.workers[h.Name]
+	if w == nil || w.url != h.URL {
+		w = &clusterWorker{
+			name:   h.Name,
+			url:    h.URL,
+			client: NewClient(h.URL),
+			blobs:  castore.NewHTTPStore(h.URL+"/castore/v1/blobs", nil),
+		}
+		w.client.MaxRetries = 4
+		cs.workers[h.Name] = w
+	}
+	w.lastSeen = time.Now()
+	w.dead = false
+	w.stats = h.Stats
+}
+
+// markDead records a dispatch transport failure. The worker stays dead
+// until its next heartbeat.
+func (cs *clusterState) markDead(name string) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if w := cs.workers[name]; w != nil {
+		w.dead = true
+	}
+}
+
+// alive reports liveness under the registry lock.
+func (cs *clusterState) aliveLocked(w *clusterWorker, now time.Time) bool {
+	return !w.dead && now.Sub(w.lastSeen) <= cs.deadAfter
+}
+
+// aliveWorkers snapshots the live workers in name order, so shard
+// assignment is deterministic for a given fleet.
+func (cs *clusterState) aliveWorkers() []*clusterWorker {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	now := time.Now()
+	var out []*clusterWorker
+	for _, w := range cs.workers {
+		if cs.aliveLocked(w, now) {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// views snapshots every registered worker for the API and dashboard.
+func (cs *clusterState) views() []WorkerView {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	now := time.Now()
+	out := make([]WorkerView, 0, len(cs.workers))
+	for _, w := range cs.workers {
+		out = append(out, WorkerView{
+			Name:     w.name,
+			URL:      w.url,
+			Alive:    cs.aliveLocked(w, now),
+			LastSeen: w.lastSeen.UTC().Format(time.RFC3339),
+			Stats:    w.stats,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// fleetStats sums the workers' heartbeat-reported trace counters.
+func (cs *clusterState) fleetStats() (alive, dead int, sum workerStats) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	now := time.Now()
+	for _, w := range cs.workers {
+		if cs.aliveLocked(w, now) {
+			alive++
+		} else {
+			dead++
+		}
+		sum.TraceRecorded += w.stats.TraceRecorded
+		sum.RemoteFetches += w.stats.RemoteFetches
+		sum.TraceHits += w.stats.TraceHits
+		sum.TraceMisses += w.stats.TraceMisses
+	}
+	return alive, dead, sum
+}
+
+// claim arbitrates the recording lease for key. Exactly one "granted"
+// is outstanding per key at a time; a lease breaks when its owner stops
+// heartbeating (or after the TTL backstop), so a recorder that dies
+// mid-run does not wedge the key.
+func (cs *clusterState) claim(key, node string) claimResponse {
+	cs.claims.Add(1)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	e := cs.traces[key]
+	if e == nil {
+		e = &traceEntry{}
+		cs.traces[key] = e
+	}
+	if e.meta != nil {
+		return claimResponse{Status: "recorded", Meta: e.meta}
+	}
+	if e.leaseOwner != "" && e.leaseOwner != node {
+		owner := cs.workers[e.leaseOwner]
+		ownerAlive := owner != nil && cs.aliveLocked(owner, time.Now())
+		if ownerAlive && time.Since(e.leaseAt) < recordLeaseTTL {
+			return claimResponse{Status: "pending"}
+		}
+		// The leaseholder is gone (or wedged): break the lease and hand
+		// it to the caller.
+	}
+	e.leaseOwner = node
+	e.leaseAt = time.Now()
+	return claimResponse{Status: "granted"}
+}
+
+// ---- coordinator HTTP surface -------------------------------------------
+
+// registerClusterRoutes mounts the /cluster/v1 API on the coordinator.
+// These routes are intra-cluster plumbing and stay outside tenant auth,
+// like /metrics: a cluster binds them to a trusted network.
+func (s *Server) registerClusterRoutes() {
+	s.mux.HandleFunc("POST /cluster/v1/workers", s.handleWorkerHello)
+	s.mux.HandleFunc("GET /cluster/v1/workers", s.handleWorkerList)
+	s.mux.HandleFunc("POST /cluster/v1/traces/claim", s.handleTraceClaim)
+	s.mux.HandleFunc("POST /cluster/v1/traces/publish", s.handleTracePublish)
+	s.mux.HandleFunc("GET /cluster/v1/blobs/{id}", s.handleClusterBlob)
+}
+
+func (s *Server) handleWorkerHello(w http.ResponseWriter, r *http.Request) {
+	var h workerHello
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes)).Decode(&h); err != nil {
+		httpError(w, http.StatusBadRequest, "bad worker hello: %v", err)
+		return
+	}
+	if h.Name == "" || h.URL == "" {
+		httpError(w, http.StatusBadRequest, "worker hello needs name and url")
+		return
+	}
+	first := func() bool {
+		s.cluster.mu.Lock()
+		defer s.cluster.mu.Unlock()
+		return s.cluster.workers[h.Name] == nil
+	}()
+	s.cluster.hello(h)
+	if first {
+		s.logf("cluster: worker %s registered at %s", h.Name, h.URL)
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleWorkerList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workers": s.cluster.views()})
+}
+
+func (s *Server) handleTraceClaim(w http.ResponseWriter, r *http.Request) {
+	var req claimRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad claim: %v", err)
+		return
+	}
+	if req.Key == "" || req.Node == "" {
+		httpError(w, http.StatusBadRequest, "claim needs key and node")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.claim(req.Key, req.Node))
+}
+
+// handleTracePublish commits a finished recording to the fleet table.
+// The blob is replicated home from the holder before the entry goes
+// live: once a publish is acknowledged, the trace is fetchable from the
+// coordinator no matter what happens to the node that recorded it.
+func (s *Server) handleTracePublish(w http.ResponseWriter, r *http.Request) {
+	var req publishRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad publish: %v", err)
+		return
+	}
+	if req.Key == "" || req.Node == "" || req.Meta == nil {
+		httpError(w, http.StatusBadRequest, "publish needs key, node, and meta")
+		return
+	}
+	id, err := castore.ParseID(req.Meta.SHA256)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "publish meta has a bad blob address: %v", err)
+		return
+	}
+	if err := s.replicateBlob(r.Context(), id, req.Node); err != nil {
+		httpError(w, http.StatusBadGateway, "replicating %s from %s: %v", id, req.Node, err)
+		return
+	}
+	s.cluster.mu.Lock()
+	e := s.cluster.traces[req.Key]
+	if e == nil {
+		e = &traceEntry{}
+		s.cluster.traces[req.Key] = e
+	}
+	e.meta, e.holder = req.Meta, req.Node
+	e.leaseOwner, e.leaseAt = "", time.Time{}
+	s.cluster.mu.Unlock()
+	s.cluster.publishes.Add(1)
+	s.logf("cluster: trace %s published by %s (%s, %d bytes)", req.Key, req.Node, req.Meta.SHA256, req.Meta.TraceBytes)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// replicateBlob pulls id into the coordinator's local store from the
+// named worker (content-verified by the HTTP store client). A blob
+// already home is a no-op, so re-publishes are idempotent.
+func (s *Server) replicateBlob(ctx context.Context, id castore.ID, node string) error {
+	local := s.cfg.TraceCache.LocalBlobs()
+	if ok, err := local.Exists(ctx, id); err == nil && ok {
+		return nil
+	}
+	s.cluster.mu.Lock()
+	w := s.cluster.workers[node]
+	s.cluster.mu.Unlock()
+	if w == nil {
+		return fmt.Errorf("unknown worker %q", node)
+	}
+	data, err := w.blobs.Get(ctx, id)
+	if err != nil {
+		return err
+	}
+	if _, err := local.Post(ctx, data); err != nil {
+		return err
+	}
+	s.cluster.blobReplications.Add(1)
+	return nil
+}
+
+// handleClusterBlob serves GET /cluster/v1/blobs/{id}: the coordinator's
+// local store first, then a fan-out over the live workers. A blob found
+// remotely is pulled home before it is served, so each fleet blob
+// crosses the network to the coordinator at most once.
+func (s *Server) handleClusterBlob(w http.ResponseWriter, r *http.Request) {
+	id, err := castore.ParseID(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad blob id")
+		return
+	}
+	ctx := r.Context()
+	local := s.cfg.TraceCache.LocalBlobs()
+	if ok, _ := local.Exists(ctx, id); !ok {
+		if !s.pullFromFleet(ctx, id) {
+			httpError(w, http.StatusNotFound, "blob %s not found anywhere in the fleet", id)
+			return
+		}
+	}
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	serveBlob(w, r, local, id)
+}
+
+// pullFromFleet tries each live worker for id and stores the first hit
+// locally. False means no live worker has it.
+func (s *Server) pullFromFleet(ctx context.Context, id castore.ID) bool {
+	local := s.cfg.TraceCache.LocalBlobs()
+	for _, w := range s.cluster.aliveWorkers() {
+		ok, err := w.blobs.Exists(ctx, id)
+		if err != nil || !ok {
+			continue
+		}
+		data, err := w.blobs.Get(ctx, id)
+		if err != nil {
+			continue
+		}
+		if _, err := local.Post(ctx, data); err != nil {
+			return false
+		}
+		s.cluster.blobFanout.Add(1)
+		return true
+	}
+	return false
+}
+
+// ---- every-node blob surface ---------------------------------------------
+
+// registerBlobRoutes serves this node's local blob layer read-only at
+// /castore/v1/blobs. Every node (standalone included) exposes it when a
+// trace cache is configured; peers fetch traces by hash from here.
+// GET-registered patterns also answer HEAD.
+func (s *Server) registerBlobRoutes() {
+	s.mux.HandleFunc("GET /castore/v1/blobs", s.handleBlobList)
+	s.mux.HandleFunc("GET /castore/v1/blobs/{id}", s.handleBlobGet)
+}
+
+func (s *Server) handleBlobList(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.cfg.TraceCache.LocalBlobs().List(r.Context(), func(id castore.ID) error {
+		_, err := fmt.Fprintln(w, id.String())
+		return err
+	})
+}
+
+func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
+	id, err := castore.ParseID(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad blob id")
+		return
+	}
+	local := s.cfg.TraceCache.LocalBlobs()
+	if r.Method == http.MethodHead {
+		if ok, err := local.Exists(r.Context(), id); err != nil || !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	serveBlob(w, r, local, id)
+}
+
+// serveBlob streams one blob (404 when absent).
+func serveBlob(w http.ResponseWriter, r *http.Request, store castore.Store, id castore.ID) {
+	rc, err := castore.Open(r.Context(), store, id)
+	if err == castore.ErrNotFound {
+		httpError(w, http.StatusNotFound, "blob %s not found", id)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = io.Copy(w, rc)
+}
+
+// ---- sharded execution ---------------------------------------------------
+
+// shardOutcome is what one dispatched shard came back with.
+type shardOutcome struct {
+	worker  string
+	indices []int // global config indices, in shard order
+	job     *Job
+	err     error
+}
+
+// runClusterSweep executes one job by sharding its configurations across
+// the live workers. Each round: reload whatever the coordinator's own
+// checkpoint already holds (a previous round's commits, or a previous
+// process's — those results carry FromCheckpoint, exactly like a local
+// resume), split the still-pending configurations contiguously across
+// the live workers, dispatch each shard as a sub-job, and commit results
+// as shards finish. A shard that fails in transport marks its worker
+// dead and leaves its configurations pending; the next round re-shards
+// them over whoever is still alive. A shard that fails on the worker
+// (a real job failure) fails the whole job — it would fail anywhere.
+//
+// The assembled sweep keeps the input configuration order and passes the
+// engine's cross-node consistency check, so the rendered report is
+// byte-identical to the same job run on a single node.
+func (s *Server) runClusterSweep(ctx context.Context, w *workloads.Workload, spec JobSpec, cfgs []cache.Config, colName string, ck *core.Checkpoint, onResult func(core.ConfigResult)) (*core.PerConfigSweep, error) {
+	scale := spec.Scale
+	if scale == 0 {
+		scale = w.DefaultScale
+	}
+	sweep := &core.PerConfigSweep{Workload: w.Name, Scale: scale, Collector: colName}
+	results := make([]*core.ConfigResult, len(cfgs))
+
+	var commitMu sync.Mutex
+	commit := func(o *shardOutcome) (int, error) {
+		commitMu.Lock()
+		defer commitMu.Unlock()
+		fresh := 0
+		for j, r := range o.job.Results {
+			if j >= len(o.indices) {
+				return fresh, fmt.Errorf("server: shard on %s returned %d results for %d configs", o.worker, len(o.job.Results), len(o.indices))
+			}
+			cr, err := resultToCore(r)
+			if err != nil {
+				return fresh, err
+			}
+			i := o.indices[j]
+			if cr.Config != cfgs[i] {
+				return fresh, fmt.Errorf("server: shard on %s returned config %s where %s was dispatched", o.worker, cr.Config, cfgs[i])
+			}
+			cr.FromCheckpoint = false
+			if err := ck.Save(w.Name, scale, colName, cr); err != nil {
+				return fresh, err
+			}
+			results[i] = &cr
+			fresh++
+			if onResult != nil {
+				onResult(cr)
+			}
+		}
+		return fresh, nil
+	}
+
+	for round := 0; ; round++ {
+		// Resume from the coordinator's checkpoint. Everything already
+		// committed — by an earlier round, or by an earlier process —
+		// reloads with FromCheckpoint set, the same contract as a local
+		// resumed sweep.
+		var pending []int
+		for i, cfg := range cfgs {
+			if res, ok, err := ck.Load(w.Name, scale, colName, cfg); err != nil {
+				return sweep, err
+			} else if ok {
+				results[i] = &res
+				continue
+			}
+			if results[i] == nil {
+				pending = append(pending, i)
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+
+		alive, err := s.waitForWorkers(ctx)
+		if err != nil {
+			return sweep, err
+		}
+		shards := splitShards(pending, len(alive))
+		s.logf("cluster: round %d: %d configs across %d workers", round, len(pending), len(shards))
+
+		outcomes := make([]*shardOutcome, len(shards))
+		var wg sync.WaitGroup
+		for k, shard := range shards {
+			wg.Add(1)
+			go func(k int, shard []int, worker *clusterWorker) {
+				defer wg.Done()
+				o := &shardOutcome{worker: worker.name, indices: shard}
+				outcomes[k] = o
+				shardSpec := JobSpec{
+					Workload:  spec.Workload,
+					Scale:     spec.Scale,
+					GC:        spec.GC,
+					GCOptions: spec.GCOptions,
+					Retries:   spec.Retries,
+					Label:     fmt.Sprintf("%s/shard-%d", spec.Label, k),
+					Priority:  spec.Priority,
+				}
+				for _, i := range shard {
+					shardSpec.Configs = append(shardSpec.Configs, spec.Configs[i])
+				}
+				s.cluster.shardsDispatched.Add(1)
+				o.job, o.err = worker.client.Run(ctx, shardSpec, nil)
+			}(k, shard, alive[k])
+		}
+		wg.Wait()
+
+		progressed := 0
+		for _, o := range outcomes {
+			switch {
+			case o.err != nil && ctx.Err() != nil:
+				// Cancellation (drain, API cancel, preemption): surface it
+				// with the cause so finishJob classifies it exactly as it
+				// would a local sweep's.
+				return s.assemble(sweep, results), core.WithCause(ctx, o.err)
+			case o.err != nil:
+				// Transport-level failure: the worker is unreachable (or
+				// died mid-stream). Its configurations stay pending and
+				// the next round re-shards them.
+				s.cluster.markDead(o.worker)
+				s.cluster.reshards.Add(1)
+				s.logf("cluster: worker %s lost mid-shard (%v), re-sharding %d configs", o.worker, o.err, len(o.indices))
+				progressed++ // topology changed; the next round has work to do
+			case o.job.State != StateDone:
+				return s.assemble(sweep, results), fmt.Errorf("server: shard on %s %s: %s", o.worker, o.job.State, o.job.Error)
+			default:
+				fresh, err := commit(o)
+				if err != nil {
+					return s.assemble(sweep, results), err
+				}
+				progressed += fresh
+			}
+		}
+		if progressed == 0 {
+			return s.assemble(sweep, results), fmt.Errorf("server: cluster sweep made no progress in round %d (%d configs pending)", round, len(pending))
+		}
+	}
+
+	s.assemble(sweep, results)
+	return sweep, sweep.CheckConsistency()
+}
+
+// assemble fills the sweep's results in input configuration order.
+func (s *Server) assemble(sweep *core.PerConfigSweep, results []*core.ConfigResult) *core.PerConfigSweep {
+	sweep.Results = sweep.Results[:0]
+	for _, r := range results {
+		if r != nil {
+			sweep.Results = append(sweep.Results, *r)
+		}
+	}
+	return sweep
+}
+
+// waitForWorkers returns the live workers, waiting (bounded) for the
+// first registration so a job submitted right after boot does not fail
+// before the fleet has checked in.
+func (s *Server) waitForWorkers(ctx context.Context) ([]*clusterWorker, error) {
+	deadline := time.Now().Add(workerWaitMax)
+	for {
+		if alive := s.cluster.aliveWorkers(); len(alive) > 0 {
+			return alive, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("server: no live workers registered with the coordinator")
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// splitShards cuts indices into n contiguous shards (fewer when there
+// are fewer indices than workers), sizes differing by at most one.
+func splitShards(indices []int, n int) [][]int {
+	if n > len(indices) {
+		n = len(indices)
+	}
+	shards := make([][]int, 0, n)
+	for k := 0; k < n; k++ {
+		lo, hi := k*len(indices)/n, (k+1)*len(indices)/n
+		shards = append(shards, indices[lo:hi])
+	}
+	return shards
+}
+
+// resultToCore is the inverse of resultFromCore: a worker's wire result
+// back into the engine form the coordinator checkpoints and reports.
+func resultToCore(r ConfigResult) (core.ConfigResult, error) {
+	cfg, err := r.Config.ToCache()
+	if err != nil {
+		return core.ConfigResult{}, err
+	}
+	return core.ConfigResult{
+		Config:         cfg,
+		CacheStats:     r.CacheStats,
+		Checksum:       r.Checksum,
+		Insns:          r.Insns,
+		GCInsns:        r.GCInsns,
+		GCStats:        r.GCStats,
+		FromCheckpoint: r.FromCheckpoint,
+	}, nil
+}

@@ -48,6 +48,9 @@ type dashStats struct {
 	// SpansDropped counts spans that degraded to counters-only under
 	// load; nonzero is the always-on-cheap design working, not an error.
 	SpansDropped uint64 `json:"spans_dropped"`
+	// Cluster lists the fleet's workers (coordinator only; absent
+	// elsewhere).
+	Cluster []WorkerView `json:"cluster,omitempty"`
 }
 
 type statsSummary struct {
@@ -84,6 +87,9 @@ func (s *Server) dashStatsNow() dashStats {
 	}
 	for name, h := range s.metrics.StageSeconds {
 		st.Stages[name] = summaryOf(h)
+	}
+	if s.cluster != nil {
+		st.Cluster = s.cluster.views()
 	}
 	return st
 }
@@ -259,6 +265,17 @@ const dashboardHTML = `<!DOCTYPE html>
   <div class="tile"><div class="v" id="t-dropped">{{.Stats.SpansDropped}}</div><div class="k">spans → counters-only</div></div>
 </div>
 
+{{if .Stats.Cluster}}
+<h2>Fleet</h2>
+<table id="fleet">
+  <thead><tr><th>worker</th><th>url</th><th>alive</th><th>recorded</th><th>remote fetches</th><th>hits</th><th>running</th><th>last seen</th></tr></thead>
+  <tbody>
+  {{range .Stats.Cluster}}<tr id="fleet-{{.Name}}"><td>{{.Name}}</td><td>{{.URL}}</td><td class="{{if .Alive}}state-done{{else}}state-failed{{end}}">{{if .Alive}}alive{{else}}dead{{end}}</td><td>{{.Stats.TraceRecorded}}</td><td>{{.Stats.RemoteFetches}}</td><td>{{.Stats.TraceHits}}</td><td>{{.Stats.JobsRunning}}</td><td>{{.LastSeen}}</td></tr>
+  {{end}}
+  </tbody>
+</table>
+{{end}}
+
 <h2>Jobs</h2>
 <table id="jobs">
   <thead><tr><th>id</th><th>workload</th><th>gc</th><th>tenant</th><th>priority</th><th>state</th><th>configs</th><th>submitted</th><th>error</th></tr></thead>
@@ -340,6 +357,18 @@ const dashboardHTML = `<!DOCTYPE html>
     updateStage("job", st.job);
     updateStage("queue", st.queue);
     for (const [name, cur] of Object.entries(st.stages || {})) updateStage(name, cur);
+    for (const w of st.cluster || []) {
+      const row = document.getElementById("fleet-" + w.name);
+      if (!row) continue;
+      const c = row.children;
+      c[2].textContent = w.alive ? "alive" : "dead";
+      c[2].className = w.alive ? "state-done" : "state-failed";
+      c[3].textContent = w.stats.trace_recorded;
+      c[4].textContent = w.stats.remote_fetches;
+      c[5].textContent = w.stats.trace_hits;
+      c[6].textContent = w.stats.jobs_running;
+      c[7].textContent = w.last_seen;
+    }
   }
 
   function onJob(e) {

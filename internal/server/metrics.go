@@ -117,12 +117,14 @@ type metricRow struct {
 
 // WriteText writes the exposition page. tc may be nil (trace cache
 // disabled); queued is the current queue depth; tenants may be nil (no
-// per-tenant families).
-func (m *Metrics) WriteText(w io.Writer, tc *core.TraceCache, queued int, tenants *TenantRegistry) {
-	var hits, misses uint64
+// per-tenant families); cluster is non-nil only on a coordinator, which
+// additionally exports the fleet families.
+func (m *Metrics) WriteText(w io.Writer, tc *core.TraceCache, queued int, tenants *TenantRegistry, cluster *clusterState) {
+	var hits, misses, recorded, remoteFetches uint64
 	if tc != nil {
 		st := tc.Stats()
 		hits, misses = st.Hits, st.Misses
+		recorded, remoteFetches = st.Recorded, st.RemoteFetches
 	}
 	fused := core.FusedStats()
 	rows := []metricRow{
@@ -139,6 +141,8 @@ func (m *Metrics) WriteText(w io.Writer, tc *core.TraceCache, queued int, tenant
 		{"gcsimd_workers_busy", "Workers currently executing a job.", "gauge", float64(m.WorkersBusy.Load())},
 		{"gcsimd_trace_cache_hits_total", "Sweep lookups served by replaying a cached trace.", "counter", float64(hits)},
 		{"gcsimd_trace_cache_misses_total", "Sweep lookups that had to record a trace first.", "counter", float64(misses)},
+		{"gcsimd_trace_recorded_total", "Traces recorded by this node.", "counter", float64(recorded)},
+		{"gcsimd_trace_remote_fetches_total", "Trace misses resolved by fetching another node's recording by content hash.", "counter", float64(remoteFetches)},
 		{"gcsimd_fused_sweeps_total", "Replayed sweeps that decoded the trace once and simulated all configurations in a single fused pass.", "counter", float64(fused.FusedSweeps)},
 		{"gcsimd_fallback_sweeps_total", "Replayed sweeps that fell back to per-bank replay (v1 traces).", "counter", float64(fused.FallbackSweeps)},
 		{"gcsimd_decode_once_frames_total", "Trace frames decoded exactly once on the fused path, each serving every configuration of its sweep.", "counter", float64(fused.DecodeOnceFrames)},
@@ -156,6 +160,9 @@ func (m *Metrics) WriteText(w io.Writer, tc *core.TraceCache, queued int, tenant
 
 	if tenants != nil {
 		writeTenantMetrics(w, tenants.Stats())
+	}
+	if cluster != nil {
+		writeClusterMetrics(w, cluster, recorded, remoteFetches)
 	}
 
 	writeHistogram(w, "gcsimd_job_seconds",
@@ -176,6 +183,39 @@ func (m *Metrics) WriteText(w io.Writer, tc *core.TraceCache, queued int, tenant
 		writeHistogramHeader(w, "gcsimd_stage_seconds",
 			"Per-stage duration of job lifecycle spans, by stage name.", i == 0)
 		writeHistogramSeries(w, "gcsimd_stage_seconds", `stage="`+stage+`"`, m.StageSeconds[stage])
+	}
+}
+
+// writeClusterMetrics emits the coordinator's fleet families: registry
+// and sharding counters, one labelled series per worker for the
+// heartbeat-reported trace counters, and the fleet-wide sums (this
+// node's own counters folded in — the coordinator records too when it
+// runs standalone sweeps).
+func writeClusterMetrics(w io.Writer, cs *clusterState, selfRecorded, selfFetches uint64) {
+	alive, dead, fleet := cs.fleetStats()
+	rows := []metricRow{
+		{"gcsimd_cluster_workers", "Workers currently registered and heartbeating.", "gauge", float64(alive)},
+		{"gcsimd_cluster_workers_dead", "Registered workers that stopped heartbeating or failed a dispatch.", "gauge", float64(dead)},
+		{"gcsimd_cluster_shards_dispatched_total", "Config shards dispatched to workers.", "counter", float64(cs.shardsDispatched.Load())},
+		{"gcsimd_cluster_reshards_total", "Shards re-dispatched after their worker died mid-sweep.", "counter", float64(cs.reshards.Load())},
+		{"gcsimd_cluster_trace_claims_total", "Recording-lease claims arbitrated.", "counter", float64(cs.claims.Load())},
+		{"gcsimd_cluster_trace_publishes_total", "Trace recordings published to the fleet table.", "counter", float64(cs.publishes.Load())},
+		{"gcsimd_cluster_blob_replications_total", "Blobs replicated home from their recording worker at publish.", "counter", float64(cs.blobReplications.Load())},
+		{"gcsimd_cluster_blob_fanout_total", "Blob requests answered by fetching from a worker's store.", "counter", float64(cs.blobFanout.Load())},
+		{"gcsimd_fleet_trace_recorded_total", "Traces recorded fleet-wide (workers' heartbeat counters plus this node's).", "counter", float64(fleet.TraceRecorded + selfRecorded)},
+		{"gcsimd_fleet_trace_remote_fetches_total", "Cross-node trace fetches fleet-wide (workers' heartbeat counters plus this node's).", "counter", float64(fleet.RemoteFetches + selfFetches)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", r.name, r.help, r.name, r.kind, r.name, r.value)
+	}
+	views := cs.views()
+	fmt.Fprintf(w, "# HELP gcsimd_cluster_node_trace_recorded_total Traces recorded per worker (heartbeat-reported).\n# TYPE gcsimd_cluster_node_trace_recorded_total counter\n")
+	for _, v := range views {
+		fmt.Fprintf(w, "gcsimd_cluster_node_trace_recorded_total{node=%q} %d\n", v.Name, v.Stats.TraceRecorded)
+	}
+	fmt.Fprintf(w, "# HELP gcsimd_cluster_node_remote_fetches_total Cross-node trace fetches per worker (heartbeat-reported).\n# TYPE gcsimd_cluster_node_remote_fetches_total counter\n")
+	for _, v := range views {
+		fmt.Fprintf(w, "gcsimd_cluster_node_remote_fetches_total{node=%q} %d\n", v.Name, v.Stats.RemoteFetches)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"gcsim/internal/castore"
 	"gcsim/internal/core"
 	"gcsim/internal/gc"
 	"gcsim/internal/telemetry"
@@ -48,6 +49,26 @@ type Config struct {
 	// being shed with 429 + Retry-After (default defaultHighWater,
 	// clamped to the hard queue capacity).
 	QueueHighWater int
+
+	// Role selects the node's cluster role: RoleStandalone (the default,
+	// everything above and nothing more), RoleCoordinator (shard jobs
+	// across registered workers, arbitrate fleet-wide trace recording),
+	// or RoleWorker (register with a coordinator, resolve trace misses
+	// through it). Both cluster roles require a TraceCache.
+	Role string
+	// Coordinator is the coordinator's base URL (workers only).
+	Coordinator string
+	// NodeName identifies this node in the cluster (default: the
+	// advertise URL).
+	NodeName string
+	// AdvertiseURL is the URL peers reach this node at (workers only).
+	AdvertiseURL string
+	// HeartbeatEvery paces worker heartbeats (default 1s).
+	HeartbeatEvery time.Duration
+	// WorkerDeadAfter is how long the coordinator waits past a worker's
+	// last heartbeat before treating it as dead (default 5s; must
+	// comfortably exceed the workers' HeartbeatEvery).
+	WorkerDeadAfter time.Duration
 }
 
 // defaultHighWater is the default shedding threshold: deep enough that a
@@ -66,6 +87,14 @@ type Server struct {
 	metrics *Metrics
 	tenants *TenantRegistry
 	mux     *http.ServeMux
+
+	// cluster is the coordinator's registry and fleet trace table (nil
+	// off the coordinator); worker is this node's coordinator handle
+	// (nil off workers). stopHeartbeat ends the worker's heartbeat loop.
+	cluster       *clusterState
+	worker        *clusterClient
+	stopHeartbeat chan struct{}
+	stopOnce      sync.Once
 
 	mu        sync.Mutex
 	running   map[string]*runningJob
@@ -99,6 +128,28 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Tenants == nil {
 		cfg.Tenants = newOpenRegistry()
 	}
+	switch cfg.Role {
+	case RoleStandalone:
+	case RoleCoordinator:
+		if cfg.TraceCache == nil {
+			return nil, fmt.Errorf("server: a coordinator needs a trace cache (it is the fleet's blob home)")
+		}
+	case RoleWorker:
+		if cfg.TraceCache == nil {
+			return nil, fmt.Errorf("server: a cluster worker needs a trace cache")
+		}
+		if cfg.Coordinator == "" || cfg.AdvertiseURL == "" {
+			return nil, fmt.Errorf("server: a cluster worker needs a coordinator URL and an advertise URL")
+		}
+		if !cfg.Tenants.Open() {
+			return nil, fmt.Errorf("server: cluster workers run open; configure tenants on the coordinator")
+		}
+		if cfg.NodeName == "" {
+			cfg.NodeName = cfg.AdvertiseURL
+		}
+	default:
+		return nil, fmt.Errorf("server: unknown role %q (want %q, %q, or empty)", cfg.Role, RoleCoordinator, RoleWorker)
+	}
 	store, err := OpenStore(cfg.StateDir)
 	if err != nil {
 		return nil, err
@@ -130,6 +181,25 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
 	s.mux.HandleFunc("GET /dashboard/events", s.handleDashboardEvents)
+	if cfg.TraceCache != nil {
+		// Every node (standalone included) serves its local blob layer so
+		// peers can fetch any recorded trace by content hash.
+		s.registerBlobRoutes()
+	}
+	switch cfg.Role {
+	case RoleCoordinator:
+		s.cluster = newClusterState(cfg.WorkerDeadAfter)
+		s.registerClusterRoutes()
+	case RoleWorker:
+		s.worker = newClusterClient(cfg.Coordinator, cfg.NodeName, cfg.AdvertiseURL)
+		s.stopHeartbeat = make(chan struct{})
+		// From here on, this node's trace misses go through the fleet:
+		// claim before recording, fetch by hash when someone already did.
+		cfg.TraceCache.JoinCluster(
+			castore.NewHTTPStore(strings.TrimRight(cfg.Coordinator, "/")+"/cluster/v1/blobs", nil),
+			s.worker,
+		)
+	}
 	return s, nil
 }
 
@@ -236,6 +306,9 @@ func (s *Server) Start(ctx context.Context) {
 		}
 	}
 	s.pool.start(ctx, s.cfg.Workers)
+	if s.worker != nil {
+		go s.heartbeatLoop(ctx, s.cfg.HeartbeatEvery)
+	}
 }
 
 // Drain stops the service: the pool's run context is cancelled, in-flight
@@ -243,6 +316,9 @@ func (s *Server) Start(ctx context.Context) {
 // resumable checkpoints, and Drain returns once every worker has
 // persisted its job. Queued jobs stay queued for the next process.
 func (s *Server) Drain() {
+	if s.stopHeartbeat != nil {
+		s.stopOnce.Do(func() { close(s.stopHeartbeat) })
+	}
 	s.pool.drain()
 }
 
@@ -385,21 +461,34 @@ func (s *Server) runJob(ctx context.Context, id string, queuedAt time.Time, clas
 	var done int
 	var doneMu sync.Mutex
 	total := len(cfgs)
-	sweep, err := core.RunSweepPerConfig(sweepCtx, w, spec.Scale, cfgs, core.PerConfigSweepOpts{
-		MakeCollector: mkCol,
-		Retries:       spec.Retries,
-		Checkpoint:    ck,
-		Resume:        true, // a fresh job has an empty checkpoint dir; a resumed one replays it
-		OnResult: func(r core.ConfigResult) {
-			doneMu.Lock()
-			done++
-			d := done
-			doneMu.Unlock()
-			s.metrics.ConfigsCompleted.Add(1)
-			s.metrics.RefsReplayed.Add(r.CacheStats.Refs() + r.CacheStats.GCReads + r.CacheStats.GCWrites)
-			s.hub.publish(Event{Type: "config", Job: id, Config: r.Config.String(), Done: d, Total: total})
-		},
-	})
+	onResult := func(r core.ConfigResult) {
+		doneMu.Lock()
+		done++
+		d := done
+		doneMu.Unlock()
+		s.metrics.ConfigsCompleted.Add(1)
+		s.metrics.RefsReplayed.Add(r.CacheStats.Refs() + r.CacheStats.GCReads + r.CacheStats.GCWrites)
+		s.hub.publish(Event{Type: "config", Job: id, Config: r.Config.String(), Done: d, Total: total})
+	}
+	var sweep *core.PerConfigSweep
+	if s.cluster != nil {
+		// Coordinator: shard the configurations across the fleet instead
+		// of running them here. Same checkpoint, same resume semantics,
+		// same report bytes.
+		sweep, err = s.runClusterSweep(sweepCtx, w, spec, cfgs, colName, ck, onResult)
+	} else {
+		sweep, err = core.RunSweepPerConfig(sweepCtx, w, spec.Scale, cfgs, core.PerConfigSweepOpts{
+			MakeCollector: mkCol,
+			Retries:       spec.Retries,
+			Checkpoint:    ck,
+			Resume:        true, // a fresh job has an empty checkpoint dir; a resumed one replays it
+			OnResult:      onResult,
+			// This node's own cache, not the process global: several
+			// cluster nodes can share one process (tests do), each with
+			// its own store. Nil falls back to the global, as before.
+			TraceCache: s.cfg.TraceCache,
+		})
+	}
 	finishStaged(sweepSpan, sweep, err)
 }
 
@@ -822,7 +911,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteText(w, s.cfg.TraceCache, s.pool.depth(), s.tenants)
+	s.metrics.WriteText(w, s.cfg.TraceCache, s.pool.depth(), s.tenants, s.cluster)
 }
 
 // Health is the /healthz body: instantaneous serving state plus the
@@ -864,12 +953,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if tc := s.cfg.TraceCache; tc != nil {
 		h.TraceCache = "ok"
-		if st, err := os.Stat(tc.Dir()); err != nil {
-			h.Status = "degraded"
-			h.TraceCache = err.Error()
-		} else if !st.IsDir() {
-			h.Status = "degraded"
-			h.TraceCache = fmt.Sprintf("%s is not a directory", tc.Dir())
+		// Store-backed caches (dir == "") have no directory to stat; the
+		// store probe happens implicitly on first use.
+		if dir := tc.Dir(); dir != "" {
+			if st, err := os.Stat(dir); err != nil {
+				h.Status = "degraded"
+				h.TraceCache = err.Error()
+			} else if !st.IsDir() {
+				h.Status = "degraded"
+				h.TraceCache = fmt.Sprintf("%s is not a directory", dir)
+			}
 		}
 	}
 	code := http.StatusOK

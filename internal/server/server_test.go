@@ -188,7 +188,7 @@ func TestMetricsText(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	m.WriteText(&sb, tc, 2, newOpenRegistry())
+	m.WriteText(&sb, tc, 2, newOpenRegistry(), nil)
 	text := sb.String()
 	for _, want := range []string{
 		"# TYPE gcsimd_jobs_submitted_total counter",
@@ -207,7 +207,7 @@ func TestMetricsText(t *testing.T) {
 	// A nil trace cache must not panic and still reports zero counters,
 	// and a nil tenant registry must not panic either.
 	sb.Reset()
-	m.WriteText(&sb, nil, 0, nil)
+	m.WriteText(&sb, nil, 0, nil, nil)
 	if !strings.Contains(sb.String(), "gcsimd_trace_cache_hits_total 0") {
 		t.Error("nil trace cache dropped the hit counter")
 	}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"gcsim/internal/core"
+)
+
+// The cluster fabric, worker side. A worker is a normal gcsimd whose
+// trace cache has joined the fleet: blob reads fall back to the
+// coordinator (GET /cluster/v1/blobs/{id}, pulled through into the local
+// store on first use) and recording rights go through the coordinator's
+// claim/publish arbitration, implemented here as core.RemoteTraceIndex
+// over HTTP. The worker announces itself with a heartbeat loop carrying
+// its node-local trace counters; the coordinator folds those into the
+// fleet metrics and uses the heartbeat as the liveness signal for lease
+// breaking and re-sharding.
+
+// clusterClient is a worker's handle on its coordinator: the
+// RemoteTraceIndex implementation plus the registration heartbeat.
+type clusterClient struct {
+	base string // coordinator base URL, no trailing slash
+	node string // this worker's name
+	url  string // this worker's advertise URL
+	hc   *http.Client
+}
+
+func newClusterClient(coordinator, node, advertise string) *clusterClient {
+	return &clusterClient{
+		base: strings.TrimRight(coordinator, "/"),
+		node: node,
+		url:  advertise,
+		hc:   &http.Client{},
+	}
+}
+
+// postJSON is one coordinator RPC: POST in, decode out (out may be nil).
+func (c *clusterClient) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Claim implements core.RemoteTraceIndex: ask the coordinator for the
+// recording lease on key. granted=false with a nil meta means another
+// node is recording — the cache polls.
+func (c *clusterClient) Claim(ctx context.Context, key string) (bool, *core.TraceMeta, error) {
+	var resp claimResponse
+	if err := c.postJSON(ctx, "/cluster/v1/traces/claim", claimRequest{Key: key, Node: c.node}, &resp); err != nil {
+		return false, nil, err
+	}
+	switch resp.Status {
+	case "granted":
+		return true, nil, nil
+	case "recorded":
+		if resp.Meta == nil {
+			return false, nil, fmt.Errorf("server: coordinator says recorded but sent no meta for %s", key)
+		}
+		return false, resp.Meta, nil
+	case "pending":
+		return false, nil, nil
+	}
+	return false, nil, fmt.Errorf("server: coordinator returned unknown claim status %q", resp.Status)
+}
+
+// Publish implements core.RemoteTraceIndex: announce a finished
+// recording. The coordinator replicates the blob from this node's
+// /castore/v1/blobs before acknowledging, so a slow publish is the
+// replication, not a failure.
+func (c *clusterClient) Publish(ctx context.Context, key string, meta *core.TraceMeta) error {
+	return c.postJSON(ctx, "/cluster/v1/traces/publish", publishRequest{Key: key, Node: c.node, Meta: meta}, nil)
+}
+
+// hello registers (or refreshes) this worker with the coordinator.
+func (c *clusterClient) hello(ctx context.Context, stats workerStats) error {
+	return c.postJSON(ctx, "/cluster/v1/workers", workerHello{Name: c.node, URL: c.url, Stats: stats}, nil)
+}
+
+// workerStatsNow snapshots the counters this node reports upstream.
+func (s *Server) workerStatsNow() workerStats {
+	st := workerStats{JobsRunning: s.metrics.JobsRunning.Load()}
+	if tc := s.cfg.TraceCache; tc != nil {
+		cs := tc.Stats()
+		st.TraceRecorded = cs.Recorded
+		st.RemoteFetches = cs.RemoteFetches
+		st.TraceHits = cs.Hits
+		st.TraceMisses = cs.Misses
+	}
+	return st
+}
+
+// heartbeatLoop keeps the worker registered: one hello immediately (so a
+// coordinator that is already sharding sees this node without waiting a
+// tick), then one per interval until the stop channel closes. Failures
+// are logged and retried on the next tick — a rebooting coordinator
+// picks the fleet back up as the heartbeats land.
+func (s *Server) heartbeatLoop(ctx context.Context, every time.Duration) {
+	if every <= 0 {
+		every = defaultHeartbeatEvery
+	}
+	beat := func() {
+		hctx, cancel := context.WithTimeout(ctx, every*3)
+		defer cancel()
+		if err := s.worker.hello(hctx, s.workerStatsNow()); err != nil {
+			s.logf("cluster: heartbeat to %s: %v", s.worker.base, err)
+		}
+	}
+	beat()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopHeartbeat:
+			return
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			beat()
+		}
+	}
+}

@@ -18,6 +18,10 @@ set -eu
 cd "$(dirname "$0")/.."
 bench_dir="${BENCH_DIR:-bench-out}"
 mkdir -p "$bench_dir"
+# A fresh private scratch every run: fixed /tmp paths collide across
+# concurrent runs and can silently diff against a stale prior run's stdout.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
 out="${1:-$bench_dir/BENCH_parallel.json}"
 serial_record="$bench_dir/BENCH_serial_record.json"
 parallel_record="$bench_dir/BENCH_parallel_record.json"
@@ -34,15 +38,15 @@ echo "sweep: -workload $workload -scale $scale -gc $collector -cache $caches -bl
 
 $gcsim -workload "$workload" -scale "$scale" -gc "$collector" \
     -cache "$caches" -block "$blocks" -parallel 1 \
-    -json "$serial_record" > /tmp/bench_serial_stdout.txt
+    -json "$serial_record" > "$tmp/serial_stdout.txt"
 $gcsim -workload "$workload" -scale "$scale" -gc "$collector" \
     -cache "$caches" -block "$blocks" -parallel "$cores" \
-    -json "$parallel_record" > /tmp/bench_parallel_stdout.txt
+    -json "$parallel_record" > "$tmp/parallel_stdout.txt"
 
 # Determinism: the stdout report must be byte-identical at any parallelism.
-if ! cmp -s /tmp/bench_serial_stdout.txt /tmp/bench_parallel_stdout.txt; then
+if ! cmp -s "$tmp/serial_stdout.txt" "$tmp/parallel_stdout.txt"; then
     echo "FAIL: stdout differs between -parallel 1 and -parallel $cores" >&2
-    diff /tmp/bench_serial_stdout.txt /tmp/bench_parallel_stdout.txt >&2 || true
+    diff "$tmp/serial_stdout.txt" "$tmp/parallel_stdout.txt" >&2 || true
     exit 1
 fi
 
@@ -56,11 +60,23 @@ field() {
     sed -n "s/^ *\"$2\": \([0-9.e+-]*\),*$/\1/p" "$1" | head -1
 }
 
-serial_refs=$(field "$serial_record" refs)
-serial_gc_refs=$(field "$serial_record" gc_refs)
-serial_dur=$(field "$serial_record" duration_seconds)
-parallel_dur=$(field "$parallel_record" duration_seconds)
-overhead=$(field "$parallel_record" overhead_fraction)
+# require_field FILE KEY: like field, but a missing or empty value is a
+# hard failure — every number below feeds a gate, and an empty string
+# would slide through awk as zero and pass or fail the gate silently.
+require_field() {
+    _v=$(field "$1" "$2")
+    if [ -z "$_v" ]; then
+        echo "FAIL: $1 has no numeric \"$2\" field — cannot compute the gated summary" >&2
+        exit 1
+    fi
+    echo "$_v"
+}
+
+serial_refs=$(require_field "$serial_record" refs)
+serial_gc_refs=$(require_field "$serial_record" gc_refs)
+serial_dur=$(require_field "$serial_record" duration_seconds)
+parallel_dur=$(require_field "$parallel_record" duration_seconds)
+overhead=$(require_field "$parallel_record" overhead_fraction)
 
 awk -v refs="$serial_refs" -v gcrefs="$serial_gc_refs" -v cores="$cores" \
     -v sdur="$serial_dur" -v pdur="$parallel_dur" -v ovh="$overhead" \

@@ -87,6 +87,11 @@ go build -o "$tmp/gctrace" ./cmd/gctrace
 cat "$tmp/capture.txt"
 refs=$(sed -n 's/^captured \([0-9]*\) references.*/\1/p' "$tmp/capture.txt")
 capture_mrefs=$(sed -n 's/^throughput: \([0-9.]*\)M refs\/s.*/\1/p' "$tmp/capture.txt")
+if [ -z "$refs" ] || [ -z "$capture_mrefs" ]; then
+    echo "FAIL: could not parse reference count / throughput from the capture output" >&2
+    cat "$tmp/capture.txt" >&2
+    exit 1
+fi
 trace_bytes=$(wc -c < "$tmp/trace.v2" | tr -d ' ')
 
 # --- replay: trace -> consumer delivery rate (best of $repeats) -----------
@@ -173,13 +178,23 @@ field() {
 
 # Baseline: a fresh same-host measurement from this run's bench dir if one
 # exists, else the committed repository-root summary, else the seed value.
+# A summary file that exists but lacks the field is a hard failure, not a
+# silent fall-through: an empty baseline would make awk divide by zero and
+# both gated speedups would pass or fail meaninglessly.
 baseline=11071524 # seed BENCH_parallel.json serial_refs_per_sec
 for summary in "$bench_dir/BENCH_parallel.json" BENCH_parallel.json; do
     if [ -f "$summary" ]; then
         baseline=$(field "$summary" serial_refs_per_sec)
+        if [ -z "$baseline" ]; then
+            echo "FAIL: $summary has no numeric \"serial_refs_per_sec\" field" >&2
+            echo "      (the live-engine baseline both speedup gates divide by;" >&2
+            echo "      re-run scripts/bench_parallel.sh or delete the stale file)" >&2
+            exit 1
+        fi
         break
     fi
 done
+echo "baseline: live engine at $baseline refs/s (from ${summary:-seed})"
 
 awk -v refs="$refs" -v bytes="$trace_bytes" -v cap="$capture_mrefs" \
     -v rep="$replay_mrefs" -v base="$baseline" -v ldur="$live_dur" \

@@ -1,0 +1,199 @@
+#!/bin/sh
+# End-to-end smoke of gcsimd cluster mode with real processes on loopback:
+# a coordinator and two workers, each its own gcsimd with its own state
+# directory and trace cache. Three guarantees are exercised:
+#
+#   bytes     an 8-configuration sweep submitted to the coordinator is
+#             sharded across both workers and its report must be
+#             byte-identical to the same sweep run locally by gcsim.
+#   once      the sweep's reference stream is recorded exactly once
+#             fleet-wide (gcsimd_fleet_trace_recorded_total == 1) and the
+#             non-recording worker replays it over the wire
+#             (gcsimd_fleet_trace_remote_fetches_total >= 1, blob
+#             replicated home on publish).
+#   reshard   a worker SIGKILLed mid-sweep is detected, its
+#             configurations re-shard onto the survivor, completed work
+#             resumes from the coordinator's checkpoints
+#             ("from_checkpoint": true in the job record), and the report
+#             still matches the local run byte for byte.
+#
+# Fleet /metrics and dashboard snapshots land under
+# $BENCH_DIR/cluster-smoke/ for CI artifact upload.
+set -eu
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+coord=""
+worker_a=""
+worker_b=""
+cleanup() {
+    for pid in "$coord" "$worker_a" "$worker_b"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# wait_for_listen LOGFILE PID: echo the daemon's announced base URL.
+wait_for_listen() {
+    _base=""
+    _i=0
+    while [ "$_i" -lt 50 ]; do
+        _base=$(sed -n 's|^gcsimd: listening on \(http://.*\)$|\1|p' "$1" | head -1)
+        [ -n "$_base" ] && break
+        kill -0 "$2" 2>/dev/null || break
+        sleep 0.2
+        _i=$((_i + 1))
+    done
+    echo "$_base"
+}
+
+metric_of() { echo "$1" | awk -v name="$2" '$1 == name { print $2 }'; }
+
+# wait_metric NAME WANT_AT_LEAST WHY: poll the coordinator's /metrics
+# until NAME reaches WANT_AT_LEAST (heartbeats deliver worker counters
+# asynchronously), echoing the value; fail loudly on timeout.
+wait_metric() {
+    _i=0
+    while :; do
+        _v=$(metric_of "$(curl -fsS "$base/metrics")" "$1")
+        if awk -v v="${_v:-0}" -v w="$2" 'BEGIN { exit (v + 0 >= w + 0) ? 0 : 1 }'; then
+            echo "${_v:-0}"
+            return 0
+        fi
+        _i=$((_i + 1))
+        if [ "$_i" -ge 100 ]; then
+            echo "FAIL: $1 never reached $2 (last ${_v:-0}): $3" >&2
+            curl -fsS "$base/metrics" >&2 || true
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+echo "building gcsim and gcsimd"
+go build -o "$workdir/gcsim" ./cmd/gcsim
+go build -o "$workdir/gcsimd" ./cmd/gcsimd
+
+# --- boot the fleet: coordinator + 2 workers ------------------------------
+"$workdir/gcsimd" -addr 127.0.0.1:0 -state "$workdir/coord" -workers 2 \
+    -role coordinator -heartbeat 0.5s > "$workdir/coord.log" 2>&1 &
+coord=$!
+base=$(wait_for_listen "$workdir/coord.log" "$coord")
+if [ -z "$base" ]; then
+    echo "FAIL: coordinator did not announce a listen address" >&2
+    cat "$workdir/coord.log" >&2
+    exit 1
+fi
+echo "coordinator is at $base"
+
+"$workdir/gcsimd" -addr 127.0.0.1:0 -state "$workdir/wa" -workers 1 \
+    -role worker -peers "$base" -node wa -heartbeat 0.5s \
+    > "$workdir/wa.log" 2>&1 &
+worker_a=$!
+"$workdir/gcsimd" -addr 127.0.0.1:0 -state "$workdir/wb" -workers 1 \
+    -role worker -peers "$base" -node wb -heartbeat 0.5s \
+    > "$workdir/wb.log" 2>&1 &
+worker_b=$!
+
+wait_metric gcsimd_cluster_workers 2 "both workers must register" > /dev/null
+echo "fleet: 2 workers registered"
+
+# --- bytes + once: sharded sweep vs local run -----------------------------
+sweep="-workload tc -scale 400 -gc cheney -cache 32k,64k,128k,256k -block 32,64"
+"$workdir/gcsim" $sweep > "$workdir/local.txt"
+"$workdir/gcsim" -remote "$base" $sweep > "$workdir/cluster.txt"
+if ! cmp -s "$workdir/local.txt" "$workdir/cluster.txt"; then
+    echo "FAIL: cluster report differs from the local run" >&2
+    diff "$workdir/local.txt" "$workdir/cluster.txt" >&2 || true
+    exit 1
+fi
+echo "reports: local and 3-node cluster byte-identical"
+
+shards=$(wait_metric gcsimd_cluster_shards_dispatched_total 2 \
+    "the sweep must shard across both workers")
+recorded=$(wait_metric gcsimd_fleet_trace_recorded_total 1 \
+    "one worker must record the trace")
+awk -v r="$recorded" 'BEGIN { exit (r + 0 == 1) ? 0 : 1 }' || {
+    echo "FAIL: gcsimd_fleet_trace_recorded_total = $recorded, want exactly 1" >&2
+    exit 1
+}
+fetches=$(wait_metric gcsimd_fleet_trace_remote_fetches_total 1 \
+    "the non-recording worker must fetch the trace over the wire")
+replications=$(wait_metric gcsimd_cluster_blob_replications_total 1 \
+    "publish must replicate the blob home to the coordinator")
+echo "/metrics: shards=$shards recorded=$recorded remote_fetches=$fetches blob_replications=$replications"
+
+# --- reshard: SIGKILL a worker mid-sweep ----------------------------------
+# A bigger sweep (fresh trace key, longer shards) gives the kill a window.
+kill_sweep="-workload tc -scale 1200 -gc cheney -cache 32k,64k,128k,256k -block 32,64"
+"$workdir/gcsim" $kill_sweep > "$workdir/local_kill.txt"
+"$workdir/gcsim" -remote "$base" $kill_sweep > "$workdir/cluster_kill.txt" &
+client=$!
+
+# Wait until both shards of the second job are dispatched, then kill wb.
+wait_metric gcsimd_cluster_shards_dispatched_total $((shards + 2)) \
+    "the second sweep must shard across both workers" > /dev/null
+kill -KILL "$worker_b"
+wait "$worker_b" 2>/dev/null || true
+worker_b=""
+echo "worker wb SIGKILLed mid-sweep"
+
+wait "$client" || {
+    echo "FAIL: the sweep did not survive the worker kill" >&2
+    cat "$workdir/coord.log" >&2
+    exit 1
+}
+if ! cmp -s "$workdir/local_kill.txt" "$workdir/cluster_kill.txt"; then
+    echo "FAIL: post-reshard cluster report differs from the local run" >&2
+    diff "$workdir/local_kill.txt" "$workdir/cluster_kill.txt" >&2 || true
+    exit 1
+fi
+echo "reports: post-reshard sweep still byte-identical to local"
+
+reshards=$(wait_metric gcsimd_cluster_reshards_total 1 \
+    "the dead worker's configurations must re-shard")
+echo "/metrics: reshards=$reshards"
+
+# The survivor resumed the finished configurations from the coordinator's
+# checkpoints; the field is omitted when false, so presence is the assertion.
+jobs_json=$(curl -fsS "$base/v1/jobs")
+echo "$jobs_json" | grep -q '"from_checkpoint": true' || {
+    echo "FAIL: no configuration resumed from checkpoint after the re-shard:" >&2
+    echo "$jobs_json" >&2
+    exit 1
+}
+echo "reshard: survivor resumed from the coordinator's checkpoints"
+
+# --- snapshots for CI artifact upload -------------------------------------
+snapdir="${BENCH_DIR:-bench-out}/cluster-smoke"
+mkdir -p "$snapdir"
+curl -fsS "$base/metrics" > "$snapdir/fleet-metrics.txt"
+curl -fsS "$base/dashboard" > "$snapdir/dashboard.html"
+grep -q 'id="fleet"' "$snapdir/dashboard.html" || {
+    echo "FAIL: coordinator dashboard did not render the fleet table" >&2
+    exit 1
+}
+echo "snapshots: $snapdir/fleet-metrics.txt $snapdir/dashboard.html"
+
+# --- clean drain of the survivors -----------------------------------------
+for pair in "coord:$coord" "wa:$worker_a"; do
+    name=${pair%%:*}
+    pid=${pair#*:}
+    kill -TERM "$pid"
+    status=0
+    wait "$pid" || status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "FAIL: $name exited $status on SIGTERM" >&2
+        cat "$workdir/$name.log" >&2
+        exit 1
+    fi
+    grep -q "gcsimd: drained" "$workdir/$name.log" || {
+        echo "FAIL: $name never reported a completed drain" >&2
+        cat "$workdir/$name.log" >&2
+        exit 1
+    }
+done
+coord=""
+worker_a=""
+echo "fleet: coordinator and surviving worker drained cleanly"

@@ -1,0 +1,127 @@
+#!/bin/sh
+# Nightly cluster record-then-replay reproduction: the trace is recorded
+# on worker A while it is the only worker in the fleet, then worker B
+# joins and the same sweep runs again — B's shard can only be served by
+# fetching A's recording over the wire (through the coordinator's blob
+# home), and the replayed report must be byte-identical to both the first
+# cluster run and a plain local gcsim run. This is the distributed analog
+# of scripts/nightly_repro.sh's record/replay check: same bytes whether a
+# reference stream is simulated live, replayed from a local cache, or
+# replayed from a blob another node recorded.
+#
+# The final fleet /metrics snapshot lands under
+# $BENCH_DIR/nightly-cluster/ for artifact upload.
+set -eu
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+coord=""
+worker_a=""
+worker_b=""
+cleanup() {
+    for pid in "$coord" "$worker_a" "$worker_b"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+wait_for_listen() {
+    _base=""
+    _i=0
+    while [ "$_i" -lt 50 ]; do
+        _base=$(sed -n 's|^gcsimd: listening on \(http://.*\)$|\1|p' "$1" | head -1)
+        [ -n "$_base" ] && break
+        kill -0 "$2" 2>/dev/null || break
+        sleep 0.2
+        _i=$((_i + 1))
+    done
+    echo "$_base"
+}
+
+metric_of() { echo "$1" | awk -v name="$2" '$1 == name { print $2 }'; }
+
+# wait_metric NAME WANT_AT_LEAST WHY: poll the coordinator's /metrics.
+wait_metric() {
+    _i=0
+    while :; do
+        _v=$(metric_of "$(curl -fsS "$base/metrics")" "$1")
+        if awk -v v="${_v:-0}" -v w="$2" 'BEGIN { exit (v + 0 >= w + 0) ? 0 : 1 }'; then
+            echo "${_v:-0}"
+            return 0
+        fi
+        _i=$((_i + 1))
+        if [ "$_i" -ge 100 ]; then
+            echo "FAIL: $1 never reached $2 (last ${_v:-0}): $3" >&2
+            curl -fsS "$base/metrics" >&2 || true
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+sweep="${SWEEP:--workload tc -scale 1200 -gc cheney -cache 32k,64k,128k,256k -block 32,64}"
+
+echo "building gcsim and gcsimd"
+go build -o "$workdir/gcsim" ./cmd/gcsim
+go build -o "$workdir/gcsimd" ./cmd/gcsimd
+
+"$workdir/gcsimd" -addr 127.0.0.1:0 -state "$workdir/coord" -workers 2 \
+    -role coordinator -heartbeat 0.5s > "$workdir/coord.log" 2>&1 &
+coord=$!
+base=$(wait_for_listen "$workdir/coord.log" "$coord")
+if [ -z "$base" ]; then
+    echo "FAIL: coordinator did not announce a listen address" >&2
+    cat "$workdir/coord.log" >&2
+    exit 1
+fi
+echo "coordinator is at $base"
+
+# --- record: worker A alone, so A is necessarily the recorder -------------
+"$workdir/gcsimd" -addr 127.0.0.1:0 -state "$workdir/wa" -workers 1 \
+    -role worker -peers "$base" -node wa -heartbeat 0.5s \
+    > "$workdir/wa.log" 2>&1 &
+worker_a=$!
+wait_metric gcsimd_cluster_workers 1 "worker A must register" > /dev/null
+
+"$workdir/gcsim" $sweep > "$workdir/local.txt"
+"$workdir/gcsim" -remote "$base" $sweep > "$workdir/recorded.txt"
+if ! cmp -s "$workdir/local.txt" "$workdir/recorded.txt"; then
+    echo "FAIL: recording run's report differs from the local run" >&2
+    diff "$workdir/local.txt" "$workdir/recorded.txt" >&2 || true
+    exit 1
+fi
+recorded=$(wait_metric 'gcsimd_cluster_node_trace_recorded_total{node="wa"}' 1 \
+    "worker A must have recorded the trace")
+echo "recorded on wa: $recorded trace(s), report byte-identical to local"
+
+# --- replay: worker B joins; its shard replays A's recording remotely -----
+"$workdir/gcsimd" -addr 127.0.0.1:0 -state "$workdir/wb" -workers 1 \
+    -role worker -peers "$base" -node wb -heartbeat 0.5s \
+    > "$workdir/wb.log" 2>&1 &
+worker_b=$!
+wait_metric gcsimd_cluster_workers 2 "worker B must register" > /dev/null
+
+"$workdir/gcsim" -remote "$base" $sweep > "$workdir/replayed.txt"
+if ! cmp -s "$workdir/local.txt" "$workdir/replayed.txt"; then
+    echo "FAIL: cross-node replayed report differs from the local run" >&2
+    diff "$workdir/local.txt" "$workdir/replayed.txt" >&2 || true
+    exit 1
+fi
+
+# B never recorded anything: its shard was served by fetching A's blob.
+fetched=$(wait_metric 'gcsimd_cluster_node_remote_fetches_total{node="wb"}' 1 \
+    "worker B must replay via a remote fetch")
+total_recorded=$(wait_metric gcsimd_fleet_trace_recorded_total 1 \
+    "the fleet must have recorded the trace")
+awk -v r="$total_recorded" 'BEGIN { exit (r + 0 == 1) ? 0 : 1 }' || {
+    echo "FAIL: gcsimd_fleet_trace_recorded_total = $total_recorded after the replay, want still exactly 1" >&2
+    exit 1
+}
+echo "replayed on wb via $fetched remote fetch(es); fleet still recorded exactly once"
+
+snapdir="${BENCH_DIR:-bench-out}/nightly-cluster"
+mkdir -p "$snapdir"
+curl -fsS "$base/metrics" > "$snapdir/fleet-metrics.txt"
+cp "$workdir/local.txt" "$snapdir/report.txt"
+echo "snapshots: $snapdir/fleet-metrics.txt $snapdir/report.txt"
